@@ -1,0 +1,77 @@
+// bench_common.h — shared plumbing for the experiment binaries: flag
+// parsing and the week/day collection helpers every table and figure
+// driver needs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "v6class/cdnsim/world.h"
+
+namespace v6::bench {
+
+/// Parses "--scale=X" and "--seed=N" style flags; anything else is
+/// ignored so binaries can be launched uniformly.
+struct options {
+    double scale = 0.5;
+    std::uint64_t seed = 42;
+    unsigned tail_isps = 40;
+};
+
+inline options parse_options(int argc, char** argv, double default_scale = 0.5) {
+    options opt;
+    opt.scale = default_scale;
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        if (std::strncmp(arg, "--scale=", 8) == 0)
+            opt.scale = std::atof(arg + 8);
+        else if (std::strncmp(arg, "--seed=", 7) == 0)
+            opt.seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
+        else if (std::strncmp(arg, "--tail-isps=", 12) == 0)
+            opt.tail_isps = static_cast<unsigned>(std::atoi(arg + 12));
+    }
+    return opt;
+}
+
+inline world_config world_cfg(const options& opt) {
+    world_config cfg;
+    cfg.seed = opt.seed;
+    cfg.scale = opt.scale;
+    cfg.tail_isps = opt.tail_isps;
+    return cfg;
+}
+
+/// Distinct addresses active during the 7 days starting at `first_day`.
+inline std::vector<address> week_addresses(const world& w, int first_day) {
+    std::vector<address> out;
+    for (int d = first_day; d < first_day + 7; ++d) {
+        const auto day = w.active_addresses(d);
+        out.insert(out.end(), day.begin(), day.end());
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+/// Masks to /64 and deduplicates.
+inline std::vector<address> to_64s(const std::vector<address>& addrs) {
+    std::vector<address> out;
+    out.reserve(addrs.size());
+    for (const address& a : addrs) out.push_back(a.masked(64));
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+inline void banner(const char* title, const options& opt) {
+    std::printf("=== %s ===\n", title);
+    std::printf("(synthetic world: scale=%.2f seed=%llu; absolute counts are\n"
+                " simulation-scale — compare shapes and proportions with the "
+                "paper)\n\n",
+                opt.scale, static_cast<unsigned long long>(opt.seed));
+}
+
+}  // namespace v6::bench

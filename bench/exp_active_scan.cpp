@@ -1,0 +1,61 @@
+// exp_active_scan — the Section 6.2.2 feasibility claim, quantified:
+// surveying the spatially discovered dense blocks yields real hit rates,
+// while blind scanning of the active BGP prefixes finds essentially
+// nothing. ("A /112 prefix covers 2^16 addresses, the same as a /16 in
+// IPv4, and is easily scanned, whereas scanning across a /64 is not
+// practical.")
+#include "bench_common.h"
+#include "v6class/analysis/format.h"
+#include "v6class/routersim/scan.h"
+
+using namespace v6;
+using namespace v6::bench;
+
+int main(int argc, char** argv) {
+    const options opt = parse_options(argc, argv);
+    banner("Section 6.2.2: dense-block surveying vs blind scanning", opt);
+    const world w(world_cfg(opt));
+
+    // Live hosts on the scan day; dense prefixes learned from the
+    // previous day's passive observations (the paper's workflow).
+    const auto learn = cull_transition(w.active_addresses(kMar2015)).other;
+    auto live = cull_transition(w.active_addresses(kMar2015 + 1)).other;
+    std::sort(live.begin(), live.end());
+
+    radix_tree tree;
+    for (const address& a : learn) tree.add(a);
+    const auto dense = tree.dense_prefixes_at(2, 112);
+    std::printf("learned %zu 2@/112-dense prefixes from %s passive addrs\n\n",
+                dense.size(),
+                format_count(static_cast<double>(learn.size())).c_str());
+
+    std::vector<prefix> bgp;
+    for (const bgp_route& r : w.registry().routes()) bgp.push_back(r.pfx);
+
+    std::printf("%-34s %10s %10s %12s\n", "strategy", "probes", "hits",
+                "hit rate");
+    for (const std::uint64_t budget : {100'000ull, 1'000'000ull}) {
+        const survey_outcome survey = run_dense_survey(dense, live, budget);
+        std::printf("%-34s %10s %10s %12.6f%%\n",
+                    ("dense /112 survey (" +
+                     std::to_string(survey.blocks_completed) + " blocks)")
+                        .c_str(),
+                    format_count(static_cast<double>(survey.scan.probes)).c_str(),
+                    format_count(static_cast<double>(survey.scan.responders))
+                        .c_str(),
+                    survey.scan.hit_rate() * 100.0);
+        const scan_outcome blind = run_random_scan(bgp, live, budget, opt.seed);
+        std::printf("%-34s %10s %10s %12.6f%%\n", "blind scan of BGP prefixes",
+                    format_count(static_cast<double>(blind.probes)).c_str(),
+                    format_count(static_cast<double>(blind.responders)).c_str(),
+                    blind.hit_rate() * 100.0);
+    }
+
+    std::puts(
+        "\npaper shape check: the dense survey's hit rate is finite and\n"
+        "useful (the blocks were chosen because multiple clients live\n"
+        "there); blind probing of 2^64+ host spaces rounds to zero — the\n"
+        "reason IPv6-wide ZMap-style sweeps are impossible and spatial\n"
+        "classification is necessary.");
+    return 0;
+}

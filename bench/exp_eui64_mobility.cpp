@@ -1,0 +1,44 @@
+// exp_eui64_mobility — the Section 6.1.1 EUI-64 investigation: of the
+// EUI-64 addresses classified "not 3d-stable", how many carry an IID
+// seen in more than one address (the static IID moved between network
+// identifiers — paper: 62%), and how many carry an IID that also has a
+// 3d-stable address (paper: 14%)?
+#include "bench_common.h"
+#include "v6class/analysis/eui64_mobility.h"
+#include "v6class/analysis/format.h"
+
+using namespace v6;
+using namespace v6::bench;
+
+int main(int argc, char** argv) {
+    const options opt = parse_options(argc, argv);
+    banner("Section 6.1.1: instability of static-IID (EUI-64) addresses", opt);
+    const world w(world_cfg(opt));
+
+    // The paper ran this on the Sep 17-23 2014 window; use the epoch's
+    // reference day with the standard window.
+    const int ref = kSep2014;
+    const daily_series series = w.series(ref - 7, ref + 7);
+    const eui64_mobility_report report = analyze_eui64_mobility(series, ref);
+
+    std::printf("EUI-64 addresses on the reference day:\n");
+    std::printf("  3d-stable:      %s\n",
+                format_count(static_cast<double>(report.stable_eui64_addresses))
+                    .c_str());
+    std::printf("  not 3d-stable:  %s\n",
+                format_count(static_cast<double>(report.unstable_eui64_addresses))
+                    .c_str());
+    std::printf(
+        "\nof the not-3d-stable EUI-64 addresses:\n"
+        "  IID appears in more than one address: %s (paper: 62%%)\n"
+        "  IID also appears in a 3d-stable addr: %s (paper: 14%%)\n",
+        format_pct(report.multiple_share()).c_str(),
+        format_pct(report.also_stable_share()).c_str());
+
+    std::puts(
+        "\npaper shape check: a majority of 'unstable' EUI-64 addresses are\n"
+        "stable devices whose *network identifier* moved (renumbering or\n"
+        "dynamic subnet assignment) — the IID betrays them; and a minority\n"
+        "hold a stable address somewhere else in the window.");
+    return 0;
+}

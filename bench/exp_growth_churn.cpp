@@ -1,0 +1,64 @@
+// exp_growth_churn — the dynamics behind Table 1's growth row: the
+// active population doubles over the study year, but most of every day's
+// addresses are freshly minted privacy identifiers, while /64s are the
+// stable skeleton that actually grows with subscribers.
+#include "bench_common.h"
+#include "v6class/analysis/format.h"
+#include "v6class/analysis/growth.h"
+
+using namespace v6;
+using namespace v6::bench;
+
+int main(int argc, char** argv) {
+    const options opt = parse_options(argc, argv);
+    banner("Growth and churn decomposition (Table 1 dynamics)", opt);
+    const world w(world_cfg(opt));
+
+    const daily_series addrs = w.series(kMar2015 - 4, kMar2015 + 4);
+    const daily_series p64s = addrs.project(64);
+
+    std::puts("day-over-day composition of the active address set:");
+    std::printf("%-6s %10s %12s %10s %10s %12s\n", "day", "active", "returning",
+                "revenant", "fresh", "fresh share");
+    for (const churn_day& row : churn_analysis(addrs))
+        std::printf("%-6d %10s %12s %10s %10s %12s\n", row.day,
+                    format_count(static_cast<double>(row.active)).c_str(),
+                    format_count(static_cast<double>(row.returning)).c_str(),
+                    format_count(static_cast<double>(row.revenant)).c_str(),
+                    format_count(static_cast<double>(row.fresh)).c_str(),
+                    format_pct(row.fresh_share()).c_str());
+
+    std::puts("\nand of the active /64 set:");
+    std::printf("%-6s %10s %12s %10s %10s %12s\n", "day", "active", "returning",
+                "revenant", "fresh", "fresh share");
+    for (const churn_day& row : churn_analysis(p64s))
+        std::printf("%-6d %10s %12s %10s %10s %12s\n", row.day,
+                    format_count(static_cast<double>(row.active)).c_str(),
+                    format_count(static_cast<double>(row.returning)).c_str(),
+                    format_count(static_cast<double>(row.revenant)).c_str(),
+                    format_count(static_cast<double>(row.fresh)).c_str(),
+                    format_pct(row.fresh_share()).c_str());
+
+    // Epoch growth, as in Table 1's columns.
+    const daily_series epochs = w.series(kMar2014, kMar2014);
+    daily_series both;
+    both.set_day(kMar2014, epochs.day(kMar2014));
+    both.set_day(kMar2015, addrs.day(kMar2015));
+    const growth_report year = epoch_growth(both, kMar2014, kMar2015);
+    std::printf(
+        "\nMar'14 -> Mar'15: %s -> %s active addresses (factor %.2f; paper: "
+        "149M -> 318M, 2.13x);\nonly %s (%s of the early set) survived the "
+        "year as addresses.\n",
+        format_count(static_cast<double>(year.early_active)).c_str(),
+        format_count(static_cast<double>(year.late_active)).c_str(),
+        year.growth_factor,
+        format_count(static_cast<double>(year.common)).c_str(),
+        format_pct(year.survivor_share).c_str());
+
+    std::puts(
+        "\nexpected shape: the address set is dominated by fresh privacy\n"
+        "identifiers every single day (high fresh share), while the /64 set\n"
+        "is mostly returning — growth in Table 1 is subscriber expansion on\n"
+        "a churning address surface.");
+    return 0;
+}

@@ -1,0 +1,101 @@
+// exp_malone_baseline — the Section 2 comparison: Malone's content-only
+// classifier detects ~73% of privacy addresses by design; the paper's
+// temporal classifier takes the complementary route and identifies the
+// *stable* addresses (which are almost certainly not privacy addresses).
+//
+// With the simulator we hold ground truth, so both approaches can be
+// scored on the same labeled traffic.
+#include <map>
+
+#include "bench_common.h"
+#include "v6class/addrtype/malone.h"
+#include "v6class/analysis/format.h"
+#include "v6class/netgen/iid.h"
+#include "v6class/temporal/stability.h"
+
+using namespace v6;
+using namespace v6::bench;
+
+int main(int argc, char** argv) {
+    const options opt = parse_options(argc, argv);
+    banner("Malone content-only baseline vs temporal classification", opt);
+    const world w(world_cfg(opt));
+
+    // Ground truth for "ephemeral privacy address": an address whose IID
+    // is pseudorandom-by-construction is exactly one the simulator
+    // generated via privacy_iid(); in this world those are the addresses
+    // that never recur. We label by behaviour: an address is ephemeral
+    // iff it appears on exactly one day of the window.
+    const int ref = kMar2015;
+    const daily_series series = w.series(ref - 7, ref + 7);
+    std::map<address, int> active_days;
+    for (const int d : series.days())
+        for (const address& a : series.day(d)) ++active_days[a];
+
+    const auto& today = series.day(ref);
+    std::uint64_t privacy_total = 0, privacy_detected_content = 0;
+    std::uint64_t persistent_total = 0, persistent_flagged_content = 0;
+    for (const address& a : today) {
+        const bool ephemeral = active_days.at(a) == 1;
+        const bool content_says_privacy =
+            malone_classify(a) == malone_label::randomised;
+        if (ephemeral) {
+            ++privacy_total;
+            if (content_says_privacy) ++privacy_detected_content;
+        } else {
+            ++persistent_total;
+            if (content_says_privacy) ++persistent_flagged_content;
+        }
+    }
+
+    std::printf("reference day actives: %s (%s ephemeral / %s recurring)\n\n",
+                format_count(static_cast<double>(today.size())).c_str(),
+                format_count(static_cast<double>(privacy_total)).c_str(),
+                format_count(static_cast<double>(persistent_total)).c_str());
+
+    const double content_recall =
+        privacy_total ? static_cast<double>(privacy_detected_content) /
+                            static_cast<double>(privacy_total)
+                      : 0;
+    std::printf("Malone content-only detector:\n");
+    std::printf("  detects %s of ephemeral (privacy) addresses "
+                "(paper's design point: ~73%%)\n",
+                format_pct(content_recall).c_str());
+    std::printf("  false-flags %s of recurring addresses as privacy\n\n",
+                format_pct(persistent_total
+                               ? static_cast<double>(persistent_flagged_content) /
+                                     static_cast<double>(persistent_total)
+                               : 0)
+                    .c_str());
+
+    // The complementary temporal route: classify stability instead.
+    stability_analyzer an(series);
+    const stability_split split = an.classify_day(ref, 3);
+    std::uint64_t stable_truly_persistent = 0;
+    for (const address& a : split.stable)
+        if (active_days.at(a) > 1) ++stable_truly_persistent;
+    std::printf("temporal classifier (3d-stable):\n");
+    std::printf("  flags %s addresses as stable; %s of them really recur\n",
+                format_count(static_cast<double>(split.stable.size())).c_str(),
+                format_pct(split.stable.empty()
+                               ? 0
+                               : static_cast<double>(stable_truly_persistent) /
+                                     static_cast<double>(split.stable.size()))
+                    .c_str());
+    std::uint64_t not_stable_ephemeral = 0;
+    for (const address& a : split.not_stable)
+        if (active_days.at(a) == 1) ++not_stable_ephemeral;
+    std::printf("  of the not-3d-stable, %s are truly single-day\n",
+                format_pct(split.not_stable.empty()
+                               ? 0
+                               : static_cast<double>(not_stable_ephemeral) /
+                                     static_cast<double>(split.not_stable.size()))
+                    .c_str());
+
+    std::puts(
+        "\npaper shape check: content inspection plateaus near 3-in-4 on\n"
+        "true privacy addresses (randomness in 63 bits is hard to certify),\n"
+        "while stability classification is near-perfect on what it claims —\n"
+        "stable addresses are almost certainly not privacy addresses.");
+    return 0;
+}

@@ -1,0 +1,57 @@
+// exp_ptr_scan — the Section 6.2.3 experiment: ip6.arpa PTR queries for
+// every possible address of the 3@/120-dense router prefixes harvest
+// substantially more names than querying only active WWW client
+// addresses (the paper reports +47K names).
+#include "bench_common.h"
+#include "v6class/analysis/format.h"
+#include "v6class/dnssim/reverse_zone.h"
+#include "v6class/routersim/topology.h"
+#include "v6class/spatial/density.h"
+
+using namespace v6;
+using namespace v6::bench;
+
+int main(int argc, char** argv) {
+    const options opt = parse_options(argc, argv);
+    banner("Section 6.2.3: PTR harvest from dense-prefix scanning", opt);
+    const world w(world_cfg(opt));
+    const router_topology topo(w);
+    const reverse_zone zone = build_world_zone(w, &topo);
+    std::printf("reverse zone holds %s PTR records\n\n",
+                format_count(static_cast<double>(zone.size())).c_str());
+
+    radix_tree routers;
+    for (const address& a : topo.interfaces()) routers.add(a);
+
+    // Strategy A: query only the addresses seen as active WWW clients.
+    const auto active = w.active_addresses(kMar2015);
+    const auto active_scan = zone.scan(active);
+    std::printf("A. query active WWW clients:        %8s queries -> %s names\n",
+                format_count(static_cast<double>(active_scan.queries)).c_str(),
+                format_count(static_cast<double>(active_scan.names_found)).c_str());
+
+    // Strategy B: expand the 3@/120-dense router prefixes (the bolded
+    // Table 3 row) into all their possible addresses and query those.
+    const auto dense = routers.dense_prefixes_at(3, 120);
+    const auto targets = expand_scan_targets(dense, 5'000'000);
+    const auto dense_scan = zone.scan(targets);
+    std::printf("B. scan 3@/120-dense possibilities: %8s queries -> %s names\n",
+                format_count(static_cast<double>(dense_scan.queries)).c_str(),
+                format_count(static_cast<double>(dense_scan.names_found)).c_str());
+
+    // How many names did B add beyond A?
+    reverse_zone::scan_result combined = active_scan;
+    std::vector<address> both = active;
+    both.insert(both.end(), targets.begin(), targets.end());
+    combined = zone.scan(std::move(both));
+    const std::uint64_t extra = combined.names_found - active_scan.names_found;
+    std::printf("\nadditional names unlocked by dense scanning: %s "
+                "(paper: +47K over active-only)\n",
+                format_count(static_cast<double>(extra)).c_str());
+
+    std::puts(
+        "\npaper shape check: provisioning-range PTRs (routers, static CPE,\n"
+        "DHCPv6 pools) are invisible to active-address queries but fall\n"
+        "inside dense prefixes, so the dense scan harvests strictly more.");
+    return 0;
+}

@@ -1,0 +1,78 @@
+// exp_return_frequency — how often do clients come back? Section 4.1
+// notes that "some specific long-lived active IPv6 addresses, e.g.
+// EUI-64, return as WWW clients only infrequently", which is why
+// stability classification must say "not stable" rather than
+// "ephemeral". This bench measures return-gap distributions per address
+// kind from the day-bitmap store.
+#include "bench_common.h"
+#include "v6class/addrtype/classify.h"
+#include "v6class/analysis/format.h"
+#include "v6class/temporal/observation_store.h"
+
+using namespace v6;
+using namespace v6::bench;
+
+namespace {
+
+void report(const char* label, const observation_store& store) {
+    const auto gaps = store.gap_histogram(14);
+    std::uint64_t total = 0, weighted = 0, infrequent = 0;
+    for (unsigned g = 1; g <= 14; ++g) {
+        total += gaps[g];
+        weighted += static_cast<std::uint64_t>(g) * gaps[g];
+        if (g >= 7) infrequent += gaps[g];
+    }
+    const auto spectrum = store.stability_spectrum(14);
+    std::printf("%-22s %9s tracked  %8s returns  mean gap %4.1fd  "
+                "gaps>=7d %s\n",
+                label,
+                format_count(static_cast<double>(store.distinct_count())).c_str(),
+                format_count(static_cast<double>(total)).c_str(),
+                total ? static_cast<double>(weighted) / static_cast<double>(total)
+                      : 0.0,
+                format_pct(total ? static_cast<double>(infrequent) /
+                                       static_cast<double>(total)
+                                 : 0.0)
+                    .c_str());
+    std::printf("%-22s single-day share: %s\n", "",
+                format_pct(1.0 - static_cast<double>(spectrum[1]) /
+                                     static_cast<double>(spectrum[0]))
+                    .c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const options opt = parse_options(argc, argv);
+    banner("Return frequency by address kind", opt);
+    const world w(world_cfg(opt));
+
+    observation_store eui_store, low_store, random_store;
+    const int first = kMar2015 - 7, last = kMar2015 + 7;
+    for (int d = first; d <= last; ++d) {
+        std::vector<address> eui, low, random;
+        for (const address& a : cull_transition(w.active_addresses(d)).other) {
+            switch (classify(a).iid) {
+                case iid_kind::eui64: eui.push_back(a); break;
+                case iid_kind::low_value: low.push_back(a); break;
+                case iid_kind::pseudorandom: random.push_back(a); break;
+                default: break;
+            }
+        }
+        eui_store.record_day(d, eui);
+        low_store.record_day(d, low);
+        random_store.record_day(d, random);
+    }
+
+    report("EUI-64 addresses", eui_store);
+    report("low-IID addresses", low_store);
+    report("pseudorandom (privacy)", random_store);
+
+    std::puts(
+        "\nexpected shape: low-IID (CPE/server) addresses return on short\n"
+        "gaps; EUI-64 devices return but with a heavier tail of long gaps\n"
+        "(the paper's infrequent returners); privacy addresses are\n"
+        "overwhelmingly single-day — they have no 'return' to speak of\n"
+        "beyond the midnight straddle.");
+    return 0;
+}

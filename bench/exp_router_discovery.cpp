@@ -1,0 +1,57 @@
+// exp_router_discovery — the Section 6.1.1 experiment: probing a random
+// subset of 3d-stable addresses discovers substantially more router
+// addresses than the long-standing IPv4-style strategy (recursive
+// resolvers + random active WWW clients). The paper reports +129%.
+#include "bench_common.h"
+#include "v6class/analysis/format.h"
+#include "v6class/routersim/targets.h"
+#include "v6class/routersim/topology.h"
+#include "v6class/temporal/stability.h"
+
+using namespace v6;
+using namespace v6::bench;
+
+int main(int argc, char** argv) {
+    const options opt = parse_options(argc, argv);
+    banner("Section 6.1.1: router discovery by target-selection strategy", opt);
+    const world w(world_cfg(opt));
+    const router_topology topo(w);
+    std::printf("router plant: %s interface addresses in total\n",
+                format_count(static_cast<double>(topo.interfaces().size())).c_str());
+
+    const daily_series series = w.series(kMar2015 - 7, kMar2015 + 7);
+    stability_analyzer an(series);
+    const stability_split split = an.classify_day(kMar2015, 3);
+    std::printf("3d-stable addresses available as targets: %s\n\n",
+                format_count(static_cast<double>(split.stable.size())).c_str());
+
+    // Probes run five days after target selection; targets that vanished
+    // by then never elicit their last-hop router.
+    const std::vector<address>& live = series.day(kMar2015 + 5);
+
+    for (const std::size_t budget : {1000ul, 5000ul, 20000ul}) {
+        const auto baseline = ipv4_style_targets(
+            topo.resolver_addresses(), series.day(kMar2015), budget, opt.seed);
+        const auto informed =
+            stable_informed_targets(split.stable, budget, opt.seed);
+        const auto base_found = topo.probe_campaign(baseline, live);
+        const auto informed_found = topo.probe_campaign(informed, live);
+        const double gain =
+            base_found.empty()
+                ? 0.0
+                : 100.0 * (static_cast<double>(informed_found.size()) /
+                               static_cast<double>(base_found.size()) -
+                           1.0);
+        std::printf(
+            "budget %6zu probes | IPv4-style: %5zu routers | 3d-stable: %5zu "
+            "routers | gain %+.0f%%\n",
+            budget, base_found.size(), informed_found.size(), gain);
+    }
+
+    std::puts(
+        "\npaper shape check: the 3d-stable strategy discovers well over\n"
+        "+100% more routers (paper: +129%, 1.8M additional). The mechanism:\n"
+        "probes toward vanished ephemeral addresses stop at aggregation and\n"
+        "never reveal last-hop edge routers; stable targets are still live.");
+    return 0;
+}

@@ -1,0 +1,61 @@
+// exp_stable_prefixes — the Section 7.2 proposal, implemented: discover
+// the longest stable prefixes of network identifiers by tracking EUI-64
+// beacons over time, and show they expose each operator's address plan.
+#include "bench_common.h"
+#include "v6class/analysis/format.h"
+#include "v6class/analysis/plan_recon.h"
+
+using namespace v6;
+using namespace v6::bench;
+
+int main(int argc, char** argv) {
+    const options opt = parse_options(argc, argv, 0.4);
+    banner("Section 7.2: longest stable prefixes from EUI-64 tracking", opt);
+    const world w(world_cfg(opt));
+    const int days = 45;
+
+    struct subject {
+        const char* label;
+        const network_model* model;
+        const char* expectation;
+    };
+    const subject subjects[] = {
+        {"JP ISP (static /48s)", &w.japan(),
+         "lengths pile up at 64: devices never leave their /64"},
+        {"EU ISP (renumber-on-demand)", &w.europe(),
+         "lengths pile up just above 40: bits 41.. churn"},
+        {"US mobile (dynamic pools)", &w.mobile1(),
+         "short lengths: /64s are pool slots, nothing deep is stable"},
+    };
+
+    for (const subject& s : subjects) {
+        plan_reconstructor recon;
+        for (int d = 0; d < days; ++d) {
+            std::vector<observation> obs;
+            s.model->day_activity(d, obs);
+            std::vector<address> addrs;
+            addrs.reserve(obs.size());
+            for (const observation& o : obs) addrs.push_back(o.addr);
+            recon.observe_day(addrs);
+        }
+        const auto hist = recon.length_histogram(2);
+        std::uint64_t devices = 0;
+        double weighted = 0;
+        unsigned mode = 0;
+        for (unsigned len = 0; len <= 128; ++len) {
+            devices += hist[len];
+            weighted += static_cast<double>(hist[len]) * len;
+            if (hist[len] > hist[mode]) mode = len;
+        }
+        std::printf("%-30s devices=%6s  mean-len=%5.1f  modal-len=/%u\n",
+                    s.label, format_count(static_cast<double>(devices)).c_str(),
+                    devices ? weighted / static_cast<double>(devices) : 0.0, mode);
+        std::printf("%-30s expectation: %s\n\n", "", s.expectation);
+    }
+
+    std::puts(
+        "shape check: the three practices separate cleanly by stable-prefix\n"
+        "length — a passive outside observer recovers where each operator's\n"
+        "stable network identifier ends, i.e. the address plan's boundary.");
+    return 0;
+}

@@ -1,0 +1,50 @@
+// fig2 — regenerates the paper's Figure 2: annotated MRA plots for a US
+// university (privacy addressing, sparse /64s) and a JP telco
+// (statically numbered, dense low blocks).
+#include "bench_common.h"
+#include "v6class/spatial/mra_plot.h"
+
+using namespace v6;
+using namespace v6::bench;
+
+namespace {
+
+std::vector<address> week_of(const network_model& m, int first_day) {
+    std::vector<observation> obs;
+    for (int d = first_day; d < first_day + 7; ++d) m.day_activity(d, obs);
+    std::vector<address> out;
+    out.reserve(obs.size());
+    for (const observation& o : obs) out.push_back(o.addr);
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const options opt = parse_options(argc, argv);
+    banner("Figure 2: MRA plots for two contrasting address plans", opt);
+    const world w(world_cfg(opt));
+
+    const mra_series univ = compute_mra(week_of(w.university(), kMar2015));
+    std::fputs(render_ascii(make_mra_plot(univ, "(a) US university"), 17).c_str(),
+               stdout);
+    std::printf(
+        "\n  signature checks: single-bit ratio at p=64 %.2f (plateau ~2),\n"
+        "  at p=70 %.2f (the cleared-u-bit notch), deep-IID tail %.2f (~1);\n"
+        "  nybble jump at p=32: %.2f vs %.2f at p=36.\n\n",
+        univ.ratio(64, 1), univ.ratio(70, 1), univ.ratio(124, 1),
+        univ.ratio(32, 4), univ.ratio(36, 4));
+
+    const mra_series telco = compute_mra(week_of(w.telco(), kMar2015));
+    std::fputs(render_ascii(make_mra_plot(telco, "(b) JP telco"), 17).c_str(),
+               stdout);
+    std::printf(
+        "\n  signature checks: 112-128 segment ratio %.1f (the prominence of\n"
+        "  tightly packed CPE blocks) vs 64-80 segment %.2f; such /112s are\n"
+        "  scannable 64K blocks.\n",
+        telco.ratio(112, 16), telco.ratio(64, 16));
+
+    std::puts("\nCSV series (for external plotting):");
+    std::fputs(to_csv(make_mra_plot(univ, "us-university")).c_str(), stdout);
+    return 0;
+}

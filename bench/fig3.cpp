@@ -1,0 +1,46 @@
+// fig3 — regenerates the paper's Figure 3: aggregate population CCDFs
+// for one week of addresses and /64s (32-, 48-, and 112-bit aggregates).
+#include "bench_common.h"
+#include "v6class/analysis/format.h"
+#include "v6class/analysis/reports.h"
+#include "v6class/spatial/population.h"
+
+using namespace v6;
+using namespace v6::bench;
+
+int main(int argc, char** argv) {
+    const options opt = parse_options(argc, argv);
+    banner("Figure 3: aggregate population distributions", opt);
+    const world w(world_cfg(opt));
+
+    const std::vector<address> addrs = week_addresses(w, kMar2015);
+    const std::vector<address> p64s = to_64s(addrs);
+    std::printf("one week of activity: %s addresses, %s /64s\n"
+                "(paper: 1.87B addrs, 358M /64s)\n\n",
+                format_count(static_cast<double>(addrs.size())).c_str(),
+                format_count(static_cast<double>(p64s.size())).c_str());
+
+    struct curve {
+        const char* label;
+        const std::vector<address>* elements;
+        unsigned agg;
+    };
+    const curve curves[] = {
+        {"32-agg. of IPv6 addrs", &addrs, 32}, {"32-agg. of /64s", &p64s, 32},
+        {"48-agg. of IPv6 addrs", &addrs, 48}, {"48-agg. of /64s", &p64s, 48},
+        {"112-agg. of IPv6 addrs", &addrs, 112},
+    };
+    for (const curve& c : curves) {
+        const auto ccdf = ccdf_of(aggregate_populations(*c.elements, c.agg));
+        std::printf("--- %s (%zu aggregates) ---\n", c.label, ccdf.size());
+        std::fputs(render_ccdf(ccdf, 14).c_str(), stdout);
+        std::printf("  P(pop >= 10) = %.6f   P(pop >= 1000) = %.6f\n\n",
+                    ccdf_at(ccdf, 10), ccdf_at(ccdf, 1000));
+    }
+
+    std::puts(
+        "paper shape checks: the 112-aggregate curve dies fastest (few /112s\n"
+        "hold 10+ addresses); the 32/48-aggregate curves carry a long heavy\n"
+        "tail — a small fraction of prefixes holds most addresses.");
+    return 0;
+}

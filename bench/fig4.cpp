@@ -1,0 +1,60 @@
+// fig4 — regenerates the paper's Figure 4: the daily active counts and
+// their overlap with two reference days (March 17 and March 23, 2015),
+// for full addresses (a) and /64 prefixes (b).
+#include "bench_common.h"
+#include "v6class/analysis/format.h"
+#include "v6class/temporal/stability.h"
+
+using namespace v6;
+using namespace v6::bench;
+
+namespace {
+
+void print_panel(const char* title, const daily_series& series, int from, int to,
+                 int ref_a, int ref_b) {
+    stability_analyzer an(series);
+    const auto overlap_a = an.overlap_series(ref_a, from, to);
+    const auto overlap_b = an.overlap_series(ref_b, from, to);
+    std::printf("%s\n", title);
+    std::printf("%-8s %14s %16s %16s\n", "day", "active", "overlap(ref A)",
+                "overlap(ref B)");
+    for (int d = from; d <= to; ++d) {
+        std::printf("%-8d %14s %16s %16s%s%s\n", d,
+                    format_count(static_cast<double>(series.count(d))).c_str(),
+                    format_count(static_cast<double>(
+                                     overlap_a[static_cast<std::size_t>(d - from)]))
+                        .c_str(),
+                    format_count(static_cast<double>(
+                                     overlap_b[static_cast<std::size_t>(d - from)]))
+                        .c_str(),
+                    d == ref_a ? "  <- ref A (Mar 17)" : "",
+                    d == ref_b ? "  <- ref B (Mar 23)" : "");
+    }
+    std::puts("");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const options opt = parse_options(argc, argv);
+    banner("Figure 4: stability time-series around March 2015", opt);
+    const world w(world_cfg(opt));
+
+    // The paper's x axis runs March 10 .. March 30.
+    const int from = kMar2015 - 7;
+    const int to = kMar2015 + 13;
+    const int ref_a = kMar2015;      // March 17
+    const int ref_b = kMar2015 + 6;  // March 23
+    std::printf("simulating days %d..%d...\n\n", from, to);
+    const daily_series addrs = w.series(from, to);
+    print_panel("(a) IPv6 address stability", addrs, from, to, ref_a, ref_b);
+    print_panel("(b) /64 prefix stability", addrs.project(64), from, to, ref_a,
+                ref_b);
+
+    std::puts(
+        "paper shape checks: overlap with the reference day drops steeply —\n"
+        "stepwise — with distance (one day out retains a modest fraction of\n"
+        "addresses), roughly symmetrically before/after; /64 overlap decays\n"
+        "far more slowly than address overlap.");
+    return 0;
+}

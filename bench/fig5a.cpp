@@ -1,0 +1,80 @@
+// fig5a — regenerates the paper's Figure 5a: CCDFs across ASNs of the
+// counts of active addresses, active /64s, EUI-64 addresses, and
+// 6-month-stable /64s.
+#include <map>
+
+#include "bench_common.h"
+#include "v6class/addrtype/classify.h"
+#include "v6class/analysis/format.h"
+#include "v6class/analysis/reports.h"
+#include "v6class/spatial/population.h"
+#include "v6class/temporal/stability.h"
+
+using namespace v6;
+using namespace v6::bench;
+
+int main(int argc, char** argv) {
+    const options opt = parse_options(argc, argv);
+    banner("Figure 5a: per-ASN count distributions", opt);
+    const world w(world_cfg(opt));
+
+    const auto now_week = week_addresses(w, kMar2015);
+    const auto past_week = week_addresses(w, kSep2014);
+    const auto stable_64s = epoch_stable(to_64s(now_week), to_64s(past_week));
+
+    std::map<std::uint32_t, std::uint64_t> addrs_per_asn, p64s_per_asn,
+        eui_per_asn, stable64_per_asn;
+    {
+        const auto groups = group_by_asn(w.registry(), now_week);
+        for (const auto& [asn, list] : groups) {
+            addrs_per_asn[asn] = list.size();
+            p64s_per_asn[asn] = to_64s(list).size();
+            std::uint64_t eui = 0;
+            for (const address& a : list)
+                if (is_eui64(a)) ++eui;
+            if (eui) eui_per_asn[asn] = eui;
+        }
+        for (const auto& [asn, list] : group_by_asn(w.registry(), stable_64s))
+            stable64_per_asn[asn] = list.size();
+    }
+
+    const auto emit = [](const char* label,
+                         const std::map<std::uint32_t, std::uint64_t>& counts) {
+        std::vector<std::uint64_t> samples;
+        std::uint64_t max = 0;
+        for (const auto& [asn, c] : counts) {
+            samples.push_back(c);
+            max = std::max(max, c);
+        }
+        std::printf("--- %s (%zu ASNs, max %s) ---\n", label, samples.size(),
+                    format_count(static_cast<double>(max)).c_str());
+        std::fputs(render_ccdf(ccdf_of(std::move(samples)), 12).c_str(), stdout);
+        std::puts("");
+    };
+    emit("active addresses per ASN", addrs_per_asn);
+    emit("active /64s per ASN", p64s_per_asn);
+    emit("active EUI-64 addresses per ASN", eui_per_asn);
+    emit("active 6-month-stable /64s per ASN", stable64_per_asn);
+
+    // The paper's headline concentration figure: "74% of the /64s
+    // observed as active during two weeks separated by 6 months are
+    // associated with just 1 ASN."
+    std::uint64_t top = 0, all = 0;
+    for (const auto& [asn, c] : stable64_per_asn) {
+        top = std::max(top, c);
+        all += c;
+    }
+    std::printf("top ASN holds %s of the 6-month-stable /64s (paper: 74%%;\n"
+                "our world is deliberately less mobile-dominated, so the\n"
+                "plurality is smaller — concentration direction preserved)\n\n",
+                format_pct(all ? static_cast<double>(top) /
+                                     static_cast<double>(all)
+                               : 0)
+                    .c_str());
+
+    std::puts(
+        "paper shape checks: one exceptional ASN dominates the address count\n"
+        "(the mobile carrier, 500M in the paper); most 6-month-stable /64s\n"
+        "concentrate in a few ASNs — the long-lived /64s live in few networks.");
+    return 0;
+}

@@ -1,0 +1,40 @@
+// fig5b — regenerates the paper's Figure 5b: the distribution of 16-bit
+// segment MRA count ratios across all BGP prefixes, as box plots
+// (median, middle 50%, middle 90%, whiskers to the extremes).
+#include "bench_common.h"
+#include "v6class/analysis/format.h"
+#include "v6class/analysis/reports.h"
+
+using namespace v6;
+using namespace v6::bench;
+
+int main(int argc, char** argv) {
+    const options opt = parse_options(argc, argv);
+    banner("Figure 5b: 16-bit segment aggregation across BGP prefixes", opt);
+    const world w(world_cfg(opt));
+
+    const auto week = week_addresses(w, kMar2015);
+    const auto groups = group_by_bgp_prefix(w.registry(), week);
+    std::printf("%zu BGP prefixes with active clients (paper: 6.87K)\n\n",
+                groups.size());
+
+    const auto dist = segment_ratio_distribution(groups);
+    text_table table({"segment", "min", "p5", "p25", "median", "p75", "p95",
+                      "max"});
+    for (std::size_t seg = 0; seg < dist.size(); ++seg) {
+        const boxplot_summary& s = dist[seg];
+        table.add_row({std::to_string(seg * 16) + "-" + std::to_string(seg * 16 + 16),
+                       format_fixed(s.min, 2), format_fixed(s.p5, 2),
+                       format_fixed(s.p25, 2), format_fixed(s.median, 2),
+                       format_fixed(s.p75, 2), format_fixed(s.p95, 2),
+                       format_fixed(s.max, 1)});
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+
+    std::puts(
+        "\npaper shape checks: most aggregation falls in the three segments\n"
+        "between bits 32 and 80; the 0-16 and 16-32 segments are flat\n"
+        "(medians ~1); a visible upper quartile in the 112-128 segment marks\n"
+        "the prefixes with dense low blocks (the Figure 5g kind).");
+    return 0;
+}

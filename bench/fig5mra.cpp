@@ -1,0 +1,80 @@
+// fig5mra — regenerates the paper's Figures 5c..5h: MRA plots for the
+// whole native client population, the 6to4 clients, and four contrasting
+// operator networks, with the signature metrics the paper reads off each.
+#include "bench_common.h"
+#include "v6class/spatial/mra_plot.h"
+
+using namespace v6;
+using namespace v6::bench;
+
+namespace {
+
+std::vector<address> week_of(const network_model& m, int first_day) {
+    std::vector<observation> obs;
+    for (int d = first_day; d < first_day + 7; ++d) m.day_activity(d, obs);
+    std::vector<address> out;
+    out.reserve(obs.size());
+    for (const observation& o : obs) out.push_back(o.addr);
+    return out;
+}
+
+mra_series show(const char* title, std::vector<address> addrs) {
+    const mra_series mra = compute_mra(std::move(addrs));
+    std::fputs(render_ascii(make_mra_plot(mra, title), 17).c_str(), stdout);
+    std::puts("");
+    return mra;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const options opt = parse_options(argc, argv);
+    banner("Figures 5c-5h: MRA plots across the active address space", opt);
+    const world w(world_cfg(opt));
+    const int day = kMar2015;
+
+    std::vector<address> native, six_to_four;
+    for (int d = day; d < day + 7; ++d) {
+        for (const address& a : w.active_addresses(d)) {
+            if (is_6to4(a))
+                six_to_four.push_back(a);
+            else if (!is_teredo(a) && !is_isatap(a))
+                native.push_back(a);
+        }
+    }
+
+    const mra_series all = show("(c) all native IPv6 clients", std::move(native));
+    std::printf("  check: more aggregation in bits 32-64 than 0-32 "
+                "(gamma16: %.1f/%.1f vs %.1f/%.1f)\n\n",
+                all.ratio(32, 16), all.ratio(48, 16), all.ratio(0, 16),
+                all.ratio(16, 16));
+
+    const mra_series s64 = show("(d) 6to4 clients", std::move(six_to_four));
+    std::printf("  check: the embedded IPv4 address dominates bits 16-48 "
+                "(gamma16 at 16: %.1f, at 32: %.1f)\n\n",
+                s64.ratio(16, 16), s64.ratio(32, 16));
+
+    const mra_series mob = show("(e) US mobile carrier", week_of(w.mobile1(), day));
+    std::printf("  check: the 44-64 pool segment near-saturated over a week "
+                "(gamma16 at 48: %.0f of 65536 max)\n\n",
+                mob.ratio(48, 16));
+
+    const mra_series eu = show("(f) European ISP prefix", week_of(w.europe(), day));
+    std::printf("  check: heavy use of bits 40-64 (gamma16 at 48: %.1f); "
+                "pseudorandom field visible as near-2 bit ratios at 41.. "
+                "(gamma1 at 44: %.2f)\n\n",
+                eu.ratio(48, 16), eu.ratio(44, 1));
+
+    const mra_series dept =
+        show("(g) EU university department /64", week_of(w.department(), day));
+    std::printf("  check: aggregation concentrated at 72-80 and 112-128 "
+                "(gamma1 at 76: %.2f; gamma16 at 112: %.1f), none in 80-112 "
+                "(gamma16 at 96: %.2f)\n\n",
+                dept.ratio(76, 1), dept.ratio(112, 16), dept.ratio(96, 16));
+
+    const mra_series jp = show("(h) Japanese ISP prefix", week_of(w.japan(), day));
+    std::printf("  check: flat 48-64 segment (gamma16 at 48: %.2f — 'seemingly "
+                "no aggregation') with busy 24-48.\n",
+                jp.ratio(48, 16));
+    return 0;
+}

@@ -1,0 +1,219 @@
+// micro_substrate — google-benchmark microbenchmarks for the substrate
+// operations, including the DESIGN.md ablations: trie densify vs the
+// paper's footnote-3 sort-cut-uniq recipe, and MRA from a sorted array
+// vs from a trie.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "v6class/addrtype/classify.h"
+#include "v6class/addrtype/malone.h"
+#include "v6class/netgen/iid.h"
+#include "v6class/netgen/rng.h"
+#include "v6class/spatial/mra.h"
+#include "v6class/temporal/observation_store.h"
+#include "v6class/temporal/stability.h"
+#include "v6class/trie/aguri_profiler.h"
+#include "v6class/trie/prefix_map.h"
+#include "v6class/trie/radix_tree.h"
+
+namespace {
+
+using namespace v6;
+
+std::vector<address> make_addresses(std::size_t n, std::uint64_t seed) {
+    rng r{seed};
+    std::vector<address> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t hi = 0x20010db800000000ull | r.uniform(1u << 14);
+        const std::uint64_t lo =
+            r.chance(0.6) ? privacy_iid(r()) : r.uniform(1u << 12);
+        out.push_back(address::from_pair(hi, lo));
+    }
+    return out;
+}
+
+void BM_parse(benchmark::State& state) {
+    const std::string text = "2001:db8:4137:9e76:3031:f3fd:bbdd:2c2a";
+    for (auto _ : state) benchmark::DoNotOptimize(address::parse(text));
+}
+BENCHMARK(BM_parse);
+
+void BM_parse_compressed(benchmark::State& state) {
+    const std::string text = "2001:db8::10:901";
+    for (auto _ : state) benchmark::DoNotOptimize(address::parse(text));
+}
+BENCHMARK(BM_parse_compressed);
+
+void BM_format(benchmark::State& state) {
+    const address a = address::must_parse("2001:db8::10:901");
+    for (auto _ : state) benchmark::DoNotOptimize(a.to_string());
+}
+BENCHMARK(BM_format);
+
+void BM_classify(benchmark::State& state) {
+    const auto addrs = make_addresses(1024, 1);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(classify(addrs[i++ & 1023]));
+    }
+}
+BENCHMARK(BM_classify);
+
+void BM_malone_classify(benchmark::State& state) {
+    const auto addrs = make_addresses(1024, 2);
+    std::size_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(malone_classify(addrs[i++ & 1023]));
+}
+BENCHMARK(BM_malone_classify);
+
+void BM_trie_insert(benchmark::State& state) {
+    const auto addrs = make_addresses(static_cast<std::size_t>(state.range(0)), 3);
+    for (auto _ : state) {
+        radix_tree t;
+        for (const address& a : addrs) t.add(a);
+        benchmark::DoNotOptimize(t.total());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_trie_insert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_dense_via_trie(benchmark::State& state) {
+    const auto addrs = make_addresses(static_cast<std::size_t>(state.range(0)), 4);
+    radix_tree t;
+    for (const address& a : addrs) t.add(a);
+    for (auto _ : state) benchmark::DoNotOptimize(t.dense_prefixes_at(2, 112));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_dense_via_trie)->Arg(10000)->Arg(100000);
+
+void BM_dense_via_sort(benchmark::State& state) {
+    const auto addrs = make_addresses(static_cast<std::size_t>(state.range(0)), 4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dense_prefixes_by_sort(addrs, 2, 112));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_dense_via_sort)->Arg(10000)->Arg(100000);
+
+void BM_densify_general(benchmark::State& state) {
+    const auto addrs = make_addresses(static_cast<std::size_t>(state.range(0)), 5);
+    radix_tree t;
+    for (const address& a : addrs) t.add(a);
+    for (auto _ : state) benchmark::DoNotOptimize(t.densify(2, 112));
+}
+BENCHMARK(BM_densify_general)->Arg(10000)->Arg(100000);
+
+void BM_mra_from_sorted(benchmark::State& state) {
+    auto addrs = make_addresses(static_cast<std::size_t>(state.range(0)), 6);
+    std::sort(addrs.begin(), addrs.end());
+    addrs.erase(std::unique(addrs.begin(), addrs.end()), addrs.end());
+    for (auto _ : state) benchmark::DoNotOptimize(compute_mra_sorted(addrs));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_mra_from_sorted)->Arg(10000)->Arg(100000);
+
+void BM_mra_from_trie(benchmark::State& state) {
+    const auto addrs = make_addresses(static_cast<std::size_t>(state.range(0)), 6);
+    radix_tree t;
+    for (const address& a : addrs) t.add(a);
+    for (auto _ : state) benchmark::DoNotOptimize(compute_mra_from_trie(t));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_mra_from_trie)->Arg(10000)->Arg(100000);
+
+void BM_aguri_observe(benchmark::State& state) {
+    const auto addrs = make_addresses(100000, 7);
+    for (auto _ : state) {
+        aguri_profiler prof(4096, 0.01);
+        for (const address& a : addrs) prof.observe(a);
+        benchmark::DoNotOptimize(prof.total());
+    }
+    state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_aguri_observe);
+
+void BM_stability_classify(benchmark::State& state) {
+    rng r{8};
+    daily_series series;
+    const std::size_t per_day = static_cast<std::size_t>(state.range(0));
+    for (int day = 0; day < 15; ++day) {
+        std::vector<address> active;
+        active.reserve(per_day);
+        for (std::size_t i = 0; i < per_day; ++i) {
+            // 20% recurring population, 80% fresh privacy addresses.
+            if (r.chance(0.2))
+                active.push_back(
+                    address::from_pair(0x20010db800000000ull, r.uniform(per_day)));
+            else
+                active.push_back(
+                    address::from_pair(0x20010db800000000ull | r.uniform(1024),
+                                       privacy_iid(r())));
+        }
+        series.set_day(day, std::move(active));
+    }
+    stability_analyzer an(series);
+    for (auto _ : state) benchmark::DoNotOptimize(an.classify_day(7, 3));
+    state.SetItemsProcessed(state.iterations() * per_day);
+}
+BENCHMARK(BM_stability_classify)->Arg(10000)->Arg(100000);
+
+void BM_prefix_map_lpm(benchmark::State& state) {
+    prefix_map<std::uint32_t> table;
+    rng r{9};
+    for (int i = 0; i < 4096; ++i) {
+        const address base =
+            address::from_pair(0x2000000000000000ull | (r() >> 4), 0);
+        table.insert(prefix{base, 16 + static_cast<unsigned>(r.uniform(48))},
+                     static_cast<std::uint32_t>(i));
+    }
+    const auto probes = make_addresses(1024, 10);
+    std::size_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(table.longest_match(probes[i++ & 1023]));
+}
+BENCHMARK(BM_prefix_map_lpm);
+
+void BM_observation_store_ingest(benchmark::State& state) {
+    // 15 days of churn: the streaming-ingest half of DESIGN ablation #3.
+    const std::size_t per_day = static_cast<std::size_t>(state.range(0));
+    std::vector<std::vector<address>> days;
+    rng r{11};
+    for (int d = 0; d < 15; ++d) {
+        std::vector<address> active;
+        active.reserve(per_day);
+        for (std::size_t i = 0; i < per_day; ++i) {
+            if (r.chance(0.2))
+                active.push_back(
+                    address::from_pair(0x20010db800000000ull, r.uniform(per_day)));
+            else
+                active.push_back(address::from_pair(
+                    0x20010db800000000ull | r.uniform(1024), privacy_iid(r())));
+        }
+        days.push_back(std::move(active));
+    }
+    for (auto _ : state) {
+        observation_store store;
+        for (int d = 0; d < 15; ++d) store.record_day(d, days[static_cast<std::size_t>(d)]);
+        benchmark::DoNotOptimize(store.stability_spectrum(14));
+    }
+    state.SetItemsProcessed(state.iterations() * 15 * per_day);
+}
+BENCHMARK(BM_observation_store_ingest)->Arg(10000)->Arg(50000);
+
+void BM_address_sort_unique(benchmark::State& state) {
+    const auto addrs = make_addresses(static_cast<std::size_t>(state.range(0)), 12);
+    for (auto _ : state) {
+        auto copy = addrs;
+        std::sort(copy.begin(), copy.end());
+        copy.erase(std::unique(copy.begin(), copy.end()), copy.end());
+        benchmark::DoNotOptimize(copy.size());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_address_sort_unique)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

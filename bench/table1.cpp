@@ -1,0 +1,40 @@
+// table1 — regenerates the paper's Table 1: active IPv6 WWW client
+// address characteristics per day (a) and per week (b), at the three
+// measurement epochs March 2014 / September 2014 / March 2015.
+#include "bench_common.h"
+#include "v6class/analysis/reports.h"
+
+using namespace v6;
+using namespace v6::bench;
+
+int main(int argc, char** argv) {
+    const options opt = parse_options(argc, argv);
+    banner("Table 1: active IPv6 WWW client address characteristics", opt);
+    const world w(world_cfg(opt));
+
+    std::puts("(a) Address characteristics per day");
+    std::vector<table1_column> daily;
+    daily.push_back(build_table1_column("Mar 17, 2014",
+                                        w.active_addresses(kMar2014)));
+    daily.push_back(build_table1_column("Sep 17, 2014",
+                                        w.active_addresses(kSep2014)));
+    daily.push_back(build_table1_column("Mar 17, 2015",
+                                        w.active_addresses(kMar2015)));
+    std::fputs(render_table1(daily).c_str(), stdout);
+
+    std::puts("\n(b) Address characteristics per week");
+    std::vector<table1_column> weekly;
+    weekly.push_back(
+        build_table1_column("Mar 17-23, 2014", week_addresses(w, kMar2014)));
+    weekly.push_back(
+        build_table1_column("Sep 17-23, 2014", week_addresses(w, kSep2014)));
+    weekly.push_back(
+        build_table1_column("Mar 17-23, 2015", week_addresses(w, kMar2015)));
+    std::fputs(render_table1(weekly).c_str(), stdout);
+
+    std::puts(
+        "\npaper shape checks: Other >90% and growing; 6to4 share declining\n"
+        "(~8% -> ~4%); Teredo/ISATAP vestigial; weekly addrs-per-/64 above\n"
+        "daily; EUI-64 share ~1-2% and declining.");
+    return 0;
+}

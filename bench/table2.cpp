@@ -1,0 +1,116 @@
+// table2 — regenerates the paper's Table 2: stability of active IPv6
+// WWW client addresses and /64 prefixes (not 6to4 or Teredo), per day
+// and per week, with 6-month and 1-year epoch stability.
+#include "bench_common.h"
+#include "v6class/analysis/reports.h"
+#include "v6class/temporal/stability.h"
+
+using namespace v6;
+using namespace v6::bench;
+
+namespace {
+
+// The daily series of native ("Other") addresses around an epoch.
+daily_series native_series(const world& w, int from, int to) {
+    daily_series out;
+    for (int d = from; d <= to; ++d)
+        out.set_day(d, cull_transition(w.active_addresses(d)).other);
+    return out;
+}
+
+struct epoch_data {
+    daily_series addrs;   // native addresses, ref-7 .. ref+13
+    daily_series p64s;    // the same projected to /64
+};
+
+epoch_data make_epoch(const world& w, int ref) {
+    epoch_data e;
+    e.addrs = native_series(w, ref - 7, ref + 13);
+    e.p64s = e.addrs.project(64);
+    return e;
+}
+
+std::vector<address> week_union(const daily_series& s, int first) {
+    return s.union_over(first, first + 6);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const options opt = parse_options(argc, argv);
+    banner("Table 2: stability of addresses and /64 prefixes", opt);
+    const world w(world_cfg(opt));
+
+    std::printf("simulating three epochs (day windows around %d, %d, %d)...\n\n",
+                kMar2014, kSep2014, kMar2015);
+    const epoch_data mar14 = make_epoch(w, kMar2014);
+    const epoch_data sep14 = make_epoch(w, kSep2014);
+    const epoch_data mar15 = make_epoch(w, kMar2015);
+
+    struct spec {
+        const char* daily_label;
+        const char* weekly_label;
+        const epoch_data* data;
+        int ref;
+        const epoch_data* back_6m;  // nullptr when no -6m epoch
+        int ref_6m;
+        const epoch_data* back_1y;
+        int ref_1y;
+    };
+    const spec specs[] = {
+        {"Mar 17, 2014", "Mar 17-23, 2014", &mar14, kMar2014, nullptr, 0, nullptr, 0},
+        {"Sep 17, 2014", "Sep 17-23, 2014", &sep14, kSep2014, &mar14, kMar2014,
+         nullptr, 0},
+        {"Mar 17, 2015", "Mar 17-23, 2015", &mar15, kMar2015, &sep14, kSep2014,
+         &mar14, kMar2014},
+    };
+
+    const auto build = [&](bool use_64s, bool weekly) {
+        std::vector<stability_column> cols;
+        for (const spec& s : specs) {
+            const daily_series& series = use_64s ? s.data->p64s : s.data->addrs;
+            stability_analyzer an(series);
+            stability_column col;
+            col.label = weekly ? s.weekly_label : s.daily_label;
+            const stability_split split = weekly ? an.classify_week(s.ref, 3)
+                                                 : an.classify_day(s.ref, 3);
+            col.stable_3d = split.stable.size();
+            col.not_stable_3d = split.not_stable.size();
+            const auto current = weekly ? week_union(series, s.ref)
+                                        : series.day(s.ref);
+            if (s.back_6m) {
+                const daily_series& past =
+                    use_64s ? s.back_6m->p64s : s.back_6m->addrs;
+                const auto past_set = weekly ? week_union(past, s.ref_6m)
+                                             : past.day(s.ref_6m);
+                col.stable_6m = epoch_stable(current, past_set).size();
+                col.has_6m = true;
+            }
+            if (s.back_1y) {
+                const daily_series& past =
+                    use_64s ? s.back_1y->p64s : s.back_1y->addrs;
+                const auto past_set = weekly ? week_union(past, s.ref_1y)
+                                             : past.day(s.ref_1y);
+                col.stable_1y = epoch_stable(current, past_set).size();
+                col.has_1y = true;
+            }
+            cols.push_back(std::move(col));
+        }
+        return cols;
+    };
+
+    std::puts("(a) Stability of IPv6 addresses per day");
+    std::fputs(render_table2(build(false, false), "addr").c_str(), stdout);
+    std::puts("\n(b) Stability of /64 prefixes per day");
+    std::fputs(render_table2(build(true, false), "/64").c_str(), stdout);
+    std::puts("\n(c) Stability of IPv6 addresses per week");
+    std::fputs(render_table2(build(false, true), "addr").c_str(), stdout);
+    std::puts("\n(d) Stability of /64 prefixes per week");
+    std::fputs(render_table2(build(true, true), "/64").c_str(), stdout);
+
+    std::puts(
+        "\npaper shape checks: ~9% of addresses 3d-stable vs ~90% of /64s;\n"
+        "weekly stable shares lower than daily; 6m/1y-stable addresses rare\n"
+        "(<1%) while 6m/1y-stable /64s are plentiful (tens of %).");
+    return 0;
+}

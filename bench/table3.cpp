@@ -1,0 +1,55 @@
+// table3 — regenerates the paper's Table 3: dense prefixes identified at
+// various density classes over the router-address dataset, plus the
+// closing Section 6.2.2 figures for WWW client addresses.
+#include "bench_common.h"
+#include "v6class/analysis/format.h"
+#include "v6class/analysis/reports.h"
+#include "v6class/routersim/topology.h"
+#include "v6class/spatial/density.h"
+
+using namespace v6;
+using namespace v6::bench;
+
+int main(int argc, char** argv) {
+    const options opt = parse_options(argc, argv);
+    banner("Table 3: dense prefixes at various density classes", opt);
+    const world w(world_cfg(opt));
+    const router_topology topo(w);
+
+    std::printf("router dataset: %s interface addresses (paper: 3.2M)\n\n",
+                format_count(static_cast<double>(topo.interfaces().size())).c_str());
+    radix_tree routers;
+    for (const address& a : topo.interfaces()) routers.add(a);
+
+    const std::vector<std::pair<std::uint64_t, unsigned>> classes{
+        {2, 124}, {3, 120}, {2, 120}, {2, 116}, {64, 112}, {32, 112},
+        {16, 112}, {8, 112}, {4, 112}, {2, 112}, {2, 108}, {2, 104},
+    };
+    std::fputs(render_table3(compute_density_table(routers, classes), "Router")
+                   .c_str(),
+               stdout);
+
+    // Section 6.2.2's closing experiment: the same machinery on the
+    // active WWW clients of one day.
+    const auto clients = cull_transition(w.active_addresses(kMar2015)).other;
+    radix_tree client_tree;
+    for (const address& a : clients) client_tree.add(a);
+    const auto dense = client_tree.dense_prefixes_at(2, 112);
+    std::uint64_t covered = 0;
+    for (const auto& d : dense) covered += d.observed;
+    const long double possible =
+        static_cast<long double>(dense.size()) * 65536.0L;
+    std::printf(
+        "\nWWW clients (Mar 17, 2015): %s 2@/112-dense prefixes, %s client\n"
+        "addresses covered, %s possible scan targets (paper: 128K prefixes,\n"
+        "1.38M clients, 8.39B possible).\n",
+        format_count(static_cast<double>(dense.size())).c_str(),
+        format_count(static_cast<double>(covered)).c_str(),
+        format_count(static_cast<double>(possible)).c_str());
+
+    std::puts(
+        "\npaper shape checks: raising n (at fixed /112) shrinks the dense\n"
+        "set but raises per-prefix density; widening p multiplies possible\n"
+        "addresses far faster than covered ones, collapsing density.");
+    return 0;
+}

@@ -1,0 +1,73 @@
+// addr_plan_recon — reverse-engineer operator address plans from the
+// outside, by tracking persistent EUI-64 interface identifiers over time
+// (the paper's Section 7.2 "longest stable prefixes" proposal).
+//
+//   ./examples/addr_plan_recon [days] [scale]
+#include <cstdio>
+#include <cstdlib>
+
+#include "v6class/analysis/format.h"
+#include "v6class/analysis/plan_recon.h"
+#include "v6class/cdnsim/world.h"
+
+using namespace v6;
+
+namespace {
+
+void report(const char* label, const network_model& model, int days) {
+    plan_reconstructor recon;
+    for (int d = 0; d < days; ++d) {
+        std::vector<observation> obs;
+        model.day_activity(d, obs);
+        std::vector<address> addrs;
+        addrs.reserve(obs.size());
+        for (const observation& o : obs) addrs.push_back(o.addr);
+        recon.observe_day(addrs);
+    }
+    const auto hist = recon.length_histogram(2);
+    std::uint64_t devices = 0;
+    double weighted = 0;
+    for (unsigned len = 0; len <= 128; ++len) {
+        devices += hist[len];
+        weighted += static_cast<double>(hist[len]) * len;
+    }
+    std::printf("\n%s — %llu EUI-64 devices seen on 2+ days\n", label,
+                static_cast<unsigned long long>(devices));
+    if (devices == 0) return;
+    std::printf("  mean stable-prefix length: %.1f bits\n",
+                weighted / static_cast<double>(devices));
+    std::printf("  length histogram (len: devices): ");
+    for (unsigned len = 0; len <= 128; ++len)
+        if (hist[len]) std::printf("/%u:%llu ", len,
+                                   static_cast<unsigned long long>(hist[len]));
+    std::puts("");
+    const auto aggregates = recon.longest_stable_prefixes(2, 2);
+    std::printf("  aggregates agreed on by 2+ devices: %zu", aggregates.size());
+    if (!aggregates.empty())
+        std::printf(" (top: %s with %llu devices)",
+                    aggregates.front().pfx.to_string().c_str(),
+                    static_cast<unsigned long long>(aggregates.front().devices));
+    std::puts("");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const int days = argc > 1 ? std::atoi(argv[1]) : 45;
+    world_config cfg;
+    cfg.scale = argc > 2 ? std::atof(argv[2]) : 0.4;
+    const world w(cfg);
+
+    std::printf("tracking EUI-64 beacons across %d simulated days...\n", days);
+    report("Japanese ISP (static per-subscriber /48s)", w.japan(), days);
+    report("European ISP (on-demand pseudorandom renumbering)", w.europe(), days);
+    report("US mobile carrier (dynamic /64 pools)", w.mobile1(), days);
+
+    std::puts("\nreading the fingerprints:");
+    std::puts("  length ~64: devices never move /64s -> static assignment.");
+    std::puts("  length stuck near a field boundary (e.g. ~41): everything");
+    std::puts("    beyond that bit churns -> a renumbered/dynamic field starts");
+    std::puts("    there, exposing the operator's address plan from outside.");
+    std::puts("  length near the BGP prefix: fully dynamic pools.");
+    return 0;
+}

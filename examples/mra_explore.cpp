@@ -1,0 +1,81 @@
+// mra_explore — tour the simulated Internet's networks through MRA plots.
+//
+// Regenerates the address sets of the flagship operator models over a
+// simulated week and renders each network's Multi-Resolution Aggregate
+// plot, the way the paper explores Figures 2 and 5.
+//
+//   ./examples/mra_explore [network] [scale]
+//
+// network: all | 6to4 | us-mobile | eu-isp | jp-isp | us-univ | jp-telco
+//          | dept   (default: a tour of all of them)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "v6class/cdnsim/world.h"
+#include "v6class/spatial/mra_plot.h"
+
+using namespace v6;
+
+namespace {
+
+std::vector<address> week_of(const network_model& model, int first_day) {
+    std::vector<observation> obs;
+    for (int d = first_day; d < first_day + 7; ++d) model.day_activity(d, obs);
+    std::vector<address> addrs;
+    addrs.reserve(obs.size());
+    for (const observation& o : obs) addrs.push_back(o.addr);
+    return addrs;
+}
+
+void show(const std::string& title, std::vector<address> addrs) {
+    std::fputs(render_ascii(make_mra_plot(compute_mra(std::move(addrs)), title), 17)
+                   .c_str(),
+               stdout);
+    std::puts("");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string which = argc > 1 ? argv[1] : "all-networks";
+    world_config cfg;
+    cfg.scale = argc > 2 ? std::atof(argv[2]) : 0.4;
+    const world w(cfg);
+    const int day = kMar2015;
+
+    const auto wants = [&](const char* name) {
+        return which == "all-networks" || which == name;
+    };
+
+    if (wants("all")) {
+        // Everything the CDN saw in a week, split as in Figures 5c/5d.
+        std::vector<address> native, six_to_four;
+        for (int d = day; d < day + 7; ++d) {
+            for (const address& a : w.active_addresses(d)) {
+                if (is_6to4(a))
+                    six_to_four.push_back(a);
+                else if (!is_teredo(a) && !is_isatap(a))
+                    native.push_back(a);
+            }
+        }
+        show("All native IPv6 WWW clients, one week (Fig 5c)", std::move(native));
+        show("6to4 clients, one week (Fig 5d)", std::move(six_to_four));
+    }
+    if (wants("us-mobile"))
+        show("US mobile carrier (Fig 5e)", week_of(w.mobile1(), day));
+    if (wants("eu-isp"))
+        show("European ISP with on-demand renumbering (Fig 5f)",
+             week_of(w.europe(), day));
+    if (wants("jp-isp"))
+        show("Japanese ISP with static /48s (Fig 5h)", week_of(w.japan(), day));
+    if (wants("us-univ"))
+        show("US university (Fig 2a)", week_of(w.university(), day));
+    if (wants("jp-telco"))
+        show("JP telco with statically numbered CPE (Fig 2b)",
+             week_of(w.telco(), day));
+    if (wants("dept"))
+        show("EU university department /64 (Fig 5g)", week_of(w.department(), day));
+    return 0;
+}

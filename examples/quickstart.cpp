@@ -1,0 +1,83 @@
+// quickstart — a five-minute tour of libv6class.
+//
+// Parses a handful of addresses, classifies them by content, runs the
+// temporal (stability) classifier over a tiny hand-made observation
+// schedule, and finishes with the spatial classifiers: dense prefixes
+// and an MRA plot.
+//
+//   ./examples/quickstart
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "v6class/addrtype/classify.h"
+#include "v6class/addrtype/malone.h"
+#include "v6class/spatial/density.h"
+#include "v6class/spatial/mra_plot.h"
+#include "v6class/temporal/stability.h"
+#include "v6class/trie/radix_tree.h"
+
+using namespace v6;
+
+int main() {
+    std::puts("== 1. content classification (the paper's Figure 1 samples) ==");
+    const std::vector<std::string> samples{
+        "2001:db8:10:1::103",
+        "2001:db8:167:1109::10:901",
+        "2001:db8:0:1cdf:21e:c2ff:fec0:11db",
+        "2001:db8:4137:9e76:3031:f3fd:bbdd:2c2a",
+        "2002:c000:221::1",
+        "2001:0:4136:e378:8000:63bf:3fff:fdd2",
+    };
+    for (const std::string& text : samples) {
+        const address a = address::must_parse(text);
+        const classification c = classify(a);
+        std::printf("  %-42s transition=%-7s iid=%-13s malone=%s\n",
+                    a.to_string().c_str(), std::string(to_string(c.transition)).c_str(),
+                    std::string(to_string(c.iid)).c_str(),
+                    std::string(to_string(malone_classify(a))).c_str());
+        if (c.mac)
+            std::printf("    EUI-64 decodes to MAC %s\n", c.mac->to_string().c_str());
+    }
+
+    std::puts("\n== 2. temporal classification ==");
+    // A privacy address appears once; a server appears every day.
+    daily_series series;
+    const address server = address::must_parse("2001:db8::80");
+    for (int day = 0; day < 15; ++day) {
+        std::vector<address> active{server};
+        active.push_back(address::from_pair(0x20010db800000001ull,
+                                            0x1111222233330000ull + day));
+        series.set_day(day, std::move(active));
+    }
+    stability_analyzer analyzer(series);
+    const stability_split split = analyzer.classify_day(7, 3);
+    std::printf("  day 7 actives: %zu; 3d-stable (-7d,+7d): %zu; not: %zu\n",
+                series.count(7), split.stable.size(), split.not_stable.size());
+    for (const address& a : split.stable)
+        std::printf("    stable: %s\n", a.to_string().c_str());
+
+    std::puts("\n== 3. spatial classification ==");
+    radix_tree tree;
+    std::vector<address> everyone;
+    for (unsigned host = 1; host <= 20; ++host) {  // a dense DHCP block
+        everyone.push_back(address::from_pair(0x20010db800000002ull, 0x1000 + host));
+        tree.add(everyone.back());
+    }
+    everyone.push_back(address::must_parse("2001:db8:ffff::1"));  // a loner
+    tree.add(everyone.back());
+    for (const dense_prefix& d : tree.dense_prefixes_at(2, 112))
+        std::printf("  2@/112-dense: %s holds %llu active addresses\n",
+                    d.pfx.to_string().c_str(),
+                    static_cast<unsigned long long>(d.observed));
+    const auto targets = expand_scan_targets(tree.densify(2, 112), 32);
+    std::printf("  first scan targets from densify: %s .. %s (%zu shown)\n",
+                targets.front().to_string().c_str(),
+                targets.back().to_string().c_str(), targets.size());
+
+    std::puts("\n== 4. the MRA plot ==");
+    std::fputs(render_ascii(make_mra_plot(compute_mra(everyone), "quickstart set"), 9)
+                   .c_str(),
+               stdout);
+    return 0;
+}

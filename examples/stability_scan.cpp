@@ -1,0 +1,74 @@
+// stability_scan — run the paper's temporal classification over a
+// simulated observation window and report the stability classes.
+//
+//   ./examples/stability_scan [scale] [n]
+//
+// scale: world scale factor (default 0.2)
+// n:     the "nd-stable" parameter (default 3, the paper's choice)
+#include <cstdio>
+#include <cstdlib>
+
+#include "v6class/analysis/format.h"
+#include "v6class/cdnsim/world.h"
+#include "v6class/netgen/rir_registry.h"
+#include "v6class/temporal/stability.h"
+
+using namespace v6;
+
+int main(int argc, char** argv) {
+    world_config cfg;
+    cfg.scale = argc > 1 ? std::atof(argv[1]) : 0.2;
+    const unsigned n = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 3;
+    const world w(cfg);
+
+    const int ref = kMar2015;
+    std::printf("simulating days %d..%d around the reference day %d...\n",
+                ref - 7, ref + 7, ref);
+    const daily_series series = w.series(ref - 7, ref + 7);
+
+    stability_analyzer analyzer(series);
+    const stability_split addr_split = analyzer.classify_day(ref, n);
+    const std::uint64_t total = series.count(ref);
+    std::printf("\naddresses active on the reference day: %s\n",
+                format_count(static_cast<double>(total)).c_str());
+    std::printf("  %ud-stable (-7d,+7d):  %s (%s)\n", n,
+                format_count(static_cast<double>(addr_split.stable.size())).c_str(),
+                format_pct(static_cast<double>(addr_split.stable.size()) /
+                           static_cast<double>(total))
+                    .c_str());
+    std::printf("  not %ud-stable:        %s (%s)\n", n,
+                format_count(static_cast<double>(addr_split.not_stable.size()))
+                    .c_str(),
+                format_pct(static_cast<double>(addr_split.not_stable.size()) /
+                           static_cast<double>(total))
+                    .c_str());
+
+    const daily_series series64 = series.project(64);
+    stability_analyzer analyzer64(series64);
+    const stability_split pfx_split = analyzer64.classify_day(ref, n);
+    const std::uint64_t total64 = series64.count(ref);
+    std::printf("\n/64 prefixes active on the reference day: %s\n",
+                format_count(static_cast<double>(total64)).c_str());
+    std::printf("  %ud-stable:            %s (%s)\n", n,
+                format_count(static_cast<double>(pfx_split.stable.size())).c_str(),
+                format_pct(static_cast<double>(pfx_split.stable.size()) /
+                           static_cast<double>(total64))
+                    .c_str());
+
+    // Where do the stable addresses live? Attribute them to origin ASNs.
+    std::printf("\ntop origin ASNs of the stable addresses:\n");
+    std::map<std::uint32_t, std::uint64_t> by_asn;
+    for (const address& a : addr_split.stable)
+        if (const auto route = w.registry().origin_of(a)) ++by_asn[route->asn];
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> ranked;
+    for (const auto& [asn, count] : by_asn) ranked.push_back({count, asn});
+    std::sort(ranked.rbegin(), ranked.rend());
+    for (std::size_t i = 0; i < ranked.size() && i < 5; ++i)
+        std::printf("  AS%u: %s stable addresses\n", ranked[i].second,
+                    format_count(static_cast<double>(ranked[i].first)).c_str());
+
+    std::puts("\nnote: mobile carriers rank high despite dynamic /64 pools —");
+    std::puts("devices sharing fixed IIDs over reused pool slots recreate the");
+    std::puts("same full addresses across days (the paper's Section 6.1 finding).");
+    return 0;
+}

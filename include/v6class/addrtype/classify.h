@@ -1,0 +1,88 @@
+// classify.h — content-based IPv6 address-type classification.
+//
+// Implements the address-content analysis of Section 3 and Section 4 of
+// the paper: recognition of transition-mechanism addresses (Teredo, 6to4,
+// ISATAP), SLAAC EUI-64 interface identifiers, embedded IPv4, and the
+// coarse IID-shape buckets (low-value, structured, pseudorandom-looking)
+// used when discussing Figure 1's sample addresses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "v6class/ip/address.h"
+#include "v6class/ip/mac.h"
+
+namespace v6 {
+
+/// IPv4/IPv6 transition mechanisms distinguishable from address content
+/// alone. The paper culls these three before running the temporal and
+/// spatial classifiers; everything else is "Other" (native transport).
+enum class transition_kind : std::uint8_t {
+    none,         ///< native IPv6 (includes 464XLAT / DS-Lite)
+    teredo,       ///< 2001::/32 (RFC 4380)
+    six_to_four,  ///< 2002::/16 (RFC 3056/3068)
+    isatap,       ///< IID ::0200:5efe:a.b.c.d or ::0000:5efe:a.b.c.d (RFC 5214)
+};
+
+/// Address scope / special-use classification from the leading bits.
+enum class address_scope : std::uint8_t {
+    unspecified,    ///< ::
+    loopback,       ///< ::1
+    multicast,      ///< ff00::/8
+    link_local,     ///< fe80::/10
+    unique_local,   ///< fc00::/7 (RFC 4193)
+    documentation,  ///< 2001:db8::/32 (RFC 3849)
+    global_unicast, ///< 2000::/3 less the above carve-outs
+    reserved,       ///< everything else
+};
+
+/// Shape of the low 64 bits (the canonical interface-identifier field).
+enum class iid_kind : std::uint8_t {
+    eui64,          ///< modified EUI-64: 0xfffe marker at bits 88..103
+    isatap,         ///< 5efe marker per RFC 5214
+    low_value,      ///< small integer IID, e.g. ::1, ::103
+    embedded_ipv4,  ///< IID's low 32 bits equal an IPv4 address embedded
+                    ///< elsewhere in the address, or hex-encoded dotted quad
+    structured,     ///< few populated nybbles — subnet-style manual layout
+    pseudorandom,   ///< none of the above; dense high-entropy pattern
+};
+
+/// Full content-based classification of one address.
+struct classification {
+    transition_kind transition = transition_kind::none;
+    address_scope scope = address_scope::global_unicast;
+    iid_kind iid = iid_kind::pseudorandom;
+    /// Present when the IID is modified EUI-64: the decoded MAC.
+    std::optional<mac_address> mac;
+    /// Present for Teredo / 6to4 / ISATAP: the embedded IPv4 address,
+    /// host byte order.
+    std::optional<std::uint32_t> embedded_ipv4;
+};
+
+/// Classifies by address content only. Deterministic and stateless.
+classification classify(const address& a) noexcept;
+
+/// Convenience predicates mirroring the paper's Table 1 row definitions.
+bool is_teredo(const address& a) noexcept;
+bool is_6to4(const address& a) noexcept;
+bool is_isatap(const address& a) noexcept;
+
+/// True when the low 64 bits carry the modified-EUI-64 0xfffe marker
+/// (and the address is not ISATAP, whose marker would collide).
+bool is_eui64(const address& a) noexcept;
+
+/// Decodes the MAC address of an EUI-64 IID, or nullopt.
+std::optional<mac_address> eui64_mac(const address& a) noexcept;
+
+/// The "u" (universal/local) bit of the IID, i.e. address bit 70.
+/// RFC 4941 privacy IIDs always have u == 0.
+unsigned iid_u_bit(const address& a) noexcept;
+
+/// Human-readable name for each enumerator (for reports and logs).
+std::string_view to_string(transition_kind k) noexcept;
+std::string_view to_string(address_scope s) noexcept;
+std::string_view to_string(iid_kind k) noexcept;
+
+}  // namespace v6

@@ -1,0 +1,54 @@
+// eui64_mobility.h — why stable devices show unstable addresses.
+//
+// Section 6.1.1 investigates the EUI-64 addresses classified "not
+// 3d-stable": the IID is static, so instability must come from the
+// network identifier — the device moved networks, or the operator
+// assigns a new subnet prefix per connection. The paper reports that in
+// 62% of such addresses the IID appeared in more than one address, and
+// for 14% the same IID also appeared in a 3d-stable address. This module
+// computes exactly those statistics from a classified window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "v6class/temporal/stability.h"
+
+namespace v6 {
+
+/// The Section 6.1.1 statistics over one observation window.
+struct eui64_mobility_report {
+    /// EUI-64 addresses on the reference day classified not 3d-stable.
+    std::uint64_t unstable_eui64_addresses = 0;
+    /// ...whose IID appeared in more than one address across the window
+    /// (the paper: 62%).
+    std::uint64_t iid_in_multiple_addresses = 0;
+    /// ...whose IID also appeared in some 3d-stable address (the paper:
+    /// 14%).
+    std::uint64_t iid_also_stable = 0;
+    /// EUI-64 addresses on the reference day classified 3d-stable, for
+    /// context.
+    std::uint64_t stable_eui64_addresses = 0;
+
+    double multiple_share() const noexcept {
+        return unstable_eui64_addresses
+                   ? static_cast<double>(iid_in_multiple_addresses) /
+                         static_cast<double>(unstable_eui64_addresses)
+                   : 0.0;
+    }
+    double also_stable_share() const noexcept {
+        return unstable_eui64_addresses
+                   ? static_cast<double>(iid_also_stable) /
+                         static_cast<double>(unstable_eui64_addresses)
+                   : 0.0;
+    }
+};
+
+/// Computes the report: classifies `ref_day` within `series` (which must
+/// cover the stability window) and cross-references EUI-64 IIDs across
+/// every address seen anywhere in the window.
+eui64_mobility_report analyze_eui64_mobility(const daily_series& series,
+                                             int ref_day, unsigned n = 3,
+                                             stability_options options = {});
+
+}  // namespace v6

@@ -1,0 +1,39 @@
+// format.h — human-readable report formatting used by every bench: the
+// paper's count style ("13.7M", "1.81B", "588K"), percentages, and an
+// aligned text table builder.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace v6 {
+
+/// Formats a count the way the paper's tables do: three significant
+/// digits with K/M/B/T magnitude suffixes; exact below 1000.
+std::string format_count(double value);
+
+/// Formats a fraction as a percentage with three significant digits,
+/// e.g. 0.0922 -> "9.22%", 0.00103 -> ".103%".
+std::string format_pct(double fraction);
+
+/// Fixed-precision helper, e.g. format_fixed(2.4136, 2) -> "2.41".
+std::string format_fixed(double value, int digits);
+
+/// A simple aligned monospace table.
+class text_table {
+public:
+    explicit text_table(std::vector<std::string> headers);
+
+    /// Adds one row; missing cells render empty, extra cells are an error.
+    void add_row(std::vector<std::string> cells);
+
+    /// Renders with column alignment (first column left, rest right).
+    std::string to_string() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace v6

@@ -1,0 +1,48 @@
+// growth.h — decomposing address-count growth into churn and expansion.
+//
+// Table 1 shows the active population doubling over the study year, but
+// a day-over-day view is needed to tell *why*: privacy churn mints new
+// addresses every day without any new users, while subscriber growth
+// adds new /64s. This module measures both rates so the growth the
+// paper reports at 6-month grain can be decomposed at daily grain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "v6class/temporal/daily_series.h"
+
+namespace v6 {
+
+/// Day-over-day composition of one day's active set.
+struct churn_day {
+    int day = 0;
+    std::uint64_t active = 0;     ///< distinct addresses this day
+    std::uint64_t returning = 0;  ///< also active the previous day
+    std::uint64_t fresh = 0;      ///< never seen earlier in the window
+    std::uint64_t revenant = 0;   ///< seen earlier, but not yesterday
+
+    double fresh_share() const noexcept {
+        return active ? static_cast<double>(fresh) / static_cast<double>(active)
+                      : 0.0;
+    }
+};
+
+/// Per-day churn rows over a series' recorded days (the first recorded
+/// day has no "yesterday" and is skipped). Works for addresses or for
+/// prefixes via daily_series::project().
+std::vector<churn_day> churn_analysis(const daily_series& series);
+
+/// Epoch growth decomposition between two days far apart.
+struct growth_report {
+    std::uint64_t early_active = 0;
+    std::uint64_t late_active = 0;
+    double growth_factor = 0.0;   ///< late / early
+    std::uint64_t common = 0;     ///< active on both days
+    double survivor_share = 0.0;  ///< common / early: how much persisted
+};
+
+growth_report epoch_growth(const daily_series& series, int early_day,
+                           int late_day);
+
+}  // namespace v6

@@ -1,0 +1,81 @@
+// network_profile.h — per-network addressing-practice inference.
+//
+// Section 7.1's conclusion: counting active /64s miscounts subscribers
+// by up to 100x in either direction, so any census must first determine
+// each network's addressing practice from the outside. This module
+// implements that determination: for each origin ASN it measures the
+// temporal and spatial fingerprints the paper developed, classifies the
+// practice, and derives a practice-aware subscriber estimate.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "v6class/netgen/rir_registry.h"
+#include "v6class/temporal/daily_series.h"
+
+namespace v6 {
+
+/// The addressing practice inferred for one network.
+enum class practice_guess : std::uint8_t {
+    dynamic_64_pool,        ///< /64s reassigned per association (mobile-style)
+    static_per_subscriber,  ///< stable /64 (or /48) per subscriber
+    shared_dense,           ///< many users packed into few dense /64s
+    privacy_sparse,         ///< privacy-addressed hosts over stable subnets
+    unknown,                ///< not enough evidence
+};
+
+std::string_view to_string(practice_guess g) noexcept;
+
+/// The measured fingerprint and derived classification of one ASN.
+struct network_profile {
+    std::uint32_t asn = 0;
+
+    // Volume over the observation window.
+    std::uint64_t window_addresses = 0;  ///< distinct addresses, whole window
+    std::uint64_t window_64s = 0;        ///< distinct /64s, whole window
+    std::uint64_t daily_addresses = 0;   ///< distinct addresses, reference day
+    std::uint64_t daily_64s = 0;         ///< distinct /64s, reference day
+    double addrs_per_64 = 0.0;           ///< daily
+
+    // Content mix on the reference day.
+    double pseudorandom_share = 0.0;  ///< privacy-looking IIDs
+    double eui64_share = 0.0;
+    double low_iid_share = 0.0;
+
+    // Temporal fingerprint.
+    double stable_share_3d = 0.0;      ///< of reference-day addresses
+    double stable_64_share_3d = 0.0;   ///< of reference-day /64s
+
+    // Spatial fingerprints.
+    double turnover_64 = 0.0;  ///< window /64s over daily /64s (context only:
+                               ///< bounded pools and intermittent static
+                               ///< subscribers overlap on this metric)
+    double dense_112_share = 0.0;  ///< daily addrs inside 2@/112-dense blocks
+
+    // Device-beacon fingerprint (the Section 7.2 method): EUI-64 IIDs
+    // tracked across the window reveal whether devices keep their /64.
+    std::uint64_t beacon_devices = 0;   ///< EUI-64 devices seen on 2+ days
+    std::uint64_t beacon_max_64s = 0;   ///< most /64s any one device visited
+    unsigned beacon_modal_length = 0;   ///< modal longest-stable-prefix length
+
+    practice_guess guess = practice_guess::unknown;
+
+    /// Practice-aware subscriber estimate (Section 7.1): static plans
+    /// count daily /64s; dynamic pools discount /64 turnover; shared
+    /// plans count addresses. Zero when unknown.
+    double subscriber_estimate = 0.0;
+
+    /// The naive estimate the paper warns about, for contrast.
+    double naive_64_estimate = 0.0;
+};
+
+/// Profiles every ASN with activity in `series` (native addresses;
+/// transition mechanisms should be culled by the caller). The window is
+/// all recorded days; `ref_day` must be one of them.
+std::vector<network_profile> profile_networks(const rir_registry& registry,
+                                              const daily_series& series,
+                                              int ref_day);
+
+}  // namespace v6

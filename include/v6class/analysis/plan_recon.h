@@ -1,0 +1,75 @@
+// plan_recon.h — automatic discovery of stable network-identifier
+// prefixes (the paper's Section 7.2 proposal, implemented here as an
+// extension).
+//
+// Persistent, unique EUI-64 interface identifiers act as beacons: when
+// the same MAC appears under several network identifiers over time, the
+// longest prefix common to those network identifiers is — with high
+// probability — a stable aggregate of the operator's address plan. The
+// distribution of those "longest stable prefix" lengths discriminates
+// addressing practices: a static-/48 ISP yields lengths of 64 (each
+// device stays in one /64); an ISP that renumbers a pseudorandom field
+// at bit 41 yields lengths just above 40; a mobile pool yields lengths
+// near the BGP prefix.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "v6class/ip/mac.h"
+#include "v6class/ip/prefix.h"
+
+namespace v6 {
+
+/// Accumulates EUI-64 sightings across daily observations and derives
+/// per-device stable prefixes.
+class plan_reconstructor {
+public:
+    /// Feeds one day's distinct active addresses; non-EUI-64 addresses
+    /// are ignored.
+    void observe_day(const std::vector<address>& addrs);
+
+    /// What one tracked device (MAC) revealed.
+    struct device_track {
+        mac_address mac;
+        unsigned days_seen = 0;
+        unsigned distinct_64s = 0;
+        /// Longest prefix common to every network identifier this device
+        /// appeared under: the device's stable prefix.
+        prefix stable_prefix;
+    };
+
+    /// Per-device summaries, restricted to devices seen on at least
+    /// `min_days` days (the temporal filter: one sighting proves
+    /// nothing). Order is unspecified but deterministic.
+    std::vector<device_track> device_tracks(unsigned min_days = 2) const;
+
+    /// The longest-stable-prefix report: distinct stable prefixes of the
+    /// devices passing the temporal filter, with the count of devices
+    /// agreeing on each, most-agreed-upon first. These are likely
+    /// aggregates of the operators' routing/address plans.
+    struct stable_aggregate {
+        prefix pfx;
+        std::uint64_t devices = 0;
+    };
+    std::vector<stable_aggregate> longest_stable_prefixes(
+        unsigned min_days = 2, std::uint64_t min_devices = 1) const;
+
+    /// Histogram of stable-prefix lengths (index = length 0..128) over
+    /// devices passing the filter — the practice fingerprint described
+    /// in the header comment.
+    std::vector<std::uint64_t> length_histogram(unsigned min_days = 2) const;
+
+    std::size_t tracked_devices() const noexcept { return tracks_.size(); }
+
+private:
+    struct raw_track {
+        unsigned days_seen = 0;
+        std::unordered_set<std::uint64_t> network_ids;  // hi() of each /64
+    };
+    std::unordered_map<std::uint64_t, raw_track> tracks_;  // by MAC value
+};
+
+}  // namespace v6

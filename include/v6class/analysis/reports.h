@@ -1,0 +1,91 @@
+// reports.h — builders for the paper's tables and figure data.
+//
+// Every bench binary is a thin driver over these: the builders take the
+// simulated logs/datasets and emit the same rows (or plotted series) the
+// paper reports, so EXPERIMENTS.md can be filled by running bench/*.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "v6class/cdnsim/log.h"
+#include "v6class/netgen/rir_registry.h"
+#include "v6class/spatial/boxplot.h"
+#include "v6class/spatial/density.h"
+#include "v6class/spatial/population.h"
+
+namespace v6 {
+
+// ------------------------------------------------------------- Table 1
+
+/// One column of Table 1 ("Address characteristics per day/week").
+struct table1_column {
+    std::string label;
+    std::uint64_t teredo = 0;
+    std::uint64_t isatap = 0;
+    std::uint64_t six_to_four = 0;
+    std::uint64_t other = 0;
+    std::uint64_t other_64s = 0;
+    double addrs_per_64 = 0.0;
+    std::uint64_t eui64_not_6to4 = 0;
+    std::uint64_t eui64_unique_macs = 0;
+
+    std::uint64_t total() const noexcept {
+        return teredo + isatap + six_to_four + other;
+    }
+};
+
+/// Builds one column from a set of distinct active addresses.
+table1_column build_table1_column(std::string label,
+                                  const std::vector<address>& addrs);
+
+/// Renders columns side by side in the paper's row layout.
+std::string render_table1(const std::vector<table1_column>& columns);
+
+// ------------------------------------------------------------- Table 2
+
+/// One column of a Table 2 sub-table (stability of addresses or /64s).
+struct stability_column {
+    std::string label;
+    std::uint64_t stable_3d = 0;
+    std::uint64_t not_stable_3d = 0;
+    std::uint64_t stable_6m = 0;  ///< 0 when no -6m epoch exists
+    std::uint64_t stable_1y = 0;  ///< 0 when no -1y epoch exists
+    bool has_6m = false;
+    bool has_1y = false;
+};
+
+std::string render_table2(const std::vector<stability_column>& columns,
+                          const std::string& unit_name);
+
+// ------------------------------------------------------------- Table 3
+
+/// Renders Table 3 rows built by compute_density_table().
+std::string render_table3(const std::vector<density_row>& rows,
+                          const std::string& dataset_name);
+
+// -------------------------------------------------- ASN / BGP grouping
+
+/// Addresses grouped by origin ASN (unrouted addresses are dropped).
+std::map<std::uint32_t, std::vector<address>> group_by_asn(
+    const rir_registry& registry, const std::vector<address>& addrs);
+
+/// Addresses grouped by covering BGP prefix.
+std::map<prefix, std::vector<address>> group_by_bgp_prefix(
+    const rir_registry& registry, const std::vector<address>& addrs);
+
+// ----------------------------------------------------------- Figure 5b
+
+/// Distribution of the 16-bit-segment MRA ratios across groups (one
+/// sample per group per segment): eight box plots, one per segment.
+std::vector<boxplot_summary> segment_ratio_distribution(
+    const std::map<prefix, std::vector<address>>& groups);
+
+/// Renders one CCDF as aligned "x  proportion" text lines, downsampled
+/// to at most `max_points` rows.
+std::string render_ccdf(const std::vector<ccdf_point>& ccdf,
+                        std::size_t max_points = 24);
+
+}  // namespace v6

@@ -1,0 +1,42 @@
+// corpus.h — on-disk corpora of daily aggregated logs.
+//
+// The interchange format is the paper's aggregated-log shape, one file
+// per day of "address hit-count" lines (see ip/io.h). A corpus directory
+// holds day_<index>.log files plus nothing else magic — the files are
+// greppable, diffable, and consumable by the command-line tools.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "v6class/cdnsim/log.h"
+#include "v6class/temporal/daily_series.h"
+
+namespace v6 {
+
+class world;
+
+/// File name for one day's log: "day_<index>.log".
+std::string corpus_file_name(int day);
+
+/// Writes `log` to dir/day_<day>.log (creating the directory if needed).
+/// Throws std::runtime_error on I/O failure.
+void write_log_file(const std::filesystem::path& dir, const daily_log& log);
+
+/// Simulates and writes days [first, last] of `w` into `dir`. Returns
+/// the number of files written.
+int write_corpus(const world& w, int first_day, int last_day,
+                 const std::filesystem::path& dir);
+
+/// Reads one day file back into an aggregated log. Malformed lines are
+/// skipped (counted in the report embedded in the exception-free API:
+/// use read_report via ip/io.h for strict accounting). Throws
+/// std::runtime_error when the file cannot be opened.
+daily_log read_log_file(const std::filesystem::path& file, int day);
+
+/// Loads every day_<n>.log under `dir` into a daily series (addresses
+/// only; hit counts are dropped, as the temporal analyses need activity,
+/// not volume).
+daily_series read_corpus(const std::filesystem::path& dir);
+
+}  // namespace v6

@@ -1,0 +1,43 @@
+// log.h — aggregated CDN activity logs (the paper's empirical data
+// format, Section 4.1: hit counts per client address per day).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "v6class/addrtype/classify.h"
+#include "v6class/netgen/model.h"
+
+namespace v6 {
+
+/// One day's aggregated log: unique client addresses with summed hit
+/// counts, sorted by address.
+struct daily_log {
+    int day = 0;
+    std::vector<observation> records;
+
+    /// Distinct addresses only.
+    std::vector<address> addresses() const;
+
+    /// Total hits across all records.
+    std::uint64_t total_hits() const noexcept;
+};
+
+/// Merges raw observations (possibly with repeated addresses) into the
+/// aggregated, address-sorted form.
+daily_log aggregate_log(int day, std::vector<observation> raw);
+
+/// The paper's Table 1 partition of a day's (or week's) distinct
+/// addresses by transition mechanism.
+struct culled_addresses {
+    std::vector<address> teredo;
+    std::vector<address> isatap;
+    std::vector<address> six_to_four;
+    std::vector<address> other;  ///< native transport: classifier input
+};
+
+/// Splits distinct addresses by transition mechanism (Section 4.1's
+/// culling step). Input need not be sorted; outputs are sorted.
+culled_addresses cull_transition(const std::vector<address>& addrs);
+
+}  // namespace v6

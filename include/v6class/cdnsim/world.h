@@ -1,0 +1,94 @@
+// world.h — the simulated IPv6 Internet behind the CDN's vantage point.
+//
+// A `world` owns a registry of BGP allocations and a composition of
+// network models tuned so the global mix matches the paper's Section 4
+// observations: two US mobile carriers, a European, an American and a
+// Japanese ISP dominating (the top 5 ASNs held 85% of active /64s),
+// 6to4 still common but declining, Teredo/ISATAP vestigial, and a long
+// Zipf tail of smaller operators across all five RIR regions.
+//
+// Day indexing matches the paper's study: day 0 is March 17 2014,
+// day 184 is September 17 2014, day 365 is March 17 2015.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "v6class/cdnsim/log.h"
+#include "v6class/netgen/models.h"
+#include "v6class/netgen/rir_registry.h"
+#include "v6class/temporal/daily_series.h"
+
+namespace v6 {
+
+/// Epoch day indices of the paper's three measurement points.
+inline constexpr int kMar2014 = 0;
+inline constexpr int kSep2014 = 184;
+inline constexpr int kMar2015 = 365;
+
+/// Composition knobs. Subscriber counts are per-model bases at day 0 and
+/// all scale with `scale`; the defaults target roughly 50-100K active
+/// addresses per simulated day, enough for every experiment's shape while
+/// keeping bench runtimes in seconds.
+struct world_config {
+    std::uint64_t seed = 42;
+    double scale = 1.0;
+    /// Long-tail operator count (distinct ASNs beyond the named models).
+    unsigned tail_isps = 56;
+    /// When non-zero, each record is attributed to the next day's log
+    /// with this probability — the paper's log-processing timestamp slew
+    /// of "as much as a day".
+    double slew_probability = 0.0;
+};
+
+/// The simulated Internet: models + registry + log generation.
+class world {
+public:
+    explicit world(world_config cfg = {});
+
+    world(const world&) = delete;
+    world& operator=(const world&) = delete;
+
+    const world_config& config() const noexcept { return cfg_; }
+    const rir_registry& registry() const noexcept { return registry_; }
+    const std::vector<std::unique_ptr<network_model>>& models() const noexcept {
+        return models_;
+    }
+
+    /// The named flagship models (also present in models()).
+    const us_mobile_carrier& mobile1() const noexcept { return *mobile1_; }
+    const us_mobile_carrier& mobile2() const noexcept { return *mobile2_; }
+    const eu_isp& europe() const noexcept { return *eu_; }
+    const jp_isp& japan() const noexcept { return *jp_; }
+    const us_university& university() const noexcept { return *univ_; }
+    const jp_telco& telco() const noexcept { return *telco_; }
+    const eu_university_dept& department() const noexcept { return *dept_; }
+
+    /// The aggregated log for one (processed) day: unique addresses with
+    /// summed hit counts, sorted by address. Applies timestamp slew when
+    /// configured.
+    daily_log day_log(int day) const;
+
+    /// Only the distinct active addresses for a day (sorted).
+    std::vector<address> active_addresses(int day) const;
+
+    /// Builds a daily series over an inclusive day range.
+    daily_series series(int first_day, int last_day) const;
+
+private:
+    void raw_day(int day, std::vector<observation>& out) const;
+
+    world_config cfg_;
+    rir_registry registry_;
+    std::vector<std::unique_ptr<network_model>> models_;
+    const us_mobile_carrier* mobile1_ = nullptr;
+    const us_mobile_carrier* mobile2_ = nullptr;
+    const eu_isp* eu_ = nullptr;
+    const jp_isp* jp_ = nullptr;
+    const us_university* univ_ = nullptr;
+    const jp_telco* telco_ = nullptr;
+    const eu_university_dept* dept_ = nullptr;
+};
+
+}  // namespace v6

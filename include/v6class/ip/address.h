@@ -1,0 +1,153 @@
+// address.h — 128-bit IPv6 address value type.
+//
+// Part of libv6class, a reproduction of Plonka & Berger, "Temporal and
+// Spatial Classification of Active IPv6 Addresses" (IMC 2015).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace v6 {
+
+/// A 128-bit IPv6 address with value semantics.
+///
+/// The address is held in network byte order. Bits are indexed from the
+/// most-significant end: bit 0 is the highest-order bit of the leading
+/// byte, matching the way prefix lengths are written (a /48 covers bits
+/// 0..47). Nybbles (4-bit segments, one hexadecimal character of the full
+/// 32-character expansion) and hextets (16-bit colon-delimited segments)
+/// are indexed the same way.
+class address {
+public:
+    /// The all-zeroes address `::`.
+    constexpr address() noexcept : bytes_{} {}
+
+    /// Constructs from 16 bytes in network byte order.
+    explicit constexpr address(const std::array<std::uint8_t, 16>& bytes) noexcept
+        : bytes_(bytes) {}
+
+    /// Constructs from two 64-bit halves: `hi` holds bits 0..63 (the
+    /// network identifier in common layouts), `lo` bits 64..127 (the IID).
+    static constexpr address from_pair(std::uint64_t hi, std::uint64_t lo) noexcept {
+        std::array<std::uint8_t, 16> b{};
+        for (int i = 0; i < 8; ++i) {
+            b[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(hi >> (56 - 8 * i));
+            b[static_cast<std::size_t>(8 + i)] = static_cast<std::uint8_t>(lo >> (56 - 8 * i));
+        }
+        return address{b};
+    }
+
+    /// Constructs from eight 16-bit hextets, most significant first.
+    static constexpr address from_hextets(const std::array<std::uint16_t, 8>& h) noexcept {
+        std::array<std::uint8_t, 16> b{};
+        for (std::size_t i = 0; i < 8; ++i) {
+            b[2 * i] = static_cast<std::uint8_t>(h[i] >> 8);
+            b[2 * i + 1] = static_cast<std::uint8_t>(h[i] & 0xff);
+        }
+        return address{b};
+    }
+
+    /// Parses RFC 4291 presentation format, including `::` compression and
+    /// a trailing embedded dotted-quad IPv4 address. Returns nullopt on any
+    /// syntax error.
+    static std::optional<address> parse(std::string_view text) noexcept;
+
+    /// Like parse() but throws std::invalid_argument; for literals whose
+    /// validity is a program invariant.
+    static address must_parse(std::string_view text);
+
+    /// The 16 raw bytes, network byte order.
+    constexpr const std::array<std::uint8_t, 16>& bytes() const noexcept { return bytes_; }
+
+    /// Bits 0..63 as a host-order integer.
+    constexpr std::uint64_t hi() const noexcept { return half(0); }
+
+    /// Bits 64..127 (the canonical IID position) as a host-order integer.
+    constexpr std::uint64_t lo() const noexcept { return half(8); }
+
+    /// Bit `i` (0 = most significant, 127 = least). Precondition: i < 128.
+    constexpr unsigned bit(unsigned i) const noexcept {
+        return (bytes_[i / 8] >> (7 - i % 8)) & 1u;
+    }
+
+    /// Nybble `i` of the 32-hex-character expansion (0 = most significant).
+    /// Precondition: i < 32.
+    constexpr unsigned nybble(unsigned i) const noexcept {
+        const std::uint8_t byte = bytes_[i / 2];
+        return (i % 2 == 0) ? (byte >> 4) : (byte & 0x0f);
+    }
+
+    /// Hextet `i`, the i-th colon-delimited 16-bit group (0..7).
+    constexpr std::uint16_t hextet(unsigned i) const noexcept {
+        return static_cast<std::uint16_t>((bytes_[2 * i] << 8) | bytes_[2 * i + 1]);
+    }
+
+    /// A copy with bit `i` set to `value` (0 or 1).
+    address with_bit(unsigned i, unsigned value) const noexcept {
+        address a = *this;
+        const std::uint8_t mask = static_cast<std::uint8_t>(1u << (7 - i % 8));
+        if (value)
+            a.bytes_[i / 8] |= mask;
+        else
+            a.bytes_[i / 8] &= static_cast<std::uint8_t>(~mask);
+        return a;
+    }
+
+    /// A copy whose bits at positions >= len are cleared; i.e. the first
+    /// address of this address's /len prefix. Precondition: len <= 128.
+    address masked(unsigned len) const noexcept;
+
+    /// A copy whose bits at positions >= len are set; i.e. the last
+    /// address of this address's /len prefix.
+    address masked_upper(unsigned len) const noexcept;
+
+    /// The number of leading bits this address shares with `other` (0..128).
+    unsigned common_prefix_length(const address& other) const noexcept;
+
+    /// Canonical RFC 5952 presentation (lower case, longest zero run
+    /// compressed, no leading zeroes within hextets).
+    std::string to_string() const;
+
+    /// The full 32-character hexadecimal expansion with no separators,
+    /// e.g. "20010db8000000000000000000000001".
+    std::string to_full_hex() const;
+
+    friend constexpr auto operator<=>(const address&, const address&) = default;
+
+private:
+    constexpr std::uint64_t half(std::size_t offset) const noexcept {
+        std::uint64_t v = 0;
+        for (std::size_t i = 0; i < 8; ++i) v = (v << 8) | bytes_[offset + i];
+        return v;
+    }
+
+    std::array<std::uint8_t, 16> bytes_;
+};
+
+/// FNV-1a over the 16 bytes; suitable for unordered containers.
+struct address_hash {
+    std::size_t operator()(const address& a) const noexcept {
+        std::uint64_t h = 1469598103934665603ull;
+        for (std::uint8_t b : a.bytes()) {
+            h ^= b;
+            h *= 1099511628211ull;
+        }
+        return static_cast<std::size_t>(h);
+    }
+};
+
+namespace literals {
+
+/// `"2001:db8::1"_v6` — parse-or-throw address literal.
+inline address operator""_v6(const char* text, std::size_t len) {
+    return address::must_parse(std::string_view{text, len});
+}
+
+}  // namespace literals
+
+}  // namespace v6

@@ -1,0 +1,90 @@
+// arithmetic.h — 128-bit address arithmetic and iterable ranges.
+//
+// Scanning dense blocks, carving allocations, and walking provisioning
+// ranges all need "address + offset" and "how far apart" on the full
+// 128-bit space; this header supplies them without exposing any
+// compiler-specific 128-bit integer in the public API.
+#pragma once
+
+#include <cstdint>
+#include <iterator>
+#include <optional>
+
+#include "v6class/ip/prefix.h"
+
+namespace v6 {
+
+/// a + offset, wrapping modulo 2^128 (offset applies to the low bits).
+address address_add(const address& a, std::uint64_t offset) noexcept;
+
+/// The address immediately after `a` (wraps at the top of the space).
+inline address address_next(const address& a) noexcept { return address_add(a, 1); }
+
+/// b - a when it fits in 64 bits (b >= a and the gap < 2^64); nullopt
+/// otherwise.
+std::optional<std::uint64_t> address_distance(const address& a,
+                                              const address& b) noexcept;
+
+/// A half-open, forward-iterable span of addresses [first, first+count).
+/// Count is capped at 2^64-1, far beyond any practical scan.
+class address_range {
+public:
+    class iterator {
+    public:
+        using value_type = address;
+        using difference_type = std::ptrdiff_t;
+        using iterator_category = std::forward_iterator_tag;
+        using pointer = const address*;
+        using reference = const address&;
+
+        iterator() = default;
+        iterator(address current, std::uint64_t remaining) noexcept
+            : current_(current), remaining_(remaining) {}
+
+        const address& operator*() const noexcept { return current_; }
+        const address* operator->() const noexcept { return &current_; }
+        iterator& operator++() noexcept {
+            current_ = address_next(current_);
+            --remaining_;
+            return *this;
+        }
+        iterator operator++(int) noexcept {
+            iterator copy = *this;
+            ++*this;
+            return copy;
+        }
+        friend bool operator==(const iterator& a, const iterator& b) noexcept {
+            return a.remaining_ == b.remaining_;
+        }
+
+    private:
+        address current_;
+        std::uint64_t remaining_ = 0;
+    };
+
+    address_range() = default;
+    address_range(address first, std::uint64_t count) noexcept
+        : first_(first), count_(count) {}
+
+    /// Every address of a prefix. Prefixes of /64 and shorter exceed the
+    /// 2^64-1 count cap; they are clamped to the first 2^64-1 addresses
+    /// and flagged via clamped().
+    explicit address_range(const prefix& p) noexcept
+        : first_(p.first_address()),
+          count_(p.length() >= 65 ? (std::uint64_t{1} << (128 - p.length()))
+                                  : ~std::uint64_t{0}),
+          clamped_(p.length() < 65) {}
+
+    iterator begin() const noexcept { return {first_, count_}; }
+    iterator end() const noexcept { return {address{}, 0}; }
+    std::uint64_t size() const noexcept { return count_; }
+    bool empty() const noexcept { return count_ == 0; }
+    bool clamped() const noexcept { return clamped_; }
+
+private:
+    address first_;
+    std::uint64_t count_ = 0;
+    bool clamped_ = false;
+};
+
+}  // namespace v6

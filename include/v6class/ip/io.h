@@ -1,0 +1,61 @@
+// io.h — line-oriented text I/O for address datasets.
+//
+// The operational interchange format for address studies is one address
+// per line (optionally with a count), exactly the paper's aggregated-log
+// shape and the input format of tools like addr6. These helpers read and
+// write it with explicit error accounting — a malformed line is
+// reported, not silently dropped and not fatal.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "v6class/ip/address.h"
+#include "v6class/ip/prefix.h"
+
+namespace v6 {
+
+/// Outcome of reading a dataset.
+struct read_report {
+    std::uint64_t lines = 0;         ///< total lines seen
+    std::uint64_t parsed = 0;        ///< lines yielding an address
+    std::uint64_t blank = 0;         ///< empty / whitespace-only lines
+    std::uint64_t comments = 0;      ///< lines starting with '#'
+    std::uint64_t malformed = 0;     ///< lines that failed to parse
+    std::vector<std::string> first_errors;  ///< up to 8 samples, for messages
+};
+
+/// Reads "address[<whitespace>count]" lines from a stream; invokes `sink`
+/// for each parsed record. Count defaults to 1 when absent; a present but
+/// unparsable count makes the line malformed.
+read_report read_address_lines(
+    std::istream& in,
+    const std::function<void(const address&, std::uint64_t count)>& sink);
+
+/// Convenience: read just the addresses (counts ignored) into a vector.
+read_report read_addresses(std::istream& in, std::vector<address>& out);
+
+/// Writes one canonical address per line.
+void write_addresses(std::ostream& out, const std::vector<address>& addrs);
+
+/// Writes "address count" lines.
+void write_address_counts(
+    std::ostream& out,
+    const std::vector<std::pair<address, std::uint64_t>>& records);
+
+
+/// Reads "prefix[<whitespace>value]" lines (e.g. a BGP route dump:
+/// "2001:db8::/32 64500"). The optional value defaults to 0.
+read_report read_prefix_lines(
+    std::istream& in,
+    const std::function<void(const prefix&, std::uint64_t value)>& sink);
+
+/// Writes "prefix value" lines.
+void write_prefix_values(
+    std::ostream& out,
+    const std::vector<std::pair<prefix, std::uint64_t>>& records);
+
+}  // namespace v6

@@ -1,0 +1,57 @@
+// ipv4.h — a minimal IPv4 address value type.
+//
+// IPv6 measurement keeps bumping into IPv4: 6to4 and Teredo embed client
+// IPv4 addresses, ISATAP embeds them in the IID, and ad hoc schemes
+// place them anywhere (Section 3). This type gives those embedded values
+// a real identity instead of a bare uint32_t.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace v6 {
+
+/// A 32-bit IPv4 address, host byte order internally.
+class ipv4_address {
+public:
+    constexpr ipv4_address() noexcept : value_(0) {}
+    explicit constexpr ipv4_address(std::uint32_t value) noexcept : value_(value) {}
+
+    /// Parses strict dotted-quad ("192.0.2.33"); rejects leading zeroes
+    /// and out-of-range octets.
+    static std::optional<ipv4_address> parse(std::string_view text) noexcept;
+
+    /// Like parse() but throws std::invalid_argument.
+    static ipv4_address must_parse(std::string_view text);
+
+    constexpr std::uint32_t value() const noexcept { return value_; }
+    constexpr unsigned octet(unsigned i) const noexcept {
+        return (value_ >> (24 - 8 * i)) & 0xff;
+    }
+
+    /// True for globally routable space (not RFC 1918, loopback,
+    /// link-local, multicast, or reserved).
+    constexpr bool is_global() const noexcept {
+        const unsigned o0 = octet(0);
+        if (o0 == 0 || o0 == 10 || o0 == 127 || o0 >= 224) return false;
+        if (o0 == 172 && octet(1) >= 16 && octet(1) <= 31) return false;
+        if (o0 == 192 && octet(1) == 168) return false;
+        if (o0 == 169 && octet(1) == 254) return false;
+        if (o0 == 100 && octet(1) >= 64 && octet(1) <= 127) return false;  // CGN
+        return true;
+    }
+
+    /// "192.0.2.33" presentation.
+    std::string to_string() const;
+
+    friend constexpr auto operator<=>(const ipv4_address&, const ipv4_address&) =
+        default;
+
+private:
+    std::uint32_t value_;
+};
+
+}  // namespace v6

@@ -1,0 +1,81 @@
+// mac.h — IEEE 802 MAC addresses and modified-EUI-64 interface identifiers.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace v6 {
+
+/// A 48-bit IEEE 802 MAC address.
+///
+/// Used for decoding (and, in the traffic generators, encoding) SLAAC
+/// modified-EUI-64 interface identifiers as specified by RFC 4291
+/// Appendix A: the MAC is split around an inserted 0xFFFE, and the
+/// universal/local ("u") bit — bit 6 of the leading IID byte — is
+/// inverted relative to the MAC's own u/l bit.
+class mac_address {
+public:
+    constexpr mac_address() noexcept : octets_{} {}
+    explicit constexpr mac_address(const std::array<std::uint8_t, 6>& o) noexcept
+        : octets_(o) {}
+
+    /// Constructs from the low 48 bits of `v` (OUI in the high bytes).
+    static constexpr mac_address from_uint(std::uint64_t v) noexcept {
+        std::array<std::uint8_t, 6> o{};
+        for (int i = 0; i < 6; ++i)
+            o[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> (40 - 8 * i));
+        return mac_address{o};
+    }
+
+    constexpr const std::array<std::uint8_t, 6>& octets() const noexcept { return octets_; }
+
+    /// The MAC as a 48-bit integer, OUI in the high bytes.
+    constexpr std::uint64_t to_uint() const noexcept {
+        std::uint64_t v = 0;
+        for (std::uint8_t o : octets_) v = (v << 8) | o;
+        return v;
+    }
+
+    /// True when the locally-administered bit of the MAC is set.
+    constexpr bool locally_administered() const noexcept { return (octets_[0] & 0x02) != 0; }
+
+    /// The modified-EUI-64 interface identifier for this MAC: MAC halves
+    /// around 0xFFFE with the u/l bit inverted.
+    constexpr std::uint64_t to_eui64_iid() const noexcept {
+        const std::uint64_t m = to_uint();
+        const std::uint64_t oui = m >> 24;            // high 3 octets
+        const std::uint64_t nic = m & 0xffffffull;    // low 3 octets
+        std::uint64_t iid = (oui << 40) | (0xfffeull << 24) | nic;
+        iid ^= 0x0200000000000000ull;  // invert the u/l bit
+        return iid;
+    }
+
+    /// Recovers the MAC from a modified-EUI-64 IID, or nullopt when the
+    /// IID does not carry the 0xFFFE marker.
+    static constexpr std::optional<mac_address> from_eui64_iid(std::uint64_t iid) noexcept {
+        if (((iid >> 24) & 0xffff) != 0xfffe) return std::nullopt;
+        const std::uint64_t flipped = iid ^ 0x0200000000000000ull;
+        const std::uint64_t oui = flipped >> 40;
+        const std::uint64_t nic = flipped & 0xffffffull;
+        return from_uint((oui << 24) | nic);
+    }
+
+    /// "00:11:22:33:44:55" presentation.
+    std::string to_string() const;
+
+    friend constexpr auto operator<=>(const mac_address&, const mac_address&) = default;
+
+private:
+    std::array<std::uint8_t, 6> octets_;
+};
+
+struct mac_hash {
+    std::size_t operator()(const mac_address& m) const noexcept {
+        return static_cast<std::size_t>(m.to_uint() * 0x9e3779b97f4a7c15ull);
+    }
+};
+
+}  // namespace v6

@@ -1,0 +1,103 @@
+// prefix.h — IPv6 prefix (CIDR aggregate) value type.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "v6class/ip/address.h"
+
+namespace v6 {
+
+/// An IPv6 prefix: a base address plus a length in bits (0..128).
+///
+/// Prefixes are kept canonical — host bits (positions >= length) are
+/// always zero — so equality and ordering behave as expected for
+/// aggregates. Ordering is lexicographic by (address, length), which for
+/// canonical prefixes places a covering prefix immediately before the
+/// prefixes it covers.
+class prefix {
+public:
+    /// The whole address space, ::/0.
+    constexpr prefix() noexcept : addr_{}, length_{0} {}
+
+    /// Canonicalizing constructor: masks `addr` to `length` bits.
+    /// Precondition: length <= 128.
+    prefix(const address& addr, unsigned length) noexcept
+        : addr_(addr.masked(length)), length_(static_cast<std::uint8_t>(length)) {}
+
+    /// Parses "2001:db8::/32". A bare address parses as a /128.
+    static std::optional<prefix> parse(std::string_view text) noexcept;
+
+    /// Like parse() but throws std::invalid_argument.
+    static prefix must_parse(std::string_view text);
+
+    constexpr const address& base() const noexcept { return addr_; }
+    constexpr unsigned length() const noexcept { return length_; }
+
+    /// First (== base) and last addresses covered.
+    const address& first_address() const noexcept { return addr_; }
+    address last_address() const noexcept { return addr_.masked_upper(length_); }
+
+    /// True when `a` falls inside this prefix.
+    bool contains(const address& a) const noexcept {
+        return a.masked(length_) == addr_;
+    }
+
+    /// True when `other` is equal to or more specific than this prefix.
+    bool contains(const prefix& other) const noexcept {
+        return other.length_ >= length_ && contains(other.addr_);
+    }
+
+    /// Number of addresses covered, as a long double (exact up to /64,
+    /// correctly rounded beyond). 2^(128-length).
+    long double count() const noexcept;
+
+    /// Number of addresses covered when it fits in 64 bits, i.e. for
+    /// lengths >= 64; nullopt otherwise.
+    std::optional<std::uint64_t> count64() const noexcept {
+        if (length_ < 64) return std::nullopt;
+        if (length_ == 64) return std::nullopt;  // 2^64 does not fit
+        return std::uint64_t{1} << (128 - length_);
+    }
+
+    /// The immediately covering prefix (one bit shorter). Precondition:
+    /// length() > 0.
+    prefix parent() const noexcept { return prefix{addr_, length_ - 1u}; }
+
+    /// The two halves of this prefix (one bit longer). Precondition:
+    /// length() < 128. `which` selects the 0-branch or the 1-branch.
+    prefix child(unsigned which) const noexcept {
+        address a = addr_.with_bit(length_, which);
+        return prefix{a, length_ + 1u};
+    }
+
+    /// "2001:db8::/32" presentation.
+    std::string to_string() const;
+
+    friend auto operator<=>(const prefix&, const prefix&) = default;
+
+private:
+    address addr_;
+    std::uint8_t length_;
+};
+
+/// Hash combining the base address hash with the length.
+struct prefix_hash {
+    std::size_t operator()(const prefix& p) const noexcept {
+        return address_hash{}(p.base()) * 31u + p.length();
+    }
+};
+
+namespace literals {
+
+/// `"2001:db8::/32"_pfx` — parse-or-throw prefix literal.
+inline prefix operator""_pfx(const char* text, std::size_t len) {
+    return prefix::must_parse(std::string_view{text, len});
+}
+
+}  // namespace literals
+
+}  // namespace v6

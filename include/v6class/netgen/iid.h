@@ -1,0 +1,62 @@
+// iid.h — interface-identifier builders shared by the network models.
+//
+// Each builder produces the 64-bit IID field (address bits 64..127) for
+// one standard addressing behaviour from Section 3 of the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "v6class/ip/mac.h"
+#include "v6class/netgen/rng.h"
+
+namespace v6 {
+
+/// RFC 4941 privacy IID: pseudorandom 64 bits with the "u" bit (bit 6 of
+/// the leading IID byte, address bit 70) forced to zero — the signature
+/// the paper reads off MRA plots as the notch at bit 70.
+constexpr std::uint64_t privacy_iid(std::uint64_t h) noexcept {
+    return h & ~(std::uint64_t{1} << 57);
+}
+
+/// A stable, device-unique pseudorandom MAC with a plausible OUI drawn
+/// from a small vendor set; feeds EUI-64 IIDs.
+constexpr mac_address device_mac(std::uint64_t h) noexcept {
+    constexpr std::uint32_t ouis[] = {
+        0x001b63,  // Apple
+        0x3c5ab4,  // Google
+        0xf0d1a9,  // Samsung-ish
+        0x001a11,  // cable CPE vendor
+        0x84d47e,  // Aruba-ish
+        0x00155d,  // Microsoft
+    };
+    const std::uint32_t oui = ouis[h % (sizeof(ouis) / sizeof(ouis[0]))];
+    const std::uint64_t nic = (h >> 8) & 0xffffffull;
+    return mac_address::from_uint((static_cast<std::uint64_t>(oui) << 24) | nic);
+}
+
+/// The one duplicated MAC the paper singles out (00:11:22:33:44:56,
+/// "the most prevalent [MAC], just in one mobile carrier's network").
+inline mac_address duplicate_mac() noexcept {
+    return mac_address::from_uint(0x001122334456ull);
+}
+
+/// ISATAP IID embedding an IPv4 address (RFC 5214): 0200:5efe:v4 for
+/// globally unique v4, 0000:5efe:v4 otherwise.
+constexpr std::uint64_t isatap_iid(std::uint32_t v4, bool global) noexcept {
+    const std::uint64_t marker = global ? 0x02005efeull : 0x00005efeull;
+    return (marker << 32) | v4;
+}
+
+/// RFC 7217 semantically opaque, *stable* privacy IID: a pseudorandom
+/// function of (secret key, network prefix, interface). Unlike RFC 4941
+/// temporary addresses it never rotates while the host stays on the same
+/// subnet — so it looks random to content inspection yet classifies as
+/// stable temporally, exactly the combination footnote 1 of the paper
+/// lists among the schemes content analysis cannot separate.
+constexpr std::uint64_t stable_privacy_iid(std::uint64_t secret,
+                                           std::uint64_t network_prefix_hi,
+                                           std::uint64_t interface_id) noexcept {
+    return privacy_iid(hash_ids(secret, 0x7217, network_prefix_hi, interface_id));
+}
+
+}  // namespace v6

@@ -1,0 +1,93 @@
+// model.h — the network-model abstraction behind the synthetic CDN
+// workload (the substitution for the paper's proprietary client logs).
+//
+// A network model stands for one operator (one origin ASN): it owns BGP
+// prefixes and emits, for any simulated day, the set of client addresses
+// active behind it together with hit counts. Models are *functional* in
+// (seed, subscriber, day): the same day can be regenerated at any time
+// and in any order, which lets the benches simulate only the day windows
+// an experiment needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "v6class/ip/address.h"
+#include "v6class/ip/prefix.h"
+#include "v6class/netgen/rng.h"
+
+namespace v6 {
+
+/// One aggregated log record: a client address and its hit count for the
+/// day (the paper's logs are aggregated to exactly this, Section 4.1).
+struct observation {
+    address addr;
+    std::uint32_t hits = 1;
+};
+
+/// Common knobs for every concrete model.
+struct model_config {
+    std::uint32_t asn = 0;
+    std::uint64_t seed = 1;
+    /// Subscribers at day 0 of the study.
+    std::uint64_t subscribers = 10'000;
+    /// Linear annual growth of the subscriber base (1.0 = +100%/year).
+    /// Negative values model decline (6to4's fall in Table 1).
+    double annual_growth = 0.5;
+    /// Probability a subscriber is active (visits the CDN) on a given day.
+    double daily_activity = 0.35;
+};
+
+/// Interface implemented by each operator model.
+class network_model {
+public:
+    virtual ~network_model() = default;
+
+    virtual std::string_view name() const noexcept = 0;
+    virtual std::uint32_t asn() const noexcept = 0;
+
+    /// The BGP prefixes this operator advertises.
+    virtual const std::vector<prefix>& bgp_prefixes() const noexcept = 0;
+
+    /// Appends the active client observations for `day` to `out`.
+    /// Deterministic in (model seed, day); independent of call order.
+    virtual void day_activity(int day, std::vector<observation>& out) const = 0;
+
+    /// How many last-hop (edge) routers serve this network — the router
+    /// topology generator sizes per-ASN infrastructure from this. Mobile
+    /// carriers concentrate huge address pools behind few gateways;
+    /// wireline ISPs deploy edges roughly per customer block.
+    virtual std::uint64_t edge_routers() const noexcept { return 8; }
+
+    /// Ground truth the real Internet never yields: the expected number
+    /// of subscribers active behind this network on `day`. Used only to
+    /// score census estimators (Section 7.1's counting experiment).
+    virtual std::uint64_t expected_active_subscribers(int day) const noexcept = 0;
+
+protected:
+    /// Subscriber count on `day` under linear growth. Shared by all
+    /// concrete models so Table 1's epoch growth is uniform policy.
+    static std::uint64_t grown(const model_config& cfg, int day) noexcept {
+        const double factor = 1.0 + cfg.annual_growth * (static_cast<double>(day) / 365.0);
+        const double n = static_cast<double>(cfg.subscribers) * (factor < 0.05 ? 0.05 : factor);
+        return static_cast<std::uint64_t>(n);
+    }
+
+    /// True when subscriber `s` is active on `day` (stateless draw).
+    static bool active_on(const model_config& cfg, std::uint64_t s, int day) noexcept {
+        const std::uint64_t h = hash_ids(cfg.seed, 0xACC7, s, static_cast<std::uint64_t>(day));
+        return hash_chance(h, static_cast<std::uint64_t>(cfg.daily_activity * 1e6), 1'000'000);
+    }
+
+    /// A Zipf-flavoured daily hit count in [1, 10000].
+    static std::uint32_t hits_draw(std::uint64_t h) noexcept {
+        // Inverse-power transform of a uniform draw: heavy-tailed with
+        // most clients making a handful of requests.
+        const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+        const double x = 1.0 / (0.0001 + u * 0.9999);  // 1..10000
+        return static_cast<std::uint32_t>(x < 1.0 ? 1.0 : (x > 10000.0 ? 10000.0 : x));
+    }
+};
+
+}  // namespace v6

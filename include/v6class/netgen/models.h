@@ -1,0 +1,393 @@
+// models.h — the concrete operator models.
+//
+// Each model reproduces one of the addressing practices the paper
+// documents (Sections 6.2.1/6.2.3), so the classifiers face the same
+// structural signatures that the CDN's real traffic exhibited:
+//
+//   us_mobile_carrier  — dynamic /64 pools across many /44s, reused in
+//                        days; shared fixed IIDs and one duplicated MAC
+//                        (Figure 5e, the "apparent contradiction" of
+//                        stable addresses with dynamic network ids)
+//   eu_isp             — pseudorandom 15-bit field at bits 41..55 of the
+//                        network identifier, renumbered on demand; 8-bit
+//                        subnet field biased to 0x00/0x01 (Figure 5f)
+//   jp_isp             — static per-subscriber /48s, one 16-bit value in
+//                        bits 48..63 per /48; stable EUI-64 devices
+//                        (Figure 5h)
+//   us_university      — three "customer network" hex values at nybble
+//                        32, diverse subnets below, sparse /64s full of
+//                        privacy addresses (Figure 2a)
+//   jp_telco           — statically numbered CPE: low IIDs tightly packed
+//                        inside a handful of /64s (Figure 2b's 112..128
+//                        prominence)
+//   eu_university_dept — one /64 serving ~100 DHCPv6 hosts in a few
+//                        numerically dense clusters (Figure 5g, the
+//                        2@/112-dense exemplar)
+//   relay_6to4         — 2002::/16 clients with the IPv4 address at bits
+//                        16..47 (Figure 5d)
+//   teredo_model       — 2001::/32 clients (culled in Table 1)
+//   isatap_model       — ISATAP hosts with 5efe IIDs (culled in Table 1)
+//   generic_isp        — parameterized long-tail operator for ASN-level
+//                        distributions (Figure 5a)
+#pragma once
+
+#include <memory>
+
+#include "v6class/netgen/model.h"
+
+namespace v6 {
+
+/// US mobile carrier (Figure 5e).
+/// Options for us_mobile_carrier.
+struct us_mobile_carrier_options {
+    std::uint64_t pool_64s = 0;        ///< /64 pool size; 0 = 1.25x subscribers
+    double fixed_iid_share = 0.25;     ///< devices using the shared ::1 IID
+    double duplicate_mac_share = 0.004; ///< devices with the duplicated MAC
+    double second_privacy_addr = 0.55; ///< chance of a 2nd privacy addr/day
+};
+
+class us_mobile_carrier final : public network_model {
+public:
+    using options = us_mobile_carrier_options;
+
+    /// `pools` are the carrier's advertised /44s (or similar); the /64
+    /// pool is spread contiguously across them so weekly activity packs
+    /// bits 44..63, as the paper observed.
+    us_mobile_carrier(model_config cfg, std::vector<prefix> pools, options opt = {});
+
+    std::string_view name() const noexcept override { return "us-mobile"; }
+    std::uint32_t asn() const noexcept override { return cfg_.asn; }
+    const std::vector<prefix>& bgp_prefixes() const noexcept override { return pools_; }
+    void day_activity(int day, std::vector<observation>& out) const override;
+    /// A handful of gateways front the whole pool.
+    std::uint64_t edge_routers() const noexcept override {
+        return 4 + cfg_.subscribers / 4000;
+    }
+    std::uint64_t expected_active_subscribers(int day) const noexcept override {
+        return static_cast<std::uint64_t>(
+            static_cast<double>(grown(cfg_, day)) * cfg_.daily_activity);
+    }
+
+private:
+    model_config cfg_;
+    std::vector<prefix> pools_;
+    options opt_;
+};
+
+/// European ISP with on-demand pseudorandom renumbering (Figure 5f).
+/// Options for eu_isp.
+struct eu_isp_options {
+    std::uint64_t regions = 12;      ///< distinct values of bits 19..40
+    int renumber_period_days = 15;   ///< mean days between renumbers
+    /// Share of subscribers who use the press-a-button renumbering
+    /// (Deutsche Telekom-style) every day: their network identifier —
+    /// and with it every device address, even static-IID ones — never
+    /// survives to the next day.
+    double daily_renumber_share = 0.30;
+    double eui64_device_share = 0.04;
+    double devices_mean = 2.2;       ///< household devices, 1..5
+};
+
+class eu_isp final : public network_model {
+public:
+    using options = eu_isp_options;
+
+    eu_isp(model_config cfg, prefix bgp /* a /19 */, options opt = {});
+
+    std::string_view name() const noexcept override { return "eu-isp"; }
+    std::uint32_t asn() const noexcept override { return cfg_.asn; }
+    const std::vector<prefix>& bgp_prefixes() const noexcept override { return pfx_; }
+    void day_activity(int day, std::vector<observation>& out) const override;
+    std::uint64_t edge_routers() const noexcept override {
+        return 8 + cfg_.subscribers / 25;
+    }
+    std::uint64_t expected_active_subscribers(int day) const noexcept override {
+        return static_cast<std::uint64_t>(
+            static_cast<double>(grown(cfg_, day)) * cfg_.daily_activity);
+    }
+
+private:
+    model_config cfg_;
+    std::vector<prefix> pfx_;
+    options opt_;
+};
+
+/// Japanese ISP with static per-subscriber /48s (Figure 5h).
+/// Options for jp_isp.
+struct jp_isp_options {
+    double eui64_device_share = 0.04;
+    double devices_mean = 2.8;
+};
+
+class jp_isp final : public network_model {
+public:
+    using options = jp_isp_options;
+
+    jp_isp(model_config cfg, prefix bgp /* a /24 */, options opt = {});
+
+    std::string_view name() const noexcept override { return "jp-isp"; }
+    std::uint32_t asn() const noexcept override { return cfg_.asn; }
+    const std::vector<prefix>& bgp_prefixes() const noexcept override { return pfx_; }
+    void day_activity(int day, std::vector<observation>& out) const override;
+    std::uint64_t edge_routers() const noexcept override {
+        return 8 + cfg_.subscribers / 25;
+    }
+    std::uint64_t expected_active_subscribers(int day) const noexcept override {
+        return static_cast<std::uint64_t>(
+            static_cast<double>(grown(cfg_, day)) * cfg_.daily_activity);
+    }
+
+private:
+    model_config cfg_;
+    std::vector<prefix> pfx_;
+    options opt_;
+};
+
+/// US university (Figure 2a).
+/// Options for us_university.
+struct us_university_options {
+    unsigned customer_nybbles[3] = {1, 2, 3};  ///< values seen at nybble 32
+    std::uint64_t subnets = 64;                ///< distinct /64s in use
+    double eui64_device_share = 0.05;
+};
+
+class us_university final : public network_model {
+public:
+    using options = us_university_options;
+
+    us_university(model_config cfg, prefix bgp /* a /32 */, options opt = {});
+
+    std::string_view name() const noexcept override { return "us-university"; }
+    std::uint32_t asn() const noexcept override { return cfg_.asn; }
+    const std::vector<prefix>& bgp_prefixes() const noexcept override { return pfx_; }
+    void day_activity(int day, std::vector<observation>& out) const override;
+    std::uint64_t edge_routers() const noexcept override { return 6; }
+    std::uint64_t expected_active_subscribers(int day) const noexcept override {
+        return static_cast<std::uint64_t>(
+            static_cast<double>(grown(cfg_, day)) * cfg_.daily_activity);
+    }
+
+private:
+    model_config cfg_;
+    std::vector<prefix> pfx_;
+    options opt_;
+};
+
+/// Japanese telco with statically numbered CPE (Figure 2b).
+/// Options for jp_telco.
+struct jp_telco_options {
+    std::uint64_t dense_64s = 24;      ///< /64s holding packed CPE blocks
+    std::uint64_t cpe_per_64 = 600;    ///< statically numbered hosts per /64
+    double privacy_share = 0.005;      ///< handsets with privacy IIDs
+};
+
+class jp_telco final : public network_model {
+public:
+    using options = jp_telco_options;
+
+    jp_telco(model_config cfg, prefix bgp /* a /32 */, options opt = {});
+
+    std::string_view name() const noexcept override { return "jp-telco"; }
+    std::uint32_t asn() const noexcept override { return cfg_.asn; }
+    const std::vector<prefix>& bgp_prefixes() const noexcept override { return pfx_; }
+    void day_activity(int day, std::vector<observation>& out) const override;
+    std::uint64_t edge_routers() const noexcept override { return 40; }
+    std::uint64_t expected_active_subscribers(int day) const noexcept override {
+        const std::uint64_t capped =
+            std::min<std::uint64_t>(grown(cfg_, day), opt_.dense_64s * opt_.cpe_per_64);
+        return static_cast<std::uint64_t>(static_cast<double>(capped) *
+                                          cfg_.daily_activity);
+    }
+
+private:
+    model_config cfg_;
+    std::vector<prefix> pfx_;
+    options opt_;
+};
+
+/// European university department: ~100 DHCPv6 hosts in one /64
+/// (Figure 5g). Hosts are stable; leases very occasionally move.
+/// Options for eu_university_dept.
+struct eu_university_dept_options {
+    std::uint64_t hosts = 100;
+    std::uint64_t clusters = 3;      ///< dense IID clusters (bits 72..80)
+    int lease_churn_days = 45;       ///< mean days before an IID moves
+};
+
+class eu_university_dept final : public network_model {
+public:
+    using options = eu_university_dept_options;
+
+    eu_university_dept(model_config cfg, prefix lan /* a /64 */, options opt = {});
+
+    std::string_view name() const noexcept override { return "eu-univ-dept"; }
+    std::uint32_t asn() const noexcept override { return cfg_.asn; }
+    const std::vector<prefix>& bgp_prefixes() const noexcept override { return pfx_; }
+    void day_activity(int day, std::vector<observation>& out) const override;
+    std::uint64_t edge_routers() const noexcept override { return 1; }
+
+    /// The stable DHCPv6 address of host `h` during lease epoch `e`;
+    /// exposed so the DNS simulator can name the same hosts "dhcpv6-N".
+    address host_address(std::uint64_t h, int day) const noexcept;
+    std::uint64_t expected_active_subscribers(int day) const noexcept override {
+        return static_cast<std::uint64_t>(
+            static_cast<double>(grown(cfg_, day)) * cfg_.daily_activity);
+    }
+
+private:
+    model_config cfg_;
+    std::vector<prefix> pfx_;
+    options opt_;
+};
+
+/// 6to4 relay clients (Figure 5d). The model's "subscribers" are
+/// dual-stack hosts whose IPv4 address seeds 2002:V4::/48.
+/// Options for relay_6to4.
+struct relay_6to4_options {
+    double low_iid_share = 0.45;  ///< CPE with ::1-style IIDs
+};
+
+class relay_6to4 final : public network_model {
+public:
+    using options = relay_6to4_options;
+
+    explicit relay_6to4(model_config cfg, options opt = {});
+
+    std::string_view name() const noexcept override { return "6to4-relay"; }
+    std::uint32_t asn() const noexcept override { return cfg_.asn; }
+    const std::vector<prefix>& bgp_prefixes() const noexcept override { return pfx_; }
+    void day_activity(int day, std::vector<observation>& out) const override;
+    /// Relays are anycast; few distinct boxes respond.
+    std::uint64_t edge_routers() const noexcept override { return 6; }
+    std::uint64_t expected_active_subscribers(int day) const noexcept override {
+        return static_cast<std::uint64_t>(
+            static_cast<double>(grown(cfg_, day)) * cfg_.daily_activity);
+    }
+
+private:
+    model_config cfg_;
+    std::vector<prefix> pfx_;  // 2002::/16
+    options opt_;
+};
+
+/// Teredo clients (2001::/32).
+class teredo_model final : public network_model {
+public:
+    explicit teredo_model(model_config cfg);
+
+    std::string_view name() const noexcept override { return "teredo"; }
+    std::uint32_t asn() const noexcept override { return cfg_.asn; }
+    const std::vector<prefix>& bgp_prefixes() const noexcept override { return pfx_; }
+    void day_activity(int day, std::vector<observation>& out) const override;
+    std::uint64_t edge_routers() const noexcept override { return 3; }
+    std::uint64_t expected_active_subscribers(int day) const noexcept override {
+        return static_cast<std::uint64_t>(
+            static_cast<double>(grown(cfg_, day)) * cfg_.daily_activity);
+    }
+
+private:
+    model_config cfg_;
+    std::vector<prefix> pfx_;  // 2001::/32
+};
+
+/// ISATAP hosts inside enterprise prefixes.
+class isatap_model final : public network_model {
+public:
+    isatap_model(model_config cfg, prefix enterprise /* a /48 */);
+
+    std::string_view name() const noexcept override { return "isatap"; }
+    std::uint32_t asn() const noexcept override { return cfg_.asn; }
+    const std::vector<prefix>& bgp_prefixes() const noexcept override { return pfx_; }
+    void day_activity(int day, std::vector<observation>& out) const override;
+    std::uint64_t edge_routers() const noexcept override { return 2; }
+    std::uint64_t expected_active_subscribers(int day) const noexcept override {
+        return static_cast<std::uint64_t>(
+            static_cast<double>(grown(cfg_, day)) * cfg_.daily_activity);
+    }
+
+private:
+    model_config cfg_;
+    std::vector<prefix> pfx_;
+};
+
+/// Options for hosting_provider.
+struct hosting_provider_options {
+    std::uint64_t racks = 12;          ///< /64s holding server racks
+    std::uint64_t servers_per_rack = 40;
+    double vhost_share = 0.25;         ///< servers with extra vhost addresses
+    std::uint64_t vhosts_mean = 6;     ///< additional sequential addresses
+};
+
+/// Hosting/cloud provider: racks of always-on servers with static,
+/// sequential low IIDs — another source of dense, scannable blocks and
+/// of very stable addresses (they fetch from the CDN as origin clients).
+class hosting_provider final : public network_model {
+public:
+    using options = hosting_provider_options;
+
+    hosting_provider(model_config cfg, prefix bgp, options opt = {});
+
+    std::string_view name() const noexcept override { return "hosting"; }
+    std::uint32_t asn() const noexcept override { return cfg_.asn; }
+    const std::vector<prefix>& bgp_prefixes() const noexcept override { return pfx_; }
+    void day_activity(int day, std::vector<observation>& out) const override;
+    std::uint64_t edge_routers() const noexcept override {
+        return 2 + opt_.racks / 4;
+    }
+    std::uint64_t expected_active_subscribers(int day) const noexcept override {
+        (void)day;  // servers are always-on: the farm does not churn
+        return static_cast<std::uint64_t>(
+            static_cast<double>(opt_.racks * opt_.servers_per_rack) *
+            cfg_.daily_activity);
+    }
+
+private:
+    model_config cfg_;
+    std::vector<prefix> pfx_;
+    options opt_;
+};
+
+/// Addressing plan of a long-tail operator.
+enum class isp_practice : std::uint8_t {
+    static_64_per_subscriber,  ///< fixed /64, privacy + EUI devices
+    dynamic_64_pool,           ///< mobile-like reassignment
+    static_48_per_subscriber,  ///< JP-style
+    shared_64,                 ///< many users in few /64s (DHCPv6)
+};
+
+/// Options for generic_isp.
+struct generic_isp_options {
+    isp_practice plan = isp_practice::static_64_per_subscriber;
+    double eui64_device_share = 0.03;
+    double low_iid_share = 0.05;
+    double devices_mean = 1.8;
+};
+
+/// Parameterized long-tail ISP used to populate the ASN distributions.
+class generic_isp final : public network_model {
+public:
+    using practice = isp_practice;
+    using options = generic_isp_options;
+
+    generic_isp(std::string name, model_config cfg, prefix bgp, options opt = {});
+
+    std::string_view name() const noexcept override { return name_; }
+    std::uint32_t asn() const noexcept override { return cfg_.asn; }
+    const std::vector<prefix>& bgp_prefixes() const noexcept override { return pfx_; }
+    void day_activity(int day, std::vector<observation>& out) const override;
+    std::uint64_t edge_routers() const noexcept override {
+        return 4 + cfg_.subscribers / 25;
+    }
+    std::uint64_t expected_active_subscribers(int day) const noexcept override {
+        return static_cast<std::uint64_t>(
+            static_cast<double>(grown(cfg_, day)) * cfg_.daily_activity);
+    }
+
+private:
+    std::string name_;
+    model_config cfg_;
+    std::vector<prefix> pfx_;
+    options opt_;
+};
+
+}  // namespace v6

@@ -1,0 +1,73 @@
+// rir_registry.h — synthetic RIR allocations, BGP origination, and
+// longest-prefix-match routing for the simulated IPv6 Internet.
+//
+// The paper groups observations by advertised BGP prefix and by origin
+// ASN (Figures 5a/5b; Section 4.1 counts 6,872 BGP prefixes from 4,420
+// ASNs). This registry reproduces that structure: regional blocks in
+// 2000::/3 are carved into LIR allocations, each originated by an ASN,
+// and a longest-prefix-match table maps any address back to its covering
+// BGP prefix and ASN.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "v6class/ip/prefix.h"
+#include "v6class/trie/prefix_map.h"
+
+namespace v6 {
+
+/// The five regional Internet registries.
+enum class rir : std::uint8_t { arin, ripe, apnic, lacnic, afrinic };
+
+std::string_view to_string(rir r) noexcept;
+
+/// One advertised BGP route: a prefix and its origin ASN.
+struct bgp_route {
+    prefix pfx;
+    std::uint32_t asn = 0;
+
+    friend bool operator==(const bgp_route&, const bgp_route&) = default;
+};
+
+/// Allocates prefixes region by region and answers origin lookups.
+class rir_registry {
+public:
+    rir_registry();
+
+    /// Allocates the next free /len block in `region` to `asn` and
+    /// advertises it. Throws std::length_error when the region block is
+    /// exhausted (cannot happen at simulation scales). len in [16, 64].
+    prefix allocate(rir region, std::uint32_t asn, unsigned len);
+
+    /// Advertises an externally chosen route (e.g. the 6to4 2002::/16).
+    void advertise(const prefix& pfx, std::uint32_t asn);
+
+    /// All advertised routes in address order.
+    const std::vector<bgp_route>& routes() const noexcept;
+
+    /// Longest-prefix match: the most specific advertised route covering
+    /// `a`, or nullopt when unrouted.
+    std::optional<bgp_route> origin_of(const address& a) const noexcept;
+
+    /// Number of distinct origin ASNs advertised.
+    std::size_t asn_count() const;
+
+private:
+    struct region_state {
+        address next;   // next unallocated block base
+        address limit;  // first address past the region
+    };
+
+    region_state& state_of(rir region);
+
+    std::map<rir, region_state> regions_;
+    prefix_map<std::uint32_t> table_;        // longest-prefix-match to ASN
+    mutable std::vector<bgp_route> routes_;  // kept sorted by prefix
+    mutable bool sorted_ = true;
+};
+
+}  // namespace v6

@@ -1,0 +1,114 @@
+// rng.h — deterministic pseudo-random utilities for the synthetic
+// workload generators.
+//
+// All simulation randomness flows through these primitives so that every
+// bench and test is reproducible from a single seed. Two styles are
+// provided: a sequential xoshiro256** stream for shuffles and draws, and
+// stateless splitmix64 hashing for "functional" randomness — a value that
+// must be recomputable from (seed, subscriber, day) without storing
+// per-subscriber state.
+#pragma once
+
+#include <cstdint>
+
+namespace v6 {
+
+/// splitmix64 finalizer: a high-quality 64-bit mix usable as a stateless
+/// hash of packed identifiers.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/// Stateless hash of up to three identifiers under a seed; the workhorse
+/// behind "subscriber s's privacy IID on day d".
+constexpr std::uint64_t hash_ids(std::uint64_t seed, std::uint64_t a,
+                                 std::uint64_t b = 0, std::uint64_t c = 0) noexcept {
+    std::uint64_t h = mix64(seed ^ 0x243f6a8885a308d3ull);
+    h = mix64(h ^ a);
+    h = mix64(h ^ b);
+    h = mix64(h ^ c);
+    return h;
+}
+
+/// Stateless uniform draw in [0, bound) from hashed identifiers.
+/// bound must be non-zero. Uses the fixed-point multiply reduction.
+constexpr std::uint64_t hash_uniform(std::uint64_t h, std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(h) * bound) >> 64);
+}
+
+/// Stateless Bernoulli draw: true with probability `num`/`den`.
+constexpr bool hash_chance(std::uint64_t h, std::uint64_t num,
+                           std::uint64_t den) noexcept {
+    return hash_uniform(h, den) < num;
+}
+
+/// xoshiro256** — sequential generator for shuffles and order-dependent
+/// draws. Satisfies std::uniform_random_bit_generator.
+class rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit rng(std::uint64_t seed) noexcept {
+        // Seed the four lanes via splitmix64, per the reference code.
+        std::uint64_t s = seed;
+        for (auto& lane : state_) lane = mix64(s += 0x9e3779b97f4a7c15ull);
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+    result_type operator()() noexcept {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform in [0, bound); bound must be non-zero.
+    std::uint64_t uniform(std::uint64_t bound) noexcept {
+        return hash_uniform((*this)(), bound);
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform_double() noexcept {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /// True with probability p.
+    bool chance(double p) noexcept { return uniform_double() < p; }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+    std::uint64_t state_[4];
+};
+
+/// Bounded Zipf(s) sampler over ranks 1..n by inverse-CDF table lookup;
+/// used for ASN size distributions and client hit counts.
+class zipf_sampler {
+public:
+    zipf_sampler(std::uint64_t n, double exponent);
+
+    /// Draws a rank in [1, n]; rank 1 is the most probable.
+    std::uint64_t operator()(rng& r) const noexcept;
+
+    /// The probability mass of rank k.
+    double mass(std::uint64_t rank) const noexcept;
+
+private:
+    std::uint64_t n_;
+    double exponent_;
+    double norm_;
+};
+
+}  // namespace v6

@@ -1,0 +1,53 @@
+// scan.h — active-scan simulation over the IPv6 space (Section 6.2.2).
+//
+// The paper's feasibility argument: scanning a /112 (64K addresses) is
+// as cheap as scanning an IPv4 /16, so the dense prefixes discovered
+// spatially are practical probe targets — whereas blind scanning of the
+// IPv6 unicast space can never hit anything. This module simulates such
+// scans against a known set of responding hosts and quantifies the
+// difference, plus a budgeted scheduler that orders blocks by observed
+// density (densest first) the way a real survey would.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "v6class/spatial/density.h"
+
+namespace v6 {
+
+/// The outcome of one simulated scan campaign.
+struct scan_outcome {
+    std::uint64_t probes = 0;      ///< addresses probed
+    std::uint64_t responders = 0;  ///< probed addresses that were live
+    double hit_rate() const noexcept {
+        return probes ? static_cast<double>(responders) / static_cast<double>(probes)
+                      : 0.0;
+    }
+};
+
+/// Probes exactly `targets` against the sorted live-host set.
+scan_outcome run_scan(const std::vector<address>& targets,
+                      const std::vector<address>& live_hosts);
+
+/// Budgeted dense-block survey: expands the given dense prefixes in
+/// descending observed-count order (densest blocks first) until `budget`
+/// probes are spent. Returns the outcome plus how many blocks were
+/// fully covered.
+struct survey_outcome {
+    scan_outcome scan;
+    std::size_t blocks_started = 0;
+    std::size_t blocks_completed = 0;
+};
+survey_outcome run_dense_survey(std::vector<dense_prefix> dense,
+                                const std::vector<address>& live_hosts,
+                                std::uint64_t budget);
+
+/// Baseline: `budget` probes drawn uniformly at random from the host
+/// bits of the given covering prefixes (e.g. the active BGP prefixes) —
+/// the blind strategy the paper rules out.
+scan_outcome run_random_scan(const std::vector<prefix>& within,
+                             const std::vector<address>& live_hosts,
+                             std::uint64_t budget, std::uint64_t seed);
+
+}  // namespace v6

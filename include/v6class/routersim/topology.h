@@ -1,0 +1,89 @@
+// topology.h — synthetic router infrastructure and TTL-limited probing
+// (the substitution for the paper's Section 4.2 router-address dataset).
+//
+// For every origin ASN of the simulated world the generator lays out a
+// three-tier topology (core / aggregation / edge) with the numbering
+// practices that make real router addresses spatially dense:
+//
+//   * loopbacks packed sequentially in a /112 block,
+//   * point-to-point links carved as /127s from a contiguous region,
+//
+// both inside an "infrastructure /48" carved from the top of the ASN's
+// first BGP prefix. TTL-limited probes toward a target elicit ICMPv6
+// Time Exceeded responses from each hop — exactly the mechanism the
+// paper used to collect 3.2M router addresses. The last hop (the edge
+// router serving the target's LAN) only answers when the target address
+// is live on the probe day: probes toward a vanished privacy address or
+// a released dynamic /64 stop at aggregation. That asymmetry is what
+// makes 3d-stable addresses the better probe targets (Section 6.1.1).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "v6class/cdnsim/world.h"
+#include "v6class/ip/address.h"
+
+namespace v6 {
+
+/// Topology sizing knobs.
+struct topology_config {
+    std::uint64_t seed = 7;
+    /// Aggregation routers per this many edge routers.
+    unsigned edges_per_agg = 16;
+    /// Core routers per this many aggregation routers.
+    unsigned aggs_per_core = 8;
+    /// Transit routers between the CDN and every origin ASN.
+    unsigned transit_routers = 24;
+};
+
+/// The synthetic router plant plus the probing engine.
+class router_topology {
+public:
+    router_topology(const world& w, topology_config cfg = {});
+
+    /// Every router interface address (loopbacks + p2p links), sorted —
+    /// the full census a perfect probing campaign could discover. Stands
+    /// in for the paper's 3.2M-address router dataset in Table 3.
+    const std::vector<address>& interfaces() const noexcept { return interfaces_; }
+
+    /// The ICMPv6 Time Exceeded source addresses a TTL-limited probe
+    /// toward `target` elicits. `live_targets` is the sorted set of
+    /// addresses active on the probe day: the last-hop edge router only
+    /// answers when the target is among them.
+    std::vector<address> trace(const address& target,
+                               const std::vector<address>& live_targets) const;
+
+    /// Runs a probing campaign: traces every target, returns the distinct
+    /// router addresses discovered (sorted).
+    std::vector<address> probe_campaign(const std::vector<address>& targets,
+                                        const std::vector<address>& live_targets) const;
+
+    /// Recursive-resolver addresses (they sit next to core routers in the
+    /// infrastructure blocks) — the IPv4-style strategy's favourite
+    /// targets.
+    const std::vector<address>& resolver_addresses() const noexcept {
+        return resolvers_;
+    }
+
+private:
+    struct asn_plant {
+        std::uint32_t asn = 0;
+        std::vector<address> core_ifaces;
+        std::vector<address> agg_ifaces;
+        std::vector<address> edge_ifaces;
+    };
+
+    const asn_plant* plant_of(const address& target) const;
+
+    const world* world_;
+    topology_config cfg_;
+    std::vector<address> interfaces_;
+    std::vector<address> resolvers_;
+    std::vector<address> cdn_side_;  // the CDN's own first hops
+    std::vector<address> transit_;
+    std::unordered_map<std::uint32_t, asn_plant> plants_;
+};
+
+}  // namespace v6

@@ -1,0 +1,24 @@
+// boxplot.h — distribution summaries for Figure 5b: per-BGP-prefix
+// aggregation-ratio distributions summarized as the paper's box plots
+// (median, middle 50%, middle 90%, and whiskers to the absolute extremes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace v6 {
+
+/// The five-plus-two-number summary the paper's Figure 5b boxes show.
+struct boxplot_summary {
+    double min = 0, p5 = 0, p25 = 0, median = 0, p75 = 0, p95 = 0, max = 0;
+    std::size_t samples = 0;
+};
+
+/// Empirical percentile by linear interpolation between order statistics
+/// (the common "type 7" estimator). q in [0,1]; samples need not be sorted.
+double percentile(std::vector<double> samples, double q);
+
+/// Builds the full summary from a sample (copied and sorted internally).
+boxplot_summary summarize(std::vector<double> samples);
+
+}  // namespace v6

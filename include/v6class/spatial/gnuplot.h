@@ -1,0 +1,38 @@
+// gnuplot.h — emit gnuplot scripts + data files for the paper's figures.
+//
+// The ASCII renderers give an immediate terminal view; these writers
+// produce publication-style artifacts: a .dat file per series and a .gp
+// script that reproduces the paper's axes (log2 y for MRA plots, log-log
+// for CCDFs). Rendering requires gnuplot but generating the files does
+// not.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "v6class/spatial/mra_plot.h"
+#include "v6class/spatial/population.h"
+
+namespace v6 {
+
+/// Writes `<stem>.dat` and `<stem>.gp` under `dir` for one MRA plot.
+/// Returns the path of the script. Throws std::runtime_error on I/O
+/// failure.
+std::filesystem::path write_mra_gnuplot(const std::filesystem::path& dir,
+                                        const std::string& stem,
+                                        const mra_plot_data& plot);
+
+/// One CCDF curve with its legend label.
+struct labeled_ccdf {
+    std::string label;
+    std::vector<ccdf_point> points;
+};
+
+/// Writes `<stem>_<i>.dat` per curve and one `<stem>.gp` with log-log
+/// axes (the Figure 3 / Figure 5a style). Returns the script path.
+std::filesystem::path write_ccdf_gnuplot(const std::filesystem::path& dir,
+                                         const std::string& stem,
+                                         const std::vector<labeled_ccdf>& curves);
+
+}  // namespace v6

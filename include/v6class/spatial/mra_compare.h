@@ -1,0 +1,30 @@
+// mra_compare.h — comparing address populations by MRA shape.
+//
+// Two networks with the same addressing plan produce near-identical MRA
+// ratio curves regardless of their size (the ratios are normalized by
+// construction). A distance over log-ratio curves therefore groups
+// networks by *practice* — the automation of the paper's visual
+// methodology in Section 6.2.1, where plans were compared by eye across
+// Figure 5's panels.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "v6class/spatial/mra.h"
+
+namespace v6 {
+
+/// Root-mean-square distance between two MRA series' log2 ratio curves
+/// at resolution k (k must divide 128). 0 = identical aggregation
+/// structure; curves are compared pointwise across prefix lengths.
+double mra_distance(const mra_series& a, const mra_series& b, unsigned k = 4);
+
+/// Simple agglomerative clustering of populations by MRA distance:
+/// single-linkage, merging until no pair of clusters is closer than
+/// `threshold`. Returns cluster ids, one per input (ids are dense,
+/// starting at 0).
+std::vector<std::size_t> cluster_by_mra(const std::vector<mra_series>& series,
+                                        double threshold, unsigned k = 4);
+
+}  // namespace v6

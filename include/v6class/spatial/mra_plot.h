@@ -1,0 +1,37 @@
+// mra_plot.h — the Multi-Resolution Aggregate plot (Figures 2 and 5):
+// aggregation count ratios at three resolutions (16-bit segments, 4-bit
+// nybbles, single bits) against prefix length, on a log2 y scale.
+//
+// The library renders the plot two ways: as CSV series for external
+// plotting, and as a self-contained ASCII chart so the bench binaries can
+// show the shape directly in a terminal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "v6class/spatial/mra.h"
+
+namespace v6 {
+
+/// The plotted data of one MRA plot.
+struct mra_plot_data {
+    std::string title;
+    std::uint64_t address_count = 0;
+    std::vector<double> bits;      ///< gamma^1_p, p = 0..127  (128 points)
+    std::vector<double> nybbles;   ///< gamma^4_p, p = 0,4,...,124 (32 points)
+    std::vector<double> segments;  ///< gamma^16_p, p = 0,16,...,112 (8 points)
+};
+
+/// Builds plot data from an MRA series.
+mra_plot_data make_mra_plot(const mra_series& mra, std::string title);
+
+/// CSV with header "p,k,ratio", one row per plotted point.
+std::string to_csv(const mra_plot_data& plot);
+
+/// ASCII rendering: x = prefix length 0..128, y = log2(ratio) rows from
+/// 2^0 up to 2^16. `height` is the number of character rows (default one
+/// row per power of two).
+std::string render_ascii(const mra_plot_data& plot, unsigned height = 17);
+
+}  // namespace v6

@@ -1,0 +1,33 @@
+// population.h — aggregate population distributions (Kohler et al.),
+// used for Figure 3 of the paper: the complementary CDF of the number of
+// observed addresses (or /64s) per aggregate of a given length.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "v6class/ip/address.h"
+
+namespace v6 {
+
+/// Populations of every active /agg_len aggregate: for each /agg_len
+/// prefix containing at least one input element, the number of distinct
+/// elements it contains. Input is copied, deduplicated internally. The
+/// result is sorted ascending.
+std::vector<std::uint64_t> aggregate_populations(std::vector<address> elements,
+                                                 unsigned agg_len);
+
+/// One point of an empirical complementary CDF.
+struct ccdf_point {
+    double value = 0.0;       ///< threshold x
+    double proportion = 0.0;  ///< P(X >= x)
+};
+
+/// Empirical CCDF of a sample: for each distinct value x ascending, the
+/// proportion of samples >= x. The first point is always (min, 1.0).
+std::vector<ccdf_point> ccdf_of(std::vector<std::uint64_t> samples);
+
+/// Reads a CCDF at a threshold: proportion of samples >= x.
+double ccdf_at(const std::vector<ccdf_point>& ccdf, double x) noexcept;
+
+}  // namespace v6

@@ -1,0 +1,68 @@
+// spatial_class.h — MRA/density-based address classes.
+//
+// Section 5.2.1 closes: "While defining MRA-based address classes is
+// left for future work, we begin by developing spatial classification by
+// identifying dense prefixes." This header finishes that thought: every
+// address of a population is assigned a spatial class from the structure
+// of its surroundings — the quantity the MRA plot visualizes — so the
+// spatial dimension becomes a per-address label like the temporal one.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "v6class/trie/radix_tree.h"
+
+namespace v6 {
+
+/// Where an address sits in the observed population's structure.
+enum class spatial_class : std::uint8_t {
+    /// Inside an n@/p-dense block: tightly packed neighbours, a natural
+    /// scan target (the 2001:db8:10:8::17f kind).
+    dense_block,
+    /// Shares its /64 with several observed addresses but no dense
+    /// block: a busy subnet of distinct hosts (privacy churn, DHCPv6).
+    busy_subnet,
+    /// Effectively alone under its /64 with a low interface identifier
+    /// (::1-style): manual assignment, likely infrastructure or CPE.
+    lone_low,
+    /// Effectively alone with a high-entropy identifier: the classic
+    /// isolated privacy/SLAAC host.
+    lone_random,
+};
+
+std::string_view to_string(spatial_class c) noexcept;
+
+/// Tuning knobs; the defaults mirror the paper's working parameters.
+struct spatial_class_options {
+    std::uint64_t dense_n = 2;   ///< the n of n@/p-dense
+    unsigned dense_p = 112;      ///< the p of n@/p-dense
+    std::uint64_t busy_k = 4;    ///< /64 population that counts as busy
+};
+
+/// Classifies addresses of a population against the population itself.
+///
+/// Build the classifier once over the observed set (each distinct
+/// address added to the tree at /128), then query any member. Querying
+/// an address absent from the population classifies its *position* the
+/// same way (with itself not counted).
+class spatial_classifier {
+public:
+    /// The tree must contain the population as /128 entries; it is
+    /// borrowed and must outlive the classifier.
+    explicit spatial_classifier(const radix_tree& population,
+                                spatial_class_options options = {});
+
+    spatial_class classify(const address& a) const noexcept;
+
+    /// Classifies a whole set and tallies per class (indexed by the enum
+    /// value; 4 entries).
+    std::vector<std::uint64_t> tally(const std::vector<address>& addrs) const;
+
+private:
+    const radix_tree* population_;
+    spatial_class_options opt_;
+};
+
+}  // namespace v6

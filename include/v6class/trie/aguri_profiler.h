@@ -1,0 +1,49 @@
+// aguri_profiler.h — memory-bounded online address profiler in the style
+// of Cho et al.'s aguri (QofIS 2001), which the paper adapts for
+// structure discovery under resource constraints (Section 2, Section 5.2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "v6class/trie/radix_tree.h"
+
+namespace v6 {
+
+/// One line of an aguri-style profile: an aggregate, the count it
+/// accumulated, and its share of the total.
+struct profile_entry {
+    prefix pfx;
+    std::uint64_t count = 0;
+    double share = 0.0;
+};
+
+/// Streams addresses into a radix tree while keeping the tree within a
+/// node budget: whenever the tree grows past `node_budget`, sub-threshold
+/// aggregates are folded into their parents (aguri's periodic reclaim).
+///
+/// The final profile lists every aggregate holding at least `min_share`
+/// of the observations, least-specific first, with any residue that could
+/// not meet the share accumulated at ::/0.
+class aguri_profiler {
+public:
+    /// `node_budget` bounds trie memory; `min_share` is the aggregation
+    /// threshold (default 1%, aguri's customary resolution).
+    explicit aguri_profiler(std::size_t node_budget = 4096, double min_share = 0.01);
+
+    void observe(const address& a, std::uint64_t count = 1);
+
+    std::uint64_t total() const noexcept { return tree_.total(); }
+    std::size_t node_count() const noexcept { return tree_.node_count(); }
+
+    /// Aggregates to the final threshold and returns the profile in
+    /// address order.
+    std::vector<profile_entry> profile();
+
+private:
+    radix_tree tree_;
+    std::size_t node_budget_;
+    double min_share_;
+};
+
+}  // namespace v6

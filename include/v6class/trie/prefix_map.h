@@ -1,0 +1,147 @@
+// prefix_map.h — a longest-prefix-match map from IPv6 prefixes to
+// arbitrary values, on the same Patricia structure as radix_tree.
+//
+// This is the routing-table abstraction the measurement pipeline leans
+// on: BGP origin lookup, policy tagging, per-prefix aggregation keys.
+// Unlike radix_tree (which accumulates counts), prefix_map stores one
+// value per inserted prefix and answers exact and longest-match queries.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "v6class/ip/prefix.h"
+
+namespace v6 {
+
+template <typename Value>
+class prefix_map {
+public:
+    prefix_map() = default;
+    prefix_map(prefix_map&&) noexcept = default;
+    prefix_map& operator=(prefix_map&&) noexcept = default;
+
+    /// Inserts or replaces the value at `p`. Returns true when a new
+    /// entry was created (false when an existing one was overwritten).
+    bool insert(const prefix& p, Value value) {
+        return insert_recursive(root_, p, std::move(value));
+    }
+
+    /// The value stored exactly at `p`, if any.
+    const Value* find(const prefix& p) const noexcept {
+        const node* n = root_.get();
+        while (n) {
+            const unsigned meet = meet_length(n->pfx, p);
+            if (meet < n->pfx.length()) return nullptr;
+            if (n->pfx.length() == p.length())
+                return n->has_value ? &n->value : nullptr;
+            n = n->child[p.base().bit(n->pfx.length())].get();
+        }
+        return nullptr;
+    }
+
+    /// The (prefix, value) of the most specific entry covering `a`.
+    std::optional<std::pair<prefix, std::reference_wrapper<const Value>>>
+    longest_match(const address& a) const noexcept {
+        const node* best = nullptr;
+        const node* n = root_.get();
+        while (n) {
+            if (!n->pfx.contains(a)) break;
+            if (n->has_value) best = n;
+            if (n->pfx.length() == 128) break;
+            n = n->child[a.bit(n->pfx.length())].get();
+        }
+        if (!best) return std::nullopt;
+        return std::make_pair(best->pfx, std::cref(best->value));
+    }
+
+    /// Visits every entry in address order.
+    void visit(const std::function<void(const prefix&, const Value&)>& fn) const {
+        visit_recursive(root_.get(), fn);
+    }
+
+    std::size_t size() const noexcept { return size_; }
+    bool empty() const noexcept { return size_ == 0; }
+    void clear() noexcept {
+        root_.reset();
+        size_ = 0;
+    }
+
+private:
+    struct node {
+        prefix pfx;
+        bool has_value = false;
+        Value value{};
+        std::unique_ptr<node> child[2];
+    };
+
+    static unsigned meet_length(const prefix& a, const prefix& b) noexcept {
+        const unsigned common = a.base().common_prefix_length(b.base());
+        return common < a.length() ? (common < b.length() ? common : b.length())
+               : a.length() < b.length() ? a.length()
+                                         : b.length();
+    }
+
+    bool insert_recursive(std::unique_ptr<node>& slot, const prefix& p, Value value) {
+        if (!slot) {
+            slot = std::make_unique<node>();
+            slot->pfx = p;
+            slot->has_value = true;
+            slot->value = std::move(value);
+            ++size_;
+            return true;
+        }
+        node& n = *slot;
+        const unsigned meet = meet_length(n.pfx, p);
+        if (meet == n.pfx.length() && meet == p.length()) {
+            const bool fresh = !n.has_value;
+            n.has_value = true;
+            n.value = std::move(value);
+            if (fresh) ++size_;
+            return fresh;
+        }
+        if (meet == n.pfx.length()) {
+            const unsigned bit = p.base().bit(n.pfx.length());
+            return insert_recursive(n.child[bit], p, std::move(value));
+        }
+        if (meet == p.length()) {
+            auto covering = std::make_unique<node>();
+            covering->pfx = p;
+            covering->has_value = true;
+            covering->value = std::move(value);
+            const unsigned bit = n.pfx.base().bit(p.length());
+            covering->child[bit] = std::move(slot);
+            slot = std::move(covering);
+            ++size_;
+            return true;
+        }
+        auto branch = std::make_unique<node>();
+        branch->pfx = prefix{p.base(), meet};
+        auto leaf = std::make_unique<node>();
+        leaf->pfx = p;
+        leaf->has_value = true;
+        leaf->value = std::move(value);
+        const unsigned existing_bit = n.pfx.base().bit(meet);
+        branch->child[existing_bit] = std::move(slot);
+        branch->child[1 - existing_bit] = std::move(leaf);
+        slot = std::move(branch);
+        ++size_;
+        return true;
+    }
+
+    static void visit_recursive(
+        const node* n, const std::function<void(const prefix&, const Value&)>& fn) {
+        if (!n) return;
+        if (n->has_value) fn(n->pfx, n->value);
+        visit_recursive(n->child[0].get(), fn);
+        visit_recursive(n->child[1].get(), fn);
+    }
+
+    std::unique_ptr<node> root_;
+    std::size_t size_ = 0;
+};
+
+}  // namespace v6

@@ -1,0 +1,120 @@
+// radix_tree.h — binary Patricia (path-compressed radix) trie over IPv6
+// prefixes, with the aggregation operations of Cho et al.'s aguri and the
+// paper's "densify" operation (Section 5.2.3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "v6class/ip/address.h"
+#include "v6class/ip/prefix.h"
+
+namespace v6 {
+
+/// One dense prefix reported by a densify query: the prefix plus the
+/// number of observed addresses it covers.
+struct dense_prefix {
+    prefix pfx;
+    std::uint64_t observed = 0;
+
+    friend bool operator==(const dense_prefix&, const dense_prefix&) = default;
+};
+
+/// A binary Patricia trie whose nodes are IPv6 prefixes carrying counts.
+///
+/// Counts accumulate at the exact prefix a caller adds (a full address is
+/// the /128 prefix); internal branch nodes created by path compression
+/// carry a zero own-count until aggregation moves descendants' counts up
+/// into them. Subtree sums are therefore invariant under the aggregation
+/// operations.
+class radix_tree {
+public:
+    radix_tree() = default;
+    radix_tree(radix_tree&&) noexcept = default;
+    radix_tree& operator=(radix_tree&&) noexcept = default;
+
+    /// Adds `count` observations of address `a` (at /128).
+    void add(const address& a, std::uint64_t count = 1) { add(prefix{a, 128}, count); }
+
+    /// Adds `count` observations attributed to prefix `p` exactly.
+    void add(const prefix& p, std::uint64_t count = 1);
+
+    /// Sum of all counts in the tree.
+    std::uint64_t total() const noexcept { return total_; }
+
+    /// Number of trie nodes currently allocated (branch + counted).
+    std::size_t node_count() const noexcept { return node_count_; }
+
+    /// True when nothing has been added.
+    bool empty() const noexcept { return root_ == nullptr; }
+
+    /// Removes everything.
+    void clear() noexcept;
+
+    /// Count attributed exactly to `p` (not including descendants).
+    std::uint64_t count_at(const prefix& p) const noexcept;
+
+    /// Sum of counts of `p` and all more-specific prefixes beneath it.
+    std::uint64_t subtree_count(const prefix& p) const noexcept;
+
+    /// The longest prefix in the tree that covers `a` and carries a
+    /// non-zero own count; nullopt when none does.
+    std::optional<prefix> longest_match(const address& a) const noexcept;
+
+    /// Visits every node that carries a non-zero own count, in address
+    /// order (pre-order), as (prefix, own count).
+    void visit(const std::function<void(const prefix&, std::uint64_t)>& fn) const;
+
+    /// Visits the length of every node at which the tree splits (both
+    /// children present), in no particular order. For a tree of /128
+    /// leaves, the aggregate count n_p equals 1 + the number of split
+    /// lengths < p — the basis of the trie-backed MRA computation.
+    void visit_splits(const std::function<void(unsigned)>& fn) const;
+
+    /// aguri aggregation (Cho et al.): every node whose *subtree* share of
+    /// the total is below `min_share` is folded into its nearest ancestor,
+    /// post-order, so the remaining counted nodes each hold at least
+    /// `min_share` of the total (the root absorbs any remainder).
+    void aggregate_by_share(double min_share);
+
+    /// Densify at one exact prefix length (the paper's `n@/p-dense`
+    /// class, used for Table 3): returns every /p prefix covering at
+    /// least `min_count` of the tree's counted observations, in address
+    /// order. Precondition: p <= 128.
+    std::vector<dense_prefix> dense_prefixes_at(std::uint64_t min_count, unsigned p) const;
+
+    /// General densify (Section 5.2.3): returns the least-specific,
+    /// non-overlapping prefixes of length <= 127 whose observation count
+    /// meets the density n/2^(128-p), i.e. a /q prefix qualifies when it
+    /// covers at least n * 2^(p-q) observations. Results are in address
+    /// order; every reported prefix covers >= `n` observations.
+    std::vector<dense_prefix> densify(std::uint64_t n, unsigned p) const;
+
+private:
+    struct node {
+        prefix pfx;            // the prefix this node stands for
+        std::uint64_t count = 0;  // observations attributed exactly here
+        std::unique_ptr<node> child[2];
+    };
+
+    void add_recursive(std::unique_ptr<node>& slot, const prefix& p, std::uint64_t count);
+    const node* find_node(const prefix& p) const noexcept;
+    static std::uint64_t subtree_sum(const node& n) noexcept;
+
+    std::unique_ptr<node> root_;
+    std::uint64_t total_ = 0;
+    std::size_t node_count_ = 0;
+};
+
+/// Reference implementation of the exact-length dense query by the
+/// paper's footnote-3 recipe — print addresses as fixed-width hex, cut to
+/// p/4 characters, sort, uniq -c — for cross-checking the trie. The
+/// address list is copied and sorted internally; duplicates count once
+/// per occurrence, matching radix_tree::add of each element.
+std::vector<dense_prefix> dense_prefixes_by_sort(std::vector<address> addrs,
+                                                 std::uint64_t min_count, unsigned p);
+
+}  // namespace v6

@@ -1,0 +1,173 @@
+#include "v6class/addrtype/classify.h"
+
+namespace v6 {
+
+namespace {
+
+constexpr std::uint16_t kTeredoHextet0 = 0x2001;
+constexpr std::uint16_t kTeredoHextet1 = 0x0000;
+constexpr std::uint16_t k6to4Hextet0 = 0x2002;
+constexpr std::uint16_t kDocHextet1 = 0x0db8;
+
+bool has_isatap_marker(std::uint64_t iid) noexcept {
+    // RFC 5214: IID is 00-00-5E-FE or 02-00-5E-FE followed by the IPv4
+    // address; only bit 70 (the u bit) may vary in the leading 32 bits.
+    const std::uint64_t top32 = iid >> 32;
+    return top32 == 0x00005efeull || top32 == 0x02005efeull;
+}
+
+bool has_eui64_marker(std::uint64_t iid) noexcept {
+    return ((iid >> 24) & 0xffff) == 0xfffe;
+}
+
+address_scope scope_of(const address& a) noexcept {
+    const std::uint8_t b0 = a.bytes()[0];
+    if (b0 == 0xff) return address_scope::multicast;
+    if (b0 == 0xfe && (a.bytes()[1] & 0xc0) == 0x80) return address_scope::link_local;
+    if ((b0 & 0xfe) == 0xfc) return address_scope::unique_local;
+    if (a.hi() == 0) {
+        if (a.lo() == 0) return address_scope::unspecified;
+        if (a.lo() == 1) return address_scope::loopback;
+    }
+    if (a.hextet(0) == 0x2001 && a.hextet(1) == kDocHextet1)
+        return address_scope::documentation;
+    if ((b0 & 0xe0) == 0x20) return address_scope::global_unicast;
+    return address_scope::reserved;
+}
+
+// Counts populated (non-zero) nybbles in the low 64 bits.
+unsigned populated_nybbles(std::uint64_t iid) noexcept {
+    unsigned n = 0;
+    for (unsigned i = 0; i < 16; ++i)
+        if ((iid >> (4 * i)) & 0xf) ++n;
+    return n;
+}
+
+// True when a 16-bit group could be one octet of an embedded dotted
+// quad: either hex-coded (value <= 0xff) or decimal-coded, where the hex
+// spelling read as decimal is a valid octet (0x192 "spells" 192).
+bool octet_like(std::uint16_t group) noexcept {
+    if (group <= 0xff) return true;
+    if (group > 0x999) return false;
+    unsigned dec = 0;
+    for (int shift = 8; shift >= 0; shift -= 4) {
+        const unsigned nybble = (group >> shift) & 0xf;
+        if (nybble > 9) return false;
+        dec = dec * 10 + nybble;
+    }
+    return dec <= 255;
+}
+
+// Heuristic for ad hoc IPv4 embedding in the IID: either the low 32 bits
+// repeat an IPv4 address found in bits 16..48 (router convenience
+// schemes) or the IID reads as a dotted quad, hex- or decimal-coded,
+// such as ::192:0:2:33.
+bool looks_v4_embedded(const address& a, std::uint64_t iid) noexcept {
+    const std::uint32_t low32 = static_cast<std::uint32_t>(iid);
+    const std::uint32_t mid_v4 =
+        static_cast<std::uint32_t>((a.hi() >> 16) & 0xffffffffull);
+    if (low32 != 0 && low32 == mid_v4) return true;
+    for (unsigned g = 0; g < 4; ++g) {
+        if (!octet_like(static_cast<std::uint16_t>(iid >> (48 - 16 * g))))
+            return false;
+    }
+    // Require some spread so ::1 doesn't read as a dotted quad.
+    return populated_nybbles(iid) >= 3 && (iid >> 48) != 0;
+}
+
+iid_kind iid_shape(const address& a) noexcept {
+    const std::uint64_t iid = a.lo();
+    if (has_isatap_marker(iid)) return iid_kind::isatap;
+    if (has_eui64_marker(iid)) return iid_kind::eui64;
+    if ((iid >> 16) == 0) return iid_kind::low_value;
+    if (looks_v4_embedded(a, iid)) return iid_kind::embedded_ipv4;
+    // A handful of populated nybbles scattered in an otherwise-zero IID is
+    // the signature of a manually structured plan (Figure 1's second
+    // sample, 2001:db8:167:1109::10:901).
+    if (populated_nybbles(iid) <= 6) return iid_kind::structured;
+    return iid_kind::pseudorandom;
+}
+
+}  // namespace
+
+bool is_teredo(const address& a) noexcept {
+    return a.hextet(0) == kTeredoHextet0 && a.hextet(1) == kTeredoHextet1;
+}
+
+bool is_6to4(const address& a) noexcept { return a.hextet(0) == k6to4Hextet0; }
+
+bool is_isatap(const address& a) noexcept {
+    return !is_teredo(a) && !is_6to4(a) && has_isatap_marker(a.lo());
+}
+
+bool is_eui64(const address& a) noexcept {
+    const std::uint64_t iid = a.lo();
+    return has_eui64_marker(iid) && !has_isatap_marker(iid);
+}
+
+std::optional<mac_address> eui64_mac(const address& a) noexcept {
+    if (!is_eui64(a)) return std::nullopt;
+    return mac_address::from_eui64_iid(a.lo());
+}
+
+unsigned iid_u_bit(const address& a) noexcept { return a.bit(70); }
+
+classification classify(const address& a) noexcept {
+    classification c;
+    c.scope = scope_of(a);
+    c.iid = iid_shape(a);
+
+    if (is_teredo(a)) {
+        c.transition = transition_kind::teredo;
+        // Teredo stores the client IPv4 in the low 32 bits, bit-inverted.
+        c.embedded_ipv4 = ~static_cast<std::uint32_t>(a.lo());
+    } else if (is_6to4(a)) {
+        c.transition = transition_kind::six_to_four;
+        // 6to4 embeds the IPv4 address at bits 16..47.
+        c.embedded_ipv4 = static_cast<std::uint32_t>((a.hi() >> 16) & 0xffffffffull);
+    } else if (c.iid == iid_kind::isatap) {
+        c.transition = transition_kind::isatap;
+        c.embedded_ipv4 = static_cast<std::uint32_t>(a.lo());
+    }
+
+    if (c.iid == iid_kind::eui64) c.mac = mac_address::from_eui64_iid(a.lo());
+    return c;
+}
+
+std::string_view to_string(transition_kind k) noexcept {
+    switch (k) {
+        case transition_kind::none: return "native";
+        case transition_kind::teredo: return "teredo";
+        case transition_kind::six_to_four: return "6to4";
+        case transition_kind::isatap: return "isatap";
+    }
+    return "?";
+}
+
+std::string_view to_string(address_scope s) noexcept {
+    switch (s) {
+        case address_scope::unspecified: return "unspecified";
+        case address_scope::loopback: return "loopback";
+        case address_scope::multicast: return "multicast";
+        case address_scope::link_local: return "link-local";
+        case address_scope::unique_local: return "unique-local";
+        case address_scope::documentation: return "documentation";
+        case address_scope::global_unicast: return "global-unicast";
+        case address_scope::reserved: return "reserved";
+    }
+    return "?";
+}
+
+std::string_view to_string(iid_kind k) noexcept {
+    switch (k) {
+        case iid_kind::eui64: return "eui64";
+        case iid_kind::isatap: return "isatap";
+        case iid_kind::low_value: return "low";
+        case iid_kind::embedded_ipv4: return "embedded-ipv4";
+        case iid_kind::structured: return "structured";
+        case iid_kind::pseudorandom: return "pseudorandom";
+    }
+    return "?";
+}
+
+}  // namespace v6

@@ -1,0 +1,47 @@
+#include "v6class/analysis/eui64_mobility.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "v6class/addrtype/classify.h"
+
+namespace v6 {
+
+eui64_mobility_report analyze_eui64_mobility(const daily_series& series,
+                                             int ref_day, unsigned n,
+                                             stability_options options) {
+    eui64_mobility_report report;
+
+    // Distinct addresses per IID across the whole window.
+    std::unordered_map<std::uint64_t, std::unordered_set<address, address_hash>>
+        iid_addresses;
+    for (const int d : series.days())
+        for (const address& a : series.day(d))
+            if (const auto mac = eui64_mac(a))
+                iid_addresses[mac->to_uint()].insert(a);
+
+    stability_analyzer an(series, options);
+    const stability_split split = an.classify_day(ref_day, n);
+
+    // IIDs that own at least one stable address.
+    std::unordered_set<std::uint64_t> stable_iids;
+    for (const address& a : split.stable) {
+        if (const auto mac = eui64_mac(a)) {
+            ++report.stable_eui64_addresses;
+            stable_iids.insert(mac->to_uint());
+        }
+    }
+
+    for (const address& a : split.not_stable) {
+        const auto mac = eui64_mac(a);
+        if (!mac) continue;
+        ++report.unstable_eui64_addresses;
+        const auto it = iid_addresses.find(mac->to_uint());
+        if (it != iid_addresses.end() && it->second.size() > 1)
+            ++report.iid_in_multiple_addresses;
+        if (stable_iids.contains(mac->to_uint())) ++report.iid_also_stable;
+    }
+    return report;
+}
+
+}  // namespace v6

@@ -1,0 +1,103 @@
+#include "v6class/analysis/format.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace v6 {
+
+namespace {
+
+std::string three_sig(double v) {
+    char buf[32];
+    if (v >= 100)
+        std::snprintf(buf, sizeof buf, "%.0f", v);
+    else if (v >= 10)
+        std::snprintf(buf, sizeof buf, "%.1f", v);
+    else
+        std::snprintf(buf, sizeof buf, "%.2f", v);
+    return buf;
+}
+
+}  // namespace
+
+std::string format_count(double value) {
+    const double a = std::fabs(value);
+    if (a < 1000) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.0f", value);
+        return buf;
+    }
+    struct scale {
+        double factor;
+        const char* suffix;
+    };
+    static constexpr scale scales[] = {
+        {1e12, "T"}, {1e9, "B"}, {1e6, "M"}, {1e3, "K"}};
+    for (const auto& s : scales)
+        if (a >= s.factor) return three_sig(value / s.factor) + s.suffix;
+    return three_sig(value);
+}
+
+std::string format_pct(double fraction) {
+    const double pct = fraction * 100.0;
+    char buf[32];
+    if (pct >= 100.0)
+        std::snprintf(buf, sizeof buf, "%.0f%%", pct);
+    else if (pct >= 10.0)
+        std::snprintf(buf, sizeof buf, "%.1f%%", pct);
+    else if (pct >= 1.0)
+        std::snprintf(buf, sizeof buf, "%.2f%%", pct);
+    else
+        std::snprintf(buf, sizeof buf, ".%03.0f%%", pct * 1000.0);
+    return buf;
+}
+
+std::string format_fixed(double value, int digits) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+    return buf;
+}
+
+text_table::text_table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void text_table::add_row(std::vector<std::string> cells) {
+    if (cells.size() > headers_.size())
+        throw std::invalid_argument("text_table: too many cells");
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string text_table::to_string() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::string out;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c) out += "  ";
+            if (c == 0) {
+                out += row[c];
+                out.append(width[c] - row[c].size(), ' ');
+            } else {
+                out.append(width[c] - row[c].size(), ' ');
+                out += row[c];
+            }
+        }
+        out += '\n';
+    };
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : width) total += w + 2;
+    out.append(total > 2 ? total - 2 : 0, '-');
+    out += '\n';
+    for (const auto& row : rows_) emit_row(row);
+    return out;
+}
+
+}  // namespace v6

@@ -1,0 +1,57 @@
+#include "v6class/analysis/growth.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace v6 {
+
+std::vector<churn_day> churn_analysis(const daily_series& series) {
+    std::vector<churn_day> out;
+    const std::vector<int> days = series.days();
+    if (days.size() < 2) return out;
+
+    std::unordered_set<address, address_hash> seen(series.day(days[0]).begin(),
+                                                   series.day(days[0]).end());
+    for (std::size_t i = 1; i < days.size(); ++i) {
+        const std::vector<address>& today = series.day(days[i]);
+        const std::vector<address>& yesterday = series.day(days[i - 1]);
+        churn_day row;
+        row.day = days[i];
+        row.active = today.size();
+        for (const address& a : today) {
+            const bool was_yesterday =
+                std::binary_search(yesterday.begin(), yesterday.end(), a);
+            const bool ever = seen.contains(a);
+            if (was_yesterday)
+                ++row.returning;
+            else if (ever)
+                ++row.revenant;
+            else
+                ++row.fresh;
+        }
+        seen.insert(today.begin(), today.end());
+        out.push_back(row);
+    }
+    return out;
+}
+
+growth_report epoch_growth(const daily_series& series, int early_day,
+                           int late_day) {
+    growth_report report;
+    const std::vector<address>& early = series.day(early_day);
+    const std::vector<address>& late = series.day(late_day);
+    report.early_active = early.size();
+    report.late_active = late.size();
+    report.growth_factor =
+        early.empty() ? 0.0
+                      : static_cast<double>(late.size()) /
+                            static_cast<double>(early.size());
+    report.common = intersect_sorted(early, late).size();
+    report.survivor_share =
+        early.empty() ? 0.0
+                      : static_cast<double>(report.common) /
+                            static_cast<double>(early.size());
+    return report;
+}
+
+}  // namespace v6

@@ -1,0 +1,175 @@
+#include "v6class/analysis/network_profile.h"
+
+#include <algorithm>
+#include <map>
+
+#include "v6class/addrtype/classify.h"
+#include "v6class/temporal/stability.h"
+#include "v6class/analysis/plan_recon.h"
+#include "v6class/trie/radix_tree.h"
+
+namespace v6 {
+
+std::string_view to_string(practice_guess g) noexcept {
+    switch (g) {
+        case practice_guess::dynamic_64_pool: return "dynamic-64-pool";
+        case practice_guess::static_per_subscriber: return "static-per-subscriber";
+        case practice_guess::shared_dense: return "shared-dense";
+        case practice_guess::privacy_sparse: return "privacy-sparse";
+        case practice_guess::unknown: return "unknown";
+    }
+    return "?";
+}
+
+namespace {
+
+std::vector<address> mask_unique(const std::vector<address>& addrs, unsigned len) {
+    std::vector<address> out;
+    out.reserve(addrs.size());
+    for (const address& a : addrs) out.push_back(a.masked(len));
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+practice_guess infer(const network_profile& p) {
+    // Order matters: density is the strongest signal; then the device
+    // beacons (a single MAC roaming across many /64s is conclusive for
+    // dynamic assignment, however few beacons exist); then subnet
+    // stability separates static plans, with the content mix splitting
+    // privacy-addressed households from manually numbered ones.
+    if (p.dense_112_share > 0.5 && p.addrs_per_64 > 8)
+        return practice_guess::shared_dense;
+    if (p.beacon_max_64s >= 8 && p.beacon_modal_length <= 48)
+        return practice_guess::dynamic_64_pool;
+    if (p.stable_64_share_3d > 0.5) {
+        return p.pseudorandom_share > 0.5 ? practice_guess::privacy_sparse
+                                          : practice_guess::static_per_subscriber;
+    }
+    return practice_guess::unknown;
+}
+
+double estimate_subscribers(const network_profile& p) {
+    switch (p.guess) {
+        case practice_guess::static_per_subscriber:
+        case practice_guess::privacy_sparse:
+            // One stable /64 per subscriber connection.
+            return static_cast<double>(p.daily_64s);
+        case practice_guess::dynamic_64_pool:
+            // Each active subscriber holds ~1 slot at a time; daily /64s
+            // approximate concurrent actives, but the pool inflates the
+            // window count — use the daily figure, not the window one.
+            return static_cast<double>(p.daily_64s);
+        case practice_guess::shared_dense:
+            // Count hosts, not subnets.
+            return static_cast<double>(p.daily_addresses);
+        case practice_guess::unknown: return 0.0;
+    }
+    return 0.0;
+}
+
+}  // namespace
+
+std::vector<network_profile> profile_networks(const rir_registry& registry,
+                                              const daily_series& series,
+                                              int ref_day) {
+    // Partition the whole window's addresses by ASN once.
+    std::map<std::uint32_t, std::vector<address>> window_by_asn;
+    const std::vector<int> days = series.days();
+    for (const int d : days)
+        for (const address& a : series.day(d))
+            if (const auto route = registry.origin_of(a))
+                window_by_asn[route->asn].push_back(a);
+
+    std::vector<network_profile> out;
+    for (auto& [asn, window_addrs] : window_by_asn) {
+        std::sort(window_addrs.begin(), window_addrs.end());
+        window_addrs.erase(std::unique(window_addrs.begin(), window_addrs.end()),
+                           window_addrs.end());
+
+        network_profile p;
+        p.asn = asn;
+        p.window_addresses = window_addrs.size();
+        p.window_64s = mask_unique(window_addrs, 64).size();
+
+        // Per-ASN slice of the series for the temporal fingerprints.
+        daily_series slice;
+        for (const int d : days) {
+            std::vector<address> mine;
+            for (const address& a : series.day(d))
+                if (const auto route = registry.origin_of(a); route && route->asn == asn)
+                    mine.push_back(a);
+            slice.set_day(d, std::move(mine));
+        }
+        const std::vector<address>& today = slice.day(ref_day);
+        if (today.empty()) continue;
+        p.daily_addresses = today.size();
+        const auto today_64s = mask_unique(today, 64);
+        p.daily_64s = today_64s.size();
+        p.addrs_per_64 = p.daily_64s ? static_cast<double>(p.daily_addresses) /
+                                           static_cast<double>(p.daily_64s)
+                                     : 0.0;
+        p.turnover_64 = p.daily_64s ? static_cast<double>(p.window_64s) /
+                                          static_cast<double>(p.daily_64s)
+                                    : 0.0;
+
+        std::uint64_t pseudo = 0, eui = 0, low = 0;
+        for (const address& a : today) {
+            switch (classify(a).iid) {
+                case iid_kind::pseudorandom: ++pseudo; break;
+                case iid_kind::eui64: ++eui; break;
+                case iid_kind::low_value: ++low; break;
+                default: break;
+            }
+        }
+        p.pseudorandom_share =
+            static_cast<double>(pseudo) / static_cast<double>(today.size());
+        p.eui64_share = static_cast<double>(eui) / static_cast<double>(today.size());
+        p.low_iid_share = static_cast<double>(low) / static_cast<double>(today.size());
+
+        stability_analyzer an(slice);
+        const stability_split split = an.classify_day(ref_day, 3);
+        p.stable_share_3d =
+            static_cast<double>(split.stable.size()) /
+            static_cast<double>(split.stable.size() + split.not_stable.size());
+        const daily_series slice64 = slice.project(64);
+        stability_analyzer an64(slice64);
+        const stability_split split64 = an64.classify_day(ref_day, 3);
+        const std::uint64_t total64 = split64.stable.size() + split64.not_stable.size();
+        p.stable_64_share_3d =
+            total64 ? static_cast<double>(split64.stable.size()) /
+                          static_cast<double>(total64)
+                    : 0.0;
+
+        plan_reconstructor recon;
+        for (const int d : days) recon.observe_day(slice.day(d));
+        const auto tracks = recon.device_tracks(2);
+        p.beacon_devices = tracks.size();
+        unsigned modal = 0;
+        std::vector<std::uint64_t> len_hist(129, 0);
+        for (const auto& t : tracks) {
+            p.beacon_max_64s = std::max<std::uint64_t>(p.beacon_max_64s,
+                                                       t.distinct_64s);
+            ++len_hist[t.stable_prefix.length()];
+            if (len_hist[t.stable_prefix.length()] > len_hist[modal])
+                modal = t.stable_prefix.length();
+        }
+        p.beacon_modal_length = modal;
+
+        radix_tree tree;
+        for (const address& a : today) tree.add(a);
+        std::uint64_t dense_covered = 0;
+        for (const dense_prefix& d : tree.dense_prefixes_at(2, 112))
+            dense_covered += d.observed;
+        p.dense_112_share =
+            static_cast<double>(dense_covered) / static_cast<double>(today.size());
+
+        p.guess = infer(p);
+        p.subscriber_estimate = estimate_subscribers(p);
+        p.naive_64_estimate = static_cast<double>(p.window_64s);
+        out.push_back(std::move(p));
+    }
+    return out;
+}
+
+}  // namespace v6

@@ -1,0 +1,70 @@
+#include "v6class/analysis/plan_recon.h"
+
+#include <algorithm>
+#include <map>
+
+#include "v6class/addrtype/classify.h"
+
+namespace v6 {
+
+void plan_reconstructor::observe_day(const std::vector<address>& addrs) {
+    std::unordered_set<std::uint64_t> seen_today;
+    for (const address& a : addrs) {
+        const auto mac = eui64_mac(a);
+        if (!mac) continue;
+        raw_track& track = tracks_[mac->to_uint()];
+        track.network_ids.insert(a.masked(64).hi());
+        if (seen_today.insert(mac->to_uint()).second) ++track.days_seen;
+    }
+}
+
+std::vector<plan_reconstructor::device_track> plan_reconstructor::device_tracks(
+    unsigned min_days) const {
+    std::vector<device_track> out;
+    for (const auto& [mac_value, raw] : tracks_) {
+        if (raw.days_seen < min_days || raw.network_ids.empty()) continue;
+        device_track t;
+        t.mac = mac_address::from_uint(mac_value);
+        t.days_seen = raw.days_seen;
+        t.distinct_64s = static_cast<unsigned>(raw.network_ids.size());
+        // Longest common prefix over all observed network identifiers.
+        auto it = raw.network_ids.begin();
+        const address first = address::from_pair(*it, 0);
+        unsigned len = 64;
+        for (++it; it != raw.network_ids.end(); ++it)
+            len = std::min(len,
+                           first.common_prefix_length(address::from_pair(*it, 0)));
+        t.stable_prefix = prefix{first, len};
+        out.push_back(t);
+    }
+    // Deterministic order for reports and tests.
+    std::sort(out.begin(), out.end(), [](const device_track& a, const device_track& b) {
+        return a.mac < b.mac;
+    });
+    return out;
+}
+
+std::vector<plan_reconstructor::stable_aggregate>
+plan_reconstructor::longest_stable_prefixes(unsigned min_days,
+                                            std::uint64_t min_devices) const {
+    std::map<prefix, std::uint64_t> counts;
+    for (const device_track& t : device_tracks(min_days)) ++counts[t.stable_prefix];
+    std::vector<stable_aggregate> out;
+    for (const auto& [pfx, devices] : counts)
+        if (devices >= min_devices) out.push_back({pfx, devices});
+    std::stable_sort(out.begin(), out.end(),
+                     [](const stable_aggregate& a, const stable_aggregate& b) {
+                         return a.devices > b.devices;
+                     });
+    return out;
+}
+
+std::vector<std::uint64_t> plan_reconstructor::length_histogram(
+    unsigned min_days) const {
+    std::vector<std::uint64_t> hist(129, 0);
+    for (const device_track& t : device_tracks(min_days))
+        ++hist[t.stable_prefix.length()];
+    return hist;
+}
+
+}  // namespace v6

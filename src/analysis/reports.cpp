@@ -1,0 +1,193 @@
+#include "v6class/analysis/reports.h"
+
+#include <algorithm>
+#include <set>
+
+#include "v6class/analysis/format.h"
+#include "v6class/spatial/mra.h"
+
+namespace v6 {
+
+table1_column build_table1_column(std::string label,
+                                  const std::vector<address>& addrs) {
+    table1_column col;
+    col.label = std::move(label);
+    const culled_addresses cull = cull_transition(addrs);
+    col.teredo = cull.teredo.size();
+    col.isatap = cull.isatap.size();
+    col.six_to_four = cull.six_to_four.size();
+    col.other = cull.other.size();
+
+    std::vector<address> p64;
+    p64.reserve(cull.other.size());
+    for (const address& a : cull.other) p64.push_back(a.masked(64));
+    std::sort(p64.begin(), p64.end());
+    p64.erase(std::unique(p64.begin(), p64.end()), p64.end());
+    col.other_64s = p64.size();
+    col.addrs_per_64 =
+        col.other_64s ? static_cast<double>(col.other) /
+                            static_cast<double>(col.other_64s)
+                      : 0.0;
+
+    std::set<mac_address> macs;
+    for (const address& a : cull.other) {
+        if (const auto mac = eui64_mac(a)) {
+            ++col.eui64_not_6to4;
+            macs.insert(*mac);
+        }
+    }
+    col.eui64_unique_macs = macs.size();
+    return col;
+}
+
+std::string render_table1(const std::vector<table1_column>& columns) {
+    std::vector<std::string> headers{"Characteristic"};
+    for (const auto& c : columns) headers.push_back(c.label);
+    text_table table(std::move(headers));
+
+    auto count_pct_row = [&](const std::string& name, auto get) {
+        std::vector<std::string> row{name};
+        for (const auto& c : columns) {
+            const auto v = get(c);
+            const double share =
+                c.total() ? static_cast<double>(v) / static_cast<double>(c.total())
+                          : 0.0;
+            row.push_back(format_count(static_cast<double>(v)) + " (" +
+                          format_pct(share) + ")");
+        }
+        table.add_row(std::move(row));
+    };
+    count_pct_row("Teredo addresses", [](const table1_column& c) { return c.teredo; });
+    count_pct_row("ISATAP addresses", [](const table1_column& c) { return c.isatap; });
+    count_pct_row("6to4 addresses",
+                  [](const table1_column& c) { return c.six_to_four; });
+    count_pct_row("Other addresses", [](const table1_column& c) { return c.other; });
+
+    std::vector<std::string> row{"Other /64 prefixes"};
+    for (const auto& c : columns)
+        row.push_back(format_count(static_cast<double>(c.other_64s)));
+    table.add_row(std::move(row));
+
+    row = {"ave. addrs per /64"};
+    for (const auto& c : columns) row.push_back(format_fixed(c.addrs_per_64, 2));
+    table.add_row(std::move(row));
+
+    row = {"EUI-64 addr (!6to4)"};
+    for (const auto& c : columns) {
+        const double share =
+            c.other ? static_cast<double>(c.eui64_not_6to4) /
+                          static_cast<double>(c.total())
+                    : 0.0;
+        row.push_back(format_count(static_cast<double>(c.eui64_not_6to4)) + " (" +
+                      format_pct(share) + ")");
+    }
+    table.add_row(std::move(row));
+
+    row = {"EUI-64 IIDs (MACs)"};
+    for (const auto& c : columns)
+        row.push_back(format_count(static_cast<double>(c.eui64_unique_macs)));
+    table.add_row(std::move(row));
+
+    return table.to_string();
+}
+
+std::string render_table2(const std::vector<stability_column>& columns,
+                          const std::string& unit_name) {
+    std::vector<std::string> headers{unit_name + " class"};
+    for (const auto& c : columns) headers.push_back(c.label);
+    text_table table(std::move(headers));
+
+    auto pct_cell = [](std::uint64_t v, std::uint64_t denom) {
+        const double share =
+            denom ? static_cast<double>(v) / static_cast<double>(denom) : 0.0;
+        return format_count(static_cast<double>(v)) + " (" + format_pct(share) + ")";
+    };
+
+    std::vector<std::string> row{"3d-stable"};
+    for (const auto& c : columns)
+        row.push_back(pct_cell(c.stable_3d, c.stable_3d + c.not_stable_3d));
+    table.add_row(std::move(row));
+
+    row = {"not 3d-stable"};
+    for (const auto& c : columns)
+        row.push_back(pct_cell(c.not_stable_3d, c.stable_3d + c.not_stable_3d));
+    table.add_row(std::move(row));
+
+    row = {"6m-stable (-6m)"};
+    for (const auto& c : columns)
+        row.push_back(c.has_6m ? pct_cell(c.stable_6m, c.stable_3d + c.not_stable_3d)
+                               : std::string{});
+    table.add_row(std::move(row));
+
+    row = {"1y-stable (-1y)"};
+    for (const auto& c : columns)
+        row.push_back(c.has_1y ? pct_cell(c.stable_1y, c.stable_3d + c.not_stable_3d)
+                               : std::string{});
+    table.add_row(std::move(row));
+
+    return table.to_string();
+}
+
+std::string render_table3(const std::vector<density_row>& rows,
+                          const std::string& dataset_name) {
+    text_table table({"Density Class", "Dense Prefixes", dataset_name + " Addresses",
+                      "Possible Addresses", "Address Density"});
+    for (const density_row& r : rows) {
+        table.add_row({std::to_string(r.n) + " @ /" + std::to_string(r.p),
+                       format_count(static_cast<double>(r.dense_prefix_count)),
+                       format_count(static_cast<double>(r.covered_addresses)),
+                       format_count(static_cast<double>(r.possible_addresses)),
+                       format_fixed(static_cast<double>(r.address_density), 10)});
+    }
+    return table.to_string();
+}
+
+std::map<std::uint32_t, std::vector<address>> group_by_asn(
+    const rir_registry& registry, const std::vector<address>& addrs) {
+    std::map<std::uint32_t, std::vector<address>> groups;
+    for (const address& a : addrs)
+        if (const auto route = registry.origin_of(a)) groups[route->asn].push_back(a);
+    return groups;
+}
+
+std::map<prefix, std::vector<address>> group_by_bgp_prefix(
+    const rir_registry& registry, const std::vector<address>& addrs) {
+    std::map<prefix, std::vector<address>> groups;
+    for (const address& a : addrs)
+        if (const auto route = registry.origin_of(a)) groups[route->pfx].push_back(a);
+    return groups;
+}
+
+std::vector<boxplot_summary> segment_ratio_distribution(
+    const std::map<prefix, std::vector<address>>& groups) {
+    std::vector<std::vector<double>> samples(8);
+    for (const auto& [pfx, addrs] : groups) {
+        const mra_series mra = compute_mra(addrs);
+        const std::vector<double> ratios = mra.ratios(16);
+        for (std::size_t seg = 0; seg < 8; ++seg)
+            samples[seg].push_back(ratios[seg]);
+    }
+    std::vector<boxplot_summary> out;
+    out.reserve(8);
+    for (auto& s : samples) out.push_back(summarize(std::move(s)));
+    return out;
+}
+
+std::string render_ccdf(const std::vector<ccdf_point>& ccdf, std::size_t max_points) {
+    text_table table({"population >=", "proportion"});
+    const std::size_t step =
+        ccdf.size() > max_points ? (ccdf.size() + max_points - 1) / max_points : 1;
+    for (std::size_t i = 0; i < ccdf.size(); i += step) {
+        char prop[32];
+        std::snprintf(prop, sizeof prop, "%.6f", ccdf[i].proportion);
+        table.add_row({format_count(ccdf[i].value), prop});
+    }
+    if (!ccdf.empty() && (ccdf.size() - 1) % step != 0) {
+        char prop[32];
+        std::snprintf(prop, sizeof prop, "%.6f", ccdf.back().proportion);
+        table.add_row({format_count(ccdf.back().value), prop});
+    }
+    return table.to_string();
+}
+
+}  // namespace v6

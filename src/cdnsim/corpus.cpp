@@ -1,0 +1,67 @@
+#include "v6class/cdnsim/corpus.h"
+
+#include <charconv>
+#include <fstream>
+#include <stdexcept>
+
+#include "v6class/cdnsim/world.h"
+#include "v6class/ip/io.h"
+
+namespace v6 {
+
+std::string corpus_file_name(int day) {
+    return "day_" + std::to_string(day) + ".log";
+}
+
+void write_log_file(const std::filesystem::path& dir, const daily_log& log) {
+    std::filesystem::create_directories(dir);
+    const std::filesystem::path file = dir / corpus_file_name(log.day);
+    std::ofstream out(file);
+    if (!out) throw std::runtime_error("cannot write " + file.string());
+    out << "# aggregated CDN log, day " << log.day << ", " << log.records.size()
+        << " distinct client addresses\n";
+    for (const observation& o : log.records)
+        out << o.addr.to_string() << ' ' << o.hits << '\n';
+    if (!out.flush()) throw std::runtime_error("short write to " + file.string());
+}
+
+int write_corpus(const world& w, int first_day, int last_day,
+                 const std::filesystem::path& dir) {
+    int written = 0;
+    for (int d = first_day; d <= last_day; ++d) {
+        write_log_file(dir, w.day_log(d));
+        ++written;
+    }
+    return written;
+}
+
+daily_log read_log_file(const std::filesystem::path& file, int day) {
+    std::ifstream in(file);
+    if (!in) throw std::runtime_error("cannot read " + file.string());
+    std::vector<observation> raw;
+    read_address_lines(in, [&](const address& a, std::uint64_t count) {
+        raw.push_back({a, static_cast<std::uint32_t>(
+                              count > 0xffffffffull ? 0xffffffffull : count)});
+    });
+    return aggregate_log(day, std::move(raw));
+}
+
+daily_series read_corpus(const std::filesystem::path& dir) {
+    daily_series series;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("day_", 0) != 0 || name.size() < 9 ||
+            name.substr(name.size() - 4) != ".log")
+            continue;
+        const std::string_view digits(name.data() + 4, name.size() - 8);
+        int day = 0;
+        const auto [ptr, ec] =
+            std::from_chars(digits.data(), digits.data() + digits.size(), day);
+        if (ec != std::errc{} || ptr != digits.data() + digits.size()) continue;
+        series.set_day(day, read_log_file(entry.path(), day).addresses());
+    }
+    return series;
+}
+
+}  // namespace v6

@@ -1,0 +1,62 @@
+#include "v6class/cdnsim/log.h"
+
+#include <algorithm>
+
+namespace v6 {
+
+std::vector<address> daily_log::addresses() const {
+    std::vector<address> out;
+    out.reserve(records.size());
+    for (const observation& o : records) out.push_back(o.addr);
+    return out;  // records are unique and sorted already
+}
+
+std::uint64_t daily_log::total_hits() const noexcept {
+    std::uint64_t sum = 0;
+    for (const observation& o : records) sum += o.hits;
+    return sum;
+}
+
+daily_log aggregate_log(int day, std::vector<observation> raw) {
+    std::sort(raw.begin(), raw.end(),
+              [](const observation& a, const observation& b) { return a.addr < b.addr; });
+    daily_log log;
+    log.day = day;
+    log.records.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size();) {
+        observation merged = raw[i];
+        std::size_t j = i + 1;
+        while (j < raw.size() && raw[j].addr == raw[i].addr) {
+            merged.hits += raw[j].hits;
+            ++j;
+        }
+        log.records.push_back(merged);
+        i = j;
+    }
+    return log;
+}
+
+culled_addresses cull_transition(const std::vector<address>& addrs) {
+    culled_addresses out;
+    for (const address& a : addrs) {
+        if (is_teredo(a))
+            out.teredo.push_back(a);
+        else if (is_6to4(a))
+            out.six_to_four.push_back(a);
+        else if (is_isatap(a))
+            out.isatap.push_back(a);
+        else
+            out.other.push_back(a);
+    }
+    auto tidy = [](std::vector<address>& v) {
+        std::sort(v.begin(), v.end());
+        v.erase(std::unique(v.begin(), v.end()), v.end());
+    };
+    tidy(out.teredo);
+    tidy(out.isatap);
+    tidy(out.six_to_four);
+    tidy(out.other);
+    return out;
+}
+
+}  // namespace v6

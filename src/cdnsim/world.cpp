@@ -1,0 +1,280 @@
+#include "v6class/cdnsim/world.h"
+
+#include <cmath>
+#include <future>
+#include <thread>
+
+#include "v6class/netgen/iid.h"
+
+namespace v6 {
+
+namespace {
+
+std::uint64_t scaled(double base, double scale) {
+    const double v = base * scale;
+    return v < 1.0 ? 1 : static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+world::world(world_config cfg) : cfg_(cfg) {
+    const double sc = cfg_.scale;
+    const std::uint64_t seed = cfg_.seed;
+
+    // --- the two US mobile carriers (top-5 ASNs; Figure 5e) ------------
+    {
+        model_config mc;
+        mc.asn = 20001;
+        mc.seed = mix64(seed ^ 0xA1);
+        mc.subscribers = scaled(20'000, sc);
+        mc.annual_growth = 1.3;
+        mc.daily_activity = 0.55;
+        std::vector<prefix> pools;
+        for (int i = 0; i < 8; ++i)
+            pools.push_back(registry_.allocate(rir::arin, mc.asn, 44));
+        auto m = std::make_unique<us_mobile_carrier>(mc, std::move(pools));
+        mobile1_ = m.get();
+        models_.push_back(std::move(m));
+    }
+    {
+        model_config mc;
+        mc.asn = 20002;
+        mc.seed = mix64(seed ^ 0xA2);
+        mc.subscribers = scaled(12'000, sc);
+        mc.annual_growth = 1.5;
+        mc.daily_activity = 0.55;
+        std::vector<prefix> pools;
+        for (int i = 0; i < 6; ++i)
+            pools.push_back(registry_.allocate(rir::arin, mc.asn, 44));
+        us_mobile_carrier::options opt;
+        opt.fixed_iid_share = 0.22;
+        opt.duplicate_mac_share = 0.005;
+        auto m = std::make_unique<us_mobile_carrier>(mc, std::move(pools), opt);
+        mobile2_ = m.get();
+        models_.push_back(std::move(m));
+    }
+
+    // --- the European ISP with on-demand renumbering (Figure 5f) -------
+    {
+        model_config mc;
+        mc.asn = 20003;
+        mc.seed = mix64(seed ^ 0xA3);
+        mc.subscribers = scaled(15'000, sc);
+        mc.annual_growth = 0.9;
+        mc.daily_activity = 0.35;
+        const prefix bgp = registry_.allocate(rir::ripe, mc.asn, 19);
+        auto m = std::make_unique<eu_isp>(mc, bgp);
+        eu_ = m.get();
+        models_.push_back(std::move(m));
+    }
+
+    // --- the Japanese ISP with static /48s (Figure 5h) -----------------
+    {
+        model_config mc;
+        mc.asn = 20004;
+        mc.seed = mix64(seed ^ 0xA4);
+        mc.subscribers = scaled(10'000, sc);
+        mc.annual_growth = 0.8;
+        mc.daily_activity = 0.35;
+        const prefix bgp = registry_.allocate(rir::apnic, mc.asn, 24);
+        auto m = std::make_unique<jp_isp>(mc, bgp);
+        jp_ = m.get();
+        models_.push_back(std::move(m));
+    }
+
+    // --- a large American wireline ISP (the 5th top ASN) ---------------
+    {
+        model_config mc;
+        mc.asn = 20005;
+        mc.seed = mix64(seed ^ 0xA5);
+        mc.subscribers = scaled(11'000, sc);
+        mc.annual_growth = 1.0;
+        mc.daily_activity = 0.35;
+        const prefix bgp = registry_.allocate(rir::arin, mc.asn, 32);
+        models_.push_back(std::make_unique<generic_isp>("us-isp", mc, bgp));
+    }
+
+    // --- transition mechanisms (Table 1's culled rows) ------------------
+    {
+        model_config mc;
+        mc.asn = 20006;
+        mc.seed = mix64(seed ^ 0xA6);
+        mc.subscribers = scaled(9'000, sc);
+        mc.annual_growth = 0.08;  // 6to4 share declines as native grows
+        mc.daily_activity = 0.40;
+        registry_.advertise(prefix::must_parse("2002::/16"), mc.asn);
+        models_.push_back(std::make_unique<relay_6to4>(mc));
+    }
+    {
+        model_config mc;
+        mc.asn = 20007;
+        mc.seed = mix64(seed ^ 0xA7);
+        mc.subscribers = scaled(25, sc);
+        mc.annual_growth = 9.0;  // Teredo grew 10x over the study year
+        mc.daily_activity = 0.5;
+        registry_.advertise(prefix::must_parse("2001::/32"), mc.asn);
+        models_.push_back(std::make_unique<teredo_model>(mc));
+    }
+    {
+        model_config mc;
+        mc.asn = 20008;
+        mc.seed = mix64(seed ^ 0xA8);
+        mc.subscribers = scaled(120, sc);
+        mc.annual_growth = 0.5;
+        mc.daily_activity = 0.5;
+        const prefix ent = registry_.allocate(rir::arin, mc.asn, 48);
+        models_.push_back(std::make_unique<isatap_model>(mc, ent));
+    }
+
+    // --- the instructive small networks of Figures 2 and 5g ------------
+    {
+        model_config mc;
+        mc.asn = 20010;
+        mc.seed = mix64(seed ^ 0xB0);
+        mc.subscribers = scaled(600, sc);
+        mc.annual_growth = 0.3;
+        mc.daily_activity = 0.35;
+        const prefix bgp = registry_.allocate(rir::arin, mc.asn, 32);
+        auto m = std::make_unique<us_university>(mc, bgp);
+        univ_ = m.get();
+        models_.push_back(std::move(m));
+    }
+    {
+        model_config mc;
+        mc.asn = 20011;
+        mc.seed = mix64(seed ^ 0xB1);
+        mc.subscribers = scaled(3'000, sc);
+        mc.annual_growth = 0.4;
+        mc.daily_activity = 0.35;
+        const prefix bgp = registry_.allocate(rir::apnic, mc.asn, 32);
+        auto m = std::make_unique<jp_telco>(mc, bgp);
+        telco_ = m.get();
+        models_.push_back(std::move(m));
+    }
+    {
+        model_config mc;
+        mc.asn = 20012;
+        mc.seed = mix64(seed ^ 0xB2);
+        mc.subscribers = 100;  // one department; does not scale
+        mc.annual_growth = 0.0;
+        mc.daily_activity = 0.80;
+        const prefix campus = registry_.allocate(rir::ripe, mc.asn, 32);
+        const prefix lan{campus.base(), 64};  // first /48, subnet 0
+        auto m = std::make_unique<eu_university_dept>(mc, lan);
+        dept_ = m.get();
+        models_.push_back(std::move(m));
+    }
+
+    // --- a hosting provider (dense, stable server blocks) ---------------
+    {
+        model_config mc;
+        mc.asn = 20013;
+        mc.seed = mix64(seed ^ 0xB3);
+        mc.subscribers = scaled(500, sc);  // informational; racks drive size
+        mc.annual_growth = 0.6;
+        mc.daily_activity = 0.9;  // servers are nearly always on
+        const prefix bgp = registry_.allocate(rir::arin, mc.asn, 32);
+        hosting_provider::options opt;
+        opt.racks = static_cast<std::uint64_t>(8 * sc) + 4;
+        models_.push_back(std::make_unique<hosting_provider>(mc, bgp, opt));
+    }
+
+    // --- the long tail ---------------------------------------------------
+    constexpr rir regions[] = {rir::arin, rir::ripe, rir::apnic, rir::lacnic,
+                               rir::afrinic};
+    constexpr isp_practice plans[] = {
+        isp_practice::static_64_per_subscriber,
+        isp_practice::static_64_per_subscriber,
+        isp_practice::dynamic_64_pool,
+        isp_practice::static_48_per_subscriber,
+        isp_practice::shared_64,
+    };
+    for (unsigned i = 0; i < cfg_.tail_isps; ++i) {
+        model_config mc;
+        mc.asn = 30000 + i;
+        mc.seed = mix64(seed ^ (0xC000 + i));
+        mc.subscribers = scaled(3'000.0 / std::pow(i + 1.0, 0.9), sc);
+        mc.annual_growth = 0.4 + 0.1 * static_cast<double>(hash_uniform(
+                                          hash_ids(seed, 0x970, i), 12));
+        mc.daily_activity = 0.35;
+        const rir region = regions[i % 5];
+        const unsigned len = 32 + 4 * static_cast<unsigned>(i % 3);  // /32../40
+        const prefix bgp = registry_.allocate(region, mc.asn, len);
+        generic_isp::options opt;
+        opt.plan = plans[hash_uniform(hash_ids(seed, 0x971, i), 5)];
+        opt.eui64_device_share = 0.01 + 0.01 * static_cast<double>(i % 4);
+        models_.push_back(std::make_unique<generic_isp>(
+            "tail-isp-" + std::to_string(i), mc, bgp, opt));
+    }
+
+    // Freeze the registry's lazily sorted route view now so later reads
+    // from concurrent day-generation workers are pure.
+    registry_.routes();
+}
+
+void world::raw_day(int day, std::vector<observation>& out) const {
+    for (const auto& m : models_) m->day_activity(day, out);
+}
+
+daily_log world::day_log(int day) const {
+    std::vector<observation> raw;
+    if (cfg_.slew_probability <= 0.0) {
+        raw_day(day, raw);
+        return aggregate_log(day, std::move(raw));
+    }
+    // Timestamp slew: a record generated on day d lands in day d's log
+    // unless its processing ran long, in which case it lands in d+1's.
+    const auto is_late = [&](const observation& o, int d) {
+        const std::uint64_t h =
+            hash_ids(cfg_.seed, 0x51e3, address_hash{}(o.addr),
+                     static_cast<std::uint64_t>(d));
+        return hash_chance(h,
+                           static_cast<std::uint64_t>(cfg_.slew_probability * 1e6),
+                           1'000'000);
+    };
+    std::vector<observation> today, yesterday;
+    raw_day(day, today);
+    raw_day(day - 1, yesterday);
+    for (const observation& o : today)
+        if (!is_late(o, day)) raw.push_back(o);
+    for (const observation& o : yesterday)
+        if (is_late(o, day - 1)) raw.push_back(o);
+    return aggregate_log(day, std::move(raw));
+}
+
+std::vector<address> world::active_addresses(int day) const {
+    return day_log(day).addresses();
+}
+
+daily_series world::series(int first_day, int last_day) const {
+    daily_series s;
+    const int span = last_day - first_day + 1;
+    if (span <= 0) return s;
+    // Day generation is pure and independent; fan it out. Each worker
+    // takes a strided slice so the load balances across epochs.
+    const unsigned workers = std::min<unsigned>(
+        std::max(1u, std::thread::hardware_concurrency()),
+        static_cast<unsigned>(span));
+    if (workers <= 1 || span < 3) {
+        for (int d = first_day; d <= last_day; ++d)
+            s.set_day(d, active_addresses(d));
+        return s;
+    }
+    using day_batch = std::vector<std::pair<int, std::vector<address>>>;
+    std::vector<std::future<day_batch>> futures;
+    futures.reserve(workers);
+    for (unsigned k = 0; k < workers; ++k) {
+        futures.push_back(std::async(std::launch::async, [&, k] {
+            day_batch batch;
+            for (int d = first_day + static_cast<int>(k); d <= last_day;
+                 d += static_cast<int>(workers))
+                batch.emplace_back(d, active_addresses(d));
+            return batch;
+        }));
+    }
+    for (auto& f : futures)
+        for (auto& [day, active] : f.get()) s.set_day(day, std::move(active));
+    return s;
+}
+
+}  // namespace v6

@@ -1,0 +1,166 @@
+#include "v6class/dnssim/reverse_zone.h"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "v6class/cdnsim/world.h"
+#include "v6class/routersim/topology.h"
+
+namespace v6 {
+
+std::string ip6_arpa_name(const address& a) {
+    static constexpr char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(32 * 2 + 8);
+    for (int i = 31; i >= 0; --i) {
+        out += digits[a.nybble(static_cast<unsigned>(i))];
+        out += '.';
+    }
+    out += "ip6.arpa";
+    return out;
+}
+
+void reverse_zone::add(const address& a, std::string name) {
+    records_[a] = std::move(name);
+}
+
+std::optional<std::string_view> reverse_zone::query(const address& a) const noexcept {
+    const auto it = records_.find(a);
+    if (it == records_.end()) return std::nullopt;
+    return std::string_view{it->second};
+}
+
+reverse_zone::scan_result reverse_zone::scan(std::vector<address> candidates) const {
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    scan_result result;
+    result.queries = candidates.size();
+    for (const address& a : candidates) {
+        if (records_.contains(a)) {
+            ++result.names_found;
+            result.named.push_back(a);
+        }
+    }
+    return result;
+}
+
+void export_zone_file(const reverse_zone& zone, std::ostream& out) {
+    // The store is unordered; emit in address order so exports are
+    // reproducible and diffable.
+    std::map<address, std::string> ordered;
+    zone.for_each([&](const address& a, std::string_view name) {
+        ordered.emplace(a, std::string(name));
+    });
+    for (const auto& [addr, name] : ordered)
+        out << ip6_arpa_name(addr) << ". PTR " << name << ".\n";
+}
+
+std::size_t import_zone_file(std::istream& in, reverse_zone& zone) {
+    std::size_t loaded = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == ';' || line[0] == '#') continue;
+        std::istringstream fields(line);
+        std::string owner, type, target;
+        if (!(fields >> owner >> type >> target)) continue;
+        if (type != "PTR") continue;
+        // Owner: 32 reversed nybbles dot-separated + "ip6.arpa." — decode.
+        if (owner.size() < 64 + 8) continue;
+        std::array<std::uint8_t, 16> bytes{};
+        bool ok = true;
+        for (unsigned i = 0; i < 32; ++i) {
+            const char c = owner[2 * i];
+            unsigned v = 0;
+            if (c >= '0' && c <= '9')
+                v = static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v = static_cast<unsigned>(c - 'a' + 10);
+            else {
+                ok = false;
+                break;
+            }
+            if (owner[2 * i + 1] != '.') {
+                ok = false;
+                break;
+            }
+            // Nybble i of the owner is nybble 31-i of the address.
+            const unsigned pos = 31 - i;
+            bytes[pos / 2] |= static_cast<std::uint8_t>(
+                pos % 2 == 0 ? v << 4 : v);
+        }
+        if (!ok) continue;
+        if (!target.empty() && target.back() == '.') target.pop_back();
+        zone.add(address{bytes}, target);
+        ++loaded;
+    }
+    return loaded;
+}
+
+reverse_zone build_world_zone(const world& w, const router_topology* topology) {
+    reverse_zone zone;
+
+    // Router interfaces: hierarchical names with embedded location hints,
+    // the style IP-geolocation tooling mines (Section 6.2.3's aside).
+    if (topology) {
+        static constexpr const char* cities[] = {"nyc", "lon", "fra", "hnd", "sfo",
+                                                 "sin", "ams", "gru"};
+        std::uint64_t i = 0;
+        for (const address& a : topology->interfaces()) {
+            const auto origin = w.registry().origin_of(a);
+            const std::uint32_t asn = origin ? origin->asn : 0;
+            const char* city = cities[(a.lo() >> 1) % 8];
+            zone.add(a, "ae" + std::to_string(a.lo() & 0xf) + "-" +
+                            std::to_string(i++ % 4) + "." + city + ".as" +
+                            std::to_string(asn) + ".example.net");
+        }
+    }
+
+    // The Japanese telco names its entire statically numbered CPE ranges,
+    // active or not: provisioning-range PTRs.
+    {
+        const jp_telco& telco = w.telco();
+        // Regenerate the full provisioning ranges the model uses: blocks
+        // at ::10:<block>::/64 with hosts 0x100..0x100+cpe_per_64.
+        const prefix& bgp = telco.bgp_prefixes().front();
+        std::vector<observation> sample;
+        telco.day_activity(0, sample);  // establishes block layout cheaply
+        (void)bgp;
+        // Rather than reverse-engineering the layout from samples, name
+        // every address in the dense /64 blocks directly.
+        std::vector<address> blocks;
+        for (const observation& o : sample) blocks.push_back(o.addr.masked(64));
+        std::sort(blocks.begin(), blocks.end());
+        blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
+        std::uint64_t n = 0;
+        for (const address& b : blocks) {
+            if (b.lo() != 0 || b.hextet(2) != 0x10) continue;  // CPE blocks only
+            for (std::uint64_t host = 0; host < 700; ++host)
+                zone.add(address::from_pair(b.hi(), 0x100 + host),
+                         "cpe" + std::to_string(n++) + ".static.telco.example.jp");
+        }
+    }
+
+    // The university department names its whole DHCPv6 lease range.
+    {
+        const eu_university_dept& dept = w.department();
+        const prefix lan = dept.bgp_prefixes().front();
+        // Lease slots: clusters at bits 72..80 (0x10, 0x20, 0x30...),
+        // slot bytes 1..200 (the model's full lease range).
+        for (std::uint64_t cluster = 1; cluster <= 4; ++cluster) {
+            for (std::uint64_t slot = 1; slot <= 200; ++slot) {
+                const std::uint64_t lo = ((cluster << 4) << 48) | slot;
+                zone.add(address::from_pair(lan.base().hi(), lo),
+                         "dhcpv6-" + std::to_string((cluster - 1) * 200 + slot) +
+                             ".dept.univ.example.eu");
+            }
+        }
+    }
+
+    return zone;
+}
+
+}  // namespace v6

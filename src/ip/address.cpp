@@ -1,0 +1,210 @@
+#include "v6class/ip/address.h"
+
+#include <algorithm>
+#include <bit>
+#include <charconv>
+#include <stdexcept>
+
+namespace v6 {
+
+namespace {
+
+int hex_value(char c) noexcept {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+
+// Parses a trailing dotted-quad ("192.0.2.33") into two hextets.
+bool parse_embedded_ipv4(std::string_view text, std::uint16_t& h0, std::uint16_t& h1) noexcept {
+    std::array<unsigned, 4> octet{};
+    std::size_t pos = 0;
+    for (int i = 0; i < 4; ++i) {
+        if (i > 0) {
+            if (pos >= text.size() || text[pos] != '.') return false;
+            ++pos;
+        }
+        if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') return false;
+        unsigned v = 0;
+        std::size_t digits = 0;
+        while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+            v = v * 10 + static_cast<unsigned>(text[pos] - '0');
+            ++pos;
+            if (++digits > 3) return false;
+        }
+        if (v > 255) return false;
+        // Reject leading zeroes like "01" (inet_pton behaviour).
+        if (digits > 1 && text[pos - digits] == '0') return false;
+        octet[static_cast<std::size_t>(i)] = v;
+    }
+    if (pos != text.size()) return false;
+    h0 = static_cast<std::uint16_t>((octet[0] << 8) | octet[1]);
+    h1 = static_cast<std::uint16_t>((octet[2] << 8) | octet[3]);
+    return true;
+}
+
+}  // namespace
+
+std::optional<address> address::parse(std::string_view text) noexcept {
+    if (text.empty() || text.size() > 45) return std::nullopt;
+
+    // Split into the parts before and after a single "::", if present.
+    std::size_t gap = text.find("::");
+    if (gap != std::string_view::npos && text.find("::", gap + 1) != std::string_view::npos)
+        return std::nullopt;
+
+    std::string_view head = (gap == std::string_view::npos) ? text : text.substr(0, gap);
+    std::string_view tail = (gap == std::string_view::npos) ? std::string_view{}
+                                                            : text.substr(gap + 2);
+
+    // Tokenizes colon-separated groups; the final group may be a dotted
+    // quad, which expands to two hextets.
+    auto tokenize = [](std::string_view part, std::array<std::uint16_t, 8>& out,
+                       std::size_t& count) -> bool {
+        if (part.empty()) return true;
+        std::size_t pos = 0;
+        while (true) {
+            std::size_t colon = part.find(':', pos);
+            std::string_view group = (colon == std::string_view::npos)
+                                         ? part.substr(pos)
+                                         : part.substr(pos, colon - pos);
+            if (group.empty()) return false;  // "1::2:" or ":1:2"
+            if (group.find('.') != std::string_view::npos) {
+                // Embedded IPv4 must be the final group.
+                if (colon != std::string_view::npos) return false;
+                if (count + 2 > 8) return false;
+                std::uint16_t h0 = 0, h1 = 0;
+                if (!parse_embedded_ipv4(group, h0, h1)) return false;
+                out[count++] = h0;
+                out[count++] = h1;
+                return true;
+            }
+            if (group.size() > 4) return false;
+            unsigned v = 0;
+            for (char c : group) {
+                int d = hex_value(c);
+                if (d < 0) return false;
+                v = (v << 4) | static_cast<unsigned>(d);
+            }
+            if (count >= 8) return false;
+            out[count++] = static_cast<std::uint16_t>(v);
+            if (colon == std::string_view::npos) return true;
+            pos = colon + 1;
+        }
+    };
+
+    std::array<std::uint16_t, 8> head_groups{};
+    std::array<std::uint16_t, 8> tail_groups{};
+    std::size_t head_count = 0, tail_count = 0;
+    if (!tokenize(head, head_groups, head_count)) return std::nullopt;
+    if (!tokenize(tail, tail_groups, tail_count)) return std::nullopt;
+
+    std::array<std::uint16_t, 8> groups{};
+    if (gap == std::string_view::npos) {
+        if (head_count != 8) return std::nullopt;
+        groups = head_groups;
+    } else {
+        // "::" must stand for at least one zero group, so at most 7
+        // explicit groups may accompany it ("1:2:3:4:5:6:7::8" is
+        // rejected, matching inet_pton).
+        if (head_count + tail_count > 7) return std::nullopt;
+        for (std::size_t i = 0; i < head_count; ++i) groups[i] = head_groups[i];
+        for (std::size_t i = 0; i < tail_count; ++i)
+            groups[8 - tail_count + i] = tail_groups[i];
+    }
+    return from_hextets(groups);
+}
+
+address address::must_parse(std::string_view text) {
+    auto a = parse(text);
+    if (!a) throw std::invalid_argument("invalid IPv6 address: " + std::string(text));
+    return *a;
+}
+
+address address::masked(unsigned len) const noexcept {
+    address a;
+    const unsigned full_bytes = len / 8;
+    for (unsigned i = 0; i < full_bytes; ++i) a.bytes_[i] = bytes_[i];
+    if (len % 8 != 0 && full_bytes < 16) {
+        const std::uint8_t mask = static_cast<std::uint8_t>(0xff00u >> (len % 8));
+        a.bytes_[full_bytes] = static_cast<std::uint8_t>(bytes_[full_bytes] & mask);
+    }
+    return a;
+}
+
+address address::masked_upper(unsigned len) const noexcept {
+    address a = masked(len);
+    const unsigned full_bytes = len / 8;
+    if (len % 8 != 0 && full_bytes < 16) {
+        const std::uint8_t mask = static_cast<std::uint8_t>(0xffu >> (len % 8));
+        a.bytes_[full_bytes] = static_cast<std::uint8_t>(a.bytes_[full_bytes] | mask);
+    }
+    for (unsigned i = (len + 7) / 8; i < 16; ++i) a.bytes_[i] = 0xff;
+    return a;
+}
+
+unsigned address::common_prefix_length(const address& other) const noexcept {
+    unsigned len = 0;
+    for (unsigned i = 0; i < 16; ++i) {
+        const std::uint8_t diff = static_cast<std::uint8_t>(bytes_[i] ^ other.bytes_[i]);
+        if (diff == 0) {
+            len += 8;
+            continue;
+        }
+        len += static_cast<unsigned>(std::countl_zero(diff));
+        break;
+    }
+    return len;
+}
+
+std::string address::to_string() const {
+    std::array<std::uint16_t, 8> h{};
+    for (unsigned i = 0; i < 8; ++i) h[i] = hextet(i);
+
+    // RFC 5952: compress the longest run of zero hextets (leftmost on
+    // tie), but only runs of length >= 2.
+    int best_start = -1, best_len = 0;
+    for (int i = 0; i < 8;) {
+        if (h[static_cast<std::size_t>(i)] != 0) {
+            ++i;
+            continue;
+        }
+        int j = i;
+        while (j < 8 && h[static_cast<std::size_t>(j)] == 0) ++j;
+        if (j - i > best_len) {
+            best_start = i;
+            best_len = j - i;
+        }
+        i = j;
+    }
+    if (best_len < 2) best_start = -1;
+
+    std::string out;
+    out.reserve(45);
+    char buf[8];
+    for (int i = 0; i < 8;) {
+        if (i == best_start) {
+            out += "::";
+            i += best_len;
+            continue;
+        }
+        if (!out.empty() && out.back() != ':') out += ':';
+        auto [end, ec] = std::to_chars(buf, buf + sizeof buf,
+                                       h[static_cast<std::size_t>(i)], 16);
+        (void)ec;
+        out.append(buf, end);
+        ++i;
+    }
+    if (out.empty()) out = "::";
+    return out;
+}
+
+std::string address::to_full_hex() const {
+    static constexpr char digits[] = "0123456789abcdef";
+    std::string out(32, '0');
+    for (unsigned i = 0; i < 32; ++i) out[i] = digits[nybble(i)];
+    return out;
+}
+
+}  // namespace v6

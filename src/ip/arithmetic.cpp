@@ -1,0 +1,38 @@
+#include "v6class/ip/arithmetic.h"
+
+namespace v6 {
+
+address address_add(const address& a, std::uint64_t offset) noexcept {
+    std::array<std::uint8_t, 16> bytes = a.bytes();
+    // Ripple-carry the 64-bit offset into the low 8 bytes, then let any
+    // final carry propagate upward.
+    unsigned carry = 0;
+    for (int i = 15; i >= 8 && (offset || carry); --i) {
+        const unsigned sum = bytes[static_cast<std::size_t>(i)] +
+                             static_cast<unsigned>(offset & 0xff) + carry;
+        bytes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(sum);
+        carry = sum >> 8;
+        offset >>= 8;
+    }
+    for (int i = 7; i >= 0 && carry; --i) {
+        const unsigned sum = bytes[static_cast<std::size_t>(i)] + carry;
+        bytes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(sum);
+        carry = sum >> 8;
+    }
+    return address{bytes};
+}
+
+std::optional<std::uint64_t> address_distance(const address& a,
+                                              const address& b) noexcept {
+    if (b < a) return std::nullopt;
+    if (a.hi() != b.hi()) {
+        // The gap exceeds 64 bits unless the high halves differ by one
+        // and the low halves wrap.
+        if (b.hi() - a.hi() != 1) return std::nullopt;
+        if (b.lo() >= a.lo()) return std::nullopt;  // >= 2^64
+        return (~a.lo() + 1) + b.lo();  // 2^64 - a.lo + b.lo
+    }
+    return b.lo() - a.lo();
+}
+
+}  // namespace v6

@@ -1,0 +1,126 @@
+#include "v6class/ip/io.h"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+
+namespace v6 {
+
+namespace {
+
+std::string_view trim(std::string_view s) noexcept {
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t' || s.front() == '\r'))
+        s.remove_prefix(1);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+        s.remove_suffix(1);
+    return s;
+}
+
+}  // namespace
+
+read_report read_address_lines(
+    std::istream& in,
+    const std::function<void(const address&, std::uint64_t count)>& sink) {
+    read_report report;
+    std::string line;
+    while (std::getline(in, line)) {
+        ++report.lines;
+        const std::string_view text = trim(line);
+        if (text.empty()) {
+            ++report.blank;
+            continue;
+        }
+        if (text.front() == '#') {
+            ++report.comments;
+            continue;
+        }
+        const std::size_t space = text.find_first_of(" \t");
+        const std::string_view addr_text =
+            space == std::string_view::npos ? text : text.substr(0, space);
+        const auto addr = address::parse(addr_text);
+        std::uint64_t count = 1;
+        bool ok = addr.has_value();
+        if (ok && space != std::string_view::npos) {
+            const std::string_view count_text = trim(text.substr(space));
+            const auto* begin = count_text.data();
+            const auto* end = begin + count_text.size();
+            auto [ptr, ec] = std::from_chars(begin, end, count);
+            ok = ec == std::errc{} && ptr == end && count > 0;
+        }
+        if (!ok) {
+            ++report.malformed;
+            if (report.first_errors.size() < 8)
+                report.first_errors.emplace_back(line);
+            continue;
+        }
+        ++report.parsed;
+        sink(*addr, count);
+    }
+    return report;
+}
+
+read_report read_addresses(std::istream& in, std::vector<address>& out) {
+    return read_address_lines(
+        in, [&](const address& a, std::uint64_t) { out.push_back(a); });
+}
+
+void write_addresses(std::ostream& out, const std::vector<address>& addrs) {
+    for (const address& a : addrs) out << a.to_string() << '\n';
+}
+
+void write_address_counts(
+    std::ostream& out,
+    const std::vector<std::pair<address, std::uint64_t>>& records) {
+    for (const auto& [addr, count] : records)
+        out << addr.to_string() << ' ' << count << '\n';
+}
+
+read_report read_prefix_lines(
+    std::istream& in,
+    const std::function<void(const prefix&, std::uint64_t value)>& sink) {
+    read_report report;
+    std::string line;
+    while (std::getline(in, line)) {
+        ++report.lines;
+        const std::string_view text = trim(line);
+        if (text.empty()) {
+            ++report.blank;
+            continue;
+        }
+        if (text.front() == '#') {
+            ++report.comments;
+            continue;
+        }
+        const std::size_t space = text.find_first_of(" \t");
+        const std::string_view pfx_text =
+            space == std::string_view::npos ? text : text.substr(0, space);
+        const auto pfx = prefix::parse(pfx_text);
+        std::uint64_t value = 0;
+        bool ok = pfx.has_value();
+        if (ok && space != std::string_view::npos) {
+            const std::string_view value_text = trim(text.substr(space));
+            const auto* begin = value_text.data();
+            const auto* end = begin + value_text.size();
+            auto [ptr, ec] = std::from_chars(begin, end, value);
+            ok = ec == std::errc{} && ptr == end;
+        }
+        if (!ok) {
+            ++report.malformed;
+            if (report.first_errors.size() < 8)
+                report.first_errors.emplace_back(line);
+            continue;
+        }
+        ++report.parsed;
+        sink(*pfx, value);
+    }
+    return report;
+}
+
+void write_prefix_values(
+    std::ostream& out,
+    const std::vector<std::pair<prefix, std::uint64_t>>& records) {
+    for (const auto& [pfx, value] : records)
+        out << pfx.to_string() << ' ' << value << '\n';
+}
+
+}  // namespace v6

@@ -1,0 +1,48 @@
+#include "v6class/ip/ipv4.h"
+
+#include <stdexcept>
+
+namespace v6 {
+
+std::optional<ipv4_address> ipv4_address::parse(std::string_view text) noexcept {
+    std::uint32_t value = 0;
+    std::size_t pos = 0;
+    for (int i = 0; i < 4; ++i) {
+        if (i > 0) {
+            if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+            ++pos;
+        }
+        if (pos >= text.size() || text[pos] < '0' || text[pos] > '9')
+            return std::nullopt;
+        unsigned octet = 0;
+        std::size_t digits = 0;
+        while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+            octet = octet * 10 + static_cast<unsigned>(text[pos] - '0');
+            ++pos;
+            if (++digits > 3) return std::nullopt;
+        }
+        if (octet > 255) return std::nullopt;
+        if (digits > 1 && text[pos - digits] == '0') return std::nullopt;
+        value = (value << 8) | octet;
+    }
+    if (pos != text.size()) return std::nullopt;
+    return ipv4_address{value};
+}
+
+ipv4_address ipv4_address::must_parse(std::string_view text) {
+    auto a = parse(text);
+    if (!a) throw std::invalid_argument("invalid IPv4 address: " + std::string(text));
+    return *a;
+}
+
+std::string ipv4_address::to_string() const {
+    std::string out;
+    out.reserve(15);
+    for (unsigned i = 0; i < 4; ++i) {
+        if (i) out += '.';
+        out += std::to_string(octet(i));
+    }
+    return out;
+}
+
+}  // namespace v6

@@ -1,0 +1,17 @@
+#include "v6class/ip/mac.h"
+
+namespace v6 {
+
+std::string mac_address::to_string() const {
+    static constexpr char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(17);
+    for (std::size_t i = 0; i < 6; ++i) {
+        if (i) out += ':';
+        out += digits[octets_[i] >> 4];
+        out += digits[octets_[i] & 0x0f];
+    }
+    return out;
+}
+
+}  // namespace v6

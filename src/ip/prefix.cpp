@@ -1,0 +1,49 @@
+#include "v6class/ip/prefix.h"
+
+#include <cmath>
+#include <charconv>
+#include <stdexcept>
+
+namespace v6 {
+
+std::optional<prefix> prefix::parse(std::string_view text) noexcept {
+    const std::size_t slash = text.rfind('/');
+    if (slash == std::string_view::npos) {
+        auto a = address::parse(text);
+        if (!a) return std::nullopt;
+        return prefix{*a, 128};
+    }
+    auto a = address::parse(text.substr(0, slash));
+    if (!a) return std::nullopt;
+    const std::string_view len_text = text.substr(slash + 1);
+    unsigned len = 0;
+    const auto* begin = len_text.data();
+    const auto* end = begin + len_text.size();
+    auto [ptr, ec] = std::from_chars(begin, end, len);
+    if (ec != std::errc{} || ptr != end || len > 128) return std::nullopt;
+    // Reject non-canonical text such as "/" with leading '+' already
+    // handled by from_chars; leading zeroes ("/064") are accepted.
+    return prefix{*a, len};
+}
+
+prefix prefix::must_parse(std::string_view text) {
+    auto p = parse(text);
+    if (!p) throw std::invalid_argument("invalid IPv6 prefix: " + std::string(text));
+    return *p;
+}
+
+long double prefix::count() const noexcept {
+    return std::ldexp(1.0L, static_cast<int>(128 - length_));
+}
+
+std::string prefix::to_string() const {
+    std::string out = addr_.to_string();
+    out += '/';
+    char buf[4];
+    auto [end, ec] = std::to_chars(buf, buf + sizeof buf, static_cast<unsigned>(length_));
+    (void)ec;
+    out.append(buf, end);
+    return out;
+}
+
+}  // namespace v6

@@ -1,0 +1,21 @@
+// model_util.h — shared internal helpers for the concrete model
+// implementations (not installed; implementation detail).
+#pragma once
+
+#include <cstdint>
+
+#include "v6class/ip/address.h"
+
+namespace v6::detail {
+
+/// Places `value` (width bits) into the high 64-bit half at address bit
+/// positions [start, start+width). Bits of `value` above `width` are
+/// discarded. Precondition: start + width <= 64.
+constexpr std::uint64_t place(std::uint64_t hi, unsigned start, unsigned width,
+                              std::uint64_t value) noexcept {
+    const std::uint64_t mask =
+        width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+    return hi | ((value & mask) << (64 - start - width));
+}
+
+}  // namespace v6::detail

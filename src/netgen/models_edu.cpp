@@ -1,0 +1,190 @@
+#include <stdexcept>
+
+#include "model_util.h"
+#include "v6class/netgen/iid.h"
+#include "v6class/netgen/models.h"
+
+namespace v6 {
+
+namespace {
+
+constexpr std::uint64_t kNetSalt = 0xed01;
+constexpr std::uint64_t kSubnetSalt = 0xed02;
+constexpr std::uint64_t kKindSalt = 0xed03;
+constexpr std::uint64_t kMacSalt = 0xed04;
+constexpr std::uint64_t kPrivSalt = 0xed05;
+constexpr std::uint64_t kHitsSalt = 0xed06;
+constexpr std::uint64_t kPhaseSalt = 0xed07;
+constexpr std::uint64_t kLeaseSalt = 0xed08;
+constexpr std::uint64_t kCpeSalt = 0xed09;
+
+}  // namespace
+
+// ---------------------------------------------------------- us_university
+
+us_university::us_university(model_config cfg, prefix bgp, options opt)
+    : cfg_(cfg), pfx_{bgp}, opt_(opt) {
+    if (bgp.length() != 32)
+        throw std::invalid_argument("us_university expects a /32");
+}
+
+void us_university::day_activity(int day, std::vector<observation>& out) const {
+    const std::uint64_t n = grown(cfg_, day);
+
+    for (std::uint64_t s = 0; s < n; ++s) {
+        if (!active_on(cfg_, s, day)) continue;
+
+        // Address plan (matches the operator-confirmed reading of
+        // Figure 2a): nybble 32 takes one of three "customer network"
+        // values; the next two nybbles carry the subnet; the rest of the
+        // network identifier is zero, leaving sparse /64s.
+        const std::uint64_t net_h = hash_ids(cfg_.seed, kNetSalt, s);
+        const std::uint64_t roll = hash_uniform(net_h, 100);
+        const unsigned customer =
+            opt_.customer_nybbles[roll < 60 ? 0 : (roll < 90 ? 1 : 2)];
+        const std::uint64_t subnet =
+            hash_uniform(hash_ids(cfg_.seed, kSubnetSalt, s), opt_.subnets);
+
+        std::uint64_t hi = detail::place(pfx_[0].base().hi(), 32, 4, customer);
+        hi = detail::place(hi, 36, 8, subnet);
+
+        const std::uint64_t kind_h = hash_ids(cfg_.seed, kKindSalt, s);
+        const std::uint64_t hits_h =
+            hash_ids(cfg_.seed, kHitsSalt, s, static_cast<std::uint64_t>(day));
+        if (hash_chance(kind_h,
+                        static_cast<std::uint64_t>(opt_.eui64_device_share * 1e6),
+                        1'000'000)) {
+            const mac_address mac = device_mac(hash_ids(cfg_.seed, kMacSalt, s));
+            out.push_back(
+                {address::from_pair(hi, mac.to_eui64_iid()), hits_draw(hits_h)});
+        } else {
+            const std::uint64_t iid = privacy_iid(
+                hash_ids(cfg_.seed, kPrivSalt, s, static_cast<std::uint64_t>(day)));
+            out.push_back({address::from_pair(hi, iid), hits_draw(hits_h)});
+        }
+    }
+}
+
+// -------------------------------------------------------------- jp_telco
+
+jp_telco::jp_telco(model_config cfg, prefix bgp, options opt)
+    : cfg_(cfg), pfx_{bgp}, opt_(opt) {
+    if (bgp.length() > 48) throw std::invalid_argument("jp_telco expects a short prefix");
+}
+
+void jp_telco::day_activity(int day, std::vector<observation>& out) const {
+    // Statically numbered CPE packed into a handful of /64s: addresses
+    // differ only in their last bits, producing Figure 2b's prominence
+    // between bits 112 and 128 (dense, scannable blocks).
+    const std::uint64_t cpe_total = opt_.dense_64s * opt_.cpe_per_64;
+    const std::uint64_t n_cpe =
+        std::min(grown(cfg_, day), cpe_total);
+
+    for (std::uint64_t c = 0; c < n_cpe; ++c) {
+        if (!active_on(cfg_, c, day)) continue;
+        const std::uint64_t block = c / opt_.cpe_per_64;
+        const std::uint64_t host = c % opt_.cpe_per_64;
+        // Blocks live at ::10:<small>::/64 — one constant hextet then a
+        // small block number, as in the paper's sample addresses
+        // (2001:db8:10:8::17f).
+        std::uint64_t hi = detail::place(pfx_[0].base().hi(), 32, 16, 0x10);
+        hi = detail::place(hi, 48, 16, block);
+        const std::uint64_t hits_h =
+            hash_ids(cfg_.seed, kHitsSalt, c, static_cast<std::uint64_t>(day));
+        out.push_back({address::from_pair(hi, 0x100 + host), hits_draw(hits_h)});
+    }
+
+    // A minority of handsets with privacy addresses in a separate range
+    // (the sparse half of Figure 2b).
+    const std::uint64_t n_priv = static_cast<std::uint64_t>(
+        static_cast<double>(grown(cfg_, day)) * opt_.privacy_share);
+    for (std::uint64_t s = 0; s < n_priv; ++s) {
+        if (!active_on(cfg_, s + cpe_total, day)) continue;
+        std::uint64_t hi = detail::place(pfx_[0].base().hi(), 32, 16, 0x20);
+        hi = detail::place(hi, 48, 16, 0xc000 + hash_uniform(
+            hash_ids(cfg_.seed, kCpeSalt, s), 64));
+        const std::uint64_t iid = privacy_iid(
+            hash_ids(cfg_.seed, kPrivSalt, s, static_cast<std::uint64_t>(day)));
+        const std::uint64_t hits_h =
+            hash_ids(cfg_.seed, kHitsSalt, s + cpe_total,
+                     static_cast<std::uint64_t>(day));
+        out.push_back({address::from_pair(hi, iid), hits_draw(hits_h)});
+    }
+}
+
+// ----------------------------------------------------- eu_university_dept
+
+eu_university_dept::eu_university_dept(model_config cfg, prefix lan, options opt)
+    : cfg_(cfg), pfx_{lan}, opt_(opt) {
+    if (lan.length() != 64)
+        throw std::invalid_argument("eu_university_dept expects a /64");
+    if (opt_.clusters == 0) throw std::invalid_argument("clusters must be >= 1");
+}
+
+address eu_university_dept::host_address(std::uint64_t h, int day) const noexcept {
+    // DHCPv6 leases: a host keeps its address for ~lease_churn_days, then
+    // moves to another slot in its cluster's small range. Clusters are
+    // one byte at bits 72..80; slots are the final byte — numerically
+    // close addresses, multiple 2@/112-dense prefixes.
+    const std::uint64_t cluster = h % opt_.clusters;
+    const int churn = opt_.lease_churn_days;
+    const int phase = static_cast<int>(
+        hash_uniform(hash_ids(cfg_.seed, kPhaseSalt, h),
+                     static_cast<std::uint64_t>(churn)));
+    const std::uint64_t epoch =
+        static_cast<std::uint64_t>((day + 36500 + phase) / churn);
+    const std::uint64_t slot =
+        1 + hash_uniform(hash_ids(cfg_.seed, kLeaseSalt, h, epoch), 200);
+
+    std::uint64_t lo = 0;
+    lo |= ((cluster + 1) << 4) << 48;  // bits 72..80: 0x10, 0x20, 0x30...
+    lo |= slot;                        // bits 120..128
+    return address::from_pair(pfx_[0].base().hi(), lo);
+}
+
+void eu_university_dept::day_activity(int day, std::vector<observation>& out) const {
+    for (std::uint64_t h = 0; h < opt_.hosts; ++h) {
+        if (!active_on(cfg_, h, day)) continue;
+        const std::uint64_t hits_h =
+            hash_ids(cfg_.seed, kHitsSalt, h, static_cast<std::uint64_t>(day));
+        out.push_back({host_address(h, day), hits_draw(hits_h)});
+    }
+}
+
+// --------------------------------------------------------- hosting_provider
+
+hosting_provider::hosting_provider(model_config cfg, prefix bgp, options opt)
+    : cfg_(cfg), pfx_{bgp}, opt_(opt) {
+    if (bgp.length() > 48)
+        throw std::invalid_argument("hosting_provider expects a short prefix");
+}
+
+void hosting_provider::day_activity(int day, std::vector<observation>& out) const {
+    // Racks are /64s numbered sequentially under subnet 0x0f00 + rack;
+    // servers hold static sequential IIDs (::1, ::2, ...) and the busier
+    // ones answer for several vhost addresses right after their own.
+    for (std::uint64_t rack = 0; rack < opt_.racks; ++rack) {
+        const std::uint64_t hi =
+            detail::place(pfx_[0].base().hi(), 48, 16, 0x0f00 + rack);
+        for (std::uint64_t srv = 1; srv <= opt_.servers_per_rack; ++srv) {
+            if (!active_on(cfg_, rack * opt_.servers_per_rack + srv, day))
+                continue;
+            const std::uint64_t hits_h = hash_ids(
+                cfg_.seed, kHitsSalt, rack * 1000 + srv,
+                static_cast<std::uint64_t>(day));
+            const std::uint64_t base_iid = srv * 0x10;
+            out.push_back({address::from_pair(hi, base_iid), hits_draw(hits_h)});
+            const std::uint64_t role = hash_ids(cfg_.seed, kKindSalt, rack, srv);
+            if (hash_chance(role, static_cast<std::uint64_t>(opt_.vhost_share * 1e6),
+                            1'000'000)) {
+                const std::uint64_t vhosts =
+                    1 + hash_uniform(role >> 32, opt_.vhosts_mean * 2);
+                for (std::uint64_t v = 1; v <= vhosts; ++v)
+                    out.push_back({address::from_pair(hi, base_iid + v),
+                                   hits_draw(hits_h >> (v % 13))});
+            }
+        }
+    }
+}
+
+}  // namespace v6

@@ -1,0 +1,336 @@
+#include <stdexcept>
+
+#include "model_util.h"
+#include "v6class/netgen/iid.h"
+#include "v6class/netgen/models.h"
+
+namespace v6 {
+
+namespace {
+
+constexpr std::uint64_t kRegionSalt = 0xe001;
+constexpr std::uint64_t kPhaseSalt = 0xe002;
+constexpr std::uint64_t kRenumSalt = 0xe003;
+constexpr std::uint64_t kSubnetSalt = 0xe004;
+constexpr std::uint64_t kDevCountSalt = 0xe005;
+constexpr std::uint64_t kDevKindSalt = 0xe006;
+constexpr std::uint64_t kDevMacSalt = 0xe007;
+constexpr std::uint64_t kDevPrivSalt = 0xe008;
+constexpr std::uint64_t kDevActiveSalt = 0xe009;
+constexpr std::uint64_t kHitsSalt = 0xe00a;
+constexpr std::uint64_t kSub16Salt = 0xe00b;
+constexpr std::uint64_t kLowSalt = 0xe00c;
+constexpr std::uint64_t kPoolSalt = 0xe00d;
+constexpr std::uint64_t kPriv2Salt = 0xe00e;
+constexpr std::uint64_t kCpeSalt = 0xe00f;
+constexpr std::uint64_t kSpillSalt = 0xe010;
+
+std::uint64_t device_count(std::uint64_t h, double mean) noexcept {
+    // 1..5 devices with the requested mean (clamped): draw uniform in
+    // [0,1) and scale; crude but deterministic and cheap.
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    const double v = 1.0 + u * 2.0 * (mean - 1.0);
+    const auto n = static_cast<std::uint64_t>(v + 0.5);
+    return n < 1 ? 1 : (n > 5 ? 5 : n);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- eu_isp
+
+eu_isp::eu_isp(model_config cfg, prefix bgp, options opt)
+    : cfg_(cfg), pfx_{bgp}, opt_(opt) {
+    if (bgp.length() > 32) throw std::invalid_argument("eu_isp expects a short prefix");
+}
+
+void eu_isp::day_activity(int day, std::vector<observation>& out) const {
+    const std::uint64_t n = grown(cfg_, day);
+    const prefix& bgp = pfx_[0];
+    const unsigned plen = bgp.length();
+
+    for (std::uint64_t s = 0; s < n; ++s) {
+        if (!active_on(cfg_, s, day)) continue;
+
+        // Network identifier: region bits (plen..40), a constant 0 at
+        // bit 40, the on-demand pseudorandom 15-bit field at 41..55, and
+        // a per-device 8-bit subnet at 56..63 biased to 0x00/0x01.
+        const std::uint64_t region =
+            hash_uniform(hash_ids(cfg_.seed, kRegionSalt, s), opt_.regions);
+        std::uint64_t hi = detail::place(bgp.base().hi(), plen, 40 - plen, region);
+
+        const bool renumbers_daily =
+            hash_chance(hash_ids(cfg_.seed, kPhaseSalt ^ 0xD41, s),
+                        static_cast<std::uint64_t>(opt_.daily_renumber_share * 1e6),
+                        1'000'000);
+        const int period = renumbers_daily ? 1 : opt_.renumber_period_days;
+        const int phase = static_cast<int>(
+            hash_uniform(hash_ids(cfg_.seed, kPhaseSalt, s),
+                         static_cast<std::uint64_t>(period)));
+        const std::uint64_t renum_epoch =
+            static_cast<std::uint64_t>((day + 36500 + phase) / period);
+        const std::uint64_t rand15 =
+            hash_ids(cfg_.seed, kRenumSalt, s, renum_epoch) & 0x7fff;
+        hi = detail::place(hi, 41, 15, rand15);
+
+        const std::uint64_t ndev =
+            device_count(hash_ids(cfg_.seed, kDevCountSalt, s), opt_.devices_mean);
+        for (std::uint64_t dev = 0; dev < ndev; ++dev) {
+            if (!hash_chance(hash_ids(cfg_.seed, kDevActiveSalt, s,
+                                      (static_cast<std::uint64_t>(day) << 8) | dev),
+                             70, 100))
+                continue;
+
+            const std::uint64_t sub_h = hash_ids(cfg_.seed, kSubnetSalt, s, dev);
+            std::uint64_t subnet;
+            const std::uint64_t sub_roll = hash_uniform(sub_h, 100);
+            if (sub_roll < 55)
+                subnet = 0x00;
+            else if (sub_roll < 85)
+                subnet = 0x01;
+            else
+                subnet = 2 + hash_uniform(sub_h >> 32, 254);
+            const std::uint64_t dev_hi = detail::place(hi, 56, 8, subnet);
+
+            const std::uint64_t kind_h = hash_ids(cfg_.seed, kDevKindSalt, s, dev);
+            const std::uint64_t hits_h = hash_ids(
+                cfg_.seed, kHitsSalt, s, (static_cast<std::uint64_t>(day) << 8) | dev);
+
+            if (hash_chance(kind_h,
+                            static_cast<std::uint64_t>(opt_.eui64_device_share * 1e6),
+                            1'000'000)) {
+                const mac_address mac =
+                    device_mac(hash_ids(cfg_.seed, kDevMacSalt, s, dev));
+                out.push_back(
+                    {address::from_pair(dev_hi, mac.to_eui64_iid()), hits_draw(hits_h)});
+            } else {
+                const std::uint64_t iid = privacy_iid(hash_ids(
+                    cfg_.seed, kDevPrivSalt, s,
+                    (static_cast<std::uint64_t>(day) << 8) | dev));
+                out.push_back({address::from_pair(dev_hi, iid), hits_draw(hits_h)});
+                // A privacy address often straddles midnight (24h default
+                // lifetime, plus log-processing slew): yesterday's IID
+                // shows up again in today's log.
+                if (hash_chance(hash_ids(cfg_.seed, kSpillSalt, s,
+                                         (static_cast<std::uint64_t>(day) << 8) | dev),
+                                25, 100)) {
+                    const std::uint64_t prev = privacy_iid(hash_ids(
+                        cfg_.seed, kDevPrivSalt, s,
+                        (static_cast<std::uint64_t>(day - 1) << 8) | dev));
+                    out.push_back(
+                        {address::from_pair(dev_hi, prev), hits_draw(hits_h >> 13)});
+                }
+                // Privacy IIDs rotate within the day as well (RFC 4941's
+                // 24h default plus reboots): sometimes a second address.
+                if (hash_chance(hash_ids(cfg_.seed, kPriv2Salt, s,
+                                         (static_cast<std::uint64_t>(day) << 8) | dev),
+                                45, 100)) {
+                    const std::uint64_t iid2 = privacy_iid(hash_ids(
+                        cfg_.seed, kPriv2Salt ^ 0xff, s,
+                        (static_cast<std::uint64_t>(day) << 8) | dev));
+                    out.push_back(
+                        {address::from_pair(dev_hi, iid2), hits_draw(hits_h >> 9)});
+                }
+            }
+        }
+
+        // The home gateway itself fetches content now and then: a stable
+        // low-IID address in subnet 0 — one stable address per household,
+        // spread across the operator's /64s.
+        if (hash_chance(hash_ids(cfg_.seed, kCpeSalt, s,
+                                 static_cast<std::uint64_t>(day)),
+                        45, 100)) {
+            const std::uint64_t cpe_hi = detail::place(hi, 56, 8, 0);
+            out.push_back({address::from_pair(cpe_hi, 1),
+                           hits_draw(hash_ids(cfg_.seed, kCpeSalt ^ 0xf0, s,
+                                              static_cast<std::uint64_t>(day)))});
+        }
+    }
+}
+
+// ---------------------------------------------------------------- jp_isp
+
+jp_isp::jp_isp(model_config cfg, prefix bgp, options opt)
+    : cfg_(cfg), pfx_{bgp}, opt_(opt) {
+    if (bgp.length() > 32) throw std::invalid_argument("jp_isp expects a short prefix");
+}
+
+void jp_isp::day_activity(int day, std::vector<observation>& out) const {
+    const std::uint64_t n = grown(cfg_, day);
+    const prefix& bgp = pfx_[0];
+    const unsigned plen = bgp.length();
+
+    for (std::uint64_t s = 0; s < n; ++s) {
+        if (!active_on(cfg_, s, day)) continue;
+
+        // Static per-subscriber /48, and a single 16-bit value in bits
+        // 48..63 for every address of the /48 — Figure 5h's flat 48..64
+        // segment.
+        std::uint64_t hi = detail::place(bgp.base().hi(), plen, 48 - plen, s);
+        const std::uint64_t sub16 = hash_ids(cfg_.seed, kSub16Salt, s) & 0xffff;
+        hi = detail::place(hi, 48, 16, sub16);
+
+        const std::uint64_t ndev =
+            device_count(hash_ids(cfg_.seed, kDevCountSalt, s), opt_.devices_mean);
+        for (std::uint64_t dev = 0; dev < ndev; ++dev) {
+            if (!hash_chance(hash_ids(cfg_.seed, kDevActiveSalt, s,
+                                      (static_cast<std::uint64_t>(day) << 8) | dev),
+                             65, 100))
+                continue;
+            const std::uint64_t kind_h = hash_ids(cfg_.seed, kDevKindSalt, s, dev);
+            const std::uint64_t hits_h = hash_ids(
+                cfg_.seed, kHitsSalt, s, (static_cast<std::uint64_t>(day) << 8) | dev);
+            if (hash_chance(kind_h,
+                            static_cast<std::uint64_t>(opt_.eui64_device_share * 1e6),
+                            1'000'000)) {
+                // Stable MAC in a stable /48: 99.6% of this ISP's EUI-64
+                // IIDs appear in exactly one /64 across a week.
+                const mac_address mac =
+                    device_mac(hash_ids(cfg_.seed, kDevMacSalt, s, dev));
+                out.push_back(
+                    {address::from_pair(hi, mac.to_eui64_iid()), hits_draw(hits_h)});
+            } else {
+                const std::uint64_t iid = privacy_iid(hash_ids(
+                    cfg_.seed, kDevPrivSalt, s,
+                    (static_cast<std::uint64_t>(day) << 8) | dev));
+                out.push_back({address::from_pair(hi, iid), hits_draw(hits_h)});
+                if (hash_chance(hash_ids(cfg_.seed, kSpillSalt, s,
+                                         (static_cast<std::uint64_t>(day) << 8) | dev),
+                                25, 100)) {
+                    const std::uint64_t prev = privacy_iid(hash_ids(
+                        cfg_.seed, kDevPrivSalt, s,
+                        (static_cast<std::uint64_t>(day - 1) << 8) | dev));
+                    out.push_back(
+                        {address::from_pair(hi, prev), hits_draw(hits_h >> 13)});
+                }
+                if (hash_chance(hash_ids(cfg_.seed, kPriv2Salt, s,
+                                         (static_cast<std::uint64_t>(day) << 8) | dev),
+                                45, 100)) {
+                    const std::uint64_t iid2 = privacy_iid(hash_ids(
+                        cfg_.seed, kPriv2Salt ^ 0xff, s,
+                        (static_cast<std::uint64_t>(day) << 8) | dev));
+                    out.push_back(
+                        {address::from_pair(hi, iid2), hits_draw(hits_h >> 9)});
+                }
+            }
+        }
+
+        if (hash_chance(hash_ids(cfg_.seed, kCpeSalt, s,
+                                 static_cast<std::uint64_t>(day)),
+                        45, 100)) {
+            out.push_back({address::from_pair(hi, 1),
+                           hits_draw(hash_ids(cfg_.seed, kCpeSalt ^ 0xf0, s,
+                                              static_cast<std::uint64_t>(day)))});
+        }
+    }
+}
+
+// ------------------------------------------------------------ generic_isp
+
+generic_isp::generic_isp(std::string name, model_config cfg, prefix bgp, options opt)
+    : name_(std::move(name)), cfg_(cfg), pfx_{bgp}, opt_(opt) {}
+
+void generic_isp::day_activity(int day, std::vector<observation>& out) const {
+    const std::uint64_t n = grown(cfg_, day);
+    const prefix& bgp = pfx_[0];
+    const unsigned plen = bgp.length();
+
+    for (std::uint64_t s = 0; s < n; ++s) {
+        if (!active_on(cfg_, s, day)) continue;
+
+        std::uint64_t hi = bgp.base().hi();
+        std::uint64_t forced_low_iid = 0;
+        bool has_forced_low = false;
+
+        switch (opt_.plan) {
+            case practice::static_64_per_subscriber:
+                hi = detail::place(hi, plen, 64 - plen, s);
+                break;
+            case practice::dynamic_64_pool: {
+                const std::uint64_t pool = cfg_.subscribers + cfg_.subscribers / 4 + 1;
+                const std::uint64_t slot = hash_uniform(
+                    hash_ids(cfg_.seed, kPoolSalt, s, static_cast<std::uint64_t>(day)),
+                    pool);
+                hi = detail::place(hi, plen, 64 - plen, slot);
+                break;
+            }
+            case practice::static_48_per_subscriber:
+                hi = detail::place(hi, plen, 48 - plen, s);
+                break;
+            case practice::shared_64: {
+                const std::uint64_t lans = cfg_.subscribers / 50 + 1;
+                hi = detail::place(hi, plen, 64 - plen, s % lans);
+                forced_low_iid = 0x100 + s / lans;  // packed DHCP-style range
+                has_forced_low = true;
+                break;
+            }
+        }
+
+        const std::uint64_t ndev =
+            device_count(hash_ids(cfg_.seed, kDevCountSalt, s), opt_.devices_mean);
+        for (std::uint64_t dev = 0; dev < ndev; ++dev) {
+            if (!hash_chance(hash_ids(cfg_.seed, kDevActiveSalt, s,
+                                      (static_cast<std::uint64_t>(day) << 8) | dev),
+                             70, 100))
+                continue;
+            const std::uint64_t hits_h = hash_ids(
+                cfg_.seed, kHitsSalt, s, (static_cast<std::uint64_t>(day) << 8) | dev);
+            if (has_forced_low) {
+                out.push_back({address::from_pair(hi, forced_low_iid + (dev << 12)),
+                               hits_draw(hits_h)});
+                continue;
+            }
+            const std::uint64_t kind_h = hash_ids(cfg_.seed, kDevKindSalt, s, dev);
+            const std::uint64_t roll = hash_uniform(kind_h, 1'000'000);
+            const auto eui_cut =
+                static_cast<std::uint64_t>(opt_.eui64_device_share * 1e6);
+            const auto low_cut =
+                eui_cut + static_cast<std::uint64_t>(opt_.low_iid_share * 1e6);
+            if (roll < eui_cut) {
+                const mac_address mac =
+                    device_mac(hash_ids(cfg_.seed, kDevMacSalt, s, dev));
+                out.push_back(
+                    {address::from_pair(hi, mac.to_eui64_iid()), hits_draw(hits_h)});
+            } else if (roll < low_cut) {
+                out.push_back(
+                    {address::from_pair(hi, 1 + hash_uniform(kind_h >> 32, 0x200)),
+                     hits_draw(hits_h)});
+            } else {
+                const std::uint64_t iid = privacy_iid(hash_ids(
+                    cfg_.seed, kDevPrivSalt, s,
+                    (static_cast<std::uint64_t>(day) << 8) | dev));
+                out.push_back({address::from_pair(hi, iid), hits_draw(hits_h)});
+                if (hash_chance(hash_ids(cfg_.seed, kSpillSalt, s,
+                                         (static_cast<std::uint64_t>(day) << 8) | dev),
+                                25, 100)) {
+                    const std::uint64_t prev = privacy_iid(hash_ids(
+                        cfg_.seed, kDevPrivSalt, s,
+                        (static_cast<std::uint64_t>(day - 1) << 8) | dev));
+                    out.push_back(
+                        {address::from_pair(hi, prev), hits_draw(hits_h >> 13)});
+                }
+                if (hash_chance(hash_ids(cfg_.seed, kPriv2Salt, s,
+                                         (static_cast<std::uint64_t>(day) << 8) | dev),
+                                45, 100)) {
+                    const std::uint64_t iid2 = privacy_iid(hash_ids(
+                        cfg_.seed, kPriv2Salt ^ 0xff, s,
+                        (static_cast<std::uint64_t>(day) << 8) | dev));
+                    out.push_back(
+                        {address::from_pair(hi, iid2), hits_draw(hits_h >> 9)});
+                }
+            }
+        }
+
+        // Home-gateway address for the plans with a stable network id.
+        if ((opt_.plan == practice::static_64_per_subscriber ||
+             opt_.plan == practice::static_48_per_subscriber) &&
+            hash_chance(hash_ids(cfg_.seed, kCpeSalt, s,
+                                 static_cast<std::uint64_t>(day)),
+                        45, 100)) {
+            out.push_back({address::from_pair(hi, 1),
+                           hits_draw(hash_ids(cfg_.seed, kCpeSalt ^ 0xf0, s,
+                                              static_cast<std::uint64_t>(day)))});
+        }
+    }
+}
+
+}  // namespace v6

@@ -1,0 +1,105 @@
+#include <stdexcept>
+
+#include "model_util.h"
+#include "v6class/netgen/iid.h"
+#include "v6class/netgen/models.h"
+
+namespace v6 {
+
+namespace {
+
+// Salt constants keep the stateless hash streams of different decisions
+// independent of one another.
+constexpr std::uint64_t kSlotSalt = 0x510f;
+constexpr std::uint64_t kRoleSalt = 0xd011;
+constexpr std::uint64_t kPrivSalt = 0x9a1d;
+constexpr std::uint64_t kPriv2Salt = 0x9a2d;
+constexpr std::uint64_t kHitsSalt = 0x4175;
+constexpr std::uint64_t kSpillSalt = 0x4176;
+
+}  // namespace
+
+us_mobile_carrier::us_mobile_carrier(model_config cfg, std::vector<prefix> pools,
+                                     options opt)
+    : cfg_(cfg), pools_(std::move(pools)), opt_(opt) {
+    if (pools_.empty()) throw std::invalid_argument("us_mobile_carrier: no pools");
+    for (const prefix& p : pools_)
+        if (p.length() > 60) throw std::invalid_argument("pool prefix too specific");
+}
+
+void us_mobile_carrier::day_activity(int day, std::vector<observation>& out) const {
+    const std::uint64_t n = grown(cfg_, day);
+    const std::uint64_t pool =
+        opt_.pool_64s ? opt_.pool_64s : cfg_.subscribers * 5 / 4;
+
+    for (std::uint64_t s = 0; s < n; ++s) {
+        if (!active_on(cfg_, s, day)) continue;
+
+        // Gateways hand out /64s from a pool sized to connection capacity;
+        // a device receives a different /64 on each association, so the
+        // same /64 serves different subscribers across days. Contiguous
+        // slot numbering packs bits 44..63, which is what makes the
+        // carrier's weekly MRA plot near-saturated in that segment.
+        const std::uint64_t slot =
+            hash_uniform(hash_ids(cfg_.seed, kSlotSalt, s,
+                                  static_cast<std::uint64_t>(day)),
+                         pool);
+        const prefix& p = pools_[slot % pools_.size()];
+        const std::uint64_t index = slot / pools_.size();
+        const std::uint64_t hi =
+            detail::place(p.base().hi(), p.length(), 64 - p.length(), index);
+
+        const std::uint64_t role = hash_ids(cfg_.seed, kRoleSalt, s);
+        const std::uint64_t hits_h =
+            hash_ids(cfg_.seed, kHitsSalt, s, static_cast<std::uint64_t>(day));
+
+        const std::uint64_t fixed_cut =
+            static_cast<std::uint64_t>(opt_.fixed_iid_share * 1e6);
+        const std::uint64_t dup_cut =
+            fixed_cut + static_cast<std::uint64_t>(opt_.duplicate_mac_share * 1e6);
+        const std::uint64_t roll = hash_uniform(role, 1'000'000);
+
+        if (roll < fixed_cut) {
+            // The shared fixed IID: many handsets use ::1 behind their
+            // dynamic /64. Reused slots recreate full addresses across
+            // days — the source of "stable" addresses in a dynamic
+            // network (Section 6.1's apparent contradiction).
+            out.push_back({address::from_pair(hi, 1), hits_draw(hits_h)});
+        } else if (roll < dup_cut) {
+            out.push_back({address::from_pair(hi, duplicate_mac().to_eui64_iid()),
+                           hits_draw(hits_h)});
+        } else {
+            const std::uint64_t iid = privacy_iid(
+                hash_ids(cfg_.seed, kPrivSalt, s, static_cast<std::uint64_t>(day)));
+            out.push_back({address::from_pair(hi, iid), hits_draw(hits_h)});
+            // Yesterday's privacy address (in yesterday's pool slot) can
+            // straddle midnight into today's log.
+            if (hash_chance(hash_ids(cfg_.seed, kSpillSalt, s,
+                                     static_cast<std::uint64_t>(day)),
+                            25, 100)) {
+                const std::uint64_t prev_slot =
+                    hash_uniform(hash_ids(cfg_.seed, kSlotSalt, s,
+                                          static_cast<std::uint64_t>(day - 1)),
+                                 pool);
+                const prefix& prev_pool = pools_[prev_slot % pools_.size()];
+                const std::uint64_t prev_hi = detail::place(
+                    prev_pool.base().hi(), prev_pool.length(),
+                    64 - prev_pool.length(), prev_slot / pools_.size());
+                const std::uint64_t prev_iid = privacy_iid(hash_ids(
+                    cfg_.seed, kPrivSalt, s, static_cast<std::uint64_t>(day - 1)));
+                out.push_back({address::from_pair(prev_hi, prev_iid),
+                               hits_draw(hits_h >> 13)});
+            }
+            if (hash_chance(hash_ids(cfg_.seed, kPriv2Salt, s,
+                                     static_cast<std::uint64_t>(day)),
+                            static_cast<std::uint64_t>(opt_.second_privacy_addr * 1e6),
+                            1'000'000)) {
+                const std::uint64_t iid2 = privacy_iid(hash_ids(
+                    cfg_.seed, kPriv2Salt ^ 0xff, s, static_cast<std::uint64_t>(day)));
+                out.push_back({address::from_pair(hi, iid2), hits_draw(hits_h >> 7)});
+            }
+        }
+    }
+}
+
+}  // namespace v6

@@ -1,0 +1,114 @@
+#include <stdexcept>
+
+#include "model_util.h"
+#include "v6class/netgen/iid.h"
+#include "v6class/netgen/models.h"
+
+namespace v6 {
+
+namespace {
+
+constexpr std::uint64_t kV4Salt = 0x7401;
+constexpr std::uint64_t kKindSalt = 0x7402;
+constexpr std::uint64_t kPrivSalt = 0x7403;
+constexpr std::uint64_t kHitsSalt = 0x7404;
+constexpr std::uint64_t kServerSalt = 0x7405;
+constexpr std::uint64_t kPortSalt = 0x7406;
+constexpr std::uint64_t kSubnetSalt = 0x7407;
+
+// A plausible public IPv4 address: one of several consumer /8s with a
+// hashed host part.
+std::uint32_t client_v4(std::uint64_t h) noexcept {
+    constexpr std::uint32_t blocks[] = {24, 46, 71, 98, 121, 151, 189, 203};
+    const std::uint32_t b = blocks[h % (sizeof(blocks) / sizeof(blocks[0]))];
+    return (b << 24) | static_cast<std::uint32_t>((h >> 8) & 0xffffff);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- relay_6to4
+
+relay_6to4::relay_6to4(model_config cfg, options opt) : cfg_(cfg), opt_(opt) {
+    pfx_.push_back(prefix::must_parse("2002::/16"));
+}
+
+void relay_6to4::day_activity(int day, std::vector<observation>& out) const {
+    const std::uint64_t n = grown(cfg_, day);
+    for (std::uint64_t s = 0; s < n; ++s) {
+        if (!active_on(cfg_, s, day)) continue;
+        const std::uint32_t v4 = client_v4(hash_ids(cfg_.seed, kV4Salt, s));
+        // 2002:V4HI:V4LO:<subnet>::/64 — the IPv4 address occupies bits
+        // 16..47, the segment Figure 5d shows aggregating like IPv4.
+        std::uint64_t hi = detail::place(0x2002ull << 48, 16, 32, v4);
+        hi = detail::place(hi, 48, 16, 0);  // home routers advertise subnet 0
+
+        const std::uint64_t kind_h = hash_ids(cfg_.seed, kKindSalt, s);
+        const std::uint64_t hits_h =
+            hash_ids(cfg_.seed, kHitsSalt, s, static_cast<std::uint64_t>(day));
+        if (hash_chance(kind_h, static_cast<std::uint64_t>(opt_.low_iid_share * 1e6),
+                        1'000'000)) {
+            out.push_back({address::from_pair(hi, 1), hits_draw(hits_h)});
+        } else {
+            const std::uint64_t iid = privacy_iid(
+                hash_ids(cfg_.seed, kPrivSalt, s, static_cast<std::uint64_t>(day)));
+            out.push_back({address::from_pair(hi, iid), hits_draw(hits_h)});
+        }
+    }
+}
+
+// ------------------------------------------------------------ teredo_model
+
+teredo_model::teredo_model(model_config cfg) : cfg_(cfg) {
+    pfx_.push_back(prefix::must_parse("2001::/32"));
+}
+
+void teredo_model::day_activity(int day, std::vector<observation>& out) const {
+    const std::uint64_t n = grown(cfg_, day);
+    for (std::uint64_t s = 0; s < n; ++s) {
+        if (!active_on(cfg_, s, day)) continue;
+        // RFC 4380: 2001:0:<server v4>:<flags>:<obfuscated port>:<~v4>.
+        constexpr std::uint32_t servers[] = {0x41c86952, 0x53ef3c9a, 0xd945d0d4};
+        const std::uint32_t server =
+            servers[hash_ids(cfg_.seed, kServerSalt, s) % 3];
+        const std::uint32_t v4 = client_v4(hash_ids(cfg_.seed, kV4Salt, s));
+        const std::uint16_t port = static_cast<std::uint16_t>(
+            1024 + hash_uniform(hash_ids(cfg_.seed, kPortSalt, s,
+                                         static_cast<std::uint64_t>(day)),
+                                60000));
+        const std::uint64_t hi = (0x20010000ull << 32) | server;
+        std::uint64_t lo = 0x8000ull << 48;                       // cone flag
+        lo |= static_cast<std::uint64_t>(~port & 0xffff) << 32;   // obfuscated port
+        lo |= static_cast<std::uint64_t>(~v4);                    // obfuscated v4
+        const std::uint64_t hits_h =
+            hash_ids(cfg_.seed, kHitsSalt, s, static_cast<std::uint64_t>(day));
+        out.push_back({address::from_pair(hi, lo), hits_draw(hits_h)});
+    }
+}
+
+// ------------------------------------------------------------ isatap_model
+
+isatap_model::isatap_model(model_config cfg, prefix enterprise)
+    : cfg_(cfg), pfx_{enterprise} {
+    if (enterprise.length() > 64)
+        throw std::invalid_argument("isatap_model expects a /64 or shorter");
+}
+
+void isatap_model::day_activity(int day, std::vector<observation>& out) const {
+    const std::uint64_t n = grown(cfg_, day);
+    const unsigned plen = pfx_[0].length();
+    for (std::uint64_t s = 0; s < n; ++s) {
+        if (!active_on(cfg_, s, day)) continue;
+        const std::uint64_t subnet =
+            hash_uniform(hash_ids(cfg_.seed, kSubnetSalt, s), 16);
+        const std::uint64_t hi =
+            plen < 64 ? detail::place(pfx_[0].base().hi(), plen, 64 - plen, subnet)
+                      : pfx_[0].base().hi();
+        const std::uint32_t v4 = client_v4(hash_ids(cfg_.seed, kV4Salt, s));
+        const std::uint64_t hits_h =
+            hash_ids(cfg_.seed, kHitsSalt, s, static_cast<std::uint64_t>(day));
+        out.push_back(
+            {address::from_pair(hi, isatap_iid(v4, true)), hits_draw(hits_h)});
+    }
+}
+
+}  // namespace v6

@@ -1,0 +1,93 @@
+#include "v6class/netgen/rir_registry.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace v6 {
+
+std::string_view to_string(rir r) noexcept {
+    switch (r) {
+        case rir::arin: return "ARIN";
+        case rir::ripe: return "RIPE";
+        case rir::apnic: return "APNIC";
+        case rir::lacnic: return "LACNIC";
+        case rir::afrinic: return "AFRINIC";
+    }
+    return "?";
+}
+
+rir_registry::rir_registry() {
+    // The real registries' principal blocks (each a /12, except the
+    // legacy 2001::/16 which we leave out to keep Teredo's 2001::/32
+    // distinct from unicast allocations).
+    auto set_region = [&](rir region, const char* base, const char* limit) {
+        regions_[region] = {address::must_parse(base), address::must_parse(limit)};
+    };
+    set_region(rir::arin, "2600::", "2610:0:0:0:0:0:0:0");
+    set_region(rir::ripe, "2a00::", "2a10:0:0:0:0:0:0:0");
+    set_region(rir::apnic, "2400::", "2410:0:0:0:0:0:0:0");
+    set_region(rir::lacnic, "2800::", "2810:0:0:0:0:0:0:0");
+    set_region(rir::afrinic, "2c00::", "2c10:0:0:0:0:0:0:0");
+}
+
+rir_registry::region_state& rir_registry::state_of(rir region) {
+    return regions_.at(region);
+}
+
+prefix rir_registry::allocate(rir region, std::uint32_t asn, unsigned len) {
+    if (len < 16 || len > 64) throw std::invalid_argument("allocation length");
+    region_state& st = state_of(region);
+    // Round the cursor up to a /len boundary, take the block, advance.
+    address base = st.next.masked(len);
+    if (base < st.next) {
+        // Cursor is inside this block: skip to the next /len block by
+        // taking the last address of the current block and stepping once.
+        const address last = base.masked_upper(len);
+        // Increment `last` by one (big-integer increment over 16 bytes).
+        std::array<std::uint8_t, 16> b = last.bytes();
+        for (int i = 15; i >= 0; --i) {
+            if (++b[static_cast<std::size_t>(i)] != 0) break;
+        }
+        base = address{b};
+    }
+    const prefix block{base, len};
+    if (!(block.last_address() < st.limit)) throw std::length_error("region exhausted");
+    // Advance the cursor past the block.
+    std::array<std::uint8_t, 16> b = block.last_address().bytes();
+    for (int i = 15; i >= 0; --i) {
+        if (++b[static_cast<std::size_t>(i)] != 0) break;
+    }
+    st.next = address{b};
+    advertise(block, asn);
+    return block;
+}
+
+void rir_registry::advertise(const prefix& pfx, std::uint32_t asn) {
+    routes_.push_back({pfx, asn});
+    table_.insert(pfx, asn);
+    sorted_ = false;
+}
+
+const std::vector<bgp_route>& rir_registry::routes() const noexcept {
+    if (!sorted_) {
+        std::sort(routes_.begin(), routes_.end(),
+                  [](const bgp_route& a, const bgp_route& b) { return a.pfx < b.pfx; });
+        sorted_ = true;
+    }
+    return routes_;
+}
+
+std::optional<bgp_route> rir_registry::origin_of(const address& a) const noexcept {
+    const auto match = table_.longest_match(a);
+    if (!match) return std::nullopt;
+    return bgp_route{match->first, match->second.get()};
+}
+
+std::size_t rir_registry::asn_count() const {
+    std::set<std::uint32_t> asns;
+    for (const auto& r : routes()) asns.insert(r.asn);
+    return asns.size();
+}
+
+}  // namespace v6

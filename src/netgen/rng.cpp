@@ -1,0 +1,29 @@
+#include "v6class/netgen/rng.h"
+
+#include <cmath>
+
+namespace v6 {
+
+zipf_sampler::zipf_sampler(std::uint64_t n, double exponent)
+    : n_(n ? n : 1), exponent_(exponent), norm_(0.0) {
+    for (std::uint64_t k = 1; k <= n_; ++k)
+        norm_ += 1.0 / std::pow(static_cast<double>(k), exponent_);
+}
+
+std::uint64_t zipf_sampler::operator()(rng& r) const noexcept {
+    // Inverse CDF by linear scan; fine for the modest n the generators
+    // use (ASN ranks, hit-count buckets).
+    double u = r.uniform_double() * norm_;
+    for (std::uint64_t k = 1; k <= n_; ++k) {
+        u -= 1.0 / std::pow(static_cast<double>(k), exponent_);
+        if (u <= 0) return k;
+    }
+    return n_;
+}
+
+double zipf_sampler::mass(std::uint64_t rank) const noexcept {
+    if (rank == 0 || rank > n_) return 0.0;
+    return (1.0 / std::pow(static_cast<double>(rank), exponent_)) / norm_;
+}
+
+}  // namespace v6

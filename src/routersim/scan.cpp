@@ -1,0 +1,78 @@
+#include "v6class/routersim/scan.h"
+
+#include <algorithm>
+
+#include "v6class/ip/arithmetic.h"
+#include "v6class/netgen/rng.h"
+
+namespace v6 {
+
+scan_outcome run_scan(const std::vector<address>& targets,
+                      const std::vector<address>& live_hosts) {
+    scan_outcome outcome;
+    outcome.probes = targets.size();
+    for (const address& t : targets)
+        if (std::binary_search(live_hosts.begin(), live_hosts.end(), t))
+            ++outcome.responders;
+    return outcome;
+}
+
+survey_outcome run_dense_survey(std::vector<dense_prefix> dense,
+                                const std::vector<address>& live_hosts,
+                                std::uint64_t budget) {
+    // Densest (most observed addresses per possible address) first.
+    std::sort(dense.begin(), dense.end(),
+              [](const dense_prefix& a, const dense_prefix& b) {
+                  // Same-length prefixes: compare observed counts; across
+                  // lengths, compare observed >> host-bit difference.
+                  const double da = static_cast<double>(a.observed) /
+                                    static_cast<double>(a.pfx.count());
+                  const double db = static_cast<double>(b.observed) /
+                                    static_cast<double>(b.pfx.count());
+                  return da > db;
+              });
+    survey_outcome outcome;
+    for (const dense_prefix& d : dense) {
+        if (outcome.scan.probes >= budget) break;
+        if (d.pfx.length() < 96) continue;  // unscannable, as in the paper
+        ++outcome.blocks_started;
+        const address_range block(d.pfx);
+        bool completed = true;
+        for (const address& t : block) {
+            if (outcome.scan.probes >= budget) {
+                completed = false;
+                break;
+            }
+            ++outcome.scan.probes;
+            if (std::binary_search(live_hosts.begin(), live_hosts.end(), t))
+                ++outcome.scan.responders;
+        }
+        if (completed) ++outcome.blocks_completed;
+    }
+    return outcome;
+}
+
+scan_outcome run_random_scan(const std::vector<prefix>& within,
+                             const std::vector<address>& live_hosts,
+                             std::uint64_t budget, std::uint64_t seed) {
+    scan_outcome outcome;
+    if (within.empty()) return outcome;
+    rng r{seed};
+    for (std::uint64_t i = 0; i < budget; ++i) {
+        const prefix& p = within[r.uniform(within.size())];
+        // Random host bits below the prefix length.
+        address probe = p.base();
+        const std::uint64_t rand_hi = r();
+        const std::uint64_t rand_lo = r();
+        for (unsigned bit = p.length(); bit < 128; ++bit) {
+            const std::uint64_t word = bit < 64 ? rand_hi : rand_lo;
+            probe = probe.with_bit(bit, (word >> (bit % 64)) & 1);
+        }
+        ++outcome.probes;
+        if (std::binary_search(live_hosts.begin(), live_hosts.end(), probe))
+            ++outcome.responders;
+    }
+    return outcome;
+}
+
+}  // namespace v6

@@ -1,0 +1,46 @@
+#include "v6class/routersim/targets.h"
+
+#include <algorithm>
+
+#include "v6class/netgen/rng.h"
+
+namespace v6 {
+
+std::vector<address> sample_addresses(const std::vector<address>& from,
+                                      std::size_t count, std::uint64_t seed) {
+    if (count >= from.size()) return from;
+    // Partial Fisher–Yates over an index vector.
+    std::vector<std::uint32_t> idx(from.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<std::uint32_t>(i);
+    rng r{seed};
+    std::vector<address> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t j = i + static_cast<std::size_t>(r.uniform(idx.size() - i));
+        std::swap(idx[i], idx[j]);
+        out.push_back(from[idx[i]]);
+    }
+    return out;
+}
+
+std::vector<address> ipv4_style_targets(const std::vector<address>& resolvers,
+                                        const std::vector<address>& active_clients,
+                                        std::size_t client_count, std::uint64_t seed) {
+    std::vector<address> targets = resolvers;
+    const std::vector<address> clients =
+        sample_addresses(active_clients, client_count, seed);
+    targets.insert(targets.end(), clients.begin(), clients.end());
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+    return targets;
+}
+
+std::vector<address> stable_informed_targets(const std::vector<address>& stable,
+                                             std::size_t count, std::uint64_t seed) {
+    std::vector<address> targets = sample_addresses(stable, count, seed);
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+    return targets;
+}
+
+}  // namespace v6

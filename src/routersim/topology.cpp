@@ -1,0 +1,152 @@
+#include "v6class/routersim/topology.h"
+
+#include <algorithm>
+
+#include "v6class/netgen/rng.h"
+
+namespace v6 {
+
+namespace {
+
+// Carves the infrastructure /48 out of the top of an operator's first
+// BGP prefix (the client generators number from the bottom, so the two
+// never collide).
+std::uint64_t infra_hi(const prefix& bgp) {
+    std::uint64_t hi = bgp.base().hi();
+    const unsigned plen = bgp.length();
+    if (plen < 48) {
+        const std::uint64_t ones = (std::uint64_t{1} << (48 - plen)) - 1;
+        hi |= ones << 16;  // fill bits plen..48 with 1s
+    }
+    return hi;  // bits 48..63 zero: subnet 0 of the infrastructure /48
+}
+
+}  // namespace
+
+router_topology::router_topology(const world& w, topology_config cfg)
+    : world_(&w), cfg_(cfg) {
+    // --- per-ASN plants ---------------------------------------------------
+    for (const auto& model : w.models()) {
+        if (model->bgp_prefixes().empty()) continue;
+        const prefix& bgp = model->bgp_prefixes().front();
+        if (bgp.base().hextet(0) == 0x2002 || (bgp.base().hextet(0) == 0x2001 &&
+                                               bgp.base().hextet(1) == 0))
+            continue;  // 6to4/Teredo space has no probeable plant of its own
+
+        asn_plant plant;
+        plant.asn = model->asn();
+        const std::uint64_t edges = std::max<std::uint64_t>(1, model->edge_routers());
+        const std::uint64_t aggs = std::max<std::uint64_t>(1, edges / cfg_.edges_per_agg);
+        const std::uint64_t cores = std::max<std::uint64_t>(1, aggs / cfg_.aggs_per_core);
+
+        const std::uint64_t hi = infra_hi(bgp);
+        // Loopbacks: near-sequential in the /112 at ::0 of the infra
+        // subnet, with the occasional gap real provisioning leaves.
+        std::uint64_t loop = 0;
+        std::uint64_t alloc_draw = 0;
+        auto loopback = [&] {
+            loop += 1 + hash_uniform(hash_ids(cfg_.seed, plant.asn, ++alloc_draw), 3);
+            return address::from_pair(hi, loop);
+        };
+        // P2P links: /127 pairs carved from ::1:0 upward with irregular
+        // spacing (operators skip blocks, reserve ranges, renumber); each
+        // router's "response interface" is the odd side of its uplink.
+        std::uint64_t link_cursor = 0;
+        auto p2p_pair = [&](std::vector<address>& side) {
+            link_cursor +=
+                1 + hash_uniform(hash_ids(cfg_.seed, plant.asn, 0x1000 + ++alloc_draw), 7);
+            const std::uint64_t base = (std::uint64_t{1} << 16) | (link_cursor << 1);
+            interfaces_.push_back(address::from_pair(hi, base));
+            const address odd = address::from_pair(hi, base | 1);
+            interfaces_.push_back(odd);
+            side.push_back(odd);
+        };
+
+        for (std::uint64_t i = 0; i < cores; ++i) {
+            interfaces_.push_back(loopback());
+            p2p_pair(plant.core_ifaces);
+        }
+        for (std::uint64_t i = 0; i < aggs; ++i) {
+            interfaces_.push_back(loopback());
+            p2p_pair(plant.agg_ifaces);
+        }
+        for (std::uint64_t i = 0; i < edges; ++i) {
+            interfaces_.push_back(loopback());
+            p2p_pair(plant.edge_ifaces);
+        }
+
+        // Two resolvers per ASN, adjacent to the loopback block.
+        resolvers_.push_back(address::from_pair(hi, 0x100000 + 1));
+        resolvers_.push_back(address::from_pair(hi, 0x100000 + 2));
+
+        plants_.emplace(plant.asn, std::move(plant));
+    }
+
+    // --- the CDN side and transit ----------------------------------------
+    const std::uint64_t cdn_hi = address::must_parse("2610:1::").hi();
+    for (unsigned i = 0; i < 4; ++i) {
+        const address a = address::from_pair(cdn_hi, 2 * i + 1);
+        cdn_side_.push_back(a);
+        interfaces_.push_back(a);
+    }
+    for (unsigned i = 0; i < cfg_.transit_routers; ++i) {
+        const address a = address::from_pair(cdn_hi, 0x10000 + 2 * i + 1);
+        transit_.push_back(a);
+        interfaces_.push_back(a);
+    }
+
+    std::sort(interfaces_.begin(), interfaces_.end());
+    interfaces_.erase(std::unique(interfaces_.begin(), interfaces_.end()),
+                      interfaces_.end());
+}
+
+const router_topology::asn_plant* router_topology::plant_of(
+    const address& target) const {
+    const auto route = world_->registry().origin_of(target);
+    if (!route) return nullptr;
+    const auto it = plants_.find(route->asn);
+    return it == plants_.end() ? nullptr : &it->second;
+}
+
+std::vector<address> router_topology::trace(
+    const address& target, const std::vector<address>& live_targets) const {
+    std::vector<address> hops;
+    const std::uint64_t t64 = target.masked(64).hi();
+    const std::uint64_t t48 = target.masked(48).hi();
+
+    // First hops: one CDN-side router and one transit router, picked by
+    // flow hash so different destinations exercise different paths.
+    hops.push_back(cdn_side_[hash_uniform(hash_ids(cfg_.seed, 1, t48), cdn_side_.size())]);
+    hops.push_back(transit_[hash_uniform(hash_ids(cfg_.seed, 2, t48), transit_.size())]);
+
+    const asn_plant* plant = plant_of(target);
+    if (!plant) return hops;  // unrouted: the trace dies in transit
+
+    hops.push_back(plant->core_ifaces[hash_uniform(hash_ids(cfg_.seed, 3, t48),
+                                                   plant->core_ifaces.size())]);
+    hops.push_back(plant->agg_ifaces[hash_uniform(hash_ids(cfg_.seed, 4, t48),
+                                                  plant->agg_ifaces.size())]);
+    // The last hop answers only when the target is live on the probe
+    // day: probes toward a vanished privacy address (or a released
+    // dynamic /64) stop at aggregation.
+    if (std::binary_search(live_targets.begin(), live_targets.end(), target)) {
+        hops.push_back(plant->edge_ifaces[hash_uniform(hash_ids(cfg_.seed, 5, t64),
+                                                       plant->edge_ifaces.size())]);
+    }
+    return hops;
+}
+
+std::vector<address> router_topology::probe_campaign(
+    const std::vector<address>& targets, const std::vector<address>& live_targets) const {
+    std::vector<address> discovered;
+    for (const address& t : targets) {
+        const std::vector<address> hops = trace(t, live_targets);
+        discovered.insert(discovered.end(), hops.begin(), hops.end());
+    }
+    std::sort(discovered.begin(), discovered.end());
+    discovered.erase(std::unique(discovered.begin(), discovered.end()),
+                     discovered.end());
+    return discovered;
+}
+
+}  // namespace v6

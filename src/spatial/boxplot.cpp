@@ -1,0 +1,42 @@
+#include "v6class/spatial/boxplot.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace v6 {
+
+namespace {
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+    const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+double percentile(std::vector<double> samples, double q) {
+    std::sort(samples.begin(), samples.end());
+    return percentile_sorted(samples, q);
+}
+
+boxplot_summary summarize(std::vector<double> samples) {
+    boxplot_summary s;
+    if (samples.empty()) return s;
+    std::sort(samples.begin(), samples.end());
+    s.samples = samples.size();
+    s.min = samples.front();
+    s.max = samples.back();
+    s.p5 = percentile_sorted(samples, 0.05);
+    s.p25 = percentile_sorted(samples, 0.25);
+    s.median = percentile_sorted(samples, 0.50);
+    s.p75 = percentile_sorted(samples, 0.75);
+    s.p95 = percentile_sorted(samples, 0.95);
+    return s;
+}
+
+}  // namespace v6

@@ -1,0 +1,68 @@
+#include "v6class/spatial/density.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace v6 {
+
+density_row compute_density_class(const radix_tree& tree, std::uint64_t n, unsigned p) {
+    density_row row;
+    row.n = n;
+    row.p = p;
+    const std::vector<dense_prefix> dense = tree.dense_prefixes_at(n, p);
+    row.dense_prefix_count = dense.size();
+    for (const dense_prefix& d : dense) row.covered_addresses += d.observed;
+    row.possible_addresses =
+        static_cast<long double>(row.dense_prefix_count) *
+        std::ldexp(1.0L, static_cast<int>(128 - p));
+    row.address_density = row.possible_addresses > 0
+                              ? static_cast<long double>(row.covered_addresses) /
+                                    row.possible_addresses
+                              : 0.0L;
+    return row;
+}
+
+std::vector<density_row> compute_density_table(
+    const radix_tree& tree,
+    const std::vector<std::pair<std::uint64_t, unsigned>>& classes) {
+    std::vector<density_row> out;
+    out.reserve(classes.size());
+    for (const auto& [n, p] : classes) out.push_back(compute_density_class(tree, n, p));
+    return out;
+}
+
+std::vector<address> addresses_covered(const std::vector<dense_prefix>& dense,
+                                       std::vector<address> candidates) {
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    std::vector<address> out;
+    // Both lists are in address order; sweep them together.
+    std::size_t di = 0;
+    for (const address& a : candidates) {
+        while (di < dense.size() && dense[di].pfx.last_address() < a) ++di;
+        if (di < dense.size() && dense[di].pfx.contains(a)) out.push_back(a);
+    }
+    return out;
+}
+
+std::vector<address> expand_scan_targets(const std::vector<dense_prefix>& dense,
+                                         std::size_t limit) {
+    std::vector<address> out;
+    for (const dense_prefix& d : dense) {
+        if (d.pfx.length() < 96) continue;  // > 2^32 hosts: not scannable
+        const std::uint64_t span = std::uint64_t{1}
+                                   << (128 - d.pfx.length() > 63
+                                           ? 63
+                                           : 128 - d.pfx.length());
+        const std::uint64_t base_lo = d.pfx.base().lo();
+        const std::uint64_t hi = d.pfx.base().hi();
+        for (std::uint64_t off = 0; off < span; ++off) {
+            if (out.size() >= limit) return out;
+            out.push_back(address::from_pair(hi, base_lo | off));
+        }
+    }
+    return out;
+}
+
+}  // namespace v6

@@ -1,0 +1,90 @@
+#include "v6class/spatial/gnuplot.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace v6 {
+
+namespace {
+
+std::ofstream open_or_throw(const std::filesystem::path& file) {
+    std::ofstream out(file);
+    if (!out) throw std::runtime_error("cannot write " + file.string());
+    return out;
+}
+
+}  // namespace
+
+std::filesystem::path write_mra_gnuplot(const std::filesystem::path& dir,
+                                        const std::string& stem,
+                                        const mra_plot_data& plot) {
+    std::filesystem::create_directories(dir);
+    const std::filesystem::path dat = dir / (stem + ".dat");
+    {
+        std::ofstream out = open_or_throw(dat);
+        out << "# p k ratio  (" << plot.title << ", " << plot.address_count
+            << " addrs)\n";
+        auto emit = [&](const std::vector<double>& series, unsigned k) {
+            for (std::size_t i = 0; i < series.size(); ++i)
+                out << i * k << ' ' << k << ' ' << series[i] << '\n';
+            out << "\n\n";  // gnuplot dataset separator
+        };
+        emit(plot.bits, 1);
+        emit(plot.nybbles, 4);
+        emit(plot.segments, 16);
+        if (!out.flush()) throw std::runtime_error("short write to " + dat.string());
+    }
+
+    const std::filesystem::path gp = dir / (stem + ".gp");
+    std::ofstream out = open_or_throw(gp);
+    out << "# Multi-Resolution Aggregate plot (Plonka & Berger, IMC'15 style)\n"
+        << "set title '" << plot.title << " (" << plot.address_count
+        << " addrs)'\n"
+        << "set xlabel 'Prefix length (p)'\n"
+        << "set ylabel 'aggregate count ratio, log scale'\n"
+        << "set logscale y 2\n"
+        << "set yrange [1:65536]\n"
+        << "set xrange [0:128]\n"
+        << "set xtics 16\n"
+        << "set grid\n"
+        << "set key top left\n"
+        << "plot '" << dat.filename().string()
+        << "' index 2 using 1:3 with steps lw 2 title '16-bit segments', \\\n"
+        << "     '' index 1 using 1:3 with steps lw 1 title '4-bit segments', \\\n"
+        << "     '' index 0 using 1:3 with lines lw 1 title 'single bits'\n";
+    if (!out.flush()) throw std::runtime_error("short write to " + gp.string());
+    return gp;
+}
+
+std::filesystem::path write_ccdf_gnuplot(const std::filesystem::path& dir,
+                                         const std::string& stem,
+                                         const std::vector<labeled_ccdf>& curves) {
+    std::filesystem::create_directories(dir);
+    for (std::size_t i = 0; i < curves.size(); ++i) {
+        const std::filesystem::path dat =
+            dir / (stem + "_" + std::to_string(i) + ".dat");
+        std::ofstream out = open_or_throw(dat);
+        out << "# value proportion  (" << curves[i].label << ")\n";
+        for (const ccdf_point& p : curves[i].points)
+            out << p.value << ' ' << p.proportion << '\n';
+        if (!out.flush()) throw std::runtime_error("short write to " + dat.string());
+    }
+    const std::filesystem::path gp = dir / (stem + ".gp");
+    std::ofstream out = open_or_throw(gp);
+    out << "set xlabel 'Count, log scale'\n"
+        << "set ylabel 'Complementary CDF Proportion, log scale'\n"
+        << "set logscale xy\n"
+        << "set grid\n"
+        << "set key bottom left\n"
+        << "plot ";
+    for (std::size_t i = 0; i < curves.size(); ++i) {
+        if (i) out << ", \\\n     ";
+        out << "'" << stem << "_" << i << ".dat' using 1:2 with steps lw 2 title '"
+            << curves[i].label << "'";
+    }
+    out << "\n";
+    if (!out.flush()) throw std::runtime_error("short write to " + gp.string());
+    return gp;
+}
+
+}  // namespace v6

@@ -1,0 +1,69 @@
+#include "v6class/spatial/mra.h"
+
+#include <algorithm>
+
+namespace v6 {
+
+double mra_series::ratio(unsigned p, unsigned k) const noexcept {
+    const std::uint64_t lo = counts_[p];
+    if (lo == 0) return 1.0;
+    return static_cast<double>(counts_[p + k]) / static_cast<double>(lo);
+}
+
+std::vector<double> mra_series::ratios(unsigned k) const {
+    std::vector<double> out;
+    out.reserve(128 / k);
+    for (unsigned p = 0; p + k <= 128; p += k) out.push_back(ratio(p, k));
+    return out;
+}
+
+namespace {
+
+mra_series from_split_histogram(const std::array<std::uint64_t, 129>& splits_below,
+                                bool empty) {
+    // splits_below[p] = number of covering-set splits at depths < p;
+    // n_p = 1 + splits_below[p] for a non-empty set.
+    std::array<std::uint64_t, 129> counts{};
+    if (!empty)
+        for (unsigned p = 0; p <= 128; ++p) counts[p] = 1 + splits_below[p];
+    return mra_series{counts};
+}
+
+}  // namespace
+
+mra_series compute_mra_sorted(const std::vector<address>& sorted_unique) {
+    // Adjacent distinct addresses a_i, a_{i+1} share cpl bits: they fall
+    // into the same /p prefix iff p <= cpl. Hence the number of /p
+    // aggregates is 1 + |{i : cpl_i < p}|.
+    std::array<std::uint64_t, 129> hist{};  // hist[c] = pairs with cpl == c
+    for (std::size_t i = 0; i + 1 < sorted_unique.size(); ++i)
+        ++hist[sorted_unique[i].common_prefix_length(sorted_unique[i + 1])];
+
+    std::array<std::uint64_t, 129> below{};
+    std::uint64_t running = 0;
+    for (unsigned p = 0; p <= 128; ++p) {
+        below[p] = running;
+        if (p < 128) running += hist[p];
+    }
+    return from_split_histogram(below, sorted_unique.empty());
+}
+
+mra_series compute_mra(std::vector<address> addrs) {
+    std::sort(addrs.begin(), addrs.end());
+    addrs.erase(std::unique(addrs.begin(), addrs.end()), addrs.end());
+    return compute_mra_sorted(addrs);
+}
+
+mra_series compute_mra_from_trie(const radix_tree& tree) {
+    std::array<std::uint64_t, 129> hist{};
+    tree.visit_splits([&](unsigned len) { ++hist[len]; });
+    std::array<std::uint64_t, 129> below{};
+    std::uint64_t running = 0;
+    for (unsigned p = 0; p <= 128; ++p) {
+        below[p] = running;
+        if (p < 128) running += hist[p];
+    }
+    return from_split_histogram(below, tree.empty());
+}
+
+}  // namespace v6

@@ -1,0 +1,46 @@
+#include "v6class/spatial/mra_compare.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace v6 {
+
+double mra_distance(const mra_series& a, const mra_series& b, unsigned k) {
+    const std::vector<double> ra = a.ratios(k);
+    const std::vector<double> rb = b.ratios(k);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+        const double d = std::log2(ra[i]) - std::log2(rb[i]);
+        sum += d * d;
+    }
+    return std::sqrt(sum / static_cast<double>(ra.size()));
+}
+
+std::vector<std::size_t> cluster_by_mra(const std::vector<mra_series>& series,
+                                        double threshold, unsigned k) {
+    const std::size_t n = series.size();
+    // Union-find over single-linkage merges.
+    std::vector<std::size_t> parent(n);
+    std::iota(parent.begin(), parent.end(), 0);
+    auto find = [&](std::size_t x) {
+        while (parent[x] != x) x = parent[x] = parent[parent[x]];
+        return x;
+    };
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j)
+            if (mra_distance(series[i], series[j], k) <= threshold)
+                parent[find(i)] = find(j);
+
+    // Densify the ids.
+    std::vector<std::size_t> ids(n);
+    std::vector<std::size_t> remap(n, static_cast<std::size_t>(-1));
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t root = find(i);
+        if (remap[root] == static_cast<std::size_t>(-1)) remap[root] = next++;
+        ids[i] = remap[root];
+    }
+    return ids;
+}
+
+}  // namespace v6

@@ -1,0 +1,76 @@
+#include "v6class/spatial/mra_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace v6 {
+
+mra_plot_data make_mra_plot(const mra_series& mra, std::string title) {
+    mra_plot_data plot;
+    plot.title = std::move(title);
+    plot.address_count = mra.size();
+    plot.bits = mra.ratios(1);
+    plot.nybbles = mra.ratios(4);
+    plot.segments = mra.ratios(16);
+    return plot;
+}
+
+std::string to_csv(const mra_plot_data& plot) {
+    std::string out = "p,k,ratio\n";
+    char line[64];
+    auto emit = [&](const std::vector<double>& series, unsigned k) {
+        for (std::size_t i = 0; i < series.size(); ++i) {
+            std::snprintf(line, sizeof line, "%u,%u,%.6f\n",
+                          static_cast<unsigned>(i * k), k, series[i]);
+            out += line;
+        }
+    };
+    emit(plot.bits, 1);
+    emit(plot.nybbles, 4);
+    emit(plot.segments, 16);
+    return out;
+}
+
+std::string render_ascii(const mra_plot_data& plot, unsigned height) {
+    height = std::max(height, 2u);
+    constexpr unsigned width = 129;  // p = 0..128 inclusive
+    // Row r (from the top) represents log2(ratio) = max_log * (1 - r/(height-1)),
+    // with max_log = 16 (ratios range 1..2^16 for 16-bit segments).
+    const double max_log = 16.0;
+    std::vector<std::string> grid(height, std::string(width, ' '));
+
+    auto plot_series = [&](const std::vector<double>& series, unsigned k, char mark) {
+        for (std::size_t i = 0; i < series.size(); ++i) {
+            const double v = std::max(series[i], 1.0);
+            const double y = std::log2(v) / max_log;  // 0..1
+            const unsigned row =
+                static_cast<unsigned>(std::lround((1.0 - std::min(y, 1.0)) *
+                                                  (height - 1)));
+            // Mark the midpoint of the segment [p, p+k).
+            const unsigned col = static_cast<unsigned>(i * k + k / 2);
+            if (col < width) grid[row][col] = mark;
+        }
+    };
+    // Draw coarse resolutions first so finer ones overwrite on collision.
+    plot_series(plot.segments, 16, 'S');
+    plot_series(plot.nybbles, 4, 'o');
+    plot_series(plot.bits, 1, '.');
+
+    std::string out = plot.title + "  (" + std::to_string(plot.address_count) +
+                      " addrs; '.'=bits 'o'=nybbles 'S'=16-bit segments)\n";
+    char label[32];
+    for (unsigned r = 0; r < height; ++r) {
+        const double log_val = max_log * (1.0 - static_cast<double>(r) / (height - 1));
+        std::snprintf(label, sizeof label, "%7.0f |", std::exp2(log_val));
+        out += label;
+        out += grid[r];
+        out += '\n';
+    }
+    out += "        +";
+    out.append(width, '-');
+    out += "\n         0       16      32      48      64      80      96      112     128\n";
+    return out;
+}
+
+}  // namespace v6

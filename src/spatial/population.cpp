@@ -1,0 +1,53 @@
+#include "v6class/spatial/population.h"
+
+#include <algorithm>
+
+namespace v6 {
+
+std::vector<std::uint64_t> aggregate_populations(std::vector<address> elements,
+                                                 unsigned agg_len) {
+    std::sort(elements.begin(), elements.end());
+    elements.erase(std::unique(elements.begin(), elements.end()), elements.end());
+
+    std::vector<std::uint64_t> pops;
+    for (std::size_t i = 0; i < elements.size();) {
+        const address agg = elements[i].masked(agg_len);
+        std::size_t j = i;
+        while (j < elements.size() && elements[j].masked(agg_len) == agg) ++j;
+        pops.push_back(j - i);
+        i = j;
+    }
+    std::sort(pops.begin(), pops.end());
+    return pops;
+}
+
+std::vector<ccdf_point> ccdf_of(std::vector<std::uint64_t> samples) {
+    std::vector<ccdf_point> out;
+    if (samples.empty()) return out;
+    std::sort(samples.begin(), samples.end());
+    const double n = static_cast<double>(samples.size());
+    for (std::size_t i = 0; i < samples.size();) {
+        std::size_t j = i;
+        while (j < samples.size() && samples[j] == samples[i]) ++j;
+        // Proportion of samples >= samples[i]: everything from i on.
+        out.push_back({static_cast<double>(samples[i]),
+                       static_cast<double>(samples.size() - i) / n});
+        i = j;
+    }
+    return out;
+}
+
+double ccdf_at(const std::vector<ccdf_point>& ccdf, double x) noexcept {
+    // Points are ascending in value with decreasing proportion; find the
+    // smallest point with value >= x — its proportion is P(X >= x).
+    double best = 0.0;
+    for (const auto& p : ccdf) {
+        if (p.value >= x) {
+            best = p.proportion;
+            break;
+        }
+    }
+    return best;
+}
+
+}  // namespace v6

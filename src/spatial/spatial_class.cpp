@@ -1,0 +1,46 @@
+#include "v6class/spatial/spatial_class.h"
+
+namespace v6 {
+
+std::string_view to_string(spatial_class c) noexcept {
+    switch (c) {
+        case spatial_class::dense_block: return "dense-block";
+        case spatial_class::busy_subnet: return "busy-subnet";
+        case spatial_class::lone_low: return "lone-low";
+        case spatial_class::lone_random: return "lone-random";
+    }
+    return "?";
+}
+
+spatial_classifier::spatial_classifier(const radix_tree& population,
+                                       spatial_class_options options)
+    : population_(&population), opt_(options) {}
+
+spatial_class spatial_classifier::classify(const address& a) const noexcept {
+    // Evaluate the neighbourhood as if `a` were a member (so members and
+    // hypothetical positions classify identically): effective count =
+    // observed count plus one when the address itself is absent.
+    const std::uint64_t self_bonus =
+        population_->count_at(prefix{a, 128}) > 0 ? 0 : 1;
+    const std::uint64_t in_block =
+        population_->subtree_count(prefix{a, opt_.dense_p}) + self_bonus;
+    if (in_block >= opt_.dense_n) return spatial_class::dense_block;
+
+    const std::uint64_t in_64 =
+        population_->subtree_count(prefix{a, 64}) + self_bonus;
+    if (in_64 >= opt_.busy_k) return spatial_class::busy_subnet;
+
+    // Alone (or nearly so): split by identifier shape.
+    return (a.lo() >> 16) == 0 ? spatial_class::lone_low
+                               : spatial_class::lone_random;
+}
+
+std::vector<std::uint64_t> spatial_classifier::tally(
+    const std::vector<address>& addrs) const {
+    std::vector<std::uint64_t> counts(4, 0);
+    for (const address& a : addrs)
+        ++counts[static_cast<std::size_t>(classify(a))];
+    return counts;
+}
+
+}  // namespace v6

@@ -1,0 +1,132 @@
+#include "v6class/temporal/observation_store.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace v6 {
+
+void observation_store::record::set_bit(unsigned offset) {
+    if (offset < 64) {
+        inline_bits |= std::uint64_t{1} << offset;
+        return;
+    }
+    const unsigned word = offset / 64 - 1;  // overflow words cover bits 64+
+    if (!overflow) overflow = std::make_unique<std::vector<std::uint64_t>>();
+    if (overflow->size() <= word) overflow->resize(word + 1, 0);
+    (*overflow)[word] |= std::uint64_t{1} << (offset % 64);
+}
+
+bool observation_store::record::get_bit(unsigned offset) const noexcept {
+    if (offset < 64) return (inline_bits >> offset) & 1;
+    const unsigned word = offset / 64 - 1;
+    if (!overflow || overflow->size() <= word) return false;
+    return ((*overflow)[word] >> (offset % 64)) & 1;
+}
+
+void observation_store::record::shift_right(unsigned by) {
+    if (by == 0) return;
+    // Collect set offsets, clear, re-set shifted. Rare path (an earlier
+    // day arriving after later ones), so clarity over speed.
+    std::vector<unsigned> offsets;
+    const unsigned top =
+        64 + (overflow ? static_cast<unsigned>(overflow->size()) * 64 : 0);
+    for (unsigned i = 0; i < top; ++i)
+        if (get_bit(i)) offsets.push_back(i);
+    inline_bits = 0;
+    if (overflow) overflow->assign(overflow->size(), 0);
+    for (unsigned i : offsets) set_bit(i + by);
+}
+
+unsigned observation_store::record::popcount() const noexcept {
+    unsigned n = static_cast<unsigned>(std::popcount(inline_bits));
+    if (overflow)
+        for (std::uint64_t word : *overflow)
+            n += static_cast<unsigned>(std::popcount(word));
+    return n;
+}
+
+void observation_store::record_one(int day, const address& a) {
+    auto [it, fresh] = records_.try_emplace(a);
+    record& r = it->second;
+    if (fresh) {
+        r.first_day = day;
+        r.last_day = day;
+        r.set_bit(0);
+        return;
+    }
+    if (day < r.first_day) {
+        r.shift_right(static_cast<unsigned>(r.first_day - day));
+        r.first_day = day;
+        r.set_bit(0);
+    } else {
+        r.set_bit(static_cast<unsigned>(day - r.first_day));
+    }
+    r.last_day = std::max(r.last_day, day);
+}
+
+void observation_store::record_day(int day, const std::vector<address>& active) {
+    for (const address& a : active)
+        record_one(day, prefix_length_ == 128 ? a : a.masked(prefix_length_));
+}
+
+unsigned observation_store::days_seen(const address& a) const noexcept {
+    const auto it = records_.find(prefix_length_ == 128 ? a : a.masked(prefix_length_));
+    return it == records_.end() ? 0 : it->second.popcount();
+}
+
+std::optional<std::pair<int, int>> observation_store::first_last(
+    const address& a) const noexcept {
+    const auto it = records_.find(prefix_length_ == 128 ? a : a.masked(prefix_length_));
+    if (it == records_.end()) return std::nullopt;
+    return std::make_pair(it->second.first_day, it->second.last_day);
+}
+
+bool observation_store::is_stable(const address& a, unsigned n) const noexcept {
+    const auto fl = first_last(a);
+    return fl && fl->second - fl->first >= static_cast<int>(n);
+}
+
+std::vector<address> observation_store::stable_addresses(unsigned n) const {
+    std::vector<address> out;
+    for (const auto& [addr, rec] : records_)
+        if (rec.last_day - rec.first_day >= static_cast<int>(n)) out.push_back(addr);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<std::uint64_t> observation_store::stability_spectrum(
+    unsigned max_n) const {
+    std::vector<std::uint64_t> span_hist(max_n + 1, 0);
+    for (const auto& [addr, rec] : records_) {
+        const unsigned span = static_cast<unsigned>(rec.last_day - rec.first_day);
+        ++span_hist[std::min(span, max_n)];
+    }
+    // Suffix-sum: spectrum[n] = addresses with span >= n.
+    std::vector<std::uint64_t> spectrum(max_n + 1, 0);
+    std::uint64_t running = 0;
+    for (unsigned n = max_n + 1; n-- > 0;) {
+        running += span_hist[n];
+        spectrum[n] = running;
+    }
+    return spectrum;
+}
+
+std::vector<std::uint64_t> observation_store::gap_histogram(unsigned max_gap) const {
+    std::vector<std::uint64_t> hist(max_gap + 1, 0);
+    for (const auto& [addr, rec] : records_) {
+        const unsigned top =
+            64 + (rec.overflow ? static_cast<unsigned>(rec.overflow->size()) * 64 : 0);
+        int prev = -1;
+        for (unsigned i = 0; i < top; ++i) {
+            if (!rec.get_bit(i)) continue;
+            if (prev >= 0) {
+                const unsigned gap = i - static_cast<unsigned>(prev);
+                ++hist[std::min(gap, max_gap)];
+            }
+            prev = static_cast<int>(i);
+        }
+    }
+    return hist;
+}
+
+}  // namespace v6

@@ -1,0 +1,89 @@
+#include "v6class/temporal/stability.h"
+
+#include <algorithm>
+
+namespace v6 {
+
+stability_split stability_analyzer::classify_day(day_index ref_day, unsigned n) const {
+    const std::vector<address>& ref = series_->day(ref_day);
+    stability_split out;
+    if (ref.empty()) return out;
+
+    // first[i]/last[i]: earliest and latest day within the window on
+    // which ref[i] was seen. Initialized to the reference day itself.
+    std::vector<day_index> first(ref.size(), ref_day);
+    std::vector<day_index> last(ref.size(), ref_day);
+
+    const day_index lo = ref_day - opt_.window_back;
+    const day_index hi = ref_day + opt_.window_fwd;
+    for (day_index d = lo; d <= hi; ++d) {
+        if (d == ref_day) continue;
+        const std::vector<address>& set = series_->day(d);
+        // Two-pointer merge against the (sorted) reference set.
+        std::size_t i = 0, j = 0;
+        while (i < ref.size() && j < set.size()) {
+            if (ref[i] < set[j]) {
+                ++i;
+            } else if (set[j] < ref[i]) {
+                ++j;
+            } else {
+                first[i] = std::min(first[i], d);
+                last[i] = std::max(last[i], d);
+                ++i;
+                ++j;
+            }
+        }
+    }
+
+    const int required_gap = static_cast<int>(n) + opt_.slew_tolerance;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        if (last[i] - first[i] >= required_gap)
+            out.stable.push_back(ref[i]);
+        else
+            out.not_stable.push_back(ref[i]);
+    }
+    return out;
+}
+
+std::uint64_t stability_analyzer::count_stable(day_index ref_day, unsigned n) const {
+    return classify_day(ref_day, n).stable.size();
+}
+
+stability_split stability_analyzer::classify_week(day_index first_day, unsigned n) const {
+    std::vector<address> stable_union;
+    std::vector<address> not_stable_union;
+    for (day_index d = first_day; d < first_day + 7; ++d) {
+        stability_split s = classify_day(d, n);
+        stable_union = union_sorted(stable_union, s.stable);
+        not_stable_union = union_sorted(not_stable_union, s.not_stable);
+    }
+    return {std::move(stable_union), std::move(not_stable_union)};
+}
+
+std::vector<std::uint64_t> stability_analyzer::overlap_series(day_index ref_day,
+                                                              day_index from,
+                                                              day_index to) const {
+    const std::vector<address>& ref = series_->day(ref_day);
+    std::vector<std::uint64_t> out;
+    out.reserve(static_cast<std::size_t>(std::max(0, to - from + 1)));
+    for (day_index d = from; d <= to; ++d) {
+        const std::vector<address>& set = series_->day(d);
+        std::uint64_t overlap = 0;
+        std::size_t i = 0, j = 0;
+        while (i < ref.size() && j < set.size()) {
+            if (ref[i] < set[j])
+                ++i;
+            else if (set[j] < ref[i])
+                ++j;
+            else {
+                ++overlap;
+                ++i;
+                ++j;
+            }
+        }
+        out.push_back(overlap);
+    }
+    return out;
+}
+
+}  // namespace v6

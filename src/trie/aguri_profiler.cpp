@@ -1,0 +1,37 @@
+#include "v6class/trie/aguri_profiler.h"
+
+#include <algorithm>
+
+namespace v6 {
+
+aguri_profiler::aguri_profiler(std::size_t node_budget, double min_share)
+    : node_budget_(std::max<std::size_t>(node_budget, 16)),
+      min_share_(std::clamp(min_share, 0.0, 1.0)) {}
+
+void aguri_profiler::observe(const address& a, std::uint64_t count) {
+    tree_.add(a, count);
+    if (tree_.node_count() > node_budget_) {
+        // Reclaim with a fraction of the final threshold so early traffic
+        // is not over-aggregated before the total has grown.
+        tree_.aggregate_by_share(min_share_ / 4.0);
+        // A pathological stream (all distinct, uniformly spread) can stay
+        // over budget even after a reclaim; tighten until it fits.
+        double share = min_share_ / 2.0;
+        while (tree_.node_count() > node_budget_ && share <= 1.0) {
+            tree_.aggregate_by_share(share);
+            share *= 2.0;
+        }
+    }
+}
+
+std::vector<profile_entry> aguri_profiler::profile() {
+    tree_.aggregate_by_share(min_share_);
+    std::vector<profile_entry> out;
+    const double total = static_cast<double>(tree_.total());
+    tree_.visit([&](const prefix& p, std::uint64_t count) {
+        out.push_back({p, count, total > 0 ? static_cast<double>(count) / total : 0.0});
+    });
+    return out;
+}
+
+}  // namespace v6

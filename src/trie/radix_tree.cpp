@@ -1,0 +1,279 @@
+#include "v6class/trie/radix_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace v6 {
+
+namespace {
+
+// min(common prefix of the two bases, both lengths): the length of the
+// longest prefix covering both arguments.
+unsigned meet_length(const prefix& a, const prefix& b) noexcept {
+    return std::min({a.base().common_prefix_length(b.base()), a.length(), b.length()});
+}
+
+}  // namespace
+
+void radix_tree::clear() noexcept {
+    root_.reset();
+    total_ = 0;
+    node_count_ = 0;
+}
+
+void radix_tree::add(const prefix& p, std::uint64_t count) {
+    if (count == 0) return;
+    total_ += count;
+    add_recursive(root_, p, count);
+}
+
+void radix_tree::add_recursive(std::unique_ptr<node>& slot, const prefix& p,
+                               std::uint64_t count) {
+    if (!slot) {
+        slot = std::make_unique<node>();
+        slot->pfx = p;
+        slot->count = count;
+        ++node_count_;
+        return;
+    }
+    node& n = *slot;
+    const unsigned meet = meet_length(n.pfx, p);
+
+    if (meet == n.pfx.length() && meet == p.length()) {
+        n.count += count;  // same prefix
+        return;
+    }
+    if (meet == n.pfx.length()) {
+        // p is strictly inside n: descend on p's next bit.
+        const unsigned b = p.base().bit(n.pfx.length());
+        add_recursive(n.child[b], p, count);
+        return;
+    }
+    if (meet == p.length()) {
+        // p covers n: insert p above the current node.
+        auto covering = std::make_unique<node>();
+        covering->pfx = p;
+        covering->count = count;
+        const unsigned b = n.pfx.base().bit(p.length());
+        covering->child[b] = std::move(slot);
+        slot = std::move(covering);
+        ++node_count_;
+        return;
+    }
+    // Diverge: split at the meet with a zero-count branch node.
+    auto branch = std::make_unique<node>();
+    branch->pfx = prefix{p.base(), meet};
+    auto leaf = std::make_unique<node>();
+    leaf->pfx = p;
+    leaf->count = count;
+    const unsigned existing_bit = n.pfx.base().bit(meet);
+    branch->child[existing_bit] = std::move(slot);
+    branch->child[1 - existing_bit] = std::move(leaf);
+    slot = std::move(branch);
+    node_count_ += 2;
+}
+
+std::uint64_t radix_tree::subtree_sum(const node& n) noexcept {
+    std::uint64_t s = n.count;
+    for (const auto& c : n.child)
+        if (c) s += subtree_sum(*c);
+    return s;
+}
+
+const radix_tree::node* radix_tree::find_node(const prefix& p) const noexcept {
+    const node* n = root_.get();
+    while (n) {
+        const unsigned meet = meet_length(n->pfx, p);
+        if (meet < n->pfx.length()) return nullptr;  // diverged or p above n
+        if (n->pfx.length() == p.length()) return n;
+        n = n->child[p.base().bit(n->pfx.length())].get();
+    }
+    return nullptr;
+}
+
+std::uint64_t radix_tree::count_at(const prefix& p) const noexcept {
+    const node* n = find_node(p);
+    return n ? n->count : 0;
+}
+
+std::uint64_t radix_tree::subtree_count(const prefix& p) const noexcept {
+    const node* n = root_.get();
+    while (n) {
+        const unsigned meet = meet_length(n->pfx, p);
+        if (meet == p.length()) {
+            // p covers n (or equals it): the whole subtree lies inside p.
+            return subtree_sum(*n);
+        }
+        if (meet < n->pfx.length()) return 0;  // diverged
+        // n covers p strictly: n's own count sits above p; descend.
+        n = n->child[p.base().bit(n->pfx.length())].get();
+    }
+    return 0;
+}
+
+std::optional<prefix> radix_tree::longest_match(const address& a) const noexcept {
+    std::optional<prefix> best;
+    const node* n = root_.get();
+    while (n) {
+        if (!n->pfx.contains(a)) break;
+        if (n->count > 0) best = n->pfx;
+        if (n->pfx.length() == 128) break;
+        n = n->child[a.bit(n->pfx.length())].get();
+    }
+    return best;
+}
+
+void radix_tree::visit(const std::function<void(const prefix&, std::uint64_t)>& fn) const {
+    // Iterative pre-order; child 0 before child 1 yields address order.
+    std::vector<const node*> stack;
+    if (root_) stack.push_back(root_.get());
+    while (!stack.empty()) {
+        const node* n = stack.back();
+        stack.pop_back();
+        if (n->count > 0) fn(n->pfx, n->count);
+        if (n->child[1]) stack.push_back(n->child[1].get());
+        if (n->child[0]) stack.push_back(n->child[0].get());
+    }
+}
+
+void radix_tree::visit_splits(const std::function<void(unsigned)>& fn) const {
+    std::vector<const node*> stack;
+    if (root_) stack.push_back(root_.get());
+    while (!stack.empty()) {
+        const node* n = stack.back();
+        stack.pop_back();
+        if (n->child[0] && n->child[1]) fn(n->pfx.length());
+        for (const auto& c : n->child)
+            if (c) stack.push_back(c.get());
+    }
+}
+
+void radix_tree::aggregate_by_share(double min_share) {
+    if (!root_ || min_share <= 0.0) return;
+    const auto threshold = static_cast<std::uint64_t>(
+        std::ceil(min_share * static_cast<double>(total_)));
+    if (threshold <= 1) return;
+
+    // Recursive lambda to keep node private.
+    std::size_t removed = 0;
+    auto agg = [&](auto&& self, std::unique_ptr<node>& slot) -> std::uint64_t {
+        if (!slot) return 0;
+        node& n = *slot;
+        n.count += self(self, n.child[0]);
+        n.count += self(self, n.child[1]);
+        if (n.count >= threshold) return 0;
+        const std::uint64_t pushed = n.count;
+        n.count = 0;
+        if (!n.child[0] && !n.child[1]) {
+            slot.reset();
+            ++removed;
+        } else if (!n.child[0] || !n.child[1]) {
+            std::unique_ptr<node> only =
+                std::move(n.child[0] ? n.child[0] : n.child[1]);
+            slot = std::move(only);
+            ++removed;
+        }
+        return pushed;
+    };
+    const std::uint64_t remainder = agg(agg, root_);
+    node_count_ -= removed;
+    if (remainder > 0) {
+        // The root of an aguri tree retains whatever could not meet the
+        // share anywhere else; keep it at ::/0.
+        if (root_ && root_->pfx == prefix{}) {
+            root_->count += remainder;
+        } else {
+            auto top = std::make_unique<node>();
+            top->pfx = prefix{};
+            top->count = remainder;
+            if (root_) {
+                const unsigned b = root_->pfx.base().bit(0);
+                top->child[b] = std::move(root_);
+            }
+            root_ = std::move(top);
+            ++node_count_;
+        }
+    }
+}
+
+std::vector<dense_prefix> radix_tree::dense_prefixes_at(std::uint64_t min_count,
+                                                        unsigned p) const {
+    std::vector<dense_prefix> out;
+    if (!root_ || min_count == 0) return out;
+    // Distinct subtrees first reached at depth >= p always lie in distinct
+    // /p prefixes (they diverge at an ancestor branch shorter than p), so
+    // a single pass suffices. Counts attributed to prefixes shorter than
+    // /p cannot be localized to one /p prefix and do not participate.
+    auto walk = [&](auto&& self, const node& n) -> void {
+        if (n.pfx.length() >= p) {
+            const std::uint64_t s = subtree_sum(n);
+            if (s >= min_count) out.push_back({prefix{n.pfx.base(), p}, s});
+            return;
+        }
+        for (const auto& c : n.child)
+            if (c) self(self, *c);
+    };
+    walk(walk, *root_);
+    return out;
+}
+
+std::vector<dense_prefix> radix_tree::densify(std::uint64_t n_min, unsigned p) const {
+    std::vector<dense_prefix> out;
+    if (!root_ || n_min == 0) return out;
+
+    // Pass 1: subtree sums (the trie is shared-immutable during a const
+    // query, so memoize externally).
+    std::unordered_map<const node*, std::uint64_t> sums;
+    auto compute = [&](auto&& self, const node& n) -> std::uint64_t {
+        std::uint64_t s = n.count;
+        for (const auto& c : n.child)
+            if (c) s += self(self, *c);
+        sums.emplace(&n, s);
+        return s;
+    };
+    compute(compute, *root_);
+
+    // Pass 2: top-down claim of the least-specific dense length on each
+    // compressed edge. A /q prefix is dense when its count c satisfies
+    // c >= n_min * 2^(p-q); given c >= n_min the least-specific such q is
+    // p - floor(log2(c / n_min)).
+    auto walk = [&](auto&& self, const node& n, unsigned parent_len) -> void {
+        const std::uint64_t c = sums.at(&n);
+        if (c < n_min) return;  // nothing below can reach n_min either
+        unsigned s = 0;
+        while (s + 1 < 64 && n_min <= (c >> (s + 1))) ++s;
+        const unsigned qmin = (p > s) ? p - s : 0;
+        const unsigned lo = (parent_len == 0 && &n == root_.get()) ? 0 : parent_len + 1;
+        if (qmin <= n.pfx.length()) {
+            const unsigned q = std::max(qmin, lo);
+            if (q <= 127 && q <= n.pfx.length()) {
+                out.push_back({prefix{n.pfx.base(), q}, c});
+                return;  // non-overlapping: claim and stop
+            }
+            // q == 128: a single-address region; skip per step 3.
+            return;
+        }
+        for (const auto& c2 : n.child)
+            if (c2) self(self, *c2, n.pfx.length());
+    };
+    walk(walk, *root_, 0);
+    return out;
+}
+
+std::vector<dense_prefix> dense_prefixes_by_sort(std::vector<address> addrs,
+                                                 std::uint64_t min_count, unsigned p) {
+    std::vector<dense_prefix> out;
+    if (addrs.empty() || min_count == 0) return out;
+    for (auto& a : addrs) a = a.masked(p);
+    std::sort(addrs.begin(), addrs.end());
+    for (std::size_t i = 0; i < addrs.size();) {
+        std::size_t j = i;
+        while (j < addrs.size() && addrs[j] == addrs[i]) ++j;
+        if (j - i >= min_count) out.push_back({prefix{addrs[i], p}, j - i});
+        i = j;
+    }
+    return out;
+}
+
+}  // namespace v6

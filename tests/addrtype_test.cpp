@@ -1,0 +1,130 @@
+// Unit tests for the content-based address classifier.
+#include <gtest/gtest.h>
+
+#include "v6class/addrtype/classify.h"
+
+namespace v6 {
+namespace {
+
+using namespace v6::literals;
+
+TEST(ClassifyTest, TeredoDetection) {
+    EXPECT_TRUE(is_teredo("2001::1"_v6));
+    EXPECT_TRUE(is_teredo("2001:0:4136:e378:8000:63bf:3fff:fdd2"_v6));
+    EXPECT_FALSE(is_teredo("2001:db8::1"_v6));  // 2001:db8 is not 2001:0
+    EXPECT_FALSE(is_teredo("2002::1"_v6));
+}
+
+TEST(ClassifyTest, TeredoEmbeddedV4IsDeobfuscated) {
+    // RFC 4380 example: client 192.0.2.254 appears inverted in the low 32.
+    const classification c = classify("2001:0:4136:e378:8000:63bf:3fff:fdd2"_v6);
+    EXPECT_EQ(c.transition, transition_kind::teredo);
+    ASSERT_TRUE(c.embedded_ipv4.has_value());
+    EXPECT_EQ(*c.embedded_ipv4, 0xc00002 * 256 + 0x2d);  // 192.0.2.45
+}
+
+TEST(ClassifyTest, SixToFourDetection) {
+    EXPECT_TRUE(is_6to4("2002:c000:221::1"_v6));
+    EXPECT_FALSE(is_6to4("2001:db8::1"_v6));
+    const classification c = classify("2002:c000:221::1"_v6);
+    EXPECT_EQ(c.transition, transition_kind::six_to_four);
+    ASSERT_TRUE(c.embedded_ipv4.has_value());
+    EXPECT_EQ(*c.embedded_ipv4, 0xc0000221u);  // 192.0.2.33
+}
+
+TEST(ClassifyTest, IsatapDetection) {
+    EXPECT_TRUE(is_isatap("2001:db8::200:5efe:c000:221"_v6));
+    EXPECT_TRUE(is_isatap("2001:db8::5efe:c000:221"_v6));
+    EXPECT_FALSE(is_isatap("2001:db8::1"_v6));
+    // ISATAP markers inside Teredo/6to4 space belong to those classes.
+    EXPECT_FALSE(is_isatap("2002:c000:221::5efe:c000:221"_v6));
+    const classification c = classify("2001:db8::200:5efe:c000:221"_v6);
+    EXPECT_EQ(c.transition, transition_kind::isatap);
+    EXPECT_EQ(*c.embedded_ipv4, 0xc0000221u);
+}
+
+TEST(ClassifyTest, Eui64Detection) {
+    // Figure 1's third sample: 21e:c2ff:fec0:11db carries ff:fe.
+    const address a = "2001:db8:0:1cdf:21e:c2ff:fec0:11db"_v6;
+    EXPECT_TRUE(is_eui64(a));
+    const auto mac = eui64_mac(a);
+    ASSERT_TRUE(mac.has_value());
+    EXPECT_EQ(mac->to_string(), "00:1e:c2:c0:11:db");
+}
+
+TEST(ClassifyTest, IsatapIsNotEui64) {
+    EXPECT_FALSE(is_eui64("2001:db8::200:5efe:c000:221"_v6));
+    EXPECT_FALSE(eui64_mac("2001:db8::200:5efe:c000:221"_v6).has_value());
+}
+
+TEST(ClassifyTest, UBit) {
+    // EUI-64 from a universal MAC has u = 1.
+    EXPECT_EQ(iid_u_bit("2001:db8:0:1cdf:21e:c2ff:fec0:11db"_v6), 1u);
+    // RFC 4941 privacy addresses have u = 0; bit 70 is the 7th bit of
+    // the IID. 0x3031... has bits 0011 0000 -> bit 6 (u) is 0.
+    EXPECT_EQ(iid_u_bit("2001:db8:4137:9e76:3031:f3fd:bbdd:2c2a"_v6), 0u);
+}
+
+struct scope_case {
+    const char* text;
+    address_scope scope;
+};
+
+class ScopeClassification : public ::testing::TestWithParam<scope_case> {};
+
+TEST_P(ScopeClassification, Matches) {
+    EXPECT_EQ(classify(address::must_parse(GetParam().text)).scope,
+              GetParam().scope)
+        << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scopes, ScopeClassification,
+    ::testing::Values(
+        scope_case{"::", address_scope::unspecified},
+        scope_case{"::1", address_scope::loopback},
+        scope_case{"ff02::1", address_scope::multicast},
+        scope_case{"fe80::1", address_scope::link_local},
+        scope_case{"febf::1", address_scope::link_local},
+        scope_case{"fc00::1", address_scope::unique_local},
+        scope_case{"fd12:3456::1", address_scope::unique_local},
+        scope_case{"2001:db8::1", address_scope::documentation},
+        scope_case{"2600::1", address_scope::global_unicast},
+        scope_case{"3fff:ffff::1", address_scope::global_unicast},
+        scope_case{"4000::1", address_scope::reserved},
+        scope_case{"::2", address_scope::reserved}));
+
+struct iid_case {
+    const char* text;
+    iid_kind kind;
+};
+
+class IidClassification : public ::testing::TestWithParam<iid_case> {};
+
+TEST_P(IidClassification, Matches) {
+    EXPECT_EQ(classify(address::must_parse(GetParam().text)).iid, GetParam().kind)
+        << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, IidClassification,
+    ::testing::Values(
+        // Figure 1's samples, in order: low, structured, EUI-64, privacy.
+        iid_case{"2001:db8:10:1::103", iid_kind::low_value},
+        iid_case{"2001:db8:167:1109::10:901", iid_kind::structured},
+        iid_case{"2001:db8:0:1cdf:21e:c2ff:fec0:11db", iid_kind::eui64},
+        iid_case{"2001:db8:4137:9e76:3031:f3fd:bbdd:2c2a", iid_kind::pseudorandom},
+        iid_case{"2001:db8::1", iid_kind::low_value},
+        iid_case{"2001:db8::ffff", iid_kind::low_value},
+        iid_case{"2001:db8::5efe:c000:221", iid_kind::isatap},
+        // Hex-coded dotted quad in the IID.
+        iid_case{"2001:db8::192:0:2:33", iid_kind::embedded_ipv4}));
+
+TEST(ClassifyTest, EnumNames) {
+    EXPECT_EQ(to_string(transition_kind::six_to_four), "6to4");
+    EXPECT_EQ(to_string(address_scope::global_unicast), "global-unicast");
+    EXPECT_EQ(to_string(iid_kind::pseudorandom), "pseudorandom");
+}
+
+}  // namespace
+}  // namespace v6

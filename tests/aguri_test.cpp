@@ -1,0 +1,68 @@
+// Tests for the node-budgeted aguri profiler.
+#include <gtest/gtest.h>
+
+#include "v6class/netgen/rng.h"
+#include "v6class/trie/aguri_profiler.h"
+
+namespace v6 {
+namespace {
+
+TEST(AguriProfilerTest, NodeBudgetIsRespected) {
+    aguri_profiler prof(256, 0.01);
+    rng r{11};
+    for (int i = 0; i < 50'000; ++i)
+        prof.observe(address::from_pair(0x20010db800000000ull | r.uniform(64), r()));
+    // The budget may be exceeded transiently between reclaims but must be
+    // restored right after each insert returns.
+    EXPECT_LE(prof.node_count(), 256u);
+    EXPECT_EQ(prof.total(), 50'000u);
+}
+
+TEST(AguriProfilerTest, ProfileSharesSumToOne) {
+    aguri_profiler prof(1024, 0.02);
+    rng r{12};
+    for (int i = 0; i < 10'000; ++i)
+        prof.observe(address::from_pair(0x20010db800000000ull | r.uniform(8), r()));
+    const auto profile = prof.profile();
+    ASSERT_FALSE(profile.empty());
+    double total_share = 0.0;
+    for (const profile_entry& e : profile) total_share += e.share;
+    EXPECT_NEAR(total_share, 1.0, 1e-9);
+}
+
+TEST(AguriProfilerTest, HeavyAggregateSurvivesAggregation) {
+    aguri_profiler prof(512, 0.05);
+    rng r{13};
+    // 60% of traffic in one /64, the rest scattered.
+    const std::uint64_t heavy_hi = 0x20010db8000000aaull;
+    for (int i = 0; i < 20'000; ++i) {
+        if (r.chance(0.6))
+            prof.observe(address::from_pair(heavy_hi, r()));
+        else
+            prof.observe(address::from_pair(0x2a00000000000000ull | (r() >> 8), r()));
+    }
+    const auto profile = prof.profile();
+    const prefix heavy{address::from_pair(heavy_hi, 0), 64};
+    double heavy_share = 0.0;
+    for (const profile_entry& e : profile)
+        if (heavy.contains(e.pfx) || e.pfx.contains(heavy.base()))
+            heavy_share += e.share;
+    EXPECT_GT(heavy_share, 0.5);
+}
+
+TEST(AguriProfilerTest, HitCountsWeighProfile) {
+    aguri_profiler prof(128, 0.10);
+    // One address with overwhelming hit volume.
+    prof.observe(address::must_parse("2001:db8::1"), 1'000);
+    for (int i = 0; i < 50; ++i)
+        prof.observe(address::from_pair(0x2600000000000000ull, 0x1000u + i), 1);
+    const auto profile = prof.profile();
+    ASSERT_FALSE(profile.empty());
+    // The heavy hitter's aggregate dominates.
+    double best = 0;
+    for (const auto& e : profile) best = std::max(best, e.share);
+    EXPECT_GT(best, 0.9);
+}
+
+}  // namespace
+}  // namespace v6

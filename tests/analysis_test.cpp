@@ -1,0 +1,166 @@
+// Tests for formatting and report builders.
+#include <gtest/gtest.h>
+
+#include "v6class/analysis/format.h"
+#include "v6class/analysis/reports.h"
+#include "v6class/cdnsim/world.h"
+
+namespace v6 {
+namespace {
+
+using namespace v6::literals;
+
+TEST(FormatCountTest, Magnitudes) {
+    EXPECT_EQ(format_count(0), "0");
+    EXPECT_EQ(format_count(999), "999");
+    EXPECT_EQ(format_count(1'980), "1.98K");
+    EXPECT_EQ(format_count(13'700'000), "13.7M");
+    EXPECT_EQ(format_count(318'000'000), "318M");
+    EXPECT_EQ(format_count(1'810'000'000), "1.81B");
+    EXPECT_EQ(format_count(1'810'000'000'000.0), "1.81T");
+}
+
+TEST(FormatPctTest, PaperStyle) {
+    EXPECT_EQ(format_pct(0.0922), "9.22%");
+    EXPECT_EQ(format_pct(0.908), "90.8%");
+    EXPECT_EQ(format_pct(0.00103), ".103%");
+    EXPECT_EQ(format_pct(0.0419), "4.19%");
+    EXPECT_EQ(format_pct(1.0), "100%");
+}
+
+TEST(FormatFixedTest, Digits) {
+    EXPECT_EQ(format_fixed(2.4136, 2), "2.41");
+    EXPECT_EQ(format_fixed(0.1678459119, 10), "0.1678459119");
+}
+
+TEST(TextTableTest, AlignmentAndSeparators) {
+    text_table t({"name", "count"});
+    t.add_row({"alpha", "12"});
+    t.add_row({"b", "12345"});
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("-----"), std::string::npos);
+    // Right-aligned numeric column.
+    EXPECT_NE(s.find("   12\n"), std::string::npos);
+}
+
+TEST(TextTableTest, TooManyCellsThrows) {
+    text_table t({"only"});
+    EXPECT_THROW(t.add_row({"a", "b"}), std::invalid_argument);
+    t.add_row({});  // short rows are padded
+    EXPECT_FALSE(t.to_string().empty());
+}
+
+TEST(Table1Test, BuildColumnFromCraftedMix) {
+    std::vector<address> addrs{
+        "2001::1"_v6,                               // teredo
+        "2002:1800:102::1"_v6,                      // 6to4
+        "2600:1::5efe:c000:221"_v6,                 // isatap
+        "2600:1:0:1:21e:c2ff:fec0:11db"_v6,         // EUI-64 (other)
+        "2600:1:0:1:1111:2222:3333:4444"_v6,        // other
+        "2600:1:0:2:1111:2222:3333:4444"_v6,        // other, 2nd /64
+    };
+    const table1_column col = build_table1_column("test", addrs);
+    EXPECT_EQ(col.teredo, 1u);
+    EXPECT_EQ(col.six_to_four, 1u);
+    EXPECT_EQ(col.isatap, 1u);
+    EXPECT_EQ(col.other, 3u);
+    EXPECT_EQ(col.other_64s, 2u);
+    EXPECT_EQ(col.eui64_not_6to4, 1u);
+    EXPECT_EQ(col.eui64_unique_macs, 1u);
+    EXPECT_DOUBLE_EQ(col.addrs_per_64, 1.5);
+    EXPECT_EQ(col.total(), 6u);
+}
+
+TEST(Table1Test, RenderContainsPaperRows) {
+    const table1_column col = build_table1_column("Mar 17, 2015", {"2600::1"_v6});
+    const std::string s = render_table1({col});
+    EXPECT_NE(s.find("Teredo addresses"), std::string::npos);
+    EXPECT_NE(s.find("6to4 addresses"), std::string::npos);
+    EXPECT_NE(s.find("ave. addrs per /64"), std::string::npos);
+    EXPECT_NE(s.find("EUI-64 IIDs (MACs)"), std::string::npos);
+    EXPECT_NE(s.find("Mar 17, 2015"), std::string::npos);
+}
+
+TEST(Table2Test, RenderShowsEpochGaps) {
+    stability_column early;
+    early.label = "Mar 17, 2014";
+    early.stable_3d = 90;
+    early.not_stable_3d = 910;
+    stability_column late;
+    late.label = "Mar 17, 2015";
+    late.stable_3d = 95;
+    late.not_stable_3d = 905;
+    late.stable_6m = 10;
+    late.has_6m = true;
+    late.stable_1y = 3;
+    late.has_1y = true;
+    const std::string s = render_table2({early, late}, "addr");
+    EXPECT_NE(s.find("3d-stable"), std::string::npos);
+    EXPECT_NE(s.find("6m-stable (-6m)"), std::string::npos);
+    EXPECT_NE(s.find("1y-stable (-1y)"), std::string::npos);
+    EXPECT_NE(s.find("9.00%"), std::string::npos);
+}
+
+TEST(Table3Test, RenderRows) {
+    density_row row;
+    row.n = 2;
+    row.p = 124;
+    row.dense_prefix_count = 43'100;
+    row.covered_addresses = 116'000;
+    row.possible_addresses = 689'600.0L;
+    row.address_density = 0.1678L;
+    const std::string s = render_table3({row}, "Router");
+    EXPECT_NE(s.find("2 @ /124"), std::string::npos);
+    EXPECT_NE(s.find("43.1K"), std::string::npos);
+    EXPECT_NE(s.find("0.1678"), std::string::npos);
+}
+
+TEST(GroupingTest, ByAsnAndPrefix) {
+    rir_registry reg;
+    const prefix a = reg.allocate(rir::arin, 111, 32);
+    const prefix b = reg.allocate(rir::ripe, 222, 32);
+    std::vector<address> addrs{
+        address::from_pair(a.base().hi() | 1, 1),
+        address::from_pair(a.base().hi() | 2, 2),
+        address::from_pair(b.base().hi() | 1, 3),
+    };
+    const auto by_asn = group_by_asn(reg, addrs);
+    ASSERT_EQ(by_asn.size(), 2u);
+    EXPECT_EQ(by_asn.at(111).size(), 2u);
+    EXPECT_EQ(by_asn.at(222).size(), 1u);
+    const auto by_pfx = group_by_bgp_prefix(reg, addrs);
+    ASSERT_EQ(by_pfx.size(), 2u);
+    EXPECT_EQ(by_pfx.at(a).size(), 2u);
+}
+
+TEST(SegmentDistributionTest, EightSummaries) {
+    std::map<prefix, std::vector<address>> groups;
+    for (unsigned g = 0; g < 5; ++g) {
+        std::vector<address> addrs;
+        for (unsigned i = 0; i < 50; ++i)
+            addrs.push_back(
+                address::from_pair(0x2600000000000000ull + (static_cast<std::uint64_t>(g) << 32), i * 3 + 1));
+        groups.emplace(prefix{addrs.front(), 32}, std::move(addrs));
+    }
+    const auto dist = segment_ratio_distribution(groups);
+    ASSERT_EQ(dist.size(), 8u);
+    for (const auto& s : dist) {
+        EXPECT_EQ(s.samples, 5u);
+        EXPECT_GE(s.min, 1.0);
+    }
+}
+
+TEST(RenderCcdfTest, DownsamplesLongTails) {
+    std::vector<ccdf_point> ccdf;
+    for (int i = 1; i <= 500; ++i)
+        ccdf.push_back({static_cast<double>(i), 1.0 / i});
+    const std::string s = render_ccdf(ccdf, 10);
+    std::size_t lines = 0;
+    for (char c : s)
+        if (c == '\n') ++lines;
+    EXPECT_LE(lines, 16u);  // header + separator + <= ~12 rows
+}
+
+}  // namespace
+}  // namespace v6

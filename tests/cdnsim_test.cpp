@@ -1,0 +1,173 @@
+// Tests for the CDN log aggregation and the simulated world.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "v6class/cdnsim/world.h"
+
+namespace v6 {
+namespace {
+
+using namespace v6::literals;
+
+world_config small_world(double scale = 0.08) {
+    world_config cfg;
+    cfg.scale = scale;
+    cfg.tail_isps = 12;
+    return cfg;
+}
+
+TEST(LogTest, AggregateMergesDuplicates) {
+    const daily_log log = aggregate_log(
+        3, {{"2001:db8::2"_v6, 5}, {"2001:db8::1"_v6, 1}, {"2001:db8::2"_v6, 2}});
+    EXPECT_EQ(log.day, 3);
+    ASSERT_EQ(log.records.size(), 2u);
+    EXPECT_EQ(log.records[0].addr, "2001:db8::1"_v6);
+    EXPECT_EQ(log.records[1].hits, 7u);
+    EXPECT_EQ(log.total_hits(), 8u);
+    EXPECT_EQ(log.addresses().size(), 2u);
+}
+
+TEST(LogTest, CullSplitsByMechanism) {
+    const culled_addresses cull = cull_transition(
+        {"2001::1"_v6, "2002:c000:221::1"_v6, "2001:db8::5efe:c000:221"_v6,
+         "2600::1"_v6, "2600::2"_v6});
+    EXPECT_EQ(cull.teredo.size(), 1u);
+    EXPECT_EQ(cull.six_to_four.size(), 1u);
+    EXPECT_EQ(cull.isatap.size(), 1u);
+    EXPECT_EQ(cull.other.size(), 2u);
+}
+
+TEST(WorldTest, DayLogIsSortedUniquePositive) {
+    const world w(small_world());
+    const daily_log log = w.day_log(kMar2015);
+    ASSERT_GT(log.records.size(), 500u);
+    for (std::size_t i = 1; i < log.records.size(); ++i)
+        EXPECT_LT(log.records[i - 1].addr, log.records[i].addr);
+    for (const observation& o : log.records) EXPECT_GE(o.hits, 1u);
+}
+
+TEST(WorldTest, CompositionMatchesPaperShape) {
+    const world w(small_world(0.3));
+    const auto cull = cull_transition(w.active_addresses(kMar2015));
+    const double total = static_cast<double>(
+        cull.teredo.size() + cull.isatap.size() + cull.six_to_four.size() +
+        cull.other.size());
+    // "Other" (native) addresses dominate at >90%; 6to4 is a few
+    // percent; Teredo and ISATAP are vestigial.
+    EXPECT_GT(cull.other.size() / total, 0.90);
+    EXPECT_LT(cull.six_to_four.size() / total, 0.10);
+    EXPECT_GT(cull.six_to_four.size() / total, 0.005);
+    EXPECT_LT(cull.teredo.size() / total, 0.01);
+    EXPECT_LT(cull.isatap.size() / total, 0.01);
+}
+
+TEST(WorldTest, ActivityGrowsAcrossTheStudyYear) {
+    const world w(small_world());
+    const auto early = w.active_addresses(kMar2014);
+    const auto late = w.active_addresses(kMar2015);
+    EXPECT_GT(late.size(), early.size() * 3 / 2);
+}
+
+TEST(WorldTest, ParallelSeriesMatchesPerDayGeneration) {
+    const world w(small_world(0.05));
+    const daily_series s = w.series(3, 12);  // wide enough to fan out
+    for (int d = 3; d <= 12; ++d)
+        EXPECT_EQ(s.day(d), w.active_addresses(d)) << d;
+}
+
+TEST(WorldTest, SeriesCoversRange) {
+    const world w(small_world(0.04));
+    const daily_series s = w.series(10, 14);
+    EXPECT_EQ(s.days().size(), 5u);
+    EXPECT_GT(s.count(12), 0u);
+}
+
+TEST(WorldTest, DeterministicAcrossInstances) {
+    const world a(small_world(0.04));
+    const world b(small_world(0.04));
+    EXPECT_EQ(a.active_addresses(7), b.active_addresses(7));
+}
+
+TEST(WorldTest, SeedChangesTheWorld) {
+    world_config cfg = small_world(0.04);
+    cfg.seed = 1234;
+    const world a(cfg);
+    const world b(small_world(0.04));
+    EXPECT_NE(a.active_addresses(7), b.active_addresses(7));
+}
+
+TEST(WorldTest, RoutesCoverAllClientAddresses) {
+    const world w(small_world(0.05));
+    for (const address& a : w.active_addresses(3)) {
+        const auto route = w.registry().origin_of(a);
+        ASSERT_TRUE(route.has_value()) << a.to_string();
+    }
+}
+
+TEST(WorldTest, SlewConservesRecordsAcrossAdjacentLogs) {
+    world_config cfg = small_world(0.04);
+    cfg.slew_probability = 0.3;
+    const world slewed(cfg);
+    cfg.slew_probability = 0.0;
+    const world crisp(cfg);
+    // Every raw record of day d lands in exactly one of logs d or d+1:
+    // summed hits over the two slewed logs restricted to day-d raw
+    // records equal the crisp day-d hits... verify via totals over a
+    // 3-day span interior day.
+    const std::uint64_t crisp_hits = crisp.day_log(5).total_hits();
+    // Slewed day-5 log = on-time day-5 + late day-4; slewed day-6 log
+    // holds the late day-5 remainder. Sum of "on-time day-5" and "late
+    // day-5" equals crisp day-5.
+    const std::uint64_t slew5 = slewed.day_log(5).total_hits();
+    const std::uint64_t slew6 = slewed.day_log(6).total_hits();
+    const std::uint64_t crisp4 = crisp.day_log(4).total_hits();
+    const std::uint64_t crisp6 = crisp.day_log(6).total_hits();
+    // slew5 + slew6 = (on5 + late4) + (on6 + late5) = crisp5 + late4 +
+    // on6; bound rather than equate: totals stay within the adjacent
+    // days' envelope.
+    EXPECT_GT(slew5 + slew6, 0u);
+    EXPECT_LE(slew5, crisp_hits + crisp4);
+    EXPECT_LE(slew6, crisp6 + crisp_hits);
+}
+
+TEST(WorldTest, FlagshipAccessorsAreWired) {
+    const world w(small_world(0.04));
+    EXPECT_EQ(w.mobile1().asn(), 20001u);
+    EXPECT_EQ(w.mobile2().asn(), 20002u);
+    EXPECT_EQ(w.europe().asn(), 20003u);
+    EXPECT_EQ(w.japan().asn(), 20004u);
+    EXPECT_EQ(w.university().asn(), 20010u);
+    EXPECT_EQ(w.telco().asn(), 20011u);
+    EXPECT_EQ(w.department().asn(), 20012u);
+    EXPECT_GE(w.models().size(), 11u + w.config().tail_isps);
+}
+
+TEST(WorldTest, Top5AsnsDominate64Counts) {
+    const world w(small_world(0.3));
+    const auto addrs = w.active_addresses(kMar2015);
+    const culled_addresses cull = cull_transition(addrs);
+    // Count /64s per ASN for native traffic.
+    std::map<std::uint32_t, std::set<address>> asn_64s;
+    for (const address& a : cull.other) {
+        const auto route = w.registry().origin_of(a);
+        ASSERT_TRUE(route.has_value());
+        asn_64s[route->asn].insert(a.masked(64));
+    }
+    std::vector<std::size_t> counts;
+    std::size_t total = 0;
+    for (const auto& [asn, s] : asn_64s) {
+        counts.push_back(s.size());
+        total += s.size();
+    }
+    std::sort(counts.rbegin(), counts.rend());
+    std::size_t top5 = 0;
+    for (std::size_t i = 0; i < 5 && i < counts.size(); ++i) top5 += counts[i];
+    // The paper: top 5 ASNs hold 85% of active /64s. Accept a band.
+    EXPECT_GT(static_cast<double>(top5) / total, 0.70);
+}
+
+}  // namespace
+}  // namespace v6

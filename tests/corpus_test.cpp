@@ -1,0 +1,90 @@
+// Tests for the on-disk log corpus (write, read, failure handling).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "v6class/cdnsim/corpus.h"
+#include "v6class/cdnsim/world.h"
+
+namespace v6 {
+namespace {
+
+using namespace v6::literals;
+
+class CorpusTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("v6class_corpus_test_" + std::to_string(::getpid()) + "_" +
+                ::testing::UnitTest::GetInstance()->current_test_info()->name());
+        std::filesystem::remove_all(dir_);
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+    std::filesystem::path dir_;
+};
+
+TEST_F(CorpusTest, FileNameFormat) {
+    EXPECT_EQ(corpus_file_name(0), "day_0.log");
+    EXPECT_EQ(corpus_file_name(365), "day_365.log");
+}
+
+TEST_F(CorpusTest, LogRoundTrip) {
+    daily_log log;
+    log.day = 17;
+    log.records = {{"2001:db8::1"_v6, 3}, {"2001:db8::2"_v6, 999}};
+    write_log_file(dir_, log);
+    const daily_log back = read_log_file(dir_ / corpus_file_name(17), 17);
+    EXPECT_EQ(back.day, 17);
+    ASSERT_EQ(back.records.size(), 2u);
+    EXPECT_EQ(back.records[0].addr, "2001:db8::1"_v6);
+    EXPECT_EQ(back.records[0].hits, 3u);
+    EXPECT_EQ(back.records[1].hits, 999u);
+}
+
+TEST_F(CorpusTest, WorldCorpusRoundTrip) {
+    world_config cfg;
+    cfg.scale = 0.03;
+    cfg.tail_isps = 4;
+    const world w(cfg);
+    const int written = write_corpus(w, 5, 9, dir_);
+    EXPECT_EQ(written, 5);
+    const daily_series series = read_corpus(dir_);
+    EXPECT_EQ(series.days().size(), 5u);
+    for (int d = 5; d <= 9; ++d)
+        EXPECT_EQ(series.day(d), w.active_addresses(d)) << "day " << d;
+}
+
+TEST_F(CorpusTest, ReadMissingFileThrows) {
+    EXPECT_THROW(read_log_file(dir_ / "day_1.log", 1), std::runtime_error);
+}
+
+TEST_F(CorpusTest, CorruptLinesAreSkipped) {
+    std::filesystem::create_directories(dir_);
+    {
+        std::ofstream out(dir_ / "day_3.log");
+        out << "# header\n2001:db8::1 5\nGARBAGE LINE\n2001:db8::2 6\n";
+    }
+    const daily_log log = read_log_file(dir_ / "day_3.log", 3);
+    EXPECT_EQ(log.records.size(), 2u);
+}
+
+TEST_F(CorpusTest, ForeignFilesAreIgnored) {
+    std::filesystem::create_directories(dir_);
+    {
+        std::ofstream out(dir_ / "README.txt");
+        out << "not a log\n";
+        std::ofstream out2(dir_ / "day_x.log");
+        out2 << "2001:db8::1\n";
+    }
+    daily_log log;
+    log.day = 2;
+    log.records = {{"2001:db8::9"_v6, 1}};
+    write_log_file(dir_, log);
+    const daily_series series = read_corpus(dir_);
+    EXPECT_EQ(series.days().size(), 1u);
+    EXPECT_EQ(series.count(2), 1u);
+}
+
+}  // namespace
+}  // namespace v6

@@ -1,0 +1,148 @@
+// Tests for the ip6.arpa reverse-DNS simulation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "v6class/dnssim/reverse_zone.h"
+#include "v6class/cdnsim/world.h"
+#include "v6class/routersim/topology.h"
+#include "v6class/spatial/density.h"
+
+namespace v6 {
+namespace {
+
+using namespace v6::literals;
+
+TEST(Ip6ArpaTest, NameFormat) {
+    EXPECT_EQ(ip6_arpa_name("2001:db8::1"_v6),
+              "1.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.8.b.d.0.1.0.0.2."
+              "ip6.arpa");
+}
+
+TEST(Ip6ArpaTest, ZeroAddress) {
+    const std::string name = ip6_arpa_name("::"_v6);
+    EXPECT_EQ(name.size(), 64u + 8u);  // 32 nybbles with dots + suffix
+    EXPECT_EQ(name.substr(0, 4), "0.0.");
+    EXPECT_EQ(name.substr(name.size() - 8), "ip6.arpa");
+}
+
+TEST(ReverseZoneTest, AddQueryReplace) {
+    reverse_zone zone;
+    EXPECT_FALSE(zone.query("2001:db8::1"_v6).has_value());
+    zone.add("2001:db8::1"_v6, "host1.example.org");
+    ASSERT_TRUE(zone.query("2001:db8::1"_v6).has_value());
+    EXPECT_EQ(*zone.query("2001:db8::1"_v6), "host1.example.org");
+    zone.add("2001:db8::1"_v6, "renamed.example.org");
+    EXPECT_EQ(*zone.query("2001:db8::1"_v6), "renamed.example.org");
+    EXPECT_EQ(zone.size(), 1u);
+}
+
+TEST(ReverseZoneTest, ScanCountsAndDeduplicates) {
+    reverse_zone zone;
+    zone.add("2001:db8::1"_v6, "a");
+    zone.add("2001:db8::2"_v6, "b");
+    const auto result = zone.scan(
+        {"2001:db8::1"_v6, "2001:db8::1"_v6, "2001:db8::3"_v6, "2001:db8::2"_v6});
+    EXPECT_EQ(result.queries, 3u);
+    EXPECT_EQ(result.names_found, 2u);
+    EXPECT_EQ(result.named.size(), 2u);
+}
+
+TEST(ZoneFileTest, ExportImportRoundTrip) {
+    reverse_zone zone;
+    zone.add("2001:db8::1"_v6, "host1.example.org");
+    zone.add("2001:db8::2:3"_v6, "host2.example.org");
+    std::ostringstream out;
+    export_zone_file(zone, out);
+    EXPECT_NE(out.str().find("PTR host1.example.org."), std::string::npos);
+    EXPECT_NE(out.str().find("ip6.arpa."), std::string::npos);
+
+    reverse_zone back;
+    std::istringstream in(out.str());
+    EXPECT_EQ(import_zone_file(in, back), 2u);
+    ASSERT_TRUE(back.query("2001:db8::1"_v6).has_value());
+    EXPECT_EQ(*back.query("2001:db8::1"_v6), "host1.example.org");
+    EXPECT_EQ(*back.query("2001:db8::2:3"_v6), "host2.example.org");
+}
+
+TEST(ZoneFileTest, ImportSkipsJunk) {
+    reverse_zone zone;
+    std::istringstream in(
+        "; comment\n"
+        "garbage\n"
+        "not-an-owner. PTR x.\n"
+        "1.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.8.b.d.0.1.0.0.2."
+        "ip6.arpa. PTR ok.example.\n"
+        "1.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.8.b.d.0.1.0.0.2."
+        "ip6.arpa. A 192.0.2.1\n");
+    EXPECT_EQ(import_zone_file(in, zone), 1u);
+    EXPECT_EQ(*zone.query("2001:db8::1"_v6), "ok.example");
+}
+
+TEST(ZoneFileTest, ExportIsAddressOrdered) {
+    reverse_zone zone;
+    zone.add("2001:db8::9"_v6, "b");
+    zone.add("2001:db8::1"_v6, "a");
+    std::ostringstream out;
+    export_zone_file(zone, out);
+    EXPECT_LT(out.str().find("PTR a."), out.str().find("PTR b."));
+}
+
+class WorldZoneTest : public ::testing::Test {
+protected:
+    static world_config cfg() {
+        world_config c;
+        c.scale = 0.05;
+        c.tail_isps = 6;
+        return c;
+    }
+    WorldZoneTest() : w_(cfg()), topo_(w_), zone_(build_world_zone(w_, &topo_)) {}
+    world w_;
+    router_topology topo_;
+    reverse_zone zone_;
+};
+
+TEST_F(WorldZoneTest, RouterInterfacesAreNamed) {
+    const auto& ifaces = topo_.interfaces();
+    ASSERT_FALSE(ifaces.empty());
+    const auto name = zone_.query(ifaces[ifaces.size() / 2]);
+    ASSERT_TRUE(name.has_value());
+    EXPECT_NE(name->find("example.net"), std::string::npos);
+}
+
+TEST_F(WorldZoneTest, DepartmentHostsHaveDhcpNames) {
+    // Active department hosts resolve to dhcpv6-N names.
+    std::vector<observation> out;
+    w_.department().day_activity(0, out);
+    ASSERT_FALSE(out.empty());
+    std::size_t named = 0;
+    for (const observation& o : out) {
+        const auto name = zone_.query(o.addr);
+        if (name && name->rfind("dhcpv6-", 0) == 0) ++named;
+    }
+    EXPECT_GT(static_cast<double>(named) / out.size(), 0.9);
+}
+
+TEST_F(WorldZoneTest, ProvisioningRangesExceedActiveHosts) {
+    // The premise of the Section 6.2.3 experiment: the zone names more
+    // addresses than are active on any one day.
+    std::vector<observation> telco;
+    w_.telco().day_activity(0, telco);
+    EXPECT_GT(zone_.size(), telco.size());
+}
+
+TEST_F(WorldZoneTest, DenseScanFindsMoreThanActiveScan) {
+    // Scanning the possible addresses of dense router prefixes recovers
+    // names that querying only active client addresses cannot.
+    radix_tree t;
+    for (const address& a : topo_.interfaces()) t.add(a);
+    const auto dense = t.dense_prefixes_at(3, 120);
+    const auto targets = expand_scan_targets(dense, 500'000);
+    const auto dense_scan = zone_.scan(targets);
+
+    const auto active_scan = zone_.scan(w_.active_addresses(0));
+    EXPECT_GT(dense_scan.names_found, active_scan.names_found);
+}
+
+}  // namespace
+}  // namespace v6

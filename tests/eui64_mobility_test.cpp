@@ -1,0 +1,85 @@
+// Unit tests for the Section 6.1.1 EUI-64 mobility analysis.
+#include <gtest/gtest.h>
+
+#include "v6class/analysis/eui64_mobility.h"
+#include "v6class/netgen/iid.h"
+
+namespace v6 {
+namespace {
+
+address eui_at(std::uint64_t hi, const mac_address& mac) {
+    return address::from_pair(hi, mac.to_eui64_iid());
+}
+
+TEST(Eui64MobilityTest, EmptyWindow) {
+    daily_series series;
+    const auto report = analyze_eui64_mobility(series, 5);
+    EXPECT_EQ(report.unstable_eui64_addresses, 0u);
+    EXPECT_DOUBLE_EQ(report.multiple_share(), 0.0);
+    EXPECT_DOUBLE_EQ(report.also_stable_share(), 0.0);
+}
+
+TEST(Eui64MobilityTest, StableDeviceCountsAsStable) {
+    const mac_address mac = device_mac(1);
+    daily_series series;
+    for (int d = 0; d <= 10; ++d) series.set_day(d, {eui_at(0xaa, mac)});
+    const auto report = analyze_eui64_mobility(series, 5);
+    EXPECT_EQ(report.stable_eui64_addresses, 1u);
+    EXPECT_EQ(report.unstable_eui64_addresses, 0u);
+}
+
+TEST(Eui64MobilityTest, MovedDeviceIsUnstableWithMultipleAddresses) {
+    // The device appears under a new network identifier each day: every
+    // address is single-day, the IID is in many addresses, none stable.
+    const mac_address mac = device_mac(2);
+    daily_series series;
+    for (int d = 0; d <= 10; ++d)
+        series.set_day(d, {eui_at(0x1000 + static_cast<std::uint64_t>(d), mac)});
+    const auto report = analyze_eui64_mobility(series, 5);
+    EXPECT_EQ(report.stable_eui64_addresses, 0u);
+    EXPECT_EQ(report.unstable_eui64_addresses, 1u);
+    EXPECT_EQ(report.iid_in_multiple_addresses, 1u);
+    EXPECT_EQ(report.iid_also_stable, 0u);
+}
+
+TEST(Eui64MobilityTest, HomeAndAwayDeviceIsAlsoStable) {
+    // Stable at home, plus a one-day visit elsewhere on the reference
+    // day: the away address is not stable, but its IID also owns a
+    // stable (home) address.
+    const mac_address mac = device_mac(3);
+    daily_series series;
+    for (int d = 0; d <= 10; ++d) {
+        std::vector<address> active{eui_at(0xaa, mac)};
+        if (d == 5) active.push_back(eui_at(0xbb, mac));
+        series.set_day(d, std::move(active));
+    }
+    const auto report = analyze_eui64_mobility(series, 5);
+    EXPECT_EQ(report.stable_eui64_addresses, 1u);
+    EXPECT_EQ(report.unstable_eui64_addresses, 1u);
+    EXPECT_EQ(report.iid_in_multiple_addresses, 1u);
+    EXPECT_EQ(report.iid_also_stable, 1u);
+    EXPECT_DOUBLE_EQ(report.also_stable_share(), 1.0);
+}
+
+TEST(Eui64MobilityTest, LoneSightingIsNeither) {
+    // A single-day, single-address device: unstable but with a unique
+    // IID-address pairing — contributes to neither numerator.
+    const mac_address mac = device_mac(4);
+    daily_series series;
+    series.set_day(5, {eui_at(0xcc, mac)});
+    const auto report = analyze_eui64_mobility(series, 5);
+    EXPECT_EQ(report.unstable_eui64_addresses, 1u);
+    EXPECT_EQ(report.iid_in_multiple_addresses, 0u);
+    EXPECT_EQ(report.iid_also_stable, 0u);
+}
+
+TEST(Eui64MobilityTest, NonEuiAddressesAreIgnored) {
+    daily_series series;
+    series.set_day(5, {address::from_pair(0xaa, privacy_iid(0x123456789abcdefull))});
+    const auto report = analyze_eui64_mobility(series, 5);
+    EXPECT_EQ(report.unstable_eui64_addresses, 0u);
+    EXPECT_EQ(report.stable_eui64_addresses, 0u);
+}
+
+}  // namespace
+}  // namespace v6

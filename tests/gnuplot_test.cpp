@@ -1,0 +1,86 @@
+// Tests for the gnuplot artifact writers.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "v6class/netgen/iid.h"
+#include "v6class/netgen/rng.h"
+#include "v6class/spatial/gnuplot.h"
+
+namespace v6 {
+namespace {
+
+std::string slurp(const std::filesystem::path& p) {
+    std::ifstream in(p);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+class GnuplotTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("v6class_gnuplot_" +
+                std::string(::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->name()));
+        std::filesystem::remove_all(dir_);
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+    std::filesystem::path dir_;
+};
+
+TEST_F(GnuplotTest, MraArtifacts) {
+    rng r{1};
+    std::vector<address> addrs;
+    for (int i = 0; i < 200; ++i)
+        addrs.push_back(address::from_pair(0x20010db800000000ull | r.uniform(16),
+                                           privacy_iid(r())));
+    const auto plot = make_mra_plot(compute_mra(addrs), "test network");
+    const auto script = write_mra_gnuplot(dir_, "mra_test", plot);
+    EXPECT_TRUE(std::filesystem::exists(script));
+    EXPECT_TRUE(std::filesystem::exists(dir_ / "mra_test.dat"));
+
+    const std::string gp = slurp(script);
+    EXPECT_NE(gp.find("set logscale y 2"), std::string::npos);
+    EXPECT_NE(gp.find("test network"), std::string::npos);
+    EXPECT_NE(gp.find("single bits"), std::string::npos);
+
+    const std::string dat = slurp(dir_ / "mra_test.dat");
+    // 128 + 32 + 8 data rows plus comments/separators.
+    std::size_t rows = 0;
+    std::istringstream lines(dat);
+    std::string line;
+    while (std::getline(lines, line))
+        if (!line.empty() && line[0] != '#') ++rows;
+    EXPECT_GE(rows, 128u + 32u + 8u);
+}
+
+TEST_F(GnuplotTest, CcdfArtifacts) {
+    std::vector<labeled_ccdf> curves{
+        {"curve-a", {{1, 1.0}, {10, 0.5}, {100, 0.01}}},
+        {"curve-b", {{1, 1.0}, {5, 0.2}}},
+    };
+    const auto script = write_ccdf_gnuplot(dir_, "pop", curves);
+    EXPECT_TRUE(std::filesystem::exists(script));
+    EXPECT_TRUE(std::filesystem::exists(dir_ / "pop_0.dat"));
+    EXPECT_TRUE(std::filesystem::exists(dir_ / "pop_1.dat"));
+    const std::string gp = slurp(script);
+    EXPECT_NE(gp.find("set logscale xy"), std::string::npos);
+    EXPECT_NE(gp.find("curve-a"), std::string::npos);
+    EXPECT_NE(gp.find("curve-b"), std::string::npos);
+}
+
+TEST_F(GnuplotTest, CreatesDirectories) {
+    const auto nested = dir_ / "a" / "b";
+    const auto plot = make_mra_plot(
+        compute_mra({address::must_parse("2001:db8::1")}), "x");
+    EXPECT_NO_THROW(write_mra_gnuplot(nested, "p", plot));
+    EXPECT_TRUE(std::filesystem::exists(nested / "p.gp"));
+}
+
+}  // namespace
+}  // namespace v6

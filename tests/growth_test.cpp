@@ -1,0 +1,68 @@
+// Tests for the churn/growth decomposition.
+#include <gtest/gtest.h>
+
+#include "v6class/analysis/growth.h"
+
+namespace v6 {
+namespace {
+
+address nth(unsigned i) {
+    return address::from_pair(0x20010db800000000ull, 0x7000u + i);
+}
+
+TEST(ChurnAnalysisTest, NeedsTwoDays) {
+    daily_series series;
+    EXPECT_TRUE(churn_analysis(series).empty());
+    series.set_day(1, {nth(1)});
+    EXPECT_TRUE(churn_analysis(series).empty());
+}
+
+TEST(ChurnAnalysisTest, PartitionsEachDay) {
+    daily_series series;
+    series.set_day(1, {nth(1), nth(2)});
+    series.set_day(2, {nth(1), nth(3)});          // 1 returns, 3 fresh
+    series.set_day(3, {nth(2), nth(3), nth(4)});  // 3 returns, 2 revenant, 4 fresh
+    const auto rows = churn_analysis(series);
+    ASSERT_EQ(rows.size(), 2u);
+
+    EXPECT_EQ(rows[0].day, 2);
+    EXPECT_EQ(rows[0].active, 2u);
+    EXPECT_EQ(rows[0].returning, 1u);
+    EXPECT_EQ(rows[0].fresh, 1u);
+    EXPECT_EQ(rows[0].revenant, 0u);
+
+    EXPECT_EQ(rows[1].day, 3);
+    EXPECT_EQ(rows[1].active, 3u);
+    EXPECT_EQ(rows[1].returning, 1u);
+    EXPECT_EQ(rows[1].revenant, 1u);
+    EXPECT_EQ(rows[1].fresh, 1u);
+    EXPECT_DOUBLE_EQ(rows[1].fresh_share(), 1.0 / 3.0);
+
+    // The partition must be exhaustive every day.
+    for (const churn_day& row : rows)
+        EXPECT_EQ(row.returning + row.fresh + row.revenant, row.active);
+}
+
+TEST(EpochGrowthTest, FactorsAndSurvivors) {
+    daily_series series;
+    series.set_day(0, {nth(1), nth(2), nth(3), nth(4)});
+    series.set_day(100, {nth(3), nth(4), nth(5), nth(6), nth(7), nth(8)});
+    const growth_report report = epoch_growth(series, 0, 100);
+    EXPECT_EQ(report.early_active, 4u);
+    EXPECT_EQ(report.late_active, 6u);
+    EXPECT_DOUBLE_EQ(report.growth_factor, 1.5);
+    EXPECT_EQ(report.common, 2u);
+    EXPECT_DOUBLE_EQ(report.survivor_share, 0.5);
+}
+
+TEST(EpochGrowthTest, EmptyEarlyDay) {
+    daily_series series;
+    series.set_day(5, {nth(1)});
+    const growth_report report = epoch_growth(series, 0, 5);
+    EXPECT_EQ(report.early_active, 0u);
+    EXPECT_DOUBLE_EQ(report.growth_factor, 0.0);
+    EXPECT_DOUBLE_EQ(report.survivor_share, 0.0);
+}
+
+}  // namespace
+}  // namespace v6

@@ -1,0 +1,201 @@
+// End-to-end integration tests: the full pipeline from simulated logs
+// through temporal and spatial classification, asserting the paper's
+// qualitative findings hold in the reproduction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "v6class/analysis/reports.h"
+#include "v6class/cdnsim/world.h"
+#include "v6class/routersim/targets.h"
+#include "v6class/routersim/topology.h"
+#include "v6class/spatial/density.h"
+#include "v6class/spatial/mra.h"
+#include "v6class/spatial/population.h"
+#include "v6class/temporal/stability.h"
+
+namespace v6 {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+protected:
+    static world_config cfg() {
+        world_config c;
+        c.scale = 0.15;
+        c.tail_isps = 16;
+        return c;
+    }
+    IntegrationTest() : w_(cfg()) {}
+    world w_;
+};
+
+TEST_F(IntegrationTest, AddressesAreFarLessStableThanSlash64s) {
+    // Table 2's headline: ~9% of addresses are 3d-stable but ~90% of
+    // /64s are.
+    const daily_series series = w_.series(kMar2015 - 7, kMar2015 + 7);
+    const culled_addresses cull =
+        cull_transition(series.day(kMar2015));
+    daily_series native;
+    for (const int d : series.days()) {
+        const auto day_cull = cull_transition(series.day(d));
+        native.set_day(d, day_cull.other);
+    }
+    stability_analyzer addr_an(native);
+    const auto addr_split = addr_an.classify_day(kMar2015, 3);
+    const double addr_rate =
+        static_cast<double>(addr_split.stable.size()) /
+        static_cast<double>(addr_split.stable.size() + addr_split.not_stable.size());
+
+    const daily_series native64 = native.project(64);
+    stability_analyzer pfx_an(native64);
+    const auto pfx_split = pfx_an.classify_day(kMar2015, 3);
+    const double pfx_rate =
+        static_cast<double>(pfx_split.stable.size()) /
+        static_cast<double>(pfx_split.stable.size() + pfx_split.not_stable.size());
+
+    EXPECT_LT(addr_rate, 0.35);
+    EXPECT_GT(pfx_rate, 0.55);
+    EXPECT_GT(pfx_rate, addr_rate * 2);
+    (void)cull;
+}
+
+TEST_F(IntegrationTest, MobileCarriersContributeStableAddressesDespiteDynamicPools) {
+    // Section 6.1: of the long-lived addresses, a large share sits in
+    // the mobile carriers (fixed IIDs over reused /64 pools).
+    const daily_series series = w_.series(kMar2015 - 7, kMar2015 + 7);
+    stability_analyzer an(series);
+    const auto split = an.classify_day(kMar2015, 3);
+    ASSERT_GT(split.stable.size(), 100u);
+    std::size_t mobile_stable = 0;
+    for (const address& a : split.stable) {
+        const auto route = w_.registry().origin_of(a);
+        if (route && (route->asn == 20001 || route->asn == 20002)) ++mobile_stable;
+    }
+    EXPECT_GT(static_cast<double>(mobile_stable) / split.stable.size(), 0.10);
+}
+
+TEST_F(IntegrationTest, EpochStabilityIsRareForAddressesCommonForPrefixes) {
+    const auto now = cull_transition(w_.active_addresses(kMar2015)).other;
+    const auto half_year_ago =
+        cull_transition(w_.active_addresses(kSep2014)).other;
+    const auto stable_addrs = epoch_stable(now, half_year_ago);
+    const double addr_share =
+        static_cast<double>(stable_addrs.size()) / static_cast<double>(now.size());
+
+    auto to64 = [](const std::vector<address>& v) {
+        std::vector<address> out;
+        out.reserve(v.size());
+        for (const address& a : v) out.push_back(a.masked(64));
+        std::sort(out.begin(), out.end());
+        out.erase(std::unique(out.begin(), out.end()), out.end());
+        return out;
+    };
+    const auto now64 = to64(now);
+    const auto stable_64s = epoch_stable(now64, to64(half_year_ago));
+    const double pfx_share =
+        static_cast<double>(stable_64s.size()) / static_cast<double>(now64.size());
+
+    // Paper: 0.34% of addresses vs 27% of /64s were 6m-stable.
+    EXPECT_LT(addr_share, 0.15);
+    EXPECT_GT(pfx_share, 0.20);
+    EXPECT_GT(pfx_share, addr_share * 3);
+}
+
+TEST_F(IntegrationTest, MobileWeeklyMraSaturatesPoolSegment) {
+    // Figure 5e: the mobile carrier's 44..64 segment is near-saturated
+    // over a week.
+    std::vector<observation> obs;
+    for (int d = kMar2015; d < kMar2015 + 7; ++d)
+        w_.mobile1().day_activity(d, obs);
+    std::vector<address> addrs;
+    addrs.reserve(obs.size());
+    for (const auto& o : obs) addrs.push_back(o.addr);
+    const mra_series mra = compute_mra(addrs);
+    // Aggregation ratio in the 48..64 segment approaches its 64K max —
+    // at our scale, well above 1000.
+    EXPECT_GT(mra.ratio(48, 16), 200.0);
+}
+
+TEST_F(IntegrationTest, JapanIspShowsFlatSegmentAndStableMacs) {
+    std::vector<observation> obs;
+    for (int d = kMar2015; d < kMar2015 + 7; ++d) w_.japan().day_activity(d, obs);
+    std::vector<address> addrs;
+    for (const auto& o : obs) addrs.push_back(o.addr);
+    const mra_series mra = compute_mra(addrs);
+    // Figure 5h: "the 48-64 bit segment exhibits seemingly no
+    // aggregation".
+    EXPECT_LT(mra.ratio(48, 16), 1.2);
+
+    // 99%+ of EUI-64 IIDs appear in exactly one /64 over the week.
+    std::map<std::uint64_t, std::set<std::uint64_t>> mac_64s;
+    for (const address& a : addrs)
+        if (const auto mac = eui64_mac(a)) mac_64s[mac->to_uint()].insert(a.hi());
+    ASSERT_FALSE(mac_64s.empty());
+    std::size_t single = 0;
+    for (const auto& [mac, s] : mac_64s)
+        if (s.size() == 1) ++single;
+    EXPECT_GT(static_cast<double>(single) / mac_64s.size(), 0.98);
+}
+
+TEST_F(IntegrationTest, DepartmentYieldsDense112Prefixes) {
+    // Figure 5g's selection criterion: the department /64 contains
+    // multiple 2@/112-dense prefixes.
+    std::vector<observation> obs;
+    for (int d = 0; d < 7; ++d) w_.department().day_activity(d, obs);
+    radix_tree t;
+    std::set<address> uniq;
+    for (const auto& o : obs) uniq.insert(o.addr);
+    for (const address& a : uniq) t.add(a);
+    const auto dense = t.dense_prefixes_at(2, 112);
+    EXPECT_GE(dense.size(), 2u);
+}
+
+TEST_F(IntegrationTest, WwwClientDenseScanTargetsAreBounded) {
+    // Section 6.2.2's final experiment: dense /112s among WWW clients
+    // expand to a scannable target list.
+    const auto addrs = cull_transition(w_.active_addresses(kMar2015)).other;
+    radix_tree t;
+    for (const address& a : addrs) t.add(a);
+    const auto dense = t.dense_prefixes_at(2, 112);
+    ASSERT_FALSE(dense.empty());
+    const auto targets = expand_scan_targets(dense, 2'000'000);
+    EXPECT_GT(targets.size(), dense.size());  // expansion really happened
+    // Every covered client address is among the possible targets' space.
+    const auto covered = addresses_covered(dense, addrs);
+    EXPECT_GE(covered.size(), 2 * dense.size());
+}
+
+TEST_F(IntegrationTest, PopulationCcdfIsHeavyTailed) {
+    const auto addrs = cull_transition(w_.active_addresses(kMar2015)).other;
+    const auto ccdf = ccdf_of(aggregate_populations(addrs, 48));
+    ASSERT_FALSE(ccdf.empty());
+    // A tiny fraction of /48s holds populations orders of magnitude
+    // above the median — Figure 3's core observation.
+    EXPECT_LT(ccdf_at(ccdf, 1000.0), 0.05);
+    EXPECT_GT(ccdf_at(ccdf, 1000.0), 0.0);
+}
+
+TEST_F(IntegrationTest, RouterDiscoveryImprovesWithStableTargets) {
+    const router_topology topo(w_);
+    const daily_series series = w_.series(kMar2015 - 7, kMar2015 + 7);
+    stability_analyzer an(series);
+    const auto split = an.classify_day(kMar2015, 3);
+
+    // Probes run five days after target selection.
+    const std::vector<address>& live = series.day(kMar2015 + 5);
+
+    const std::size_t budget = 2'000;
+    const auto baseline = ipv4_style_targets(topo.resolver_addresses(),
+                                             series.day(kMar2015), budget, 7);
+    const auto informed = stable_informed_targets(split.stable, budget, 7);
+    const auto base_found = topo.probe_campaign(baseline, live);
+    const auto informed_found = topo.probe_campaign(informed, live);
+    // Paper: +129%. Shape requirement: a clear improvement.
+    EXPECT_GT(static_cast<double>(informed_found.size()),
+              1.2 * static_cast<double>(base_found.size()));
+}
+
+}  // namespace
+}  // namespace v6

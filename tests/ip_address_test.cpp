@@ -1,0 +1,214 @@
+// Unit tests for v6::address: parsing, formatting, accessors, masking.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "v6class/ip/address.h"
+
+namespace v6 {
+namespace {
+
+using namespace v6::literals;
+
+TEST(AddressTest, DefaultIsAllZeroes) {
+    const address a;
+    EXPECT_EQ(a.hi(), 0u);
+    EXPECT_EQ(a.lo(), 0u);
+    EXPECT_EQ(a.to_string(), "::");
+}
+
+TEST(AddressTest, FromPairRoundTrips) {
+    const address a = address::from_pair(0x20010db800000001ull, 0xdeadbeefcafe0001ull);
+    EXPECT_EQ(a.hi(), 0x20010db800000001ull);
+    EXPECT_EQ(a.lo(), 0xdeadbeefcafe0001ull);
+}
+
+TEST(AddressTest, FromHextets) {
+    const address a = address::from_hextets(
+        {0x2001, 0x0db8, 0, 0, 0, 0, 0, 0x0001});
+    EXPECT_EQ(a, "2001:db8::1"_v6);
+}
+
+TEST(AddressTest, ParseFullForm) {
+    const auto a = address::parse("2001:0db8:0000:0000:0000:0000:0000:0001");
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->to_string(), "2001:db8::1");
+}
+
+TEST(AddressTest, ParseCompressed) {
+    EXPECT_EQ("::"_v6.hi(), 0u);
+    EXPECT_EQ("::1"_v6.lo(), 1u);
+    EXPECT_EQ("1::"_v6.hi(), 0x0001000000000000ull);
+    EXPECT_EQ("2001:db8::10:901"_v6.lo(), 0x0000000000100901ull);
+}
+
+TEST(AddressTest, ParseEmbeddedIpv4) {
+    const auto a = address::parse("::ffff:192.0.2.33");
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->lo(), 0x0000ffffc0000221ull);
+    const auto b = address::parse("2002:c000:221::1");
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->hextet(1), 0xc000);
+}
+
+TEST(AddressTest, ParsePaperSampleAddresses) {
+    // Figure 1's four sample addresses must all parse.
+    for (const char* text :
+         {"2001:db8:10:1::103", "2001:db8:167:1109::10:901",
+          "2001:db8:0:1cdf:21e:c2ff:fec0:11db",
+          "2001:db8:4137:9e76:3031:f3fd:bbdd:2c2a"}) {
+        EXPECT_TRUE(address::parse(text).has_value()) << text;
+    }
+}
+
+struct invalid_case {
+    const char* text;
+};
+
+class AddressInvalidParse : public ::testing::TestWithParam<invalid_case> {};
+
+TEST_P(AddressInvalidParse, Rejected) {
+    EXPECT_FALSE(address::parse(GetParam().text).has_value()) << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Syntax, AddressInvalidParse,
+    ::testing::Values(
+        invalid_case{""}, invalid_case{":"}, invalid_case{":::"},
+        invalid_case{"1:2:3:4:5:6:7"}, invalid_case{"1:2:3:4:5:6:7:8:9"},
+        invalid_case{"1:2:3:4:5:6:7::8"}, invalid_case{"::1::2"},
+        invalid_case{"12345::"}, invalid_case{"g::1"}, invalid_case{"1::2:"},
+        invalid_case{":1::2"}, invalid_case{"1.2.3.4"},
+        invalid_case{"::192.0.2.256"}, invalid_case{"::192.0.2"},
+        invalid_case{"::192.0.2.33.1"}, invalid_case{"::01.2.3.4"},
+        invalid_case{"2001:db8::192.0.2.33:1"},
+        invalid_case{"2001:db8:0:0:0:0:0:0:0:1"},
+        invalid_case{" ::1"}, invalid_case{"::1 "}));
+
+TEST(AddressTest, MustParseThrowsOnGarbage) {
+    EXPECT_THROW(address::must_parse("zz"), std::invalid_argument);
+    EXPECT_NO_THROW(address::must_parse("::1"));
+}
+
+struct roundtrip_case {
+    const char* canonical;
+};
+
+class AddressRoundTrip : public ::testing::TestWithParam<roundtrip_case> {};
+
+TEST_P(AddressRoundTrip, ParseFormatIdentity) {
+    const auto a = address::parse(GetParam().canonical);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->to_string(), GetParam().canonical);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rfc5952, AddressRoundTrip,
+    ::testing::Values(
+        roundtrip_case{"::"}, roundtrip_case{"::1"}, roundtrip_case{"1::"},
+        roundtrip_case{"2001:db8::1"}, roundtrip_case{"2001:db8:0:1:1:1:1:1"},
+        roundtrip_case{"2001:0:0:1::1"},       // leftmost-longest zero run
+        roundtrip_case{"2001:db8::1:0:0:1"},   // compress the longest run
+        roundtrip_case{"1:2:3:4:5:6:7:8"},
+        roundtrip_case{"ff02::1"}, roundtrip_case{"fe80::1"},
+        roundtrip_case{"2001:db8:aaaa:bbbb:cccc:dddd:eeee:ffff"}));
+
+TEST(AddressTest, Rfc5952ZeroRunRules) {
+    // A single zero hextet is not compressed.
+    EXPECT_EQ(address::must_parse("2001:db8:0:1:1:1:1:1").to_string(),
+              "2001:db8:0:1:1:1:1:1");
+    // Ties go to the leftmost run.
+    EXPECT_EQ(address::must_parse("2001:0:0:1:0:0:0:1").to_string(),
+              "2001:0:0:1::1");
+}
+
+TEST(AddressTest, BitAccessors) {
+    const address a = "8000::1"_v6;
+    EXPECT_EQ(a.bit(0), 1u);
+    EXPECT_EQ(a.bit(1), 0u);
+    EXPECT_EQ(a.bit(127), 1u);
+    EXPECT_EQ(a.bit(126), 0u);
+}
+
+TEST(AddressTest, NybbleAccessors) {
+    const address a = "2001:db8::f"_v6;
+    EXPECT_EQ(a.nybble(0), 0x2u);
+    EXPECT_EQ(a.nybble(1), 0x0u);
+    EXPECT_EQ(a.nybble(2), 0x0u);
+    EXPECT_EQ(a.nybble(3), 0x1u);
+    EXPECT_EQ(a.nybble(4), 0x0u);
+    EXPECT_EQ(a.nybble(5), 0xdu);
+    EXPECT_EQ(a.nybble(31), 0xfu);
+}
+
+TEST(AddressTest, HextetAccessors) {
+    const address a = "2001:db8:1:2:3:4:5:6"_v6;
+    EXPECT_EQ(a.hextet(0), 0x2001);
+    EXPECT_EQ(a.hextet(1), 0x0db8);
+    EXPECT_EQ(a.hextet(7), 0x0006);
+}
+
+TEST(AddressTest, WithBit) {
+    address a;
+    a = a.with_bit(0, 1);
+    EXPECT_EQ(a.bit(0), 1u);
+    a = a.with_bit(0, 0);
+    EXPECT_EQ(a, address{});
+    a = a.with_bit(70, 1);
+    EXPECT_EQ(a.bit(70), 1u);
+    EXPECT_EQ(a.bit(69), 0u);
+    EXPECT_EQ(a.bit(71), 0u);
+}
+
+TEST(AddressTest, MaskedClearsHostBits) {
+    const address a = "2001:db8:ffff:ffff:ffff:ffff:ffff:ffff"_v6;
+    EXPECT_EQ(a.masked(32).to_string(), "2001:db8::");
+    EXPECT_EQ(a.masked(0), address{});
+    EXPECT_EQ(a.masked(128), a);
+    EXPECT_EQ(a.masked(33).hextet(2), 0x8000);
+}
+
+TEST(AddressTest, MaskedUpperSetsHostBits) {
+    const address a = "2001:db8::"_v6;
+    EXPECT_EQ(a.masked_upper(32).to_string(),
+              "2001:db8:ffff:ffff:ffff:ffff:ffff:ffff");
+    EXPECT_EQ(a.masked_upper(128), a);
+    EXPECT_EQ(a.masked_upper(127).lo(), 1u);
+}
+
+TEST(AddressTest, CommonPrefixLength) {
+    const address a = "2001:db8::1"_v6;
+    EXPECT_EQ(a.common_prefix_length(a), 128u);
+    EXPECT_EQ(a.common_prefix_length("2001:db8::"_v6), 127u);
+    EXPECT_EQ(a.common_prefix_length("2001:db9::1"_v6), 31u);
+    EXPECT_EQ(a.common_prefix_length("3001:db8::1"_v6), 3u);
+    EXPECT_EQ(a.common_prefix_length("a001:db8::1"_v6), 0u);
+}
+
+TEST(AddressTest, OrderingIsLexicographicOnBytes) {
+    std::set<address> s{"2001:db8::2"_v6, "2001:db8::1"_v6, "::1"_v6,
+                        "ff02::1"_v6};
+    auto it = s.begin();
+    EXPECT_EQ(*it++, "::1"_v6);
+    EXPECT_EQ(*it++, "2001:db8::1"_v6);
+    EXPECT_EQ(*it++, "2001:db8::2"_v6);
+    EXPECT_EQ(*it++, "ff02::1"_v6);
+}
+
+TEST(AddressTest, HashDistinguishes) {
+    std::unordered_set<address, address_hash> s;
+    s.insert("2001:db8::1"_v6);
+    s.insert("2001:db8::2"_v6);
+    s.insert("2001:db8::1"_v6);
+    EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(AddressTest, FullHexExpansion) {
+    EXPECT_EQ("2001:db8::1"_v6.to_full_hex(),
+              "20010db8000000000000000000000001");
+    EXPECT_EQ(address{}.to_full_hex(), std::string(32, '0'));
+}
+
+}  // namespace
+}  // namespace v6

@@ -1,0 +1,103 @@
+// Tests for 128-bit address arithmetic and ranges.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "v6class/ip/arithmetic.h"
+
+namespace v6 {
+namespace {
+
+using namespace v6::literals;
+
+TEST(AddressAddTest, SimpleOffsets) {
+    EXPECT_EQ(address_add("2001:db8::"_v6, 0), "2001:db8::"_v6);
+    EXPECT_EQ(address_add("2001:db8::"_v6, 1), "2001:db8::1"_v6);
+    EXPECT_EQ(address_add("2001:db8::"_v6, 0x10000), "2001:db8::1:0"_v6);
+    EXPECT_EQ(address_add("2001:db8::ff"_v6, 1), "2001:db8::100"_v6);
+}
+
+TEST(AddressAddTest, CarryAcrossLowHalf) {
+    // Adding 1 to ...ffff:ffff:ffff:ffff carries into the network half.
+    const address a = "2001:db8:0:0:ffff:ffff:ffff:ffff"_v6;
+    EXPECT_EQ(address_add(a, 1), "2001:db8:0:1::"_v6);
+}
+
+TEST(AddressAddTest, WrapsAtTop) {
+    const address top = "ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff"_v6;
+    EXPECT_EQ(address_add(top, 1), "::"_v6);
+}
+
+TEST(AddressNextTest, Increment) {
+    EXPECT_EQ(address_next("::"_v6), "::1"_v6);
+    EXPECT_EQ(address_next("2001:db8::ffff"_v6), "2001:db8::1:0"_v6);
+}
+
+TEST(AddressDistanceTest, WithinLowHalf) {
+    EXPECT_EQ(address_distance("2001:db8::1"_v6, "2001:db8::10"_v6),
+              std::optional<std::uint64_t>{0xfu});
+    EXPECT_EQ(address_distance("2001:db8::1"_v6, "2001:db8::1"_v6),
+              std::optional<std::uint64_t>{0u});
+}
+
+TEST(AddressDistanceTest, BackwardsIsNull) {
+    EXPECT_FALSE(address_distance("2001:db8::10"_v6, "2001:db8::1"_v6).has_value());
+}
+
+TEST(AddressDistanceTest, AcrossHighHalfBoundary) {
+    const address a = "2001:db8:0:0:ffff:ffff:ffff:fffe"_v6;
+    const address b = "2001:db8:0:1::3"_v6;
+    EXPECT_EQ(address_distance(a, b), std::optional<std::uint64_t>{5u});
+}
+
+TEST(AddressDistanceTest, TooFarIsNull) {
+    EXPECT_FALSE(address_distance("2001:db8::"_v6, "2001:db9::"_v6).has_value());
+    EXPECT_FALSE(
+        address_distance("2001:db8::"_v6, "2001:db8:0:2::"_v6).has_value());
+}
+
+TEST(AddressDistanceTest, InverseOfAdd) {
+    const address base = "2a00:1:2:3:4:5:6:7"_v6;
+    for (std::uint64_t off : {0ull, 1ull, 255ull, 65536ull, 1ull << 40}) {
+        const address moved = address_add(base, off);
+        EXPECT_EQ(address_distance(base, moved), std::optional{off});
+    }
+}
+
+TEST(AddressRangeTest, IterationCoversPrefix) {
+    const address_range range(prefix::must_parse("2001:db8::/124"));
+    EXPECT_EQ(range.size(), 16u);
+    EXPECT_FALSE(range.clamped());
+    std::vector<address> seen(range.begin(), range.end());
+    ASSERT_EQ(seen.size(), 16u);
+    EXPECT_EQ(seen.front(), "2001:db8::"_v6);
+    EXPECT_EQ(seen.back(), "2001:db8::f"_v6);
+    EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+}
+
+TEST(AddressRangeTest, ExplicitStartAndCount) {
+    const address_range range("2001:db8::fe"_v6, 4);
+    std::vector<address> seen(range.begin(), range.end());
+    ASSERT_EQ(seen.size(), 4u);
+    EXPECT_EQ(seen[1], "2001:db8::ff"_v6);
+    EXPECT_EQ(seen[2], "2001:db8::100"_v6);
+}
+
+TEST(AddressRangeTest, EmptyRange) {
+    const address_range range;
+    EXPECT_TRUE(range.empty());
+    EXPECT_EQ(range.begin(), range.end());
+}
+
+TEST(AddressRangeTest, WidePrefixesAreClamped) {
+    const address_range r64(prefix::must_parse("2001:db8::/64"));
+    EXPECT_TRUE(r64.clamped());
+    const address_range r32(prefix::must_parse("2001:db8::/32"));
+    EXPECT_TRUE(r32.clamped());
+    const address_range r65(prefix::must_parse("2001:db8::/65"));
+    EXPECT_FALSE(r65.clamped());
+    EXPECT_EQ(r65.size(), std::uint64_t{1} << 63);
+}
+
+}  // namespace
+}  // namespace v6

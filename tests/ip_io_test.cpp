@@ -1,0 +1,144 @@
+// Tests for line-oriented address I/O, including failure accounting and
+// robustness against garbage input.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "v6class/ip/io.h"
+#include "v6class/netgen/rng.h"
+
+namespace v6 {
+namespace {
+
+using namespace v6::literals;
+
+TEST(ReadAddressLinesTest, MixedContent) {
+    std::istringstream in(
+        "# a comment\n"
+        "2001:db8::1\n"
+        "\n"
+        "2001:db8::2 42\n"
+        "   2001:db8::3\t7  \n"
+        "not-an-address\n"
+        "2001:db8::4 banana\n");
+    std::vector<std::pair<address, std::uint64_t>> got;
+    const read_report report = read_address_lines(
+        in, [&](const address& a, std::uint64_t c) { got.emplace_back(a, c); });
+    EXPECT_EQ(report.lines, 7u);
+    EXPECT_EQ(report.parsed, 3u);
+    EXPECT_EQ(report.comments, 1u);
+    EXPECT_EQ(report.blank, 1u);
+    EXPECT_EQ(report.malformed, 2u);
+    ASSERT_EQ(report.first_errors.size(), 2u);
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0], (std::pair{"2001:db8::1"_v6, std::uint64_t{1}}));
+    EXPECT_EQ(got[1], (std::pair{"2001:db8::2"_v6, std::uint64_t{42}}));
+    EXPECT_EQ(got[2], (std::pair{"2001:db8::3"_v6, std::uint64_t{7}}));
+}
+
+TEST(ReadAddressLinesTest, ZeroCountIsMalformed) {
+    std::istringstream in("2001:db8::1 0\n");
+    std::vector<address> got;
+    const read_report report = read_addresses(in, got);
+    EXPECT_EQ(report.malformed, 1u);
+    EXPECT_TRUE(got.empty());
+}
+
+TEST(ReadAddressLinesTest, CrLfTolerant) {
+    std::istringstream in("2001:db8::1\r\n2001:db8::2 9\r\n");
+    std::vector<address> got;
+    const read_report report = read_addresses(in, got);
+    EXPECT_EQ(report.parsed, 2u);
+    EXPECT_EQ(report.malformed, 0u);
+}
+
+TEST(WriteAddressesTest, RoundTrip) {
+    const std::vector<address> addrs{"2001:db8::1"_v6, "fe80::1"_v6,
+                                     "2002:c000:221::42"_v6};
+    std::ostringstream out;
+    write_addresses(out, addrs);
+    std::istringstream in(out.str());
+    std::vector<address> back;
+    const read_report report = read_addresses(in, back);
+    EXPECT_EQ(report.malformed, 0u);
+    EXPECT_EQ(back, addrs);
+}
+
+TEST(WriteAddressCountsTest, RoundTrip) {
+    const std::vector<std::pair<address, std::uint64_t>> records{
+        {"2001:db8::1"_v6, 5}, {"2001:db8::2"_v6, 123456789}};
+    std::ostringstream out;
+    write_address_counts(out, records);
+    std::istringstream in(out.str());
+    std::vector<std::pair<address, std::uint64_t>> back;
+    read_address_lines(in, [&](const address& a, std::uint64_t c) {
+        back.emplace_back(a, c);
+    });
+    EXPECT_EQ(back, records);
+}
+
+TEST(ReadAddressLinesTest, ErrorSamplesAreCapped) {
+    std::ostringstream feed;
+    for (int i = 0; i < 100; ++i) feed << "garbage-" << i << "\n";
+    std::istringstream in(feed.str());
+    std::vector<address> got;
+    const read_report report = read_addresses(in, got);
+    EXPECT_EQ(report.malformed, 100u);
+    EXPECT_EQ(report.first_errors.size(), 8u);
+}
+
+TEST(ReadPrefixLinesTest, RouteDumpFormat) {
+    std::istringstream in(
+        "# routes\n"
+        "2001:db8::/32 64500\n"
+        "2002::/16 64501\n"
+        "2a00:0:800::/41\n"
+        "garbage/xx 3\n");
+    std::vector<std::pair<prefix, std::uint64_t>> got;
+    const read_report report = read_prefix_lines(
+        in, [&](const prefix& p, std::uint64_t v) { got.emplace_back(p, v); });
+    EXPECT_EQ(report.parsed, 3u);
+    EXPECT_EQ(report.malformed, 1u);
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0].first.to_string(), "2001:db8::/32");
+    EXPECT_EQ(got[0].second, 64500u);
+    EXPECT_EQ(got[2].second, 0u);  // value optional
+}
+
+TEST(WritePrefixValuesTest, RoundTrip) {
+    const std::vector<std::pair<prefix, std::uint64_t>> records{
+        {prefix::must_parse("2001:db8::/32"), 7},
+        {prefix::must_parse("2600::/12"), 99}};
+    std::ostringstream out;
+    write_prefix_values(out, records);
+    std::istringstream in(out.str());
+    std::vector<std::pair<prefix, std::uint64_t>> back;
+    read_prefix_lines(in, [&](const prefix& p, std::uint64_t v) {
+        back.emplace_back(p, v);
+    });
+    EXPECT_EQ(back, records);
+}
+
+// Robustness: random byte soup must never crash or hang the reader, and
+// accounting must stay consistent.
+class IoFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IoFuzz, RandomBytesAreHandled) {
+    rng r{GetParam()};
+    std::string soup;
+    for (int i = 0; i < 4096; ++i) {
+        const char c = static_cast<char>(r.uniform(96) + 32 - (r.chance(0.1) ? 22 : 0));
+        soup += (r.chance(0.05) ? '\n' : c);
+    }
+    std::istringstream in(soup);
+    std::vector<address> got;
+    const read_report report = read_addresses(in, got);
+    EXPECT_EQ(report.parsed, got.size());
+    EXPECT_EQ(report.lines,
+              report.parsed + report.blank + report.comments + report.malformed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IoFuzz, ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace v6

@@ -1,0 +1,82 @@
+// Unit tests for the IPv4 value type.
+#include <gtest/gtest.h>
+
+#include "v6class/ip/ipv4.h"
+
+namespace v6 {
+namespace {
+
+TEST(Ipv4Test, ParseAndFormatRoundTrip) {
+    const auto a = ipv4_address::parse("192.0.2.33");
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->value(), 0xc0000221u);
+    EXPECT_EQ(a->to_string(), "192.0.2.33");
+    EXPECT_EQ(ipv4_address{}.to_string(), "0.0.0.0");
+    EXPECT_EQ(ipv4_address{0xffffffffu}.to_string(), "255.255.255.255");
+}
+
+TEST(Ipv4Test, Octets) {
+    const ipv4_address a{0xc0000221u};
+    EXPECT_EQ(a.octet(0), 192u);
+    EXPECT_EQ(a.octet(1), 0u);
+    EXPECT_EQ(a.octet(2), 2u);
+    EXPECT_EQ(a.octet(3), 33u);
+}
+
+struct bad_v4 {
+    const char* text;
+};
+
+class Ipv4InvalidParse : public ::testing::TestWithParam<bad_v4> {};
+
+TEST_P(Ipv4InvalidParse, Rejected) {
+    EXPECT_FALSE(ipv4_address::parse(GetParam().text).has_value())
+        << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Syntax, Ipv4InvalidParse,
+    ::testing::Values(bad_v4{""}, bad_v4{"1.2.3"}, bad_v4{"1.2.3.4.5"},
+                      bad_v4{"256.1.1.1"}, bad_v4{"1.2.3.04"}, bad_v4{"a.b.c.d"},
+                      bad_v4{"1..2.3"}, bad_v4{"1.2.3.4 "}, bad_v4{" 1.2.3.4"},
+                      bad_v4{"1.2.3.4444"}));
+
+TEST(Ipv4Test, MustParseThrows) {
+    EXPECT_THROW(ipv4_address::must_parse("nope"), std::invalid_argument);
+}
+
+struct global_case {
+    const char* text;
+    bool global;
+};
+
+class Ipv4Globality : public ::testing::TestWithParam<global_case> {};
+
+TEST_P(Ipv4Globality, Matches) {
+    EXPECT_EQ(ipv4_address::must_parse(GetParam().text).is_global(),
+              GetParam().global)
+        << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, Ipv4Globality,
+    ::testing::Values(global_case{"8.8.8.8", true}, global_case{"10.0.0.1", false},
+                      global_case{"172.16.0.1", false},
+                      global_case{"172.32.0.1", true},
+                      global_case{"192.168.1.1", false},
+                      global_case{"192.169.1.1", true},
+                      global_case{"169.254.0.1", false},
+                      global_case{"127.0.0.1", false},
+                      global_case{"100.64.0.1", false},
+                      global_case{"100.128.0.1", true},
+                      global_case{"224.0.0.1", false},
+                      global_case{"0.1.2.3", false},
+                      global_case{"203.0.113.9", true}));
+
+TEST(Ipv4Test, Ordering) {
+    EXPECT_LT(ipv4_address::must_parse("10.0.0.1"),
+              ipv4_address::must_parse("10.0.0.2"));
+}
+
+}  // namespace
+}  // namespace v6

@@ -1,0 +1,69 @@
+// Unit tests for v6::mac_address and modified-EUI-64 conversion.
+#include <gtest/gtest.h>
+
+#include "v6class/ip/mac.h"
+#include "v6class/netgen/rng.h"
+
+namespace v6 {
+namespace {
+
+TEST(MacTest, UintRoundTrip) {
+    const mac_address m = mac_address::from_uint(0x001122334455ull);
+    EXPECT_EQ(m.to_uint(), 0x001122334455ull);
+    EXPECT_EQ(m.octets()[0], 0x00);
+    EXPECT_EQ(m.octets()[5], 0x55);
+}
+
+TEST(MacTest, ToString) {
+    EXPECT_EQ(mac_address::from_uint(0x001122334455ull).to_string(),
+              "00:11:22:33:44:55");
+    EXPECT_EQ(mac_address{}.to_string(), "00:00:00:00:00:00");
+}
+
+TEST(MacTest, Eui64KnownVector) {
+    // RFC 4291 Appendix A example: 34-56-78-9A-BC-DE ->
+    // 36-56-78-FF-FE-9A-BC-DE.
+    const mac_address m = mac_address::from_uint(0x3456789abcdeull);
+    EXPECT_EQ(m.to_eui64_iid(), 0x365678fffe9abcdeull);
+}
+
+TEST(MacTest, Eui64RoundTrip) {
+    const mac_address m = mac_address::from_uint(0x001b63a1b2c3ull);
+    const auto back = mac_address::from_eui64_iid(m.to_eui64_iid());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, m);
+}
+
+TEST(MacTest, FromEui64RequiresMarker) {
+    EXPECT_FALSE(mac_address::from_eui64_iid(0x1234567812345678ull).has_value());
+    EXPECT_TRUE(mac_address::from_eui64_iid(0x123456fffe345678ull).has_value());
+}
+
+TEST(MacTest, LocallyAdministeredBit) {
+    EXPECT_FALSE(mac_address::from_uint(0x001122334455ull).locally_administered());
+    EXPECT_TRUE(mac_address::from_uint(0x021122334455ull).locally_administered());
+}
+
+TEST(MacTest, UniversalBitInvertedInIid) {
+    // A universal MAC (u/l = 0) yields an IID with the u bit set.
+    const mac_address universal = mac_address::from_uint(0x001122334455ull);
+    EXPECT_EQ((universal.to_eui64_iid() >> 57) & 1, 1u);
+    // A locally administered MAC yields u = 0.
+    const mac_address local = mac_address::from_uint(0x021122334455ull);
+    EXPECT_EQ((local.to_eui64_iid() >> 57) & 1, 0u);
+}
+
+class MacRoundTripSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MacRoundTripSweep, RandomMacsRoundTrip) {
+    const mac_address m = mac_address::from_uint(mix64(GetParam()) & 0xffffffffffffull);
+    const auto back = mac_address::from_eui64_iid(m.to_eui64_iid());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MacRoundTripSweep,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace v6

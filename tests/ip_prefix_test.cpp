@@ -1,0 +1,120 @@
+// Unit tests for v6::prefix.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "v6class/ip/prefix.h"
+
+namespace v6 {
+namespace {
+
+using namespace v6::literals;
+
+TEST(PrefixTest, DefaultCoversEverything) {
+    const prefix p;
+    EXPECT_EQ(p.length(), 0u);
+    EXPECT_TRUE(p.contains("ff02::1"_v6));
+    EXPECT_TRUE(p.contains("::"_v6));
+}
+
+TEST(PrefixTest, ConstructorCanonicalizes) {
+    const prefix p{"2001:db8::ffff"_v6, 32};
+    EXPECT_EQ(p.base(), "2001:db8::"_v6);
+    EXPECT_EQ(p.to_string(), "2001:db8::/32");
+}
+
+TEST(PrefixTest, ParseForms) {
+    const auto p = prefix::parse("2001:db8::/32");
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->length(), 32u);
+    const auto host = prefix::parse("2001:db8::1");
+    ASSERT_TRUE(host.has_value());
+    EXPECT_EQ(host->length(), 128u);
+}
+
+TEST(PrefixTest, ParseRejectsBadLengths) {
+    EXPECT_FALSE(prefix::parse("2001:db8::/129").has_value());
+    EXPECT_FALSE(prefix::parse("2001:db8::/-1").has_value());
+    EXPECT_FALSE(prefix::parse("2001:db8::/abc").has_value());
+    EXPECT_FALSE(prefix::parse("2001:db8::/32x").has_value());
+    EXPECT_FALSE(prefix::parse("/32").has_value());
+    EXPECT_FALSE(prefix::parse("2001:db8::/").has_value());
+}
+
+TEST(PrefixTest, ContainsAddress) {
+    const prefix p = "2001:db8::/32"_pfx;
+    EXPECT_TRUE(p.contains("2001:db8::1"_v6));
+    EXPECT_TRUE(p.contains("2001:db8:ffff::"_v6));
+    EXPECT_FALSE(p.contains("2001:db9::"_v6));
+}
+
+TEST(PrefixTest, ContainsPrefix) {
+    const prefix p = "2001:db8::/32"_pfx;
+    EXPECT_TRUE(p.contains("2001:db8:1::/48"_pfx));
+    EXPECT_TRUE(p.contains(p));
+    EXPECT_FALSE(p.contains("2001::/16"_pfx));  // less specific
+    EXPECT_FALSE(p.contains("2001:db9::/48"_pfx));
+}
+
+TEST(PrefixTest, FirstLastAddress) {
+    const prefix p = "2001:db8::/126"_pfx;
+    EXPECT_EQ(p.first_address(), "2001:db8::"_v6);
+    EXPECT_EQ(p.last_address(), "2001:db8::3"_v6);
+}
+
+TEST(PrefixTest, ParentChild) {
+    const prefix p = "2001:db8::/32"_pfx;
+    EXPECT_EQ(p.parent().to_string(), "2001:db8::/31");
+    EXPECT_EQ(p.child(0).to_string(), "2001:db8::/33");
+    EXPECT_EQ(p.child(1).base().hextet(2), 0x8000);
+    EXPECT_TRUE(p.contains(p.child(0)));
+    EXPECT_TRUE(p.contains(p.child(1)));
+    EXPECT_EQ(p.child(0).parent(), p);
+    EXPECT_EQ(p.child(1).parent(), p);
+}
+
+TEST(PrefixTest, CountIsPowerOfTwo) {
+    EXPECT_DOUBLE_EQ(static_cast<double>("::/128"_pfx.count()), 1.0);
+    EXPECT_DOUBLE_EQ(static_cast<double>("::/112"_pfx.count()), 65536.0);
+    EXPECT_DOUBLE_EQ(static_cast<double>("::/64"_pfx.count()),
+                     18446744073709551616.0);
+}
+
+TEST(PrefixTest, Count64) {
+    EXPECT_FALSE("::/63"_pfx.count64().has_value());
+    EXPECT_FALSE("::/64"_pfx.count64().has_value());
+    ASSERT_TRUE("::/65"_pfx.count64().has_value());
+    EXPECT_EQ(*"::/112"_pfx.count64(), 65536u);
+    EXPECT_EQ(*"::/128"_pfx.count64(), 1u);
+}
+
+TEST(PrefixTest, OrderingPlacesCoveringPrefixFirst) {
+    std::set<prefix> s{"2001:db8::/48"_pfx, "2001:db8::/32"_pfx,
+                       "2001:db8:1::/48"_pfx};
+    auto it = s.begin();
+    EXPECT_EQ(*it++, "2001:db8::/32"_pfx);
+    EXPECT_EQ(*it++, "2001:db8::/48"_pfx);
+    EXPECT_EQ(*it++, "2001:db8:1::/48"_pfx);
+}
+
+class PrefixLengthSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PrefixLengthSweep, MaskInvariants) {
+    const unsigned len = GetParam();
+    const address a = address::must_parse("2001:db8:a5a5:5a5a:dead:beef:cafe:f00d");
+    const prefix p{a, len};
+    EXPECT_EQ(p.length(), len);
+    EXPECT_TRUE(p.contains(a));
+    EXPECT_EQ(p.base(), a.masked(len));
+    EXPECT_LE(p.first_address(), p.last_address());
+    // first and last agree on the first len bits
+    EXPECT_GE(p.first_address().common_prefix_length(p.last_address()), len);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLengths, PrefixLengthSweep,
+                         ::testing::Values(0u, 1u, 7u, 8u, 9u, 16u, 19u, 32u, 44u,
+                                           48u, 63u, 64u, 65u, 112u, 120u, 127u,
+                                           128u));
+
+}  // namespace
+}  // namespace v6

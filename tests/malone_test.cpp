@@ -1,0 +1,67 @@
+// Tests for the Malone-style content-only baseline classifier, including
+// its designed-in ~73-77% privacy-address detection rate.
+#include <gtest/gtest.h>
+
+#include "v6class/addrtype/malone.h"
+#include "v6class/netgen/iid.h"
+#include "v6class/netgen/rng.h"
+
+namespace v6 {
+namespace {
+
+using namespace v6::literals;
+
+TEST(MaloneTest, Categories) {
+    EXPECT_EQ(malone_classify("2001::1"_v6), malone_label::teredo);
+    EXPECT_EQ(malone_classify("2002:c000:221::1"_v6), malone_label::six_to_four);
+    EXPECT_EQ(malone_classify("2001:db8::5efe:c000:221"_v6), malone_label::isatap);
+    EXPECT_EQ(malone_classify("2001:db8:0:1cdf:21e:c2ff:fec0:11db"_v6),
+              malone_label::eui64);
+    EXPECT_EQ(malone_classify("2001:db8:10:1::103"_v6), malone_label::low);
+    EXPECT_EQ(malone_classify("2001:db8::192:0:2:33"_v6), malone_label::v4_based);
+    EXPECT_EQ(malone_classify("2001:db8::dead:beef:aaaa:1"_v6), malone_label::word);
+}
+
+TEST(MaloneTest, PrivacySampleIsRandomised) {
+    // Figure 1's privacy sample has all leading nybbles populated and
+    // u = 0, so the content-only test fires.
+    EXPECT_EQ(malone_classify("2001:db8:4137:9e76:3031:f3fd:bbdd:2c2a"_v6),
+              malone_label::randomised);
+}
+
+TEST(MaloneTest, StructuredIidIsNotRandomised) {
+    // Low-entropy manual plans must not look like privacy addresses.
+    EXPECT_NE(malone_classify("2001:db8:167:1109::10:901"_v6),
+              malone_label::randomised);
+}
+
+TEST(MaloneTest, DetectionRateNearPaperFigure) {
+    // Generate true privacy IIDs and measure the content-only detection
+    // rate: the paper quotes ~73% for Malone's design; ours is the
+    // (15/16)^4 ~ 77.2% variant. Accept the band [70%, 82%].
+    const std::uint64_t trials = 20000;
+    std::uint64_t detected = 0;
+    for (std::uint64_t i = 0; i < trials; ++i) {
+        const std::uint64_t iid = privacy_iid(hash_ids(123, 0x9999, i));
+        const address a = address::from_pair(0x20010db800010002ull, iid);
+        if (malone_classify(a) == malone_label::randomised) ++detected;
+    }
+    const double rate = static_cast<double>(detected) / trials;
+    EXPECT_GT(rate, 0.70);
+    EXPECT_LT(rate, 0.82);
+}
+
+TEST(MaloneTest, MissedPrivacyFallsToUnclassified) {
+    // An IID with a zero leading nybble in one group is missed by design.
+    const address a = address::from_pair(
+        0x20010db800010002ull, privacy_iid(0xa111'0bbb'c222'd333ull));
+    EXPECT_EQ(malone_classify(a), malone_label::unclassified);
+}
+
+TEST(MaloneTest, Names) {
+    EXPECT_EQ(to_string(malone_label::randomised), "randomised");
+    EXPECT_EQ(to_string(malone_label::v4_based), "v4-based");
+}
+
+}  // namespace
+}  // namespace v6

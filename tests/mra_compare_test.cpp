@@ -1,0 +1,94 @@
+// Tests for MRA-shape comparison and practice clustering.
+#include <gtest/gtest.h>
+
+#include "v6class/netgen/iid.h"
+#include "v6class/netgen/rng.h"
+#include "v6class/spatial/mra_compare.h"
+
+namespace v6 {
+namespace {
+
+// Two synthetic "plans": privacy hosts over sequential /64s, and dense
+// low-IID blocks. Same plan at different sizes must compare near 0;
+// different plans must stand apart.
+mra_series privacy_plan(std::uint64_t seed, unsigned subnets, unsigned hosts) {
+    rng r{seed};
+    std::vector<address> addrs;
+    for (unsigned s = 0; s < subnets; ++s)
+        for (unsigned h = 0; h < hosts; ++h)
+            addrs.push_back(
+                address::from_pair(0x2600000000000000ull + (seed << 32) + s,
+                                   privacy_iid(r())));
+    return compute_mra(std::move(addrs));
+}
+
+mra_series dense_plan(std::uint64_t seed, unsigned blocks, unsigned hosts) {
+    std::vector<address> addrs;
+    for (unsigned b = 0; b < blocks; ++b)
+        for (unsigned h = 1; h <= hosts; ++h)
+            addrs.push_back(address::from_pair(
+                0x2a00000000000000ull + (seed << 32) + b, 0x100 + h));
+    return compute_mra(std::move(addrs));
+}
+
+TEST(MraDistanceTest, IdenticalSeriesAreAtZero) {
+    const mra_series a = privacy_plan(1, 16, 40);
+    EXPECT_DOUBLE_EQ(mra_distance(a, a), 0.0);
+}
+
+TEST(MraDistanceTest, SamePlanDifferentSizeIsClose) {
+    const mra_series small = privacy_plan(1, 12, 30);
+    const mra_series large = privacy_plan(2, 48, 60);
+    const mra_series dense = dense_plan(3, 8, 200);
+    const double same = mra_distance(small, large);
+    const double different = mra_distance(small, dense);
+    EXPECT_LT(same, different / 2);
+}
+
+TEST(MraDistanceTest, SymmetricAndNonNegative) {
+    const mra_series a = privacy_plan(4, 10, 20);
+    const mra_series b = dense_plan(5, 4, 100);
+    EXPECT_DOUBLE_EQ(mra_distance(a, b), mra_distance(b, a));
+    EXPECT_GE(mra_distance(a, b), 0.0);
+}
+
+TEST(ClusterByMraTest, GroupsByPlan) {
+    std::vector<mra_series> series;
+    // Three privacy-plan networks, three dense-plan networks.
+    for (std::uint64_t s = 1; s <= 3; ++s)
+        series.push_back(privacy_plan(s, 10 + 4 * static_cast<unsigned>(s), 40));
+    for (std::uint64_t s = 1; s <= 3; ++s)
+        series.push_back(dense_plan(s, 4 + static_cast<unsigned>(s), 150));
+    // Pick a threshold between intra-plan and inter-plan distances.
+    const double intra = mra_distance(series[0], series[1]);
+    const double inter = mra_distance(series[0], series[4]);
+    ASSERT_LT(intra, inter);
+    const auto ids = cluster_by_mra(series, (intra + inter) / 2);
+    ASSERT_EQ(ids.size(), 6u);
+    EXPECT_EQ(ids[0], ids[1]);
+    EXPECT_EQ(ids[1], ids[2]);
+    EXPECT_EQ(ids[3], ids[4]);
+    EXPECT_EQ(ids[4], ids[5]);
+    EXPECT_NE(ids[0], ids[3]);
+}
+
+TEST(ClusterByMraTest, ZeroThresholdSeparatesEverythingDistinct) {
+    std::vector<mra_series> series{privacy_plan(1, 8, 20), dense_plan(2, 4, 60)};
+    const auto ids = cluster_by_mra(series, 1e-9);
+    EXPECT_NE(ids[0], ids[1]);
+}
+
+TEST(ClusterByMraTest, HugeThresholdMergesEverything) {
+    std::vector<mra_series> series{privacy_plan(1, 8, 20), dense_plan(2, 4, 60),
+                                   privacy_plan(3, 6, 10)};
+    const auto ids = cluster_by_mra(series, 1e9);
+    EXPECT_EQ(ids[0], ids[1]);
+    EXPECT_EQ(ids[1], ids[2]);
+}
+
+TEST(ClusterByMraTest, EmptyInput) {
+    EXPECT_TRUE(cluster_by_mra({}, 1.0).empty());
+}
+
+}  // namespace
+}  // namespace v6

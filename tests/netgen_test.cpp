@@ -1,0 +1,396 @@
+// Tests for the synthetic-network substrate: RNG, registry, and the
+// addressing-practice signatures of each model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "v6class/addrtype/classify.h"
+#include "v6class/netgen/iid.h"
+#include "v6class/netgen/models.h"
+#include "v6class/netgen/rir_registry.h"
+#include "v6class/netgen/rng.h"
+
+namespace v6 {
+namespace {
+
+// --------------------------------------------------------------- rng
+
+TEST(RngTest, DeterministicStream) {
+    rng a{123}, b{123}, c{124};
+    EXPECT_EQ(a(), b());
+    EXPECT_EQ(a(), b());
+    EXPECT_NE(a(), c());
+}
+
+TEST(RngTest, UniformBounds) {
+    rng r{5};
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.uniform(17), 17u);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = r.uniform_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(RngTest, HashHelpersAreStateless) {
+    EXPECT_EQ(hash_ids(1, 2, 3), hash_ids(1, 2, 3));
+    EXPECT_NE(hash_ids(1, 2, 3), hash_ids(1, 2, 4));
+    EXPECT_NE(hash_ids(1, 2, 3), hash_ids(2, 2, 3));
+}
+
+TEST(RngTest, HashChanceApproximatesProbability) {
+    std::uint64_t hits = 0;
+    for (std::uint64_t i = 0; i < 50'000; ++i)
+        if (hash_chance(hash_ids(9, i), 300'000, 1'000'000)) ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / 50'000, 0.30, 0.02);
+}
+
+TEST(ZipfTest, MassSumsToOne) {
+    const zipf_sampler z(50, 1.0);
+    double total = 0;
+    for (std::uint64_t k = 1; k <= 50; ++k) total += z.mass(k);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_GT(z.mass(1), z.mass(2));
+    EXPECT_DOUBLE_EQ(z.mass(0), 0.0);
+    EXPECT_DOUBLE_EQ(z.mass(51), 0.0);
+}
+
+TEST(ZipfTest, DrawsFavourLowRanks) {
+    const zipf_sampler z(100, 1.2);
+    rng r{77};
+    std::uint64_t low = 0;
+    for (int i = 0; i < 10'000; ++i)
+        if (z(r) <= 10) ++low;
+    EXPECT_GT(low, 5'000u);
+}
+
+// ----------------------------------------------------------- registry
+
+TEST(RegistryTest, AllocationsDoNotOverlap) {
+    rir_registry reg;
+    std::vector<prefix> blocks;
+    for (int i = 0; i < 20; ++i)
+        blocks.push_back(reg.allocate(rir::ripe, 100 + i, 29 + (i % 4)));
+    for (std::size_t i = 0; i < blocks.size(); ++i)
+        for (std::size_t j = i + 1; j < blocks.size(); ++j) {
+            EXPECT_FALSE(blocks[i].contains(blocks[j]))
+                << blocks[i].to_string() << " vs " << blocks[j].to_string();
+            EXPECT_FALSE(blocks[j].contains(blocks[i]));
+        }
+}
+
+TEST(RegistryTest, RegionsAreHonoured) {
+    rir_registry reg;
+    const prefix arin = reg.allocate(rir::arin, 1, 32);
+    const prefix apnic = reg.allocate(rir::apnic, 2, 32);
+    EXPECT_EQ(arin.base().hextet(0) & 0xfff0, 0x2600);
+    EXPECT_EQ(apnic.base().hextet(0) & 0xfff0, 0x2400);
+}
+
+TEST(RegistryTest, OriginLookupFindsLongestMatch) {
+    rir_registry reg;
+    const prefix big = reg.allocate(rir::ripe, 10, 24);
+    reg.advertise(prefix{big.base(), 48}, 11);  // more-specific carve-out
+    const auto inside_specific = reg.origin_of(big.base());
+    ASSERT_TRUE(inside_specific.has_value());
+    EXPECT_EQ(inside_specific->asn, 11u);
+    // An address in the /24 but outside the /48.
+    address other = big.base().with_bit(40, 1);
+    const auto inside_big = reg.origin_of(other);
+    ASSERT_TRUE(inside_big.has_value());
+    EXPECT_EQ(inside_big->asn, 10u);
+    EXPECT_FALSE(reg.origin_of(address::must_parse("3001::1")).has_value());
+}
+
+TEST(RegistryTest, AsnCount) {
+    rir_registry reg;
+    reg.allocate(rir::arin, 1, 32);
+    reg.allocate(rir::arin, 1, 32);
+    reg.allocate(rir::ripe, 2, 32);
+    EXPECT_EQ(reg.asn_count(), 2u);
+}
+
+TEST(RegistryTest, RejectsSillyLengths) {
+    rir_registry reg;
+    EXPECT_THROW(reg.allocate(rir::arin, 1, 8), std::invalid_argument);
+    EXPECT_THROW(reg.allocate(rir::arin, 1, 80), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- models
+
+model_config test_cfg(std::uint32_t asn, std::uint64_t subs) {
+    model_config cfg;
+    cfg.asn = asn;
+    cfg.seed = 99;
+    cfg.subscribers = subs;
+    cfg.annual_growth = 0.5;
+    cfg.daily_activity = 0.5;
+    return cfg;
+}
+
+TEST(ModelTest, DayActivityIsDeterministicAndOrderFree) {
+    rir_registry reg;
+    const prefix bgp = reg.allocate(rir::ripe, 1, 19);
+    const eu_isp model(test_cfg(1, 500), bgp);
+    std::vector<observation> day5_a, day5_b, day9;
+    model.day_activity(5, day5_a);
+    model.day_activity(9, day9);  // interleave another day
+    model.day_activity(5, day5_b);
+    ASSERT_EQ(day5_a.size(), day5_b.size());
+    for (std::size_t i = 0; i < day5_a.size(); ++i) {
+        EXPECT_EQ(day5_a[i].addr, day5_b[i].addr);
+        EXPECT_EQ(day5_a[i].hits, day5_b[i].hits);
+    }
+}
+
+TEST(ModelTest, AddressesStayInsideBgpPrefixes) {
+    rir_registry reg;
+    const auto check = [](const network_model& m, int day) {
+        std::vector<observation> out;
+        m.day_activity(day, out);
+        ASSERT_FALSE(out.empty());
+        for (const observation& o : out) {
+            bool inside = false;
+            for (const prefix& p : m.bgp_prefixes())
+                if (p.contains(o.addr)) inside = true;
+            EXPECT_TRUE(inside) << m.name() << " leaked " << o.addr.to_string();
+            EXPECT_GE(o.hits, 1u);
+        }
+    };
+    check(us_mobile_carrier(test_cfg(1, 800),
+                            {reg.allocate(rir::arin, 1, 44),
+                             reg.allocate(rir::arin, 1, 44)}),
+          3);
+    check(eu_isp(test_cfg(2, 500), reg.allocate(rir::ripe, 2, 19)), 3);
+    check(jp_isp(test_cfg(3, 500), reg.allocate(rir::apnic, 3, 24)), 3);
+    check(us_university(test_cfg(4, 400), reg.allocate(rir::arin, 4, 32)), 3);
+    check(jp_telco(test_cfg(5, 900), reg.allocate(rir::apnic, 5, 32)), 3);
+    check(relay_6to4(test_cfg(6, 200)), 3);
+    check(teredo_model(test_cfg(7, 50)), 3);
+    check(isatap_model(test_cfg(8, 50), reg.allocate(rir::arin, 8, 48)), 3);
+    check(generic_isp("g", test_cfg(9, 300), reg.allocate(rir::lacnic, 9, 32)), 3);
+    check(hosting_provider(test_cfg(10, 300), reg.allocate(rir::arin, 10, 32)), 3);
+}
+
+TEST(HostingModelTest, RacksAreDenseAndStable) {
+    rir_registry reg;
+    model_config cfg = test_cfg(1, 300);
+    cfg.daily_activity = 0.9;  // servers are nearly always on
+    const hosting_provider model(cfg, reg.allocate(rir::arin, 1, 32));
+    std::vector<observation> day1, day2;
+    model.day_activity(1, day1);
+    model.day_activity(2, day2);
+    ASSERT_GT(day1.size(), 100u);
+    // Static servers: heavy overlap between consecutive days.
+    std::set<address> set1;
+    for (const auto& o : day1) set1.insert(o.addr);
+    std::size_t common = 0;
+    for (const auto& o : day2)
+        if (set1.contains(o.addr)) ++common;
+    EXPECT_GT(static_cast<double>(common) / day2.size(), 0.7);
+    // And the racks are dense: few /64s relative to addresses.
+    std::set<address> p64s;
+    for (const auto& o : day1) p64s.insert(o.addr.masked(64));
+    EXPECT_GT(day1.size(), p64s.size() * 10);
+}
+
+TEST(ModelTest, SubscriberGrowthRaisesActivity) {
+    rir_registry reg;
+    const eu_isp model(test_cfg(1, 2000), reg.allocate(rir::ripe, 1, 19));
+    std::vector<observation> early, late;
+    model.day_activity(0, early);
+    model.day_activity(365, late);
+    EXPECT_GT(late.size(), early.size() * 1.2);
+}
+
+TEST(MobileModelTest, PoolSlotsAreReusedAcrossSubscribers) {
+    rir_registry reg;
+    us_mobile_carrier::options opt;
+    opt.fixed_iid_share = 1.0;  // every device uses ::1: address == slot
+    opt.duplicate_mac_share = 0.0;
+    const us_mobile_carrier model(test_cfg(1, 2000),
+                                  {reg.allocate(rir::arin, 1, 44)}, opt);
+    // Collect the /64s of two different days: heavy overlap proves the
+    // pool hands the same /64s to (different) subscribers over time.
+    std::set<address> day1_64s, day2_64s;
+    std::vector<observation> out;
+    model.day_activity(1, out);
+    for (const auto& o : out) day1_64s.insert(o.addr.masked(64));
+    out.clear();
+    model.day_activity(2, out);
+    for (const auto& o : out) day2_64s.insert(o.addr.masked(64));
+    std::size_t common = 0;
+    for (const address& a : day1_64s)
+        if (day2_64s.contains(a)) ++common;
+    EXPECT_GT(common, day1_64s.size() / 5);
+}
+
+TEST(MobileModelTest, FixedIidRecreatesFullAddresses) {
+    // The paper's "apparent contradiction": stable full addresses in a
+    // network with dynamic network identifiers.
+    rir_registry reg;
+    us_mobile_carrier::options opt;
+    opt.fixed_iid_share = 0.5;
+    const us_mobile_carrier model(test_cfg(1, 2000),
+                                  {reg.allocate(rir::arin, 1, 44)}, opt);
+    std::set<address> day1;
+    std::vector<observation> out;
+    model.day_activity(1, out);
+    for (const auto& o : out)
+        if (o.addr.lo() == 1) day1.insert(o.addr);
+    out.clear();
+    model.day_activity(4, out);
+    std::size_t recur = 0;
+    for (const auto& o : out)
+        if (o.addr.lo() == 1 && day1.contains(o.addr)) ++recur;
+    EXPECT_GT(recur, 0u);
+}
+
+TEST(EuIspModelTest, RenumberChangesMiddleBits) {
+    rir_registry reg;
+    eu_isp::options opt;
+    opt.renumber_period_days = 5;
+    const eu_isp model(test_cfg(1, 50), reg.allocate(rir::ripe, 1, 19), opt);
+    // EUI-64 devices expose a stable IID; track one MAC's /64 over time.
+    std::vector<observation> out;
+    std::set<std::uint64_t> his;
+    for (int day = 0; day < 40; ++day) {
+        out.clear();
+        model.day_activity(day, out);
+        for (const auto& o : out)
+            if (is_eui64(o.addr)) his.insert(o.addr.hi());
+    }
+    // Renumbering must have produced several distinct network ids.
+    EXPECT_GT(his.size(), 3u);
+}
+
+TEST(EuIspModelTest, SubnetByteIsBiased) {
+    rir_registry reg;
+    const eu_isp model(test_cfg(1, 3000), reg.allocate(rir::ripe, 1, 19));
+    std::vector<observation> out;
+    model.day_activity(1, out);
+    std::uint64_t low_subnets = 0;
+    for (const auto& o : out) {
+        const unsigned subnet = static_cast<unsigned>(o.addr.hi() & 0xff);
+        if (subnet <= 1) ++low_subnets;
+    }
+    EXPECT_GT(static_cast<double>(low_subnets) / out.size(), 0.7);
+}
+
+TEST(JpIspModelTest, SlashFortyEightIsStaticPerSubscriber) {
+    rir_registry reg;
+    const jp_isp model(test_cfg(1, 200), reg.allocate(rir::apnic, 1, 24));
+    // EUI-64 devices mark subscribers; their /48 must never change.
+    std::map<std::uint64_t, std::set<std::uint64_t>> mac_to_48;
+    std::vector<observation> out;
+    for (int day = 0; day < 30; ++day) {
+        out.clear();
+        model.day_activity(day, out);
+        for (const auto& o : out)
+            if (const auto mac = eui64_mac(o.addr))
+                mac_to_48[mac->to_uint()].insert(o.addr.masked(48).hi());
+    }
+    ASSERT_FALSE(mac_to_48.empty());
+    for (const auto& [mac, s48s] : mac_to_48) EXPECT_EQ(s48s.size(), 1u);
+}
+
+TEST(UniversityModelTest, OnlyThreeCustomerNybbles) {
+    rir_registry reg;
+    const us_university model(test_cfg(1, 800), reg.allocate(rir::arin, 1, 32));
+    std::vector<observation> out;
+    model.day_activity(1, out);
+    std::set<unsigned> nybbles;
+    for (const auto& o : out) nybbles.insert(o.addr.nybble(8));
+    EXPECT_LE(nybbles.size(), 3u);
+    EXPECT_GE(nybbles.size(), 2u);
+}
+
+TEST(TelcoModelTest, CpeBlocksAreDense) {
+    rir_registry reg;
+    const jp_telco model(test_cfg(1, 5000), reg.allocate(rir::apnic, 1, 32));
+    std::vector<observation> out;
+    model.day_activity(1, out);
+    // Most addresses are low-IID CPE packed into few /64s.
+    std::set<address> p64s;
+    std::uint64_t low_iid = 0;
+    for (const auto& o : out) {
+        p64s.insert(o.addr.masked(64));
+        if (o.addr.lo() < 0x10000) ++low_iid;
+    }
+    EXPECT_LT(p64s.size(), 100u);
+    EXPECT_GT(static_cast<double>(low_iid) / out.size(), 0.8);
+}
+
+TEST(DeptModelTest, HostsLiveInOneSlash64InDenseClusters) {
+    rir_registry reg;
+    const prefix campus = reg.allocate(rir::ripe, 1, 32);
+    const eu_university_dept model(test_cfg(1, 100), prefix{campus.base(), 64});
+    std::vector<observation> out;
+    model.day_activity(1, out);
+    ASSERT_GT(out.size(), 20u);
+    for (const auto& o : out)
+        EXPECT_EQ(o.addr.masked(64), campus.base().masked(64));
+    // Host addresses are stable day over day (DHCPv6 leases).
+    std::vector<observation> next;
+    model.day_activity(2, next);
+    std::set<address> day1;
+    for (const auto& o : out) day1.insert(o.addr);
+    std::size_t common = 0;
+    for (const auto& o : next)
+        if (day1.contains(o.addr)) ++common;
+    EXPECT_GT(common, next.size() / 2);
+}
+
+TEST(TransitionModelsTest, ClassifiersRecognizeOutputs) {
+    rir_registry reg;
+    std::vector<observation> out;
+    relay_6to4(test_cfg(1, 100)).day_activity(1, out);
+    for (const auto& o : out) EXPECT_TRUE(is_6to4(o.addr));
+
+    out.clear();
+    teredo_model(test_cfg(2, 50)).day_activity(1, out);
+    for (const auto& o : out) EXPECT_TRUE(is_teredo(o.addr));
+
+    out.clear();
+    isatap_model(test_cfg(3, 50), reg.allocate(rir::arin, 3, 48))
+        .day_activity(1, out);
+    for (const auto& o : out) EXPECT_TRUE(is_isatap(o.addr));
+}
+
+TEST(GenericIspTest, PracticesProduceDistinctStructures) {
+    rir_registry reg;
+    auto count_64s = [&](isp_practice plan) {
+        generic_isp::options opt;
+        opt.plan = plan;
+        const generic_isp m("g", test_cfg(1, 1000),
+                            reg.allocate(rir::lacnic, 1, 32), opt);
+        std::vector<observation> out;
+        m.day_activity(1, out);
+        std::set<address> p64s;
+        for (const auto& o : out) p64s.insert(o.addr.masked(64));
+        return std::pair<std::size_t, std::size_t>{p64s.size(), out.size()};
+    };
+    const auto [static64, n1] = count_64s(isp_practice::static_64_per_subscriber);
+    const auto [shared, n2] = count_64s(isp_practice::shared_64);
+    // Shared-64 packs many users per /64; static-64 spreads them out.
+    EXPECT_LT(shared * 5, static64);
+}
+
+TEST(IidHelpersTest, PrivacyIidClearsUBit) {
+    for (std::uint64_t h : {0xffffffffffffffffull, 0x123456789abcdef0ull}) {
+        const std::uint64_t iid = privacy_iid(h);
+        EXPECT_EQ((iid >> 57) & 1, 0u);
+    }
+}
+
+TEST(IidHelpersTest, DeviceMacsRoundTripThroughEui64) {
+    const mac_address m = device_mac(0x1234567);
+    const auto back = mac_address::from_eui64_iid(m.to_eui64_iid());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, m);
+}
+
+}  // namespace
+}  // namespace v6

@@ -1,0 +1,92 @@
+// Tests for per-network addressing-practice inference (the Section 7.1
+// extension).
+#include <gtest/gtest.h>
+
+#include "v6class/analysis/network_profile.h"
+#include "v6class/cdnsim/world.h"
+
+namespace v6 {
+namespace {
+
+class NetworkProfileTest : public ::testing::Test {
+protected:
+    static world_config cfg() {
+        world_config c;
+        c.scale = 0.15;
+        c.tail_isps = 8;
+        return c;
+    }
+    NetworkProfileTest() : w_(cfg()) {
+        const int ref = kMar2015;
+        daily_series raw = w_.series(ref - 7, ref + 7);
+        for (const int d : raw.days())
+            native_.set_day(d, cull_transition(raw.day(d)).other);
+        profiles_ = profile_networks(w_.registry(), native_, ref);
+    }
+
+    const network_profile& of(std::uint32_t asn) const {
+        for (const auto& p : profiles_)
+            if (p.asn == asn) return p;
+        throw std::runtime_error("no profile for ASN " + std::to_string(asn));
+    }
+
+    world w_;
+    daily_series native_;
+    std::vector<network_profile> profiles_;
+};
+
+TEST_F(NetworkProfileTest, CoversActiveAsns) {
+    EXPECT_GT(profiles_.size(), 10u);
+    for (const auto& p : profiles_) {
+        EXPECT_GT(p.daily_addresses, 0u);
+        EXPECT_GE(p.window_addresses, p.daily_addresses);
+        EXPECT_GE(p.window_64s, p.daily_64s);
+        EXPECT_GE(p.turnover_64, 1.0);
+    }
+}
+
+TEST_F(NetworkProfileTest, MobileCarrierReadsAsDynamicPool) {
+    const network_profile& p = of(20001);
+    EXPECT_EQ(p.guess, practice_guess::dynamic_64_pool) << to_string(p.guess);
+    // The duplicated-MAC beacon roams across many pool /64s.
+    EXPECT_GE(p.beacon_max_64s, 8u);
+}
+
+TEST_F(NetworkProfileTest, JapanReadsAsStaticOrPrivacyOverStableSubnets) {
+    const network_profile& p = of(20004);
+    EXPECT_TRUE(p.guess == practice_guess::static_per_subscriber ||
+                p.guess == practice_guess::privacy_sparse)
+        << to_string(p.guess);
+    EXPECT_GT(p.stable_64_share_3d, 0.5);
+    EXPECT_LT(p.beacon_max_64s, 8u);  // devices stay put
+}
+
+TEST_F(NetworkProfileTest, TelcoReadsAsSharedDense) {
+    const network_profile& p = of(20011);
+    EXPECT_EQ(p.guess, practice_guess::shared_dense) << to_string(p.guess);
+    EXPECT_GT(p.dense_112_share, 0.5);
+    EXPECT_GT(p.addrs_per_64, 8.0);
+}
+
+TEST_F(NetworkProfileTest, PracticeAwareEstimatesBeatNaiveCounting) {
+    // Section 7.1: active-/64 counting "can miscount by a factor of 100
+    // in either direction". For the dense network the naive /64 count
+    // undercounts users; for the mobile pool the window /64 count
+    // overcounts. The practice-aware estimates must land closer to the
+    // daily concurrent population in both cases.
+    const network_profile& telco = of(20011);
+    EXPECT_GT(telco.subscriber_estimate, telco.naive_64_estimate * 5)
+        << "dense networks hold many users per /64";
+    const network_profile& mobile = of(20001);
+    EXPECT_LT(mobile.subscriber_estimate, mobile.naive_64_estimate)
+        << "pool turnover inflates the naive window /64 count";
+}
+
+TEST_F(NetworkProfileTest, PracticeNamesRender) {
+    EXPECT_EQ(to_string(practice_guess::dynamic_64_pool), "dynamic-64-pool");
+    EXPECT_EQ(to_string(practice_guess::shared_dense), "shared-dense");
+    EXPECT_EQ(to_string(practice_guess::unknown), "unknown");
+}
+
+}  // namespace
+}  // namespace v6

@@ -1,0 +1,145 @@
+// Tests for the day-bitmap observation store, including the ablation
+// cross-check against the merge-based stability analyzer.
+#include <gtest/gtest.h>
+
+#include "v6class/netgen/rng.h"
+#include "v6class/temporal/observation_store.h"
+#include "v6class/temporal/stability.h"
+
+namespace v6 {
+namespace {
+
+address nth(unsigned i) {
+    return address::from_pair(0x20010db800000000ull, 0x5000u + i);
+}
+
+TEST(ObservationStoreTest, EmptyStore) {
+    observation_store store;
+    EXPECT_EQ(store.distinct_count(), 0u);
+    EXPECT_EQ(store.days_seen(nth(1)), 0u);
+    EXPECT_FALSE(store.first_last(nth(1)).has_value());
+    EXPECT_FALSE(store.is_stable(nth(1), 0));
+    EXPECT_TRUE(store.stable_addresses(1).empty());
+}
+
+TEST(ObservationStoreTest, BasicRecording) {
+    observation_store store;
+    store.record_day(10, {nth(1), nth(2)});
+    store.record_day(12, {nth(1)});
+    EXPECT_EQ(store.distinct_count(), 2u);
+    EXPECT_EQ(store.days_seen(nth(1)), 2u);
+    EXPECT_EQ(store.days_seen(nth(2)), 1u);
+    const auto fl = store.first_last(nth(1));
+    ASSERT_TRUE(fl.has_value());
+    EXPECT_EQ(fl->first, 10);
+    EXPECT_EQ(fl->second, 12);
+    EXPECT_TRUE(store.is_stable(nth(1), 2));
+    EXPECT_FALSE(store.is_stable(nth(1), 3));
+    EXPECT_TRUE(store.is_stable(nth(2), 0));
+}
+
+TEST(ObservationStoreTest, IdempotentRecording) {
+    observation_store store;
+    store.record_day(5, {nth(1)});
+    store.record_day(5, {nth(1)});
+    EXPECT_EQ(store.days_seen(nth(1)), 1u);
+}
+
+TEST(ObservationStoreTest, OutOfOrderDays) {
+    observation_store store;
+    store.record_day(20, {nth(1)});
+    store.record_day(3, {nth(1)});  // earlier day arrives later
+    store.record_day(10, {nth(1)});
+    EXPECT_EQ(store.days_seen(nth(1)), 3u);
+    const auto fl = store.first_last(nth(1));
+    EXPECT_EQ(fl->first, 3);
+    EXPECT_EQ(fl->second, 20);
+}
+
+TEST(ObservationStoreTest, LongSpansUseOverflow) {
+    observation_store store;
+    for (int day = 0; day <= 400; day += 40) store.record_day(day, {nth(7)});
+    EXPECT_EQ(store.days_seen(nth(7)), 11u);
+    EXPECT_TRUE(store.is_stable(nth(7), 400));
+    const auto gaps = store.gap_histogram(100);
+    EXPECT_EQ(gaps[40], 10u);
+}
+
+TEST(ObservationStoreTest, PrefixProjection) {
+    observation_store store(64);
+    store.record_day(1, {address::from_pair(0xaa, 1), address::from_pair(0xaa, 2)});
+    EXPECT_EQ(store.distinct_count(), 1u);  // same /64
+    EXPECT_EQ(store.days_seen(address::from_pair(0xaa, 99)), 1u);
+}
+
+TEST(ObservationStoreTest, SpectrumIsMonotoneAndAnchored) {
+    observation_store store;
+    rng r{50};
+    for (int day = 0; day < 30; ++day) {
+        std::vector<address> active;
+        for (unsigned i = 0; i < 300; ++i)
+            if (r.chance(0.25)) active.push_back(nth(i));
+        store.record_day(day, active);
+    }
+    const auto spectrum = store.stability_spectrum(30);
+    EXPECT_EQ(spectrum[0], store.distinct_count());
+    for (std::size_t n = 1; n < spectrum.size(); ++n)
+        EXPECT_LE(spectrum[n], spectrum[n - 1]);
+    // spectrum[n] must equal the count of stable_addresses(n).
+    for (unsigned n : {1u, 5u, 12u, 29u})
+        EXPECT_EQ(spectrum[n], store.stable_addresses(n).size()) << n;
+}
+
+TEST(ObservationStoreTest, GapHistogramCountsConsecutiveReturns) {
+    observation_store store;
+    store.record_day(1, {nth(1)});
+    store.record_day(2, {nth(1)});
+    store.record_day(9, {nth(1)});
+    store.record_day(4, {nth(2)});
+    store.record_day(5, {nth(2)});
+    const auto gaps = store.gap_histogram(10);
+    EXPECT_EQ(gaps[1], 2u);  // 1->2 and 4->5
+    EXPECT_EQ(gaps[7], 1u);  // 2->9
+}
+
+TEST(ObservationStoreTest, GapsAboveMaxAccumulateInLastBucket) {
+    observation_store store;
+    store.record_day(0, {nth(1)});
+    store.record_day(500, {nth(1)});
+    const auto gaps = store.gap_histogram(16);
+    EXPECT_EQ(gaps[16], 1u);
+}
+
+// Ablation cross-check (DESIGN.md #3): within a full-coverage window the
+// bitmap store's whole-record stability agrees with the merge-based
+// analyzer's windowed classification.
+class StoreVsMerge : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StoreVsMerge, AgreeOnStableSets) {
+    rng r{GetParam() * 3 + 1};
+    daily_series series;
+    observation_store store;
+    const int ref = 7;
+    for (int day = 0; day <= 14; ++day) {
+        std::vector<address> active;
+        for (unsigned i = 0; i < 400; ++i)
+            if (r.chance(0.3)) active.push_back(nth(i));
+        series.set_day(day, active);
+        store.record_day(day, active);
+    }
+    stability_analyzer an(series);  // window (-7,+7) covers all days
+    for (unsigned n : {1u, 3u, 7u}) {
+        const auto merge_stable = an.classify_day(ref, n).stable;
+        // The store's stable set over the whole record, filtered to the
+        // reference day's actives, must match.
+        std::vector<address> store_stable;
+        for (const address& a : series.day(ref))
+            if (store.is_stable(a, n)) store_stable.push_back(a);
+        EXPECT_EQ(merge_stable, store_stable) << "n=" << n;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreVsMerge, ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace v6

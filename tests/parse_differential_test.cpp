@@ -1,0 +1,117 @@
+// Differential tests: v6::address::parse against the platform's
+// inet_pton/inet_ntop oracle, across valid, invalid, and mutated inputs.
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <string>
+
+#include "v6class/ip/address.h"
+#include "v6class/netgen/rng.h"
+
+namespace v6 {
+namespace {
+
+// Parses with the platform oracle; returns the 16 bytes on success.
+std::optional<std::array<std::uint8_t, 16>> oracle_parse(const std::string& text) {
+    std::array<std::uint8_t, 16> bytes{};
+    if (inet_pton(AF_INET6, text.c_str(), bytes.data()) == 1) return bytes;
+    return std::nullopt;
+}
+
+void expect_agreement(const std::string& text) {
+    const auto ours = address::parse(text);
+    const auto theirs = oracle_parse(text);
+    ASSERT_EQ(ours.has_value(), theirs.has_value()) << "input: \"" << text << '"';
+    if (ours) EXPECT_EQ(ours->bytes(), *theirs) << "input: \"" << text << '"';
+}
+
+TEST(ParseDifferentialTest, HandPickedCorpus) {
+    for (const char* text : {
+             "::", "::1", "1::", "2001:db8::1", "1:2:3:4:5:6:7:8",
+             "2001:0db8:0000:0000:0000:0000:0000:0001", "fe80::1%eth0",
+             "::ffff:192.0.2.33", "64:ff9b::192.0.2.33", "1:2:3:4:5:6:7::",
+             "::2:3:4:5:6:7:8", "1::8", "2001:db8::192.0.2.33",
+             "12345::", "1:2:3:4:5:6:7:8:9", "::1::", ":1::2", "1.2.3.4",
+             "g::", "2001:db8:::1", "", ":", "::x", "1:2:3:4:5:6:7",
+             "2001:db8::1 ", " 2001:db8::1", "0:0:0:0:0:0:0:0",
+             "ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff",
+             "2001:db8:0:0:1:0:0:1", "::0.0.0.0", "::255.255.255.255",
+             "::256.1.1.1", "::1.2.3", "::01.2.3.4", "0::0.0.0.0",
+         }) {
+        expect_agreement(text);
+    }
+}
+
+// Random canonical addresses must round-trip through both parsers and
+// both formatters identically (our to_string is RFC 5952, which
+// inet_ntop implements on glibc).
+class ParseDifferentialRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParseDifferentialRoundTrip, CanonicalFormsAgree) {
+    rng r{GetParam() * 31 + 7};
+    for (int i = 0; i < 2000; ++i) {
+        // Bias toward zero-rich addresses to exercise "::" compression.
+        std::array<std::uint16_t, 8> hextets{};
+        for (auto& h : hextets)
+            h = r.chance(0.4) ? 0 : static_cast<std::uint16_t>(r.uniform(0x10000));
+        const address a = address::from_hextets(hextets);
+
+        char oracle_buf[INET6_ADDRSTRLEN] = {};
+        ASSERT_NE(inet_ntop(AF_INET6, a.bytes().data(), oracle_buf,
+                            sizeof oracle_buf),
+                  nullptr);
+        const std::string oracle_text = oracle_buf;
+        // glibc uses the embedded-IPv4 form for ::a.b.c.d / ::ffff:a.b.c.d;
+        // our canonical form is pure hex. Both must parse to the same
+        // bytes either way.
+        const auto reparsed_oracle = address::parse(oracle_text);
+        ASSERT_TRUE(reparsed_oracle.has_value()) << oracle_text;
+        EXPECT_EQ(*reparsed_oracle, a);
+
+        const std::string ours = a.to_string();
+        const auto oracle_reparse = oracle_parse(ours);
+        ASSERT_TRUE(oracle_reparse.has_value()) << ours;
+        EXPECT_EQ(*oracle_reparse, a.bytes());
+        // And where the oracle did not choose the dotted form, the
+        // strings must be identical (both RFC 5952).
+        if (oracle_text.find('.') == std::string::npos)
+            EXPECT_EQ(ours, oracle_text);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParseDifferentialRoundTrip,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+// Mutation fuzzing: take a valid presentation, splice random characters,
+// and require parse agreement with the oracle on every mutant.
+class ParseDifferentialMutation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParseDifferentialMutation, MutantsAgree) {
+    rng r{GetParam() * 97 + 13};
+    static constexpr char alphabet[] = "0123456789abcdef:.%g ";
+    for (int i = 0; i < 3000; ++i) {
+        std::array<std::uint16_t, 8> hextets{};
+        for (auto& h : hextets)
+            h = r.chance(0.5) ? 0 : static_cast<std::uint16_t>(r.uniform(0x10000));
+        std::string text = address::from_hextets(hextets).to_string();
+        const unsigned mutations = 1 + static_cast<unsigned>(r.uniform(3));
+        for (unsigned m = 0; m < mutations && !text.empty(); ++m) {
+            const std::size_t pos = r.uniform(text.size());
+            switch (r.uniform(3)) {
+                case 0: text[pos] = alphabet[r.uniform(sizeof alphabet - 1)]; break;
+                case 1: text.erase(pos, 1); break;
+                default:
+                    text.insert(pos, 1, alphabet[r.uniform(sizeof alphabet - 1)]);
+            }
+        }
+        expect_agreement(text);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParseDifferentialMutation,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+}  // namespace
+}  // namespace v6

@@ -1,0 +1,146 @@
+// Tests for the longest-prefix-match map.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "v6class/netgen/rng.h"
+#include "v6class/trie/prefix_map.h"
+
+namespace v6 {
+namespace {
+
+using namespace v6::literals;
+
+TEST(PrefixMapTest, EmptyMap) {
+    prefix_map<int> m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.find("::/0"_pfx), nullptr);
+    EXPECT_FALSE(m.longest_match("2001:db8::1"_v6).has_value());
+}
+
+TEST(PrefixMapTest, InsertAndFind) {
+    prefix_map<std::string> m;
+    EXPECT_TRUE(m.insert("2001:db8::/32"_pfx, "doc"));
+    EXPECT_TRUE(m.insert("2001:db8:1::/48"_pfx, "sub"));
+    EXPECT_FALSE(m.insert("2001:db8::/32"_pfx, "doc2"));  // overwrite
+    EXPECT_EQ(m.size(), 2u);
+    ASSERT_NE(m.find("2001:db8::/32"_pfx), nullptr);
+    EXPECT_EQ(*m.find("2001:db8::/32"_pfx), "doc2");
+    EXPECT_EQ(m.find("2001:db8::/33"_pfx), nullptr);
+}
+
+TEST(PrefixMapTest, LongestMatchPrefersSpecific) {
+    prefix_map<int> m;
+    m.insert("2000::/3"_pfx, 3);
+    m.insert("2001:db8::/32"_pfx, 32);
+    m.insert("2001:db8:1::/48"_pfx, 48);
+    const auto inside48 = m.longest_match("2001:db8:1::42"_v6);
+    ASSERT_TRUE(inside48.has_value());
+    EXPECT_EQ(inside48->second.get(), 48);
+    EXPECT_EQ(inside48->first, "2001:db8:1::/48"_pfx);
+    const auto inside32 = m.longest_match("2001:db8:2::42"_v6);
+    ASSERT_TRUE(inside32.has_value());
+    EXPECT_EQ(inside32->second.get(), 32);
+    const auto inside3 = m.longest_match("2600::1"_v6);
+    ASSERT_TRUE(inside3.has_value());
+    EXPECT_EQ(inside3->second.get(), 3);
+    EXPECT_FALSE(m.longest_match("fe80::1"_v6).has_value());
+}
+
+TEST(PrefixMapTest, BranchNodesCarryNoValue) {
+    prefix_map<int> m;
+    m.insert("2001:db8:0:1::/64"_pfx, 1);
+    m.insert("2001:db8:0:2::/64"_pfx, 2);
+    // The implicit branch at their meet must not match.
+    EXPECT_FALSE(m.longest_match("2001:db8:0:3::1"_v6).has_value());
+    ASSERT_TRUE(m.longest_match("2001:db8:0:1::9"_v6).has_value());
+}
+
+TEST(PrefixMapTest, CoveringInsertAfterSpecific) {
+    prefix_map<int> m;
+    m.insert("2001:db8:1::/48"_pfx, 48);
+    m.insert("2001:db8::/32"_pfx, 32);  // inserted above an existing node
+    EXPECT_EQ(m.size(), 2u);
+    const auto match = m.longest_match("2001:db8:9::1"_v6);
+    ASSERT_TRUE(match.has_value());
+    EXPECT_EQ(match->second.get(), 32);
+}
+
+TEST(PrefixMapTest, HostRoutes) {
+    prefix_map<int> m;
+    m.insert("2001:db8::1/128"_pfx, 128);
+    m.insert("2001:db8::/64"_pfx, 64);
+    EXPECT_EQ(m.longest_match("2001:db8::1"_v6)->second.get(), 128);
+    EXPECT_EQ(m.longest_match("2001:db8::2"_v6)->second.get(), 64);
+}
+
+TEST(PrefixMapTest, VisitInAddressOrder) {
+    prefix_map<int> m;
+    m.insert("2001:db8:2::/48"_pfx, 2);
+    m.insert("2001:db8::/32"_pfx, 0);
+    m.insert("2001:db8:1::/48"_pfx, 1);
+    std::vector<prefix> seen;
+    m.visit([&](const prefix& p, const int&) { seen.push_back(p); });
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+}
+
+TEST(PrefixMapTest, ClearResets) {
+    prefix_map<int> m;
+    m.insert("2001:db8::/32"_pfx, 1);
+    m.clear();
+    EXPECT_TRUE(m.empty());
+    EXPECT_FALSE(m.longest_match("2001:db8::1"_v6).has_value());
+}
+
+// A uniformly random address inside `p`: the base with host bits drawn
+// from `seed`.
+address address_probe_inside(const prefix& p, std::uint64_t seed) {
+    address a = p.base();
+    for (unsigned bit = p.length(); bit < 128; ++bit)
+        a = a.with_bit(bit, static_cast<unsigned>(mix64(seed + bit) & 1));
+    return a;
+}
+
+// Property: longest_match agrees with a brute-force scan over random
+// rule sets.
+class PrefixMapCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrefixMapCrossCheck, MatchesBruteForce) {
+    rng r{GetParam() * 13 + 5};
+    prefix_map<std::size_t> m;
+    std::vector<prefix> rules;
+    for (int i = 0; i < 300; ++i) {
+        const address base = address::from_pair(
+            0x2000000000000000ull | (r() >> 4), r());
+        const unsigned len = static_cast<unsigned>(8 + r.uniform(121));
+        const prefix p{base, len};
+        if (m.insert(p, rules.size())) rules.push_back(p);
+    }
+    for (int i = 0; i < 500; ++i) {
+        // Mix of random addresses and addresses inside random rules.
+        address probe = address::from_pair(0x2000000000000000ull | (r() >> 4), r());
+        if (r.chance(0.5) && !rules.empty())
+            probe = address_probe_inside(rules[r.uniform(rules.size())], r());
+        const auto got = m.longest_match(probe);
+        // Brute force.
+        const prefix* best = nullptr;
+        for (const prefix& p : rules)
+            if (p.contains(probe) && (!best || p.length() > best->length()))
+                best = &p;
+        if (!best) {
+            EXPECT_FALSE(got.has_value());
+        } else {
+            ASSERT_TRUE(got.has_value());
+            EXPECT_EQ(got->first, *best);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixMapCrossCheck,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace v6

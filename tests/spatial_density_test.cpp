@@ -1,0 +1,98 @@
+// Tests for density classes (Table 3 accounting), covered-address
+// selection and scan-target expansion.
+#include <gtest/gtest.h>
+
+#include "v6class/netgen/rng.h"
+#include "v6class/spatial/density.h"
+
+namespace v6 {
+namespace {
+
+using namespace v6::literals;
+
+radix_tree make_tree(const std::vector<address>& addrs) {
+    radix_tree t;
+    for (const address& a : addrs) t.add(a);
+    return t;
+}
+
+TEST(DensityRowTest, Accounting) {
+    // Two dense /112s with 3 and 2 addresses, one stray.
+    const std::vector<address> addrs{
+        "2001:db8::1"_v6,   "2001:db8::2"_v6,    "2001:db8::3"_v6,
+        "2001:db8:1::1"_v6, "2001:db8:1::2"_v6,  "2600::1"_v6,
+    };
+    const radix_tree t = make_tree(addrs);
+    const density_row row = compute_density_class(t, 2, 112);
+    EXPECT_EQ(row.n, 2u);
+    EXPECT_EQ(row.p, 112u);
+    EXPECT_EQ(row.dense_prefix_count, 2u);
+    EXPECT_EQ(row.covered_addresses, 5u);
+    EXPECT_DOUBLE_EQ(static_cast<double>(row.possible_addresses), 2.0 * 65536.0);
+    EXPECT_NEAR(static_cast<double>(row.address_density), 5.0 / 131072.0, 1e-12);
+}
+
+TEST(DensityRowTest, TableSweepIsConsistent) {
+    rng r{21};
+    std::vector<address> addrs;
+    for (int i = 0; i < 3000; ++i)
+        addrs.push_back(address::from_pair(0x20010db800000000ull | r.uniform(4),
+                                           r.uniform(1 << 14)));
+    const radix_tree t = make_tree(addrs);
+    const auto rows = compute_density_table(
+        t, {{2, 124}, {2, 120}, {2, 116}, {2, 112}, {4, 112}, {64, 112}});
+    // Fixed n: longer prefixes cannot have more covered addresses than
+    // shorter ones at the same n... but can have more dense prefixes.
+    // Verify per-row internal consistency instead of cross-row guesses.
+    for (const auto& row : rows) {
+        EXPECT_GE(row.covered_addresses, row.dense_prefix_count * row.n);
+        if (row.dense_prefix_count > 0) {
+            EXPECT_GT(static_cast<double>(row.address_density), 0.0);
+            EXPECT_LE(static_cast<double>(row.address_density), 1.0);
+        }
+    }
+    // At the same p, raising n can only shrink the dense set.
+    const auto at = [&](std::uint64_t n, unsigned p) {
+        for (const auto& row : rows)
+            if (row.n == n && row.p == p) return row;
+        ADD_FAILURE();
+        return density_row{};
+    };
+    EXPECT_GE(at(2, 112).dense_prefix_count, at(4, 112).dense_prefix_count);
+    EXPECT_GE(at(4, 112).dense_prefix_count, at(64, 112).dense_prefix_count);
+}
+
+TEST(AddressesCoveredTest, SelectsOnlyContained) {
+    const std::vector<dense_prefix> dense{
+        {"2001:db8::/112"_pfx, 3},
+        {"2001:db8:5::/112"_pfx, 2},
+    };
+    const auto covered = addresses_covered(
+        dense, {"2001:db8::7"_v6, "2001:db8:5::9"_v6, "2001:db8:6::1"_v6,
+                "2600::1"_v6, "2001:db8::7"_v6});
+    ASSERT_EQ(covered.size(), 2u);
+    EXPECT_EQ(covered[0], "2001:db8::7"_v6);
+    EXPECT_EQ(covered[1], "2001:db8:5::9"_v6);
+}
+
+TEST(ExpandScanTargetsTest, EnumeratesSmallPrefixes) {
+    const std::vector<dense_prefix> dense{{"2001:db8::/124"_pfx, 2}};
+    const auto targets = expand_scan_targets(dense, 1000);
+    ASSERT_EQ(targets.size(), 16u);
+    EXPECT_EQ(targets.front(), "2001:db8::"_v6);
+    EXPECT_EQ(targets.back(), "2001:db8::f"_v6);
+}
+
+TEST(ExpandScanTargetsTest, RespectsLimit) {
+    const std::vector<dense_prefix> dense{{"2001:db8::/112"_pfx, 2}};
+    const auto targets = expand_scan_targets(dense, 100);
+    EXPECT_EQ(targets.size(), 100u);
+}
+
+TEST(ExpandScanTargetsTest, SkipsUnscannablyWidePrefixes) {
+    const std::vector<dense_prefix> dense{{"2001:db8::/64"_pfx, 1000}};
+    EXPECT_TRUE(expand_scan_targets(dense, 100).empty());
+}
+
+}  // namespace
+}  // namespace v6

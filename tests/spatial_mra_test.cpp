@@ -1,0 +1,188 @@
+// Tests for Multi-Resolution Aggregate counts and ratios, including the
+// paper's structural signatures (privacy-IID plateau, u-bit notch).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "v6class/netgen/iid.h"
+#include "v6class/netgen/rng.h"
+#include "v6class/spatial/mra.h"
+
+namespace v6 {
+namespace {
+
+using namespace v6::literals;
+
+TEST(MraTest, EmptySet) {
+    const mra_series mra = compute_mra({});
+    EXPECT_EQ(mra.size(), 0u);
+    EXPECT_EQ(mra.aggregate_count(0), 0u);
+    EXPECT_DOUBLE_EQ(mra.ratio(0, 16), 1.0);
+}
+
+TEST(MraTest, SingleAddress) {
+    const mra_series mra = compute_mra({"2001:db8::1"_v6});
+    for (unsigned p = 0; p <= 128; ++p) EXPECT_EQ(mra.aggregate_count(p), 1u);
+    for (double r : mra.ratios(1)) EXPECT_DOUBLE_EQ(r, 1.0);
+}
+
+TEST(MraTest, BoundaryCounts) {
+    // n_0 = 1 and n_128 = N, by definition.
+    std::vector<address> addrs;
+    for (unsigned i = 0; i < 37; ++i)
+        addrs.push_back(address::from_pair(0x20010db800000000ull, i * 1000 + 1));
+    const mra_series mra = compute_mra(addrs);
+    EXPECT_EQ(mra.aggregate_count(0), 1u);
+    EXPECT_EQ(mra.aggregate_count(128), 37u);
+}
+
+TEST(MraTest, DeduplicatesInput) {
+    const mra_series mra =
+        compute_mra({"2001:db8::1"_v6, "2001:db8::1"_v6, "2001:db8::2"_v6});
+    EXPECT_EQ(mra.size(), 2u);
+}
+
+TEST(MraTest, TwoAddressesDivergingAtKnownBit) {
+    // Addresses differing first at bit 47: n_p = 1 for p <= 47, 2 after.
+    const address a = "2001:db8::1"_v6;
+    const address b = a.with_bit(47, 1);
+    const mra_series mra = compute_mra({a, b});
+    EXPECT_EQ(mra.aggregate_count(47), 1u);
+    EXPECT_EQ(mra.aggregate_count(48), 2u);
+    EXPECT_DOUBLE_EQ(mra.ratio(47, 1), 2.0);
+    EXPECT_DOUBLE_EQ(mra.ratio(46, 1), 1.0);
+}
+
+TEST(MraTest, FullySaturatedSegment) {
+    // All 16 values of one nybble: gamma^4 at that position = 16.
+    std::vector<address> addrs;
+    for (unsigned v = 0; v < 16; ++v) {
+        address a = "2001:db8::1"_v6;
+        a = a.with_bit(48, (v >> 3) & 1).with_bit(49, (v >> 2) & 1)
+             .with_bit(50, (v >> 1) & 1).with_bit(51, v & 1);
+        addrs.push_back(a);
+    }
+    const mra_series mra = compute_mra(addrs);
+    EXPECT_DOUBLE_EQ(mra.ratio(48, 4), 16.0);
+    EXPECT_DOUBLE_EQ(mra.ratio(52, 4), 1.0);
+}
+
+TEST(MraTest, RatioSequenceLengths) {
+    const mra_series mra = compute_mra({"2001:db8::1"_v6});
+    EXPECT_EQ(mra.ratios(1).size(), 128u);
+    EXPECT_EQ(mra.ratios(4).size(), 32u);
+    EXPECT_EQ(mra.ratios(16).size(), 8u);
+}
+
+// Property (stated in Section 5.2.1): for a given resolution k, the
+// product of the ratios equals the number of addresses in the set.
+class MraProductInvariant : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MraProductInvariant, ProductOfRatiosIsN) {
+    rng r{GetParam()};
+    std::vector<address> addrs;
+    const std::size_t n = 500 + r.uniform(2000);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Mixed structure: clustered /64s, some privacy-style IIDs.
+        const std::uint64_t hi = 0x20010db800000000ull | r.uniform(64);
+        const std::uint64_t lo = r.chance(0.5) ? privacy_iid(r()) : r.uniform(4096);
+        addrs.push_back(address::from_pair(hi, lo));
+    }
+    const mra_series mra = compute_mra(addrs);
+    for (unsigned k : {1u, 4u, 8u, 16u}) {
+        double log_product = 0.0;
+        for (unsigned p = 0; p + k <= 128; p += k)
+            log_product += std::log2(mra.ratio(p, k));
+        EXPECT_NEAR(log_product, std::log2(static_cast<double>(mra.size())), 1e-6)
+            << "k=" << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MraProductInvariant,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// Property: ratios stay within [1, 2^k] and counts are non-decreasing.
+class MraRangeInvariant : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MraRangeInvariant, RatioBoundsAndMonotoneCounts) {
+    rng r{GetParam() * 101};
+    std::vector<address> addrs;
+    for (int i = 0; i < 1500; ++i)
+        addrs.push_back(address::from_pair(r(), r()));
+    const mra_series mra = compute_mra(addrs);
+    for (unsigned p = 0; p < 128; ++p)
+        EXPECT_LE(mra.aggregate_count(p), mra.aggregate_count(p + 1));
+    for (unsigned k : {1u, 4u, 16u}) {
+        for (unsigned p = 0; p + k <= 128; p += k) {
+            const double g = mra.ratio(p, k);
+            EXPECT_GE(g, 1.0);
+            EXPECT_LE(g, std::exp2(static_cast<double>(k)) + 1e-9);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MraRangeInvariant,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+// Cross-check: sorted-array and trie computations agree.
+class MraCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MraCrossCheck, SortedMatchesTrie) {
+    rng r{GetParam() * 7 + 1};
+    std::vector<address> addrs;
+    radix_tree tree;
+    for (int i = 0; i < 2000; ++i) {
+        const address a = address::from_pair(
+            0x20010db800000000ull | r.uniform(1024),
+            r.chance(0.3) ? r.uniform(64) : r());
+        addrs.push_back(a);
+        tree.add(a);
+    }
+    const mra_series from_sort = compute_mra(addrs);
+    const mra_series from_trie = compute_mra_from_trie(tree);
+    for (unsigned p = 0; p <= 128; ++p)
+        ASSERT_EQ(from_sort.aggregate_count(p), from_trie.aggregate_count(p))
+            << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MraCrossCheck,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(MraSignatureTest, PrivacyAddressesShowUBitNotch) {
+    // Section 5.2.1: many privacy IIDs inside /64s produce gamma^1 ~= 2
+    // just after bit 64, a drop to ~1 at bit 70 (the cleared u bit), and
+    // an eventual flat line at 1 deep in the IID.
+    rng r{4242};
+    std::vector<address> addrs;
+    for (unsigned subnet = 0; subnet < 32; ++subnet)
+        for (int host = 0; host < 1000; ++host)
+            addrs.push_back(address::from_pair(0x20010db800000000ull + subnet,
+                                               privacy_iid(r())));
+    const mra_series mra = compute_mra(addrs);
+    EXPECT_GT(mra.ratio(64, 1), 1.95);
+    EXPECT_GT(mra.ratio(65, 1), 1.95);
+    EXPECT_LT(mra.ratio(70, 1), 1.05);  // the u-bit notch
+    EXPECT_GT(mra.ratio(71, 1), 1.95);
+    EXPECT_LT(mra.ratio(124, 1), 1.05);  // sparse tail: one addr per prefix
+}
+
+TEST(MraSignatureTest, DenseLowBlocksShowTailProminence) {
+    // Figure 2b's signature: sequentially numbered hosts make the
+    // 112..128 segment the busiest one.
+    std::vector<address> addrs;
+    for (unsigned block = 0; block < 4; ++block)
+        for (unsigned host = 1; host <= 400; ++host)
+            addrs.push_back(
+                address::from_pair(0x20010db800100008ull + block, host));
+    const mra_series mra = compute_mra(addrs);
+    const auto segments = mra.ratios(16);
+    // The last 16-bit segment carries nearly all the aggregation.
+    double best_other = 1.0;
+    for (std::size_t s = 4; s + 1 < 8; ++s)
+        best_other = std::max(best_other, segments[s]);
+    EXPECT_GT(segments[7], 100.0);
+    EXPECT_GT(segments[7], best_other * 10);
+}
+
+}  // namespace
+}  // namespace v6

@@ -1,0 +1,80 @@
+// Tests for MRA plot data, its renderers, and the boxplot summaries.
+#include <gtest/gtest.h>
+
+#include "v6class/netgen/iid.h"
+#include "v6class/netgen/rng.h"
+#include "v6class/spatial/boxplot.h"
+#include "v6class/spatial/mra_plot.h"
+
+namespace v6 {
+namespace {
+
+TEST(MraPlotTest, SeriesShapes) {
+    rng r{31};
+    std::vector<address> addrs;
+    for (int i = 0; i < 500; ++i)
+        addrs.push_back(address::from_pair(0x20010db800000000ull | r.uniform(8),
+                                           privacy_iid(r())));
+    const mra_plot_data plot = make_mra_plot(compute_mra(addrs), "test net");
+    EXPECT_EQ(plot.title, "test net");
+    EXPECT_EQ(plot.address_count, 500u);
+    EXPECT_EQ(plot.bits.size(), 128u);
+    EXPECT_EQ(plot.nybbles.size(), 32u);
+    EXPECT_EQ(plot.segments.size(), 8u);
+}
+
+TEST(MraPlotTest, CsvHasOneRowPerPoint) {
+    const mra_plot_data plot =
+        make_mra_plot(compute_mra({address::must_parse("2001:db8::1")}), "x");
+    const std::string csv = to_csv(plot);
+    std::size_t rows = 0;
+    for (char c : csv)
+        if (c == '\n') ++rows;
+    EXPECT_EQ(rows, 1u + 128u + 32u + 8u);  // header + series
+    EXPECT_EQ(csv.rfind("p,k,ratio\n", 0), 0u);
+}
+
+TEST(MraPlotTest, AsciiRenderContainsAxesAndMarks) {
+    rng r{32};
+    std::vector<address> addrs;
+    for (int i = 0; i < 300; ++i)
+        addrs.push_back(address::from_pair(0x20010db800000000ull | r.uniform(256),
+                                           privacy_iid(r())));
+    const std::string art =
+        render_ascii(make_mra_plot(compute_mra(addrs), "net"), 17);
+    EXPECT_NE(art.find("net"), std::string::npos);
+    EXPECT_NE(art.find('S'), std::string::npos);
+    EXPECT_NE(art.find('o'), std::string::npos);
+    EXPECT_NE(art.find('.'), std::string::npos);
+    EXPECT_NE(art.find("128"), std::string::npos);
+}
+
+TEST(BoxplotTest, PercentileInterpolation) {
+    EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 0.5), 2.5);
+    EXPECT_DOUBLE_EQ(percentile({10}, 0.99), 10.0);
+    EXPECT_DOUBLE_EQ(percentile({1, 3}, 0.25), 1.5);
+}
+
+TEST(BoxplotTest, SummaryOrdering) {
+    rng r{33};
+    std::vector<double> samples;
+    for (int i = 0; i < 1000; ++i) samples.push_back(r.uniform_double() * 100);
+    const boxplot_summary s = summarize(samples);
+    EXPECT_EQ(s.samples, 1000u);
+    EXPECT_LE(s.min, s.p5);
+    EXPECT_LE(s.p5, s.p25);
+    EXPECT_LE(s.p25, s.median);
+    EXPECT_LE(s.median, s.p75);
+    EXPECT_LE(s.p75, s.p95);
+    EXPECT_LE(s.p95, s.max);
+}
+
+TEST(BoxplotTest, EmptySample) {
+    const boxplot_summary s = summarize({});
+    EXPECT_EQ(s.samples, 0u);
+    EXPECT_DOUBLE_EQ(s.median, 0.0);
+}
+
+}  // namespace
+}  // namespace v6

@@ -1,0 +1,89 @@
+// Tests for aggregate population distributions and CCDFs (Figure 3).
+#include <gtest/gtest.h>
+
+#include "v6class/netgen/rng.h"
+#include "v6class/spatial/population.h"
+
+namespace v6 {
+namespace {
+
+using namespace v6::literals;
+
+TEST(PopulationTest, CountsPerAggregate) {
+    const std::vector<address> addrs{
+        "2001:db8::1"_v6, "2001:db8::2"_v6, "2001:db8::3"_v6,
+        "2001:db9::1"_v6,
+    };
+    const auto pops = aggregate_populations(addrs, 32);
+    ASSERT_EQ(pops.size(), 2u);  // two active /32s
+    EXPECT_EQ(pops[0], 1u);
+    EXPECT_EQ(pops[1], 3u);
+}
+
+TEST(PopulationTest, DeduplicatesElements) {
+    const auto pops =
+        aggregate_populations({"2001:db8::1"_v6, "2001:db8::1"_v6}, 48);
+    ASSERT_EQ(pops.size(), 1u);
+    EXPECT_EQ(pops[0], 1u);
+}
+
+TEST(PopulationTest, AggregateLengthZeroIsOneBucket) {
+    const auto pops = aggregate_populations(
+        {"2001:db8::1"_v6, "fe80::1"_v6, "ff02::1"_v6}, 0);
+    ASSERT_EQ(pops.size(), 1u);
+    EXPECT_EQ(pops[0], 3u);
+}
+
+TEST(CcdfTest, EmptySample) { EXPECT_TRUE(ccdf_of({}).empty()); }
+
+TEST(CcdfTest, BasicShape) {
+    const auto ccdf = ccdf_of({1, 1, 2, 5, 5, 5});
+    ASSERT_EQ(ccdf.size(), 3u);
+    EXPECT_DOUBLE_EQ(ccdf[0].value, 1.0);
+    EXPECT_DOUBLE_EQ(ccdf[0].proportion, 1.0);
+    EXPECT_DOUBLE_EQ(ccdf[1].value, 2.0);
+    EXPECT_DOUBLE_EQ(ccdf[1].proportion, 4.0 / 6.0);
+    EXPECT_DOUBLE_EQ(ccdf[2].value, 5.0);
+    EXPECT_DOUBLE_EQ(ccdf[2].proportion, 3.0 / 6.0);
+}
+
+TEST(CcdfTest, ProportionsAreNonIncreasing) {
+    rng r{3};
+    std::vector<std::uint64_t> samples;
+    for (int i = 0; i < 5000; ++i) samples.push_back(1 + r.uniform(1000));
+    const auto ccdf = ccdf_of(std::move(samples));
+    for (std::size_t i = 1; i < ccdf.size(); ++i) {
+        EXPECT_LT(ccdf[i - 1].value, ccdf[i].value);
+        EXPECT_GE(ccdf[i - 1].proportion, ccdf[i].proportion);
+    }
+    EXPECT_DOUBLE_EQ(ccdf.front().proportion, 1.0);
+}
+
+TEST(CcdfTest, ReadAtThreshold) {
+    const auto ccdf = ccdf_of({1, 2, 5, 10});
+    EXPECT_DOUBLE_EQ(ccdf_at(ccdf, 0.5), 1.0);
+    EXPECT_DOUBLE_EQ(ccdf_at(ccdf, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(ccdf_at(ccdf, 3.0), 0.5);   // 5 and 10 qualify
+    EXPECT_DOUBLE_EQ(ccdf_at(ccdf, 10.0), 0.25);
+    EXPECT_DOUBLE_EQ(ccdf_at(ccdf, 11.0), 0.0);
+}
+
+TEST(PopulationTest, SkewedStructureShowsHeavyTail) {
+    // One giant /48 plus many singletons: the CCDF at high populations
+    // is small but non-zero — Figure 3's "a few prefixes contain most of
+    // the addresses".
+    rng r{8};
+    std::vector<address> addrs;
+    for (int i = 0; i < 5000; ++i)
+        addrs.push_back(address::from_pair(0x20010db800010000ull, r()));
+    for (int i = 0; i < 200; ++i)
+        addrs.push_back(address::from_pair(0x2600000000000000ull | (r() >> 16), r()));
+    const auto pops = aggregate_populations(addrs, 48);
+    const auto ccdf = ccdf_of(pops);
+    EXPECT_GT(ccdf_at(ccdf, 2), 0.0);
+    EXPECT_LT(ccdf_at(ccdf, 1000), 0.05);
+    EXPECT_GT(ccdf_at(ccdf, 1000), 0.0);
+}
+
+}  // namespace
+}  // namespace v6

@@ -1,0 +1,145 @@
+// Randomized cross-checks of the temporal analyses against brute-force
+// reference computations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "v6class/netgen/rng.h"
+#include "v6class/temporal/stability.h"
+
+namespace v6 {
+namespace {
+
+address nth(unsigned i) {
+    return address::from_pair(0x20010db800000000ull, 0x9000u + i);
+}
+
+// A random activity schedule: per address, the set of active days.
+std::map<address, std::set<int>> random_schedule(std::uint64_t seed,
+                                                 unsigned addresses, int days) {
+    rng r{seed};
+    std::map<address, std::set<int>> schedule;
+    for (unsigned i = 0; i < addresses; ++i) {
+        std::set<int> active;
+        for (int d = 0; d < days; ++d)
+            if (r.chance(0.25)) active.insert(d);
+        if (!active.empty()) schedule.emplace(nth(i), std::move(active));
+    }
+    return schedule;
+}
+
+daily_series to_series(const std::map<address, std::set<int>>& schedule,
+                       int days) {
+    daily_series series;
+    for (int d = 0; d < days; ++d) {
+        std::vector<address> active;
+        for (const auto& [addr, sched] : schedule)
+            if (sched.contains(d)) active.push_back(addr);
+        series.set_day(d, std::move(active));
+    }
+    return series;
+}
+
+class TemporalBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TemporalBruteForce, ClassifyDayMatchesDefinition) {
+    const int days = 21;
+    const auto schedule = random_schedule(GetParam(), 300, days);
+    const daily_series series = to_series(schedule, days);
+    stability_options opt;
+    opt.window_back = 5;
+    opt.window_fwd = 6;
+    stability_analyzer an(series, opt);
+
+    for (const int ref : {5, 10, 14}) {
+        for (const unsigned n : {1u, 2u, 4u}) {
+            const stability_split split = an.classify_day(ref, n);
+            std::set<address> got(split.stable.begin(), split.stable.end());
+            for (const auto& [addr, sched] : schedule) {
+                if (!sched.contains(ref)) {
+                    EXPECT_FALSE(got.contains(addr));
+                    continue;
+                }
+                // Brute force the definition: two active days within the
+                // window at least n apart.
+                int lo = ref, hi = ref;
+                for (const int d : sched) {
+                    if (d < ref - opt.window_back || d > ref + opt.window_fwd)
+                        continue;
+                    lo = std::min(lo, d);
+                    hi = std::max(hi, d);
+                }
+                const bool expected = hi - lo >= static_cast<int>(n);
+                EXPECT_EQ(got.contains(addr), expected)
+                    << addr.to_string() << " ref=" << ref << " n=" << n;
+            }
+        }
+    }
+}
+
+TEST_P(TemporalBruteForce, OverlapSeriesMatchesIntersections) {
+    const int days = 15;
+    const auto schedule = random_schedule(GetParam() ^ 0x77, 200, days);
+    const daily_series series = to_series(schedule, days);
+    stability_analyzer an(series);
+    const int ref = 7;
+    const auto overlaps = an.overlap_series(ref, 0, days - 1);
+    ASSERT_EQ(overlaps.size(), static_cast<std::size_t>(days));
+    for (int d = 0; d < days; ++d) {
+        std::uint64_t expected = 0;
+        for (const auto& [addr, sched] : schedule)
+            if (sched.contains(ref) && sched.contains(d)) ++expected;
+        EXPECT_EQ(overlaps[static_cast<std::size_t>(d)], expected) << d;
+    }
+}
+
+TEST_P(TemporalBruteForce, WeekRollupIsTheUnionOfDays) {
+    const int days = 21;
+    const auto schedule = random_schedule(GetParam() ^ 0x99, 200, days);
+    const daily_series series = to_series(schedule, days);
+    stability_analyzer an(series);
+    const int first = 7;
+    const stability_split week = an.classify_week(first, 3);
+
+    std::set<address> expected_stable, expected_not;
+    for (int d = first; d < first + 7; ++d) {
+        const stability_split day = an.classify_day(d, 3);
+        expected_stable.insert(day.stable.begin(), day.stable.end());
+        expected_not.insert(day.not_stable.begin(), day.not_stable.end());
+    }
+    EXPECT_EQ(std::set<address>(week.stable.begin(), week.stable.end()),
+              expected_stable);
+    EXPECT_EQ(std::set<address>(week.not_stable.begin(), week.not_stable.end()),
+              expected_not);
+}
+
+TEST_P(TemporalBruteForce, ProjectionCommutesWithUnion) {
+    const int days = 10;
+    rng r{GetParam() ^ 0x44};
+    daily_series series;
+    for (int d = 0; d < days; ++d) {
+        std::vector<address> active;
+        for (int i = 0; i < 200; ++i)
+            active.push_back(
+                address::from_pair(0x20010db800000000ull | r.uniform(32), r()));
+        series.set_day(d, std::move(active));
+    }
+    // union(project(s)) == project(union(s)) as sets of /64s.
+    const auto union_then_project = [&] {
+        std::vector<address> u = series.union_over(0, days - 1);
+        for (address& a : u) a = a.masked(64);
+        std::sort(u.begin(), u.end());
+        u.erase(std::unique(u.begin(), u.end()), u.end());
+        return u;
+    }();
+    const auto project_then_union = series.project(64).union_over(0, days - 1);
+    EXPECT_EQ(union_then_project, project_then_union);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TemporalBruteForce,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace v6

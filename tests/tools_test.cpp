@@ -1,0 +1,201 @@
+// End-to-end tests of the command-line tools: invoke the real binaries
+// with real files and check exit codes and output shape. Tool paths come
+// from the V6CLASS_TOOLS_DIR compile definition.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string tool(const std::string& name) {
+    return std::string(V6CLASS_TOOLS_DIR) + "/" + name;
+}
+
+struct run_result {
+    int exit_code = -1;
+    std::string output;
+};
+
+// Runs a shell command capturing stdout (stderr untouched).
+run_result run(const std::string& command) {
+    run_result result;
+    const fs::path out_file =
+        fs::temp_directory_path() /
+        ("v6class_tools_out_" + std::to_string(::getpid()) + ".txt");
+    const int status =
+        std::system((command + " > " + out_file.string()).c_str());
+    result.exit_code = status == -1 ? -1 : WEXITSTATUS(status);
+    std::ifstream in(out_file);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    result.output = buf.str();
+    fs::remove(out_file);
+    return result;
+}
+
+class ToolsTest : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        corpus_ = fs::temp_directory_path() /
+                  ("v6class_tools_corpus_" + std::to_string(::getpid()));
+        fs::remove_all(corpus_);
+        const run_result synth = run(
+            tool("v6synth") + " --out=" + corpus_.string() +
+            " --scale=0.03 --first=362 --last=368 --routes --routers --zone"
+            " 2>/dev/null");
+        ASSERT_EQ(synth.exit_code, 0);
+    }
+    static void TearDownTestSuite() { fs::remove_all(corpus_); }
+    static fs::path corpus_;
+};
+
+fs::path ToolsTest::corpus_;
+
+TEST_F(ToolsTest, SynthWroteTheCorpus) {
+    EXPECT_TRUE(fs::exists(corpus_ / "day_365.log"));
+    EXPECT_TRUE(fs::exists(corpus_ / "routes.txt"));
+    EXPECT_TRUE(fs::exists(corpus_ / "routers.txt"));
+    EXPECT_TRUE(fs::exists(corpus_ / "zone.ptr"));
+}
+
+TEST_F(ToolsTest, ArpaNamesAndZoneResolution) {
+    const fs::path input = corpus_ / "arpa_input.txt";
+    {
+        std::ofstream out(input);
+        out << "2001:db8::1\n";
+    }
+    const run_result names = run(tool("v6arpa") + " " + input.string());
+    EXPECT_EQ(names.exit_code, 0);
+    EXPECT_NE(names.output.find("8.b.d.0.1.0.0.2.ip6.arpa"), std::string::npos);
+
+    // Resolve the routers against the synthesized zone: every router
+    // interface must have a name.
+    const run_result scan =
+        run(tool("v6arpa") + " --zone=" + (corpus_ / "zone.ptr").string() +
+            " --scan " + (corpus_ / "routers.txt").string() + " 2>/dev/null");
+    EXPECT_EQ(scan.exit_code, 0);
+    EXPECT_NE(scan.output.find("example.net"), std::string::npos);
+}
+
+TEST_F(ToolsTest, ClassifyEmitsTsv) {
+    const fs::path input = corpus_ / "classify_input.txt";
+    {
+        std::ofstream out(input);
+        out << "2001:db8:0:1cdf:21e:c2ff:fec0:11db\n2002:c000:221::1\n";
+    }
+    const run_result r = run(tool("v6classify") + " " + input.string());
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.output.find("eui64"), std::string::npos);
+    EXPECT_NE(r.output.find("mac=00:1e:c2:c0:11:db"), std::string::npos);
+    EXPECT_NE(r.output.find("6to4"), std::string::npos);
+    EXPECT_NE(r.output.find("v4=192.0.2.33"), std::string::npos);
+}
+
+TEST_F(ToolsTest, ClassifySummaryCounts) {
+    const run_result r = run(tool("v6classify") + " --summary " +
+                             (corpus_ / "day_365.log").string());
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.output.find("transition:"), std::string::npos);
+    EXPECT_NE(r.output.find("native"), std::string::npos);
+}
+
+TEST_F(ToolsTest, MraRendersAsciiAndCsv) {
+    const std::string input = (corpus_ / "day_365.log").string();
+    const run_result ascii = run(tool("v6mra") + " --title=test " + input);
+    EXPECT_EQ(ascii.exit_code, 0);
+    EXPECT_NE(ascii.output.find("16-bit segments"), std::string::npos);
+    const run_result csv = run(tool("v6mra") + " --csv " + input);
+    EXPECT_EQ(csv.exit_code, 0);
+    EXPECT_EQ(csv.output.rfind("p,k,ratio\n", 0), 0u);
+}
+
+TEST_F(ToolsTest, MraCompareMeasuresShapeDistance) {
+    const std::string a = (corpus_ / "day_365.log").string();
+    const std::string b = (corpus_ / "day_366.log").string();
+    const std::string routers = (corpus_ / "routers.txt").string();
+    // Same population two days apart: tiny distance. Clients vs routers:
+    // very different plans.
+    const run_result close_run = run(tool("v6mra") + " --compare=" + b + " " + a);
+    ASSERT_EQ(close_run.exit_code, 0);
+    const double same = std::atof(close_run.output.c_str());
+    const run_result far = run(tool("v6mra") + " --compare=" + routers + " " + a);
+    ASSERT_EQ(far.exit_code, 0);
+    const double different = std::atof(far.output.c_str());
+    EXPECT_LT(same, 0.5);
+    EXPECT_GT(different, same * 2);
+}
+
+TEST_F(ToolsTest, MraWritesGnuplotArtifacts) {
+    const fs::path plot_dir = corpus_ / "plots";
+    const run_result r =
+        run(tool("v6mra") + " --gnuplot=" + plot_dir.string() + " --stem=day " +
+            (corpus_ / "day_365.log").string() + " 2>/dev/null");
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_TRUE(fs::exists(plot_dir / "day.gp"));
+    EXPECT_TRUE(fs::exists(plot_dir / "day.dat"));
+}
+
+TEST_F(ToolsTest, DenseTableAndTargets) {
+    const std::string routers = (corpus_ / "routers.txt").string();
+    const run_result table =
+        run(tool("v6dense") + " --class=2@112 --class=2@120 " + routers);
+    EXPECT_EQ(table.exit_code, 0);
+    EXPECT_NE(table.output.find("2 @ /112"), std::string::npos);
+    EXPECT_NE(table.output.find("2 @ /120"), std::string::npos);
+    const run_result targets =
+        run(tool("v6dense") + " --class=2@120 --targets=64 " + routers);
+    EXPECT_EQ(targets.exit_code, 0);
+    std::size_t lines = 0;
+    for (char c : targets.output)
+        if (c == '\n') ++lines;
+    EXPECT_EQ(lines, 64u);
+}
+
+TEST_F(ToolsTest, DenseRejectsBadClass) {
+    const run_result r = run(tool("v6dense") + " --class=banana /dev/null 2>/dev/null");
+    EXPECT_NE(r.exit_code, 0);
+}
+
+TEST_F(ToolsTest, StableClassifiesReferenceDay) {
+    const run_result r = run(tool("v6stable") + " --corpus=" + corpus_.string() +
+                             " --ref=365 --n=3");
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.output.find("3d-stable (-7d,+7d)"), std::string::npos);
+    const run_result p64 = run(tool("v6stable") + " --corpus=" + corpus_.string() +
+                               " --ref=365 --prefix-length=64");
+    EXPECT_EQ(p64.exit_code, 0);
+    EXPECT_NE(p64.output.find("/64 prefixes"), std::string::npos);
+}
+
+TEST_F(ToolsTest, ProfileInfersPractices) {
+    const run_result r = run(tool("v6profile") + " --corpus=" + corpus_.string() +
+                             " --routes=" + (corpus_ / "routes.txt").string() +
+                             " --ref=365");
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.output.find("dynamic-64-pool"), std::string::npos);
+    EXPECT_NE(r.output.find("shared-dense"), std::string::npos);
+    EXPECT_NE(r.output.find("AS20001"), std::string::npos);
+}
+
+TEST_F(ToolsTest, ToolsPrintUsageOnHelp) {
+    for (const char* name : {"v6classify", "v6mra", "v6dense", "v6stable",
+                             "v6synth", "v6profile", "v6arpa"}) {
+        const run_result r = run(tool(name) + " --help");
+        EXPECT_EQ(r.exit_code, 0) << name;
+        EXPECT_NE(r.output.find("usage:"), std::string::npos) << name;
+    }
+}
+
+TEST_F(ToolsTest, MissingInputFails) {
+    const run_result r =
+        run(tool("v6classify") + " /nonexistent/file.txt 2>/dev/null");
+    EXPECT_NE(r.exit_code, 0);
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+// Randomized cross-checks of radix_tree queries against brute-force
+// reference implementations over mixed-length prefix sets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "v6class/netgen/rng.h"
+#include "v6class/trie/radix_tree.h"
+
+namespace v6 {
+namespace {
+
+struct entry {
+    prefix pfx;
+    std::uint64_t count;
+};
+
+// Builds a random mixed-length entry list plus the trie holding it.
+std::pair<std::vector<entry>, radix_tree> make_random_tree(std::uint64_t seed,
+                                                           int n) {
+    rng r{seed};
+    std::vector<entry> entries;
+    radix_tree tree;
+    for (int i = 0; i < n; ++i) {
+        const address base = address::from_pair(
+            0x2000000000000000ull | (r() >> 6), r.chance(0.5) ? r.uniform(256) : r());
+        const unsigned len =
+            r.chance(0.6) ? 128 : static_cast<unsigned>(16 + r.uniform(113));
+        const std::uint64_t count = 1 + r.uniform(5);
+        const prefix p{base, len};
+        entries.push_back({p, count});
+        tree.add(p, count);
+    }
+    return {std::move(entries), std::move(tree)};
+}
+
+class TrieBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieBruteForce, SubtreeCountMatches) {
+    auto [entries, tree] = make_random_tree(GetParam(), 400);
+    rng r{GetParam() ^ 0xbeef};
+    for (int q = 0; q < 300; ++q) {
+        // Query prefixes: random, or derived from an entry.
+        prefix query{address::from_pair(0x2000000000000000ull | (r() >> 6), r()),
+                     static_cast<unsigned>(r.uniform(129))};
+        if (r.chance(0.5))
+            query = prefix{entries[r.uniform(entries.size())].pfx.base(),
+                           static_cast<unsigned>(r.uniform(129))};
+        std::uint64_t expected = 0;
+        for (const entry& e : entries)
+            if (query.contains(e.pfx)) expected += e.count;
+        EXPECT_EQ(tree.subtree_count(query), expected) << query.to_string();
+    }
+}
+
+TEST_P(TrieBruteForce, CountAtMatches) {
+    auto [entries, tree] = make_random_tree(GetParam(), 300);
+    for (const entry& e : entries) {
+        std::uint64_t expected = 0;
+        for (const entry& other : entries)
+            if (other.pfx == e.pfx) expected += other.count;
+        EXPECT_EQ(tree.count_at(e.pfx), expected) << e.pfx.to_string();
+    }
+}
+
+TEST_P(TrieBruteForce, LongestMatchMatches) {
+    auto [entries, tree] = make_random_tree(GetParam(), 300);
+    rng r{GetParam() ^ 0xcafe};
+    for (int q = 0; q < 300; ++q) {
+        address probe = address::from_pair(0x2000000000000000ull | (r() >> 6), r());
+        if (r.chance(0.5)) {
+            // Probe inside a random entry.
+            const prefix& p = entries[r.uniform(entries.size())].pfx;
+            probe = p.base();
+            for (unsigned bit = p.length(); bit < 128; ++bit)
+                probe = probe.with_bit(bit, static_cast<unsigned>(r.uniform(2)));
+        }
+        const prefix* best = nullptr;
+        for (const entry& e : entries)
+            if (e.pfx.contains(probe) &&
+                (!best || e.pfx.length() > best->length()))
+                best = &e.pfx;
+        const auto got = tree.longest_match(probe);
+        if (!best) {
+            EXPECT_FALSE(got.has_value());
+        } else {
+            ASSERT_TRUE(got.has_value());
+            EXPECT_EQ(*got, *best) << probe.to_string();
+        }
+    }
+}
+
+TEST_P(TrieBruteForce, VisitEnumeratesExactlyTheEntries) {
+    auto [entries, tree] = make_random_tree(GetParam(), 250);
+    // Expected: per-prefix summed counts, in address order.
+    std::vector<std::pair<prefix, std::uint64_t>> expected;
+    for (const entry& e : entries) {
+        bool merged = false;
+        for (auto& [p, c] : expected)
+            if (p == e.pfx) {
+                c += e.count;
+                merged = true;
+            }
+        if (!merged) expected.emplace_back(e.pfx, e.count);
+    }
+    std::sort(expected.begin(), expected.end());
+    std::vector<std::pair<prefix, std::uint64_t>> got;
+    tree.visit([&](const prefix& p, std::uint64_t c) { got.emplace_back(p, c); });
+    EXPECT_EQ(got, expected);
+}
+
+TEST_P(TrieBruteForce, AggregationPreservesSubtreeSums) {
+    auto [entries, tree] = make_random_tree(GetParam(), 400);
+    // Pick check prefixes *before* aggregating.
+    rng r{GetParam() ^ 0x5a5a};
+    std::vector<prefix> checks;
+    for (int i = 0; i < 20; ++i)
+        checks.push_back(prefix{entries[r.uniform(entries.size())].pfx.base(),
+                                static_cast<unsigned>(r.uniform(33))});
+    std::vector<std::uint64_t> before;
+    for (const prefix& p : checks) before.push_back(tree.subtree_count(p));
+    tree.aggregate_by_share(0.02);
+    // Aggregation only moves counts upward (toward shorter prefixes), so
+    // any proper subtree can lose mass to its ancestors but never gain;
+    // the total is preserved exactly at the root.
+    for (std::size_t i = 0; i < checks.size(); ++i)
+        EXPECT_LE(tree.subtree_count(checks[i]), before[i])
+            << checks[i].to_string();
+    EXPECT_EQ(tree.subtree_count(prefix{}), tree.total());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieBruteForce,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace v6

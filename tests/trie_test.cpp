@@ -1,0 +1,304 @@
+// Unit and property tests for the Patricia trie, the densify operations,
+// and the aguri aggregation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "v6class/netgen/rng.h"
+#include "v6class/trie/radix_tree.h"
+
+namespace v6 {
+namespace {
+
+using namespace v6::literals;
+
+TEST(RadixTreeTest, EmptyTree) {
+    radix_tree t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.total(), 0u);
+    EXPECT_EQ(t.node_count(), 0u);
+    EXPECT_EQ(t.subtree_count("::/0"_pfx), 0u);
+    EXPECT_FALSE(t.longest_match("::1"_v6).has_value());
+    EXPECT_TRUE(t.dense_prefixes_at(1, 64).empty());
+    EXPECT_TRUE(t.densify(1, 64).empty());
+}
+
+TEST(RadixTreeTest, SingleAddress) {
+    radix_tree t;
+    t.add("2001:db8::1"_v6);
+    EXPECT_EQ(t.total(), 1u);
+    EXPECT_EQ(t.node_count(), 1u);
+    EXPECT_EQ(t.count_at("2001:db8::1/128"_pfx), 1u);
+    EXPECT_EQ(t.subtree_count("2001:db8::/32"_pfx), 1u);
+    EXPECT_EQ(t.subtree_count("2001:db9::/32"_pfx), 0u);
+}
+
+TEST(RadixTreeTest, DuplicateAddsAccumulate) {
+    radix_tree t;
+    t.add("2001:db8::1"_v6, 3);
+    t.add("2001:db8::1"_v6, 2);
+    EXPECT_EQ(t.total(), 5u);
+    EXPECT_EQ(t.node_count(), 1u);
+    EXPECT_EQ(t.count_at("2001:db8::1/128"_pfx), 5u);
+}
+
+TEST(RadixTreeTest, SplitCreatesBranch) {
+    radix_tree t;
+    t.add("2001:db8::1"_v6);
+    t.add("2001:db8::2"_v6);
+    // Two leaves plus the branch at their divergence (/126).
+    EXPECT_EQ(t.node_count(), 3u);
+    EXPECT_EQ(t.subtree_count("2001:db8::/126"_pfx), 2u);
+    EXPECT_EQ(t.count_at("2001:db8::/126"_pfx), 0u);  // branch owns nothing
+}
+
+TEST(RadixTreeTest, PrefixCoversExistingNode) {
+    radix_tree t;
+    t.add("2001:db8:1::/48"_pfx, 4);
+    t.add("2001:db8::/32"_pfx, 1);
+    EXPECT_EQ(t.count_at("2001:db8::/32"_pfx), 1u);
+    EXPECT_EQ(t.count_at("2001:db8:1::/48"_pfx), 4u);
+    EXPECT_EQ(t.subtree_count("2001:db8::/32"_pfx), 5u);
+}
+
+TEST(RadixTreeTest, SubtreeCountAtImplicitPrefix) {
+    radix_tree t;
+    t.add("2001:db8::1"_v6);
+    t.add("2001:db8::2"_v6);
+    t.add("2001:db9::1"_v6);
+    // /64 is not a node (the branch is at /31... /126), yet the query
+    // must resolve through the compressed edges.
+    EXPECT_EQ(t.subtree_count("2001:db8::/64"_pfx), 2u);
+    EXPECT_EQ(t.subtree_count("2001:db9::/64"_pfx), 1u);
+    EXPECT_EQ(t.subtree_count("::/0"_pfx), 3u);
+}
+
+TEST(RadixTreeTest, LongestMatch) {
+    radix_tree t;
+    t.add("2001:db8::/32"_pfx, 1);
+    t.add("2001:db8:1::/48"_pfx, 1);
+    const auto m = t.longest_match("2001:db8:1::42"_v6);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(*m, "2001:db8:1::/48"_pfx);
+    const auto shallow = t.longest_match("2001:db8:2::42"_v6);
+    ASSERT_TRUE(shallow.has_value());
+    EXPECT_EQ(*shallow, "2001:db8::/32"_pfx);
+    EXPECT_FALSE(t.longest_match("2002::1"_v6).has_value());
+}
+
+TEST(RadixTreeTest, VisitInAddressOrder) {
+    radix_tree t;
+    t.add("2001:db8::2"_v6);
+    t.add("2001:db8::1"_v6);
+    t.add("2001:db8::/32"_pfx, 1);
+    std::vector<prefix> seen;
+    t.visit([&](const prefix& p, std::uint64_t) { seen.push_back(p); });
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0], "2001:db8::/32"_pfx);
+    EXPECT_EQ(seen[1], "2001:db8::1/128"_pfx);
+    EXPECT_EQ(seen[2], "2001:db8::2/128"_pfx);
+}
+
+TEST(RadixTreeTest, ClearResets) {
+    radix_tree t;
+    t.add("2001:db8::1"_v6);
+    t.clear();
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.total(), 0u);
+    EXPECT_EQ(t.node_count(), 0u);
+}
+
+// ------------------------------------------------------------- densify
+
+TEST(DenseAtTest, PaperExample) {
+    // Section 5.2.2: with 2001:db8::1 and 2001:db8::4 active,
+    // 2001:db8::/112 is the sole 2@/112-dense prefix; there is one
+    // 2@/125-dense prefix but no 2@/126-dense prefix.
+    radix_tree t;
+    t.add("2001:db8::1"_v6);
+    t.add("2001:db8::4"_v6);
+    const auto at112 = t.dense_prefixes_at(2, 112);
+    ASSERT_EQ(at112.size(), 1u);
+    EXPECT_EQ(at112[0].pfx, "2001:db8::/112"_pfx);
+    EXPECT_EQ(at112[0].observed, 2u);
+    EXPECT_EQ(t.dense_prefixes_at(2, 125).size(), 1u);
+    EXPECT_TRUE(t.dense_prefixes_at(2, 126).empty());
+}
+
+TEST(DenseAtTest, ResultsInAddressOrder) {
+    radix_tree t;
+    t.add("2001:db8:2::1"_v6);
+    t.add("2001:db8:2::2"_v6);
+    t.add("2001:db8:1::1"_v6);
+    t.add("2001:db8:1::9"_v6);
+    const auto dense = t.dense_prefixes_at(2, 112);
+    ASSERT_EQ(dense.size(), 2u);
+    EXPECT_LT(dense[0].pfx, dense[1].pfx);
+}
+
+TEST(DenseAtTest, CountsBelowThresholdExcluded) {
+    radix_tree t;
+    t.add("2001:db8::1"_v6);
+    t.add("2001:db8::2"_v6);
+    t.add("2001:db9::1"_v6);
+    const auto dense = t.dense_prefixes_at(2, 64);
+    ASSERT_EQ(dense.size(), 1u);
+    EXPECT_EQ(dense[0].pfx, "2001:db8::/64"_pfx);
+}
+
+TEST(DensifyTest, FindsLeastSpecificDensePrefix) {
+    // 4 addresses in one /112: with n=2,p=112 the density is 2/2^16, so
+    // the /111 covering all four (4 >= 2 * 2^(112-111)) is dense too;
+    // densify must report the least-specific qualifying prefix.
+    radix_tree t;
+    t.add("2001:db8::1"_v6);
+    t.add("2001:db8::2"_v6);
+    t.add("2001:db8::1:1"_v6);  // second /112 of the same /111
+    t.add("2001:db8::1:2"_v6);
+    const auto dense = t.densify(2, 112);
+    ASSERT_EQ(dense.size(), 1u);
+    EXPECT_EQ(dense[0].pfx, "2001:db8::/111"_pfx);
+    EXPECT_EQ(dense[0].observed, 4u);
+}
+
+TEST(DensifyTest, SingleAddressesAreNotDense) {
+    radix_tree t;
+    t.add("2001:db8::1"_v6);
+    t.add("2001:db9::1"_v6);
+    EXPECT_TRUE(t.densify(2, 112).empty());
+}
+
+TEST(DensifyTest, ReportedPrefixesAreNonOverlapping) {
+    radix_tree t;
+    for (int i = 1; i <= 8; ++i)
+        t.add(address::from_pair(0x20010db800000000ull, static_cast<unsigned>(i)));
+    for (int i = 1; i <= 4; ++i)
+        t.add(address::from_pair(0x20010db900000000ull, static_cast<unsigned>(i * 7)));
+    const auto dense = t.densify(2, 112);
+    for (std::size_t i = 0; i < dense.size(); ++i)
+        for (std::size_t j = i + 1; j < dense.size(); ++j) {
+            EXPECT_FALSE(dense[i].pfx.contains(dense[j].pfx));
+            EXPECT_FALSE(dense[j].pfx.contains(dense[i].pfx));
+        }
+}
+
+TEST(DensifyTest, EveryReportMeetsItsDensity) {
+    rng r{99};
+    radix_tree t;
+    for (int i = 0; i < 4000; ++i) {
+        // Clustered low bits to create dense pockets.
+        const std::uint64_t hi = 0x20010db800000000ull | r.uniform(4);
+        const std::uint64_t lo = r.uniform(1 << 12);
+        t.add(address::from_pair(hi, lo));
+    }
+    const std::uint64_t n = 4;
+    const unsigned p = 120;
+    for (const dense_prefix& d : t.densify(n, p)) {
+        EXPECT_GE(d.observed, n);
+        EXPECT_LE(d.pfx.length(), 127u);
+        // density: observed >= n * 2^(p - q)
+        const int exp = static_cast<int>(p) - static_cast<int>(d.pfx.length());
+        const double required =
+            static_cast<double>(n) * std::ldexp(1.0, exp);
+        EXPECT_GE(static_cast<double>(d.observed), required)
+            << d.pfx.to_string();
+        EXPECT_EQ(t.subtree_count(d.pfx), d.observed);
+    }
+}
+
+// Property: the trie's exact-length dense query agrees with the paper's
+// footnote-3 sort|cut|uniq recipe, across random address sets and
+// parameters.
+struct dense_param {
+    std::uint64_t seed;
+    std::uint64_t min_count;
+    unsigned p;
+};
+
+class DenseCrossCheck : public ::testing::TestWithParam<dense_param> {};
+
+TEST_P(DenseCrossCheck, TrieMatchesSortRecipe) {
+    const auto [seed, min_count, p] = GetParam();
+    rng r{seed};
+    std::vector<address> addrs;
+    radix_tree t;
+    for (int i = 0; i < 3000; ++i) {
+        // A mix of clustered and scattered addresses.
+        std::uint64_t hi = 0x20010db800000000ull | (r.uniform(8) << 16);
+        std::uint64_t lo = r.chance(0.7) ? r.uniform(1 << 10) : r();
+        const address a = address::from_pair(hi, lo);
+        addrs.push_back(a);
+        t.add(a);
+    }
+    const auto from_trie = t.dense_prefixes_at(min_count, p);
+    const auto from_sort = dense_prefixes_by_sort(addrs, min_count, p);
+    ASSERT_EQ(from_trie.size(), from_sort.size());
+    for (std::size_t i = 0; i < from_trie.size(); ++i) {
+        EXPECT_EQ(from_trie[i].pfx, from_sort[i].pfx);
+        EXPECT_EQ(from_trie[i].observed, from_sort[i].observed);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSets, DenseCrossCheck,
+    ::testing::Values(dense_param{1, 2, 112}, dense_param{2, 2, 120},
+                      dense_param{3, 4, 112}, dense_param{4, 8, 104},
+                      dense_param{5, 2, 124}, dense_param{6, 3, 116},
+                      dense_param{7, 16, 96}, dense_param{8, 2, 128},
+                      dense_param{9, 2, 64}, dense_param{10, 5, 80}));
+
+// ------------------------------------------------------- aguri behaviour
+
+TEST(AggregateByShareTest, TotalIsPreserved) {
+    radix_tree t;
+    rng r{5};
+    for (int i = 0; i < 1000; ++i)
+        t.add(address::from_pair(0x20010db800000000ull | r.uniform(256), r()), 1);
+    const std::uint64_t before = t.total();
+    t.aggregate_by_share(0.05);
+    EXPECT_EQ(t.total(), before);
+    EXPECT_EQ(t.subtree_count("::/0"_pfx), before);
+}
+
+TEST(AggregateByShareTest, SurvivorsMeetThreshold) {
+    radix_tree t;
+    rng r{6};
+    for (int i = 0; i < 2000; ++i)
+        t.add(address::from_pair(0x20010db800000000ull | r.uniform(16), r()));
+    t.aggregate_by_share(0.02);
+    const auto threshold =
+        static_cast<std::uint64_t>(std::ceil(0.02 * 2000));
+    t.visit([&](const prefix& p, std::uint64_t count) {
+        if (p.length() > 0) {  // the root absorbs the remainder
+            EXPECT_GE(count, threshold) << p.to_string();
+        }
+    });
+}
+
+TEST(AggregateByShareTest, ReducesNodeCount) {
+    radix_tree t;
+    rng r{7};
+    for (int i = 0; i < 5000; ++i)
+        t.add(address::from_pair(0x20010db800000000ull, r()));
+    const std::size_t before = t.node_count();
+    t.aggregate_by_share(0.01);
+    EXPECT_LT(t.node_count(), before / 10);
+}
+
+TEST(VisitSplitsTest, CountsMatchMraExpectation) {
+    radix_tree t;
+    t.add("2001:db8::1"_v6);
+    t.add("2001:db8::2"_v6);
+    t.add("2001:db9::1"_v6);
+    std::map<unsigned, unsigned> splits;
+    t.visit_splits([&](unsigned len) { ++splits[len]; });
+    // Splits at /31 (db8 vs db9) and /126 (::1 vs ::2).
+    ASSERT_EQ(splits.size(), 2u);
+    EXPECT_EQ(splits[31], 1u);
+    EXPECT_EQ(splits[126], 1u);
+}
+
+}  // namespace
+}  // namespace v6

@@ -1,0 +1,25 @@
+// Verifies the umbrella header compiles standalone and exposes the API.
+#include "v6class/v6class.h"
+
+#include <gtest/gtest.h>
+
+namespace v6 {
+namespace {
+
+TEST(UmbrellaTest, EverythingIsVisible) {
+    const address a = address::must_parse("2001:db8::1");
+    EXPECT_EQ(classify(a).scope, address_scope::documentation);
+    radix_tree tree;
+    tree.add(a);
+    EXPECT_EQ(tree.total(), 1u);
+    prefix_map<int> routes;
+    routes.insert(prefix::must_parse("2001:db8::/32"), 1);
+    EXPECT_TRUE(routes.longest_match(a).has_value());
+    daily_series series;
+    series.set_day(0, {a});
+    EXPECT_EQ(stability_analyzer(series).count_stable(0, 1), 0u);
+    EXPECT_EQ(compute_mra({a}).size(), 1u);
+}
+
+}  // namespace
+}  // namespace v6

@@ -1,0 +1,100 @@
+// tool_common.h — shared plumbing for the command-line tools: flag
+// parsing, input selection (file or stdin), and consistent diagnostics.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "v6class/ip/io.h"
+
+namespace v6::tools {
+
+/// Minimal GNU-style flag parser: collects "--name=value" and "--name"
+/// into a map, everything else into positional arguments.
+class flag_set {
+public:
+    flag_set(int argc, char** argv) {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg.rfind("--", 0) == 0) {
+                const std::size_t eq = arg.find('=');
+                if (eq == std::string::npos)
+                    flags_.emplace_back(arg.substr(2), "");
+                else
+                    flags_.emplace_back(arg.substr(2, eq - 2), arg.substr(eq + 1));
+            } else {
+                positional_.push_back(arg);
+            }
+        }
+    }
+
+    bool has(const std::string& name) const {
+        for (const auto& [k, v] : flags_)
+            if (k == name) return true;
+        return false;
+    }
+
+    std::string get(const std::string& name, const std::string& fallback = "") const {
+        for (const auto& [k, v] : flags_)
+            if (k == name) return v;
+        return fallback;
+    }
+
+    long get_int(const std::string& name, long fallback) const {
+        const std::string v = get(name);
+        return v.empty() ? fallback : std::atol(v.c_str());
+    }
+
+    double get_double(const std::string& name, double fallback) const {
+        const std::string v = get(name);
+        return v.empty() ? fallback : std::atof(v.c_str());
+    }
+
+    /// Every value given for a repeatable flag.
+    std::vector<std::string> get_all(const std::string& name) const {
+        std::vector<std::string> out;
+        for (const auto& [k, v] : flags_)
+            if (k == name) out.push_back(v);
+        return out;
+    }
+
+    const std::vector<std::string>& positional() const { return positional_; }
+
+private:
+    std::vector<std::pair<std::string, std::string>> flags_;
+    std::vector<std::string> positional_;
+};
+
+/// Reads addresses from the first positional argument (a file) or stdin
+/// when none is given ("-" also means stdin). Reports parse accounting
+/// to stderr; returns nullopt when the file cannot be opened.
+inline std::optional<std::vector<address>> read_input_addresses(const flag_set& flags) {
+    std::vector<address> addrs;
+    read_report report;
+    if (flags.positional().empty() || flags.positional()[0] == "-") {
+        report = read_addresses(std::cin, addrs);
+    } else {
+        std::ifstream in(flags.positional()[0]);
+        if (!in) {
+            std::fprintf(stderr, "error: cannot open %s\n",
+                         flags.positional()[0].c_str());
+            return std::nullopt;
+        }
+        report = read_addresses(in, addrs);
+    }
+    if (report.malformed > 0) {
+        std::fprintf(stderr, "warning: %llu malformed line(s) skipped; first: %s\n",
+                     static_cast<unsigned long long>(report.malformed),
+                     report.first_errors.empty() ? "?"
+                                                 : report.first_errors[0].c_str());
+    }
+    return addrs;
+}
+
+}  // namespace v6::tools

@@ -1,0 +1,64 @@
+// v6arpa — ip6.arpa reverse-DNS utilities.
+//
+//   v6arpa [file]                 print the ip6.arpa PTR query name for
+//                                 each input address
+//   v6arpa --zone=FILE [file]     resolve each address against a zone
+//                                 file ("name. PTR target." lines, as
+//                                 written by export_zone_file / v6synth)
+//   v6arpa --zone=FILE --scan [file]
+//                                 bulk-scan mode: only print addresses
+//                                 that resolve, with counts to stderr
+#include <fstream>
+
+#include "tool_common.h"
+#include "v6class/dnssim/reverse_zone.h"
+
+using namespace v6;
+
+int main(int argc, char** argv) {
+    const tools::flag_set flags(argc, argv);
+    if (flags.has("help")) {
+        std::puts(
+            "usage: v6arpa [--zone=FILE [--scan]] [file]\n"
+            "ip6.arpa name generation and zone-file resolution");
+        return 0;
+    }
+    const auto addrs = tools::read_input_addresses(flags);
+    if (!addrs) return 1;
+
+    if (!flags.has("zone")) {
+        for (const address& a : *addrs)
+            std::printf("%s\n", ip6_arpa_name(a).c_str());
+        return 0;
+    }
+
+    reverse_zone zone;
+    {
+        std::ifstream in(flags.get("zone"));
+        if (!in) {
+            std::fprintf(stderr, "error: cannot open %s\n",
+                         flags.get("zone").c_str());
+            return 1;
+        }
+        const std::size_t loaded = import_zone_file(in, zone);
+        std::fprintf(stderr, "loaded %zu PTR records\n", loaded);
+    }
+
+    if (flags.has("scan")) {
+        const auto result = zone.scan(*addrs);
+        for (const address& a : result.named)
+            std::printf("%s\t%s\n", a.to_string().c_str(),
+                        std::string(*zone.query(a)).c_str());
+        std::fprintf(stderr, "%llu/%llu queries resolved\n",
+                     static_cast<unsigned long long>(result.names_found),
+                     static_cast<unsigned long long>(result.queries));
+        return 0;
+    }
+
+    for (const address& a : *addrs) {
+        const auto name = zone.query(a);
+        std::printf("%s\t%s\n", a.to_string().c_str(),
+                    name ? std::string(*name).c_str() : "NXDOMAIN");
+    }
+    return 0;
+}

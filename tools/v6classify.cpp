@@ -1,0 +1,84 @@
+// v6classify — classify IPv6 addresses by content.
+//
+//   v6classify [file]               TSV: addr, transition, scope, iid,
+//                                   malone label, decoded MAC / IPv4
+//   v6classify --summary [file]     class counts only
+//   v6classify --spatial [file]     adds the spatial class of each
+//                                   address within the input population
+//
+// Reads one address per line from `file` or stdin.
+#include <map>
+
+#include "tool_common.h"
+#include "v6class/addrtype/classify.h"
+#include "v6class/addrtype/malone.h"
+#include "v6class/ip/ipv4.h"
+#include "v6class/spatial/spatial_class.h"
+
+using namespace v6;
+
+int main(int argc, char** argv) {
+    const tools::flag_set flags(argc, argv);
+    if (flags.has("help")) {
+        std::puts(
+            "usage: v6classify [--summary] [--spatial] [file]\n"
+            "classify IPv6 addresses (one per line; '-' or no file = stdin)");
+        return 0;
+    }
+    const auto addrs = tools::read_input_addresses(flags);
+    if (!addrs) return 1;
+
+    if (flags.has("summary")) {
+        std::map<std::string, std::uint64_t> transitions, iids, malones;
+        for (const address& a : *addrs) {
+            const classification c = classify(a);
+            ++transitions[std::string(to_string(c.transition))];
+            ++iids[std::string(to_string(c.iid))];
+            ++malones[std::string(to_string(malone_classify(a)))];
+        }
+        std::printf("%zu addresses\n\ntransition:\n", addrs->size());
+        for (const auto& [k, v] : transitions)
+            std::printf("  %-14s %llu\n", k.c_str(),
+                        static_cast<unsigned long long>(v));
+        std::puts("\niid kind:");
+        for (const auto& [k, v] : iids)
+            std::printf("  %-14s %llu\n", k.c_str(),
+                        static_cast<unsigned long long>(v));
+        std::puts("\nmalone label:");
+        for (const auto& [k, v] : malones)
+            std::printf("  %-14s %llu\n", k.c_str(),
+                        static_cast<unsigned long long>(v));
+        return 0;
+    }
+
+    const bool spatial = flags.has("spatial");
+    radix_tree population;
+    std::optional<spatial_classifier> spatial_cls;
+    if (spatial) {
+        for (const address& a : *addrs) population.add(a);
+        spatial_cls.emplace(population);
+    }
+
+    std::printf("address\ttransition\tscope\tiid\tmalone%s\tdetail\n",
+                spatial ? "\tspatial" : "");
+    for (const address& a : *addrs) {
+        const classification c = classify(a);
+        std::string detail;
+        if (c.mac) detail = "mac=" + c.mac->to_string();
+        if (c.embedded_ipv4) {
+            if (!detail.empty()) detail += ' ';
+            detail += "v4=" + ipv4_address{*c.embedded_ipv4}.to_string();
+        }
+        std::string spatial_col;
+        if (spatial)
+            spatial_col =
+                "\t" + std::string(to_string(spatial_cls->classify(a)));
+        std::printf("%s\t%s\t%s\t%s\t%s%s\t%s\n", a.to_string().c_str(),
+                    std::string(to_string(c.transition)).c_str(),
+                    std::string(to_string(c.scope)).c_str(),
+                    std::string(to_string(c.iid)).c_str(),
+                    std::string(to_string(malone_classify(a))).c_str(),
+                    spatial_col.c_str(), detail.c_str());
+    }
+    return 0;
+}

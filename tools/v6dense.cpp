@@ -1,0 +1,82 @@
+// v6dense — dense-prefix discovery (the paper's n@/p-dense classes).
+//
+//   v6dense --class=2@112 [--class=3@120 ...] [file]
+//       Table-3-style row per class.
+//   v6dense --class=2@112 --list [file]
+//       list the dense prefixes of the first class.
+//   v6dense --class=2@112 --targets=N [file]
+//       expand the first class's prefixes into up to N scan targets.
+//   v6dense --class=2@112 --least-specific [file]
+//       use the general densify (least-specific covering prefixes).
+#include "tool_common.h"
+#include "v6class/analysis/reports.h"
+#include "v6class/spatial/density.h"
+
+using namespace v6;
+
+namespace {
+
+std::optional<std::pair<std::uint64_t, unsigned>> parse_class(
+    const std::string& text) {
+    const std::size_t at = text.find('@');
+    if (at == std::string::npos) return std::nullopt;
+    const long n = std::atol(text.substr(0, at).c_str());
+    std::string p_text = text.substr(at + 1);
+    if (!p_text.empty() && p_text[0] == '/') p_text.erase(0, 1);
+    const long p = std::atol(p_text.c_str());
+    if (n < 1 || p < 0 || p > 128) return std::nullopt;
+    return std::make_pair(static_cast<std::uint64_t>(n), static_cast<unsigned>(p));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const tools::flag_set flags(argc, argv);
+    if (flags.has("help")) {
+        std::puts(
+            "usage: v6dense --class=N@P [--class=...] [--list | --targets=N]\n"
+            "               [--least-specific] [file]\n"
+            "dense-prefix discovery over an address set");
+        return 0;
+    }
+    std::vector<std::pair<std::uint64_t, unsigned>> classes;
+    for (const std::string& text : flags.get_all("class")) {
+        const auto parsed = parse_class(text);
+        if (!parsed) {
+            std::fprintf(stderr, "error: bad --class=%s (want e.g. 2@112)\n",
+                         text.c_str());
+            return 1;
+        }
+        classes.push_back(*parsed);
+    }
+    if (classes.empty()) classes.push_back({2, 112});
+
+    const auto addrs = tools::read_input_addresses(flags);
+    if (!addrs) return 1;
+
+    radix_tree tree;
+    for (const address& a : *addrs) tree.add(a);
+
+    const auto [n0, p0] = classes.front();
+    if (flags.has("list") || flags.has("targets")) {
+        const std::vector<dense_prefix> dense =
+            flags.has("least-specific") ? tree.densify(n0, p0)
+                                        : tree.dense_prefixes_at(n0, p0);
+        if (flags.has("targets")) {
+            const auto limit =
+                static_cast<std::size_t>(flags.get_int("targets", 65536));
+            for (const address& t : expand_scan_targets(dense, limit))
+                std::printf("%s\n", t.to_string().c_str());
+        } else {
+            for (const dense_prefix& d : dense)
+                std::printf("%s %llu\n", d.pfx.to_string().c_str(),
+                            static_cast<unsigned long long>(d.observed));
+        }
+        return 0;
+    }
+
+    std::fputs(render_table3(compute_density_table(tree, classes), "Observed")
+                   .c_str(),
+               stdout);
+    return 0;
+}

@@ -1,0 +1,70 @@
+// v6mra — Multi-Resolution Aggregate analysis of an address set.
+//
+//   v6mra [file]                        ASCII MRA plot to stdout
+//   v6mra --csv [file]                  "p,k,ratio" series instead
+//   v6mra --gnuplot=DIR --stem=NAME     also write NAME.dat/NAME.gp
+//   v6mra --title=TEXT                  plot title (default: file name)
+//   v6mra --compare=FILE2 [file]        RMS log-ratio distance between the
+//                                       two populations' MRA shapes (same
+//                                       plan ~ <0.5, different plans >1)
+#include "tool_common.h"
+#include "v6class/spatial/gnuplot.h"
+#include "v6class/spatial/mra_compare.h"
+#include "v6class/spatial/mra_plot.h"
+
+using namespace v6;
+
+int main(int argc, char** argv) {
+    const tools::flag_set flags(argc, argv);
+    if (flags.has("help")) {
+        std::puts(
+            "usage: v6mra [--csv] [--gnuplot=DIR [--stem=NAME]] [--title=T]\n"
+            "             [--compare=FILE2] [file]\n"
+            "MRA plot of an address set (one address per line)");
+        return 0;
+    }
+    const auto addrs = tools::read_input_addresses(flags);
+    if (!addrs) return 1;
+    if (addrs->empty()) {
+        std::fprintf(stderr, "error: no addresses in input\n");
+        return 1;
+    }
+
+    if (flags.has("compare")) {
+        std::ifstream other(flags.get("compare"));
+        if (!other) {
+            std::fprintf(stderr, "error: cannot open %s\n",
+                         flags.get("compare").c_str());
+            return 1;
+        }
+        std::vector<address> addrs2;
+        read_addresses(other, addrs2);
+        if (addrs2.empty()) {
+            std::fprintf(stderr, "error: no addresses in %s\n",
+                         flags.get("compare").c_str());
+            return 1;
+        }
+        const double d =
+            mra_distance(compute_mra(*addrs), compute_mra(std::move(addrs2)), 4);
+        std::printf("%.4f\n", d);
+        return 0;
+    }
+
+    const std::string title = flags.get(
+        "title", flags.positional().empty() ? "stdin" : flags.positional()[0]);
+    const mra_plot_data plot = make_mra_plot(compute_mra(*addrs), title);
+
+    if (flags.has("csv"))
+        std::fputs(to_csv(plot).c_str(), stdout);
+    else
+        std::fputs(render_ascii(plot).c_str(), stdout);
+
+    if (flags.has("gnuplot")) {
+        const std::string dir = flags.get("gnuplot", ".");
+        const std::string stem = flags.get("stem", "mra");
+        const auto script = write_mra_gnuplot(dir, stem, plot);
+        std::fprintf(stderr, "wrote %s (render with: gnuplot -p %s)\n",
+                     script.string().c_str(), script.string().c_str());
+    }
+    return 0;
+}

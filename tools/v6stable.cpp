@@ -1,0 +1,87 @@
+// v6stable — temporal (stability) classification over a log corpus.
+//
+//   v6stable --corpus=DIR --ref=DAY [--n=3] [--back=7] [--fwd=7]
+//            [--prefix-length=128] [--print-stable] [--spectrum=MAX]
+//
+// DIR holds day_<index>.log files (see v6synth / cdnsim::corpus). The
+// reference day is classified with the paper's nd-stable definition.
+#include "tool_common.h"
+#include "v6class/analysis/format.h"
+#include "v6class/cdnsim/corpus.h"
+#include "v6class/temporal/observation_store.h"
+#include "v6class/temporal/stability.h"
+
+using namespace v6;
+
+int main(int argc, char** argv) {
+    const tools::flag_set flags(argc, argv);
+    if (flags.has("help") || !flags.has("corpus") || !flags.has("ref")) {
+        std::puts(
+            "usage: v6stable --corpus=DIR --ref=DAY [--n=3] [--back=7] "
+            "[--fwd=7]\n"
+            "                [--prefix-length=L] [--print-stable] "
+            "[--spectrum=MAX]\n"
+            "stability classification over a corpus of day_<n>.log files");
+        return flags.has("help") ? 0 : 1;
+    }
+    const int ref = static_cast<int>(flags.get_int("ref", 0));
+    const auto n = static_cast<unsigned>(flags.get_int("n", 3));
+    const unsigned plen =
+        static_cast<unsigned>(flags.get_int("prefix-length", 128));
+
+    daily_series series;
+    try {
+        series = read_corpus(flags.get("corpus"));
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    if (series.days().empty()) {
+        std::fprintf(stderr, "error: no day_<n>.log files in %s\n",
+                     flags.get("corpus").c_str());
+        return 1;
+    }
+    if (plen < 128) series = series.project(plen);
+
+    stability_options opt;
+    opt.window_back = static_cast<int>(flags.get_int("back", 7));
+    opt.window_fwd = static_cast<int>(flags.get_int("fwd", 7));
+    stability_analyzer an(series, opt);
+    const stability_split split = an.classify_day(ref, n);
+    const std::uint64_t total = split.stable.size() + split.not_stable.size();
+    if (total == 0) {
+        std::fprintf(stderr, "error: nothing active on day %d\n", ref);
+        return 1;
+    }
+    std::printf("day %d: %s active %s\n", ref,
+                format_count(static_cast<double>(total)).c_str(),
+                plen < 128 ? ("/" + std::to_string(plen) + " prefixes").c_str()
+                           : "addresses");
+    std::printf("  %ud-stable (-%dd,+%dd):  %s (%s)\n", n, opt.window_back,
+                opt.window_fwd,
+                format_count(static_cast<double>(split.stable.size())).c_str(),
+                format_pct(static_cast<double>(split.stable.size()) /
+                           static_cast<double>(total))
+                    .c_str());
+    std::printf("  not %ud-stable:         %s (%s)\n", n,
+                format_count(static_cast<double>(split.not_stable.size())).c_str(),
+                format_pct(static_cast<double>(split.not_stable.size()) /
+                           static_cast<double>(total))
+                    .c_str());
+
+    if (flags.has("spectrum")) {
+        const auto max_n = static_cast<unsigned>(flags.get_int("spectrum", 14));
+        observation_store store(plen);
+        for (const int d : series.days()) store.record_day(d, series.day(d));
+        const auto spectrum = store.stability_spectrum(max_n);
+        std::puts("\nlifetime spectrum over the whole corpus (span >= n days):");
+        for (unsigned i = 0; i <= max_n; ++i)
+            std::printf("  n=%-3u %s\n", i,
+                        format_count(static_cast<double>(spectrum[i])).c_str());
+    }
+
+    if (flags.has("print-stable"))
+        for (const address& a : split.stable)
+            std::printf("%s\n", a.to_string().c_str());
+    return 0;
+}

@@ -1,0 +1,75 @@
+// v6synth — generate a synthetic CDN log corpus (and companion files) so
+// the other tools have realistic data to chew on.
+//
+//   v6synth --out=DIR [--first=358] [--last=372] [--scale=0.2] [--seed=42]
+//           [--routes] [--routers] [--zone]
+//
+// Writes day_<n>.log files; with --routes also writes routes.txt
+// ("prefix asn" lines, for v6profile); with --routers a routers.txt of
+// simulated router interface addresses (for v6dense); with --zone a
+// zone.ptr reverse-DNS file (for v6arpa).
+#include <fstream>
+
+#include "tool_common.h"
+#include "v6class/cdnsim/corpus.h"
+#include "v6class/cdnsim/world.h"
+#include "v6class/dnssim/reverse_zone.h"
+#include "v6class/routersim/topology.h"
+
+using namespace v6;
+
+int main(int argc, char** argv) {
+    const tools::flag_set flags(argc, argv);
+    if (flags.has("help") || !flags.has("out")) {
+        std::puts(
+            "usage: v6synth --out=DIR [--first=D] [--last=D] [--scale=S]\n"
+            "               [--seed=N] [--routes] [--routers] [--zone]\n"
+            "generate a synthetic aggregated-log corpus");
+        return flags.has("help") ? 0 : 1;
+    }
+    world_config cfg;
+    cfg.scale = flags.get_double("scale", 0.2);
+    cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+    const world w(cfg);
+    const int first = static_cast<int>(flags.get_int("first", kMar2015 - 7));
+    const int last = static_cast<int>(flags.get_int("last", kMar2015 + 7));
+    if (last < first) {
+        std::fprintf(stderr, "error: --last before --first\n");
+        return 1;
+    }
+
+    const std::filesystem::path dir = flags.get("out");
+    try {
+        const int written = write_corpus(w, first, last, dir);
+        std::fprintf(stderr, "wrote %d day logs to %s\n", written,
+                     dir.string().c_str());
+        if (flags.has("routes")) {
+            std::ofstream out(dir / "routes.txt");
+            for (const bgp_route& r : w.registry().routes())
+                out << r.pfx.to_string() << ' ' << r.asn << '\n';
+            std::fprintf(stderr, "wrote %zu routes to %s\n",
+                         w.registry().routes().size(),
+                         (dir / "routes.txt").string().c_str());
+        }
+        if (flags.has("routers")) {
+            const router_topology topo(w);
+            std::ofstream out(dir / "routers.txt");
+            for (const address& a : topo.interfaces()) out << a.to_string() << '\n';
+            std::fprintf(stderr, "wrote %zu router addresses to %s\n",
+                         topo.interfaces().size(),
+                         (dir / "routers.txt").string().c_str());
+        }
+        if (flags.has("zone")) {
+            const router_topology topo(w);
+            const reverse_zone zone = build_world_zone(w, &topo);
+            std::ofstream out(dir / "zone.ptr");
+            export_zone_file(zone, out);
+            std::fprintf(stderr, "wrote %zu PTR records to %s\n", zone.size(),
+                         (dir / "zone.ptr").string().c_str());
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
