@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_active_scan"
+  "../bench/exp_active_scan.pdb"
+  "CMakeFiles/exp_active_scan.dir/exp_active_scan.cpp.o"
+  "CMakeFiles/exp_active_scan.dir/exp_active_scan.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_active_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_aguri_budget"
+  "../bench/exp_aguri_budget.pdb"
+  "CMakeFiles/exp_aguri_budget.dir/exp_aguri_budget.cpp.o"
+  "CMakeFiles/exp_aguri_budget.dir/exp_aguri_budget.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_aguri_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_eui64_mobility"
+  "../bench/exp_eui64_mobility.pdb"
+  "CMakeFiles/exp_eui64_mobility.dir/exp_eui64_mobility.cpp.o"
+  "CMakeFiles/exp_eui64_mobility.dir/exp_eui64_mobility.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_eui64_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

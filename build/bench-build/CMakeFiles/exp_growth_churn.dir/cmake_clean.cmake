@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_growth_churn"
+  "../bench/exp_growth_churn.pdb"
+  "CMakeFiles/exp_growth_churn.dir/exp_growth_churn.cpp.o"
+  "CMakeFiles/exp_growth_churn.dir/exp_growth_churn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_growth_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

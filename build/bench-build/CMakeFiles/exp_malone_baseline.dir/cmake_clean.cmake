@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_malone_baseline"
+  "../bench/exp_malone_baseline.pdb"
+  "CMakeFiles/exp_malone_baseline.dir/exp_malone_baseline.cpp.o"
+  "CMakeFiles/exp_malone_baseline.dir/exp_malone_baseline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_malone_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_plan_clustering"
+  "../bench/exp_plan_clustering.pdb"
+  "CMakeFiles/exp_plan_clustering.dir/exp_plan_clustering.cpp.o"
+  "CMakeFiles/exp_plan_clustering.dir/exp_plan_clustering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_plan_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

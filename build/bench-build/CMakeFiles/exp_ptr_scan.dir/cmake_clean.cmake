@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_ptr_scan"
+  "../bench/exp_ptr_scan.pdb"
+  "CMakeFiles/exp_ptr_scan.dir/exp_ptr_scan.cpp.o"
+  "CMakeFiles/exp_ptr_scan.dir/exp_ptr_scan.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ptr_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

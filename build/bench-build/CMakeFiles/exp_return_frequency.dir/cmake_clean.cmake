@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_return_frequency"
+  "../bench/exp_return_frequency.pdb"
+  "CMakeFiles/exp_return_frequency.dir/exp_return_frequency.cpp.o"
+  "CMakeFiles/exp_return_frequency.dir/exp_return_frequency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_return_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_return_frequency.
+# This may be replaced when dependencies are built.

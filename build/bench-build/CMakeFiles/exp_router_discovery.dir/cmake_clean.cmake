@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_router_discovery"
+  "../bench/exp_router_discovery.pdb"
+  "CMakeFiles/exp_router_discovery.dir/exp_router_discovery.cpp.o"
+  "CMakeFiles/exp_router_discovery.dir/exp_router_discovery.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_router_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

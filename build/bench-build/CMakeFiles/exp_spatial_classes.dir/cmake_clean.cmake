@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_spatial_classes"
+  "../bench/exp_spatial_classes.pdb"
+  "CMakeFiles/exp_spatial_classes.dir/exp_spatial_classes.cpp.o"
+  "CMakeFiles/exp_spatial_classes.dir/exp_spatial_classes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_spatial_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_stable_prefixes"
+  "../bench/exp_stable_prefixes.pdb"
+  "CMakeFiles/exp_stable_prefixes.dir/exp_stable_prefixes.cpp.o"
+  "CMakeFiles/exp_stable_prefixes.dir/exp_stable_prefixes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_stable_prefixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_stable_prefixes.
+# This may be replaced when dependencies are built.

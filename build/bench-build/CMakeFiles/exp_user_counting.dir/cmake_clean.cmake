@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_user_counting"
+  "../bench/exp_user_counting.pdb"
+  "CMakeFiles/exp_user_counting.dir/exp_user_counting.cpp.o"
+  "CMakeFiles/exp_user_counting.dir/exp_user_counting.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_user_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

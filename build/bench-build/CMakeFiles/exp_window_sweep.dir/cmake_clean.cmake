@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_window_sweep"
+  "../bench/exp_window_sweep.pdb"
+  "CMakeFiles/exp_window_sweep.dir/exp_window_sweep.cpp.o"
+  "CMakeFiles/exp_window_sweep.dir/exp_window_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_window_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2"
+  "../bench/fig2.pdb"
+  "CMakeFiles/fig2.dir/fig2.cpp.o"
+  "CMakeFiles/fig2.dir/fig2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

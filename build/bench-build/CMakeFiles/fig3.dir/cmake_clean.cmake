@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3"
+  "../bench/fig3.pdb"
+  "CMakeFiles/fig3.dir/fig3.cpp.o"
+  "CMakeFiles/fig3.dir/fig3.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

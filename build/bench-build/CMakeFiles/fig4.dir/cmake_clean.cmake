@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4"
+  "../bench/fig4.pdb"
+  "CMakeFiles/fig4.dir/fig4.cpp.o"
+  "CMakeFiles/fig4.dir/fig4.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

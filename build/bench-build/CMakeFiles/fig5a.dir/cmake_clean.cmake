@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5a"
+  "../bench/fig5a.pdb"
+  "CMakeFiles/fig5a.dir/fig5a.cpp.o"
+  "CMakeFiles/fig5a.dir/fig5a.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5b"
+  "../bench/fig5b.pdb"
+  "CMakeFiles/fig5b.dir/fig5b.cpp.o"
+  "CMakeFiles/fig5b.dir/fig5b.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5mra"
+  "../bench/fig5mra.pdb"
+  "CMakeFiles/fig5mra.dir/fig5mra.cpp.o"
+  "CMakeFiles/fig5mra.dir/fig5mra.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5mra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2"
+  "../bench/table2.pdb"
+  "CMakeFiles/table2.dir/table2.cpp.o"
+  "CMakeFiles/table2.dir/table2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

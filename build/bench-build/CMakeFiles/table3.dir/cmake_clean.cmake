@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3"
+  "../bench/table3.pdb"
+  "CMakeFiles/table3.dir/table3.cpp.o"
+  "CMakeFiles/table3.dir/table3.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

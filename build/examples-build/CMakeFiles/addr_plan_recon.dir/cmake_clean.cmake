@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/addr_plan_recon"
+  "../examples/addr_plan_recon.pdb"
+  "CMakeFiles/addr_plan_recon.dir/addr_plan_recon.cpp.o"
+  "CMakeFiles/addr_plan_recon.dir/addr_plan_recon.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/addr_plan_recon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/dense_hunt"
+  "../examples/dense_hunt.pdb"
+  "CMakeFiles/dense_hunt.dir/dense_hunt.cpp.o"
+  "CMakeFiles/dense_hunt.dir/dense_hunt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

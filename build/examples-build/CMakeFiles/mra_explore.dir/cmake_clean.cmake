@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/mra_explore"
+  "../examples/mra_explore.pdb"
+  "CMakeFiles/mra_explore.dir/mra_explore.cpp.o"
+  "CMakeFiles/mra_explore.dir/mra_explore.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mra_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

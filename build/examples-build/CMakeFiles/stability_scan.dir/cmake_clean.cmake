@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/stability_scan"
+  "../examples/stability_scan.pdb"
+  "CMakeFiles/stability_scan.dir/stability_scan.cpp.o"
+  "CMakeFiles/stability_scan.dir/stability_scan.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stability_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

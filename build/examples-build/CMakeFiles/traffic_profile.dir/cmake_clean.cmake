@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/traffic_profile"
+  "../examples/traffic_profile.pdb"
+  "CMakeFiles/traffic_profile.dir/traffic_profile.cpp.o"
+  "CMakeFiles/traffic_profile.dir/traffic_profile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/addrtype/classify.cpp" "src/addrtype/CMakeFiles/v6_addrtype.dir/classify.cpp.o" "gcc" "src/addrtype/CMakeFiles/v6_addrtype.dir/classify.cpp.o.d"
+  "/root/repo/src/addrtype/malone.cpp" "src/addrtype/CMakeFiles/v6_addrtype.dir/malone.cpp.o" "gcc" "src/addrtype/CMakeFiles/v6_addrtype.dir/malone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ip/CMakeFiles/v6_ip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6_addrtype.dir/classify.cpp.o"
+  "CMakeFiles/v6_addrtype.dir/classify.cpp.o.d"
+  "CMakeFiles/v6_addrtype.dir/malone.cpp.o"
+  "CMakeFiles/v6_addrtype.dir/malone.cpp.o.d"
+  "libv6_addrtype.a"
+  "libv6_addrtype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6_addrtype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/eui64_mobility.cpp" "src/analysis/CMakeFiles/v6_analysis.dir/eui64_mobility.cpp.o" "gcc" "src/analysis/CMakeFiles/v6_analysis.dir/eui64_mobility.cpp.o.d"
+  "/root/repo/src/analysis/format.cpp" "src/analysis/CMakeFiles/v6_analysis.dir/format.cpp.o" "gcc" "src/analysis/CMakeFiles/v6_analysis.dir/format.cpp.o.d"
+  "/root/repo/src/analysis/growth.cpp" "src/analysis/CMakeFiles/v6_analysis.dir/growth.cpp.o" "gcc" "src/analysis/CMakeFiles/v6_analysis.dir/growth.cpp.o.d"
+  "/root/repo/src/analysis/network_profile.cpp" "src/analysis/CMakeFiles/v6_analysis.dir/network_profile.cpp.o" "gcc" "src/analysis/CMakeFiles/v6_analysis.dir/network_profile.cpp.o.d"
+  "/root/repo/src/analysis/plan_recon.cpp" "src/analysis/CMakeFiles/v6_analysis.dir/plan_recon.cpp.o" "gcc" "src/analysis/CMakeFiles/v6_analysis.dir/plan_recon.cpp.o.d"
+  "/root/repo/src/analysis/reports.cpp" "src/analysis/CMakeFiles/v6_analysis.dir/reports.cpp.o" "gcc" "src/analysis/CMakeFiles/v6_analysis.dir/reports.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ip/CMakeFiles/v6_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/addrtype/CMakeFiles/v6_addrtype.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdnsim/CMakeFiles/v6_cdnsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/v6_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/netgen/CMakeFiles/v6_netgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/v6_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/v6_trie.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6_analysis.dir/eui64_mobility.cpp.o"
+  "CMakeFiles/v6_analysis.dir/eui64_mobility.cpp.o.d"
+  "CMakeFiles/v6_analysis.dir/format.cpp.o"
+  "CMakeFiles/v6_analysis.dir/format.cpp.o.d"
+  "CMakeFiles/v6_analysis.dir/growth.cpp.o"
+  "CMakeFiles/v6_analysis.dir/growth.cpp.o.d"
+  "CMakeFiles/v6_analysis.dir/network_profile.cpp.o"
+  "CMakeFiles/v6_analysis.dir/network_profile.cpp.o.d"
+  "CMakeFiles/v6_analysis.dir/plan_recon.cpp.o"
+  "CMakeFiles/v6_analysis.dir/plan_recon.cpp.o.d"
+  "CMakeFiles/v6_analysis.dir/reports.cpp.o"
+  "CMakeFiles/v6_analysis.dir/reports.cpp.o.d"
+  "libv6_analysis.a"
+  "libv6_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6_cdnsim.dir/corpus.cpp.o"
+  "CMakeFiles/v6_cdnsim.dir/corpus.cpp.o.d"
+  "CMakeFiles/v6_cdnsim.dir/log.cpp.o"
+  "CMakeFiles/v6_cdnsim.dir/log.cpp.o.d"
+  "CMakeFiles/v6_cdnsim.dir/world.cpp.o"
+  "CMakeFiles/v6_cdnsim.dir/world.cpp.o.d"
+  "libv6_cdnsim.a"
+  "libv6_cdnsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6_cdnsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6_dnssim.dir/reverse_zone.cpp.o"
+  "CMakeFiles/v6_dnssim.dir/reverse_zone.cpp.o.d"
+  "libv6_dnssim.a"
+  "libv6_dnssim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6_dnssim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

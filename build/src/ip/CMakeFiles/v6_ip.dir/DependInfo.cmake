@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ip/address.cpp" "src/ip/CMakeFiles/v6_ip.dir/address.cpp.o" "gcc" "src/ip/CMakeFiles/v6_ip.dir/address.cpp.o.d"
+  "/root/repo/src/ip/arithmetic.cpp" "src/ip/CMakeFiles/v6_ip.dir/arithmetic.cpp.o" "gcc" "src/ip/CMakeFiles/v6_ip.dir/arithmetic.cpp.o.d"
+  "/root/repo/src/ip/io.cpp" "src/ip/CMakeFiles/v6_ip.dir/io.cpp.o" "gcc" "src/ip/CMakeFiles/v6_ip.dir/io.cpp.o.d"
+  "/root/repo/src/ip/ipv4.cpp" "src/ip/CMakeFiles/v6_ip.dir/ipv4.cpp.o" "gcc" "src/ip/CMakeFiles/v6_ip.dir/ipv4.cpp.o.d"
+  "/root/repo/src/ip/mac.cpp" "src/ip/CMakeFiles/v6_ip.dir/mac.cpp.o" "gcc" "src/ip/CMakeFiles/v6_ip.dir/mac.cpp.o.d"
+  "/root/repo/src/ip/prefix.cpp" "src/ip/CMakeFiles/v6_ip.dir/prefix.cpp.o" "gcc" "src/ip/CMakeFiles/v6_ip.dir/prefix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

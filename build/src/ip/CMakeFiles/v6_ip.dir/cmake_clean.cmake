@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6_ip.dir/address.cpp.o"
+  "CMakeFiles/v6_ip.dir/address.cpp.o.d"
+  "CMakeFiles/v6_ip.dir/arithmetic.cpp.o"
+  "CMakeFiles/v6_ip.dir/arithmetic.cpp.o.d"
+  "CMakeFiles/v6_ip.dir/io.cpp.o"
+  "CMakeFiles/v6_ip.dir/io.cpp.o.d"
+  "CMakeFiles/v6_ip.dir/ipv4.cpp.o"
+  "CMakeFiles/v6_ip.dir/ipv4.cpp.o.d"
+  "CMakeFiles/v6_ip.dir/mac.cpp.o"
+  "CMakeFiles/v6_ip.dir/mac.cpp.o.d"
+  "CMakeFiles/v6_ip.dir/prefix.cpp.o"
+  "CMakeFiles/v6_ip.dir/prefix.cpp.o.d"
+  "libv6_ip.a"
+  "libv6_ip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

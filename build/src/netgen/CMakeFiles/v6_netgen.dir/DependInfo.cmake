@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netgen/models_edu.cpp" "src/netgen/CMakeFiles/v6_netgen.dir/models_edu.cpp.o" "gcc" "src/netgen/CMakeFiles/v6_netgen.dir/models_edu.cpp.o.d"
+  "/root/repo/src/netgen/models_isp.cpp" "src/netgen/CMakeFiles/v6_netgen.dir/models_isp.cpp.o" "gcc" "src/netgen/CMakeFiles/v6_netgen.dir/models_isp.cpp.o.d"
+  "/root/repo/src/netgen/models_mobile.cpp" "src/netgen/CMakeFiles/v6_netgen.dir/models_mobile.cpp.o" "gcc" "src/netgen/CMakeFiles/v6_netgen.dir/models_mobile.cpp.o.d"
+  "/root/repo/src/netgen/models_transition.cpp" "src/netgen/CMakeFiles/v6_netgen.dir/models_transition.cpp.o" "gcc" "src/netgen/CMakeFiles/v6_netgen.dir/models_transition.cpp.o.d"
+  "/root/repo/src/netgen/rir_registry.cpp" "src/netgen/CMakeFiles/v6_netgen.dir/rir_registry.cpp.o" "gcc" "src/netgen/CMakeFiles/v6_netgen.dir/rir_registry.cpp.o.d"
+  "/root/repo/src/netgen/rng.cpp" "src/netgen/CMakeFiles/v6_netgen.dir/rng.cpp.o" "gcc" "src/netgen/CMakeFiles/v6_netgen.dir/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ip/CMakeFiles/v6_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/v6_trie.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

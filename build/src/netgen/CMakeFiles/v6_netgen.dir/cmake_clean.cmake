@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6_netgen.dir/models_edu.cpp.o"
+  "CMakeFiles/v6_netgen.dir/models_edu.cpp.o.d"
+  "CMakeFiles/v6_netgen.dir/models_isp.cpp.o"
+  "CMakeFiles/v6_netgen.dir/models_isp.cpp.o.d"
+  "CMakeFiles/v6_netgen.dir/models_mobile.cpp.o"
+  "CMakeFiles/v6_netgen.dir/models_mobile.cpp.o.d"
+  "CMakeFiles/v6_netgen.dir/models_transition.cpp.o"
+  "CMakeFiles/v6_netgen.dir/models_transition.cpp.o.d"
+  "CMakeFiles/v6_netgen.dir/rir_registry.cpp.o"
+  "CMakeFiles/v6_netgen.dir/rir_registry.cpp.o.d"
+  "CMakeFiles/v6_netgen.dir/rng.cpp.o"
+  "CMakeFiles/v6_netgen.dir/rng.cpp.o.d"
+  "libv6_netgen.a"
+  "libv6_netgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6_netgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6_routersim.dir/scan.cpp.o"
+  "CMakeFiles/v6_routersim.dir/scan.cpp.o.d"
+  "CMakeFiles/v6_routersim.dir/targets.cpp.o"
+  "CMakeFiles/v6_routersim.dir/targets.cpp.o.d"
+  "CMakeFiles/v6_routersim.dir/topology.cpp.o"
+  "CMakeFiles/v6_routersim.dir/topology.cpp.o.d"
+  "libv6_routersim.a"
+  "libv6_routersim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6_routersim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spatial/boxplot.cpp" "src/spatial/CMakeFiles/v6_spatial.dir/boxplot.cpp.o" "gcc" "src/spatial/CMakeFiles/v6_spatial.dir/boxplot.cpp.o.d"
+  "/root/repo/src/spatial/density.cpp" "src/spatial/CMakeFiles/v6_spatial.dir/density.cpp.o" "gcc" "src/spatial/CMakeFiles/v6_spatial.dir/density.cpp.o.d"
+  "/root/repo/src/spatial/gnuplot.cpp" "src/spatial/CMakeFiles/v6_spatial.dir/gnuplot.cpp.o" "gcc" "src/spatial/CMakeFiles/v6_spatial.dir/gnuplot.cpp.o.d"
+  "/root/repo/src/spatial/mra.cpp" "src/spatial/CMakeFiles/v6_spatial.dir/mra.cpp.o" "gcc" "src/spatial/CMakeFiles/v6_spatial.dir/mra.cpp.o.d"
+  "/root/repo/src/spatial/mra_compare.cpp" "src/spatial/CMakeFiles/v6_spatial.dir/mra_compare.cpp.o" "gcc" "src/spatial/CMakeFiles/v6_spatial.dir/mra_compare.cpp.o.d"
+  "/root/repo/src/spatial/mra_plot.cpp" "src/spatial/CMakeFiles/v6_spatial.dir/mra_plot.cpp.o" "gcc" "src/spatial/CMakeFiles/v6_spatial.dir/mra_plot.cpp.o.d"
+  "/root/repo/src/spatial/population.cpp" "src/spatial/CMakeFiles/v6_spatial.dir/population.cpp.o" "gcc" "src/spatial/CMakeFiles/v6_spatial.dir/population.cpp.o.d"
+  "/root/repo/src/spatial/spatial_class.cpp" "src/spatial/CMakeFiles/v6_spatial.dir/spatial_class.cpp.o" "gcc" "src/spatial/CMakeFiles/v6_spatial.dir/spatial_class.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ip/CMakeFiles/v6_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/v6_trie.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

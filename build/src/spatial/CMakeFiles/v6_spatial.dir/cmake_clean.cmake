@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6_spatial.dir/boxplot.cpp.o"
+  "CMakeFiles/v6_spatial.dir/boxplot.cpp.o.d"
+  "CMakeFiles/v6_spatial.dir/density.cpp.o"
+  "CMakeFiles/v6_spatial.dir/density.cpp.o.d"
+  "CMakeFiles/v6_spatial.dir/gnuplot.cpp.o"
+  "CMakeFiles/v6_spatial.dir/gnuplot.cpp.o.d"
+  "CMakeFiles/v6_spatial.dir/mra.cpp.o"
+  "CMakeFiles/v6_spatial.dir/mra.cpp.o.d"
+  "CMakeFiles/v6_spatial.dir/mra_compare.cpp.o"
+  "CMakeFiles/v6_spatial.dir/mra_compare.cpp.o.d"
+  "CMakeFiles/v6_spatial.dir/mra_plot.cpp.o"
+  "CMakeFiles/v6_spatial.dir/mra_plot.cpp.o.d"
+  "CMakeFiles/v6_spatial.dir/population.cpp.o"
+  "CMakeFiles/v6_spatial.dir/population.cpp.o.d"
+  "CMakeFiles/v6_spatial.dir/spatial_class.cpp.o"
+  "CMakeFiles/v6_spatial.dir/spatial_class.cpp.o.d"
+  "libv6_spatial.a"
+  "libv6_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

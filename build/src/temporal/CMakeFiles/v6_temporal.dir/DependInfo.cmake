@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/temporal/daily_series.cpp" "src/temporal/CMakeFiles/v6_temporal.dir/daily_series.cpp.o" "gcc" "src/temporal/CMakeFiles/v6_temporal.dir/daily_series.cpp.o.d"
+  "/root/repo/src/temporal/observation_store.cpp" "src/temporal/CMakeFiles/v6_temporal.dir/observation_store.cpp.o" "gcc" "src/temporal/CMakeFiles/v6_temporal.dir/observation_store.cpp.o.d"
+  "/root/repo/src/temporal/stability.cpp" "src/temporal/CMakeFiles/v6_temporal.dir/stability.cpp.o" "gcc" "src/temporal/CMakeFiles/v6_temporal.dir/stability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ip/CMakeFiles/v6_ip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

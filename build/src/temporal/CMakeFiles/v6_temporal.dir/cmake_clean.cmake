@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6_temporal.dir/daily_series.cpp.o"
+  "CMakeFiles/v6_temporal.dir/daily_series.cpp.o.d"
+  "CMakeFiles/v6_temporal.dir/observation_store.cpp.o"
+  "CMakeFiles/v6_temporal.dir/observation_store.cpp.o.d"
+  "CMakeFiles/v6_temporal.dir/stability.cpp.o"
+  "CMakeFiles/v6_temporal.dir/stability.cpp.o.d"
+  "libv6_temporal.a"
+  "libv6_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trie/aguri_profiler.cpp" "src/trie/CMakeFiles/v6_trie.dir/aguri_profiler.cpp.o" "gcc" "src/trie/CMakeFiles/v6_trie.dir/aguri_profiler.cpp.o.d"
+  "/root/repo/src/trie/radix_tree.cpp" "src/trie/CMakeFiles/v6_trie.dir/radix_tree.cpp.o" "gcc" "src/trie/CMakeFiles/v6_trie.dir/radix_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ip/CMakeFiles/v6_ip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6_trie.dir/aguri_profiler.cpp.o"
+  "CMakeFiles/v6_trie.dir/aguri_profiler.cpp.o.d"
+  "CMakeFiles/v6_trie.dir/radix_tree.cpp.o"
+  "CMakeFiles/v6_trie.dir/radix_tree.cpp.o.d"
+  "libv6_trie.a"
+  "libv6_trie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/addrtype_test.dir/addrtype_test.cpp.o"
+  "CMakeFiles/addrtype_test.dir/addrtype_test.cpp.o.d"
+  "addrtype_test"
+  "addrtype_test.pdb"
+  "addrtype_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/addrtype_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

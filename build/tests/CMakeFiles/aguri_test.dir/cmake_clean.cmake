@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aguri_test.dir/aguri_test.cpp.o"
+  "CMakeFiles/aguri_test.dir/aguri_test.cpp.o.d"
+  "aguri_test"
+  "aguri_test.pdb"
+  "aguri_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aguri_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

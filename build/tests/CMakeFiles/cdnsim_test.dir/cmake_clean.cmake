@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdnsim_test.dir/cdnsim_test.cpp.o"
+  "CMakeFiles/cdnsim_test.dir/cdnsim_test.cpp.o.d"
+  "cdnsim_test"
+  "cdnsim_test.pdb"
+  "cdnsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdnsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

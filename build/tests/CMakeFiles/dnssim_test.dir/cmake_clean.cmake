@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnssim_test.dir/dnssim_test.cpp.o"
+  "CMakeFiles/dnssim_test.dir/dnssim_test.cpp.o.d"
+  "dnssim_test"
+  "dnssim_test.pdb"
+  "dnssim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnssim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

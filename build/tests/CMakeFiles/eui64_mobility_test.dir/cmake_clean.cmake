@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eui64_mobility_test.dir/eui64_mobility_test.cpp.o"
+  "CMakeFiles/eui64_mobility_test.dir/eui64_mobility_test.cpp.o.d"
+  "eui64_mobility_test"
+  "eui64_mobility_test.pdb"
+  "eui64_mobility_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eui64_mobility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

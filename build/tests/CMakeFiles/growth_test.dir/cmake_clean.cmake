@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/growth_test.dir/growth_test.cpp.o"
+  "CMakeFiles/growth_test.dir/growth_test.cpp.o.d"
+  "growth_test"
+  "growth_test.pdb"
+  "growth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/growth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

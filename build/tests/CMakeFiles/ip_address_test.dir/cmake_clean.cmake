@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_address_test.dir/ip_address_test.cpp.o"
+  "CMakeFiles/ip_address_test.dir/ip_address_test.cpp.o.d"
+  "ip_address_test"
+  "ip_address_test.pdb"
+  "ip_address_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_address_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

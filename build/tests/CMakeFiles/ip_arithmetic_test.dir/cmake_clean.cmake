@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_arithmetic_test.dir/ip_arithmetic_test.cpp.o"
+  "CMakeFiles/ip_arithmetic_test.dir/ip_arithmetic_test.cpp.o.d"
+  "ip_arithmetic_test"
+  "ip_arithmetic_test.pdb"
+  "ip_arithmetic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_arithmetic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_ipv4_test.dir/ip_ipv4_test.cpp.o"
+  "CMakeFiles/ip_ipv4_test.dir/ip_ipv4_test.cpp.o.d"
+  "ip_ipv4_test"
+  "ip_ipv4_test.pdb"
+  "ip_ipv4_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_ipv4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_mac_test.dir/ip_mac_test.cpp.o"
+  "CMakeFiles/ip_mac_test.dir/ip_mac_test.cpp.o.d"
+  "ip_mac_test"
+  "ip_mac_test.pdb"
+  "ip_mac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_mac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_prefix_test.dir/ip_prefix_test.cpp.o"
+  "CMakeFiles/ip_prefix_test.dir/ip_prefix_test.cpp.o.d"
+  "ip_prefix_test"
+  "ip_prefix_test.pdb"
+  "ip_prefix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_prefix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malone_test.dir/malone_test.cpp.o"
+  "CMakeFiles/malone_test.dir/malone_test.cpp.o.d"
+  "malone_test"
+  "malone_test.pdb"
+  "malone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mra_compare_test.dir/mra_compare_test.cpp.o"
+  "CMakeFiles/mra_compare_test.dir/mra_compare_test.cpp.o.d"
+  "mra_compare_test"
+  "mra_compare_test.pdb"
+  "mra_compare_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mra_compare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netgen_test.dir/netgen_test.cpp.o"
+  "CMakeFiles/netgen_test.dir/netgen_test.cpp.o.d"
+  "netgen_test"
+  "netgen_test.pdb"
+  "netgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

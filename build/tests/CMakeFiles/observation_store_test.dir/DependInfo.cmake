@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/observation_store_test.cpp" "tests/CMakeFiles/observation_store_test.dir/observation_store_test.cpp.o" "gcc" "tests/CMakeFiles/observation_store_test.dir/observation_store_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/temporal/CMakeFiles/v6_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/netgen/CMakeFiles/v6_netgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/v6_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/v6_ip.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/observation_store_test.dir/observation_store_test.cpp.o"
+  "CMakeFiles/observation_store_test.dir/observation_store_test.cpp.o.d"
+  "observation_store_test"
+  "observation_store_test.pdb"
+  "observation_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/observation_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

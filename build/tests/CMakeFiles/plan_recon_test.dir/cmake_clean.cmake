@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_recon_test.dir/plan_recon_test.cpp.o"
+  "CMakeFiles/plan_recon_test.dir/plan_recon_test.cpp.o.d"
+  "plan_recon_test"
+  "plan_recon_test.pdb"
+  "plan_recon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_recon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

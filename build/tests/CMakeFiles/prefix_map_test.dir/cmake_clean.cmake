@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefix_map_test.dir/prefix_map_test.cpp.o"
+  "CMakeFiles/prefix_map_test.dir/prefix_map_test.cpp.o.d"
+  "prefix_map_test"
+  "prefix_map_test.pdb"
+  "prefix_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefix_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routersim_test.dir/routersim_test.cpp.o"
+  "CMakeFiles/routersim_test.dir/routersim_test.cpp.o.d"
+  "routersim_test"
+  "routersim_test.pdb"
+  "routersim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routersim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_density_test.dir/spatial_density_test.cpp.o"
+  "CMakeFiles/spatial_density_test.dir/spatial_density_test.cpp.o.d"
+  "spatial_density_test"
+  "spatial_density_test.pdb"
+  "spatial_density_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_density_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

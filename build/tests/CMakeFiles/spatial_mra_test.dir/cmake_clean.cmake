@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_mra_test.dir/spatial_mra_test.cpp.o"
+  "CMakeFiles/spatial_mra_test.dir/spatial_mra_test.cpp.o.d"
+  "spatial_mra_test"
+  "spatial_mra_test.pdb"
+  "spatial_mra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_mra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_population_test.dir/spatial_population_test.cpp.o"
+  "CMakeFiles/spatial_population_test.dir/spatial_population_test.cpp.o.d"
+  "spatial_population_test"
+  "spatial_population_test.pdb"
+  "spatial_population_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_population_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_property_test.dir/temporal_property_test.cpp.o"
+  "CMakeFiles/temporal_property_test.dir/temporal_property_test.cpp.o.d"
+  "temporal_property_test"
+  "temporal_property_test.pdb"
+  "temporal_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

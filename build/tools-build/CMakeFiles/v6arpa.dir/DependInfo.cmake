@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/v6arpa.cpp" "tools-build/CMakeFiles/v6arpa.dir/v6arpa.cpp.o" "gcc" "tools-build/CMakeFiles/v6arpa.dir/v6arpa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnssim/CMakeFiles/v6_dnssim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/v6_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/routersim/CMakeFiles/v6_routersim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdnsim/CMakeFiles/v6_cdnsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/addrtype/CMakeFiles/v6_addrtype.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/v6_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/netgen/CMakeFiles/v6_netgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/v6_trie.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

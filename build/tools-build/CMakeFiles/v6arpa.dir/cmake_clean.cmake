@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/v6arpa"
+  "../tools/v6arpa.pdb"
+  "CMakeFiles/v6arpa.dir/v6arpa.cpp.o"
+  "CMakeFiles/v6arpa.dir/v6arpa.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6arpa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/v6classify"
+  "../tools/v6classify.pdb"
+  "CMakeFiles/v6classify.dir/v6classify.cpp.o"
+  "CMakeFiles/v6classify.dir/v6classify.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

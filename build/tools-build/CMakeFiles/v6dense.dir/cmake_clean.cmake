@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/v6dense"
+  "../tools/v6dense.pdb"
+  "CMakeFiles/v6dense.dir/v6dense.cpp.o"
+  "CMakeFiles/v6dense.dir/v6dense.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

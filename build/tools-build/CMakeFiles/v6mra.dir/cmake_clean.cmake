@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/v6mra"
+  "../tools/v6mra.pdb"
+  "CMakeFiles/v6mra.dir/v6mra.cpp.o"
+  "CMakeFiles/v6mra.dir/v6mra.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6mra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

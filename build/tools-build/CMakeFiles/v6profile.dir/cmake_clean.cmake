@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/v6profile"
+  "../tools/v6profile.pdb"
+  "CMakeFiles/v6profile.dir/v6profile.cpp.o"
+  "CMakeFiles/v6profile.dir/v6profile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

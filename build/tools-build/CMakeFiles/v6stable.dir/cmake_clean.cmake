@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/v6stable"
+  "../tools/v6stable.pdb"
+  "CMakeFiles/v6stable.dir/v6stable.cpp.o"
+  "CMakeFiles/v6stable.dir/v6stable.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6stable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

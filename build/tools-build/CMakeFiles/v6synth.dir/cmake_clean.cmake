@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/v6synth"
+  "../tools/v6synth.pdb"
+  "CMakeFiles/v6synth.dir/v6synth.cpp.o"
+  "CMakeFiles/v6synth.dir/v6synth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
