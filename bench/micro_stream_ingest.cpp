@@ -1,0 +1,90 @@
+// micro_stream_ingest — throughput of the streaming ingest engine:
+// records/sec pushed through the full pipeline (staging, batching,
+// shard queues, worker threads, day seals) at 1 vs 4 shards, plus the
+// bounded-queue hot path in isolation.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "v6class/netgen/rng.h"
+#include "v6class/stream/bounded_queue.h"
+#include "v6class/stream/engine.h"
+
+namespace {
+
+using namespace v6;
+
+// A multi-day feed with realistic duplication (clients returning).
+std::vector<stream_record> make_feed(std::size_t per_day, int days,
+                                     std::uint64_t seed) {
+    rng r{seed};
+    std::vector<address> pool;
+    pool.reserve(per_day / 2);
+    for (std::size_t i = 0; i < per_day / 2; ++i) {
+        const std::uint64_t hi = 0x20010db800000000ull | r.uniform(1u << 10);
+        const std::uint64_t lo = r.uniform(1u << 20);
+        pool.push_back(address::from_pair(hi, lo));
+    }
+    std::vector<stream_record> feed;
+    feed.reserve(per_day * static_cast<std::size_t>(days));
+    for (int d = 0; d < days; ++d)
+        for (std::size_t i = 0; i < per_day; ++i)
+            feed.push_back({d, pool[r.uniform(pool.size())], 1 + r.uniform(4)});
+    return feed;
+}
+
+// Arg(0): shard count. Reported rate is end-to-end: every record pushed,
+// every day sealed, all threads joined.
+void BM_stream_ingest(benchmark::State& state) {
+    const auto feed = make_feed(50000, 4, 99);
+    for (auto _ : state) {
+        stream_config cfg;
+        cfg.shards = static_cast<unsigned>(state.range(0));
+        stream_engine engine(cfg);
+        for (const stream_record& rec : feed) engine.push(rec);
+        engine.finish();
+        benchmark::DoNotOptimize(engine.stats().distinct_addresses);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(feed.size()) *
+                            state.iterations());
+}
+BENCHMARK(BM_stream_ingest)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Same pipeline, but including a snapshot query per sealed day — the
+// monitoring pattern (ingest + concurrent reads).
+void BM_stream_ingest_with_snapshots(benchmark::State& state) {
+    const auto feed = make_feed(50000, 4, 99);
+    for (auto _ : state) {
+        stream_config cfg;
+        cfg.shards = static_cast<unsigned>(state.range(0));
+        stream_engine engine(cfg);
+        int last_day = -1;
+        for (const stream_record& rec : feed) {
+            if (rec.day != last_day && last_day >= 0)
+                benchmark::DoNotOptimize(engine.snapshot().distinct_addresses);
+            last_day = rec.day;
+            engine.push(rec);
+        }
+        engine.finish();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(feed.size()) *
+                            state.iterations());
+}
+BENCHMARK(BM_stream_ingest_with_snapshots)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_bounded_queue_roundtrip(benchmark::State& state) {
+    bounded_queue<int> q(64);
+    for (auto _ : state) {
+        q.try_push(1);
+        benchmark::DoNotOptimize(q.pop());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_bounded_queue_roundtrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -18,6 +18,12 @@
 
 namespace v6 {
 
+/// One malformed line, with its position for actionable diagnostics.
+struct read_error {
+    std::uint64_t line_number = 0;  ///< 1-based line within the input
+    std::string text;               ///< the offending line, verbatim
+};
+
 /// Outcome of reading a dataset.
 struct read_report {
     std::uint64_t lines = 0;         ///< total lines seen
@@ -25,7 +31,7 @@ struct read_report {
     std::uint64_t blank = 0;         ///< empty / whitespace-only lines
     std::uint64_t comments = 0;      ///< lines starting with '#'
     std::uint64_t malformed = 0;     ///< lines that failed to parse
-    std::vector<std::string> first_errors;  ///< up to 8 samples, for messages
+    std::vector<read_error> first_errors;  ///< up to 8 samples, for messages
 };
 
 /// Reads "address[<whitespace>count]" lines from a stream; invokes `sink`

@@ -1,0 +1,91 @@
+// bounded_queue.h — blocking bounded MPSC queue, the backpressure seam
+// of the streaming ingest pipeline.
+//
+// Producers that outrun a shard worker block in push() instead of
+// growing an unbounded buffer (the xenoeye-style collector discipline:
+// when the pipeline is saturated, the feed reader slows down, memory
+// does not). close() wakes everyone: producers see a failed push,
+// consumers drain the remaining items and then see nullopt.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace v6 {
+
+template <typename T>
+class bounded_queue {
+public:
+    explicit bounded_queue(std::size_t capacity) noexcept
+        : capacity_(capacity == 0 ? 1 : capacity) {}
+
+    bounded_queue(const bounded_queue&) = delete;
+    bounded_queue& operator=(const bounded_queue&) = delete;
+
+    /// Blocks while the queue is full. Returns false (dropping the item)
+    /// when the queue was closed.
+    bool push(T item) {
+        std::unique_lock lock(mutex_);
+        not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+        if (closed_) return false;
+        items_.push_back(std::move(item));
+        lock.unlock();
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Non-blocking push; false when full or closed.
+    bool try_push(T item) {
+        {
+            std::lock_guard lock(mutex_);
+            if (closed_ || items_.size() >= capacity_) return false;
+            items_.push_back(std::move(item));
+        }
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Blocks while the queue is empty. Returns nullopt once the queue
+    /// is closed *and* drained.
+    std::optional<T> pop() {
+        std::unique_lock lock(mutex_);
+        not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty()) return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return item;
+    }
+
+    /// Wakes all waiters; subsequent pushes fail, pops drain then stop.
+    void close() {
+        {
+            std::lock_guard lock(mutex_);
+            closed_ = true;
+        }
+        not_full_.notify_all();
+        not_empty_.notify_all();
+    }
+
+    std::size_t size() const {
+        std::lock_guard lock(mutex_);
+        return items_.size();
+    }
+
+    std::size_t capacity() const noexcept { return capacity_; }
+
+private:
+    mutable std::mutex mutex_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::deque<T> items_;
+    std::size_t capacity_;
+    bool closed_ = false;
+};
+
+}  // namespace v6

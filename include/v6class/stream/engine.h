@@ -1,0 +1,222 @@
+// engine.h — the always-on streaming ingest engine (the "ongoing basis"
+// deployment of Section 5.1).
+//
+// Architecture: records pushed into the engine are staged per shard
+// (hash of the address), batched, and handed to one bounded MPSC queue
+// per shard; a worker thread per shard drains its queue and stages the
+// open day's records. When the pusher observes a day boundary it
+// broadcasts a seal marker behind the last batch of the finished day.
+// A single roll thread applies each seal across all shards behind an
+// exclusive state lock — the only writer of sealed state — advances the
+// epoch, releases the workers, and then *asynchronously* recomputes the
+// day's report (windowed nd-stable split, n@/p density table) under a
+// shared lock while ingest of the next day proceeds.
+//
+// Consistency model: "epoch" is the last day sealed across every shard.
+// Queries take the state lock in shared mode and therefore always see
+// a whole number of days — never a half-rolled one. Per-address answers
+// (distinct counts, spectra, stability) merge exactly across shards
+// because the shards partition the address space; prefix-density and
+// MRA answers are computed from a merged tree built under the lock.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "v6class/spatial/density.h"
+#include "v6class/spatial/mra.h"
+#include "v6class/stream/bounded_queue.h"
+#include "v6class/stream/record.h"
+#include "v6class/stream/shard.h"
+
+namespace v6 {
+
+/// Sentinel for "no day sealed / observed yet".
+inline constexpr int kNoDay = std::numeric_limits<int>::min();
+
+/// Tuning and analysis parameters of a stream engine.
+struct stream_config {
+    unsigned shards = 4;              ///< ingest parallelism (>= 1)
+    std::size_t batch_size = 1024;    ///< records per enqueued batch
+    std::size_t queue_capacity = 64;  ///< batches per shard queue (backpressure)
+    unsigned projected_length = 64;   ///< second store's prefix length (the /64 analysis)
+    unsigned stability_n = 3;         ///< n of the daily report's nd-stable split
+    stability_options window{};       ///< sliding window for the daily split
+    unsigned spectrum_max = 14;       ///< max n of snapshot lifetime spectra
+    /// Density classes of the daily report and snapshot (Table 3 rows).
+    std::vector<std::pair<std::uint64_t, unsigned>> density_classes = {{2, 112}};
+};
+
+/// Feed-side and sealed-side counters.
+struct stream_stats {
+    std::uint64_t records = 0;       ///< accepted records
+    std::uint64_t hits = 0;          ///< sum of their hit counts
+    std::uint64_t late_dropped = 0;  ///< records older than the open day
+    std::uint64_t batches = 0;       ///< batches enqueued to shard queues
+    int open_day = kNoDay;           ///< day currently accumulating
+    int sealed_day = kNoDay;         ///< epoch: last day sealed everywhere
+    std::size_t distinct_addresses = 0;  ///< distinct /128s, sealed days
+    std::size_t distinct_projected = 0;  ///< distinct projected prefixes
+};
+
+/// The asynchronous roll-up produced when a day seals.
+struct day_report {
+    int day = kNoDay;      ///< the day that sealed
+    int ref_day = kNoDay;  ///< day classified: day - window_fwd (full window)
+    std::uint64_t active = 0;      ///< addresses active on ref_day
+    std::uint64_t stable = 0;      ///< of those, nd-stable in the window
+    std::uint64_t not_stable = 0;  ///< the rest
+    std::size_t distinct_addresses = 0;  ///< totals as of this epoch
+    std::size_t distinct_projected = 0;
+    std::vector<density_row> density;  ///< configured n@/p classes
+};
+
+/// A consistent cross-shard summary at one epoch.
+struct stream_snapshot {
+    int epoch = kNoDay;  ///< sealed day the sealed-state fields describe
+    std::uint64_t records = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t late_dropped = 0;
+    std::size_t distinct_addresses = 0;
+    std::size_t distinct_projected = 0;
+    std::vector<std::uint64_t> spectrum;  ///< lifetime spectrum, 0..spectrum_max
+    std::vector<density_row> density;     ///< configured n@/p classes
+};
+
+class stream_engine {
+public:
+    explicit stream_engine(stream_config cfg = {});
+
+    /// Finishes (sealing the open day) if the caller has not.
+    ~stream_engine();
+
+    stream_engine(const stream_engine&) = delete;
+    stream_engine& operator=(const stream_engine&) = delete;
+
+    const stream_config& config() const noexcept { return cfg_; }
+
+    /// Accepts one record. Blocks only when the record's shard queue is
+    /// full (backpressure). Records for a day older than the open day
+    /// are dropped and counted (sealed days are immutable). Ignored
+    /// after finish().
+    void push(const stream_record& r);
+    void push(int day, const address& a, std::uint64_t hits = 1) {
+        push(stream_record{day, a, hits});
+    }
+
+    /// Pushes staged partial batches to the shard queues (records stage
+    /// until batch_size accumulates; call before waiting on a report
+    /// mid-day, not needed otherwise).
+    void flush();
+
+    /// Seals the open day, drains every queue, joins all threads and
+    /// emits the final day report. Idempotent. After finish() the
+    /// queries below remain valid.
+    void finish();
+
+    // ------------------------------------------------------------ queries
+
+    stream_stats stats() const;
+
+    /// Epoch (last sealed day), kNoDay when nothing has sealed.
+    int sealed_day() const;
+
+    /// Consistent cross-shard summary at the current epoch.
+    stream_snapshot snapshot() const;
+
+    /// Windowed nd-stable split of ref_day's active set, merged across
+    /// shards; byte-identical to the batch stability_analyzer over the
+    /// same sealed days.
+    stability_split classify_day(int ref_day, unsigned n) const;
+
+    /// Lifetime spectrum (span >= n) over all sealed days.
+    std::vector<std::uint64_t> stability_spectrum(unsigned max_n) const;
+
+    /// Table-3 rows over the distinct addresses of all sealed days.
+    std::vector<density_row> density_table(
+        const std::vector<std::pair<std::uint64_t, unsigned>>& classes) const;
+
+    /// Distinct addresses of all sealed days, sorted.
+    std::vector<address> distinct_addresses() const;
+
+    /// MRA aggregate counts/ratios over the distinct addresses.
+    mra_series mra() const;
+
+    /// Day reports emitted so far, oldest first.
+    std::vector<day_report> reports() const;
+    std::optional<day_report> latest_report() const;
+
+    /// Blocks until the report for `day` exists (returns it) or the
+    /// engine finishes without ever sealing `day` (returns nullopt).
+    std::optional<day_report> wait_for_report(int day) const;
+
+private:
+    struct shard_message {
+        enum class kind { batch, seal };
+        kind k = kind::batch;
+        int day = kNoDay;  // seal only
+        std::vector<stream_record> batch;
+    };
+
+    unsigned shard_of(const address& a) const noexcept {
+        return static_cast<unsigned>(address_hash{}(a) % cfg_.shards);
+    }
+
+    void worker_loop(unsigned shard);
+    void roll_loop();
+    void flush_shard_locked(unsigned shard);   // push_mutex_ held
+    void broadcast_seal_locked(int day);       // push_mutex_ held
+    day_report build_report(int day) const;    // takes state_mutex_ shared
+    radix_tree merged_tree_locked() const;     // state_mutex_ held (any mode)
+
+    stream_config cfg_;
+    std::vector<std::unique_ptr<stream_shard>> shards_;
+    std::vector<std::unique_ptr<bounded_queue<shard_message>>> queues_;
+    std::vector<std::thread> workers_;
+    std::thread roll_thread_;
+
+    // Pusher state: staging buffers, day detection, feed counters.
+    std::mutex finish_mutex_;  // serializes finish() callers
+    mutable std::mutex push_mutex_;
+    std::vector<std::vector<stream_record>> staging_;
+    int open_day_ = kNoDay;
+    bool finished_ = false;
+    std::uint64_t records_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t late_dropped_ = 0;
+    std::uint64_t batches_ = 0;
+
+    // Seal pipeline: drained/applied day handshake between workers and
+    // the roll thread.
+    mutable std::mutex roll_mutex_;
+    mutable std::condition_variable roll_cv_;
+    std::deque<int> seal_days_;     // broadcast, not yet applied
+    std::vector<int> drained_day_;  // per shard: last seal marker reached
+    int applied_day_ = kNoDay;      // last seal applied to all shards
+    bool stopping_ = false;
+
+    // Sealed state: written only by the roll thread (exclusive), read by
+    // every query (shared). The projected store lives here rather than
+    // per shard: sharding partitions /128s, so addresses of one
+    // projected prefix land in different shards and per-shard projected
+    // counts would double-count.
+    mutable std::shared_mutex state_mutex_;
+    int sealed_day_ = kNoDay;
+    observation_store projected_store_;
+
+    // Emitted reports.
+    mutable std::mutex reports_mutex_;
+    mutable std::condition_variable report_cv_;
+    std::deque<day_report> reports_;
+    bool rolls_done_ = false;
+};
+
+}  // namespace v6

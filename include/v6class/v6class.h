@@ -26,6 +26,12 @@
 #include "v6class/temporal/observation_store.h"
 #include "v6class/temporal/stability.h"
 
+// Streaming ingest.
+#include "v6class/stream/bounded_queue.h"
+#include "v6class/stream/engine.h"
+#include "v6class/stream/record.h"
+#include "v6class/stream/shard.h"
+
 // Spatial classification.
 #include "v6class/spatial/boxplot.h"
 #include "v6class/spatial/density.h"

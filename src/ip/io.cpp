@@ -50,7 +50,7 @@ read_report read_address_lines(
         if (!ok) {
             ++report.malformed;
             if (report.first_errors.size() < 8)
-                report.first_errors.emplace_back(line);
+                report.first_errors.push_back({report.lines, line});
             continue;
         }
         ++report.parsed;
@@ -107,7 +107,7 @@ read_report read_prefix_lines(
         if (!ok) {
             ++report.malformed;
             if (report.first_errors.size() < 8)
-                report.first_errors.emplace_back(line);
+                report.first_errors.push_back({report.lines, line});
             continue;
         }
         ++report.parsed;

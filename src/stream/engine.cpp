@@ -1,0 +1,316 @@
+#include "v6class/stream/engine.h"
+
+#include <algorithm>
+
+namespace v6 {
+
+stream_engine::stream_engine(stream_config cfg)
+    : cfg_(std::move(cfg)), projected_store_(cfg_.projected_length) {
+    if (cfg_.shards == 0) cfg_.shards = 1;
+    if (cfg_.batch_size == 0) cfg_.batch_size = 1;
+    shards_.reserve(cfg_.shards);
+    queues_.reserve(cfg_.shards);
+    staging_.resize(cfg_.shards);
+    drained_day_.assign(cfg_.shards, kNoDay);
+    for (unsigned i = 0; i < cfg_.shards; ++i) {
+        shards_.push_back(std::make_unique<stream_shard>());
+        queues_.push_back(
+            std::make_unique<bounded_queue<shard_message>>(cfg_.queue_capacity));
+    }
+    workers_.reserve(cfg_.shards);
+    for (unsigned i = 0; i < cfg_.shards; ++i)
+        workers_.emplace_back([this, i] { worker_loop(i); });
+    roll_thread_ = std::thread([this] { roll_loop(); });
+}
+
+stream_engine::~stream_engine() { finish(); }
+
+// --------------------------------------------------------------- pusher
+
+void stream_engine::push(const stream_record& r) {
+    std::unique_lock lock(push_mutex_);
+    if (finished_) return;
+    if (open_day_ == kNoDay) open_day_ = r.day;
+    if (r.day < open_day_) {
+        // Sealed (or about-to-seal) days are immutable; accepting this
+        // record would tear the epoch. Count it so operators can see
+        // feed disorder beyond the tolerated batching slew.
+        ++late_dropped_;
+        return;
+    }
+    if (r.day > open_day_) {
+        // Day boundary: everything staged belongs to the finished day;
+        // get it into the queues ahead of the seal markers.
+        for (unsigned i = 0; i < cfg_.shards; ++i) flush_shard_locked(i);
+        broadcast_seal_locked(open_day_);
+        open_day_ = r.day;
+    }
+    ++records_;
+    hits_ += r.hits;
+    const unsigned shard = shard_of(r.addr);
+    staging_[shard].push_back(r);
+    if (staging_[shard].size() >= cfg_.batch_size) flush_shard_locked(shard);
+}
+
+void stream_engine::flush() {
+    std::unique_lock lock(push_mutex_);
+    if (finished_) return;
+    for (unsigned i = 0; i < cfg_.shards; ++i) flush_shard_locked(i);
+}
+
+void stream_engine::flush_shard_locked(unsigned shard) {
+    if (staging_[shard].empty()) return;
+    shard_message msg;
+    msg.k = shard_message::kind::batch;
+    msg.batch = std::move(staging_[shard]);
+    staging_[shard] = {};
+    ++batches_;
+    queues_[shard]->push(std::move(msg));  // blocks when full: backpressure
+}
+
+void stream_engine::broadcast_seal_locked(int day) {
+    for (unsigned i = 0; i < cfg_.shards; ++i) {
+        shard_message msg;
+        msg.k = shard_message::kind::seal;
+        msg.day = day;
+        queues_[i]->push(std::move(msg));
+    }
+    {
+        std::lock_guard roll(roll_mutex_);
+        seal_days_.push_back(day);
+    }
+    roll_cv_.notify_all();
+}
+
+void stream_engine::finish() {
+    // Serializes finishers (e.g. an explicit finish and the destructor).
+    std::lock_guard finishing(finish_mutex_);
+    {
+        std::unique_lock lock(push_mutex_);
+        if (finished_) {
+            if (workers_.empty()) return;  // already finished and joined
+        } else {
+            finished_ = true;
+            for (unsigned i = 0; i < cfg_.shards; ++i) flush_shard_locked(i);
+            if (open_day_ != kNoDay) broadcast_seal_locked(open_day_);
+        }
+    }
+    {
+        std::lock_guard roll(roll_mutex_);
+        stopping_ = true;
+    }
+    roll_cv_.notify_all();
+    for (auto& q : queues_) q->close();
+    for (auto& w : workers_) w.join();
+    workers_.clear();
+    if (roll_thread_.joinable()) roll_thread_.join();
+}
+
+// -------------------------------------------------------------- workers
+
+void stream_engine::worker_loop(unsigned shard) {
+    while (auto msg = queues_[shard]->pop()) {
+        if (msg->k == shard_message::kind::batch) {
+            for (const stream_record& r : msg->batch) shards_[shard]->buffer(r);
+            continue;
+        }
+        // Seal marker: hand the fully-staged day to the roll thread and
+        // wait until it has been applied everywhere before touching the
+        // next day's batches. The roll_mutex_ handshake orders this
+        // worker's buffered writes before the roll thread's seal_day and
+        // the seal_day writes before this worker's next buffer().
+        std::unique_lock lock(roll_mutex_);
+        drained_day_[shard] = msg->day;
+        roll_cv_.notify_all();
+        roll_cv_.wait(lock, [&] { return applied_day_ >= msg->day; });
+    }
+}
+
+// ---------------------------------------------------------- roll thread
+
+void stream_engine::roll_loop() {
+    for (;;) {
+        int day = kNoDay;
+        {
+            std::unique_lock lock(roll_mutex_);
+            roll_cv_.wait(lock, [&] { return stopping_ || !seal_days_.empty(); });
+            if (seal_days_.empty()) {  // stopping, all seals applied
+                lock.unlock();
+                std::lock_guard done(reports_mutex_);
+                rolls_done_ = true;
+                report_cv_.notify_all();
+                return;
+            }
+            day = seal_days_.front();
+            roll_cv_.wait(lock, [&] {
+                return std::all_of(drained_day_.begin(), drained_day_.end(),
+                                   [&](int d) { return d >= day; });
+            });
+            seal_days_.pop_front();
+        }
+        {
+            // The only writer of sealed state; readers (queries, the
+            // report build below) hold the lock shared.
+            std::unique_lock state(state_mutex_);
+            for (auto& s : shards_) s->seal_day(day);
+            // The projected (/64) store is engine-level (see engine.h);
+            // feed it the day's union of freshly sealed shard sets.
+            std::vector<address> active;
+            for (const auto& s : shards_) {
+                const std::vector<address>& day_set = s->series().day(day);
+                active.insert(active.end(), day_set.begin(), day_set.end());
+            }
+            projected_store_.record_day(day, active);
+            sealed_day_ = day;
+        }
+        {
+            std::lock_guard lock(roll_mutex_);
+            applied_day_ = day;
+        }
+        roll_cv_.notify_all();  // release the parked workers: ingest resumes
+        // Asynchronous roll-up: the expensive recompute overlaps ingest
+        // of the next day (workers only park again at the *next* seal,
+        // which cannot be applied until this loop comes round).
+        day_report report = build_report(day);
+        {
+            std::lock_guard lock(reports_mutex_);
+            reports_.push_back(std::move(report));
+        }
+        report_cv_.notify_all();
+    }
+}
+
+day_report stream_engine::build_report(int day) const {
+    std::shared_lock state(state_mutex_);
+    day_report report;
+    report.day = day;
+    report.ref_day = day - cfg_.window.window_fwd;
+    for (const auto& s : shards_) {
+        const stability_split split =
+            s->classify_day(report.ref_day, cfg_.stability_n, cfg_.window);
+        report.stable += split.stable.size();
+        report.not_stable += split.not_stable.size();
+        report.distinct_addresses += s->distinct_addresses();
+    }
+    report.distinct_projected = projected_store_.distinct_count();
+    report.active = report.stable + report.not_stable;
+    report.density = compute_density_table(merged_tree_locked(), cfg_.density_classes);
+    return report;
+}
+
+// -------------------------------------------------------------- queries
+
+stream_stats stream_engine::stats() const {
+    stream_stats out;
+    {
+        std::unique_lock lock(push_mutex_);
+        out.records = records_;
+        out.hits = hits_;
+        out.late_dropped = late_dropped_;
+        out.batches = batches_;
+        out.open_day = open_day_;
+    }
+    std::shared_lock state(state_mutex_);
+    out.sealed_day = sealed_day_;
+    for (const auto& s : shards_) out.distinct_addresses += s->distinct_addresses();
+    out.distinct_projected = projected_store_.distinct_count();
+    return out;
+}
+
+int stream_engine::sealed_day() const {
+    std::shared_lock state(state_mutex_);
+    return sealed_day_;
+}
+
+radix_tree stream_engine::merged_tree_locked() const {
+    radix_tree merged;
+    for (const auto& s : shards_) s->merge_tree_into(merged);
+    return merged;
+}
+
+stream_snapshot stream_engine::snapshot() const {
+    stream_snapshot out;
+    {
+        std::unique_lock lock(push_mutex_);
+        out.records = records_;
+        out.hits = hits_;
+        out.late_dropped = late_dropped_;
+    }
+    std::shared_lock state(state_mutex_);
+    out.epoch = sealed_day_;
+    std::vector<std::uint64_t> merged_spectrum(cfg_.spectrum_max + 1, 0);
+    for (const auto& s : shards_) {
+        out.distinct_addresses += s->distinct_addresses();
+        const auto spectrum = s->spectrum(cfg_.spectrum_max);
+        for (std::size_t n = 0; n < spectrum.size(); ++n)
+            merged_spectrum[n] += spectrum[n];
+    }
+    out.distinct_projected = projected_store_.distinct_count();
+    out.spectrum = std::move(merged_spectrum);
+    out.density = compute_density_table(merged_tree_locked(), cfg_.density_classes);
+    return out;
+}
+
+stability_split stream_engine::classify_day(int ref_day, unsigned n) const {
+    std::shared_lock state(state_mutex_);
+    stability_split merged;
+    for (const auto& s : shards_) {
+        stability_split split = s->classify_day(ref_day, n, cfg_.window);
+        merged.stable.insert(merged.stable.end(), split.stable.begin(),
+                             split.stable.end());
+        merged.not_stable.insert(merged.not_stable.end(), split.not_stable.begin(),
+                                 split.not_stable.end());
+    }
+    std::sort(merged.stable.begin(), merged.stable.end());
+    std::sort(merged.not_stable.begin(), merged.not_stable.end());
+    return merged;
+}
+
+std::vector<std::uint64_t> stream_engine::stability_spectrum(unsigned max_n) const {
+    std::shared_lock state(state_mutex_);
+    std::vector<std::uint64_t> merged(max_n + 1, 0);
+    for (const auto& s : shards_) {
+        const auto spectrum = s->spectrum(max_n);
+        for (std::size_t n = 0; n < spectrum.size(); ++n) merged[n] += spectrum[n];
+    }
+    return merged;
+}
+
+std::vector<density_row> stream_engine::density_table(
+    const std::vector<std::pair<std::uint64_t, unsigned>>& classes) const {
+    std::shared_lock state(state_mutex_);
+    return compute_density_table(merged_tree_locked(), classes);
+}
+
+std::vector<address> stream_engine::distinct_addresses() const {
+    std::shared_lock state(state_mutex_);
+    std::vector<address> out;
+    for (const auto& s : shards_) s->collect_addresses(out);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+mra_series stream_engine::mra() const { return compute_mra(distinct_addresses()); }
+
+std::vector<day_report> stream_engine::reports() const {
+    std::lock_guard lock(reports_mutex_);
+    return {reports_.begin(), reports_.end()};
+}
+
+std::optional<day_report> stream_engine::latest_report() const {
+    std::lock_guard lock(reports_mutex_);
+    if (reports_.empty()) return std::nullopt;
+    return reports_.back();
+}
+
+std::optional<day_report> stream_engine::wait_for_report(int day) const {
+    std::unique_lock lock(reports_mutex_);
+    for (;;) {
+        for (const day_report& r : reports_)
+            if (r.day == day) return r;
+        if (rolls_done_) return std::nullopt;
+        report_cv_.wait(lock);
+    }
+}
+
+}  // namespace v6

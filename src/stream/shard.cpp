@@ -1,0 +1,34 @@
+#include "v6class/stream/shard.h"
+
+#include <algorithm>
+
+namespace v6 {
+
+void stream_shard::seal_day(int day) {
+    hits_ += pending_hits_;
+    pending_hits_ = 0;
+    if (pending_.empty()) return;  // a day with no records for this shard
+
+    std::sort(pending_.begin(), pending_.end());
+    pending_.erase(std::unique(pending_.begin(), pending_.end()), pending_.end());
+
+    // First-ever sightings go into the distinct-address trie; the /128
+    // store's lifetime map is the dedup authority.
+    for (const address& a : pending_)
+        if (store128_.days_seen(a) == 0) tree_.add(a);
+
+    store128_.record_day(day, pending_);
+    series_.set_day(day, std::move(pending_));
+    pending_ = {};
+}
+
+void stream_shard::merge_tree_into(radix_tree& out) const {
+    tree_.visit([&](const prefix& p, std::uint64_t count) { out.add(p, count); });
+}
+
+void stream_shard::collect_addresses(std::vector<address>& out) const {
+    tree_.visit(
+        [&](const prefix& p, std::uint64_t) { out.push_back(p.base()); });
+}
+
+}  // namespace v6

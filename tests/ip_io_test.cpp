@@ -30,6 +30,9 @@ TEST(ReadAddressLinesTest, MixedContent) {
     EXPECT_EQ(report.blank, 1u);
     EXPECT_EQ(report.malformed, 2u);
     ASSERT_EQ(report.first_errors.size(), 2u);
+    EXPECT_EQ(report.first_errors[0].line_number, 6u);
+    EXPECT_EQ(report.first_errors[0].text, "not-an-address");
+    EXPECT_EQ(report.first_errors[1].line_number, 7u);
     ASSERT_EQ(got.size(), 3u);
     EXPECT_EQ(got[0], (std::pair{"2001:db8::1"_v6, std::uint64_t{1}}));
     EXPECT_EQ(got[1], (std::pair{"2001:db8::2"_v6, std::uint64_t{42}}));

@@ -2,6 +2,8 @@
 // cross-check against the merge-based stability analyzer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "v6class/netgen/rng.h"
 #include "v6class/temporal/observation_store.h"
 #include "v6class/temporal/stability.h"
@@ -140,6 +142,57 @@ TEST_P(StoreVsMerge, AgreeOnStableSets) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StoreVsMerge, ::testing::Range<std::uint64_t>(1, 9));
+
+// Property: record_day is order-independent and duplicate-insensitive. A
+// feed that arrives shuffled, with days re-recorded and in-day
+// duplicates, must leave the store in exactly the state of the in-order
+// feed — distinct count, spectrum, per-address days/span, stable sets.
+class StoreScheduleProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StoreScheduleProperty, ShuffledDuplicatedScheduleIsEquivalent) {
+    rng r{GetParam() * 11 + 5};
+    // One (day, active-set) entry per day, generated in order.
+    std::vector<std::pair<int, std::vector<address>>> schedule;
+    for (int day = 0; day < 25; ++day) {
+        std::vector<address> active;
+        for (unsigned i = 0; i < 200; ++i)
+            if (r.chance(0.2)) active.push_back(nth(i));
+        schedule.emplace_back(day, std::move(active));
+    }
+
+    observation_store in_order;
+    for (const auto& [day, active] : schedule) in_order.record_day(day, active);
+
+    // Adversarial replay: shuffle the days, record each 1-3 times, and
+    // duplicate addresses within each delivery.
+    std::vector<std::pair<int, std::vector<address>>> replay;
+    for (const auto& entry : schedule) {
+        const unsigned repeats = 1 + static_cast<unsigned>(r.uniform(3));
+        for (unsigned k = 0; k < repeats; ++k) replay.push_back(entry);
+    }
+    std::shuffle(replay.begin(), replay.end(), r);
+    observation_store scrambled;
+    for (auto& [day, active] : replay) {
+        std::vector<address> noisy = active;
+        for (const address& a : active)
+            if (r.chance(0.3)) noisy.push_back(a);
+        std::shuffle(noisy.begin(), noisy.end(), r);
+        scrambled.record_day(day, noisy);
+    }
+
+    EXPECT_EQ(scrambled.distinct_count(), in_order.distinct_count());
+    EXPECT_EQ(scrambled.stability_spectrum(25), in_order.stability_spectrum(25));
+    EXPECT_EQ(scrambled.gap_histogram(25), in_order.gap_histogram(25));
+    for (unsigned n : {1u, 5u, 12u})
+        EXPECT_EQ(scrambled.stable_addresses(n), in_order.stable_addresses(n)) << n;
+    for (unsigned i = 0; i < 200; ++i) {
+        EXPECT_EQ(scrambled.days_seen(nth(i)), in_order.days_seen(nth(i))) << i;
+        EXPECT_EQ(scrambled.first_last(nth(i)), in_order.first_last(nth(i))) << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreScheduleProperty,
+                         ::testing::Range<std::uint64_t>(1, 7));
 
 }  // namespace
 }  // namespace v6

@@ -1,0 +1,162 @@
+// Batch-vs-stream differential: replaying a >=100k-record feed through
+// the streaming engine must reproduce the batch pipeline's answers
+// *exactly* — same stability split, same lifetime spectrum, same Table-3
+// density rows, same distinct set, same MRA counts — for any shard
+// count (including the unsharded engine).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "v6class/netgen/rng.h"
+#include "v6class/spatial/density.h"
+#include "v6class/spatial/mra.h"
+#include "v6class/stream/engine.h"
+#include "v6class/temporal/observation_store.h"
+#include "v6class/temporal/stability.h"
+
+namespace v6 {
+namespace {
+
+constexpr int kFirstDay = 100;
+constexpr int kLastDay = 114;              // 15 days
+constexpr unsigned kRecordsPerDay = 7000;  // 105k records total
+constexpr std::uint64_t kSeed = 20150317;
+
+const std::vector<std::pair<std::uint64_t, unsigned>> kClasses = {
+    {2, 112}, {8, 64}, {2, 48}};
+
+// A pool with real spatial structure: 64 /64 networks, 16 /112 blocks
+// each, so the density classes and MRA ratios have something to find.
+std::vector<address> make_pool() {
+    std::vector<address> pool;
+    pool.reserve(10000);
+    for (unsigned i = 0; i < 10000; ++i) {
+        const std::uint64_t high = 0x20010db800000000ull + (i % 64);
+        const std::uint64_t low =
+            (static_cast<std::uint64_t>(i % 16) << 16) | (mix64(i) & 0xffffu);
+        pool.push_back(address::from_pair(high, low));
+    }
+    return pool;
+}
+
+// The replayed feed: duplicates, varying hit counts, random in-day order.
+std::vector<stream_record> make_feed() {
+    const std::vector<address> pool = make_pool();
+    std::vector<stream_record> feed;
+    feed.reserve((kLastDay - kFirstDay + 1) * kRecordsPerDay);
+    rng r{kSeed};
+    for (int day = kFirstDay; day <= kLastDay; ++day)
+        for (unsigned i = 0; i < kRecordsPerDay; ++i)
+            feed.push_back({day, pool[r.uniform(pool.size())], 1 + r.uniform(5)});
+    return feed;
+}
+
+// The reference pipeline: the batch substrate fed whole days at a time.
+struct batch_state {
+    daily_series series;
+    observation_store store128{128};
+    observation_store store64{64};
+    radix_tree tree;
+    std::vector<address> distinct;
+
+    explicit batch_state(const std::vector<stream_record>& feed) {
+        std::vector<address> all;
+        for (int day = kFirstDay; day <= kLastDay; ++day) {
+            std::vector<address> active;
+            for (const stream_record& rec : feed)
+                if (rec.day == day) active.push_back(rec.addr);
+            series.set_day(day, active);
+            store128.record_day(day, active);
+            store64.record_day(day, active);
+            all.insert(all.end(), active.begin(), active.end());
+        }
+        std::sort(all.begin(), all.end());
+        all.erase(std::unique(all.begin(), all.end()), all.end());
+        distinct = std::move(all);
+        for (const address& a : distinct) tree.add(a);
+    }
+};
+
+class StreamDifferential : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(StreamDifferential, StreamReproducesBatchExactly) {
+    const std::vector<stream_record> feed = make_feed();
+    ASSERT_GE(feed.size(), 100000u);
+    const batch_state batch(feed);
+
+    stream_config cfg;
+    cfg.shards = GetParam();
+    cfg.density_classes = kClasses;
+    stream_engine engine(cfg);
+    for (const stream_record& rec : feed) engine.push(rec);
+    engine.finish();
+
+    // Feed accounting: everything was in day order, nothing dropped.
+    const stream_stats stats = engine.stats();
+    EXPECT_EQ(stats.records, feed.size());
+    EXPECT_EQ(stats.late_dropped, 0u);
+    EXPECT_EQ(engine.sealed_day(), kLastDay);
+
+    // Distinct sets, at /128 and projected /64.
+    EXPECT_EQ(stats.distinct_addresses, batch.store128.distinct_count());
+    EXPECT_EQ(stats.distinct_projected, batch.store64.distinct_count());
+    EXPECT_EQ(engine.distinct_addresses(), batch.distinct);
+
+    // Windowed stability splits: byte-identical address vectors.
+    const stability_analyzer an(batch.series);
+    for (const int ref : {kFirstDay + 7, kFirstDay + 10})
+        for (const unsigned n : {1u, 3u, 7u}) {
+            const stability_split want = an.classify_day(ref, n);
+            const stability_split got = engine.classify_day(ref, n);
+            EXPECT_EQ(got.stable, want.stable) << "ref=" << ref << " n=" << n;
+            EXPECT_EQ(got.not_stable, want.not_stable)
+                << "ref=" << ref << " n=" << n;
+        }
+
+    // Lifetime spectrum.
+    EXPECT_EQ(engine.stability_spectrum(14), batch.store128.stability_spectrum(14));
+
+    // Table-3 density rows, every field.
+    const std::vector<density_row> want_rows =
+        compute_density_table(batch.tree, kClasses);
+    const std::vector<density_row> got_rows = engine.density_table(kClasses);
+    ASSERT_EQ(got_rows.size(), want_rows.size());
+    for (std::size_t i = 0; i < want_rows.size(); ++i) {
+        EXPECT_EQ(got_rows[i].n, want_rows[i].n);
+        EXPECT_EQ(got_rows[i].p, want_rows[i].p);
+        EXPECT_EQ(got_rows[i].dense_prefix_count, want_rows[i].dense_prefix_count);
+        EXPECT_EQ(got_rows[i].covered_addresses, want_rows[i].covered_addresses);
+        EXPECT_EQ(got_rows[i].possible_addresses, want_rows[i].possible_addresses);
+        EXPECT_EQ(got_rows[i].address_density, want_rows[i].address_density);
+    }
+
+    // MRA aggregate counts at every prefix length.
+    const mra_series want_mra = compute_mra_sorted(batch.distinct);
+    const mra_series got_mra = engine.mra();
+    for (unsigned p = 0; p <= 128; ++p)
+        EXPECT_EQ(got_mra.aggregate_count(p), want_mra.aggregate_count(p)) << p;
+
+    // The day reports produced along the way agree with batch counts.
+    const auto reports = engine.reports();
+    ASSERT_EQ(reports.size(),
+              static_cast<std::size_t>(kLastDay - kFirstDay + 1));
+    for (const day_report& rep : reports) {
+        EXPECT_EQ(rep.ref_day, rep.day - cfg.window.window_fwd);
+        const stability_split want = an.classify_day(rep.ref_day, cfg.stability_n);
+        EXPECT_EQ(rep.stable, want.stable.size()) << "day=" << rep.day;
+        EXPECT_EQ(rep.not_stable, want.not_stable.size()) << "day=" << rep.day;
+        EXPECT_EQ(rep.active, want.stable.size() + want.not_stable.size());
+    }
+
+    // And the final snapshot is the whole-feed summary.
+    const stream_snapshot snap = engine.snapshot();
+    EXPECT_EQ(snap.epoch, kLastDay);
+    EXPECT_EQ(snap.distinct_addresses, batch.distinct.size());
+    EXPECT_EQ(snap.spectrum, batch.store128.stability_spectrum(cfg.spectrum_max));
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, StreamDifferential,
+                         ::testing::Values(1u, 2u, 5u));
+
+}  // namespace
+}  // namespace v6

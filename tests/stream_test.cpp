@@ -1,0 +1,358 @@
+// Tests for the streaming ingest engine and its parts: the bounded
+// queue, the feed-record codec, shard sealing, and the engine's epoch /
+// day-roll machinery (including ingest continuing while a seal is in
+// flight).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+#include "v6class/netgen/rng.h"
+#include "v6class/stream/bounded_queue.h"
+#include "v6class/stream/engine.h"
+#include "v6class/temporal/stability.h"
+
+namespace v6 {
+namespace {
+
+address nth(unsigned i) {
+    return address::from_pair(0x20010db800000000ull + (i % 7), 0x9000u + i);
+}
+
+// ------------------------------------------------------------ bounded_queue
+
+TEST(BoundedQueueTest, FifoOrder) {
+    bounded_queue<int> q(4);
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(BoundedQueueTest, TryPushRespectsCapacity) {
+    bounded_queue<int> q(2);
+    EXPECT_TRUE(q.try_push(1));
+    EXPECT_TRUE(q.try_push(2));
+    EXPECT_FALSE(q.try_push(3));  // full
+    q.pop();
+    EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(BoundedQueueTest, ZeroCapacityClampedToOne) {
+    bounded_queue<int> q(0);
+    EXPECT_EQ(q.capacity(), 1u);
+    EXPECT_TRUE(q.try_push(1));
+    EXPECT_FALSE(q.try_push(2));
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenStops) {
+    bounded_queue<int> q(4);
+    q.push(1);
+    q.push(2);
+    q.close();
+    EXPECT_FALSE(q.push(3));  // closed: push fails
+    EXPECT_EQ(q.pop(), 1);    // but the backlog drains
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, FullPushBlocksUntilConsumerPops) {
+    bounded_queue<int> q(1);
+    ASSERT_TRUE(q.push(1));
+    std::atomic<bool> second_pushed{false};
+    std::thread producer([&] {
+        q.push(2);  // blocks: capacity 1, queue full
+        second_pushed = true;
+    });
+    // The producer must be parked, not spinning through a failed push.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(second_pushed);
+    EXPECT_EQ(q.pop(), 1);
+    producer.join();
+    EXPECT_TRUE(second_pushed);
+    EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedProducer) {
+    bounded_queue<int> q(1);
+    ASSERT_TRUE(q.push(1));
+    std::thread producer([&] { EXPECT_FALSE(q.push(2)); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.close();
+    producer.join();
+}
+
+// ------------------------------------------------------------ record codec
+
+TEST(StreamRecordTest, ParsesDayAddressHits) {
+    stream_record r;
+    ASSERT_TRUE(parse_stream_record("365 2001:db8::1 42", r));
+    EXPECT_EQ(r.day, 365);
+    EXPECT_EQ(r.addr, address::must_parse("2001:db8::1"));
+    EXPECT_EQ(r.hits, 42u);
+}
+
+TEST(StreamRecordTest, HitsDefaultToOne) {
+    stream_record r;
+    ASSERT_TRUE(parse_stream_record("7 ::1", r));
+    EXPECT_EQ(r.hits, 1u);
+}
+
+TEST(StreamRecordTest, RejectsGarbage) {
+    stream_record r;
+    EXPECT_FALSE(parse_stream_record("", r));
+    EXPECT_FALSE(parse_stream_record("2001:db8::1", r));      // no day
+    EXPECT_FALSE(parse_stream_record("x 2001:db8::1", r));    // bad day
+    EXPECT_FALSE(parse_stream_record("5 not-an-addr", r));    // bad addr
+    EXPECT_FALSE(parse_stream_record("5 ::1 0", r));          // zero hits
+    EXPECT_FALSE(parse_stream_record("5 ::1 3 junk", r));     // trailing
+}
+
+TEST(StreamRecordTest, RoundTripsThroughText) {
+    const stream_record original{123, address::must_parse("2001:db8::abcd"), 9};
+    std::ostringstream out;
+    write_stream_record(out, original);
+    stream_record parsed;
+    std::string line = out.str();
+    ASSERT_FALSE(line.empty());
+    line.pop_back();  // strip '\n'
+    ASSERT_TRUE(parse_stream_record(line, parsed));
+    EXPECT_EQ(parsed, original);
+}
+
+TEST(StreamRecordTest, ReaderToleratesCommentsAndCountsErrors) {
+    std::istringstream in(
+        "# header\n"
+        "\n"
+        "1 2001:db8::1 2\n"
+        "broken line\n"
+        "2 2001:db8::2\n");
+    std::vector<stream_record> seen;
+    const read_report report =
+        read_stream_records(in, [&](const stream_record& r) { seen.push_back(r); });
+    EXPECT_EQ(seen.size(), 2u);
+    EXPECT_EQ(report.parsed, 2u);
+    EXPECT_EQ(report.malformed, 1u);
+    ASSERT_EQ(report.first_errors.size(), 1u);
+    EXPECT_EQ(report.first_errors[0].line_number, 4u);
+}
+
+// ------------------------------------------------------------ engine
+
+stream_config small_config(unsigned shards) {
+    stream_config cfg;
+    cfg.shards = shards;
+    cfg.batch_size = 8;
+    cfg.queue_capacity = 4;
+    return cfg;
+}
+
+TEST(StreamEngineTest, EmptyEngineFinishesCleanly) {
+    stream_engine engine(small_config(2));
+    engine.finish();
+    EXPECT_EQ(engine.sealed_day(), kNoDay);
+    EXPECT_TRUE(engine.reports().empty());
+    const stream_snapshot snap = engine.snapshot();
+    EXPECT_EQ(snap.epoch, kNoDay);
+    EXPECT_EQ(snap.records, 0u);
+}
+
+TEST(StreamEngineTest, FinishSealsTheOpenDay) {
+    stream_engine engine(small_config(3));
+    engine.push(10, nth(1), 5);
+    engine.push(10, nth(2));
+    engine.push(10, nth(1));  // duplicate within the day
+    engine.finish();
+    EXPECT_EQ(engine.sealed_day(), 10);
+    const stream_stats stats = engine.stats();
+    EXPECT_EQ(stats.records, 3u);
+    EXPECT_EQ(stats.hits, 7u);
+    EXPECT_EQ(stats.distinct_addresses, 2u);
+    ASSERT_EQ(engine.reports().size(), 1u);
+    EXPECT_EQ(engine.reports()[0].day, 10);
+}
+
+TEST(StreamEngineTest, FinishIsIdempotent) {
+    stream_engine engine(small_config(2));
+    engine.push(1, nth(1));
+    engine.finish();
+    engine.finish();
+    EXPECT_EQ(engine.stats().records, 1u);
+}
+
+TEST(StreamEngineTest, PushAfterFinishIsIgnored) {
+    stream_engine engine(small_config(2));
+    engine.push(1, nth(1));
+    engine.finish();
+    engine.push(2, nth(2));
+    EXPECT_EQ(engine.stats().records, 1u);
+    EXPECT_EQ(engine.sealed_day(), 1);
+}
+
+TEST(StreamEngineTest, DayBoundaryAdvancesEpoch) {
+    stream_engine engine(small_config(2));
+    engine.push(5, nth(1));
+    engine.push(5, nth(2));
+    EXPECT_EQ(engine.stats().open_day, 5);
+    engine.push(6, nth(1));  // seals day 5 behind its last batch
+    const auto report5 = engine.wait_for_report(5);
+    ASSERT_TRUE(report5.has_value());
+    EXPECT_EQ(report5->day, 5);
+    EXPECT_EQ(report5->distinct_addresses, 2u);
+    EXPECT_EQ(engine.sealed_day(), 5);
+    EXPECT_EQ(engine.stats().open_day, 6);
+    engine.finish();
+    EXPECT_EQ(engine.sealed_day(), 6);
+    EXPECT_EQ(engine.reports().size(), 2u);
+}
+
+TEST(StreamEngineTest, SkippedDaysSealOnlyObservedOnes) {
+    stream_engine engine(small_config(2));
+    engine.push(1, nth(1));
+    engine.push(4, nth(1));  // days 2 and 3 never existed in the feed
+    engine.finish();
+    const auto reports = engine.reports();
+    ASSERT_EQ(reports.size(), 2u);
+    EXPECT_EQ(reports[0].day, 1);
+    EXPECT_EQ(reports[1].day, 4);
+}
+
+TEST(StreamEngineTest, LateRecordsAreDroppedAndCounted) {
+    stream_engine engine(small_config(2));
+    engine.push(10, nth(1));
+    engine.push(11, nth(2));  // day 10 sealed
+    engine.push(10, nth(3));  // late: sealed days are immutable
+    engine.push(9, nth(4));   // later still
+    engine.finish();
+    const stream_stats stats = engine.stats();
+    EXPECT_EQ(stats.records, 2u);
+    EXPECT_EQ(stats.late_dropped, 2u);
+    EXPECT_EQ(stats.distinct_addresses, 2u);
+    // The dropped addresses are nowhere in the sealed state.
+    const auto distinct = engine.distinct_addresses();
+    EXPECT_EQ(distinct.size(), 2u);
+}
+
+TEST(StreamEngineTest, WaitForUnsealedDayReturnsNulloptAfterFinish) {
+    stream_engine engine(small_config(2));
+    engine.push(1, nth(1));
+    engine.finish();
+    EXPECT_FALSE(engine.wait_for_report(99).has_value());
+}
+
+TEST(StreamEngineTest, ReportCarriesWindowedSplitAndDensity) {
+    stream_config cfg = small_config(2);
+    cfg.window.window_back = 2;
+    cfg.window.window_fwd = 2;
+    cfg.stability_n = 2;
+    cfg.density_classes = {{2, 112}};
+    stream_engine engine(cfg);
+    // nth(1) active on days 0..4; nth(2) only day 2: at ref_day 2
+    // (sealed day 4 minus window_fwd 2), nth(1) is 2d-stable, nth(2) not.
+    for (int day = 0; day <= 4; ++day) {
+        engine.push(day, nth(1));
+        if (day == 2) engine.push(day, nth(2));
+    }
+    engine.push(5, nth(1));  // seal day 4 -> report for ref_day 2
+    const auto report = engine.wait_for_report(4);
+    ASSERT_TRUE(report.has_value());
+    EXPECT_EQ(report->ref_day, 2);
+    EXPECT_EQ(report->active, 2u);
+    EXPECT_EQ(report->stable, 1u);
+    EXPECT_EQ(report->not_stable, 1u);
+    ASSERT_EQ(report->density.size(), 1u);
+    EXPECT_EQ(report->density[0].n, 2u);
+    EXPECT_EQ(report->density[0].p, 112u);
+    engine.finish();
+}
+
+TEST(StreamEngineTest, ClassifyDayMergesShards) {
+    stream_engine engine(small_config(4));
+    daily_series series;
+    rng r{77};
+    for (int day = 0; day < 10; ++day) {
+        std::vector<address> active;
+        for (unsigned i = 0; i < 120; ++i)
+            if (r.chance(0.4)) active.push_back(nth(i));
+        for (const address& a : active) engine.push(day, a);
+        series.set_day(day, active);
+    }
+    engine.finish();
+    const stability_analyzer an(series);
+    for (unsigned n : {1u, 3u}) {
+        const stability_split batch = an.classify_day(5, n);
+        const stability_split streamed = engine.classify_day(5, n);
+        EXPECT_EQ(streamed.stable, batch.stable) << "n=" << n;
+        EXPECT_EQ(streamed.not_stable, batch.not_stable) << "n=" << n;
+    }
+}
+
+TEST(StreamEngineTest, SnapshotIsEpochConsistent) {
+    stream_engine engine(small_config(3));
+    engine.push(1, nth(1));
+    engine.push(1, nth(2));
+    engine.push(2, nth(1));
+    ASSERT_TRUE(engine.wait_for_report(1).has_value());
+    // Day 2 is still open: the snapshot must describe epoch 1 only.
+    const stream_snapshot snap = engine.snapshot();
+    EXPECT_EQ(snap.epoch, 1);
+    EXPECT_EQ(snap.distinct_addresses, 2u);
+    ASSERT_FALSE(snap.spectrum.empty());
+    EXPECT_EQ(snap.spectrum[0], 2u);
+    engine.finish();
+    EXPECT_EQ(engine.snapshot().epoch, 2);
+}
+
+// The acceptance test of the roll design: once a day boundary is pushed,
+// the seal and its report recompute happen on the roll thread while the
+// pusher keeps streaming the next day's records. All of them must be
+// accepted (none dropped, none deadlocked) even with tiny queues forcing
+// backpressure, and the in-flight report must still come out right.
+TEST(StreamEngineTest, IngestContinuesWhileSealIsInFlight) {
+    stream_config cfg;
+    cfg.shards = 4;
+    cfg.batch_size = 4;      // many batches...
+    cfg.queue_capacity = 1;  // ...through minimal queues: real backpressure
+    stream_engine engine(cfg);
+    constexpr unsigned kPerDay = 3000;
+    for (unsigned i = 0; i < kPerDay; ++i) engine.push(0, nth(i % 500));
+    // This push broadcasts the day-0 seal...
+    engine.push(1, nth(0));
+    // ...and without waiting for it we keep streaming day 1. The seal +
+    // report build for day 0 is concurrently in flight on the roll
+    // thread; these pushes must all be accepted meanwhile.
+    for (unsigned i = 1; i < kPerDay; ++i) engine.push(1, nth(i % 500));
+    const stream_stats mid = engine.stats();
+    EXPECT_EQ(mid.records, 2 * kPerDay);
+    EXPECT_EQ(mid.late_dropped, 0u);
+    EXPECT_EQ(mid.open_day, 1);
+    const auto report0 = engine.wait_for_report(0);
+    ASSERT_TRUE(report0.has_value());
+    EXPECT_EQ(report0->distinct_addresses, 500u);
+    engine.finish();
+    EXPECT_EQ(engine.stats().records, 2 * kPerDay);
+    EXPECT_EQ(engine.sealed_day(), 1);
+    EXPECT_EQ(engine.snapshot().distinct_addresses, 500u);
+}
+
+TEST(StreamEngineTest, ManyProducersOneEngine) {
+    stream_config cfg = small_config(4);
+    stream_engine engine(cfg);
+    constexpr int kThreads = 4;
+    constexpr unsigned kEach = 2000;
+    std::vector<std::thread> producers;
+    for (int t = 0; t < kThreads; ++t)
+        producers.emplace_back([&engine, t] {
+            for (unsigned i = 0; i < kEach; ++i)
+                engine.push(3, nth(static_cast<unsigned>(t) * kEach + i));
+        });
+    for (auto& p : producers) p.join();
+    engine.finish();
+    const stream_stats stats = engine.stats();
+    EXPECT_EQ(stats.records, static_cast<std::uint64_t>(kThreads) * kEach);
+    EXPECT_EQ(stats.distinct_addresses, kThreads * kEach);
+}
+
+}  // namespace
+}  // namespace v6

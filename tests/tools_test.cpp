@@ -183,9 +183,38 @@ TEST_F(ToolsTest, ProfileInfersPractices) {
     EXPECT_NE(r.output.find("AS20001"), std::string::npos);
 }
 
+TEST_F(ToolsTest, StreamConsumesSynthFeed) {
+    // The README quickstart: pipe a synthetic feed straight into the
+    // streaming classifier and read the JSON day roll-ups + final report.
+    const run_result r = run(
+        tool("v6synth") + " --stream --scale=0.02 --first=362 --last=366"
+        " 2>/dev/null | " + tool("v6stream") + " --shards=3 --n=3 2>/dev/null");
+    ASSERT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.output.find("{\"type\":\"day\",\"day\":362,"), std::string::npos);
+    EXPECT_NE(r.output.find("{\"type\":\"day\",\"day\":366,"), std::string::npos);
+    EXPECT_NE(r.output.find("\"type\":\"final\""), std::string::npos);
+    EXPECT_NE(r.output.find("\"spectrum\":["), std::string::npos);
+    EXPECT_NE(r.output.find("\"late_dropped\":0"), std::string::npos);
+}
+
+TEST_F(ToolsTest, StreamReplaysACorpusDirectory) {
+    const run_result r =
+        run(tool("v6stream") + " --replay=" + corpus_.string() +
+            " --shards=2 2>/dev/null");
+    ASSERT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.output.find("{\"type\":\"day\",\"day\":362,"), std::string::npos);
+    EXPECT_NE(r.output.find("\"type\":\"final\""), std::string::npos);
+}
+
+TEST_F(ToolsTest, StreamRejectsBadClass) {
+    const run_result r =
+        run("true | " + tool("v6stream") + " --class=nope 2>/dev/null");
+    EXPECT_NE(r.exit_code, 0);
+}
+
 TEST_F(ToolsTest, ToolsPrintUsageOnHelp) {
     for (const char* name : {"v6classify", "v6mra", "v6dense", "v6stable",
-                             "v6synth", "v6profile", "v6arpa"}) {
+                             "v6synth", "v6profile", "v6arpa", "v6stream"}) {
         const run_result r = run(tool(name) + " --help");
         EXPECT_EQ(r.exit_code, 0) << name;
         EXPECT_NE(r.output.find("usage:"), std::string::npos) << name;

@@ -71,29 +71,56 @@ private:
     std::vector<std::string> positional_;
 };
 
+/// Parses a density-class spec "N@P" or "N@/P" (e.g. "2@112", the
+/// paper's n@/p classes); shared by v6dense and v6stream.
+inline std::optional<std::pair<std::uint64_t, unsigned>> parse_density_class(
+    const std::string& text) {
+    const std::size_t at = text.find('@');
+    if (at == std::string::npos) return std::nullopt;
+    const long n = std::atol(text.substr(0, at).c_str());
+    std::string p_text = text.substr(at + 1);
+    if (!p_text.empty() && p_text[0] == '/') p_text.erase(0, 1);
+    const long p = std::atol(p_text.c_str());
+    if (n < 1 || p < 0 || p > 128) return std::nullopt;
+    return std::make_pair(static_cast<std::uint64_t>(n), static_cast<unsigned>(p));
+}
+
+/// Prints the uniform malformed-line warning: how many lines were
+/// skipped, and where the first few are (line number + content), so a
+/// bad feed is locatable. Blank lines and '#' comments are tolerated by
+/// the readers and never reported here.
+inline void report_malformed_lines(const read_report& report,
+                                   const std::string& source) {
+    if (report.malformed == 0) return;
+    std::fprintf(stderr, "warning: %s: %llu malformed line(s) skipped\n",
+                 source.c_str(),
+                 static_cast<unsigned long long>(report.malformed));
+    for (const read_error& e : report.first_errors)
+        std::fprintf(stderr, "warning:   line %llu: %s\n",
+                     static_cast<unsigned long long>(e.line_number),
+                     e.text.c_str());
+}
+
 /// Reads addresses from the first positional argument (a file) or stdin
-/// when none is given ("-" also means stdin). Reports parse accounting
-/// to stderr; returns nullopt when the file cannot be opened.
+/// when none is given ("-" also means stdin). Blank lines and '#'
+/// comments are tolerated; malformed lines are reported to stderr with
+/// their line numbers. Returns nullopt when the file cannot be opened.
 inline std::optional<std::vector<address>> read_input_addresses(const flag_set& flags) {
     std::vector<address> addrs;
     read_report report;
+    std::string source = "<stdin>";
     if (flags.positional().empty() || flags.positional()[0] == "-") {
         report = read_addresses(std::cin, addrs);
     } else {
-        std::ifstream in(flags.positional()[0]);
+        source = flags.positional()[0];
+        std::ifstream in(source);
         if (!in) {
-            std::fprintf(stderr, "error: cannot open %s\n",
-                         flags.positional()[0].c_str());
+            std::fprintf(stderr, "error: cannot open %s\n", source.c_str());
             return std::nullopt;
         }
         report = read_addresses(in, addrs);
     }
-    if (report.malformed > 0) {
-        std::fprintf(stderr, "warning: %llu malformed line(s) skipped; first: %s\n",
-                     static_cast<unsigned long long>(report.malformed),
-                     report.first_errors.empty() ? "?"
-                                                 : report.first_errors[0].c_str());
-    }
+    report_malformed_lines(report, source);
     return addrs;
 }
 

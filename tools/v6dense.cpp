@@ -14,22 +14,6 @@
 
 using namespace v6;
 
-namespace {
-
-std::optional<std::pair<std::uint64_t, unsigned>> parse_class(
-    const std::string& text) {
-    const std::size_t at = text.find('@');
-    if (at == std::string::npos) return std::nullopt;
-    const long n = std::atol(text.substr(0, at).c_str());
-    std::string p_text = text.substr(at + 1);
-    if (!p_text.empty() && p_text[0] == '/') p_text.erase(0, 1);
-    const long p = std::atol(p_text.c_str());
-    if (n < 1 || p < 0 || p > 128) return std::nullopt;
-    return std::make_pair(static_cast<std::uint64_t>(n), static_cast<unsigned>(p));
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
     const tools::flag_set flags(argc, argv);
     if (flags.has("help")) {
@@ -41,7 +25,7 @@ int main(int argc, char** argv) {
     }
     std::vector<std::pair<std::uint64_t, unsigned>> classes;
     for (const std::string& text : flags.get_all("class")) {
-        const auto parsed = parse_class(text);
+        const auto parsed = tools::parse_density_class(text);
         if (!parsed) {
             std::fprintf(stderr, "error: bad --class=%s (want e.g. 2@112)\n",
                          text.c_str());

@@ -38,7 +38,8 @@ int main(int argc, char** argv) {
             return 1;
         }
         std::vector<address> addrs2;
-        read_addresses(other, addrs2);
+        tools::report_malformed_lines(read_addresses(other, addrs2),
+                                      flags.get("compare"));
         if (addrs2.empty()) {
             std::fprintf(stderr, "error: no addresses in %s\n",
                          flags.get("compare").c_str());

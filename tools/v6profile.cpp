@@ -25,9 +25,7 @@ bool load_routes(const std::string& file, rir_registry& registry) {
         read_prefix_lines(in, [&](const prefix& pfx, std::uint64_t asn) {
             registry.advertise(pfx, static_cast<std::uint32_t>(asn));
         });
-    if (report.malformed > 0)
-        std::fprintf(stderr, "warning: %llu malformed route line(s) skipped\n",
-                     static_cast<unsigned long long>(report.malformed));
+    tools::report_malformed_lines(report, file);
     return true;
 }
 

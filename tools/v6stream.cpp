@@ -1,0 +1,210 @@
+// v6stream — always-on streaming classification of a live observation
+// feed (the Section 5.1 "ongoing basis" deployment, as a daemon-shaped
+// tool).
+//
+//   v6synth --stream ... | v6stream --shards=4
+//   v6stream [--shards=N] [--batch=N] [--queue=N] [--n=3] [--back=7]
+//            [--fwd=7] [--class=N@P ...] [--status-every=RECORDS]
+//            [--spectrum=MAX] [feed-file|-]
+//   v6stream --replay=DIR ...            replay a day_<n>.log corpus
+//
+// The feed is "day address [hits]" lines (blank lines and '#' comments
+// tolerated) from a file, a FIFO, or stdin. Emits JSON lines on stdout:
+// a "day" object per sealed day (the asynchronous roll-up: windowed
+// nd-stable split and n@/p density classes), a periodic "status" object,
+// and a "final" object with the lifetime spectrum on EOF or SIGINT /
+// SIGTERM (graceful shutdown: the open day is sealed and reported).
+#include <csignal>
+#include <filesystem>
+
+#include "tool_common.h"
+#include "v6class/cdnsim/corpus.h"
+#include "v6class/stream/engine.h"
+
+using namespace v6;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_stop(int) { g_stop = 1; }
+
+void print_density(const std::vector<density_row>& rows) {
+    std::printf("\"dense\":[");
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        std::printf("%s{\"n\":%llu,\"p\":%u,\"prefixes\":%llu,\"covered\":%llu}",
+                    i ? "," : "",
+                    static_cast<unsigned long long>(rows[i].n), rows[i].p,
+                    static_cast<unsigned long long>(rows[i].dense_prefix_count),
+                    static_cast<unsigned long long>(rows[i].covered_addresses));
+    std::printf("]");
+}
+
+void print_day_report(const day_report& r) {
+    std::printf("{\"type\":\"day\",\"day\":%d,\"ref_day\":%d,\"active\":%llu,"
+                "\"stable\":%llu,\"not_stable\":%llu,\"distinct_addrs\":%zu,"
+                "\"distinct_64s\":%zu,",
+                r.day, r.ref_day, static_cast<unsigned long long>(r.active),
+                static_cast<unsigned long long>(r.stable),
+                static_cast<unsigned long long>(r.not_stable),
+                r.distinct_addresses, r.distinct_projected);
+    print_density(r.density);
+    std::printf("}\n");
+}
+
+void print_status(const stream_stats& s) {
+    std::printf("{\"type\":\"status\",\"records\":%llu,\"hits\":%llu,"
+                "\"late_dropped\":%llu,\"open_day\":%d,\"sealed_day\":%d,"
+                "\"distinct_addrs\":%zu,\"distinct_64s\":%zu}\n",
+                static_cast<unsigned long long>(s.records),
+                static_cast<unsigned long long>(s.hits),
+                static_cast<unsigned long long>(s.late_dropped),
+                s.open_day == kNoDay ? -1 : s.open_day,
+                s.sealed_day == kNoDay ? -1 : s.sealed_day,
+                s.distinct_addresses, s.distinct_projected);
+}
+
+void print_final(const stream_snapshot& s, std::uint64_t malformed) {
+    std::printf("{\"type\":\"final\",\"epoch\":%d,\"records\":%llu,"
+                "\"hits\":%llu,\"late_dropped\":%llu,\"malformed\":%llu,"
+                "\"distinct_addrs\":%zu,\"distinct_64s\":%zu,\"spectrum\":[",
+                s.epoch == kNoDay ? -1 : s.epoch,
+                static_cast<unsigned long long>(s.records),
+                static_cast<unsigned long long>(s.hits),
+                static_cast<unsigned long long>(s.late_dropped),
+                static_cast<unsigned long long>(malformed),
+                s.distinct_addresses, s.distinct_projected);
+    for (std::size_t n = 0; n < s.spectrum.size(); ++n)
+        std::printf("%s%llu", n ? "," : "",
+                    static_cast<unsigned long long>(s.spectrum[n]));
+    std::printf("],");
+    print_density(s.density);
+    std::printf("}\n");
+}
+
+/// Drains and prints day reports not yet printed; returns the new count.
+std::size_t drain_reports(const stream_engine& engine, std::size_t printed) {
+    const std::vector<day_report> reports = engine.reports();
+    for (std::size_t i = printed; i < reports.size(); ++i)
+        print_day_report(reports[i]);
+    if (reports.size() > printed) std::fflush(stdout);
+    return reports.size();
+}
+
+std::string_view trim(std::string_view s) noexcept {
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t' || s.front() == '\r'))
+        s.remove_prefix(1);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+        s.remove_suffix(1);
+    return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const tools::flag_set flags(argc, argv);
+    if (flags.has("help")) {
+        std::puts(
+            "usage: v6stream [--shards=N] [--batch=N] [--queue=N] [--n=3]\n"
+            "                [--back=7] [--fwd=7] [--class=N@P ...]\n"
+            "                [--status-every=RECORDS] [--spectrum=MAX]\n"
+            "                [--replay=DIR] [feed-file|-]\n"
+            "streaming classification of a \"day address [hits]\" feed;\n"
+            "emits JSON lines (day roll-ups, status, final report)");
+        return 0;
+    }
+
+    stream_config cfg;
+    cfg.shards = static_cast<unsigned>(flags.get_int("shards", 4));
+    cfg.batch_size = static_cast<std::size_t>(flags.get_int("batch", 1024));
+    cfg.queue_capacity = static_cast<std::size_t>(flags.get_int("queue", 64));
+    cfg.stability_n = static_cast<unsigned>(flags.get_int("n", 3));
+    cfg.window.window_back = static_cast<int>(flags.get_int("back", 7));
+    cfg.window.window_fwd = static_cast<int>(flags.get_int("fwd", 7));
+    cfg.spectrum_max = static_cast<unsigned>(flags.get_int("spectrum", 14));
+    std::vector<std::pair<std::uint64_t, unsigned>> classes;
+    for (const std::string& text : flags.get_all("class")) {
+        const auto parsed = tools::parse_density_class(text);
+        if (!parsed) {
+            std::fprintf(stderr, "error: bad --class=%s (want e.g. 2@112)\n",
+                         text.c_str());
+            return 1;
+        }
+        classes.push_back(*parsed);
+    }
+    if (!classes.empty()) cfg.density_classes = std::move(classes);
+    const auto status_every =
+        static_cast<std::uint64_t>(flags.get_int("status-every", 100000));
+
+    std::signal(SIGINT, handle_stop);
+    std::signal(SIGTERM, handle_stop);
+
+    stream_engine engine(cfg);
+    std::uint64_t malformed = 0;
+    std::size_t printed_reports = 0;
+
+    if (flags.has("replay")) {
+        // Replay a day_<n>.log corpus directory in day order.
+        namespace fs = std::filesystem;
+        std::vector<int> days;
+        try {
+            for (const auto& entry : fs::directory_iterator(flags.get("replay"))) {
+                int day = 0;
+                if (entry.is_regular_file() &&
+                    std::sscanf(entry.path().filename().string().c_str(),
+                                "day_%d.log", &day) == 1)
+                    days.push_back(day);
+            }
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+        std::sort(days.begin(), days.end());
+        for (const int day : days) {
+            if (g_stop) break;
+            const daily_log log = read_log_file(
+                fs::path(flags.get("replay")) / corpus_file_name(day), day);
+            for (const observation& o : log.records) engine.push(day, o.addr, o.hits);
+            printed_reports = drain_reports(engine, printed_reports);
+        }
+    } else {
+        std::ifstream file;
+        const bool use_stdin =
+            flags.positional().empty() || flags.positional()[0] == "-";
+        if (!use_stdin) {
+            file.open(flags.positional()[0]);
+            if (!file) {
+                std::fprintf(stderr, "error: cannot open %s\n",
+                             flags.positional()[0].c_str());
+                return 1;
+            }
+        }
+        std::istream& in = use_stdin ? std::cin : file;
+
+        std::string line;
+        std::uint64_t line_number = 0;
+        stream_record record;
+        while (!g_stop && std::getline(in, line)) {
+            ++line_number;
+            const std::string_view text = trim(line);
+            if (text.empty() || text.front() == '#') continue;
+            if (!parse_stream_record(text, record)) {
+                if (++malformed <= 8)
+                    std::fprintf(stderr, "warning: line %llu: malformed: %s\n",
+                                 static_cast<unsigned long long>(line_number),
+                                 line.c_str());
+                continue;
+            }
+            engine.push(record);
+            if (status_every > 0 && line_number % status_every == 0) {
+                print_status(engine.stats());
+                printed_reports = drain_reports(engine, printed_reports);
+            }
+        }
+    }
+
+    engine.finish();
+    printed_reports = drain_reports(engine, printed_reports);
+    print_final(engine.snapshot(), malformed);
+    return 0;
+}

@@ -3,28 +3,35 @@
 //
 //   v6synth --out=DIR [--first=358] [--last=372] [--scale=0.2] [--seed=42]
 //           [--routes] [--routers] [--zone]
+//   v6synth --stream [--first=D] [--last=D] [--scale=S] [--seed=N]
 //
 // Writes day_<n>.log files; with --routes also writes routes.txt
 // ("prefix asn" lines, for v6profile); with --routers a routers.txt of
 // simulated router interface addresses (for v6dense); with --zone a
-// zone.ptr reverse-DNS file (for v6arpa).
+// zone.ptr reverse-DNS file (for v6arpa). With --stream, emits the
+// corpus to stdout as "day address hits" feed lines instead — the live
+// observation-feed format v6stream ingests.
 #include <fstream>
+#include <iostream>
 
 #include "tool_common.h"
 #include "v6class/cdnsim/corpus.h"
 #include "v6class/cdnsim/world.h"
 #include "v6class/dnssim/reverse_zone.h"
 #include "v6class/routersim/topology.h"
+#include "v6class/stream/record.h"
 
 using namespace v6;
 
 int main(int argc, char** argv) {
     const tools::flag_set flags(argc, argv);
-    if (flags.has("help") || !flags.has("out")) {
+    if (flags.has("help") || (!flags.has("out") && !flags.has("stream"))) {
         std::puts(
             "usage: v6synth --out=DIR [--first=D] [--last=D] [--scale=S]\n"
             "               [--seed=N] [--routes] [--routers] [--zone]\n"
-            "generate a synthetic aggregated-log corpus");
+            "       v6synth --stream [--first=D] [--last=D] [--scale=S] [--seed=N]\n"
+            "generate a synthetic aggregated-log corpus (--stream: emit it as\n"
+            "\"day address hits\" feed lines on stdout, for v6stream)");
         return flags.has("help") ? 0 : 1;
     }
     world_config cfg;
@@ -36,6 +43,21 @@ int main(int argc, char** argv) {
     if (last < first) {
         std::fprintf(stderr, "error: --last before --first\n");
         return 1;
+    }
+
+    if (flags.has("stream")) {
+        std::uint64_t emitted = 0;
+        for (int d = first; d <= last; ++d) {
+            const daily_log log = w.day_log(d);
+            for (const observation& o : log.records) {
+                write_stream_record(std::cout, stream_record{d, o.addr, o.hits});
+                ++emitted;
+            }
+        }
+        std::cout.flush();
+        std::fprintf(stderr, "emitted %llu feed records for days %d..%d\n",
+                     static_cast<unsigned long long>(emitted), first, last);
+        if (!flags.has("out")) return 0;
     }
 
     const std::filesystem::path dir = flags.get("out");
