@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "v6class/cdnsim/world.h"
+#include "v6class/obs/metrics.h"
+#include "v6class/obs/timer.h"
 
 namespace v6::bench {
 
@@ -19,11 +21,18 @@ struct options {
     double scale = 0.5;
     std::uint64_t seed = 42;
     unsigned tail_isps = 40;
+    std::string program = "bench";  // argv[0] basename, for BENCH_<name>.json
+    std::string metrics_out;        // --metrics-out=F override
+    bool metrics = true;            // --no-metrics disables the exit dump
 };
 
 inline options parse_options(int argc, char** argv, double default_scale = 0.5) {
     options opt;
     opt.scale = default_scale;
+    if (argc > 0 && argv[0] && *argv[0]) {
+        const char* slash = std::strrchr(argv[0], '/');
+        opt.program = slash ? slash + 1 : argv[0];
+    }
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
         if (std::strncmp(arg, "--scale=", 8) == 0)
@@ -32,9 +41,42 @@ inline options parse_options(int argc, char** argv, double default_scale = 0.5) 
             opt.seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
         else if (std::strncmp(arg, "--tail-isps=", 12) == 0)
             opt.tail_isps = static_cast<unsigned>(std::atoi(arg + 12));
+        else if (std::strncmp(arg, "--metrics-out=", 14) == 0)
+            opt.metrics_out = arg + 14;
+        else if (std::strcmp(arg, "--no-metrics") == 0)
+            opt.metrics = false;
     }
     return opt;
 }
+
+/// RAII timer for a named section of a driver. Feeds the process-wide
+/// registry (one v6_bench_phase_seconds series per phase label) and the
+/// Chrome trace, so BENCH_<name>.json and the tools' --metrics-out share
+/// one schema.
+class timed_phase {
+public:
+    explicit timed_phase(const char* name)
+        : span_(name, obs::registry::global().get_histogram(
+                          "v6_bench_phase_seconds", obs::latency_buckets(),
+                          {{"phase", name}},
+                          "Wall time of one named bench-driver phase.")) {}
+
+private:
+    obs::trace_scope span_;
+};
+
+namespace detail {
+inline std::string& metrics_path() {
+    static std::string path;
+    return path;
+}
+inline void dump_metrics_at_exit() {
+    if (detail::metrics_path().empty()) return;
+    if (!obs::registry::global().write_file(detail::metrics_path()))
+        std::fprintf(stderr, "warning: cannot write %s\n",
+                     detail::metrics_path().c_str());
+}
+}  // namespace detail
 
 inline world_config world_cfg(const options& opt) {
     world_config cfg;
@@ -72,6 +114,19 @@ inline void banner(const char* title, const options& opt) {
                 " simulation-scale — compare shapes and proportions with the "
                 "paper)\n\n",
                 opt.scale, static_cast<unsigned long long>(opt.seed));
+    // Every driver that prints a banner also dumps its timings on exit:
+    // BENCH_<name>.json next to the cwd (or --metrics-out=F; --no-metrics
+    // to skip), in the same JSON schema the tools' --metrics-out emits.
+    if (opt.metrics && detail::metrics_path().empty()) {
+        detail::metrics_path() = opt.metrics_out.empty()
+                                     ? "BENCH_" + opt.program + ".json"
+                                     : opt.metrics_out;
+        // Construct the registry singleton BEFORE registering the dump:
+        // exit teardown is LIFO, so the registry must predate the handler
+        // or the dump would read a destroyed object.
+        (void)obs::registry::global();
+        std::atexit(detail::dump_metrics_at_exit);
+    }
 }
 
 }  // namespace v6::bench

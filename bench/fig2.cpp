@@ -10,6 +10,7 @@ using namespace v6::bench;
 namespace {
 
 std::vector<address> week_of(const network_model& m, int first_day) {
+    const timed_phase sim_phase("simulate_week");
     std::vector<observation> obs;
     for (int d = first_day; d < first_day + 7; ++d) m.day_activity(d, obs);
     std::vector<address> out;

@@ -43,9 +43,13 @@ int main(int argc, char** argv) {
 
     std::printf("simulating three epochs (day windows around %d, %d, %d)...\n\n",
                 kMar2014, kSep2014, kMar2015);
-    const epoch_data mar14 = make_epoch(w, kMar2014);
-    const epoch_data sep14 = make_epoch(w, kSep2014);
-    const epoch_data mar15 = make_epoch(w, kMar2015);
+    epoch_data mar14, sep14, mar15;
+    {
+        const timed_phase sim_phase("simulate_epochs");
+        mar14 = make_epoch(w, kMar2014);
+        sep14 = make_epoch(w, kSep2014);
+        mar15 = make_epoch(w, kMar2015);
+    }
 
     struct spec {
         const char* daily_label;
@@ -66,6 +70,8 @@ int main(int argc, char** argv) {
     };
 
     const auto build = [&](bool use_64s, bool weekly) {
+        const timed_phase build_phase(weekly ? "classify_weekly"
+                                             : "classify_daily");
         std::vector<stability_column> cols;
         for (const spec& s : specs) {
             const daily_series& series = use_64s ? s.data->p64s : s.data->addrs;

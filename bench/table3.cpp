@@ -19,7 +19,10 @@ int main(int argc, char** argv) {
     std::printf("router dataset: %s interface addresses (paper: 3.2M)\n\n",
                 format_count(static_cast<double>(topo.interfaces().size())).c_str());
     radix_tree routers;
-    for (const address& a : topo.interfaces()) routers.add(a);
+    {
+        const timed_phase build_phase("build_router_trie");
+        for (const address& a : topo.interfaces()) routers.add(a);
+    }
 
     const std::vector<std::pair<std::uint64_t, unsigned>> classes{
         {2, 124}, {3, 120}, {2, 120}, {2, 116}, {64, 112}, {32, 112},

@@ -1,0 +1,61 @@
+// http.h — a minimal blocking HTTP endpoint exposing a registry for
+// live scraping:
+//
+//   GET /metrics   Prometheus text exposition of the bound registry
+//   GET /healthz   liveness: 200 "ok" (plus an optional caller payload)
+//
+// One acceptor thread, one connection at a time, no keep-alive — the
+// xenoeye-style collector discipline: the scrape path must never
+// compete with ingest for more than a registry walk. Prometheus
+// scrapes are seconds apart; serial handling is plenty.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "v6class/obs/metrics.h"
+
+namespace v6::obs {
+
+class metrics_server {
+public:
+    metrics_server() = default;
+    ~metrics_server() { stop(); }
+
+    metrics_server(const metrics_server&) = delete;
+    metrics_server& operator=(const metrics_server&) = delete;
+
+    /// Binds and starts serving `reg` on `port` (0 = any free port; see
+    /// port() for the bound one). Returns false with `error` filled on
+    /// bind/listen failure. Call at most once per instance.
+    bool start(std::uint16_t port, const registry* reg,
+               std::string* error = nullptr);
+
+    /// Extra text appended to the /healthz body (e.g. a JSON status
+    /// line). Set before start(); called per request.
+    void set_health_payload(std::function<std::string()> fn) {
+        health_ = std::move(fn);
+    }
+
+    /// Closes the listening socket and joins the acceptor thread.
+    /// Idempotent.
+    void stop();
+
+    bool running() const noexcept { return running_.load(); }
+    std::uint16_t port() const noexcept { return port_; }
+
+private:
+    void serve_loop();
+
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    const registry* reg_ = nullptr;
+    std::function<std::string()> health_;
+    std::thread thread_;
+    std::atomic<bool> running_{false};
+};
+
+}  // namespace v6::obs

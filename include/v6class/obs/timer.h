@@ -1,0 +1,93 @@
+// timer.h — RAII phase timing: scoped spans that feed a latency
+// histogram and, when tracing is enabled, a Chrome-trace event log.
+//
+// phase_timer is the cheap primitive: two steady_clock reads around a
+// scope, one histogram observation at the end. With a null histogram it
+// compiles to nothing (no clock reads), so callers can construct it
+// unconditionally and let handle wiring decide.
+//
+// trace_scope additionally records a complete ("ph":"X") event into the
+// process trace log. Load the resulting file in chrome://tracing or
+// https://ui.perfetto.dev to see the phases of a run laid out on a
+// timeline per thread. Tracing is off until trace_log::enable(path);
+// when off, a trace_scope degrades to its phase_timer.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "v6class/obs/metrics.h"
+
+namespace v6::obs {
+
+/// Observes the scope's elapsed seconds into a histogram on destruction
+/// (or on an early stop()).
+class phase_timer {
+public:
+    explicit phase_timer(histogram h) noexcept : h_(h) {
+        if (h_) start_ = std::chrono::steady_clock::now();
+    }
+    ~phase_timer() { stop(); }
+
+    phase_timer(const phase_timer&) = delete;
+    phase_timer& operator=(const phase_timer&) = delete;
+
+    /// Observes now instead of at scope exit; returns elapsed seconds.
+    /// Subsequent calls (and the destructor) are no-ops.
+    double stop() noexcept {
+        if (!h_ || stopped_) return 0.0;
+        stopped_ = true;
+        const double s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count();
+        h_.observe(s);
+        return s;
+    }
+
+private:
+    histogram h_;
+    std::chrono::steady_clock::time_point start_{};
+    bool stopped_ = false;
+};
+
+/// Process-wide Chrome-trace collector. Events are buffered in memory
+/// and written as a JSON array on flush() (and automatically at process
+/// exit once enabled). Thread-safe; record() takes a mutex, so tracing
+/// is a diagnostic mode, not a hot-path default.
+class trace_log {
+public:
+    /// Starts collecting, to be written to `path`. Idempotent (the last
+    /// path wins).
+    static void enable(std::string path);
+    static bool enabled() noexcept;
+
+    /// Records one complete event (timestamps in microseconds since the
+    /// first enable). No-op while disabled.
+    static void record(const char* name, double ts_us, double dur_us);
+
+    /// Writes the buffered events to the enabled path. Returns false
+    /// when disabled or the file cannot be written. The buffer is kept,
+    /// so periodic flushes write ever-longer prefixes of the run.
+    static bool flush();
+
+    /// Drops all buffered events and disables collection (tests).
+    static void reset();
+};
+
+/// phase_timer plus a trace event named `name`.
+class trace_scope {
+public:
+    explicit trace_scope(const char* name, histogram h = {}) noexcept;
+    ~trace_scope();
+
+    trace_scope(const trace_scope&) = delete;
+    trace_scope& operator=(const trace_scope&) = delete;
+
+private:
+    const char* name_;
+    phase_timer timer_;
+    bool tracing_;
+    double start_us_ = 0.0;
+};
+
+}  // namespace v6::obs

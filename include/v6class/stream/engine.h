@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "v6class/obs/metrics.h"
 #include "v6class/spatial/density.h"
 #include "v6class/spatial/mra.h"
 #include "v6class/stream/bounded_queue.h"
@@ -53,13 +54,31 @@ struct stream_config {
     unsigned spectrum_max = 14;       ///< max n of snapshot lifetime spectra
     /// Density classes of the daily report and snapshot (Table 3 rows).
     std::vector<std::pair<std::uint64_t, unsigned>> density_classes = {{2, 112}};
+
+    /// Registry the engine interns its metrics into. Null (default)
+    /// means an engine-private registry (see stream_engine::metrics());
+    /// pass &obs::registry::global() to share one exposition endpoint
+    /// with the library phase timers, as v6stream does. Two engines
+    /// sharing one registry accumulate into the same series.
+    obs::registry* metrics_registry = nullptr;
+
+    /// False skips the sampled instrumentation — queue-depth gauges,
+    /// seal/report latency histograms, per-shard counters — for
+    /// benchmarking the bare hot path (bench/micro_obs_overhead). The
+    /// core feed counters behind stats() are always maintained.
+    bool metrics = true;
 };
 
-/// Feed-side and sealed-side counters.
+/// Feed-side and sealed-side counters: a thin view over the engine's
+/// metrics registry (same numbers a /metrics scrape reports), plus the
+/// lock-consistent day fields. Invariant: fed == records + late_dropped
+/// + dropped.
 struct stream_stats {
+    std::uint64_t fed = 0;           ///< every record offered to push()
     std::uint64_t records = 0;       ///< accepted records
     std::uint64_t hits = 0;          ///< sum of their hit counts
     std::uint64_t late_dropped = 0;  ///< records older than the open day
+    std::uint64_t dropped = 0;       ///< records pushed after finish()
     std::uint64_t batches = 0;       ///< batches enqueued to shard queues
     int open_day = kNoDay;           ///< day currently accumulating
     int sealed_day = kNoDay;         ///< epoch: last day sealed everywhere
@@ -126,6 +145,14 @@ public:
 
     stream_stats stats() const;
 
+    /// The registry this engine's metrics live in (its own unless
+    /// cfg.metrics_registry injected one). Series: v6_stream_*_total
+    /// feed counters, per-shard v6_stream_queue_depth / _high_water /
+    /// _shard_records_total, day gauges (open/sealed/epoch lag,
+    /// distinct counts), and the seal-latency / report-build
+    /// histograms.
+    obs::registry& metrics() const noexcept { return *metrics_; }
+
     /// Epoch (last sealed day), kNoDay when nothing has sealed.
     int sealed_day() const;
 
@@ -176,23 +203,39 @@ private:
     void broadcast_seal_locked(int day);       // push_mutex_ held
     day_report build_report(int day) const;    // takes state_mutex_ shared
     radix_tree merged_tree_locked() const;     // state_mutex_ held (any mode)
+    void init_metrics();
+
+    /// Pre-interned handles; instrumented code never touches the
+    /// registry after construction. The sampled handles (gauges,
+    /// histograms, per-shard counters) are null when cfg_.metrics is
+    /// off — null handles are no-ops.
+    struct metric_handles {
+        obs::counter fed, records, hits, late, dropped, batches, seals;
+        obs::gauge open_day, sealed_day, epoch_lag;
+        obs::gauge distinct_addresses, distinct_projected;
+        std::vector<obs::counter> shard_records;   // one per shard
+        std::vector<obs::gauge> queue_depth;       // one per shard
+        std::vector<obs::gauge> queue_high_water;  // one per shard
+        obs::histogram seal_latency, report_build;
+    };
 
     stream_config cfg_;
+    std::unique_ptr<obs::registry> own_metrics_;  // when none injected
+    obs::registry* metrics_ = nullptr;
+    metric_handles m_;
     std::vector<std::unique_ptr<stream_shard>> shards_;
     std::vector<std::unique_ptr<bounded_queue<shard_message>>> queues_;
     std::vector<std::thread> workers_;
     std::thread roll_thread_;
 
-    // Pusher state: staging buffers, day detection, feed counters.
+    // Pusher state: staging buffers and day detection. The feed
+    // counters that used to live here are now the m_ registry series
+    // (still written under push_mutex_, so stats() stays exact).
     std::mutex finish_mutex_;  // serializes finish() callers
     mutable std::mutex push_mutex_;
     std::vector<std::vector<stream_record>> staging_;
     int open_day_ = kNoDay;
     bool finished_ = false;
-    std::uint64_t records_ = 0;
-    std::uint64_t hits_ = 0;
-    std::uint64_t late_dropped_ = 0;
-    std::uint64_t batches_ = 0;
 
     // Seal pipeline: drained/applied day handshake between workers and
     // the roll thread.

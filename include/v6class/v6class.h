@@ -32,6 +32,11 @@
 #include "v6class/stream/record.h"
 #include "v6class/stream/shard.h"
 
+// Observability (metrics registry, phase timers, /metrics endpoint).
+#include "v6class/obs/http.h"
+#include "v6class/obs/metrics.h"
+#include "v6class/obs/timer.h"
+
 // Spatial classification.
 #include "v6class/spatial/boxplot.h"
 #include "v6class/spatial/density.h"

@@ -1,0 +1,139 @@
+#include "v6class/obs/http.h"
+
+#if defined(_WIN32)
+
+namespace v6::obs {
+// The scrape endpoint is POSIX-only; the registry and file dumps work
+// everywhere.
+bool metrics_server::start(std::uint16_t, const registry*, std::string* error) {
+    if (error) *error = "metrics server unsupported on this platform";
+    return false;
+}
+void metrics_server::stop() {}
+void metrics_server::serve_loop() {}
+}  // namespace v6::obs
+
+#else
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace v6::obs {
+
+namespace {
+
+/// Writes the whole buffer, tolerating short writes; MSG_NOSIGNAL so a
+/// scraper hanging up mid-response cannot SIGPIPE the process.
+void send_all(int fd, const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                                 MSG_NOSIGNAL);
+        if (n <= 0) return;
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+std::string http_response(const char* status, const char* content_type,
+                          const std::string& body) {
+    std::string out = "HTTP/1.0 ";
+    out += status;
+    out += "\r\nContent-Type: ";
+    out += content_type;
+    out += "\r\nContent-Length: " + std::to_string(body.size());
+    out += "\r\nConnection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+}  // namespace
+
+bool metrics_server::start(std::uint16_t port, const registry* reg,
+                           std::string* error) {
+    reg_ = reg;
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        if (error) *error = std::strerror(errno);
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+        ::listen(listen_fd_, 8) < 0) {
+        if (error) *error = std::strerror(errno);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+        port_ = ntohs(addr.sin_port);
+    running_.store(true);
+    thread_ = std::thread([this] { serve_loop(); });
+    return true;
+}
+
+void metrics_server::serve_loop() {
+    for (;;) {
+        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        if (client < 0) {
+            if (!running_.load()) return;  // stop() closed the socket
+            if (errno == EINTR) continue;
+            return;
+        }
+        // Read the request head: enough to see "GET <path> ...". The
+        // scraper protocol needs nothing past the first line.
+        char buf[2048];
+        const ssize_t n = ::recv(client, buf, sizeof buf - 1, 0);
+        if (n > 0) {
+            buf[n] = '\0';
+            std::string path;
+            if (std::strncmp(buf, "GET ", 4) == 0) {
+                const char* start = buf + 4;
+                const char* end = start;
+                while (*end && *end != ' ' && *end != '\r' && *end != '\n') ++end;
+                path.assign(start, end);
+            }
+            if (path == "/metrics") {
+                send_all(client,
+                         http_response(
+                             "200 OK",
+                             "text/plain; version=0.0.4; charset=utf-8",
+                             reg_ ? reg_->prometheus_text() : std::string{}));
+            } else if (path == "/healthz") {
+                std::string body = "ok\n";
+                if (health_) body += health_();
+                send_all(client, http_response("200 OK", "text/plain", body));
+            } else {
+                send_all(client, http_response("404 Not Found", "text/plain",
+                                               "not found\n"));
+            }
+        }
+        ::close(client);
+    }
+}
+
+void metrics_server::stop() {
+    if (listen_fd_ < 0) return;
+    running_.store(false);
+    // shutdown() then close() unblocks the acceptor on every platform
+    // we build on (close() alone does not wake a blocked accept on
+    // Linux).
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    if (thread_.joinable()) thread_.join();
+    listen_fd_ = -1;
+}
+
+}  // namespace v6::obs
+
+#endif

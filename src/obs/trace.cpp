@@ -1,0 +1,119 @@
+#include "v6class/obs/timer.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace v6::obs {
+
+namespace {
+
+struct trace_event {
+    std::string name;
+    double ts_us = 0;
+    double dur_us = 0;
+    std::size_t tid = 0;
+};
+
+struct trace_state {
+    std::mutex mutex;
+    std::string path;
+    std::vector<trace_event> events;
+    std::chrono::steady_clock::time_point origin;
+
+    /// Flushes on exit so `--trace-out` needs no explicit teardown in
+    /// every return path of every tool.
+    ~trace_state() { write_locked(); }
+
+    bool write_locked() {
+        if (path.empty()) return false;
+        std::ofstream out(path);
+        if (!out) return false;
+        out << "[";
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            const trace_event& e = events[i];
+            if (i) out << ",\n ";
+            char buf[160];
+            std::snprintf(buf, sizeof buf,
+                          "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,"
+                          "\"tid\":%zu,\"ts\":%.3f,\"dur\":%.3f}",
+                          e.name.c_str(), e.tid, e.ts_us, e.dur_us);
+            out << buf;
+        }
+        out << "]\n";
+        return static_cast<bool>(out);
+    }
+};
+
+trace_state& state() {
+    static trace_state s;
+    return s;
+}
+
+// enabled() is the hot-path gate: checked per trace_scope without the
+// mutex.
+std::atomic<bool> g_enabled{false};
+
+std::size_t thread_number() {
+    static std::atomic<std::size_t> next{1};
+    thread_local std::size_t mine = next.fetch_add(1);
+    return mine;
+}
+
+double now_us() {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - state().origin)
+        .count();
+}
+
+}  // namespace
+
+void trace_log::enable(std::string path) {
+    trace_state& s = state();
+    std::lock_guard lock(s.mutex);
+    if (s.path.empty()) s.origin = std::chrono::steady_clock::now();
+    s.path = std::move(path);
+    g_enabled.store(true, std::memory_order_release);
+}
+
+bool trace_log::enabled() noexcept {
+    return g_enabled.load(std::memory_order_acquire);
+}
+
+void trace_log::record(const char* name, double ts_us, double dur_us) {
+    if (!enabled()) return;
+    trace_state& s = state();
+    std::lock_guard lock(s.mutex);
+    s.events.push_back({name, ts_us, dur_us, thread_number()});
+}
+
+bool trace_log::flush() {
+    trace_state& s = state();
+    std::lock_guard lock(s.mutex);
+    return s.write_locked();
+}
+
+void trace_log::reset() {
+    trace_state& s = state();
+    std::lock_guard lock(s.mutex);
+    s.path.clear();
+    s.events.clear();
+    g_enabled.store(false, std::memory_order_release);
+}
+
+trace_scope::trace_scope(const char* name, histogram h) noexcept
+    : name_(name), timer_(h), tracing_(trace_log::enabled()) {
+    if (tracing_) start_us_ = now_us();
+}
+
+trace_scope::~trace_scope() {
+    if (tracing_) {
+        const double end_us = now_us();
+        trace_log::record(name_, start_us_, end_us - start_us_);
+    }
+}
+
+}  // namespace v6::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "v6class/obs/timer.h"
+
 namespace v6 {
 
 density_row compute_density_class(const radix_tree& tree, std::uint64_t n, unsigned p) {
@@ -25,6 +27,10 @@ density_row compute_density_class(const radix_tree& tree, std::uint64_t n, unsig
 std::vector<density_row> compute_density_table(
     const radix_tree& tree,
     const std::vector<std::pair<std::uint64_t, unsigned>>& classes) {
+    static const obs::histogram phase = obs::registry::global().get_histogram(
+        "v6_spatial_density_table_seconds", obs::latency_buckets(), {},
+        "Time to compute every configured n@/p density class over a trie.");
+    const obs::trace_scope span("density_table", phase);
     std::vector<density_row> out;
     out.reserve(classes.size());
     for (const auto& [n, p] : classes) out.push_back(compute_density_class(tree, n, p));

@@ -2,7 +2,22 @@
 
 #include <algorithm>
 
+#include "v6class/obs/timer.h"
+
 namespace v6 {
+
+namespace {
+
+/// Shared by the sorted-vector and trie MRA paths: both produce the same
+/// aggregate counts, so they share one histogram series.
+const obs::histogram& mra_phase_histogram() {
+    static const obs::histogram phase = obs::registry::global().get_histogram(
+        "v6_spatial_mra_seconds", obs::latency_buckets(), {},
+        "Time to compute a multi-resolution aggregate count series.");
+    return phase;
+}
+
+}  // namespace
 
 double mra_series::ratio(unsigned p, unsigned k) const noexcept {
     const std::uint64_t lo = counts_[p];
@@ -49,12 +64,14 @@ mra_series compute_mra_sorted(const std::vector<address>& sorted_unique) {
 }
 
 mra_series compute_mra(std::vector<address> addrs) {
+    const obs::trace_scope span("mra", mra_phase_histogram());
     std::sort(addrs.begin(), addrs.end());
     addrs.erase(std::unique(addrs.begin(), addrs.end()), addrs.end());
     return compute_mra_sorted(addrs);
 }
 
 mra_series compute_mra_from_trie(const radix_tree& tree) {
+    const obs::trace_scope span("mra_from_trie", mra_phase_histogram());
     std::array<std::uint64_t, 129> hist{};
     tree.visit_splits([&](unsigned len) { ++hist[len]; });
     std::array<std::uint64_t, 129> below{};

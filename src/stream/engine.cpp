@@ -2,12 +2,76 @@
 
 #include <algorithm>
 
+#include "v6class/obs/timer.h"
+
 namespace v6 {
+
+void stream_engine::init_metrics() {
+    if (cfg_.metrics_registry) {
+        metrics_ = cfg_.metrics_registry;
+    } else {
+        own_metrics_ = std::make_unique<obs::registry>();
+        metrics_ = own_metrics_.get();
+    }
+    obs::registry& reg = *metrics_;
+    // Core feed counters: always on; stats() is a view over these.
+    m_.fed = reg.get_counter("v6_stream_fed_total", {},
+                             "Records offered to push() (accepted + late + "
+                             "dropped).");
+    m_.records = reg.get_counter("v6_stream_records_total", {},
+                                 "Records accepted into the open day.");
+    m_.hits = reg.get_counter("v6_stream_hits_total", {},
+                              "Sum of accepted records' hit counts.");
+    m_.late = reg.get_counter("v6_stream_late_total", {},
+                              "Records older than the open day, dropped "
+                              "(sealed days are immutable).");
+    m_.dropped = reg.get_counter("v6_stream_dropped_total", {},
+                                 "Records pushed after finish(), dropped.");
+    m_.batches = reg.get_counter("v6_stream_batches_total", {},
+                                 "Batches enqueued to shard queues.");
+    m_.seals = reg.get_counter("v6_stream_seals_total", {},
+                               "Day seals applied across all shards.");
+    m_.open_day = reg.get_gauge("v6_stream_open_day", {},
+                                "Day currently accumulating.");
+    m_.sealed_day = reg.get_gauge("v6_stream_sealed_day", {},
+                                  "Epoch: last day sealed everywhere.");
+    m_.epoch_lag = reg.get_gauge("v6_stream_epoch_lag_days", {},
+                                 "open_day - sealed_day: how far the roll "
+                                 "pipeline trails ingest.");
+    m_.distinct_addresses =
+        reg.get_gauge("v6_stream_distinct_addresses", {},
+                      "Distinct /128s across all sealed days.");
+    m_.distinct_projected =
+        reg.get_gauge("v6_stream_distinct_projected", {},
+                      "Distinct projected prefixes across all sealed days.");
+    if (!cfg_.metrics) return;
+    // Sampled instrumentation: per-shard series and latency histograms.
+    for (unsigned i = 0; i < cfg_.shards; ++i) {
+        const obs::label_list shard{{"shard", std::to_string(i)}};
+        m_.shard_records.push_back(reg.get_counter(
+            "v6_stream_shard_records_total", shard,
+            "Records accepted per shard (skew = max/min across shards)."));
+        m_.queue_depth.push_back(
+            reg.get_gauge("v6_stream_queue_depth", shard,
+                          "Batches waiting in the shard queue."));
+        m_.queue_high_water.push_back(
+            reg.get_gauge("v6_stream_queue_high_water", shard,
+                          "Deepest the shard queue has been."));
+    }
+    m_.seal_latency = reg.get_histogram(
+        "v6_stream_seal_latency_seconds", obs::latency_buckets(), {},
+        "Time to apply one day seal across every shard (exclusive state "
+        "lock held).");
+    m_.report_build = reg.get_histogram(
+        "v6_stream_report_build_seconds", obs::latency_buckets(), {},
+        "Time to recompute a day report (overlaps next-day ingest).");
+}
 
 stream_engine::stream_engine(stream_config cfg)
     : cfg_(std::move(cfg)), projected_store_(cfg_.projected_length) {
     if (cfg_.shards == 0) cfg_.shards = 1;
     if (cfg_.batch_size == 0) cfg_.batch_size = 1;
+    init_metrics();
     shards_.reserve(cfg_.shards);
     queues_.reserve(cfg_.shards);
     staging_.resize(cfg_.shards);
@@ -29,13 +93,20 @@ stream_engine::~stream_engine() { finish(); }
 
 void stream_engine::push(const stream_record& r) {
     std::unique_lock lock(push_mutex_);
-    if (finished_) return;
-    if (open_day_ == kNoDay) open_day_ = r.day;
+    m_.fed.inc();
+    if (finished_) {
+        m_.dropped.inc();
+        return;
+    }
+    if (open_day_ == kNoDay) {
+        open_day_ = r.day;
+        m_.open_day.set(r.day);
+    }
     if (r.day < open_day_) {
         // Sealed (or about-to-seal) days are immutable; accepting this
         // record would tear the epoch. Count it so operators can see
         // feed disorder beyond the tolerated batching slew.
-        ++late_dropped_;
+        m_.late.inc();
         return;
     }
     if (r.day > open_day_) {
@@ -44,9 +115,14 @@ void stream_engine::push(const stream_record& r) {
         for (unsigned i = 0; i < cfg_.shards; ++i) flush_shard_locked(i);
         broadcast_seal_locked(open_day_);
         open_day_ = r.day;
+        m_.open_day.set(r.day);
+        // Lag is meaningful once sealing has started; both gauges are
+        // atomics, so reading the roll thread's side here is safe.
+        if (m_.seals.value() > 0)
+            m_.epoch_lag.set(r.day - m_.sealed_day.value());
     }
-    ++records_;
-    hits_ += r.hits;
+    m_.records.inc();
+    m_.hits.inc(r.hits);
     const unsigned shard = shard_of(r.addr);
     staging_[shard].push_back(r);
     if (staging_[shard].size() >= cfg_.batch_size) flush_shard_locked(shard);
@@ -64,8 +140,20 @@ void stream_engine::flush_shard_locked(unsigned shard) {
     msg.k = shard_message::kind::batch;
     msg.batch = std::move(staging_[shard]);
     staging_[shard] = {};
-    ++batches_;
+    m_.batches.inc();
+    // Per-shard counting happens here, not per push: one fetch_add per
+    // batch keeps the counter exact at batch granularity while costing
+    // the hot path nothing.
+    if (!m_.shard_records.empty())
+        m_.shard_records[shard].inc(msg.batch.size());
     queues_[shard]->push(std::move(msg));  // blocks when full: backpressure
+    if (cfg_.metrics) {
+        // Sampled after the (possibly blocking) push: a full queue shows
+        // as depth == capacity, which is the backpressure signal.
+        const auto depth = static_cast<std::int64_t>(queues_[shard]->size());
+        m_.queue_depth[shard].set(depth);
+        m_.queue_high_water[shard].max_of(depth);
+    }
 }
 
 void stream_engine::broadcast_seal_locked(int day) {
@@ -110,6 +198,9 @@ void stream_engine::finish() {
 
 void stream_engine::worker_loop(unsigned shard) {
     while (auto msg = queues_[shard]->pop()) {
+        if (cfg_.metrics)
+            m_.queue_depth[shard].set(
+                static_cast<std::int64_t>(queues_[shard]->size()));
         if (msg->k == shard_message::kind::batch) {
             for (const stream_record& r : msg->batch) shards_[shard]->buffer(r);
             continue;
@@ -150,7 +241,10 @@ void stream_engine::roll_loop() {
         }
         {
             // The only writer of sealed state; readers (queries, the
-            // report build below) hold the lock shared.
+            // report build below) hold the lock shared. The histogram
+            // covers exactly the exclusive section: how long ingest of
+            // already-drained shards can stall behind a seal.
+            obs::trace_scope span("seal_day", m_.seal_latency);
             std::unique_lock state(state_mutex_);
             for (auto& s : shards_) s->seal_day(day);
             // The projected (/64) store is engine-level (see engine.h);
@@ -162,7 +256,15 @@ void stream_engine::roll_loop() {
             }
             projected_store_.record_day(day, active);
             sealed_day_ = day;
+            std::size_t distinct = 0;
+            for (const auto& s : shards_) distinct += s->distinct_addresses();
+            m_.distinct_addresses.set(static_cast<std::int64_t>(distinct));
+            m_.distinct_projected.set(
+                static_cast<std::int64_t>(projected_store_.distinct_count()));
         }
+        m_.sealed_day.set(day);
+        m_.seals.inc();
+        m_.epoch_lag.set(std::max<std::int64_t>(0, m_.open_day.value() - day));
         {
             std::lock_guard lock(roll_mutex_);
             applied_day_ = day;
@@ -171,7 +273,11 @@ void stream_engine::roll_loop() {
         // Asynchronous roll-up: the expensive recompute overlaps ingest
         // of the next day (workers only park again at the *next* seal,
         // which cannot be applied until this loop comes round).
-        day_report report = build_report(day);
+        day_report report;
+        {
+            obs::trace_scope span("build_report", m_.report_build);
+            report = build_report(day);
+        }
         {
             std::lock_guard lock(reports_mutex_);
             reports_.push_back(std::move(report));
@@ -203,11 +309,16 @@ day_report stream_engine::build_report(int day) const {
 stream_stats stream_engine::stats() const {
     stream_stats out;
     {
+        // The counters are registry atomics, but reading them under
+        // push_mutex_ keeps the view exact with respect to open_day_
+        // (no half-applied push).
         std::unique_lock lock(push_mutex_);
-        out.records = records_;
-        out.hits = hits_;
-        out.late_dropped = late_dropped_;
-        out.batches = batches_;
+        out.fed = m_.fed.value();
+        out.records = m_.records.value();
+        out.hits = m_.hits.value();
+        out.late_dropped = m_.late.value();
+        out.dropped = m_.dropped.value();
+        out.batches = m_.batches.value();
         out.open_day = open_day_;
     }
     std::shared_lock state(state_mutex_);
@@ -232,9 +343,9 @@ stream_snapshot stream_engine::snapshot() const {
     stream_snapshot out;
     {
         std::unique_lock lock(push_mutex_);
-        out.records = records_;
-        out.hits = hits_;
-        out.late_dropped = late_dropped_;
+        out.records = m_.records.value();
+        out.hits = m_.hits.value();
+        out.late_dropped = m_.late.value();
     }
     std::shared_lock state(state_mutex_);
     out.epoch = sealed_day_;

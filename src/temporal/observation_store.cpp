@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "v6class/obs/timer.h"
+
 namespace v6 {
 
 void observation_store::record::set_bit(unsigned offset) {
@@ -65,6 +67,10 @@ void observation_store::record_one(int day, const address& a) {
 }
 
 void observation_store::record_day(int day, const std::vector<address>& active) {
+    static const obs::histogram phase = obs::registry::global().get_histogram(
+        "v6_temporal_record_day_seconds", obs::latency_buckets(), {},
+        "Time to fold one day of active addresses into the lifetime store.");
+    const obs::trace_scope span("record_day", phase);
     for (const address& a : active)
         record_one(day, prefix_length_ == 128 ? a : a.masked(prefix_length_));
 }

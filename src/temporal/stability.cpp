@@ -2,9 +2,15 @@
 
 #include <algorithm>
 
+#include "v6class/obs/timer.h"
+
 namespace v6 {
 
 stability_split stability_analyzer::classify_day(day_index ref_day, unsigned n) const {
+    static const obs::histogram phase = obs::registry::global().get_histogram(
+        "v6_temporal_classify_day_seconds", obs::latency_buckets(), {},
+        "Time to nd-stable-classify one reference day against its window.");
+    const obs::trace_scope span("classify_day", phase);
     const std::vector<address>& ref = series_->day(ref_day);
     stability_split out;
     if (ref.empty()) return out;

@@ -1,0 +1,129 @@
+// Tests for the /metrics HTTP endpoint: bind an ephemeral port, speak
+// raw HTTP over a client socket, and check routing, payloads, and
+// shutdown behaviour.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "v6class/obs/http.h"
+#include "v6class/obs/metrics.h"
+
+namespace {
+
+using namespace v6;
+
+/// One blocking HTTP exchange against 127.0.0.1:port; returns the whole
+/// response (status line + headers + body) or "" on connect failure.
+std::string http_get(std::uint16_t port, const std::string& target) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        ::close(fd);
+        return "";
+    }
+    const std::string request =
+        "GET " + target + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+    (void)!::send(fd, request.data(), request.size(), 0);
+    std::string response;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0)
+        response.append(buf, static_cast<std::size_t>(n));
+    ::close(fd);
+    return response;
+}
+
+class ObsHttpTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        reg_.get_counter("t_requests_total", {}, "Requests.").inc(12);
+        reg_.get_gauge("t_depth", {{"shard", "0"}}).set(4);
+        std::string error;
+        ASSERT_TRUE(server_.start(0, &reg_, &error)) << error;
+        ASSERT_NE(server_.port(), 0);  // ephemeral port was resolved
+    }
+
+    obs::registry reg_;
+    obs::metrics_server server_;
+};
+
+TEST_F(ObsHttpTest, MetricsEndpointServesPrometheusText) {
+    const std::string response = http_get(server_.port(), "/metrics");
+    EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+    EXPECT_NE(response.find("t_requests_total 12"), std::string::npos);
+    EXPECT_NE(response.find("t_depth{shard=\"0\"} 4"), std::string::npos);
+}
+
+TEST_F(ObsHttpTest, MetricsReflectLiveUpdates) {
+    reg_.get_counter("t_requests_total").inc(8);
+    const std::string response = http_get(server_.port(), "/metrics");
+    EXPECT_NE(response.find("t_requests_total 20"), std::string::npos);
+}
+
+TEST_F(ObsHttpTest, HealthzAnswersOk) {
+    const std::string response = http_get(server_.port(), "/healthz");
+    EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(response.find("ok"), std::string::npos);
+}
+
+TEST_F(ObsHttpTest, HealthzIncludesCallerPayload) {
+    obs::metrics_server with_payload;
+    with_payload.set_health_payload([] { return std::string("records=7\n"); });
+    std::string error;
+    ASSERT_TRUE(with_payload.start(0, &reg_, &error)) << error;
+    const std::string response = http_get(with_payload.port(), "/healthz");
+    EXPECT_NE(response.find("records=7"), std::string::npos);
+    with_payload.stop();
+}
+
+TEST_F(ObsHttpTest, UnknownPathIs404) {
+    const std::string response = http_get(server_.port(), "/nope");
+    EXPECT_NE(response.find("404"), std::string::npos);
+}
+
+TEST_F(ObsHttpTest, ServesSequentialRequests) {
+    for (int i = 0; i < 5; ++i) {
+        const std::string response = http_get(server_.port(), "/metrics");
+        EXPECT_NE(response.find("200 OK"), std::string::npos) << "request " << i;
+    }
+}
+
+TEST_F(ObsHttpTest, StopIsIdempotentAndUnbindsThePort) {
+    const std::uint16_t port = server_.port();
+    EXPECT_TRUE(server_.running());
+    server_.stop();
+    EXPECT_FALSE(server_.running());
+    server_.stop();  // second stop is a no-op
+    EXPECT_EQ(http_get(port, "/metrics"), "");
+
+    // The port is free again: a new server can claim it.
+    obs::metrics_server reuse;
+    std::string error;
+    ASSERT_TRUE(reuse.start(port, &reg_, &error)) << error;
+    EXPECT_NE(http_get(port, "/healthz").find("200 OK"), std::string::npos);
+    reuse.stop();
+}
+
+TEST(ObsHttpStartTest, ReportsBindFailure) {
+    obs::registry reg;
+    obs::metrics_server a;
+    std::string error;
+    ASSERT_TRUE(a.start(0, &reg, &error)) << error;
+    obs::metrics_server b;
+    EXPECT_FALSE(b.start(a.port(), &reg, &error));  // port already taken
+    EXPECT_FALSE(error.empty());
+    a.stop();
+}
+
+}  // namespace

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "v6class/netgen/rng.h"
+#include "v6class/obs/metrics.h"
 #include "v6class/stream/bounded_queue.h"
 #include "v6class/stream/engine.h"
 #include "v6class/temporal/stability.h"
@@ -352,6 +353,130 @@ TEST(StreamEngineTest, ManyProducersOneEngine) {
     const stream_stats stats = engine.stats();
     EXPECT_EQ(stats.records, static_cast<std::uint64_t>(kThreads) * kEach);
     EXPECT_EQ(stats.distinct_addresses, kThreads * kEach);
+}
+
+// ------------------------------------------------------------ metrics
+
+// Every record offered to push() must land in exactly one of the
+// accounting counters: accepted, late, or dropped-after-finish.
+TEST(StreamMetricsTest, EveryPushedRecordIsAccountedExactlyOnce) {
+    stream_engine engine(small_config(2));
+    engine.push(10, nth(1));
+    engine.push(10, nth(2));
+    engine.push(11, nth(3));  // seals day 10
+    engine.push(10, nth(4));  // late
+    engine.push(9, nth(5));   // late
+    engine.finish();
+    engine.push(12, nth(6));  // dropped: engine already finished
+    engine.push(12, nth(7));
+    const stream_stats stats = engine.stats();
+    EXPECT_EQ(stats.fed, 7u);
+    EXPECT_EQ(stats.records, 3u);
+    EXPECT_EQ(stats.late_dropped, 2u);
+    EXPECT_EQ(stats.dropped, 2u);
+    EXPECT_EQ(stats.fed, stats.records + stats.late_dropped + stats.dropped);
+}
+
+TEST(StreamMetricsTest, ConcurrentFeedKeepsTheAccountingInvariant) {
+    stream_engine engine(small_config(4));
+    constexpr int kThreads = 4;
+    constexpr unsigned kEach = 3000;
+    std::vector<std::thread> producers;
+    for (int t = 0; t < kThreads; ++t)
+        producers.emplace_back([&engine, t] {
+            // Interleaved day advances make some records late by design.
+            for (unsigned i = 0; i < kEach; ++i)
+                engine.push(static_cast<int>(i / 1000) + (t % 2), nth(i % 300));
+        });
+    for (auto& p : producers) p.join();
+    engine.finish();
+    const stream_stats stats = engine.stats();
+    EXPECT_EQ(stats.fed, static_cast<std::uint64_t>(kThreads) * kEach);
+    EXPECT_EQ(stats.fed, stats.records + stats.late_dropped + stats.dropped);
+}
+
+// stream_stats is a thin view over the metrics registry: the same
+// numbers must come out of an injected registry's exported text.
+TEST(StreamMetricsTest, StatsAreAViewOverTheInjectedRegistry) {
+    obs::registry reg;
+    stream_config cfg = small_config(2);
+    cfg.metrics_registry = &reg;
+    stream_engine engine(cfg);
+    engine.push(5, nth(1), 3);
+    engine.push(5, nth(2));
+    engine.push(6, nth(3));
+    engine.push(4, nth(4));  // late
+    engine.finish();
+    const stream_stats stats = engine.stats();
+    EXPECT_EQ(reg.get_counter("v6_stream_fed_total").value(), stats.fed);
+    EXPECT_EQ(reg.get_counter("v6_stream_records_total").value(),
+              stats.records);
+    EXPECT_EQ(reg.get_counter("v6_stream_hits_total").value(), stats.hits);
+    EXPECT_EQ(reg.get_counter("v6_stream_late_total").value(),
+              stats.late_dropped);
+    EXPECT_EQ(reg.get_gauge("v6_stream_sealed_day").value(),
+              engine.sealed_day());
+    EXPECT_EQ(
+        reg.get_gauge("v6_stream_distinct_addresses").value(),
+        static_cast<std::int64_t>(stats.distinct_addresses));
+
+    const std::string text = reg.prometheus_text();
+    EXPECT_NE(text.find("v6_stream_records_total 3"), std::string::npos);
+    EXPECT_NE(text.find("v6_stream_queue_depth{shard=\"0\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("v6_stream_seal_latency_seconds_count"),
+              std::string::npos);
+}
+
+TEST(StreamMetricsTest, SealHistogramCountsOneSealPerDay) {
+    obs::registry reg;
+    stream_config cfg = small_config(2);
+    cfg.metrics_registry = &reg;
+    stream_engine engine(cfg);
+    for (int day = 1; day <= 4; ++day) engine.push(day, nth(1));
+    engine.finish();
+    EXPECT_EQ(reg.get_counter("v6_stream_seals_total").value(), 4u);
+    EXPECT_EQ(
+        reg.get_histogram("v6_stream_seal_latency_seconds").count(), 4u);
+    EXPECT_EQ(
+        reg.get_histogram("v6_stream_report_build_seconds").count(), 4u);
+}
+
+// cfg.metrics=false keeps the core accounting exact while skipping the
+// sampled per-shard series — the uninstrumented baseline the overhead
+// bench compares against.
+TEST(StreamMetricsTest, DisablingMetricsKeepsCountersButDropsSampledSeries) {
+    obs::registry reg;
+    stream_config cfg = small_config(2);
+    cfg.metrics_registry = &reg;
+    cfg.metrics = false;
+    stream_engine engine(cfg);
+    engine.push(1, nth(1));
+    engine.push(2, nth(2));
+    engine.finish();
+    const stream_stats stats = engine.stats();
+    EXPECT_EQ(stats.records, 2u);
+    EXPECT_EQ(stats.fed, 2u);
+    const std::string text = reg.prometheus_text();
+    EXPECT_NE(text.find("v6_stream_records_total 2"), std::string::npos);
+    EXPECT_EQ(text.find("v6_stream_queue_depth"), std::string::npos);
+    EXPECT_EQ(text.find("v6_stream_seal_latency_seconds"), std::string::npos);
+}
+
+// Engines without an injected registry must not collide: each gets a
+// private one, so parallel engines (and tests) stay independent.
+TEST(StreamMetricsTest, PrivateRegistriesAreIndependent) {
+    stream_engine a(small_config(1));
+    stream_engine b(small_config(1));
+    a.push(1, nth(1));
+    a.push(1, nth(2));
+    b.push(1, nth(3));
+    a.finish();
+    b.finish();
+    EXPECT_EQ(a.stats().records, 2u);
+    EXPECT_EQ(b.stats().records, 1u);
+    EXPECT_EQ(a.metrics().get_counter("v6_stream_records_total").value(), 2u);
+    EXPECT_EQ(b.metrics().get_counter("v6_stream_records_total").value(), 1u);
 }
 
 }  // namespace

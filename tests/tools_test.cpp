@@ -9,6 +9,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "json_lite.h"
+
 namespace {
 
 namespace fs = std::filesystem;
@@ -225,6 +227,74 @@ TEST_F(ToolsTest, MissingInputFails) {
     const run_result r =
         run(tool("v6classify") + " /nonexistent/file.txt 2>/dev/null");
     EXPECT_NE(r.exit_code, 0);
+}
+
+// ------------------------------------------------------------ metrics
+
+std::string slurp(const fs::path& p) {
+    std::ifstream in(p);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+TEST_F(ToolsTest, MetricsOutWritesValidJson) {
+    const fs::path out = fs::temp_directory_path() / "v6class_tools_m.json";
+    fs::remove(out);
+    const run_result r = run(
+        tool("v6classify") + " --summary --metrics-out=" + out.string() + " " +
+        (corpus_ / "routers.txt").string() + " 2>/dev/null");
+    ASSERT_EQ(r.exit_code, 0);
+    const std::string json = slurp(out);
+    ASSERT_FALSE(json.empty()) << "no metrics dump at " << out;
+    EXPECT_TRUE(v6::testing::json_checker::valid(json)) << json;
+    // The shared read-input phase timer must have fired exactly once.
+    EXPECT_NE(json.find("\"v6_tools_read_input_seconds\""), std::string::npos);
+    EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+    fs::remove(out);
+}
+
+TEST_F(ToolsTest, StreamMetricsOutPrometheusAgreesWithFinalReport) {
+    const fs::path out = fs::temp_directory_path() / "v6class_tools_m.prom";
+    fs::remove(out);
+    const run_result r = run(
+        tool("v6synth") + " --stream --scale=0.02 --first=362 --last=364"
+        " 2>/dev/null | " + tool("v6stream") + " --shards=2 --metrics-out=" +
+        out.string() + " 2>/dev/null");
+    ASSERT_EQ(r.exit_code, 0);
+    // Pull "records" out of the final JSON line.
+    const std::size_t fin = r.output.find("\"type\":\"final\"");
+    ASSERT_NE(fin, std::string::npos);
+    const std::size_t rec = r.output.find("\"records\":", fin);
+    ASSERT_NE(rec, std::string::npos);
+    const long long records = std::atoll(r.output.c_str() + rec + 10);
+    ASSERT_GT(records, 0);
+
+    const std::string prom = slurp(out);
+    EXPECT_NE(prom.find("# TYPE v6_stream_records_total counter"),
+              std::string::npos);
+    EXPECT_NE(prom.find("v6_stream_records_total " + std::to_string(records)),
+              std::string::npos);
+    EXPECT_NE(prom.find("v6_stream_queue_depth{shard=\"0\"}"),
+              std::string::npos);
+    EXPECT_NE(prom.find("v6_stream_seal_latency_seconds_bucket"),
+              std::string::npos);
+    fs::remove(out);
+}
+
+TEST_F(ToolsTest, TraceOutWritesChromeTraceJson) {
+    const fs::path out = fs::temp_directory_path() / "v6class_tools_trace.json";
+    fs::remove(out);
+    const run_result r = run(
+        tool("v6mra") + " --trace-out=" + out.string() + " " +
+        (corpus_ / "routers.txt").string() + " 2>/dev/null");
+    ASSERT_EQ(r.exit_code, 0);
+    const std::string json = slurp(out);
+    ASSERT_FALSE(json.empty());
+    EXPECT_TRUE(v6::testing::json_checker::valid(json)) << json;
+    EXPECT_NE(json.find("\"read_input\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    fs::remove(out);
 }
 
 }  // namespace

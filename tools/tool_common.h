@@ -1,5 +1,6 @@
 // tool_common.h — shared plumbing for the command-line tools: flag
-// parsing, input selection (file or stdin), and consistent diagnostics.
+// parsing, input selection (file or stdin), consistent diagnostics, and
+// the uniform observability flags (--metrics-out / --trace-out).
 #pragma once
 
 #include <cstdio>
@@ -12,6 +13,8 @@
 #include <vector>
 
 #include "v6class/ip/io.h"
+#include "v6class/obs/metrics.h"
+#include "v6class/obs/timer.h"
 
 namespace v6::tools {
 
@@ -71,6 +74,52 @@ private:
     std::vector<std::string> positional_;
 };
 
+/// The uniform observability flags every tool accepts:
+///
+///   --metrics-out=FILE   dump the process metrics registry on exit
+///                        (FILE ending in .prom: Prometheus text;
+///                        anything else: structured JSON)
+///   --trace-out=FILE     Chrome-trace JSON of the run's phase spans
+///                        (load in chrome://tracing / ui.perfetto.dev)
+///
+/// Declare one after flag parsing; the destructor writes the dump on
+/// every return path, after all other work of main() has finished.
+class obs_exporter {
+public:
+    explicit obs_exporter(const flag_set& flags)
+        : metrics_out_(flags.get("metrics-out")) {
+        const std::string trace_out = flags.get("trace-out");
+        if (!trace_out.empty()) obs::trace_log::enable(trace_out);
+    }
+
+    ~obs_exporter() { write(); }
+
+    obs_exporter(const obs_exporter&) = delete;
+    obs_exporter& operator=(const obs_exporter&) = delete;
+
+    /// Writes the dump now (idempotent; also called by the destructor).
+    /// Tools with an ordering requirement — v6stream must join the roll
+    /// thread before the final dump — call this explicitly at the right
+    /// point.
+    void write() {
+        if (metrics_out_.empty() || written_) return;
+        written_ = true;
+        if (!obs::registry::global().write_file(metrics_out_))
+            std::fprintf(stderr, "warning: cannot write %s\n",
+                         metrics_out_.c_str());
+    }
+
+    static const char* help_lines() {
+        return "  --metrics-out=F  dump metrics on exit (.prom = Prometheus, "
+               "else JSON)\n"
+               "  --trace-out=F    write a Chrome-trace JSON of the run";
+    }
+
+private:
+    std::string metrics_out_;
+    bool written_ = false;
+};
+
 /// Parses a density-class spec "N@P" or "N@/P" (e.g. "2@112", the
 /// paper's n@/p classes); shared by v6dense and v6stream.
 inline std::optional<std::pair<std::uint64_t, unsigned>> parse_density_class(
@@ -106,6 +155,10 @@ inline void report_malformed_lines(const read_report& report,
 /// comments are tolerated; malformed lines are reported to stderr with
 /// their line numbers. Returns nullopt when the file cannot be opened.
 inline std::optional<std::vector<address>> read_input_addresses(const flag_set& flags) {
+    static const obs::histogram read_hist = obs::registry::global().get_histogram(
+        "v6_tools_read_input_seconds", obs::latency_buckets(), {},
+        "Time to read and parse the input address list.");
+    const obs::trace_scope span("read_input", read_hist);
     std::vector<address> addrs;
     read_report report;
     std::string source = "<stdin>";

@@ -21,8 +21,10 @@ int main(int argc, char** argv) {
         std::puts(
             "usage: v6arpa [--zone=FILE [--scan]] [file]\n"
             "ip6.arpa name generation and zone-file resolution");
+        std::puts(tools::obs_exporter::help_lines());
         return 0;
     }
+    const tools::obs_exporter obs_dump(flags);
     const auto addrs = tools::read_input_addresses(flags);
     if (!addrs) return 1;
 

@@ -23,8 +23,10 @@ int main(int argc, char** argv) {
         std::puts(
             "usage: v6classify [--summary] [--spatial] [file]\n"
             "classify IPv6 addresses (one per line; '-' or no file = stdin)");
+        std::puts(tools::obs_exporter::help_lines());
         return 0;
     }
+    const tools::obs_exporter obs_dump(flags);
     const auto addrs = tools::read_input_addresses(flags);
     if (!addrs) return 1;
 

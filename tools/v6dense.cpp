@@ -21,8 +21,10 @@ int main(int argc, char** argv) {
             "usage: v6dense --class=N@P [--class=...] [--list | --targets=N]\n"
             "               [--least-specific] [file]\n"
             "dense-prefix discovery over an address set");
+        std::puts(tools::obs_exporter::help_lines());
         return 0;
     }
+    const tools::obs_exporter obs_dump(flags);
     std::vector<std::pair<std::uint64_t, unsigned>> classes;
     for (const std::string& text : flags.get_all("class")) {
         const auto parsed = tools::parse_density_class(text);

@@ -21,8 +21,10 @@ int main(int argc, char** argv) {
             "usage: v6mra [--csv] [--gnuplot=DIR [--stem=NAME]] [--title=T]\n"
             "             [--compare=FILE2] [file]\n"
             "MRA plot of an address set (one address per line)");
+        std::puts(tools::obs_exporter::help_lines());
         return 0;
     }
+    const tools::obs_exporter obs_dump(flags);
     const auto addrs = tools::read_input_addresses(flags);
     if (!addrs) return 1;
     if (addrs->empty()) {

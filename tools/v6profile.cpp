@@ -38,8 +38,10 @@ int main(int argc, char** argv) {
         std::puts(
             "usage: v6profile --corpus=DIR --routes=FILE --ref=DAY\n"
             "per-ASN addressing-practice inference and subscriber estimates");
+        std::puts(tools::obs_exporter::help_lines());
         return flags.has("help") ? 0 : 1;
     }
+    const tools::obs_exporter obs_dump(flags);
 
     rir_registry registry;
     if (!load_routes(flags.get("routes"), registry)) {

@@ -22,8 +22,10 @@ int main(int argc, char** argv) {
             "                [--prefix-length=L] [--print-stable] "
             "[--spectrum=MAX]\n"
             "stability classification over a corpus of day_<n>.log files");
+        std::puts(tools::obs_exporter::help_lines());
         return flags.has("help") ? 0 : 1;
     }
+    const tools::obs_exporter obs_dump(flags);
     const int ref = static_cast<int>(flags.get_int("ref", 0));
     const auto n = static_cast<unsigned>(flags.get_int("n", 3));
     const unsigned plen =

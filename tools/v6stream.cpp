@@ -14,11 +14,13 @@
 // nd-stable split and n@/p density classes), a periodic "status" object,
 // and a "final" object with the lifetime spectrum on EOF or SIGINT /
 // SIGTERM (graceful shutdown: the open day is sealed and reported).
+#include <chrono>
 #include <csignal>
 #include <filesystem>
 
 #include "tool_common.h"
 #include "v6class/cdnsim/corpus.h"
+#include "v6class/obs/http.h"
 #include "v6class/stream/engine.h"
 
 using namespace v6;
@@ -52,13 +54,16 @@ void print_day_report(const day_report& r) {
     std::printf("}\n");
 }
 
-void print_status(const stream_stats& s) {
-    std::printf("{\"type\":\"status\",\"records\":%llu,\"hits\":%llu,"
-                "\"late_dropped\":%llu,\"open_day\":%d,\"sealed_day\":%d,"
+void print_status(const stream_stats& s, double rate) {
+    std::printf("{\"type\":\"status\",\"fed\":%llu,\"records\":%llu,"
+                "\"hits\":%llu,\"late_dropped\":%llu,\"dropped\":%llu,"
+                "\"rate\":%.0f,\"open_day\":%d,\"sealed_day\":%d,"
                 "\"distinct_addrs\":%zu,\"distinct_64s\":%zu}\n",
+                static_cast<unsigned long long>(s.fed),
                 static_cast<unsigned long long>(s.records),
                 static_cast<unsigned long long>(s.hits),
                 static_cast<unsigned long long>(s.late_dropped),
+                static_cast<unsigned long long>(s.dropped), rate,
                 s.open_day == kNoDay ? -1 : s.open_day,
                 s.sealed_day == kNoDay ? -1 : s.sealed_day,
                 s.distinct_addresses, s.distinct_projected);
@@ -108,11 +113,15 @@ int main(int argc, char** argv) {
             "usage: v6stream [--shards=N] [--batch=N] [--queue=N] [--n=3]\n"
             "                [--back=7] [--fwd=7] [--class=N@P ...]\n"
             "                [--status-every=RECORDS] [--spectrum=MAX]\n"
-            "                [--replay=DIR] [feed-file|-]\n"
+            "                [--metrics-port=P] [--replay=DIR] [feed-file|-]\n"
             "streaming classification of a \"day address [hits]\" feed;\n"
-            "emits JSON lines (day roll-ups, status, final report)");
+            "emits JSON lines (day roll-ups, status, final report)\n"
+            "  --metrics-port=P   serve GET /metrics (Prometheus text) and\n"
+            "                     GET /healthz on 0.0.0.0:P while running");
+        std::puts(tools::obs_exporter::help_lines());
         return 0;
     }
+    tools::obs_exporter obs_dump(flags);
 
     stream_config cfg;
     cfg.shards = static_cast<unsigned>(flags.get_int("shards", 4));
@@ -139,9 +148,41 @@ int main(int argc, char** argv) {
     std::signal(SIGINT, handle_stop);
     std::signal(SIGTERM, handle_stop);
 
+    // The daemon shares the process-wide registry so one /metrics endpoint
+    // covers the engine, the library phase timers, and the tool itself.
+    obs::registry& reg = obs::registry::global();
+    cfg.metrics_registry = &reg;
+    const obs::counter malformed_total = reg.get_counter(
+        "v6_stream_malformed_total", {},
+        "Feed lines that failed to parse and were skipped.");
+    const obs::gauge ingest_rate = reg.get_gauge(
+        "v6_stream_ingest_rate", {},
+        "Accepted records per second, averaged over the last status interval.");
+
     stream_engine engine(cfg);
+
+    obs::metrics_server server;
+    if (flags.has("metrics-port")) {
+        server.set_health_payload([&engine] {
+            const stream_stats s = engine.stats();
+            return "records=" + std::to_string(s.records) +
+                   " open_day=" + std::to_string(s.open_day) + "\n";
+        });
+        std::string error;
+        const auto port = static_cast<std::uint16_t>(
+            flags.get_int("metrics-port", 9100));
+        if (!server.start(port, &reg, &error)) {
+            std::fprintf(stderr, "error: metrics server: %s\n", error.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "metrics on http://0.0.0.0:%u/metrics\n",
+                     static_cast<unsigned>(server.port()));
+    }
+
     std::uint64_t malformed = 0;
     std::size_t printed_reports = 0;
+    auto rate_mark = std::chrono::steady_clock::now();
+    std::uint64_t rate_records = 0;
 
     if (flags.has("replay")) {
         // Replay a day_<n>.log corpus directory in day order.
@@ -189,6 +230,7 @@ int main(int argc, char** argv) {
             const std::string_view text = trim(line);
             if (text.empty() || text.front() == '#') continue;
             if (!parse_stream_record(text, record)) {
+                malformed_total.inc();
                 if (++malformed <= 8)
                     std::fprintf(stderr, "warning: line %llu: malformed: %s\n",
                                  static_cast<unsigned long long>(line_number),
@@ -197,14 +239,32 @@ int main(int argc, char** argv) {
             }
             engine.push(record);
             if (status_every > 0 && line_number % status_every == 0) {
-                print_status(engine.stats());
+                const stream_stats s = engine.stats();
+                const auto now = std::chrono::steady_clock::now();
+                const double dt =
+                    std::chrono::duration<double>(now - rate_mark).count();
+                const double rate =
+                    dt > 0.0
+                        ? static_cast<double>(s.records - rate_records) / dt
+                        : 0.0;
+                rate_mark = now;
+                rate_records = s.records;
+                ingest_rate.set(static_cast<std::int64_t>(rate));
+                print_status(s, rate);
                 printed_reports = drain_reports(engine, printed_reports);
             }
         }
     }
 
+    // Ordered shutdown (also the SIGINT/SIGTERM path, since the loops above
+    // merely break out on g_stop): finish() seals the open day and joins the
+    // roll thread, then we drain the reports and print the final object, stop
+    // the metrics server, and only then write the metrics dump — so the file
+    // reflects the fully-settled registry, including the last seal.
     engine.finish();
     printed_reports = drain_reports(engine, printed_reports);
     print_final(engine.snapshot(), malformed);
+    server.stop();
+    obs_dump.write();
     return 0;
 }

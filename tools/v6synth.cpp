@@ -32,8 +32,10 @@ int main(int argc, char** argv) {
             "       v6synth --stream [--first=D] [--last=D] [--scale=S] [--seed=N]\n"
             "generate a synthetic aggregated-log corpus (--stream: emit it as\n"
             "\"day address hits\" feed lines on stdout, for v6stream)");
+        std::puts(tools::obs_exporter::help_lines());
         return flags.has("help") ? 0 : 1;
     }
+    const tools::obs_exporter obs_dump(flags);
     world_config cfg;
     cfg.scale = flags.get_double("scale", 0.2);
     cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
