@@ -1,0 +1,111 @@
+// micro_sketch — cost of the streaming sketches on the ingest hot path
+// and of the sketch primitives in isolation. BM_stream_ingest_sketch/1
+// runs the full engine with per-shard day HLLs and P² quantiles;
+// /0 is the same pipeline with cfg.sketches=false. The sketch layer's
+// budget is 3% of ingest throughput (ISSUE acceptance: compare the two
+// items_per_second). The primitive benches bound the per-record cost
+// directly: one HLL add is a hash finalizer + mask + clz + byte max,
+// one P² observe is a five-marker scan.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "v6class/netgen/rng.h"
+#include "v6class/obs/sketch.h"
+#include "v6class/stream/engine.h"
+
+namespace {
+
+using namespace v6;
+
+std::vector<stream_record> make_feed(std::size_t per_day, int days,
+                                     std::uint64_t seed) {
+    rng r{seed};
+    std::vector<address> pool;
+    pool.reserve(per_day / 2);
+    for (std::size_t i = 0; i < per_day / 2; ++i) {
+        const std::uint64_t hi = 0x20010db800000000ull | r.uniform(1u << 10);
+        const std::uint64_t lo = r.uniform(1u << 20);
+        pool.push_back(address::from_pair(hi, lo));
+    }
+    std::vector<stream_record> feed;
+    feed.reserve(per_day * static_cast<std::size_t>(days));
+    for (int d = 0; d < days; ++d)
+        for (std::size_t i = 0; i < per_day; ++i)
+            feed.push_back({d, pool[r.uniform(pool.size())], 1 + r.uniform(4)});
+    return feed;
+}
+
+// Arg(0): 1 = sketches on (day HLLs + P² quantiles), 0 = off. The
+// guarded budget: the /1 rate must stay within 3% of the /0 rate.
+void BM_stream_ingest_sketch(benchmark::State& state) {
+    const auto feed = make_feed(50000, 4, 99);
+    for (auto _ : state) {
+        stream_config cfg;
+        cfg.shards = 4;
+        cfg.sketches = state.range(0) != 0;
+        stream_engine engine(cfg);
+        for (const stream_record& rec : feed) engine.push(rec);
+        engine.finish();
+        benchmark::DoNotOptimize(engine.stats().distinct_addresses);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(feed.size()) *
+                            state.iterations());
+    state.SetLabel(state.range(0) ? "sketches" : "no-sketches");
+}
+BENCHMARK(BM_stream_ingest_sketch)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_hll_add(benchmark::State& state) {
+    obs::hyperloglog hll(static_cast<unsigned>(state.range(0)));
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (auto _ : state) {
+        hll.add(h);
+        h += 0x9e3779b97f4a7c15ull;
+    }
+    benchmark::DoNotOptimize(hll.estimate());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_hll_add)->Arg(10)->Arg(14);
+
+void BM_hll_estimate(benchmark::State& state) {
+    obs::hyperloglog hll(14);
+    for (std::uint64_t i = 0; i < 100000; ++i) hll.add(i * 0x9e3779b97f4a7c15ull);
+    for (auto _ : state) benchmark::DoNotOptimize(hll.estimate());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_hll_estimate);
+
+void BM_hll_merge(benchmark::State& state) {
+    obs::hyperloglog a(14), b(14);
+    for (std::uint64_t i = 0; i < 100000; ++i) {
+        a.add(i * 0x9e3779b97f4a7c15ull);
+        b.add(i * 0xbf58476d1ce4e5b9ull);
+    }
+    for (auto _ : state) {
+        obs::hyperloglog u = a;
+        u.merge(b);
+        benchmark::DoNotOptimize(u.register_count());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_hll_merge);
+
+void BM_p2_observe(benchmark::State& state) {
+    obs::p2_quantile p99(0.99);
+    double v = 1.0;
+    for (auto _ : state) {
+        p99.observe(v);
+        v = v > 1e6 ? 1.0 : v * 1.0001;
+    }
+    benchmark::DoNotOptimize(p99.value());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_p2_observe);
+
+}  // namespace
+
+BENCHMARK_MAIN();

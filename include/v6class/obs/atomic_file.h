@@ -1,0 +1,17 @@
+// atomic_file.h — crash-safe whole-file writes for the observability
+// dumps (--metrics-out, --trace-out, --events-out, BENCH_*.json): the
+// content goes to a sibling temp file which is then rename(2)d over the
+// destination, so a concurrent reader — or a reader after a crash —
+// sees either the old complete file or the new complete file, never a
+// truncated one.
+#pragma once
+
+#include <string>
+
+namespace v6::obs {
+
+/// Writes `content` to `path` via tmp-file + rename. Returns false (and
+/// leaves no temp file behind) when any step fails.
+bool atomic_write_file(const std::string& path, const std::string& content);
+
+}  // namespace v6::obs

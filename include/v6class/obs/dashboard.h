@@ -1,0 +1,56 @@
+// dashboard.h — renders the live classification dashboard served at
+// GET /dashboard: one self-contained HTML page (embedded CSS, inline
+// SVG sparklines, zero external dependencies — it must work from an
+// air-gapped lab host) showing the ring-buffer history of every derived
+// series, the headline counters, and the recent drift events.
+//
+// The renderer is a pure function over a plain model, so tests exercise
+// it without a server and the HTTP layer stays a one-line callback.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "v6class/obs/event_log.h"
+
+namespace v6::obs {
+
+/// One sparkline tile.
+struct dashboard_series {
+    std::string name;             ///< e.g. "gamma16 @/48"
+    std::string help;             ///< one-line description under the value
+    double current = 0;           ///< newest value
+    std::vector<double> history;  ///< oldest first (the sparkline)
+    bool alarmed = false;         ///< a drift alarm fired on the last sample
+};
+
+/// One headline stat (records, epoch, distinct counts, ...).
+struct dashboard_stat {
+    std::string name;
+    std::string value;
+};
+
+struct dashboard_model {
+    std::string title = "v6class live";
+    std::string status = "serving";        ///< mirrors /healthz status
+    double uptime_seconds = 0;
+    std::vector<dashboard_stat> stats;     ///< headline row
+    std::vector<dashboard_series> series;  ///< sparkline grid
+    std::vector<event> events;             ///< recent, oldest first
+    unsigned refresh_seconds = 2;          ///< meta-refresh cadence (0 = off)
+};
+
+/// An inline-SVG sparkline of `values` (oldest first). Empty or
+/// single-valued input renders a flat placeholder line.
+std::string svg_sparkline(const std::vector<double>& values, unsigned width,
+                          unsigned height);
+
+/// The whole page.
+std::string render_dashboard(const dashboard_model& model);
+
+/// format_double-style value formatting for tiles: integers stay
+/// integral, everything else gets 4 significant digits.
+std::string dashboard_value(double v);
+
+}  // namespace v6::obs

@@ -1,0 +1,143 @@
+// drift.h — change detection over the live derived series: a fixed-size
+// ring history (what the dashboard's sparklines draw) and an EWMA
+// mean/variance detector that raises an alarm when a new sample sits
+// more than z standard deviations from the smoothed mean.
+//
+// Alarm discipline: a detector that has fired RE-BASELINES — it resets
+// its statistics to the new value and warms up again — so one step
+// change in addressing practice produces exactly one alarm instead of
+// one per subsequent sample (tests/obs_drift_test.cpp holds it to
+// that). A sigma floor (absolute + relative to the mean) keeps a
+// perfectly flat warm-up from turning the first wiggle into an alarm
+// with infinite z.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace v6::obs {
+
+/// Last-N values of one series, oldest first. Fixed capacity; push
+/// never allocates after construction.
+class ring_history {
+public:
+    explicit ring_history(std::size_t capacity = 256)
+        : capacity_(capacity ? capacity : 1) {
+        values_.reserve(capacity_);
+    }
+
+    void push(double v) {
+        if (values_.size() < capacity_) {
+            values_.push_back(v);
+        } else {
+            values_[head_] = v;
+            head_ = (head_ + 1) % capacity_;
+        }
+        ++total_;
+    }
+
+    /// Retained values (min(total, capacity)).
+    std::size_t size() const noexcept { return values_.size(); }
+    std::size_t capacity() const noexcept { return capacity_; }
+
+    /// i = 0 is the oldest retained value. Precondition: i < size().
+    double at(std::size_t i) const noexcept {
+        return values_[(head_ + i) % values_.size()];
+    }
+
+    /// The newest value (0 when empty).
+    double back() const noexcept {
+        return values_.empty() ? 0.0 : at(values_.size() - 1);
+    }
+
+    /// Values ever pushed, including the overwritten ones.
+    std::uint64_t total() const noexcept { return total_; }
+
+    /// Copy in oldest-first order (for rendering).
+    std::vector<double> values() const {
+        std::vector<double> out;
+        out.reserve(values_.size());
+        for (std::size_t i = 0; i < values_.size(); ++i) out.push_back(at(i));
+        return out;
+    }
+
+private:
+    std::size_t capacity_;
+    std::size_t head_ = 0;  // index of the oldest value once full
+    std::uint64_t total_ = 0;
+    std::vector<double> values_;
+};
+
+/// Tuning of one EWMA drift detector.
+struct drift_options {
+    double alpha = 0.3;        ///< EWMA smoothing factor in (0, 1]
+    double z_threshold = 4.0;  ///< alarm when |x - mean| > z * sigma
+    unsigned min_samples = 5;  ///< warm-up before the detector arms
+    double min_sigma = 1e-9;   ///< absolute sigma floor
+    double rel_sigma = 0.02;   ///< sigma floor as a fraction of |mean|
+};
+
+/// EWMA mean/variance with z-score alarms and fire-once re-baselining.
+class ewma_detector {
+public:
+    explicit ewma_detector(drift_options opt = {}) : opt_(opt) {}
+
+    struct alarm {
+        double value = 0;  ///< the sample that fired
+        double mean = 0;   ///< smoothed mean before the sample
+        double sigma = 0;  ///< effective (floored) sigma before the sample
+        double z = 0;      ///< |value - mean| / sigma
+    };
+
+    /// Feeds one sample; returns the alarm if this sample fired.
+    std::optional<alarm> update(double x) noexcept {
+        if (samples_ == 0) {
+            mean_ = x;
+            variance_ = 0.0;
+            samples_ = 1;
+            return std::nullopt;
+        }
+        const double floor_abs = opt_.min_sigma;
+        const double floor_rel = opt_.rel_sigma * std::abs(mean_);
+        double sigma = std::sqrt(variance_);
+        if (sigma < floor_abs) sigma = floor_abs;
+        if (sigma < floor_rel) sigma = floor_rel;
+        const double z = std::abs(x - mean_) / sigma;
+        if (samples_ >= opt_.min_samples && z > opt_.z_threshold) {
+            const alarm a{x, mean_, sigma, z};
+            // Re-baseline at the new level: the shift is reported once,
+            // then the detector learns the new normal.
+            mean_ = x;
+            variance_ = 0.0;
+            samples_ = 1;
+            return a;
+        }
+        const double d = x - mean_;
+        const double gain = opt_.alpha * d;
+        mean_ += gain;
+        variance_ = (1.0 - opt_.alpha) * (variance_ + d * gain);
+        ++samples_;
+        return std::nullopt;
+    }
+
+    double mean() const noexcept { return mean_; }
+    double sigma() const noexcept { return std::sqrt(variance_); }
+    std::uint64_t samples() const noexcept { return samples_; }
+    const drift_options& options() const noexcept { return opt_; }
+
+    void reset() noexcept {
+        mean_ = variance_ = 0.0;
+        samples_ = 0;
+    }
+
+private:
+    drift_options opt_;
+    double mean_ = 0.0;
+    double variance_ = 0.0;
+    std::uint64_t samples_ = 0;
+};
+
+}  // namespace v6::obs

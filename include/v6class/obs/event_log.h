@@ -1,0 +1,88 @@
+// event_log.h — the repo's first logging subsystem: a leveled,
+// structured event log with a JSON-lines representation. Events are
+// rare (drift alarms, lifecycle transitions), so this is deliberately
+// not a hot-path facility: log() takes a mutex, stamps wall-clock time,
+// and retains the event in a bounded in-memory buffer for the
+// dashboard's "recent events" pane. `v6stream --events-out=FILE` dumps
+// the whole retained log as JSON lines on exit (atomically, via
+// tmp-file + rename — see atomic_file.h).
+//
+// One line per event:
+//   {"seq":3,"time":1722950000.125,"level":"warn","kind":"drift",
+//    "message":"gamma16_48 shifted","fields":{"day":12,"z":6.1}}
+//
+// Field values are pre-rendered JSON tokens (see event_field); the
+// writer does not guess types.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace v6::obs {
+
+enum class event_level { info, warn, error };
+
+const char* event_level_name(event_level level) noexcept;
+
+/// One structured field: the value is a pre-rendered JSON token
+/// (number, quoted string, ...). Use the event_field() helpers.
+using event_fields = std::vector<std::pair<std::string, std::string>>;
+
+std::string event_field_number(double v);
+std::string event_field_string(const std::string& v);
+
+/// One event, as retained and as serialized.
+struct event {
+    std::uint64_t seq = 0;   ///< 1-based sequence number within the log
+    double unix_time = 0;    ///< wall-clock seconds since the epoch
+    event_level level = event_level::info;
+    std::string kind;        ///< machine-matchable family, e.g. "drift"
+    std::string message;     ///< one human-readable sentence
+    event_fields fields;     ///< structured payload
+};
+
+/// Serializes one event as a single JSON object (no trailing newline).
+std::string event_json(const event& e);
+
+class event_log {
+public:
+    /// Retains at most `keep` events in memory (oldest dropped first).
+    explicit event_log(std::size_t keep = 4096) : keep_(keep ? keep : 1) {}
+
+    event_log(const event_log&) = delete;
+    event_log& operator=(const event_log&) = delete;
+
+    /// Appends one event; seq and unix_time are stamped here.
+    void log(event_level level, std::string kind, std::string message,
+             event_fields fields = {});
+
+    /// Events ever logged (>= retained count).
+    std::uint64_t total() const;
+
+    /// The newest `n` retained events, oldest first.
+    std::vector<event> recent(std::size_t n) const;
+
+    /// Every retained event as JSON lines (one object per line).
+    std::string json_lines() const;
+
+    /// Writes json_lines() to `path` atomically (tmp + rename). Returns
+    /// false when the file cannot be written.
+    bool dump(const std::string& path) const;
+
+    /// The process-wide log, mirroring registry::global(): the stream
+    /// engine reports here unless stream_config injects another, and
+    /// --events-out dumps it.
+    static event_log& global();
+
+private:
+    mutable std::mutex mutex_;
+    std::size_t keep_;
+    std::uint64_t total_ = 0;
+    std::deque<event> events_;
+};
+
+}  // namespace v6::obs

@@ -1,8 +1,13 @@
 // http.h — a minimal blocking HTTP endpoint exposing a registry for
-// live scraping:
+// live scraping and the live classification dashboard:
 //
-//   GET /metrics   Prometheus text exposition of the bound registry
-//   GET /healthz   liveness: 200 "ok" (plus an optional caller payload)
+//   GET /metrics    Prometheus text exposition of the bound registry
+//   GET /healthz    JSON liveness/readiness: {"status":"starting|
+//                   serving|draining","uptime_seconds":N,...} plus any
+//                   caller-supplied fields — orchestrators distinguish
+//                   a draining shutdown from a healthy server
+//   GET /dashboard  self-contained HTML dashboard (also served at /)
+//                   when a renderer is installed; 404 otherwise
 //
 // One acceptor thread, one connection at a time, no keep-alive — the
 // xenoeye-style collector discipline: the scrape path must never
@@ -11,8 +16,10 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -30,15 +37,35 @@ public:
 
     /// Binds and starts serving `reg` on `port` (0 = any free port; see
     /// port() for the bound one). Returns false with `error` filled on
-    /// bind/listen failure. Call at most once per instance.
+    /// bind/listen failure. Call at most once per instance. Moves the
+    /// health state from "starting" to "serving".
     bool start(std::uint16_t port, const registry* reg,
                std::string* error = nullptr);
 
-    /// Extra text appended to the /healthz body (e.g. a JSON status
-    /// line). Set before start(); called per request.
+    /// Extra JSON fields appended inside the /healthz object, e.g.
+    /// `"last_seal_day":12,"records":10400` (no surrounding braces).
+    /// Called per request; set before start().
     void set_health_payload(std::function<std::string()> fn) {
         health_ = std::move(fn);
     }
+
+    /// Renders GET /dashboard (and /) as text/html. Called per request;
+    /// set before start(). Without one, /dashboard is 404.
+    void set_dashboard(std::function<std::string()> fn) {
+        dashboard_ = std::move(fn);
+    }
+
+    /// The /healthz "status" value. start() sets "serving"; a daemon
+    /// sets "draining" when it begins an ordered shutdown so probes
+    /// stop routing to it while the open day seals.
+    void set_state(const std::string& state);
+    std::string state() const;
+
+    /// Seconds since start() (0 before).
+    double uptime_seconds() const;
+
+    /// The whole /healthz body (exposed for dashboards and tests).
+    std::string health_json() const;
 
     /// Closes the listening socket and joins the acceptor thread.
     /// Idempotent.
@@ -54,6 +81,10 @@ private:
     std::uint16_t port_ = 0;
     const registry* reg_ = nullptr;
     std::function<std::string()> health_;
+    std::function<std::string()> dashboard_;
+    mutable std::mutex state_mutex_;
+    std::string state_ = "starting";
+    std::chrono::steady_clock::time_point started_{};
     std::thread thread_;
     std::atomic<bool> running_{false};
 };

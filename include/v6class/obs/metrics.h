@@ -53,6 +53,7 @@ struct series {
     std::string help;
     metric_kind kind = metric_kind::counter;
     label_list labels;
+    bool fp = false;  // gauge only: value holds double bits (dgauge)
 
     std::atomic<std::int64_t> value{0};  // counter / gauge
 
@@ -134,6 +135,29 @@ private:
     detail::series* s_ = nullptr;
 };
 
+/// Point-in-time double value (ratios, fractions, estimates). Exported
+/// as a Prometheus gauge; stored through its bit pattern in the same
+/// atomic an integer gauge uses.
+class dgauge {
+public:
+    dgauge() = default;
+    void set(double v) const noexcept {
+        if (s_) s_->value.store(std::bit_cast<std::int64_t>(v),
+                                std::memory_order_relaxed);
+    }
+    double value() const noexcept {
+        return s_ ? std::bit_cast<double>(
+                        s_->value.load(std::memory_order_relaxed))
+                  : 0.0;
+    }
+    explicit operator bool() const noexcept { return s_ != nullptr; }
+
+private:
+    friend class registry;
+    explicit dgauge(detail::series* s) noexcept : s_(s) {}
+    detail::series* s_ = nullptr;
+};
+
 /// Fixed-bucket distribution. observe() touches two atomics plus a CAS
 /// loop for the sum; no allocation, no locks.
 class histogram {
@@ -180,6 +204,11 @@ public:
                         const std::string& help = "");
     gauge get_gauge(const std::string& name, label_list labels = {},
                     const std::string& help = "");
+    /// A gauge that stores and exports a double (count ratios, sketch
+    /// estimates). A (name, labels) pair is either integer or double
+    /// for the registry's lifetime; like histogram bounds, first wins.
+    dgauge get_dgauge(const std::string& name, label_list labels = {},
+                      const std::string& help = "");
     /// `bounds` must be strictly ascending; an empty list gets
     /// latency_buckets(). Re-registration ignores `bounds` (first wins).
     histogram get_histogram(const std::string& name,
@@ -197,7 +226,9 @@ public:
     std::string json_text() const;
 
     /// Writes prometheus_text() when `path` ends in ".prom", else
-    /// json_text(). Returns false when the file cannot be written.
+    /// json_text(); atomically, via tmp-file + rename, so a crash or a
+    /// concurrent reader never observes a truncated dump. Returns false
+    /// when the file cannot be written.
     bool write_file(const std::string& path) const;
 
     /// Number of registered series (for tests).
@@ -210,7 +241,7 @@ public:
 private:
     detail::series* intern(const std::string& name, metric_kind kind,
                            label_list labels, const std::string& help,
-                           std::vector<double> bounds);
+                           std::vector<double> bounds, bool fp = false);
 
     mutable std::mutex mutex_;
     std::deque<detail::series> series_;  // deque: handles stay valid

@@ -31,7 +31,10 @@
 #include <thread>
 #include <vector>
 
+#include "v6class/obs/drift.h"
+#include "v6class/obs/event_log.h"
 #include "v6class/obs/metrics.h"
+#include "v6class/obs/sketch.h"
 #include "v6class/spatial/density.h"
 #include "v6class/spatial/mra.h"
 #include "v6class/stream/bounded_queue.h"
@@ -67,6 +70,26 @@ struct stream_config {
     /// benchmarking the bare hot path (bench/micro_obs_overhead). The
     /// core feed counters behind stats() are always maintained.
     bool metrics = true;
+
+    /// False skips the streaming sketches (per-day HLL distinct
+    /// estimates, P² hit-count quantiles) and with them those live
+    /// series — bench/micro_sketch holds their cost under 3% of ingest.
+    bool sketches = true;
+    unsigned hll_precision = 14;  ///< 2^p registers per day-HLL (~0.8% err)
+    /// Every Nth accepted record feeds the P² hit-count quantiles
+    /// (1 = all). P² costs ~100ns per observation on the serial feed
+    /// path; systematic 1-in-8 sampling makes it free while leaving
+    /// the quantiles of a mixed stream statistically unchanged.
+    unsigned quantile_sample = 8;
+
+    /// Ring capacity of every live derived series (dashboard history).
+    std::size_t history = 512;
+
+    /// Drift detection over the derived series; events are raised into
+    /// `events` (or an engine-private log when null — v6stream passes
+    /// &obs::event_log::global() so --events-out sees them).
+    obs::drift_options drift{};
+    obs::event_log* events = nullptr;
 };
 
 /// Feed-side and sealed-side counters: a thin view over the engine's
@@ -96,6 +119,33 @@ struct day_report {
     std::size_t distinct_addresses = 0;  ///< totals as of this epoch
     std::size_t distinct_projected = 0;
     std::vector<density_row> density;  ///< configured n@/p classes
+
+    // Live derived series, evaluated when this day sealed (see
+    // stream_engine::live): MRA count ratios over the distinct set,
+    // the nd-stable fraction of the classified day, and the sketch
+    // estimates of the sealed day's distinct addresses / /48s / /64s
+    // (zero when cfg.sketches is off).
+    double gamma1 = 1;   ///< gamma^1 at p=64 (n_65 / n_64)
+    double gamma4 = 1;   ///< gamma^4 at p=60 (n_64 / n_60)
+    double gamma16 = 1;  ///< gamma^16 at p=48 (n_64 / n_48)
+    double stable_fraction = 0;  ///< stable / active (0 when no active)
+    double est_day_addresses = 0, est_day_48s = 0, est_day_64s = 0;
+};
+
+/// Snapshot of one live derived series (dashboard / queries).
+struct live_series_view {
+    std::string name;             ///< registry series name (v6class_*)
+    std::string help;
+    double current = 0;
+    bool alarmed = false;         ///< drift alarm fired on the last sample
+    std::vector<double> history;  ///< ring-buffer contents, oldest first
+};
+
+/// Everything the /dashboard page draws, at one instant.
+struct live_view {
+    int epoch = kNoDay;
+    std::vector<live_series_view> series;
+    std::vector<obs::event> events;  ///< recent, oldest first
 };
 
 /// A consistent cross-shard summary at one epoch.
@@ -177,6 +227,15 @@ public:
     /// MRA aggregate counts/ratios over the distinct addresses.
     mra_series mra() const;
 
+    /// The live derived series (ring histories, drift flags) plus the
+    /// newest `events_n` log events — the /dashboard model. Histories
+    /// gain one point per sealed day.
+    live_view live(std::size_t events_n = 32) const;
+
+    /// The event log drift alarms are raised into (engine-private
+    /// unless cfg.events injected one).
+    obs::event_log& events() const noexcept { return *events_; }
+
     /// Day reports emitted so far, oldest first.
     std::vector<day_report> reports() const;
     std::optional<day_report> latest_report() const;
@@ -204,6 +263,14 @@ private:
     day_report build_report(int day) const;    // takes state_mutex_ shared
     radix_tree merged_tree_locked() const;     // state_mutex_ held (any mode)
     void init_metrics();
+    void init_live();
+
+    /// Sealed-day sketch estimates, merged across shards.
+    struct day_estimates {
+        double addresses = 0, p48s = 0, p64s = 0;
+    };
+    day_estimates merge_day_sketches();  // roll thread, workers parked
+    void update_live(const day_report& report);  // roll thread
 
     /// Pre-interned handles; instrumented code never touches the
     /// registry after construction. The sampled handles (gauges,
@@ -223,6 +290,55 @@ private:
     std::unique_ptr<obs::registry> own_metrics_;  // when none injected
     obs::registry* metrics_ = nullptr;
     metric_handles m_;
+    std::unique_ptr<obs::event_log> own_events_;  // when none injected
+    obs::event_log* events_ = nullptr;
+
+    /// Day-scoped sketches, one set per shard: written only by that
+    /// shard's worker while the day is open, merged and reset by the
+    /// roll thread while every worker is parked at the seal marker (the
+    /// roll_mutex_ handshake orders both directions).
+    struct day_sketches {
+        obs::hyperloglog addresses, p48s, p64s;
+        explicit day_sketches(unsigned precision)
+            : addresses(precision), p48s(precision), p64s(precision) {}
+    };
+    std::vector<day_sketches> shard_sketches_;
+
+    /// P² hit-count quantiles, fed in push() under push_mutex_. The
+    /// roll thread must NOT take push_mutex_ to read them — the pusher
+    /// can hold it across a blocking queue push, and the seal pipeline
+    /// waiting on a backpressured pusher deadlocks — so the pusher
+    /// publishes snapshots into the atomics at each day boundary
+    /// (broadcast_seal_locked) and update_live reads only those.
+    obs::p2_quantile hits_p50_{0.5}, hits_p99_{0.99};
+    std::atomic<double> hits_p50_pub_{0.0}, hits_p99_pub_{0.0};
+    std::uint64_t quantile_tick_ = 0;  // push_mutex_; 1-in-N sampler
+
+    /// One live derived series: the registry gauge, the dashboard's
+    /// ring history, and its drift detector. All guarded by live_mutex_
+    /// (written once per seal by the roll thread, read by /dashboard).
+    struct live_series {
+        std::string name;
+        std::string help;
+        obs::dgauge gauge;
+        obs::ring_history history;
+        obs::ewma_detector detector;
+        bool alarmed = false;
+        live_series(std::string n, std::string h, obs::dgauge g,
+                    std::size_t capacity, const obs::drift_options& opt)
+            : name(std::move(n)), help(std::move(h)), gauge(g),
+              history(capacity), detector(opt) {}
+    };
+    mutable std::mutex live_mutex_;
+    std::vector<live_series> live_;
+    // Fixed indices into live_ (dense classes follow, then sketches).
+    std::size_t li_gamma1_ = 0, li_gamma4_ = 0, li_gamma16_ = 0;
+    std::size_t li_stable_fraction_ = 0, li_active_ = 0;
+    std::size_t li_hits_p50_ = 0, li_hits_p99_ = 0;
+    std::size_t li_dense_first_ = 0;   // one per cfg_.density_classes entry
+    std::size_t li_est_first_ = 0;     // addrs, /48s, /64s (sketches on)
+    obs::counter drift_events_;
+    day_estimates last_estimates_;     // roll thread only
     std::vector<std::unique_ptr<stream_shard>> shards_;
     std::vector<std::unique_ptr<bounded_queue<shard_message>>> queues_;
     std::vector<std::thread> workers_;

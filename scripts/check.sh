@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# check.sh — the full local gate: build + ctest under every preset.
+#
+#   scripts/check.sh            default + asan + tsan
+#   scripts/check.sh default    one preset
+#   FAST=1 scripts/check.sh     exclude slow-labeled tests everywhere
+#
+# The default preset runs the whole suite including the slow-labeled
+# statistical accuracy tests (10^6-element sketch bounds); the
+# sanitizer presets always exclude them (-LE slow) — under ASan/TSan
+# they take minutes and bound floating-point estimator error, not
+# memory or ordering behaviour, so they buy nothing there.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+[ ${#presets[@]} -eq 0 ] && presets=(default asan tsan)
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+for preset in "${presets[@]}"; do
+    echo "=== preset: ${preset} ==="
+    cmake --preset "${preset}"
+    cmake --build --preset "${preset}" -j "${jobs}"
+    label_args=()
+    if [ "${preset}" != default ] || [ -n "${FAST:-}" ]; then
+        label_args=(-LE slow)
+    fi
+    ctest --preset "${preset}" -j "${jobs}" "${label_args[@]}"
+done
+
+echo "=== all presets passed: ${presets[*]} ==="

@@ -1,0 +1,34 @@
+#include "v6class/obs/atomic_file.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace v6::obs {
+
+bool atomic_write_file(const std::string& path, const std::string& content) {
+    // The temp file must live on the same filesystem as `path` for
+    // rename() to be atomic, so it is a sibling, uniquified by pid (two
+    // processes dumping to the same path race to a rename, which is
+    // still last-writer-wins per whole file — the property we want).
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) return false;
+        out << content;
+        out.flush();
+        if (!out) {
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+}  // namespace v6::obs

@@ -1,0 +1,195 @@
+#include "v6class/obs/dashboard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace v6::obs {
+
+namespace {
+
+/// HTML text escaping for the few metacharacters that matter.
+std::string html_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+            case '&': out += "&amp;"; break;
+            case '<': out += "&lt;"; break;
+            case '>': out += "&gt;"; break;
+            case '"': out += "&quot;"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string format_uptime(double seconds) {
+    char buf[64];
+    if (seconds < 120) {
+        std::snprintf(buf, sizeof buf, "%.0fs", seconds);
+    } else if (seconds < 7200) {
+        std::snprintf(buf, sizeof buf, "%.0fm%02.0fs", seconds / 60,
+                      std::fmod(seconds, 60));
+    } else {
+        std::snprintf(buf, sizeof buf, "%.0fh%02.0fm", seconds / 3600,
+                      std::fmod(seconds, 3600) / 60);
+    }
+    return buf;
+}
+
+const char* kStyle = R"(
+ body{font:14px/1.45 system-ui,sans-serif;margin:0;background:#11151a;color:#d7dde4}
+ header{display:flex;align-items:baseline;gap:1em;padding:12px 20px;border-bottom:1px solid #2a313a}
+ header h1{font-size:17px;margin:0}
+ .status{padding:1px 8px;border-radius:9px;font-size:12px;background:#1f4d2e;color:#9fe0b2}
+ .status.draining{background:#5a4214;color:#f0cf8a}
+ .status.starting{background:#203a55;color:#9cc6f0}
+ .stats{display:flex;flex-wrap:wrap;gap:20px;padding:10px 20px;color:#9aa7b4}
+ .stats b{color:#d7dde4;font-variant-numeric:tabular-nums}
+ .grid{display:grid;grid-template-columns:repeat(auto-fill,minmax(240px,1fr));gap:12px;padding:8px 20px 20px}
+ .tile{background:#171c23;border:1px solid #2a313a;border-radius:8px;padding:10px 12px}
+ .tile.alarmed{border-color:#a4502e}
+ .tile .name{font-size:12px;color:#9aa7b4}
+ .tile .val{font-size:20px;font-variant-numeric:tabular-nums}
+ .tile .help{font-size:11px;color:#6d7884}
+ .tile svg{display:block;margin-top:6px}
+ .spark{stroke:#5aa9e6;fill:none;stroke-width:1.5}
+ .alarmed .spark{stroke:#e6835a}
+ .sparkfill{fill:#5aa9e622;stroke:none}
+ .alarmed .sparkfill{fill:#e6835a22}
+ h2{font-size:13px;color:#9aa7b4;margin:4px 20px}
+ table{border-collapse:collapse;margin:0 20px 24px;font-size:13px}
+ td,th{padding:3px 14px 3px 0;text-align:left;vertical-align:top}
+ th{color:#6d7884;font-weight:normal}
+ .lvl-warn{color:#f0cf8a}.lvl-error{color:#f09a8a}.lvl-info{color:#9cc6f0}
+ .fields{color:#6d7884;font-family:ui-monospace,monospace;font-size:12px}
+ .empty{color:#6d7884;margin:0 20px 24px}
+)";
+
+}  // namespace
+
+std::string dashboard_value(double v) {
+    char buf[48];
+    if (std::abs(v) < 1e15 &&
+        v == static_cast<double>(static_cast<long long>(v)))
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    else
+        std::snprintf(buf, sizeof buf, "%.4g", v);
+    return buf;
+}
+
+std::string svg_sparkline(const std::vector<double>& values, unsigned width,
+                          unsigned height) {
+    char head[160];
+    std::snprintf(head, sizeof head,
+                  "<svg width=\"%u\" height=\"%u\" viewBox=\"0 0 %u %u\" "
+                  "preserveAspectRatio=\"none\">",
+                  width, height, width, height);
+    std::string out = head;
+    const double pad = 2.0;
+    double lo = 0.0, hi = 1.0;
+    if (!values.empty()) {
+        lo = *std::min_element(values.begin(), values.end());
+        hi = *std::max_element(values.begin(), values.end());
+    }
+    if (hi - lo < 1e-12) {  // flat (or empty) series: centred line
+        lo -= 1.0;
+        hi += 1.0;
+    }
+    const std::size_t n = std::max<std::size_t>(values.size(), 2);
+    auto x_of = [&](std::size_t i) {
+        return pad + (width - 2 * pad) * static_cast<double>(i) /
+                         static_cast<double>(n - 1);
+    };
+    auto y_of = [&](double v) {
+        return pad + (height - 2 * pad) * (1.0 - (v - lo) / (hi - lo));
+    };
+    std::string points;
+    char pt[48];
+    if (values.empty()) {
+        std::snprintf(pt, sizeof pt, "%.1f,%.1f %.1f,%.1f", x_of(0),
+                      y_of(0.0), x_of(1), y_of(0.0));
+        points = pt;
+    } else if (values.size() == 1) {
+        std::snprintf(pt, sizeof pt, "%.1f,%.1f %.1f,%.1f", x_of(0),
+                      y_of(values[0]), x_of(1), y_of(values[0]));
+        points = pt;
+    } else {
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            std::snprintf(pt, sizeof pt, "%s%.1f,%.1f", i ? " " : "", x_of(i),
+                          y_of(values[i]));
+            points += pt;
+        }
+    }
+    // Soft area fill under the line, then the line itself.
+    char base[48];
+    std::snprintf(base, sizeof base, " %.1f,%u %.1f,%u",
+                  x_of(values.empty() ? 1 : std::max<std::size_t>(values.size(), 2) - 1),
+                  height, x_of(0), height);
+    out += "<polygon class=\"sparkfill\" points=\"" + points + base + "\"/>";
+    out += "<polyline class=\"spark\" points=\"" + points + "\"/>";
+    out += "</svg>";
+    return out;
+}
+
+std::string render_dashboard(const dashboard_model& model) {
+    std::string out = "<!doctype html><html><head><meta charset=\"utf-8\">";
+    if (model.refresh_seconds)
+        out += "<meta http-equiv=\"refresh\" content=\"" +
+               std::to_string(model.refresh_seconds) + "\">";
+    out += "<title>" + html_escape(model.title) + "</title><style>";
+    out += kStyle;
+    out += "</style></head><body>";
+
+    out += "<header><h1>" + html_escape(model.title) + "</h1>";
+    out += "<span class=\"status " + html_escape(model.status) + "\">" +
+           html_escape(model.status) + "</span>";
+    out += "<span class=\"stats\">up " + format_uptime(model.uptime_seconds) +
+           "</span></header>";
+
+    out += "<div class=\"stats\">";
+    for (const dashboard_stat& s : model.stats)
+        out += "<span>" + html_escape(s.name) + " <b>" +
+               html_escape(s.value) + "</b></span>";
+    out += "</div>";
+
+    out += "<div class=\"grid\">";
+    for (const dashboard_series& s : model.series) {
+        out += s.alarmed ? "<div class=\"tile alarmed\">" : "<div class=\"tile\">";
+        out += "<div class=\"name\">" + html_escape(s.name) + "</div>";
+        out += "<div class=\"val\">" + dashboard_value(s.current) + "</div>";
+        out += svg_sparkline(s.history, 216, 36);
+        out += "<div class=\"help\">" + html_escape(s.help) + "</div>";
+        out += "</div>";
+    }
+    out += "</div>";
+
+    out += "<h2>recent events</h2>";
+    if (model.events.empty()) {
+        out += "<p class=\"empty\">none</p>";
+    } else {
+        out += "<table><tr><th>#</th><th>level</th><th>kind</th>"
+               "<th>message</th><th>fields</th></tr>";
+        // Newest first: what an operator glances at.
+        for (auto it = model.events.rbegin(); it != model.events.rend(); ++it) {
+            const event& e = *it;
+            out += "<tr><td>" + std::to_string(e.seq) + "</td>";
+            out += std::string("<td class=\"lvl-") + event_level_name(e.level) +
+                   "\">" + event_level_name(e.level) + "</td>";
+            out += "<td>" + html_escape(e.kind) + "</td>";
+            out += "<td>" + html_escape(e.message) + "</td><td class=\"fields\">";
+            for (std::size_t i = 0; i < e.fields.size(); ++i) {
+                if (i) out += " ";
+                out += html_escape(e.fields[i].first) + "=" +
+                       html_escape(e.fields[i].second);
+            }
+            out += "</td></tr>";
+        }
+        out += "</table>";
+    }
+    out += "</body></html>";
+    return out;
+}
+
+}  // namespace v6::obs

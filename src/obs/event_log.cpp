@@ -1,0 +1,114 @@
+#include "v6class/obs/event_log.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "v6class/obs/atomic_file.h"
+
+namespace v6::obs {
+
+namespace {
+
+/// JSON string escaping; same character set the metrics exporters use.
+std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '\\' || c == '"') {
+            out += '\\';
+            out += c;
+        } else if (c == '\n') {
+            out += "\\n";
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+const char* event_level_name(event_level level) noexcept {
+    switch (level) {
+        case event_level::info: return "info";
+        case event_level::warn: return "warn";
+        case event_level::error: return "error";
+    }
+    return "info";
+}
+
+std::string event_field_number(double v) {
+    char buf[64];
+    // %.17g round-trips but is noisy; %.12g is plenty for event payloads.
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    return buf;
+}
+
+std::string event_field_string(const std::string& v) {
+    return "\"" + escape(v) + "\"";
+}
+
+std::string event_json(const event& e) {
+    char head[96];
+    std::snprintf(head, sizeof head, "{\"seq\":%llu,\"time\":%.3f,",
+                  static_cast<unsigned long long>(e.seq), e.unix_time);
+    std::string out = head;
+    out += "\"level\":\"";
+    out += event_level_name(e.level);
+    out += "\",\"kind\":\"" + escape(e.kind) + "\",\"message\":\"" +
+           escape(e.message) + "\",\"fields\":{";
+    for (std::size_t i = 0; i < e.fields.size(); ++i) {
+        if (i) out += ',';
+        out += "\"" + escape(e.fields[i].first) + "\":" + e.fields[i].second;
+    }
+    out += "}}";
+    return out;
+}
+
+void event_log::log(event_level level, std::string kind, std::string message,
+                    event_fields fields) {
+    event e;
+    e.unix_time = std::chrono::duration<double>(
+                      std::chrono::system_clock::now().time_since_epoch())
+                      .count();
+    e.level = level;
+    e.kind = std::move(kind);
+    e.message = std::move(message);
+    e.fields = std::move(fields);
+    std::lock_guard lock(mutex_);
+    e.seq = ++total_;
+    events_.push_back(std::move(e));
+    if (events_.size() > keep_) events_.pop_front();
+}
+
+std::uint64_t event_log::total() const {
+    std::lock_guard lock(mutex_);
+    return total_;
+}
+
+std::vector<event> event_log::recent(std::size_t n) const {
+    std::lock_guard lock(mutex_);
+    const std::size_t count = std::min(n, events_.size());
+    return {events_.end() - static_cast<std::ptrdiff_t>(count), events_.end()};
+}
+
+std::string event_log::json_lines() const {
+    std::lock_guard lock(mutex_);
+    std::string out;
+    for (const event& e : events_) {
+        out += event_json(e);
+        out += '\n';
+    }
+    return out;
+}
+
+bool event_log::dump(const std::string& path) const {
+    return atomic_write_file(path, json_lines());
+}
+
+event_log& event_log::global() {
+    static event_log log;
+    return log;
+}
+
+}  // namespace v6::obs

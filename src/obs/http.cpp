@@ -11,6 +11,10 @@ bool metrics_server::start(std::uint16_t, const registry*, std::string* error) {
 }
 void metrics_server::stop() {}
 void metrics_server::serve_loop() {}
+void metrics_server::set_state(const std::string&) {}
+std::string metrics_server::state() const { return "starting"; }
+double metrics_server::uptime_seconds() const { return 0.0; }
+std::string metrics_server::health_json() const { return "{}"; }
 }  // namespace v6::obs
 
 #else
@@ -21,6 +25,7 @@ void metrics_server::serve_loop() {}
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 namespace v6::obs {
@@ -53,6 +58,37 @@ std::string http_response(const char* status, const char* content_type,
 
 }  // namespace
 
+void metrics_server::set_state(const std::string& state) {
+    std::lock_guard lock(state_mutex_);
+    state_ = state;
+}
+
+std::string metrics_server::state() const {
+    std::lock_guard lock(state_mutex_);
+    return state_;
+}
+
+double metrics_server::uptime_seconds() const {
+    std::lock_guard lock(state_mutex_);
+    if (started_ == std::chrono::steady_clock::time_point{}) return 0.0;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         started_)
+        .count();
+}
+
+std::string metrics_server::health_json() const {
+    char head[96];
+    std::snprintf(head, sizeof head, "\",\"uptime_seconds\":%.3f",
+                  uptime_seconds());
+    std::string body = "{\"status\":\"" + state() + head;
+    if (health_) {
+        const std::string extra = health_();
+        if (!extra.empty()) body += "," + extra;
+    }
+    body += "}\n";
+    return body;
+}
+
 bool metrics_server::start(std::uint16_t port, const registry* reg,
                            std::string* error) {
     reg_ = reg;
@@ -77,6 +113,11 @@ bool metrics_server::start(std::uint16_t port, const registry* reg,
     socklen_t len = sizeof addr;
     if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
         port_ = ntohs(addr.sin_port);
+    {
+        std::lock_guard lock(state_mutex_);
+        started_ = std::chrono::steady_clock::now();
+        if (state_ == "starting") state_ = "serving";
+    }
     running_.store(true);
     thread_ = std::thread([this] { serve_loop(); });
     return true;
@@ -110,9 +151,12 @@ void metrics_server::serve_loop() {
                              "text/plain; version=0.0.4; charset=utf-8",
                              reg_ ? reg_->prometheus_text() : std::string{}));
             } else if (path == "/healthz") {
-                std::string body = "ok\n";
-                if (health_) body += health_();
-                send_all(client, http_response("200 OK", "text/plain", body));
+                send_all(client, http_response("200 OK", "application/json",
+                                               health_json()));
+            } else if ((path == "/dashboard" || path == "/") && dashboard_) {
+                send_all(client,
+                         http_response("200 OK", "text/html; charset=utf-8",
+                                       dashboard_()));
             } else {
                 send_all(client, http_response("404 Not Found", "text/plain",
                                                "not found\n"));

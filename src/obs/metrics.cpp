@@ -2,7 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
+
+#include "v6class/obs/atomic_file.h"
 
 namespace v6::obs {
 
@@ -20,7 +21,7 @@ registry& registry::global() {
 
 detail::series* registry::intern(const std::string& name, metric_kind kind,
                                  label_list labels, const std::string& help,
-                                 std::vector<double> bounds) {
+                                 std::vector<double> bounds, bool fp) {
     std::lock_guard lock(mutex_);
     for (detail::series& s : series_)
         if (s.name == name && s.labels == labels) return &s;
@@ -29,6 +30,7 @@ detail::series* registry::intern(const std::string& name, metric_kind kind,
     s.help = help;
     s.kind = kind;
     s.labels = std::move(labels);
+    s.fp = fp;
     if (kind == metric_kind::histogram) {
         s.bounds = bounds.empty() ? latency_buckets() : std::move(bounds);
         s.buckets =
@@ -46,6 +48,12 @@ counter registry::get_counter(const std::string& name, label_list labels,
 gauge registry::get_gauge(const std::string& name, label_list labels,
                           const std::string& help) {
     return gauge(intern(name, metric_kind::gauge, std::move(labels), help, {}));
+}
+
+dgauge registry::get_dgauge(const std::string& name, label_list labels,
+                            const std::string& help) {
+    return dgauge(intern(name, metric_kind::gauge, std::move(labels), help, {},
+                         /*fp=*/true));
 }
 
 histogram registry::get_histogram(const std::string& name,
@@ -122,6 +130,14 @@ std::string prometheus_labels_plus(const label_list& labels,
     return prometheus_labels(with);
 }
 
+/// The scalar value of a counter/gauge series, formatted: double-bit
+/// gauges print as doubles, everything else as the integer it is.
+std::string scalar_value(const detail::series& s) {
+    const std::int64_t raw = s.value.load(std::memory_order_relaxed);
+    if (s.fp) return format_double(std::bit_cast<double>(raw));
+    return std::to_string(raw);
+}
+
 const char* kind_name(metric_kind k) {
     switch (k) {
         case metric_kind::counter: return "counter";
@@ -181,8 +197,7 @@ std::string registry::prometheus_text() const {
                    "\n";
         } else {
             out += s->name + prometheus_labels(s->labels) + " " +
-                   std::to_string(s->value.load(std::memory_order_relaxed)) +
-                   "\n";
+                   scalar_value(*s) + "\n";
         }
     }
     return out;
@@ -220,8 +235,7 @@ std::string registry::json_text() const {
             }
             out += "]";
         } else {
-            out += ",\"value\":" +
-                   std::to_string(s.value.load(std::memory_order_relaxed));
+            out += ",\"value\":" + scalar_value(s);
         }
         out += "}";
     }
@@ -230,13 +244,11 @@ std::string registry::json_text() const {
 }
 
 bool registry::write_file(const std::string& path) const {
-    std::ofstream out(path);
-    if (!out) return false;
     const bool prom =
         path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
-    out << (prom ? prometheus_text() : json_text());
-    if (!prom) out << '\n';
-    return static_cast<bool>(out);
+    std::string content = prom ? prometheus_text() : json_text();
+    if (!prom) content += '\n';
+    return atomic_write_file(path, content);
 }
 
 }  // namespace v6::obs

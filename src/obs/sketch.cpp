@@ -1,0 +1,161 @@
+#include "v6class/obs/sketch.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace v6::obs {
+
+namespace {
+
+/// MurmurHash3 fmix64: full-avalanche finalizer so the register index
+/// and the leading-zero rank are independent even when the caller's
+/// hash mixes its low bits better than its high ones (FNV-1a does).
+std::uint64_t fmix64(std::uint64_t h) noexcept {
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ull;
+    h ^= h >> 33;
+    return h;
+}
+
+/// The alpha_m bias constant of the raw HLL estimator.
+double hll_alpha(std::size_t m) noexcept {
+    if (m == 16) return 0.673;
+    if (m == 32) return 0.697;
+    if (m == 64) return 0.709;
+    return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+}
+
+}  // namespace
+
+hyperloglog::hyperloglog(unsigned precision)
+    : precision_(std::clamp(precision, 4u, 18u)),
+      registers_(std::size_t{1} << precision_, 0) {}
+
+void hyperloglog::add(std::uint64_t hash) noexcept {
+    const std::uint64_t h = fmix64(hash);
+    const std::size_t index = h & (registers_.size() - 1);
+    // Rank: position of the first 1-bit in the remaining 64 - p bits.
+    const std::uint64_t rest = h >> precision_;
+    const unsigned rank =
+        rest == 0 ? static_cast<unsigned>(65 - precision_)
+                  : static_cast<unsigned>(std::countr_zero(rest)) + 1;
+    if (rank > registers_[index])
+        registers_[index] = static_cast<std::uint8_t>(rank);
+}
+
+double hyperloglog::estimate() const noexcept {
+    const auto m = static_cast<double>(registers_.size());
+    double inverse_sum = 0.0;
+    std::size_t zeros = 0;
+    for (const std::uint8_t r : registers_) {
+        inverse_sum += std::ldexp(1.0, -static_cast<int>(r));
+        if (r == 0) ++zeros;
+    }
+    const double raw = hll_alpha(registers_.size()) * m * m / inverse_sum;
+    // Small-range correction: below 2.5m the raw estimator is biased;
+    // linear counting over the empty registers is better.
+    if (raw <= 2.5 * m && zeros > 0)
+        return m * std::log(m / static_cast<double>(zeros));
+    return raw;
+}
+
+void hyperloglog::merge(const hyperloglog& other) noexcept {
+    if (other.registers_.size() != registers_.size()) return;
+    for (std::size_t i = 0; i < registers_.size(); ++i)
+        registers_[i] = std::max(registers_[i], other.registers_[i]);
+}
+
+void hyperloglog::reset() noexcept {
+    std::fill(registers_.begin(), registers_.end(), std::uint8_t{0});
+}
+
+// ---------------------------------------------------------- p2_quantile
+
+p2_quantile::p2_quantile(double q) : q_(std::clamp(q, 1e-6, 1.0 - 1e-6)) {
+    reset();
+}
+
+void p2_quantile::reset() noexcept {
+    count_ = 0;
+    for (int i = 0; i < 5; ++i) height_[i] = position_[i] = 0.0;
+    desired_[0] = 1.0;
+    desired_[1] = 1.0 + 2.0 * q_;
+    desired_[2] = 1.0 + 4.0 * q_;
+    desired_[3] = 3.0 + 2.0 * q_;
+    desired_[4] = 5.0;
+    increment_[0] = 0.0;
+    increment_[1] = q_ / 2.0;
+    increment_[2] = q_;
+    increment_[3] = (1.0 + q_) / 2.0;
+    increment_[4] = 1.0;
+}
+
+void p2_quantile::observe(double x) noexcept {
+    if (count_ < 5) {
+        height_[count_++] = x;
+        if (count_ == 5) {
+            std::sort(height_, height_ + 5);
+            for (int i = 0; i < 5; ++i) position_[i] = i + 1;
+        }
+        return;
+    }
+    ++count_;
+
+    // Which cell the observation lands in; stretch the extremes.
+    int cell;
+    if (x < height_[0]) {
+        height_[0] = x;
+        cell = 0;
+    } else if (x >= height_[4]) {
+        height_[4] = x;
+        cell = 3;
+    } else {
+        cell = 0;
+        while (cell < 3 && x >= height_[cell + 1]) ++cell;
+    }
+    for (int i = cell + 1; i < 5; ++i) position_[i] += 1.0;
+    for (int i = 0; i < 5; ++i) desired_[i] += increment_[i];
+
+    // Nudge the three interior markers toward their desired positions
+    // with the parabolic (P²) formula, falling back to linear when the
+    // parabola would cross a neighbour.
+    for (int i = 1; i <= 3; ++i) {
+        const double d = desired_[i] - position_[i];
+        if ((d >= 1.0 && position_[i + 1] - position_[i] > 1.0) ||
+            (d <= -1.0 && position_[i - 1] - position_[i] < -1.0)) {
+            const double sign = d >= 0 ? 1.0 : -1.0;
+            const double below = position_[i] - position_[i - 1];
+            const double above = position_[i + 1] - position_[i];
+            const double parabolic =
+                height_[i] +
+                sign / (position_[i + 1] - position_[i - 1]) *
+                    ((below + sign) * (height_[i + 1] - height_[i]) / above +
+                     (above - sign) * (height_[i] - height_[i - 1]) / below);
+            if (height_[i - 1] < parabolic && parabolic < height_[i + 1]) {
+                height_[i] = parabolic;
+            } else {
+                const int j = i + (sign > 0 ? 1 : -1);
+                height_[i] += sign * (height_[j] - height_[i]) /
+                              (position_[j] - position_[i]);
+            }
+            position_[i] += sign;
+        }
+    }
+}
+
+double p2_quantile::value() const noexcept {
+    if (count_ == 0) return 0.0;
+    if (count_ >= 5) return height_[2];
+    // Fewer than five samples: exact quantile over the sorted buffer.
+    double sorted[5];
+    std::copy(height_, height_ + count_, sorted);
+    std::sort(sorted, sorted + count_);
+    const auto rank = static_cast<std::size_t>(
+        q_ * static_cast<double>(count_ - 1) + 0.5);
+    return sorted[rank];
+}
+
+}  // namespace v6::obs

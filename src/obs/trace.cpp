@@ -2,10 +2,11 @@
 
 #include <atomic>
 #include <cstdio>
-#include <fstream>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "v6class/obs/atomic_file.h"
 
 namespace v6::obs {
 
@@ -30,21 +31,21 @@ struct trace_state {
 
     bool write_locked() {
         if (path.empty()) return false;
-        std::ofstream out(path);
-        if (!out) return false;
-        out << "[";
+        std::string out = "[";
         for (std::size_t i = 0; i < events.size(); ++i) {
             const trace_event& e = events[i];
-            if (i) out << ",\n ";
+            if (i) out += ",\n ";
             char buf[160];
             std::snprintf(buf, sizeof buf,
                           "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,"
                           "\"tid\":%zu,\"ts\":%.3f,\"dur\":%.3f}",
                           e.name.c_str(), e.tid, e.ts_us, e.dur_us);
-            out << buf;
+            out += buf;
         }
-        out << "]\n";
-        return static_cast<bool>(out);
+        out += "]\n";
+        // Atomic replace: a periodic flush can race a reader loading the
+        // trace into a viewer; it must always see a complete JSON array.
+        return atomic_write_file(path, out);
     }
 };
 

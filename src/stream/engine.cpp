@@ -67,11 +67,76 @@ void stream_engine::init_metrics() {
         "Time to recompute a day report (overlaps next-day ingest).");
 }
 
+void stream_engine::init_live() {
+    // Domain-level (classification) series live in the v6class_*
+    // namespace, infrastructure series in v6_stream_* — see DESIGN.md
+    // "Observability". Each gets a ring history and a drift detector.
+    obs::registry& reg = *metrics_;
+    drift_events_ = reg.get_counter(
+        "v6class_drift_events_total", {},
+        "Drift alarms raised over the live derived series.");
+    const auto add = [&](std::string name, const std::string& metric,
+                         std::string help, obs::label_list labels = {}) {
+        live_.emplace_back(std::move(name), help,
+                           reg.get_dgauge(metric, std::move(labels), help),
+                           cfg_.history, cfg_.drift);
+        return live_.size() - 1;
+    };
+    li_gamma1_ = add("gamma1@64", "v6class_gamma1_64",
+                     "MRA count ratio gamma^1 at p=64 (n_65 / n_64): how "
+                     "eagerly /64s split one level down.");
+    li_gamma4_ = add("gamma4@60", "v6class_gamma4_60",
+                     "MRA count ratio gamma^4 at p=60 (n_64 / n_60): /64s "
+                     "per active /60.");
+    li_gamma16_ = add("gamma16@48", "v6class_gamma16_48",
+                      "MRA count ratio gamma^16 at p=48 (n_64 / n_48): /64s "
+                      "per active /48 site.");
+    li_stable_fraction_ =
+        add("stable_fraction", "v6class_stable_fraction",
+            "nd-stable share of the classified day's active addresses.");
+    li_active_ = add("active", "v6class_active_addresses",
+                     "Addresses active on the classified day.");
+    li_hits_p50_ = add("hits_p50", "v6class_hits_p50",
+                       "P2-estimated median of per-record hit counts.");
+    li_hits_p99_ = add("hits_p99", "v6class_hits_p99",
+                       "P2-estimated 99th percentile of per-record hit "
+                       "counts.");
+    li_dense_first_ = live_.size();
+    for (const auto& [n, p] : cfg_.density_classes) {
+        const std::string klass = std::to_string(n) + "@" + std::to_string(p);
+        add("dense " + std::to_string(n) + "@/" + std::to_string(p),
+            "v6class_dense_prefixes",
+            "Prefixes meeting the " + klass + " density class.",
+            {{"class", klass}});
+    }
+    li_est_first_ = live_.size();
+    if (cfg_.sketches) {
+        add("day_addrs_est", "v6class_day_distinct_addresses_estimate",
+            "HLL estimate of the sealed day's distinct addresses.");
+        add("day_48s_est", "v6class_day_distinct_48s_estimate",
+            "HLL estimate of the sealed day's distinct /48 prefixes.");
+        add("day_64s_est", "v6class_day_distinct_64s_estimate",
+            "HLL estimate of the sealed day's distinct /64 prefixes.");
+    }
+}
+
 stream_engine::stream_engine(stream_config cfg)
     : cfg_(std::move(cfg)), projected_store_(cfg_.projected_length) {
     if (cfg_.shards == 0) cfg_.shards = 1;
     if (cfg_.batch_size == 0) cfg_.batch_size = 1;
     init_metrics();
+    if (cfg_.events) {
+        events_ = cfg_.events;
+    } else {
+        own_events_ = std::make_unique<obs::event_log>();
+        events_ = own_events_.get();
+    }
+    init_live();
+    if (cfg_.sketches) {
+        shard_sketches_.reserve(cfg_.shards);
+        for (unsigned i = 0; i < cfg_.shards; ++i)
+            shard_sketches_.emplace_back(cfg_.hll_precision);
+    }
     shards_.reserve(cfg_.shards);
     queues_.reserve(cfg_.shards);
     staging_.resize(cfg_.shards);
@@ -123,6 +188,12 @@ void stream_engine::push(const stream_record& r) {
     }
     m_.records.inc();
     m_.hits.inc(r.hits);
+    if (cfg_.sketches && ++quantile_tick_ >= cfg_.quantile_sample) {
+        quantile_tick_ = 0;
+        const auto h = static_cast<double>(r.hits);
+        hits_p50_.observe(h);
+        hits_p99_.observe(h);
+    }
     const unsigned shard = shard_of(r.addr);
     staging_[shard].push_back(r);
     if (staging_[shard].size() >= cfg_.batch_size) flush_shard_locked(shard);
@@ -157,6 +228,13 @@ void stream_engine::flush_shard_locked(unsigned shard) {
 }
 
 void stream_engine::broadcast_seal_locked(int day) {
+    if (cfg_.sketches) {
+        // Publish the quantile snapshots the roll thread will fold into
+        // this seal's live series (it cannot read the estimators
+        // directly; see the member comment).
+        hits_p50_pub_.store(hits_p50_.value(), std::memory_order_release);
+        hits_p99_pub_.store(hits_p99_.value(), std::memory_order_release);
+    }
     for (unsigned i = 0; i < cfg_.shards; ++i) {
         shard_message msg;
         msg.k = shard_message::kind::seal;
@@ -202,6 +280,26 @@ void stream_engine::worker_loop(unsigned shard) {
             m_.queue_depth[shard].set(
                 static_cast<std::int64_t>(queues_[shard]->size()));
         if (msg->k == shard_message::kind::batch) {
+            if (cfg_.sketches) {
+                // The day sketches ride the worker, not the pusher: the
+                // hashing parallelizes across shards and stays off the
+                // feed thread (bench/micro_sketch prices this). One
+                // FNV-1a walk over the 16 bytes, snapshotted at the /48
+                // and /64 boundaries, yields all three sketch hashes
+                // without masked-address copies.
+                day_sketches& sk = shard_sketches_[shard];
+                for (const stream_record& r : msg->batch) {
+                    const auto& b = r.addr.bytes();
+                    std::uint64_t h = 1469598103934665603ull;
+                    std::size_t i = 0;
+                    for (; i < 6; ++i) h = (h ^ b[i]) * 1099511628211ull;
+                    sk.p48s.add(h);
+                    for (; i < 8; ++i) h = (h ^ b[i]) * 1099511628211ull;
+                    sk.p64s.add(h);
+                    for (; i < 16; ++i) h = (h ^ b[i]) * 1099511628211ull;
+                    sk.addresses.add(h);
+                }
+            }
             for (const stream_record& r : msg->batch) shards_[shard]->buffer(r);
             continue;
         }
@@ -255,6 +353,7 @@ void stream_engine::roll_loop() {
                 active.insert(active.end(), day_set.begin(), day_set.end());
             }
             projected_store_.record_day(day, active);
+            if (cfg_.sketches) last_estimates_ = merge_day_sketches();
             sealed_day_ = day;
             std::size_t distinct = 0;
             for (const auto& s : shards_) distinct += s->distinct_addresses();
@@ -278,6 +377,7 @@ void stream_engine::roll_loop() {
             obs::trace_scope span("build_report", m_.report_build);
             report = build_report(day);
         }
+        update_live(report);
         {
             std::lock_guard lock(reports_mutex_);
             reports_.push_back(std::move(report));
@@ -300,8 +400,100 @@ day_report stream_engine::build_report(int day) const {
     }
     report.distinct_projected = projected_store_.distinct_count();
     report.active = report.stable + report.not_stable;
-    report.density = compute_density_table(merged_tree_locked(), cfg_.density_classes);
+    const radix_tree merged = merged_tree_locked();
+    report.density = compute_density_table(merged, cfg_.density_classes);
+    // The live derived series: MRA ratios around the /64 boundary from
+    // the same merged trie the density table used.
+    const mra_series mra = compute_mra_from_trie(merged);
+    report.gamma1 = mra.ratio(64, 1);
+    report.gamma4 = mra.ratio(60, 4);
+    report.gamma16 = mra.ratio(48, 16);
+    report.stable_fraction =
+        report.active ? static_cast<double>(report.stable) /
+                            static_cast<double>(report.active)
+                      : 0.0;
+    report.est_day_addresses = last_estimates_.addresses;
+    report.est_day_48s = last_estimates_.p48s;
+    report.est_day_64s = last_estimates_.p64s;
     return report;
+}
+
+stream_engine::day_estimates stream_engine::merge_day_sketches() {
+    // Roll thread, exclusive section: every worker is parked at this
+    // day's seal marker, so their sketch sets are quiescent (the
+    // roll_mutex_ handshake ordered their writes before ours) and the
+    // reset below is published to them the same way.
+    obs::hyperloglog addresses(cfg_.hll_precision);
+    obs::hyperloglog p48s(cfg_.hll_precision);
+    obs::hyperloglog p64s(cfg_.hll_precision);
+    for (day_sketches& sk : shard_sketches_) {
+        addresses.merge(sk.addresses);
+        p48s.merge(sk.p48s);
+        p64s.merge(sk.p64s);
+        sk.addresses.reset();
+        sk.p48s.reset();
+        sk.p64s.reset();
+    }
+    return {addresses.estimate(), p48s.estimate(), p64s.estimate()};
+}
+
+void stream_engine::update_live(const day_report& report) {
+    std::lock_guard lock(live_mutex_);
+    const auto feed = [&](std::size_t idx, double v) {
+        live_series& s = live_[idx];
+        s.history.push(v);
+        s.gauge.set(v);
+        const std::optional<obs::ewma_detector::alarm> a = s.detector.update(v);
+        s.alarmed = a.has_value();
+        if (a) {
+            drift_events_.inc();
+            events_->log(
+                obs::event_level::warn, "drift",
+                s.name + " shifted from " + std::to_string(a->mean) + " to " +
+                    std::to_string(a->value),
+                {{"series", obs::event_field_string(s.name)},
+                 {"day", obs::event_field_number(report.day)},
+                 {"value", obs::event_field_number(a->value)},
+                 {"mean", obs::event_field_number(a->mean)},
+                 {"sigma", obs::event_field_number(a->sigma)},
+                 {"z", obs::event_field_number(a->z)}});
+        }
+    };
+    feed(li_gamma1_, report.gamma1);
+    feed(li_gamma4_, report.gamma4);
+    feed(li_gamma16_, report.gamma16);
+    feed(li_stable_fraction_, report.stable_fraction);
+    feed(li_active_, static_cast<double>(report.active));
+    feed(li_hits_p50_, hits_p50_pub_.load(std::memory_order_acquire));
+    feed(li_hits_p99_, hits_p99_pub_.load(std::memory_order_acquire));
+    for (std::size_t i = 0; i < report.density.size(); ++i)
+        feed(li_dense_first_ + i,
+             static_cast<double>(report.density[i].dense_prefix_count));
+    if (cfg_.sketches) {
+        feed(li_est_first_ + 0, report.est_day_addresses);
+        feed(li_est_first_ + 1, report.est_day_48s);
+        feed(li_est_first_ + 2, report.est_day_64s);
+    }
+}
+
+live_view stream_engine::live(std::size_t events_n) const {
+    live_view view;
+    view.epoch = sealed_day();
+    {
+        std::lock_guard lock(live_mutex_);
+        view.series.reserve(live_.size());
+        for (const live_series& s : live_) {
+            live_series_view v;
+            v.name = s.name;
+            v.help = s.help;
+            v.current = s.history.size() ? s.history.back() : 0.0;
+            v.alarmed = s.alarmed;
+            v.history = s.history.values();
+            view.series.push_back(std::move(v));
+        }
+    }
+    view.events = events_->recent(events_n);
+    return view;
 }
 
 // -------------------------------------------------------------- queries

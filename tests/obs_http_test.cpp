@@ -71,20 +71,61 @@ TEST_F(ObsHttpTest, MetricsReflectLiveUpdates) {
     EXPECT_NE(response.find("t_requests_total 20"), std::string::npos);
 }
 
-TEST_F(ObsHttpTest, HealthzAnswersOk) {
+TEST_F(ObsHttpTest, HealthzIsJsonWithStatusAndUptime) {
     const std::string response = http_get(server_.port(), "/healthz");
     EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
-    EXPECT_NE(response.find("ok"), std::string::npos);
+    EXPECT_NE(response.find("application/json"), std::string::npos);
+    EXPECT_NE(response.find("\"status\":\"serving\""), std::string::npos);
+    EXPECT_NE(response.find("\"uptime_seconds\":"), std::string::npos);
 }
 
-TEST_F(ObsHttpTest, HealthzIncludesCallerPayload) {
+TEST_F(ObsHttpTest, HealthzReflectsDrainingState) {
+    server_.set_state("draining");
+    const std::string response = http_get(server_.port(), "/healthz");
+    EXPECT_NE(response.find("\"status\":\"draining\""), std::string::npos);
+    EXPECT_EQ(server_.state(), "draining");
+}
+
+TEST_F(ObsHttpTest, HealthzIncludesCallerFields) {
     obs::metrics_server with_payload;
-    with_payload.set_health_payload([] { return std::string("records=7\n"); });
+    with_payload.set_health_payload(
+        [] { return std::string("\"last_seal_day\":12,\"records\":7"); });
     std::string error;
     ASSERT_TRUE(with_payload.start(0, &reg_, &error)) << error;
     const std::string response = http_get(with_payload.port(), "/healthz");
-    EXPECT_NE(response.find("records=7"), std::string::npos);
+    EXPECT_NE(response.find("\"records\":7"), std::string::npos);
+    EXPECT_NE(response.find("\"last_seal_day\":12"), std::string::npos);
+    // Caller fields live inside the same object as the server's own.
+    EXPECT_NE(response.find("\"status\":\"serving\""), std::string::npos);
     with_payload.stop();
+}
+
+TEST_F(ObsHttpTest, UptimeAdvancesAfterStart) {
+    EXPECT_GE(server_.uptime_seconds(), 0.0);
+    obs::metrics_server unstarted;
+    EXPECT_EQ(unstarted.uptime_seconds(), 0.0);
+    EXPECT_EQ(unstarted.state(), "starting");
+}
+
+TEST_F(ObsHttpTest, DashboardServedWhenRendererInstalled) {
+    obs::metrics_server with_dash;
+    with_dash.set_dashboard(
+        [] { return std::string("<html><svg>spark</svg></html>"); });
+    std::string error;
+    ASSERT_TRUE(with_dash.start(0, &reg_, &error)) << error;
+    const std::string response = http_get(with_dash.port(), "/dashboard");
+    EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(response.find("text/html"), std::string::npos);
+    EXPECT_NE(response.find("<svg>spark</svg>"), std::string::npos);
+    // The root also serves the dashboard.
+    EXPECT_NE(http_get(with_dash.port(), "/").find("<svg>"),
+              std::string::npos);
+    with_dash.stop();
+}
+
+TEST_F(ObsHttpTest, DashboardIs404WithoutRenderer) {
+    const std::string response = http_get(server_.port(), "/dashboard");
+    EXPECT_NE(response.find("404"), std::string::npos);
 }
 
 TEST_F(ObsHttpTest, UnknownPathIs404) {

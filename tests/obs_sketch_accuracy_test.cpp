@@ -1,0 +1,126 @@
+// Statistical accuracy bounds of the streaming sketches, at realistic
+// scale — labeled "slow" in ctest (scripts/check.sh excludes the label
+// under sanitizers; run `ctest -L slow` to exercise these directly).
+//
+//   * HyperLogLog at the engine's default precision (p = 14) must land
+//     within 2% relative error on one million distinct /64 prefixes —
+//     the sketch's actual production diet (standard error at p = 14 is
+//     1.04 / sqrt(2^14) ~ 0.8%, so 2% is ~2.5 sigma of headroom).
+//   * P² must hold rank error <= 1%: the fraction of samples at or
+//     below its estimate stays within one percentage point of the
+//     requested quantile.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "v6class/ip/address.h"
+#include "v6class/obs/sketch.h"
+
+namespace {
+
+using namespace v6;
+
+/// splitmix64: deterministic, dependency-free sample generator.
+std::uint64_t splitmix64(std::uint64_t& state) {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/// An address whose top 64 bits encode `i` (one /64 per i) and whose
+/// interface identifier varies with `salt` — distinct addresses, but
+/// only 2^much-fewer distinct /64s.
+address make_addr(std::uint64_t i, std::uint64_t salt) {
+    std::array<std::uint8_t, 16> bytes{};
+    bytes[0] = 0x20;
+    bytes[1] = 0x01;
+    for (int b = 0; b < 6; ++b)
+        bytes[2 + b] = static_cast<std::uint8_t>(i >> (8 * (5 - b)));
+    for (int b = 0; b < 8; ++b)
+        bytes[8 + b] = static_cast<std::uint8_t>(salt >> (8 * (7 - b)));
+    return address(bytes);
+}
+
+TEST(HllAccuracyTest, MillionDistinct64sWithinTwoPercent) {
+    constexpr std::uint64_t kDistinct = 1'000'000;
+    obs::hyperloglog hll(14);  // the stream_config default
+    for (std::uint64_t i = 0; i < kDistinct; ++i) {
+        // Three addresses per /64 — distinct interface ids must not
+        // inflate the prefix estimate.
+        for (std::uint64_t salt = 1; salt <= 3; ++salt)
+            hll.add(address_hash{}(make_addr(i, salt).masked(64)));
+    }
+    const double estimate = hll.estimate();
+    const double rel_error =
+        std::abs(estimate - static_cast<double>(kDistinct)) / kDistinct;
+    EXPECT_LE(rel_error, 0.02) << "estimate " << estimate;
+}
+
+TEST(HllAccuracyTest, ErrorShrinksWithPrecision) {
+    constexpr std::uint64_t kDistinct = 200'000;
+    double errors[2] = {};
+    const unsigned precisions[2] = {10, 14};
+    for (int t = 0; t < 2; ++t) {
+        obs::hyperloglog hll(precisions[t]);
+        std::uint64_t rng = 7;
+        for (std::uint64_t i = 0; i < kDistinct; ++i) hll.add(splitmix64(rng));
+        errors[t] = std::abs(hll.estimate() - kDistinct) / kDistinct;
+    }
+    // p = 10 has ~3.2% standard error, p = 14 ~0.8%; allow generous
+    // slack but insist the high-precision sketch is the tight one.
+    EXPECT_LE(errors[1], 0.02);
+    EXPECT_LE(errors[1], errors[0] + 0.01);
+}
+
+/// Rank error of a P² estimate against the sample set it was fed: the
+/// empirical CDF at the estimate, minus the requested quantile.
+double rank_error(const std::vector<double>& samples, double estimate,
+                  double q) {
+    const auto at_or_below = static_cast<double>(
+        std::count_if(samples.begin(), samples.end(),
+                      [&](double s) { return s <= estimate; }));
+    return std::abs(at_or_below / static_cast<double>(samples.size()) - q);
+}
+
+TEST(P2AccuracyTest, RankErrorUnderOnePercent) {
+    constexpr std::size_t kSamples = 200'000;
+    const double quantiles[] = {0.5, 0.9, 0.99};
+    for (const double q : quantiles) {
+        obs::p2_quantile p2(q);
+        std::vector<double> samples;
+        samples.reserve(kSamples);
+        std::uint64_t rng = 42;
+        for (std::size_t i = 0; i < kSamples; ++i) {
+            // Heavy-tailed hit-count-like distribution: exp of a
+            // uniform, spanning ~4 decades.
+            const double u =
+                static_cast<double>(splitmix64(rng) >> 11) / 9007199254740992.0;
+            const double x = std::exp(9.0 * u);
+            samples.push_back(x);
+            p2.observe(x);
+        }
+        EXPECT_LE(rank_error(samples, p2.value(), q), 0.01)
+            << "q = " << q << ", estimate " << p2.value();
+    }
+}
+
+TEST(P2AccuracyTest, UniformRampQuantilesAreTight) {
+    constexpr std::size_t kSamples = 100'000;
+    obs::p2_quantile p2(0.9);
+    std::vector<double> samples;
+    samples.reserve(kSamples);
+    std::uint64_t rng = 1234;
+    for (std::size_t i = 0; i < kSamples; ++i) {
+        const double x = static_cast<double>(splitmix64(rng) % 1'000'000);
+        samples.push_back(x);
+        p2.observe(x);
+    }
+    EXPECT_LE(rank_error(samples, p2.value(), 0.9), 0.01);
+}
+
+}  // namespace

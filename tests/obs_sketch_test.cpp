@@ -1,0 +1,123 @@
+// Functional tests of the streaming sketches: HLL semantics (idempotent
+// add, exact union under merge, reset, precision clamping) and the P²
+// quantile estimator's exact-phase and marker-phase behaviour. The
+// statistical error bounds live in obs_sketch_accuracy_test.cpp (the
+// slow-labeled binary).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "v6class/obs/sketch.h"
+
+namespace {
+
+using namespace v6;
+
+TEST(HyperLogLogTest, EmptySketchEstimatesZero) {
+    obs::hyperloglog hll;
+    EXPECT_EQ(hll.estimate(), 0.0);
+}
+
+TEST(HyperLogLogTest, PrecisionControlsRegisterCount) {
+    EXPECT_EQ(obs::hyperloglog(10).register_count(), 1024u);
+    EXPECT_EQ(obs::hyperloglog(14).register_count(), 16384u);
+    // Out-of-range precision clamps instead of allocating absurdly.
+    EXPECT_EQ(obs::hyperloglog(2).precision(), 4u);
+    EXPECT_EQ(obs::hyperloglog(40).precision(), 18u);
+}
+
+TEST(HyperLogLogTest, DuplicatesAreIdempotent) {
+    obs::hyperloglog hll;
+    for (int round = 0; round < 10; ++round)
+        for (std::uint64_t i = 0; i < 100; ++i) hll.add(i);
+    // 1000 adds of 100 distinct values: the estimate tracks distinct
+    // count, and at this range the linear-counting correction makes it
+    // essentially exact.
+    EXPECT_NEAR(hll.estimate(), 100.0, 3.0);
+}
+
+TEST(HyperLogLogTest, SmallRangeIsNearExact) {
+    obs::hyperloglog hll;
+    for (std::uint64_t i = 0; i < 1000; ++i) hll.add(i);
+    EXPECT_NEAR(hll.estimate(), 1000.0, 20.0);
+}
+
+TEST(HyperLogLogTest, MergeEstimatesTheUnion) {
+    obs::hyperloglog a(12), b(12), u(12);
+    for (std::uint64_t i = 0; i < 5000; ++i) {
+        a.add(i);
+        u.add(i);
+    }
+    for (std::uint64_t i = 2500; i < 7500; ++i) {  // half overlaps a
+        b.add(i);
+        u.add(i);
+    }
+    a.merge(b);
+    // Register-wise max is an exact union: merged sketch == sketch of
+    // the union, so the estimates agree exactly, not just closely.
+    EXPECT_EQ(a.estimate(), u.estimate());
+    EXPECT_NEAR(a.estimate(), 7500.0, 7500.0 * 0.05);
+}
+
+TEST(HyperLogLogTest, ResetReturnsToEmpty) {
+    obs::hyperloglog hll;
+    for (std::uint64_t i = 0; i < 1000; ++i) hll.add(i);
+    ASSERT_GT(hll.estimate(), 0.0);
+    hll.reset();
+    EXPECT_EQ(hll.estimate(), 0.0);
+    EXPECT_EQ(hll.register_count(), 16384u);  // registers stay allocated
+    hll.add(42);
+    EXPECT_GT(hll.estimate(), 0.0);
+}
+
+TEST(P2QuantileTest, ZeroBeforeAnyObservation) {
+    obs::p2_quantile p2(0.5);
+    EXPECT_EQ(p2.value(), 0.0);
+    EXPECT_EQ(p2.count(), 0u);
+    EXPECT_EQ(p2.quantile(), 0.5);
+}
+
+TEST(P2QuantileTest, ExactBelowFiveSamples) {
+    obs::p2_quantile median(0.5);
+    median.observe(5.0);
+    EXPECT_EQ(median.value(), 5.0);
+    median.observe(1.0);
+    median.observe(9.0);
+    EXPECT_EQ(median.value(), 5.0);  // median of {1, 5, 9}
+}
+
+TEST(P2QuantileTest, MedianOfUniformRamp) {
+    obs::p2_quantile median(0.5);
+    for (int i = 1; i <= 1001; ++i) median.observe(static_cast<double>(i));
+    EXPECT_NEAR(median.value(), 501.0, 10.0);
+    EXPECT_EQ(median.count(), 1001u);
+}
+
+TEST(P2QuantileTest, P99TracksTheTail) {
+    obs::p2_quantile p99(0.99);
+    // 1% of samples at 100, the rest at 1: p99 must sit near the jump.
+    for (int i = 0; i < 10000; ++i) p99.observe(i % 100 == 0 ? 100.0 : 1.0);
+    EXPECT_GE(p99.value(), 1.0);
+    EXPECT_LE(p99.value(), 100.0);
+}
+
+TEST(P2QuantileTest, ResetClearsState) {
+    obs::p2_quantile median(0.5);
+    for (int i = 0; i < 100; ++i) median.observe(50.0);
+    median.reset();
+    EXPECT_EQ(median.count(), 0u);
+    EXPECT_EQ(median.value(), 0.0);
+    median.observe(7.0);
+    EXPECT_EQ(median.value(), 7.0);
+}
+
+TEST(P2QuantileTest, ConstantStreamIsExact) {
+    obs::p2_quantile p90(0.9);
+    for (int i = 0; i < 1000; ++i) p90.observe(3.5);
+    EXPECT_DOUBLE_EQ(p90.value(), 3.5);
+}
+
+}  // namespace

@@ -479,5 +479,136 @@ TEST(StreamMetricsTest, PrivateRegistriesAreIndependent) {
     EXPECT_EQ(b.metrics().get_counter("v6_stream_records_total").value(), 1u);
 }
 
+// ------------------------------------------------------------ live series
+
+/// A config whose daily report classifies the sealed day itself
+/// (window_fwd = 0), so the live series react to a day the moment it
+/// seals — what the drift tests need.
+stream_config live_config(unsigned shards) {
+    stream_config cfg = small_config(shards);
+    cfg.stability_n = 1;
+    cfg.window.window_back = 1;
+    cfg.window.window_fwd = 0;
+    cfg.quantile_sample = 1;  // observe every hit count; exact quantiles
+    return cfg;
+}
+
+const live_series_view* find_series(const live_view& view,
+                                    const std::string& name) {
+    for (const live_series_view& s : view.series)
+        if (s.name == name) return &s;
+    return nullptr;
+}
+
+TEST(StreamLiveTest, SeriesGainOnePointPerSealedDay) {
+    stream_engine engine(live_config(2));
+    for (int day = 1; day <= 4; ++day)
+        for (unsigned i = 0; i < 40; ++i) engine.push(day, nth(i), 1 + i % 5);
+    engine.finish();
+    const live_view view = engine.live();
+    EXPECT_EQ(view.epoch, 4);
+    const live_series_view* active = find_series(view, "active");
+    ASSERT_NE(active, nullptr);
+    EXPECT_EQ(active->history.size(), 4u);  // one point per sealed day
+    EXPECT_EQ(active->current, 40.0);
+    const live_series_view* stable = find_series(view, "stable_fraction");
+    ASSERT_NE(stable, nullptr);
+    EXPECT_GE(stable->current, 0.0);
+    EXPECT_LE(stable->current, 1.0);
+    const live_series_view* gamma1 = find_series(view, "gamma1@64");
+    ASSERT_NE(gamma1, nullptr);
+    EXPECT_GE(gamma1->current, 1.0);  // count ratios never shrink downward
+    const live_series_view* p50 = find_series(view, "hits_p50");
+    ASSERT_NE(p50, nullptr);
+    EXPECT_GE(p50->current, 1.0);
+    EXPECT_LE(p50->current, 5.0);
+}
+
+TEST(StreamLiveTest, SketchEstimatesTrackTheSealedDay) {
+    stream_engine engine(live_config(3));
+    for (int day = 1; day <= 3; ++day)
+        for (unsigned i = 0; i < 200; ++i) engine.push(day, nth(i));
+    engine.finish();
+    const live_view view = engine.live();
+    const live_series_view* est = find_series(view, "day_addrs_est");
+    ASSERT_NE(est, nullptr);
+    // 200 distinct /128s per day; at this range the HLL's
+    // linear-counting regime is essentially exact.
+    EXPECT_NEAR(est->current, 200.0, 10.0);
+    const live_series_view* est64 = find_series(view, "day_64s_est");
+    ASSERT_NE(est64, nullptr);
+    EXPECT_NEAR(est64->current, 7.0, 1.0);  // nth() spans 7 /64s
+}
+
+TEST(StreamLiveTest, SketchesOffSkipsEstimateSeries) {
+    stream_config cfg = live_config(2);
+    cfg.sketches = false;
+    stream_engine engine(cfg);
+    engine.push(1, nth(1));
+    engine.push(2, nth(2));
+    engine.finish();
+    const live_view view = engine.live();
+    EXPECT_EQ(find_series(view, "day_addrs_est"), nullptr);
+    ASSERT_NE(find_series(view, "active"), nullptr);  // derived series stay
+    EXPECT_EQ(engine.stats().records, 2u);
+}
+
+TEST(StreamLiveTest, StepChangeRaisesOneDriftEventPerSeries) {
+    obs::registry reg;
+    obs::event_log events;
+    stream_config cfg = live_config(2);
+    cfg.metrics_registry = &reg;
+    cfg.events = &events;
+    stream_engine engine(cfg);
+    // Twelve steady days of the same 50 addresses, then an addressing
+    // change: 400 active addresses from day 13 on.
+    for (int day = 1; day <= 12; ++day)
+        for (unsigned i = 0; i < 50; ++i) engine.push(day, nth(i));
+    for (int day = 13; day <= 18; ++day)
+        for (unsigned i = 0; i < 400; ++i) engine.push(day, nth(i));
+    engine.finish();
+
+    EXPECT_GE(events.total(), 1u);
+    EXPECT_GE(reg.get_counter("v6class_drift_events_total").value(), 1u);
+    // The "active" series stepped 50 -> 400 once; fire-once
+    // re-baselining means exactly one alarm despite six post-step days.
+    std::size_t active_alarms = 0;
+    for (const obs::event& e : events.recent(1000)) {
+        EXPECT_EQ(e.kind, "drift");
+        EXPECT_EQ(e.level, obs::event_level::warn);
+        for (const auto& [k, v] : e.fields)
+            if (k == "series" && v == "\"active\"") ++active_alarms;
+    }
+    EXPECT_EQ(active_alarms, 1u);
+    // The alarm flag is visible on the live view while it is fresh, and
+    // the gauge export carries the new level.
+    EXPECT_EQ(reg.get_dgauge("v6class_active_addresses").value(), 400.0);
+}
+
+TEST(StreamLiveTest, SteadyFeedRaisesNoDriftEvents) {
+    obs::event_log events;
+    stream_config cfg = live_config(2);
+    cfg.events = &events;
+    stream_engine engine(cfg);
+    for (int day = 1; day <= 20; ++day)
+        for (unsigned i = 0; i < 60; ++i) engine.push(day, nth(i));
+    engine.finish();
+    EXPECT_EQ(events.total(), 0u);
+}
+
+TEST(StreamLiveTest, DayReportCarriesDerivedSeries) {
+    stream_engine engine(live_config(2));
+    for (int day = 1; day <= 2; ++day)
+        for (unsigned i = 0; i < 100; ++i) engine.push(day, nth(i));
+    engine.finish();
+    const auto report = engine.latest_report();
+    ASSERT_TRUE(report.has_value());
+    EXPECT_GE(report->gamma1, 1.0);
+    EXPECT_GE(report->gamma16, 1.0);
+    EXPECT_GE(report->stable_fraction, 0.0);
+    EXPECT_LE(report->stable_fraction, 1.0);
+    EXPECT_NEAR(report->est_day_addresses, 100.0, 5.0);
+}
+
 }  // namespace
 }  // namespace v6

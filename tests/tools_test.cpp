@@ -282,6 +282,41 @@ TEST_F(ToolsTest, StreamMetricsOutPrometheusAgreesWithFinalReport) {
     fs::remove(out);
 }
 
+TEST_F(ToolsTest, StreamEventsOutCapturesDriftOnStepFeed) {
+    // A feed with a mid-run addressing change: ten steady days of 30
+    // active addresses, then 300 — the daemon must raise drift events
+    // and --events-out must capture them as valid JSON lines.
+    const fs::path feed = fs::temp_directory_path() / "v6class_tools_feed.txt";
+    const fs::path out = fs::temp_directory_path() / "v6class_tools_ev.jsonl";
+    fs::remove(out);
+    {
+        std::ofstream f(feed);
+        for (int day = 1; day <= 14; ++day) {
+            const int actives = day <= 10 ? 30 : 300;
+            for (int i = 0; i < actives; ++i)
+                f << day << " 2001:db8:" << std::hex << (i >> 8) << "::"
+                  << (i & 0xff) << std::dec << "\n";
+        }
+    }
+    const run_result r = run(
+        tool("v6stream") + " --shards=2 --n=1 --back=1 --fwd=0 --events-out=" +
+        out.string() + " " + feed.string() + " 2>/dev/null");
+    ASSERT_EQ(r.exit_code, 0);
+    // The day roll-ups now carry the derived series.
+    EXPECT_NE(r.output.find("\"gamma1\":"), std::string::npos);
+    EXPECT_NE(r.output.find("\"stable_fraction\":"), std::string::npos);
+
+    const std::string lines = slurp(out);
+    ASSERT_FALSE(lines.empty()) << "no drift events were dumped";
+    EXPECT_NE(lines.find("\"kind\":\"drift\""), std::string::npos);
+    std::istringstream in(lines);
+    std::string line;
+    while (std::getline(in, line))
+        EXPECT_TRUE(v6::testing::json_checker::valid(line)) << line;
+    fs::remove(feed);
+    fs::remove(out);
+}
+
 TEST_F(ToolsTest, TraceOutWritesChromeTraceJson) {
     const fs::path out = fs::temp_directory_path() / "v6class_tools_trace.json";
     fs::remove(out);

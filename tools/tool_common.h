@@ -1,6 +1,7 @@
 // tool_common.h — shared plumbing for the command-line tools: flag
 // parsing, input selection (file or stdin), consistent diagnostics, and
-// the uniform observability flags (--metrics-out / --trace-out).
+// the uniform observability flags (--metrics-out / --trace-out /
+// --events-out).
 #pragma once
 
 #include <cstdio>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "v6class/ip/io.h"
+#include "v6class/obs/event_log.h"
 #include "v6class/obs/metrics.h"
 #include "v6class/obs/timer.h"
 
@@ -81,13 +83,18 @@ private:
 ///                        anything else: structured JSON)
 ///   --trace-out=FILE     Chrome-trace JSON of the run's phase spans
 ///                        (load in chrome://tracing / ui.perfetto.dev)
+///   --events-out=FILE    JSON-lines dump of the process event log
+///                        (drift alarms, lifecycle events)
 ///
-/// Declare one after flag parsing; the destructor writes the dump on
-/// every return path, after all other work of main() has finished.
+/// All three write atomically (tmp-file + rename), so a dump is never
+/// observed half-written. Declare one after flag parsing; the
+/// destructor writes the dumps on every return path, after all other
+/// work of main() has finished.
 class obs_exporter {
 public:
     explicit obs_exporter(const flag_set& flags)
-        : metrics_out_(flags.get("metrics-out")) {
+        : metrics_out_(flags.get("metrics-out")),
+          events_out_(flags.get("events-out")) {
         const std::string trace_out = flags.get("trace-out");
         if (!trace_out.empty()) obs::trace_log::enable(trace_out);
     }
@@ -97,26 +104,34 @@ public:
     obs_exporter(const obs_exporter&) = delete;
     obs_exporter& operator=(const obs_exporter&) = delete;
 
-    /// Writes the dump now (idempotent; also called by the destructor).
+    /// Writes the dumps now (idempotent; also called by the destructor).
     /// Tools with an ordering requirement — v6stream must join the roll
     /// thread before the final dump — call this explicitly at the right
     /// point.
     void write() {
-        if (metrics_out_.empty() || written_) return;
+        if (written_) return;
         written_ = true;
-        if (!obs::registry::global().write_file(metrics_out_))
+        if (!metrics_out_.empty() &&
+            !obs::registry::global().write_file(metrics_out_))
             std::fprintf(stderr, "warning: cannot write %s\n",
                          metrics_out_.c_str());
+        if (!events_out_.empty() &&
+            !obs::event_log::global().dump(events_out_))
+            std::fprintf(stderr, "warning: cannot write %s\n",
+                         events_out_.c_str());
     }
 
     static const char* help_lines() {
         return "  --metrics-out=F  dump metrics on exit (.prom = Prometheus, "
                "else JSON)\n"
-               "  --trace-out=F    write a Chrome-trace JSON of the run";
+               "  --trace-out=F    write a Chrome-trace JSON of the run\n"
+               "  --events-out=F   write the event log (drift alarms) as "
+               "JSON lines";
     }
 
 private:
     std::string metrics_out_;
+    std::string events_out_;
     bool written_ = false;
 };
 

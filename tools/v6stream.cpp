@@ -20,6 +20,7 @@
 
 #include "tool_common.h"
 #include "v6class/cdnsim/corpus.h"
+#include "v6class/obs/dashboard.h"
 #include "v6class/obs/http.h"
 #include "v6class/stream/engine.h"
 
@@ -51,7 +52,40 @@ void print_day_report(const day_report& r) {
                 static_cast<unsigned long long>(r.not_stable),
                 r.distinct_addresses, r.distinct_projected);
     print_density(r.density);
+    std::printf(",\"gamma1\":%.4f,\"gamma4\":%.4f,\"gamma16\":%.4f,"
+                "\"stable_fraction\":%.4f",
+                r.gamma1, r.gamma4, r.gamma16, r.stable_fraction);
+    if (r.est_day_addresses > 0)
+        std::printf(",\"est_day_addrs\":%.0f,\"est_day_48s\":%.0f,"
+                    "\"est_day_64s\":%.0f",
+                    r.est_day_addresses, r.est_day_48s, r.est_day_64s);
     std::printf("}\n");
+}
+
+/// Builds the /dashboard model from a consistent engine view plus the
+/// server's own lifecycle state.
+obs::dashboard_model build_dashboard(const stream_engine& engine,
+                                     const obs::metrics_server& server) {
+    const stream_stats s = engine.stats();
+    const live_view lv = engine.live();
+    obs::dashboard_model model;
+    model.title = "v6stream live classification";
+    model.status = server.state();
+    model.uptime_seconds = server.uptime_seconds();
+    model.stats = {
+        {"epoch", lv.epoch == kNoDay ? "-" : std::to_string(lv.epoch)},
+        {"open day", s.open_day == kNoDay ? "-" : std::to_string(s.open_day)},
+        {"records", std::to_string(s.records)},
+        {"distinct /128s", std::to_string(s.distinct_addresses)},
+        {"distinct /64s", std::to_string(s.distinct_projected)},
+        {"late dropped", std::to_string(s.late_dropped)},
+        {"drift events", std::to_string(engine.events().total())},
+    };
+    model.series.reserve(lv.series.size());
+    for (const live_series_view& v : lv.series)
+        model.series.push_back({v.name, v.help, v.current, v.history, v.alarmed});
+    model.events = lv.events;
+    return model;
 }
 
 void print_status(const stream_stats& s, double rate) {
@@ -116,8 +150,11 @@ int main(int argc, char** argv) {
             "                [--metrics-port=P] [--replay=DIR] [feed-file|-]\n"
             "streaming classification of a \"day address [hits]\" feed;\n"
             "emits JSON lines (day roll-ups, status, final report)\n"
-            "  --metrics-port=P   serve GET /metrics (Prometheus text) and\n"
-            "                     GET /healthz on 0.0.0.0:P while running");
+            "  --metrics-port=P   serve GET /metrics (Prometheus text),\n"
+            "                     GET /healthz (JSON liveness), and\n"
+            "                     GET /dashboard (live HTML sparklines of\n"
+            "                     the derived series + drift events) on\n"
+            "                     0.0.0.0:P while running");
         std::puts(tools::obs_exporter::help_lines());
         return 0;
     }
@@ -149,9 +186,12 @@ int main(int argc, char** argv) {
     std::signal(SIGTERM, handle_stop);
 
     // The daemon shares the process-wide registry so one /metrics endpoint
-    // covers the engine, the library phase timers, and the tool itself.
+    // covers the engine, the library phase timers, and the tool itself —
+    // and likewise the process-wide event log, so --events-out sees the
+    // engine's drift alarms.
     obs::registry& reg = obs::registry::global();
     cfg.metrics_registry = &reg;
+    cfg.events = &obs::event_log::global();
     const obs::counter malformed_total = reg.get_counter(
         "v6_stream_malformed_total", {},
         "Feed lines that failed to parse and were skipped.");
@@ -165,8 +205,14 @@ int main(int argc, char** argv) {
     if (flags.has("metrics-port")) {
         server.set_health_payload([&engine] {
             const stream_stats s = engine.stats();
-            return "records=" + std::to_string(s.records) +
-                   " open_day=" + std::to_string(s.open_day) + "\n";
+            return "\"last_seal_day\":" +
+                   std::to_string(s.sealed_day == kNoDay ? -1 : s.sealed_day) +
+                   ",\"open_day\":" +
+                   std::to_string(s.open_day == kNoDay ? -1 : s.open_day) +
+                   ",\"records\":" + std::to_string(s.records);
+        });
+        server.set_dashboard([&engine, &server] {
+            return obs::render_dashboard(build_dashboard(engine, server));
         });
         std::string error;
         const auto port = static_cast<std::uint16_t>(
@@ -175,7 +221,10 @@ int main(int argc, char** argv) {
             std::fprintf(stderr, "error: metrics server: %s\n", error.c_str());
             return 1;
         }
-        std::fprintf(stderr, "metrics on http://0.0.0.0:%u/metrics\n",
+        std::fprintf(stderr,
+                     "metrics on http://0.0.0.0:%u/metrics, dashboard on "
+                     "http://0.0.0.0:%u/dashboard\n",
+                     static_cast<unsigned>(server.port()),
                      static_cast<unsigned>(server.port()));
     }
 
@@ -257,10 +306,12 @@ int main(int argc, char** argv) {
     }
 
     // Ordered shutdown (also the SIGINT/SIGTERM path, since the loops above
-    // merely break out on g_stop): finish() seals the open day and joins the
-    // roll thread, then we drain the reports and print the final object, stop
-    // the metrics server, and only then write the metrics dump — so the file
-    // reflects the fully-settled registry, including the last seal.
+    // merely break out on g_stop): mark the server draining so probes stop
+    // routing here, then finish() seals the open day and joins the roll
+    // thread; we drain the reports and print the final object, stop the
+    // metrics server, and only then write the metrics/events dumps — so the
+    // files reflect the fully-settled registry, including the last seal.
+    server.set_state("draining");
     engine.finish();
     printed_reports = drain_reports(engine, printed_reports);
     print_final(engine.snapshot(), malformed);
