@@ -12,6 +12,7 @@
 #include "v6class/cdnsim/world.h"
 #include "v6class/obs/metrics.h"
 #include "v6class/obs/timer.h"
+#include "v6class/par/pool.h"
 
 namespace v6::bench {
 
@@ -24,6 +25,7 @@ struct options {
     std::string program = "bench";  // argv[0] basename, for BENCH_<name>.json
     std::string metrics_out;        // --metrics-out=F override
     bool metrics = true;            // --no-metrics disables the exit dump
+    unsigned threads = 0;           // --threads=N; 0 = hardware concurrency
 };
 
 inline options parse_options(int argc, char** argv, double default_scale = 0.5) {
@@ -45,7 +47,12 @@ inline options parse_options(int argc, char** argv, double default_scale = 0.5) 
             opt.metrics_out = arg + 14;
         else if (std::strcmp(arg, "--no-metrics") == 0)
             opt.metrics = false;
+        else if (std::strncmp(arg, "--threads=", 10) == 0)
+            opt.threads = static_cast<unsigned>(std::atoi(arg + 10));
     }
+    // Results are deterministic at any width (index-keyed slots; see
+    // DESIGN.md), so the flag only trades wall time.
+    par::set_default_threads(opt.threads);
     return opt;
 }
 

@@ -1,11 +1,17 @@
 // micro_substrate — google-benchmark microbenchmarks for the substrate
 // operations, including the DESIGN.md ablations: trie densify vs the
-// paper's footnote-3 sort-cut-uniq recipe, and MRA from a sorted array
-// vs from a trie.
+// paper's footnote-3 sort-cut-uniq recipe, MRA from a sorted array vs
+// from a trie, and bulk (bottom-up) vs incremental trie construction.
+//
+// Besides the console table, the run feeds per-benchmark series into the
+// v6::obs registry and dumps them at exit (BENCH_<name>.json, or
+// --metrics-out=F) — scripts/check.sh commits BENCH_substrate.json as
+// the tracked perf baseline.
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
+#include "bench_common.h"
 #include "v6class/addrtype/classify.h"
 #include "v6class/addrtype/malone.h"
 #include "v6class/netgen/iid.h"
@@ -78,7 +84,22 @@ void BM_trie_insert(benchmark::State& state) {
     }
     state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_trie_insert)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_trie_insert)->Arg(1000)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_trie_bulk_build(benchmark::State& state) {
+    // Same unsorted input as BM_trie_insert; the timed region includes
+    // the sort, so the two are directly comparable end to end.
+    const auto addrs = make_addresses(static_cast<std::size_t>(state.range(0)), 3);
+    for (auto _ : state) {
+        auto sorted = addrs;
+        std::sort(sorted.begin(), sorted.end());
+        radix_tree t;
+        t.bulk_build(sorted);
+        benchmark::DoNotOptimize(t.total());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_trie_bulk_build)->Arg(1000)->Arg(10000)->Arg(100000)->Arg(1000000);
 
 void BM_dense_via_trie(benchmark::State& state) {
     const auto addrs = make_addresses(static_cast<std::size_t>(state.range(0)), 4);
@@ -103,7 +124,7 @@ void BM_densify_general(benchmark::State& state) {
     for (const address& a : addrs) t.add(a);
     for (auto _ : state) benchmark::DoNotOptimize(t.densify(2, 112));
 }
-BENCHMARK(BM_densify_general)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_densify_general)->Arg(10000)->Arg(100000)->Arg(1000000);
 
 void BM_mra_from_sorted(benchmark::State& state) {
     auto addrs = make_addresses(static_cast<std::size_t>(state.range(0)), 6);
@@ -214,6 +235,50 @@ void BM_address_sort_unique(benchmark::State& state) {
 }
 BENCHMARK(BM_address_sort_unique)->Arg(100000);
 
+// Mirrors every finished run into the process-wide registry so the
+// bench_common exit dump writes a machine-readable baseline alongside
+// the console table.
+class registry_reporter : public benchmark::ConsoleReporter {
+public:
+    void ReportRuns(const std::vector<Run>& reports) override {
+        for (const Run& run : reports) {
+            if (run.error_occurred) continue;
+            const std::string name = run.benchmark_name();
+            const double iters =
+                run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+            v6::obs::registry::global()
+                .get_dgauge("v6_bench_benchmark_seconds", {{"benchmark", name}},
+                            "Mean wall seconds per iteration of one "
+                            "microbenchmark.")
+                .set(run.real_accumulated_time / iters);
+            const auto items = run.counters.find("items_per_second");
+            if (items != run.counters.end())
+                v6::obs::registry::global()
+                    .get_dgauge("v6_bench_items_per_second",
+                                {{"benchmark", name}},
+                                "Throughput reported by one microbenchmark.")
+                    .set(items->second.value);
+        }
+        ConsoleReporter::ReportRuns(reports);
+    }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    // parse_options consumes the v6-style flags google-benchmark left
+    // alone (--metrics-out, --no-metrics, --threads) and arms the
+    // registry dump exactly like the table/figure drivers do.
+    const v6::bench::options opt = v6::bench::parse_options(argc, argv);
+    if (opt.metrics && v6::bench::detail::metrics_path().empty()) {
+        v6::bench::detail::metrics_path() =
+            opt.metrics_out.empty() ? "BENCH_" + opt.program + ".json"
+                                    : opt.metrics_out;
+        (void)v6::obs::registry::global();
+        std::atexit(v6::bench::detail::dump_metrics_at_exit);
+    }
+    registry_reporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    return 0;
+}

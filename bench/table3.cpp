@@ -21,7 +21,9 @@ int main(int argc, char** argv) {
     radix_tree routers;
     {
         const timed_phase build_phase("build_router_trie");
-        for (const address& a : topo.interfaces()) routers.add(a);
+        std::vector<address> sorted = topo.interfaces();
+        std::sort(sorted.begin(), sorted.end());
+        routers.bulk_build(sorted);
     }
 
     const std::vector<std::pair<std::uint64_t, unsigned>> classes{
@@ -34,9 +36,10 @@ int main(int argc, char** argv) {
 
     // Section 6.2.2's closing experiment: the same machinery on the
     // active WWW clients of one day.
-    const auto clients = cull_transition(w.active_addresses(kMar2015)).other;
+    auto clients = cull_transition(w.active_addresses(kMar2015)).other;
+    std::sort(clients.begin(), clients.end());
     radix_tree client_tree;
-    for (const address& a : clients) client_tree.add(a);
+    client_tree.bulk_build(clients);
     const auto dense = client_tree.dense_prefixes_at(2, 112);
     std::uint64_t covered = 0;
     for (const auto& d : dense) covered += d.observed;

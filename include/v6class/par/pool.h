@@ -1,0 +1,51 @@
+// pool.h — a small work pool for the batch drivers: fan an indexed task
+// set out across threads, keep the results deterministic.
+//
+// The model is deliberately minimal, borrowing the sharding idiom from
+// v6::stream: the caller names n independent tasks [0, n); workers (plus
+// the calling thread) claim indices from a shared atomic cursor; each
+// task writes its result into a caller-owned slot keyed by its index.
+// Because slot i is written by exactly one task regardless of how the
+// indices were interleaved, merging the slots in index order yields
+// byte-identical output at any thread count — the determinism guarantee
+// the figure/table programs rely on (see DESIGN.md).
+//
+// Nesting: a task that itself calls run_indexed executes the nested set
+// inline on its own thread (workers never block on other workers, so a
+// parallel driver may freely call internally-parallel library code).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace v6::par {
+
+/// The thread count run_indexed uses when the caller passes 0: initially
+/// std::thread::hardware_concurrency(), overridable process-wide (the
+/// bench drivers' --threads flag). Always returns >= 1.
+unsigned default_threads() noexcept;
+
+/// Sets the default thread count; 0 restores hardware concurrency.
+void set_default_threads(unsigned n) noexcept;
+
+/// Runs fn(i) for every i in [0, n) across up to `threads` threads
+/// (0 = default_threads()), the calling thread included. Blocks until
+/// every task finished. Tasks must be independent; any order and
+/// interleaving may occur. If any task throws, the first exception is
+/// rethrown here after all tasks finish or are drained. Each executed
+/// task increments the v6_par_tasks_total counter.
+void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn,
+                 unsigned threads = 0);
+
+/// run_indexed producing a vector: out[i] = fn(i). T must be default-
+/// constructible and movable; determinism follows from index-keyed slots.
+template <typename T, typename Fn>
+std::vector<T> map_indexed(std::size_t n, Fn&& fn, unsigned threads = 0) {
+    std::vector<T> out(n);
+    run_indexed(
+        n, [&](std::size_t i) { out[i] = fn(i); }, threads);
+    return out;
+}
+
+}  // namespace v6::par

@@ -27,6 +27,19 @@ for preset in "${presets[@]}"; do
         label_args=(-LE slow)
     fi
     ctest --preset "${preset}" -j "${jobs}" "${label_args[@]}"
+
+    if [ "${preset}" = default ]; then
+        # Bench smoke: every microbenchmark must still run, and the
+        # registry reporter must still emit the machine-readable dump.
+        # The committed BENCH_substrate.json perf baseline is refreshed
+        # in place so a substrate regression shows up as a diff.
+        # (This google-benchmark takes a plain double, not "0.01s".)
+        echo "=== bench smoke: micro_substrate ==="
+        ./build/bench/micro_substrate \
+            --benchmark_min_time=0.01 \
+            --metrics-out=BENCH_substrate.json
+        test -s BENCH_substrate.json
+    fi
 done
 
 echo "=== all presets passed: ${presets[*]} ==="

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "v6class/obs/timer.h"
+#include "v6class/par/pool.h"
 
 namespace v6 {
 
@@ -31,10 +32,11 @@ std::vector<density_row> compute_density_table(
         "v6_spatial_density_table_seconds", obs::latency_buckets(), {},
         "Time to compute every configured n@/p density class over a trie.");
     const obs::trace_scope span("density_table", phase);
-    std::vector<density_row> out;
-    out.reserve(classes.size());
-    for (const auto& [n, p] : classes) out.push_back(compute_density_class(tree, n, p));
-    return out;
+    // Classes are independent reads of one immutable trie; fan them out
+    // and keep the rows in class order (slot per index → deterministic).
+    return par::map_indexed<density_row>(classes.size(), [&](std::size_t i) {
+        return compute_density_class(tree, classes[i].first, classes[i].second);
+    });
 }
 
 std::vector<address> addresses_covered(const std::vector<dense_prefix>& dense,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "v6class/obs/timer.h"
+#include "v6class/par/pool.h"
 
 namespace v6 {
 
@@ -391,12 +392,24 @@ day_report stream_engine::build_report(int day) const {
     day_report report;
     report.day = day;
     report.ref_day = day - cfg_.window.window_fwd;
-    for (const auto& s : shards_) {
-        const stability_split split =
-            s->classify_day(report.ref_day, cfg_.stability_n, cfg_.window);
-        report.stable += split.stable.size();
-        report.not_stable += split.not_stable.size();
-        report.distinct_addresses += s->distinct_addresses();
+    // Per-shard classification fans out through the work pool; the sums
+    // below are order-independent, so the totals match the serial path.
+    struct shard_tally {
+        std::uint64_t stable = 0;
+        std::uint64_t not_stable = 0;
+        std::uint64_t distinct = 0;
+    };
+    const std::vector<shard_tally> tallies =
+        par::map_indexed<shard_tally>(shards_.size(), [&](std::size_t i) {
+            const stability_split split = shards_[i]->classify_day(
+                report.ref_day, cfg_.stability_n, cfg_.window);
+            return shard_tally{split.stable.size(), split.not_stable.size(),
+                               shards_[i]->distinct_addresses()};
+        });
+    for (const shard_tally& t : tallies) {
+        report.stable += t.stable;
+        report.not_stable += t.not_stable;
+        report.distinct_addresses += t.distinct;
     }
     report.distinct_projected = projected_store_.distinct_count();
     report.active = report.stable + report.not_stable;
@@ -526,8 +539,18 @@ int stream_engine::sealed_day() const {
 }
 
 radix_tree stream_engine::merged_tree_locked() const {
+    // The shards partition the /128 space by address hash, so their
+    // distinct sets concatenate without overlap: collect, sort once, and
+    // bulk-build the merged trie bottom-up instead of re-inserting node
+    // by node.
+    std::vector<address> addrs;
+    std::size_t total = 0;
+    for (const auto& s : shards_) total += s->distinct_addresses();
+    addrs.reserve(total);
+    for (const auto& s : shards_) s->collect_addresses(addrs);
+    std::sort(addrs.begin(), addrs.end());
     radix_tree merged;
-    for (const auto& s : shards_) s->merge_tree_into(merged);
+    merged.bulk_build(addrs);
     return merged;
 }
 
@@ -556,9 +579,15 @@ stream_snapshot stream_engine::snapshot() const {
 
 stability_split stream_engine::classify_day(int ref_day, unsigned n) const {
     std::shared_lock state(state_mutex_);
+    // Shards are disjoint and sealed state is read-locked: classify them
+    // concurrently, then merge in shard order (the final sort makes the
+    // result independent of shard order anyway).
+    const std::vector<stability_split> splits =
+        par::map_indexed<stability_split>(shards_.size(), [&](std::size_t i) {
+            return shards_[i]->classify_day(ref_day, n, cfg_.window);
+        });
     stability_split merged;
-    for (const auto& s : shards_) {
-        stability_split split = s->classify_day(ref_day, n, cfg_.window);
+    for (const stability_split& split : splits) {
         merged.stable.insert(merged.stable.end(), split.stable.begin(),
                              split.stable.end());
         merged.not_stable.insert(merged.not_stable.end(), split.not_stable.begin(),

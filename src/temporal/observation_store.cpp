@@ -27,16 +27,31 @@ bool observation_store::record::get_bit(unsigned offset) const noexcept {
 
 void observation_store::record::shift_right(unsigned by) {
     if (by == 0) return;
-    // Collect set offsets, clear, re-set shifted. Rare path (an earlier
-    // day arriving after later ones), so clarity over speed.
-    std::vector<unsigned> offsets;
-    const unsigned top =
-        64 + (overflow ? static_cast<unsigned>(overflow->size()) * 64 : 0);
-    for (unsigned i = 0; i < top; ++i)
-        if (get_bit(i)) offsets.push_back(i);
-    inline_bits = 0;
-    if (overflow) overflow->assign(overflow->size(), 0);
-    for (unsigned i : offsets) set_bit(i + by);
+    // Whole-word shift toward higher offsets. The record is one
+    // conceptual little-endian bit array — inline_bits is word 0, the
+    // overflow words follow — so moving every observation `by` days
+    // later is a word move by by/64 plus a carrying bit shift by by%64.
+    // Still the rare path (an earlier day arriving after later ones),
+    // but a long backfill is now linear in words, not bits.
+    const unsigned ws = by / 64;
+    const unsigned bs = by % 64;
+    std::vector<std::uint64_t> words;
+    words.reserve(1 + (overflow ? overflow->size() : 0));
+    words.push_back(inline_bits);
+    if (overflow) words.insert(words.end(), overflow->begin(), overflow->end());
+    std::vector<std::uint64_t> out(words.size() + ws + (bs != 0 ? 1 : 0), 0);
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        out[i + ws] |= words[i] << bs;
+        if (bs != 0) out[i + ws + 1] |= words[i] >> (64 - bs);
+    }
+    while (out.size() > 1 && out.back() == 0) out.pop_back();
+    inline_bits = out[0];
+    if (out.size() > 1) {
+        if (!overflow) overflow = std::make_unique<std::vector<std::uint64_t>>();
+        overflow->assign(out.begin() + 1, out.end());
+    } else if (overflow) {
+        overflow->clear();
+    }
 }
 
 unsigned observation_store::record::popcount() const noexcept {
@@ -71,6 +86,7 @@ void observation_store::record_day(int day, const std::vector<address>& active) 
         "v6_temporal_record_day_seconds", obs::latency_buckets(), {},
         "Time to fold one day of active addresses into the lifetime store.");
     const obs::trace_scope span("record_day", phase);
+    records_.reserve(records_.size() + active.size());
     for (const address& a : active)
         record_one(day, prefix_length_ == 128 ? a : a.masked(prefix_length_));
 }

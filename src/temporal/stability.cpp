@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "v6class/obs/timer.h"
+#include "v6class/par/pool.h"
 
 namespace v6 {
 
@@ -56,10 +57,16 @@ std::uint64_t stability_analyzer::count_stable(day_index ref_day, unsigned n) co
 }
 
 stability_split stability_analyzer::classify_week(day_index first_day, unsigned n) const {
+    // The seven reference days only read the (immutable) series; classify
+    // them concurrently, then fold the unions in day order so the result
+    // matches the serial path exactly.
+    const std::vector<stability_split> splits =
+        par::map_indexed<stability_split>(7, [&](std::size_t i) {
+            return classify_day(first_day + static_cast<day_index>(i), n);
+        });
     std::vector<address> stable_union;
     std::vector<address> not_stable_union;
-    for (day_index d = first_day; d < first_day + 7; ++d) {
-        stability_split s = classify_day(d, n);
+    for (const stability_split& s : splits) {
         stable_union = union_sorted(stable_union, s.stable);
         not_stable_union = union_sorted(not_stable_union, s.not_stable);
     }
@@ -70,26 +77,28 @@ std::vector<std::uint64_t> stability_analyzer::overlap_series(day_index ref_day,
                                                               day_index from,
                                                               day_index to) const {
     const std::vector<address>& ref = series_->day(ref_day);
-    std::vector<std::uint64_t> out;
-    out.reserve(static_cast<std::size_t>(std::max(0, to - from + 1)));
-    for (day_index d = from; d <= to; ++d) {
-        const std::vector<address>& set = series_->day(d);
-        std::uint64_t overlap = 0;
-        std::size_t i = 0, j = 0;
-        while (i < ref.size() && j < set.size()) {
-            if (ref[i] < set[j])
-                ++i;
-            else if (set[j] < ref[i])
-                ++j;
-            else {
-                ++overlap;
-                ++i;
-                ++j;
+    if (to < from) return {};
+    // One independent merge per day; slot d-from keeps the series in day
+    // order regardless of scheduling.
+    return par::map_indexed<std::uint64_t>(
+        static_cast<std::size_t>(to - from + 1), [&](std::size_t k) {
+            const std::vector<address>& set =
+                series_->day(from + static_cast<day_index>(k));
+            std::uint64_t overlap = 0;
+            std::size_t i = 0, j = 0;
+            while (i < ref.size() && j < set.size()) {
+                if (ref[i] < set[j])
+                    ++i;
+                else if (set[j] < ref[i])
+                    ++j;
+                else {
+                    ++overlap;
+                    ++i;
+                    ++j;
+                }
             }
-        }
-        out.push_back(overlap);
-    }
-    return out;
+            return overlap;
+        });
 }
 
 }  // namespace v6

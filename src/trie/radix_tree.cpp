@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
 namespace v6 {
 
@@ -16,8 +15,32 @@ unsigned meet_length(const prefix& a, const prefix& b) noexcept {
 
 }  // namespace
 
+std::uint32_t radix_tree::alloc_node(const prefix& pfx, std::uint64_t count) {
+    std::uint32_t idx;
+    if (free_head_ != nil) {
+        idx = free_head_;
+        free_head_ = nodes_[idx].child[0];
+        nodes_[idx] = node{pfx, count, {nil, nil}};
+    } else {
+        idx = static_cast<std::uint32_t>(nodes_.size());
+        nodes_.push_back(node{pfx, count, {nil, nil}});
+    }
+    ++node_count_;
+    return idx;
+}
+
+void radix_tree::free_node(std::uint32_t idx) noexcept {
+    nodes_[idx].child[0] = free_head_;
+    nodes_[idx].child[1] = nil;
+    nodes_[idx].count = 0;
+    free_head_ = idx;
+    --node_count_;
+}
+
 void radix_tree::clear() noexcept {
-    root_.reset();
+    nodes_.clear();  // keeps capacity
+    root_ = nil;
+    free_head_ = nil;
     total_ = 0;
     node_count_ = 0;
 }
@@ -25,174 +48,284 @@ void radix_tree::clear() noexcept {
 void radix_tree::add(const prefix& p, std::uint64_t count) {
     if (count == 0) return;
     total_ += count;
-    add_recursive(root_, p, count);
+    // Iterative descent tracking (parent, side) instead of a pointer to
+    // the slot: alloc_node may grow the arena and move every node, so a
+    // slot reference could not survive an allocation — indices do.
+    std::uint32_t parent = nil;
+    unsigned side = 0;
+    std::uint32_t cur = root_;
+    for (;;) {
+        if (cur == nil) {
+            const std::uint32_t leaf = alloc_node(p, count);
+            set_slot(parent, side, leaf);
+            return;
+        }
+        const node& n = nodes_[cur];
+        const unsigned meet = meet_length(n.pfx, p);
+
+        if (meet == n.pfx.length() && meet == p.length()) {
+            nodes_[cur].count += count;  // same prefix
+            return;
+        }
+        if (meet == n.pfx.length()) {
+            // p is strictly inside n: descend on p's next bit.
+            parent = cur;
+            side = p.base().bit(n.pfx.length());
+            cur = n.child[side];
+            continue;
+        }
+        if (meet == p.length()) {
+            // p covers n: insert p above the current node.
+            const unsigned b = n.pfx.base().bit(p.length());
+            const std::uint32_t covering = alloc_node(p, count);
+            nodes_[covering].child[b] = cur;
+            set_slot(parent, side, covering);
+            return;
+        }
+        // Diverge: split at the meet with a zero-count branch node.
+        const unsigned existing_bit = n.pfx.base().bit(meet);
+        const prefix branch_pfx{p.base(), meet};
+        const std::uint32_t branch = alloc_node(branch_pfx, 0);
+        const std::uint32_t leaf = alloc_node(p, count);
+        nodes_[branch].child[existing_bit] = cur;
+        nodes_[branch].child[1 - existing_bit] = leaf;
+        set_slot(parent, side, branch);
+        return;
+    }
 }
 
-void radix_tree::add_recursive(std::unique_ptr<node>& slot, const prefix& p,
-                               std::uint64_t count) {
-    if (!slot) {
-        slot = std::make_unique<node>();
-        slot->pfx = p;
-        slot->count = count;
-        ++node_count_;
+void radix_tree::bulk_build(const std::vector<address>& sorted,
+                            std::uint64_t count_each) {
+    if (sorted.empty() || count_each == 0) return;
+    if (root_ != nil) {
+        // The spine construction assumes it owns the whole structure;
+        // merging into an existing tree takes the ordinary path.
+        for (const auto& a : sorted) add(a, count_each);
         return;
     }
-    node& n = *slot;
-    const unsigned meet = meet_length(n.pfx, p);
+    nodes_.reserve(2 * sorted.size());
 
-    if (meet == n.pfx.length() && meet == p.length()) {
-        n.count += count;  // same prefix
-        return;
+    // Rightmost-spine construction: the compressed trie over a sorted
+    // set is fully determined by adjacent common-prefix lengths, and
+    // sorted order puts every new leaf on the bit-1 side of its branch
+    // (the first differing bit decides the address order), so the
+    // unfinished right edge of the tree is a stack of strictly
+    // deepening nodes. Each new leaf closes every spine node deeper
+    // than the divergence point; closed nodes chain bottom-up through
+    // child[1].
+    std::vector<std::uint32_t> spine;
+    spine.push_back(alloc_node(prefix{sorted[0], 128}, count_each));
+    total_ += count_each;
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+        total_ += count_each;
+        const unsigned c = sorted[i].common_prefix_length(sorted[i - 1]);
+        if (c == 128) {
+            nodes_[spine.back()].count += count_each;  // duplicate address
+            continue;
+        }
+        std::uint32_t last = nil;
+        while (!spine.empty() && nodes_[spine.back()].pfx.length() > c) {
+            const std::uint32_t top = spine.back();
+            spine.pop_back();
+            if (last != nil) nodes_[top].child[1] = last;
+            last = top;
+        }
+        // No spine node can sit exactly at length c: the previous leaf
+        // (its subtree holds sorted[i-1]) would be on that node's bit-1
+        // side, forcing sorted[i] to diverge with bit 0 — but a sorted
+        // successor's first differing bit is 1. So a branch at c is
+        // always fresh, and `last` is never nil (the /128 leaf popped).
+        const std::uint32_t branch = alloc_node(prefix{sorted[i], c}, 0);
+        nodes_[branch].child[0] = last;
+        const std::uint32_t leaf = alloc_node(prefix{sorted[i], 128}, count_each);
+        spine.push_back(branch);
+        spine.push_back(leaf);
     }
-    if (meet == n.pfx.length()) {
-        // p is strictly inside n: descend on p's next bit.
-        const unsigned b = p.base().bit(n.pfx.length());
-        add_recursive(n.child[b], p, count);
-        return;
+    std::uint32_t last = nil;
+    while (!spine.empty()) {
+        const std::uint32_t top = spine.back();
+        spine.pop_back();
+        if (last != nil) nodes_[top].child[1] = last;
+        last = top;
     }
-    if (meet == p.length()) {
-        // p covers n: insert p above the current node.
-        auto covering = std::make_unique<node>();
-        covering->pfx = p;
-        covering->count = count;
-        const unsigned b = n.pfx.base().bit(p.length());
-        covering->child[b] = std::move(slot);
-        slot = std::move(covering);
-        ++node_count_;
-        return;
-    }
-    // Diverge: split at the meet with a zero-count branch node.
-    auto branch = std::make_unique<node>();
-    branch->pfx = prefix{p.base(), meet};
-    auto leaf = std::make_unique<node>();
-    leaf->pfx = p;
-    leaf->count = count;
-    const unsigned existing_bit = n.pfx.base().bit(meet);
-    branch->child[existing_bit] = std::move(slot);
-    branch->child[1 - existing_bit] = std::move(leaf);
-    slot = std::move(branch);
-    node_count_ += 2;
+    root_ = last;
 }
 
-std::uint64_t radix_tree::subtree_sum(const node& n) noexcept {
-    std::uint64_t s = n.count;
-    for (const auto& c : n.child)
-        if (c) s += subtree_sum(*c);
+std::uint64_t radix_tree::subtree_sum(std::uint32_t idx) const {
+    std::uint64_t s = 0;
+    std::vector<std::uint32_t> stack{idx};
+    while (!stack.empty()) {
+        const node& n = nodes_[stack.back()];
+        stack.pop_back();
+        s += n.count;
+        if (n.child[0] != nil) stack.push_back(n.child[0]);
+        if (n.child[1] != nil) stack.push_back(n.child[1]);
+    }
     return s;
 }
 
-const radix_tree::node* radix_tree::find_node(const prefix& p) const noexcept {
-    const node* n = root_.get();
-    while (n) {
-        const unsigned meet = meet_length(n->pfx, p);
-        if (meet < n->pfx.length()) return nullptr;  // diverged or p above n
-        if (n->pfx.length() == p.length()) return n;
-        n = n->child[p.base().bit(n->pfx.length())].get();
+std::vector<std::uint64_t> radix_tree::subtree_sums() const {
+    std::vector<std::uint64_t> sums(nodes_.size(), 0);
+    if (root_ == nil) return sums;
+    std::vector<std::uint32_t> order;
+    order.reserve(node_count_);
+    std::vector<std::uint32_t> stack{root_};
+    while (!stack.empty()) {
+        const std::uint32_t idx = stack.back();
+        stack.pop_back();
+        order.push_back(idx);
+        const node& n = nodes_[idx];
+        if (n.child[0] != nil) stack.push_back(n.child[0]);
+        if (n.child[1] != nil) stack.push_back(n.child[1]);
     }
-    return nullptr;
+    // Pre-order lists every parent before its children, so one reverse
+    // sweep accumulates the sums bottom-up.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const node& n = nodes_[*it];
+        std::uint64_t s = n.count;
+        if (n.child[0] != nil) s += sums[n.child[0]];
+        if (n.child[1] != nil) s += sums[n.child[1]];
+        sums[*it] = s;
+    }
+    return sums;
+}
+
+std::uint32_t radix_tree::find_index(const prefix& p) const noexcept {
+    std::uint32_t cur = root_;
+    while (cur != nil) {
+        const node& n = nodes_[cur];
+        const unsigned meet = meet_length(n.pfx, p);
+        if (meet < n.pfx.length()) return nil;  // diverged or p above n
+        if (n.pfx.length() == p.length()) return cur;
+        cur = n.child[p.base().bit(n.pfx.length())];
+    }
+    return nil;
 }
 
 std::uint64_t radix_tree::count_at(const prefix& p) const noexcept {
-    const node* n = find_node(p);
-    return n ? n->count : 0;
+    const std::uint32_t idx = find_index(p);
+    return idx != nil ? nodes_[idx].count : 0;
 }
 
 std::uint64_t radix_tree::subtree_count(const prefix& p) const noexcept {
-    const node* n = root_.get();
-    while (n) {
-        const unsigned meet = meet_length(n->pfx, p);
+    std::uint32_t cur = root_;
+    while (cur != nil) {
+        const node& n = nodes_[cur];
+        const unsigned meet = meet_length(n.pfx, p);
         if (meet == p.length()) {
             // p covers n (or equals it): the whole subtree lies inside p.
-            return subtree_sum(*n);
+            return subtree_sum(cur);
         }
-        if (meet < n->pfx.length()) return 0;  // diverged
+        if (meet < n.pfx.length()) return 0;  // diverged
         // n covers p strictly: n's own count sits above p; descend.
-        n = n->child[p.base().bit(n->pfx.length())].get();
+        cur = n.child[p.base().bit(n.pfx.length())];
     }
     return 0;
 }
 
 std::optional<prefix> radix_tree::longest_match(const address& a) const noexcept {
     std::optional<prefix> best;
-    const node* n = root_.get();
-    while (n) {
-        if (!n->pfx.contains(a)) break;
-        if (n->count > 0) best = n->pfx;
-        if (n->pfx.length() == 128) break;
-        n = n->child[a.bit(n->pfx.length())].get();
+    std::uint32_t cur = root_;
+    while (cur != nil) {
+        const node& n = nodes_[cur];
+        if (!n.pfx.contains(a)) break;
+        if (n.count > 0) best = n.pfx;
+        if (n.pfx.length() == 128) break;
+        cur = n.child[a.bit(n.pfx.length())];
     }
     return best;
 }
 
 void radix_tree::visit(const std::function<void(const prefix&, std::uint64_t)>& fn) const {
-    // Iterative pre-order; child 0 before child 1 yields address order.
-    std::vector<const node*> stack;
-    if (root_) stack.push_back(root_.get());
+    // Pre-order; child 0 before child 1 yields address order.
+    std::vector<std::uint32_t> stack;
+    if (root_ != nil) stack.push_back(root_);
     while (!stack.empty()) {
-        const node* n = stack.back();
+        const node& n = nodes_[stack.back()];
         stack.pop_back();
-        if (n->count > 0) fn(n->pfx, n->count);
-        if (n->child[1]) stack.push_back(n->child[1].get());
-        if (n->child[0]) stack.push_back(n->child[0].get());
+        if (n.count > 0) fn(n.pfx, n.count);
+        if (n.child[1] != nil) stack.push_back(n.child[1]);
+        if (n.child[0] != nil) stack.push_back(n.child[0]);
     }
 }
 
 void radix_tree::visit_splits(const std::function<void(unsigned)>& fn) const {
-    std::vector<const node*> stack;
-    if (root_) stack.push_back(root_.get());
+    std::vector<std::uint32_t> stack;
+    if (root_ != nil) stack.push_back(root_);
     while (!stack.empty()) {
-        const node* n = stack.back();
+        const node& n = nodes_[stack.back()];
         stack.pop_back();
-        if (n->child[0] && n->child[1]) fn(n->pfx.length());
-        for (const auto& c : n->child)
-            if (c) stack.push_back(c.get());
+        if (n.child[0] != nil && n.child[1] != nil) fn(n.pfx.length());
+        if (n.child[0] != nil) stack.push_back(n.child[0]);
+        if (n.child[1] != nil) stack.push_back(n.child[1]);
     }
 }
 
 void radix_tree::aggregate_by_share(double min_share) {
-    if (!root_ || min_share <= 0.0) return;
+    if (root_ == nil || min_share <= 0.0) return;
     const auto threshold = static_cast<std::uint64_t>(
         std::ceil(min_share * static_cast<double>(total_)));
     if (threshold <= 1) return;
 
-    // Recursive lambda to keep node private.
-    std::size_t removed = 0;
-    auto agg = [&](auto&& self, std::unique_ptr<node>& slot) -> std::uint64_t {
-        if (!slot) return 0;
-        node& n = *slot;
-        n.count += self(self, n.child[0]);
-        n.count += self(self, n.child[1]);
-        if (n.count >= threshold) return 0;
+    // Iterative post-order. Because the fold only ever moves a count to
+    // the immediate parent and the adds commute, each finished node can
+    // push its sub-threshold count straight into its parent and then
+    // unlink or splice itself via the parent's child slot.
+    struct frame {
+        std::uint32_t idx;
+        std::uint32_t parent;  // nil at the root
+        std::uint8_t side;     // which child slot of parent holds idx
+        bool expanded;
+    };
+    std::uint64_t remainder = 0;
+    std::vector<frame> stack;
+    stack.push_back({root_, nil, 0, false});
+    while (!stack.empty()) {
+        frame& top = stack.back();
+        if (!top.expanded) {
+            top.expanded = true;
+            const node& n = nodes_[top.idx];
+            const std::uint32_t self = top.idx;
+            if (n.child[1] != nil) stack.push_back({n.child[1], self, 1, false});
+            if (nodes_[self].child[0] != nil)
+                stack.push_back({nodes_[self].child[0], self, 0, false});
+            continue;
+        }
+        const frame f = top;
+        stack.pop_back();
+        node& n = nodes_[f.idx];
+        if (n.count >= threshold) continue;
         const std::uint64_t pushed = n.count;
         n.count = 0;
-        if (!n.child[0] && !n.child[1]) {
-            slot.reset();
-            ++removed;
-        } else if (!n.child[0] || !n.child[1]) {
-            std::unique_ptr<node> only =
-                std::move(n.child[0] ? n.child[0] : n.child[1]);
-            slot = std::move(only);
-            ++removed;
+        const bool has0 = n.child[0] != nil;
+        const bool has1 = n.child[1] != nil;
+        if (!has0 && !has1) {
+            set_slot(f.parent, f.side, nil);
+            free_node(f.idx);
+        } else if (has0 != has1) {
+            set_slot(f.parent, f.side, has0 ? n.child[0] : n.child[1]);
+            free_node(f.idx);
         }
-        return pushed;
-    };
-    const std::uint64_t remainder = agg(agg, root_);
-    node_count_ -= removed;
+        if (pushed > 0) {
+            if (f.parent == nil)
+                remainder += pushed;
+            else
+                nodes_[f.parent].count += pushed;
+        }
+    }
     if (remainder > 0) {
         // The root of an aguri tree retains whatever could not meet the
         // share anywhere else; keep it at ::/0.
-        if (root_ && root_->pfx == prefix{}) {
-            root_->count += remainder;
+        if (root_ != nil && nodes_[root_].pfx == prefix{}) {
+            nodes_[root_].count += remainder;
         } else {
-            auto top = std::make_unique<node>();
-            top->pfx = prefix{};
-            top->count = remainder;
-            if (root_) {
-                const unsigned b = root_->pfx.base().bit(0);
-                top->child[b] = std::move(root_);
+            const std::uint32_t old = root_;
+            const std::uint32_t top = alloc_node(prefix{}, remainder);
+            if (old != nil) {
+                const unsigned b = nodes_[old].pfx.base().bit(0);
+                nodes_[top].child[b] = old;
             }
-            root_ = std::move(top);
-            ++node_count_;
+            root_ = top;
         }
     }
 }
@@ -200,77 +333,81 @@ void radix_tree::aggregate_by_share(double min_share) {
 std::vector<dense_prefix> radix_tree::dense_prefixes_at(std::uint64_t min_count,
                                                         unsigned p) const {
     std::vector<dense_prefix> out;
-    if (!root_ || min_count == 0) return out;
+    if (root_ == nil || min_count == 0) return out;
     // Distinct subtrees first reached at depth >= p always lie in distinct
     // /p prefixes (they diverge at an ancestor branch shorter than p), so
     // a single pass suffices. Counts attributed to prefixes shorter than
     // /p cannot be localized to one /p prefix and do not participate.
-    auto walk = [&](auto&& self, const node& n) -> void {
+    const std::vector<std::uint64_t> sums = subtree_sums();
+    std::vector<std::uint32_t> stack{root_};
+    while (!stack.empty()) {
+        const std::uint32_t idx = stack.back();
+        stack.pop_back();
+        const node& n = nodes_[idx];
         if (n.pfx.length() >= p) {
-            const std::uint64_t s = subtree_sum(n);
-            if (s >= min_count) out.push_back({prefix{n.pfx.base(), p}, s});
-            return;
+            if (sums[idx] >= min_count) out.push_back({prefix{n.pfx.base(), p}, sums[idx]});
+            continue;
         }
-        for (const auto& c : n.child)
-            if (c) self(self, *c);
-    };
-    walk(walk, *root_);
+        if (n.child[1] != nil) stack.push_back(n.child[1]);
+        if (n.child[0] != nil) stack.push_back(n.child[0]);
+    }
     return out;
 }
 
 std::vector<dense_prefix> radix_tree::densify(std::uint64_t n_min, unsigned p) const {
     std::vector<dense_prefix> out;
-    if (!root_ || n_min == 0) return out;
+    if (root_ == nil || n_min == 0) return out;
 
-    // Pass 1: subtree sums (the trie is shared-immutable during a const
-    // query, so memoize externally).
-    std::unordered_map<const node*, std::uint64_t> sums;
-    auto compute = [&](auto&& self, const node& n) -> std::uint64_t {
-        std::uint64_t s = n.count;
-        for (const auto& c : n.child)
-            if (c) s += self(self, *c);
-        sums.emplace(&n, s);
-        return s;
-    };
-    compute(compute, *root_);
+    // Pass 1: subtree sums, indexed by arena slot.
+    const std::vector<std::uint64_t> sums = subtree_sums();
 
     // Pass 2: top-down claim of the least-specific dense length on each
     // compressed edge. A /q prefix is dense when its count c satisfies
     // c >= n_min * 2^(p-q); given c >= n_min the least-specific such q is
-    // p - floor(log2(c / n_min)).
-    auto walk = [&](auto&& self, const node& n, unsigned parent_len) -> void {
-        const std::uint64_t c = sums.at(&n);
-        if (c < n_min) return;  // nothing below can reach n_min either
+    // p - floor(log2(c / n_min)). `lo` is the shallowest length owned by
+    // this node's compressed edge (0 only at the root).
+    struct frame {
+        std::uint32_t idx;
+        unsigned lo;
+    };
+    std::vector<frame> stack;
+    stack.push_back({root_, 0});
+    while (!stack.empty()) {
+        const frame f = stack.back();
+        stack.pop_back();
+        const node& n = nodes_[f.idx];
+        const std::uint64_t c = sums[f.idx];
+        if (c < n_min) continue;  // nothing below can reach n_min either
         unsigned s = 0;
         while (s + 1 < 64 && n_min <= (c >> (s + 1))) ++s;
         const unsigned qmin = (p > s) ? p - s : 0;
-        const unsigned lo = (parent_len == 0 && &n == root_.get()) ? 0 : parent_len + 1;
         if (qmin <= n.pfx.length()) {
-            const unsigned q = std::max(qmin, lo);
+            const unsigned q = std::max(qmin, f.lo);
             if (q <= 127 && q <= n.pfx.length()) {
                 out.push_back({prefix{n.pfx.base(), q}, c});
-                return;  // non-overlapping: claim and stop
             }
-            // q == 128: a single-address region; skip per step 3.
-            return;
+            // else q == 128: a single-address region; skip per step 3.
+            continue;  // non-overlapping: claim (or skip) and stop
         }
-        for (const auto& c2 : n.child)
-            if (c2) self(self, *c2, n.pfx.length());
-    };
-    walk(walk, *root_, 0);
+        const unsigned clo = n.pfx.length() + 1;
+        if (n.child[1] != nil) stack.push_back({n.child[1], clo});
+        if (n.child[0] != nil) stack.push_back({n.child[0], clo});
+    }
     return out;
 }
 
-std::vector<dense_prefix> dense_prefixes_by_sort(std::vector<address> addrs,
+std::vector<dense_prefix> dense_prefixes_by_sort(const std::vector<address>& addrs,
                                                  std::uint64_t min_count, unsigned p) {
     std::vector<dense_prefix> out;
     if (addrs.empty() || min_count == 0) return out;
-    for (auto& a : addrs) a = a.masked(p);
-    std::sort(addrs.begin(), addrs.end());
-    for (std::size_t i = 0; i < addrs.size();) {
+    std::vector<address> cut;
+    cut.reserve(addrs.size());
+    for (const auto& a : addrs) cut.push_back(a.masked(p));
+    std::sort(cut.begin(), cut.end());
+    for (std::size_t i = 0; i < cut.size();) {
         std::size_t j = i;
-        while (j < addrs.size() && addrs[j] == addrs[i]) ++j;
-        if (j - i >= min_count) out.push_back({prefix{addrs[i], p}, j - i});
+        while (j < cut.size() && cut[j] == cut[i]) ++j;
+        if (j - i >= min_count) out.push_back({prefix{cut[i], p}, j - i});
         i = j;
     }
     return out;

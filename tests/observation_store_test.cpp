@@ -67,6 +67,73 @@ TEST(ObservationStoreTest, LongSpansUseOverflow) {
     EXPECT_EQ(gaps[40], 10u);
 }
 
+// The next four tests pin down record::shift_right (reached via an
+// earlier day arriving after later ones): the rebase must carry bits
+// across the inline/overflow 64-bit word boundary, handle shifts of
+// exactly one word and of multiple words, and lose no set bit.
+
+TEST(ObservationStoreTest, RebaseCarriesAcrossWordBoundary) {
+    observation_store store;
+    store.record_day(70, {nth(1)});  // bit 0 of the inline word
+    store.record_day(0, {nth(1)});   // rebase: old bit must land at 70
+    EXPECT_EQ(store.days_seen(nth(1)), 2u);
+    const auto fl = store.first_last(nth(1));
+    ASSERT_TRUE(fl.has_value());
+    EXPECT_EQ(fl->first, 0);
+    EXPECT_EQ(fl->second, 70);
+    const auto gaps = store.gap_histogram(100);
+    EXPECT_EQ(gaps[70], 1u);
+}
+
+TEST(ObservationStoreTest, RebaseByExactlyOneWord) {
+    observation_store store;
+    store.record_day(64, {nth(2)});
+    store.record_day(0, {nth(2)});  // shift by exactly 64
+    EXPECT_EQ(store.days_seen(nth(2)), 2u);
+    EXPECT_TRUE(store.is_stable(nth(2), 64));
+    EXPECT_FALSE(store.is_stable(nth(2), 65));
+    const auto gaps = store.gap_histogram(100);
+    EXPECT_EQ(gaps[64], 1u);
+}
+
+TEST(ObservationStoreTest, RebaseByMoreThanOneWord) {
+    observation_store store;
+    store.record_day(200, {nth(3)});
+    store.record_day(201, {nth(3)});
+    store.record_day(0, {nth(3)});  // shift by 200: two whole words + 8 bits
+    EXPECT_EQ(store.days_seen(nth(3)), 3u);
+    const auto fl = store.first_last(nth(3));
+    EXPECT_EQ(fl->first, 0);
+    EXPECT_EQ(fl->second, 201);
+    const auto gaps = store.gap_histogram(250);
+    EXPECT_EQ(gaps[200], 1u);
+    EXPECT_EQ(gaps[1], 1u);
+}
+
+TEST(ObservationStoreTest, RepeatedRebasesLoseNoBits) {
+    observation_store store;
+    // Straddle both sides of the word boundary, then rebase three times
+    // by amounts that are not multiples of 64.
+    const int days[] = {300, 310, 350, 363, 364, 390};
+    for (const int d : days) store.record_day(d, {nth(4)});
+    store.record_day(170, {nth(4)});  // shift 130
+    store.record_day(100, {nth(4)});  // shift 70
+    store.record_day(99, {nth(4)});   // shift 1
+    EXPECT_EQ(store.days_seen(nth(4)), 9u);
+    const auto fl = store.first_last(nth(4));
+    EXPECT_EQ(fl->first, 99);
+    EXPECT_EQ(fl->second, 390);
+    // Every consecutive-day gap must survive the rebases.
+    const auto gaps = store.gap_histogram(200);
+    EXPECT_EQ(gaps[1], 2u);    // 99->100, 363->364
+    EXPECT_EQ(gaps[70], 1u);   // 100->170
+    EXPECT_EQ(gaps[130], 1u);  // 170->300
+    EXPECT_EQ(gaps[10], 1u);   // 300->310
+    EXPECT_EQ(gaps[40], 1u);   // 310->350
+    EXPECT_EQ(gaps[13], 1u);   // 350->363
+    EXPECT_EQ(gaps[26], 1u);   // 364->390
+}
+
 TEST(ObservationStoreTest, PrefixProjection) {
     observation_store store(64);
     store.record_day(1, {address::from_pair(0xaa, 1), address::from_pair(0xaa, 2)});

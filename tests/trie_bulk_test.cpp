@@ -1,0 +1,198 @@
+// trie_bulk_test — differential coverage for the arena-backed trie:
+// bulk_build vs incremental add, the trie's dense queries vs the paper's
+// footnote-3 sort-cut-uniq recipe, and the trie-backed MRA vs the
+// sorted-array MRA, on a 100k mixed synthetic population (privacy IID
+// low halves + small structured pools, as in bench/micro_substrate).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "v6class/netgen/iid.h"
+#include "v6class/netgen/rng.h"
+#include "v6class/spatial/mra.h"
+#include "v6class/trie/radix_tree.h"
+
+namespace v6 {
+namespace {
+
+std::vector<address> make_addresses(std::size_t n, std::uint64_t seed) {
+    rng r{seed};
+    std::vector<address> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t hi = 0x20010db800000000ull | r.uniform(1u << 14);
+        const std::uint64_t lo =
+            r.chance(0.6) ? privacy_iid(r()) : r.uniform(1u << 12);
+        out.push_back(address::from_pair(hi, lo));
+    }
+    return out;
+}
+
+struct entry {
+    prefix pfx;
+    std::uint64_t count;
+    friend bool operator==(const entry&, const entry&) = default;
+};
+
+std::vector<entry> visit_all(const radix_tree& t) {
+    std::vector<entry> out;
+    t.visit([&](const prefix& p, std::uint64_t c) { out.push_back({p, c}); });
+    return out;
+}
+
+std::vector<unsigned> splits_all(const radix_tree& t) {
+    std::vector<unsigned> out;
+    t.visit_splits([&](unsigned len) { out.push_back(len); });
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+TEST(TrieBulkBuild, MatchesIncrementalOnMixed100k) {
+    const std::vector<address> addrs = make_addresses(100000, 77);
+
+    radix_tree incremental;
+    for (const address& a : addrs) incremental.add(a);
+
+    std::vector<address> sorted = addrs;
+    std::sort(sorted.begin(), sorted.end());
+    radix_tree bulk;
+    bulk.bulk_build(sorted);
+
+    // The compressed trie over a fixed leaf set is unique, so the two
+    // construction orders must agree on everything observable.
+    EXPECT_EQ(bulk.total(), incremental.total());
+    EXPECT_EQ(bulk.node_count(), incremental.node_count());
+    EXPECT_EQ(visit_all(bulk), visit_all(incremental));
+    EXPECT_EQ(splits_all(bulk), splits_all(incremental));
+    EXPECT_EQ(bulk.densify(2, 112), incremental.densify(2, 112));
+    EXPECT_EQ(bulk.densify(8, 64), incremental.densify(8, 64));
+    EXPECT_EQ(bulk.dense_prefixes_at(2, 112), incremental.dense_prefixes_at(2, 112));
+}
+
+TEST(TrieBulkBuild, DuplicatesAccumulateLikeAdd) {
+    std::vector<address> addrs = make_addresses(5000, 9);
+    // Force heavy duplication.
+    const std::size_t n = addrs.size();
+    for (std::size_t i = 0; i < n; i += 2) addrs.push_back(addrs[i]);
+
+    radix_tree incremental;
+    for (const address& a : addrs) incremental.add(a, 3);
+
+    std::sort(addrs.begin(), addrs.end());
+    radix_tree bulk;
+    bulk.bulk_build(addrs, 3);
+
+    EXPECT_EQ(bulk.total(), incremental.total());
+    EXPECT_EQ(bulk.node_count(), incremental.node_count());
+    EXPECT_EQ(visit_all(bulk), visit_all(incremental));
+}
+
+TEST(TrieBulkBuild, NonEmptyTreeFallsBackToAdd) {
+    radix_tree t;
+    t.add(address::must_parse("2001:db8::1"));
+    std::vector<address> more{address::must_parse("2001:db8::2"),
+                              address::must_parse("2001:db8::3")};
+    t.bulk_build(more);
+    EXPECT_EQ(t.total(), 3u);
+    EXPECT_EQ(t.subtree_count(prefix{address::must_parse("2001:db8::"), 64}), 3u);
+}
+
+TEST(TrieBulkBuild, EmptyAndSingle) {
+    radix_tree t;
+    t.bulk_build({});
+    EXPECT_TRUE(t.empty());
+    const address a = address::must_parse("2001:db8::42");
+    t.bulk_build({a});
+    EXPECT_EQ(t.total(), 1u);
+    EXPECT_EQ(t.node_count(), 1u);
+    EXPECT_EQ(t.count_at(prefix{a, 128}), 1u);
+}
+
+TEST(TrieDifferential, DenseQueryMatchesFootnote3SortOnMixed100k) {
+    const std::vector<address> addrs = make_addresses(100000, 101);
+    std::vector<address> sorted = addrs;
+    std::sort(sorted.begin(), sorted.end());
+    radix_tree t;
+    t.bulk_build(sorted);
+
+    for (const auto& [min_count, p] :
+         std::vector<std::pair<std::uint64_t, unsigned>>{
+             {2, 112}, {4, 112}, {2, 120}, {16, 64}, {2, 48}}) {
+        const auto via_trie = t.dense_prefixes_at(min_count, p);
+        const auto via_sort = dense_prefixes_by_sort(addrs, min_count, p);
+        EXPECT_EQ(via_trie, via_sort) << "n=" << min_count << " p=" << p;
+    }
+}
+
+TEST(TrieDifferential, MraFromTrieMatchesSortedOnMixed100k) {
+    const std::vector<address> addrs = make_addresses(100000, 202);
+    std::vector<address> sorted = addrs;
+    std::sort(sorted.begin(), sorted.end());
+    radix_tree t;
+    t.bulk_build(sorted);  // duplicates collapse into counts; MRA ignores them
+
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    const mra_series from_sorted = compute_mra_sorted(sorted);
+    const mra_series from_trie = compute_mra_from_trie(t);
+    for (unsigned p = 0; p <= 128; ++p)
+        ASSERT_EQ(from_trie.aggregate_count(p), from_sorted.aggregate_count(p))
+            << "p=" << p;
+}
+
+TEST(TrieArena, AggregateGoldenSurvivesArena) {
+    // A fixed population whose aguri fold is known: 60+25 observations
+    // in two /64s of one /48, plus 15 spread thinly elsewhere.
+    radix_tree t;
+    const address heavy1 = address::must_parse("2001:db8:1:1::1");
+    const address heavy2 = address::must_parse("2001:db8:1:2::1");
+    t.add(heavy1, 60);
+    t.add(heavy2, 25);
+    for (int i = 0; i < 15; ++i)
+        t.add(address::from_pair(0x2002000000000000ull + static_cast<std::uint64_t>(i) * 0x100000000ull, 1));
+    ASSERT_EQ(t.total(), 100u);
+
+    t.aggregate_by_share(0.20);  // threshold: 20 observations
+
+    const std::vector<entry> got = visit_all(t);
+    // heavy1 and heavy2 keep their own nodes; the 15 singletons fold up
+    // to the root (their meet is shorter than any counted ancestor).
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0].pfx, prefix{});  // ::/0 root remainder
+    EXPECT_EQ(got[0].count, 15u);
+    EXPECT_EQ(got[1].pfx, (prefix{heavy1, 128}));
+    EXPECT_EQ(got[1].count, 60u);
+    EXPECT_EQ(got[2].pfx, (prefix{heavy2, 128}));
+    EXPECT_EQ(got[2].count, 25u);
+    EXPECT_EQ(t.total(), 100u);
+}
+
+TEST(TrieArena, FreeListReuseAfterAggregateAndClear) {
+    radix_tree t;
+    const std::vector<address> addrs = make_addresses(2000, 5);
+    for (const address& a : addrs) t.add(a);
+    const std::size_t before = t.node_count();
+    t.aggregate_by_share(0.01);  // folds most of the tree, freeing nodes
+    ASSERT_LT(t.node_count(), before);
+
+    // New inserts must land on recycled slots without disturbing the
+    // surviving structure.
+    const std::uint64_t total_before = t.total();
+    t.add(address::must_parse("2001:db8:ffff::1"), 7);
+    EXPECT_EQ(t.total(), total_before + 7);
+    EXPECT_EQ(t.count_at(prefix{address::must_parse("2001:db8:ffff::1"), 128}), 7u);
+
+    // clear() keeps the arena; a rebuild must be equivalent to a fresh
+    // tree over the same input.
+    t.clear();
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.node_count(), 0u);
+    for (const address& a : addrs) t.add(a);
+    radix_tree fresh;
+    for (const address& a : addrs) fresh.add(a);
+    EXPECT_EQ(visit_all(t), visit_all(fresh));
+    EXPECT_EQ(t.node_count(), fresh.node_count());
+}
+
+}  // namespace
+}  // namespace v6
