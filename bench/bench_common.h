@@ -10,11 +10,38 @@
 #include <vector>
 
 #include "v6class/cdnsim/world.h"
+#include "v6class/obs/atomic_file.h"
 #include "v6class/obs/metrics.h"
+#include "v6class/obs/profile.h"
 #include "v6class/obs/timer.h"
 #include "v6class/par/pool.h"
 
 namespace v6::bench {
+
+namespace detail {
+inline std::string& metrics_path() {
+    static std::string path;
+    return path;
+}
+inline void dump_metrics_at_exit() {
+    if (detail::metrics_path().empty()) return;
+    if (!obs::registry::global().write_file(detail::metrics_path()))
+        std::fprintf(stderr, "warning: cannot write %s\n",
+                     detail::metrics_path().c_str());
+}
+inline std::string& profile_path() {
+    static std::string path;
+    return path;
+}
+inline void dump_profile_at_exit() {
+    if (detail::profile_path().empty()) return;
+    obs::profiler::stop();
+    if (!obs::atomic_write_file(detail::profile_path(),
+                                obs::profiler::folded_text()))
+        std::fprintf(stderr, "warning: cannot write %s\n",
+                     detail::profile_path().c_str());
+}
+}  // namespace detail
 
 /// Parses "--scale=X" and "--seed=N" style flags; anything else is
 /// ignored so binaries can be launched uniformly.
@@ -26,6 +53,9 @@ struct options {
     std::string metrics_out;        // --metrics-out=F override
     bool metrics = true;            // --no-metrics disables the exit dump
     unsigned threads = 0;           // --threads=N; 0 = hardware concurrency
+    std::string trace_out;          // --trace-out=F: span trace Chrome JSON
+    std::string profile_out;        // --profile-out=F: folded stacks
+    unsigned profile_hz = 97;       // --profile-hz=N sampling rate
 };
 
 inline options parse_options(int argc, char** argv, double default_scale = 0.5) {
@@ -49,10 +79,22 @@ inline options parse_options(int argc, char** argv, double default_scale = 0.5) 
             opt.metrics = false;
         else if (std::strncmp(arg, "--threads=", 10) == 0)
             opt.threads = static_cast<unsigned>(std::atoi(arg + 10));
+        else if (std::strncmp(arg, "--trace-out=", 12) == 0)
+            opt.trace_out = arg + 12;
+        else if (std::strncmp(arg, "--profile-out=", 14) == 0)
+            opt.profile_out = arg + 14;
+        else if (std::strncmp(arg, "--profile-hz=", 13) == 0)
+            opt.profile_hz = static_cast<unsigned>(std::atoi(arg + 13));
     }
     // Results are deterministic at any width (index-keyed slots; see
     // DESIGN.md), so the flag only trades wall time.
     par::set_default_threads(opt.threads);
+    if (!opt.trace_out.empty()) obs::trace_log::enable(opt.trace_out);
+    if (!opt.profile_out.empty()) {
+        detail::profile_path() = opt.profile_out;
+        if (obs::profiler::start(opt.profile_hz))
+            std::atexit(detail::dump_profile_at_exit);
+    }
     return opt;
 }
 
@@ -71,19 +113,6 @@ public:
 private:
     obs::trace_scope span_;
 };
-
-namespace detail {
-inline std::string& metrics_path() {
-    static std::string path;
-    return path;
-}
-inline void dump_metrics_at_exit() {
-    if (detail::metrics_path().empty()) return;
-    if (!obs::registry::global().write_file(detail::metrics_path()))
-        std::fprintf(stderr, "warning: cannot write %s\n",
-                     detail::metrics_path().c_str());
-}
-}  // namespace detail
 
 inline world_config world_cfg(const options& opt) {
     world_config cfg;

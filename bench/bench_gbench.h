@@ -1,0 +1,67 @@
+// bench_gbench.h — shared google-benchmark plumbing for the micro
+// benches: a reporter that mirrors every finished run into the
+// process-wide v6::obs registry, and the common main() body that arms
+// the BENCH_<name>.json exit dump exactly like the table/figure drivers.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace v6::bench {
+
+/// Mirrors every finished run into the process-wide registry so the
+/// bench_common exit dump writes a machine-readable baseline alongside
+/// the console table.
+class registry_reporter : public benchmark::ConsoleReporter {
+public:
+    void ReportRuns(const std::vector<Run>& reports) override {
+        for (const Run& run : reports) {
+            if (run.error_occurred) continue;
+            const std::string name = run.benchmark_name();
+            const double iters =
+                run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+            obs::registry::global()
+                .get_dgauge("v6_bench_benchmark_seconds", {{"benchmark", name}},
+                            "Mean wall seconds per iteration of one "
+                            "microbenchmark.")
+                .set(run.real_accumulated_time / iters);
+            const auto items = run.counters.find("items_per_second");
+            if (items != run.counters.end())
+                obs::registry::global()
+                    .get_dgauge("v6_bench_items_per_second",
+                                {{"benchmark", name}},
+                                "Throughput reported by one microbenchmark.")
+                    .set(items->second.value);
+        }
+        ConsoleReporter::ReportRuns(reports);
+    }
+};
+
+/// The common micro-bench main(): google-benchmark flags first, then the
+/// v6-style flags (--metrics-out, --no-metrics, --threads), then the run
+/// with the registry reporter. `default_out` overrides the
+/// BENCH_<argv0>.json default dump name (still beaten by --metrics-out).
+inline int run_gbench_main(int argc, char** argv,
+                           const char* default_out = nullptr) {
+    benchmark::Initialize(&argc, argv);
+    const options opt = parse_options(argc, argv);
+    if (opt.metrics && detail::metrics_path().empty()) {
+        detail::metrics_path() =
+            !opt.metrics_out.empty() ? opt.metrics_out
+            : default_out            ? std::string(default_out)
+                                     : "BENCH_" + opt.program + ".json";
+        // Construct the registry singleton BEFORE registering the dump:
+        // exit teardown is LIFO, so the registry must predate the handler.
+        (void)obs::registry::global();
+        std::atexit(detail::dump_metrics_at_exit);
+    }
+    registry_reporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    return 0;
+}
+
+}  // namespace v6::bench

@@ -13,8 +13,12 @@ int main(int argc, char** argv) {
     banner("Figure 3: aggregate population distributions", opt);
     const world w(world_cfg(opt));
 
-    const std::vector<address> addrs = week_addresses(w, kMar2015);
-    const std::vector<address> p64s = to_64s(addrs);
+    std::vector<address> addrs, p64s;
+    {
+        const timed_phase phase("collect_week");
+        addrs = week_addresses(w, kMar2015);
+        p64s = to_64s(addrs);
+    }
     std::printf("one week of activity: %s addresses, %s /64s\n"
                 "(paper: 1.87B addrs, 358M /64s)\n\n",
                 format_count(static_cast<double>(addrs.size())).c_str(),
@@ -32,6 +36,7 @@ int main(int argc, char** argv) {
     };
     // Aggregate the five curves concurrently (slot per curve); print in
     // declaration order afterwards so stdout is thread-count invariant.
+    const timed_phase phase("aggregate_ccdfs");
     using ccdf_t = decltype(ccdf_of(aggregate_populations(addrs, 32)));
     const auto ccdfs = par::map_indexed<ccdf_t>(
         std::size(curves), [&](std::size_t i) {

@@ -22,20 +22,31 @@ int main(int argc, char** argv) {
     const auto past_week = week_addresses(w, kSep2014);
     const auto stable_64s = epoch_stable(to_64s(now_week), to_64s(past_week));
 
+    // The two group-by passes only read the registry (routes() is a pure
+    // const accessor since the sorted-insert fix), so they fan out
+    // through the pool; each task writes its own maps, and the emit
+    // order below fixes stdout at any thread count.
     std::map<std::uint32_t, std::uint64_t> addrs_per_asn, p64s_per_asn,
         eui_per_asn, stable64_per_asn;
     {
-        const auto groups = group_by_asn(w.registry(), now_week);
-        for (const auto& [asn, list] : groups) {
-            addrs_per_asn[asn] = list.size();
-            p64s_per_asn[asn] = to_64s(list).size();
-            std::uint64_t eui = 0;
-            for (const address& a : list)
-                if (is_eui64(a)) ++eui;
-            if (eui) eui_per_asn[asn] = eui;
-        }
-        for (const auto& [asn, list] : group_by_asn(w.registry(), stable_64s))
-            stable64_per_asn[asn] = list.size();
+        const timed_phase phase("group_by_asn");
+        par::run_indexed(2, [&](std::size_t task) {
+            if (task == 0) {
+                const auto groups = group_by_asn(w.registry(), now_week);
+                for (const auto& [asn, list] : groups) {
+                    addrs_per_asn[asn] = list.size();
+                    p64s_per_asn[asn] = to_64s(list).size();
+                    std::uint64_t eui = 0;
+                    for (const address& a : list)
+                        if (is_eui64(a)) ++eui;
+                    if (eui) eui_per_asn[asn] = eui;
+                }
+            } else {
+                for (const auto& [asn, list] :
+                     group_by_asn(w.registry(), stable_64s))
+                    stable64_per_asn[asn] = list.size();
+            }
+        });
     }
 
     const auto emit = [](const char* label,

@@ -34,12 +34,15 @@ int main(int argc, char** argv) {
     const int day = kMar2015;
 
     std::vector<address> native, six_to_four;
-    for (int d = day; d < day + 7; ++d) {
-        for (const address& a : w.active_addresses(d)) {
-            if (is_6to4(a))
-                six_to_four.push_back(a);
-            else if (!is_teredo(a) && !is_isatap(a))
-                native.push_back(a);
+    {
+        const timed_phase phase("collect_addresses");
+        for (int d = day; d < day + 7; ++d) {
+            for (const address& a : w.active_addresses(d)) {
+                if (is_6to4(a))
+                    six_to_four.push_back(a);
+                else if (!is_teredo(a) && !is_isatap(a))
+                    native.push_back(a);
+            }
         }
     }
 
@@ -47,6 +50,7 @@ int main(int argc, char** argv) {
     // collection and sort is independent — then render in panel order so
     // stdout is byte-identical at any thread count.
     std::vector<std::optional<mra_series>> mras(6);
+    const timed_phase phase("compute_mras");
     par::run_indexed(6, [&](std::size_t i) {
         switch (i) {
             case 0: mras[0] = compute_mra(std::move(native)); break;

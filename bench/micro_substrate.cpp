@@ -11,7 +11,7 @@
 
 #include <vector>
 
-#include "bench_common.h"
+#include "bench_gbench.h"
 #include "v6class/addrtype/classify.h"
 #include "v6class/addrtype/malone.h"
 #include "v6class/netgen/iid.h"
@@ -235,50 +235,8 @@ void BM_address_sort_unique(benchmark::State& state) {
 }
 BENCHMARK(BM_address_sort_unique)->Arg(100000);
 
-// Mirrors every finished run into the process-wide registry so the
-// bench_common exit dump writes a machine-readable baseline alongside
-// the console table.
-class registry_reporter : public benchmark::ConsoleReporter {
-public:
-    void ReportRuns(const std::vector<Run>& reports) override {
-        for (const Run& run : reports) {
-            if (run.error_occurred) continue;
-            const std::string name = run.benchmark_name();
-            const double iters =
-                run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
-            v6::obs::registry::global()
-                .get_dgauge("v6_bench_benchmark_seconds", {{"benchmark", name}},
-                            "Mean wall seconds per iteration of one "
-                            "microbenchmark.")
-                .set(run.real_accumulated_time / iters);
-            const auto items = run.counters.find("items_per_second");
-            if (items != run.counters.end())
-                v6::obs::registry::global()
-                    .get_dgauge("v6_bench_items_per_second",
-                                {{"benchmark", name}},
-                                "Throughput reported by one microbenchmark.")
-                    .set(items->second.value);
-        }
-        ConsoleReporter::ReportRuns(reports);
-    }
-};
-
 }  // namespace
 
 int main(int argc, char** argv) {
-    benchmark::Initialize(&argc, argv);
-    // parse_options consumes the v6-style flags google-benchmark left
-    // alone (--metrics-out, --no-metrics, --threads) and arms the
-    // registry dump exactly like the table/figure drivers do.
-    const v6::bench::options opt = v6::bench::parse_options(argc, argv);
-    if (opt.metrics && v6::bench::detail::metrics_path().empty()) {
-        v6::bench::detail::metrics_path() =
-            opt.metrics_out.empty() ? "BENCH_" + opt.program + ".json"
-                                    : opt.metrics_out;
-        (void)v6::obs::registry::global();
-        std::atexit(v6::bench::detail::dump_metrics_at_exit);
-    }
-    registry_reporter reporter;
-    benchmark::RunSpecifiedBenchmarks(&reporter);
-    return 0;
+    return v6::bench::run_gbench_main(argc, argv);
 }

@@ -30,12 +30,17 @@ int main(int argc, char** argv) {
         {2, 124}, {3, 120}, {2, 120}, {2, 116}, {64, 112}, {32, 112},
         {16, 112}, {8, 112}, {4, 112}, {2, 112}, {2, 108}, {2, 104},
     };
-    std::fputs(render_table3(compute_density_table(routers, classes), "Router")
-                   .c_str(),
-               stdout);
+    {
+        const timed_phase phase("density_table");
+        std::fputs(
+            render_table3(compute_density_table(routers, classes), "Router")
+                .c_str(),
+            stdout);
+    }
 
     // Section 6.2.2's closing experiment: the same machinery on the
     // active WWW clients of one day.
+    const timed_phase phase("client_dense");
     auto clients = cull_transition(w.active_addresses(kMar2015)).other;
     std::sort(clients.begin(), clients.end());
     radix_tree client_tree;

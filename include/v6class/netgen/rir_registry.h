@@ -66,8 +66,10 @@ private:
 
     std::map<rir, region_state> regions_;
     prefix_map<std::uint32_t> table_;        // longest-prefix-match to ASN
-    mutable std::vector<bgp_route> routes_;  // kept sorted by prefix
-    mutable bool sorted_ = true;
+    // Kept sorted by prefix via sorted insert in advertise(), so const
+    // reads never mutate — routes() is thread-safe under concurrent
+    // readers (the fig5a parallel fan-out relies on this).
+    std::vector<bgp_route> routes_;
 };
 
 }  // namespace v6

@@ -31,11 +31,18 @@ struct dashboard_stat {
     std::string value;
 };
 
+/// One header navigation link (to the sibling endpoints).
+struct dashboard_link {
+    std::string href;   ///< e.g. "/trace"
+    std::string label;  ///< e.g. "trace"
+};
+
 struct dashboard_model {
     std::string title = "v6class live";
     std::string status = "serving";        ///< mirrors /healthz status
     double uptime_seconds = 0;
     std::vector<dashboard_stat> stats;     ///< headline row
+    std::vector<dashboard_link> links;     ///< header nav (/metrics, /trace, ...)
     std::vector<dashboard_series> series;  ///< sparkline grid
     std::vector<event> events;             ///< recent, oldest first
     unsigned refresh_seconds = 2;          ///< meta-refresh cadence (0 = off)

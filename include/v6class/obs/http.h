@@ -8,6 +8,11 @@
 //                   a draining shutdown from a healthy server
 //   GET /dashboard  self-contained HTML dashboard (also served at /)
 //                   when a renderer is installed; 404 otherwise
+//   GET /trace      Chrome-trace JSON of the process span tracer
+//                   (v6::obs::tracer) — load in chrome://tracing or
+//                   Perfetto; empty traceEvents until tracing is on
+//   GET /profile    folded-stack text from the sampling self-profiler
+//                   (v6::obs::profiler) — pipe to flamegraph.pl
 //
 // One acceptor thread, one connection at a time, no keep-alive — the
 // xenoeye-style collector discipline: the scrape path must never

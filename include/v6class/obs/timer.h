@@ -1,22 +1,26 @@
 // timer.h — RAII phase timing: scoped spans that feed a latency
-// histogram and, when tracing is enabled, a Chrome-trace event log.
+// histogram and, when tracing is enabled, the v6::obs::trace span
+// tracer (see trace.h).
 //
 // phase_timer is the cheap primitive: two steady_clock reads around a
 // scope, one histogram observation at the end. With a null histogram it
 // compiles to nothing (no clock reads), so callers can construct it
 // unconditionally and let handle wiring decide.
 //
-// trace_scope additionally records a complete ("ph":"X") event into the
-// process trace log. Load the resulting file in chrome://tracing or
+// trace_scope additionally opens a tracer span, so every phase shows up
+// in the /trace Chrome-trace export and parents any fan-out launched
+// inside it. Load the resulting file in chrome://tracing or
 // https://ui.perfetto.dev to see the phases of a run laid out on a
-// timeline per thread. Tracing is off until trace_log::enable(path);
-// when off, a trace_scope degrades to its phase_timer.
+// timeline per thread. Tracing is off until trace_log::enable(path) or
+// tracer::enable(); when off, a trace_scope degrades to its
+// phase_timer.
 #pragma once
 
 #include <chrono>
 #include <string>
 
 #include "v6class/obs/metrics.h"
+#include "v6class/obs/trace.h"
 
 namespace v6::obs {
 
@@ -50,10 +54,11 @@ private:
     bool stopped_ = false;
 };
 
-/// Process-wide Chrome-trace collector. Events are buffered in memory
-/// and written as a JSON array on flush() (and automatically at process
-/// exit once enabled). Thread-safe; record() takes a mutex, so tracing
-/// is a diagnostic mode, not a hot-path default.
+/// File façade over the span tracer for --trace-out: enable(path)
+/// turns tracing on and remembers where to write; flush() (and process
+/// exit) writes the tracer's Chrome-trace JSON there atomically. Spans
+/// are buffered in the tracer's lock-free rings, so tools need no
+/// explicit teardown on any return path.
 class trace_log {
 public:
     /// Starts collecting, to be written to `path`. Idempotent (the last
@@ -62,32 +67,32 @@ public:
     static bool enabled() noexcept;
 
     /// Records one complete event (timestamps in microseconds since the
-    /// first enable). No-op while disabled.
+    /// tracer origin) as a parentless span. No-op while disabled.
     static void record(const char* name, double ts_us, double dur_us);
 
-    /// Writes the buffered events to the enabled path. Returns false
-    /// when disabled or the file cannot be written. The buffer is kept,
-    /// so periodic flushes write ever-longer prefixes of the run.
+    /// Writes the collected spans to the enabled path. Returns false
+    /// when no path is set or the file cannot be written. Spans are
+    /// kept, so periodic flushes write ever-longer prefixes of the run.
     static bool flush();
 
-    /// Drops all buffered events and disables collection (tests).
+    /// Drops all collected spans and disables collection (tests).
     static void reset();
 };
 
-/// phase_timer plus a trace event named `name`.
+/// phase_timer plus a tracer span named `name`. The span makes this
+/// phase the thread's current trace context, so tasks fanned out from
+/// inside the scope parent to it.
 class trace_scope {
 public:
-    explicit trace_scope(const char* name, histogram h = {}) noexcept;
-    ~trace_scope();
+    explicit trace_scope(const char* name, histogram h = {}) noexcept
+        : timer_(h), span_(name) {}
 
     trace_scope(const trace_scope&) = delete;
     trace_scope& operator=(const trace_scope&) = delete;
 
 private:
-    const char* name_;
     phase_timer timer_;
-    bool tracing_;
-    double start_us_ = 0.0;
+    span span_;  // destroyed first: the span closes before the timer
 };
 
 }  // namespace v6::obs

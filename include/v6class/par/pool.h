@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -37,6 +38,20 @@ void set_default_threads(unsigned n) noexcept;
 /// task increments the v6_par_tasks_total counter.
 void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn,
                  unsigned threads = 0);
+
+/// A point-in-time view of the pool for introspection gauges: how many
+/// persistent workers exist, how many seats are currently executing
+/// tasks (caller threads included), and the cumulative wall time spent
+/// inside task execution. Utilization over an interval is
+/// delta(busy_ns) / (delta(wall_ns) * seats) — the stream engine
+/// surfaces this per day seal.
+struct pool_stats {
+    unsigned workers = 0;
+    unsigned active = 0;
+    std::uint64_t busy_ns = 0;
+};
+
+pool_stats stats() noexcept;
 
 /// run_indexed producing a vector: out[i] = fn(i). T must be default-
 /// constructible and movable; determinism follows from index-keyed slots.

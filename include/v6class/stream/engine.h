@@ -35,6 +35,7 @@
 #include "v6class/obs/event_log.h"
 #include "v6class/obs/metrics.h"
 #include "v6class/obs/sketch.h"
+#include "v6class/obs/trace.h"
 #include "v6class/spatial/density.h"
 #include "v6class/spatial/mra.h"
 #include "v6class/stream/bounded_queue.h"
@@ -130,6 +131,14 @@ struct day_report {
     double gamma16 = 1;  ///< gamma^16 at p=48 (n_64 / n_48)
     double stable_fraction = 0;  ///< stable / active (0 when no active)
     double est_day_addresses = 0, est_day_48s = 0, est_day_64s = 0;
+
+    // Introspection sampled at this seal: the merged trie's arena
+    // occupancy (live node slots, free-listed slots) and the v6::par
+    // pool's seat utilization over the interval since the previous
+    // seal (0..1, 0 while the pool sat idle).
+    std::uint64_t arena_nodes = 0;
+    std::uint64_t arena_free = 0;
+    double pool_utilization = 0;
 };
 
 /// Snapshot of one live derived series (dashboard / queries).
@@ -250,6 +259,12 @@ private:
         kind k = kind::batch;
         int day = kNoDay;  // seal only
         std::vector<stream_record> batch;
+        // Span context riding the batch: captured at enqueue so the
+        // worker's ingest span parents to the pusher's span and the
+        // queue dwell time is recorded as a queue_wait span. Zero when
+        // tracing is off.
+        obs::span_context ctx{};
+        std::uint64_t enqueue_ns = 0;
     };
 
     unsigned shard_of(const address& a) const noexcept {
@@ -284,6 +299,9 @@ private:
         std::vector<obs::gauge> queue_depth;       // one per shard
         std::vector<obs::gauge> queue_high_water;  // one per shard
         obs::histogram seal_latency, report_build;
+        // Introspection gauges, refreshed per seal: merged-trie arena
+        // occupancy/free-list and process RSS.
+        obs::gauge arena_live, arena_free;
     };
 
     stream_config cfg_;
@@ -337,8 +355,12 @@ private:
     std::size_t li_hits_p50_ = 0, li_hits_p99_ = 0;
     std::size_t li_dense_first_ = 0;   // one per cfg_.density_classes entry
     std::size_t li_est_first_ = 0;     // addrs, /48s, /64s (sketches on)
+    std::size_t li_pool_util_ = 0, li_arena_nodes_ = 0;
     obs::counter drift_events_;
     day_estimates last_estimates_;     // roll thread only
+    // Pool-utilization baseline from the previous seal (roll thread).
+    std::uint64_t last_busy_ns_ = 0;
+    std::uint64_t last_util_wall_ns_ = 0;
     std::vector<std::unique_ptr<stream_shard>> shards_;
     std::vector<std::unique_ptr<bounded_queue<shard_message>>> queues_;
     std::vector<std::thread> workers_;

@@ -75,6 +75,21 @@ public:
     /// Number of trie nodes currently live (branch + counted).
     std::size_t node_count() const noexcept { return node_count_; }
 
+    /// Arena occupancy for introspection gauges: how many node slots
+    /// the arena holds (`size`), how many are live, how long the
+    /// intrusive free list is, and the vector capacity (allocated but
+    /// possibly unconstructed slots).
+    struct arena_stats {
+        std::size_t capacity = 0;   ///< nodes_.capacity()
+        std::size_t size = 0;       ///< constructed slots (live + free)
+        std::size_t live = 0;       ///< node_count()
+        std::size_t free_list = 0;  ///< slots parked for reuse
+    };
+    arena_stats arena() const noexcept {
+        return {nodes_.capacity(), nodes_.size(), node_count_,
+                nodes_.size() - node_count_};
+    }
+
     /// True when nothing has been added.
     bool empty() const noexcept { return root_ == nil; }
 

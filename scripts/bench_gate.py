@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare v6::obs registry JSON dumps.
+
+Usage: bench_gate.py BASELINE.json FRESH.json... [--threshold=1.25]
+                     [--merge-out=FILE]
+
+The files are the BENCH_<name>.json dumps the micro benches write at
+exit. Benchmarks are matched by the `benchmark` label of the
+v6_bench_benchmark_seconds gauges. When several FRESH files are given
+(repeated runs), the per-benchmark minimum is used — the minimum over
+repetitions estimates the noise-free cost, since scheduler and cache
+interference only ever add time. The gate fails (exit 1) when any
+benchmark present on both sides runs slower than baseline * threshold;
+benchmarks only present on one side are reported but never fail the
+gate (they are new, removed, or renamed — the refreshed baseline picks
+them up).
+
+--merge-out=FILE writes the first FRESH dump with every
+v6_bench_benchmark_seconds value replaced by the cross-run minimum —
+the file check.sh commits back as the refreshed baseline.
+
+Microbenchmark timings on a shared box are noisy; best-of-N plus 25%
+headroom passes turbo/cache jitter and still catches a real
+algorithmic regression (the ablations in DESIGN.md differ by 2-10x).
+"""
+import json
+import sys
+
+
+def load_seconds(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for metric in doc.get("metrics", []):
+        if metric.get("name") != "v6_bench_benchmark_seconds":
+            continue
+        bench = metric.get("labels", {}).get("benchmark")
+        value = metric.get("value")
+        if bench and isinstance(value, (int, float)) and value > 0:
+            out[bench] = float(value)
+    return out
+
+
+def main(argv):
+    threshold = 1.25
+    merge_out = None
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        elif arg.startswith("--merge-out="):
+            merge_out = arg.split("=", 1)[1]
+        else:
+            paths.append(arg)
+    if len(paths) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    base_path, fresh_paths = paths[0], paths[1:]
+    base = load_seconds(base_path)
+    fresh = {}
+    for path in fresh_paths:
+        for bench, value in load_seconds(path).items():
+            fresh[bench] = min(value, fresh.get(bench, value))
+
+    if merge_out:
+        with open(fresh_paths[0]) as f:
+            doc = json.load(f)
+        for metric in doc.get("metrics", []):
+            if metric.get("name") != "v6_bench_benchmark_seconds":
+                continue
+            bench = metric.get("labels", {}).get("benchmark")
+            if bench in fresh:
+                metric["value"] = fresh[bench]
+        with open(merge_out, "w") as f:
+            json.dump(doc, f, separators=(",", ":"))
+
+    if not base:
+        print(f"bench gate: no benchmarks in baseline {base_path}; "
+              "skipping comparison")
+        return 0
+    if not fresh:
+        print("bench gate: no benchmarks in fresh run(s)", file=sys.stderr)
+        return 1
+
+    regressions = []
+    for bench in sorted(base.keys() & fresh.keys()):
+        ratio = fresh[bench] / base[bench]
+        if ratio > threshold:
+            regressions.append((bench, base[bench], fresh[bench], ratio))
+    for bench in sorted(fresh.keys() - base.keys()):
+        print(f"bench gate: new benchmark (not gated): {bench}")
+    for bench in sorted(base.keys() - fresh.keys()):
+        print(f"bench gate: benchmark vanished (not gated): {bench}")
+
+    if regressions:
+        print(f"bench gate: FAIL — {len(regressions)} benchmark(s) slower "
+              f"than {threshold:.2f}x baseline:", file=sys.stderr)
+        for bench, b, f, ratio in regressions:
+            print(f"  {bench}: {b:.3e}s -> {f:.3e}s ({ratio:.2f}x)",
+                  file=sys.stderr)
+        return 1
+    compared = len(base.keys() & fresh.keys())
+    print(f"bench gate: OK — {compared} benchmark(s) within "
+          f"{threshold:.2f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

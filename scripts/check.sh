@@ -29,16 +29,26 @@ for preset in "${presets[@]}"; do
     ctest --preset "${preset}" -j "${jobs}" "${label_args[@]}"
 
     if [ "${preset}" = default ]; then
-        # Bench smoke: every microbenchmark must still run, and the
-        # registry reporter must still emit the machine-readable dump.
-        # The committed BENCH_substrate.json perf baseline is refreshed
-        # in place so a substrate regression shows up as a diff.
+        # Bench gate: every microbenchmark must still run, the registry
+        # reporter must still emit the machine-readable dump, and no
+        # benchmark may run >25% slower than the committed
+        # BENCH_substrate.json baseline. Two fresh runs are taken and
+        # the gate compares the per-benchmark minimum (noise only adds
+        # time). On a pass the min-merged result replaces the baseline
+        # so drift shows up as a diff.
         # (This google-benchmark takes a plain double, not "0.01s".)
-        echo "=== bench smoke: micro_substrate ==="
-        ./build/bench/micro_substrate \
-            --benchmark_min_time=0.01 \
-            --metrics-out=BENCH_substrate.json
-        test -s BENCH_substrate.json
+        echo "=== bench gate: micro_substrate vs BENCH_substrate.json ==="
+        for run in 1 2; do
+            ./build/bench/micro_substrate \
+                --benchmark_min_time=0.01 \
+                --metrics-out="BENCH_substrate.fresh${run}.json"
+            test -s "BENCH_substrate.fresh${run}.json"
+        done
+        python3 scripts/bench_gate.py BENCH_substrate.json \
+            BENCH_substrate.fresh1.json BENCH_substrate.fresh2.json \
+            --threshold=1.25 --merge-out=BENCH_substrate.merged.json
+        mv BENCH_substrate.merged.json BENCH_substrate.json
+        rm -f BENCH_substrate.fresh1.json BENCH_substrate.fresh2.json
     fi
 done
 

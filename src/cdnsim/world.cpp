@@ -207,9 +207,6 @@ world::world(world_config cfg) : cfg_(cfg) {
             "tail-isp-" + std::to_string(i), mc, bgp, opt));
     }
 
-    // Freeze the registry's lazily sorted route view now so later reads
-    // from concurrent day-generation workers are pure.
-    registry_.routes();
 }
 
 void world::raw_day(int day, std::vector<observation>& out) const {

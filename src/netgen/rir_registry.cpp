@@ -64,17 +64,19 @@ prefix rir_registry::allocate(rir region, std::uint32_t asn, unsigned len) {
 }
 
 void rir_registry::advertise(const prefix& pfx, std::uint32_t asn) {
-    routes_.push_back({pfx, asn});
+    // Sorted insert keeps routes_ ordered eagerly, so routes() is a pure
+    // const read — safe to call concurrently from parallel drivers
+    // (fig5a fans out over it). Advertisement happens at world-build
+    // time, so the O(n) insert is off every measured path.
+    const bgp_route route{pfx, asn};
+    const auto at = std::upper_bound(
+        routes_.begin(), routes_.end(), route,
+        [](const bgp_route& a, const bgp_route& b) { return a.pfx < b.pfx; });
+    routes_.insert(at, route);
     table_.insert(pfx, asn);
-    sorted_ = false;
 }
 
 const std::vector<bgp_route>& rir_registry::routes() const noexcept {
-    if (!sorted_) {
-        std::sort(routes_.begin(), routes_.end(),
-                  [](const bgp_route& a, const bgp_route& b) { return a.pfx < b.pfx; });
-        sorted_ = true;
-    }
     return routes_;
 }
 

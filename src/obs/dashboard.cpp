@@ -45,6 +45,9 @@ const char* kStyle = R"(
  .status{padding:1px 8px;border-radius:9px;font-size:12px;background:#1f4d2e;color:#9fe0b2}
  .status.draining{background:#5a4214;color:#f0cf8a}
  .status.starting{background:#203a55;color:#9cc6f0}
+ header nav{margin-left:auto;display:flex;gap:12px;font-size:12px}
+ header nav a{color:#5aa9e6;text-decoration:none}
+ header nav a:hover{text-decoration:underline}
  .stats{display:flex;flex-wrap:wrap;gap:20px;padding:10px 20px;color:#9aa7b4}
  .stats b{color:#d7dde4;font-variant-numeric:tabular-nums}
  .grid{display:grid;grid-template-columns:repeat(auto-fill,minmax(240px,1fr));gap:12px;padding:8px 20px 20px}
@@ -146,7 +149,15 @@ std::string render_dashboard(const dashboard_model& model) {
     out += "<span class=\"status " + html_escape(model.status) + "\">" +
            html_escape(model.status) + "</span>";
     out += "<span class=\"stats\">up " + format_uptime(model.uptime_seconds) +
-           "</span></header>";
+           "</span>";
+    if (!model.links.empty()) {
+        out += "<nav>";
+        for (const dashboard_link& l : model.links)
+            out += "<a href=\"" + html_escape(l.href) + "\">" +
+                   html_escape(l.label) + "</a>";
+        out += "</nav>";
+    }
+    out += "</header>";
 
     out += "<div class=\"stats\">";
     for (const dashboard_stat& s : model.stats)

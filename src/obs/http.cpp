@@ -28,6 +28,9 @@ std::string metrics_server::health_json() const { return "{}"; }
 #include <cstdio>
 #include <cstring>
 
+#include "v6class/obs/profile.h"
+#include "v6class/obs/trace.h"
+
 namespace v6::obs {
 
 namespace {
@@ -157,6 +160,18 @@ void metrics_server::serve_loop() {
                 send_all(client,
                          http_response("200 OK", "text/html; charset=utf-8",
                                        dashboard_()));
+            } else if (path == "/trace") {
+                // The full span trace so far; loads in chrome://tracing
+                // and Perfetto. Empty traceEvents until tracing is
+                // enabled (v6stream enables it with --metrics-port).
+                send_all(client, http_response("200 OK", "application/json",
+                                               tracer::chrome_json()));
+            } else if (path == "/profile") {
+                // Folded stacks for flamegraph.pl; empty until the
+                // sampling profiler has run.
+                send_all(client,
+                         http_response("200 OK", "text/plain; charset=utf-8",
+                                       profiler::folded_text()));
             } else {
                 send_all(client, http_response("404 Not Found", "text/plain",
                                                "not found\n"));

@@ -1,0 +1,37 @@
+#include "v6class/obs/introspect.h"
+
+#include <cstdio>
+
+#include "v6class/obs/metrics.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace v6::obs {
+
+std::uint64_t process_rss_bytes() {
+#if defined(__linux__)
+    // statm field 2 is resident pages; cheaper to parse than status.
+    std::FILE* f = std::fopen("/proc/self/statm", "r");
+    if (!f) return 0;
+    unsigned long long size = 0, resident = 0;
+    const int got = std::fscanf(f, "%llu %llu", &size, &resident);
+    std::fclose(f);
+    if (got != 2) return 0;
+    const long page = ::sysconf(_SC_PAGESIZE);
+    return resident * static_cast<std::uint64_t>(page > 0 ? page : 4096);
+#else
+    return 0;
+#endif
+}
+
+void update_process_gauges(registry& reg) {
+    // Re-interning per call keeps this correct for any registry; the
+    // call sites (day seals, final dumps) are far off the hot path.
+    reg.get_gauge("v6_process_rss_bytes", {},
+                  "Resident set size of this process in bytes")
+        .set(static_cast<std::int64_t>(process_rss_bytes()));
+}
+
+}  // namespace v6::obs

@@ -1,0 +1,358 @@
+// profile.cpp — SIGPROF sampling profiler.
+//
+// Shape: one sampler thread wakes at the configured rate and
+// pthread_kill()s every registered thread; the SIGPROF handler runs on
+// the signaled thread, walks its own stack with ::backtrace() into a
+// stack-local array, and copies the frames into that thread's sample
+// buffer with relaxed atomic stores (single writer per buffer — a
+// thread's handler cannot race itself, SIGPROF does not nest).
+//
+// Registration is cheap: register_thread() records the thread handle
+// and name only. Sample buffers (~2 MB each) are allocated by start()
+// for every registered thread and handed to the owning thread through a
+// per-thread atomic pointer slot — so pipelines that name their workers
+// unconditionally pay nothing until a profile is actually requested.
+//
+// Safety invariants:
+//  - ::backtrace() is warmed (called once) before the first signal, so
+//    its lazy dynamic-linker initialization never runs in the handler.
+//  - The handler finds its buffer through a trivially-destructible
+//    thread_local atomic pointer, cleared FIRST in the unregister path,
+//    so a signal landing during thread teardown drops the sample
+//    instead of touching freed state.
+//  - The sampler only signals threads while holding the registry mutex;
+//    unregistration removes the entry under the same mutex before the
+//    thread exits, so pthread_kill never targets a joined thread.
+//  - Buffers are shared_ptr-held and moved to a retired list at thread
+//    exit, so folded_text() still sees samples from finished workers.
+#include "v6class/obs/profile.h"
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>) && __has_include(<dlfcn.h>) && \
+    __has_include(<pthread.h>)
+#define V6CLASS_PROFILER_SUPPORTED 1
+#endif
+#endif
+
+#ifndef V6CLASS_PROFILER_SUPPORTED
+#define V6CLASS_PROFILER_SUPPORTED 0
+#endif
+
+#if V6CLASS_PROFILER_SUPPORTED
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <pthread.h>
+#include <signal.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cxxabi.h>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace v6::obs {
+
+namespace {
+
+struct sample_buffer {
+    // Flat frame storage: sample k occupies pcs[k*max_depth ..]; head
+    // published last (release) so the reader never sees a half-written
+    // sample. No wraparound: once full, samples are counted as dropped
+    // — early samples are kept, which suits one-shot profile-a-run use.
+    std::vector<std::atomic<void*>> pcs;
+    std::vector<std::atomic<std::uint16_t>> depths;
+    std::atomic<std::uint64_t> head{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::string name;
+
+    sample_buffer()
+        : pcs(profiler::samples_per_thread * profiler::max_depth),
+          depths(profiler::samples_per_thread) {}
+};
+
+// The handler's only route to its buffer: a per-thread atomic slot.
+// start() (another thread) stores the buffer pointer here; the handler
+// loads it. Trivially destructible, so it stays readable even during
+// thread_local destruction; unregistration nulls it before anything is
+// released.
+thread_local std::atomic<sample_buffer*> tl_slot{nullptr};
+
+struct live_thread {
+    pthread_t handle{};
+    std::atomic<sample_buffer*>* slot = nullptr;  // &tl_slot of that thread
+    std::string name;
+    std::shared_ptr<sample_buffer> buf;  // null until a profile starts
+};
+
+struct prof_registry {
+    std::mutex mutex;
+    std::vector<live_thread> live;
+    std::vector<std::shared_ptr<sample_buffer>> retired;
+    std::atomic<bool> running{false};
+    std::thread sampler;
+};
+
+prof_registry& reg() {
+    static prof_registry* r = new prof_registry;  // leaked: see trace.cpp
+    return *r;
+}
+
+void prof_signal_handler(int, siginfo_t*, void*) {
+    sample_buffer* buf = tl_slot.load(std::memory_order_relaxed);
+    if (buf == nullptr) return;
+    const std::uint64_t h = buf->head.load(std::memory_order_relaxed);
+    if (h >= profiler::samples_per_thread) {
+        buf->dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    void* frames[profiler::max_depth];
+    const int depth = ::backtrace(frames, profiler::max_depth);
+    if (depth <= 0) return;
+    std::atomic<void*>* slot = buf->pcs.data() + h * profiler::max_depth;
+    for (int i = 0; i < depth; ++i)
+        slot[i].store(frames[i], std::memory_order_relaxed);
+    buf->depths[h].store(static_cast<std::uint16_t>(depth),
+                         std::memory_order_relaxed);
+    buf->head.store(h + 1, std::memory_order_release);
+}
+
+struct thread_guard {
+    ~thread_guard() {
+        tl_slot.store(nullptr, std::memory_order_relaxed);
+        prof_registry& r = reg();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        const pthread_t self = pthread_self();
+        for (auto it = r.live.begin(); it != r.live.end(); ++it) {
+            if (pthread_equal(it->handle, self)) {
+                if (it->buf) {
+                    it->buf->name = it->name;
+                    r.retired.push_back(std::move(it->buf));
+                }
+                r.live.erase(it);
+                break;
+            }
+        }
+    }
+};
+
+void sampler_loop(unsigned hz) {
+    prof_registry& r = reg();
+    const auto period =
+        std::chrono::nanoseconds(1'000'000'000ull / std::max(1u, hz));
+    while (r.running.load(std::memory_order_relaxed)) {
+        {
+            std::lock_guard<std::mutex> lock(r.mutex);
+            for (const live_thread& t : r.live)
+                if (t.buf) pthread_kill(t.handle, SIGPROF);
+        }
+        std::this_thread::sleep_for(period);
+    }
+}
+
+std::string frame_name(void* pc) {
+    Dl_info info{};
+    if (dladdr(pc, &info) != 0 && info.dli_sname != nullptr) {
+        int status = 0;
+        char* demangled =
+            abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+        if (status == 0 && demangled != nullptr) {
+            std::string out(demangled);
+            std::free(demangled);
+            return out;
+        }
+        return info.dli_sname;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(
+                      reinterpret_cast<std::uintptr_t>(pc)));
+    return buf;
+}
+
+/// Gives `t` its buffer and publishes it to the owning thread's slot.
+/// Registry mutex held.
+void arm_thread(live_thread& t) {
+    if (t.buf) return;
+    t.buf = std::make_shared<sample_buffer>();
+    t.buf->name = t.name;
+    t.slot->store(t.buf.get(), std::memory_order_release);
+}
+
+}  // namespace
+
+bool profiler::start(unsigned hz) {
+    prof_registry& r = reg();
+    {
+        std::lock_guard<std::mutex> lock(r.mutex);
+        if (r.running.load(std::memory_order_relaxed)) return false;
+
+        struct sigaction sa{};
+        sa.sa_sigaction = prof_signal_handler;
+        sa.sa_flags = SA_RESTART | SA_SIGINFO;
+        sigemptyset(&sa.sa_mask);
+        if (sigaction(SIGPROF, &sa, nullptr) != 0) return false;
+
+        // Warm ::backtrace outside the handler: its first call may
+        // dlopen libgcc, which is not async-signal-safe.
+        void* warm[4];
+        ::backtrace(warm, 4);
+
+        // Fresh run: drop samples from any previous start/stop cycle
+        // and arm every registered thread. No signals are in flight
+        // here (the old sampler was joined before running went true).
+        r.retired.clear();
+        for (live_thread& t : r.live) {
+            arm_thread(t);
+            t.buf->head.store(0, std::memory_order_relaxed);
+            t.buf->dropped.store(0, std::memory_order_relaxed);
+        }
+
+        r.running.store(true, std::memory_order_relaxed);
+        r.sampler = std::thread(sampler_loop, hz);
+    }
+    register_thread("main");
+    return true;
+}
+
+void profiler::stop() {
+    prof_registry& r = reg();
+    std::thread sampler;
+    {
+        std::lock_guard<std::mutex> lock(r.mutex);
+        if (!r.running.load(std::memory_order_relaxed)) return;
+        r.running.store(false, std::memory_order_relaxed);
+        sampler = std::move(r.sampler);
+    }
+    if (sampler.joinable()) sampler.join();
+}
+
+bool profiler::running() noexcept {
+    return reg().running.load(std::memory_order_relaxed);
+}
+
+void profiler::register_thread(const std::string& name) {
+    static thread_local thread_guard guard;  // unregisters at thread exit
+    (void)guard;
+    prof_registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const pthread_t self = pthread_self();
+    for (live_thread& t : r.live) {
+        if (pthread_equal(t.handle, self)) {
+            t.name = name;
+            if (t.buf) t.buf->name = name;
+            return;
+        }
+    }
+    live_thread t;
+    t.handle = self;
+    t.slot = &tl_slot;
+    t.name = name;
+    if (r.running.load(std::memory_order_relaxed)) arm_thread(t);
+    r.live.push_back(std::move(t));
+}
+
+std::uint64_t profiler::sample_count() noexcept {
+    prof_registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::uint64_t total = 0;
+    for (const live_thread& t : r.live)
+        if (t.buf) total += t.buf->head.load(std::memory_order_acquire);
+    for (const auto& b : r.retired)
+        total += b->head.load(std::memory_order_acquire);
+    return total;
+}
+
+std::uint64_t profiler::dropped() noexcept {
+    prof_registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::uint64_t total = 0;
+    for (const live_thread& t : r.live)
+        if (t.buf) total += t.buf->dropped.load(std::memory_order_relaxed);
+    for (const auto& b : r.retired)
+        total += b->dropped.load(std::memory_order_relaxed);
+    return total;
+}
+
+std::string profiler::folded_text() {
+    std::vector<std::shared_ptr<sample_buffer>> buffers;
+    std::vector<std::string> names;
+    {
+        prof_registry& r = reg();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        for (const live_thread& t : r.live) {
+            if (!t.buf) continue;
+            buffers.push_back(t.buf);
+            names.push_back(t.name);
+        }
+        for (const auto& b : r.retired) {
+            buffers.push_back(b);
+            names.push_back(b->name);
+        }
+    }
+
+    // Aggregate identical stacks, then symbolize each distinct pc once.
+    std::map<std::pair<std::string, std::vector<void*>>, std::uint64_t> stacks;
+    for (std::size_t bi = 0; bi < buffers.size(); ++bi) {
+        const auto& buf = buffers[bi];
+        const std::uint64_t n = std::min<std::uint64_t>(
+            buf->head.load(std::memory_order_acquire), samples_per_thread);
+        for (std::uint64_t k = 0; k < n; ++k) {
+            const int depth = buf->depths[k].load(std::memory_order_relaxed);
+            const std::atomic<void*>* slot = buf->pcs.data() + k * max_depth;
+            // Frames 0..1 are the handler and the kernel's signal
+            // trampoline; drop them so stacks start at the interrupted
+            // frame (best-effort — extra frames only widen the base).
+            const int first = depth > 2 ? 2 : 0;
+            std::vector<void*> stack;
+            stack.reserve(static_cast<std::size_t>(depth - first));
+            for (int i = depth - 1; i >= first; --i)  // outermost first
+                stack.push_back(slot[i].load(std::memory_order_relaxed));
+            ++stacks[{names[bi].empty() ? "thread" : names[bi],
+                      std::move(stack)}];
+        }
+    }
+
+    std::map<void*, std::string> symbols;
+    std::string out;
+    for (const auto& [key, count] : stacks) {
+        out += key.first;
+        for (void* pc : key.second) {
+            auto it = symbols.find(pc);
+            if (it == symbols.end())
+                it = symbols.emplace(pc, frame_name(pc)).first;
+            out += ';';
+            // Folded format reserves ';' and ' ' as separators.
+            for (char c : it->second) out += (c == ';' || c == ' ') ? '_' : c;
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof buf, " %llu\n",
+                      static_cast<unsigned long long>(count));
+        out += buf;
+    }
+    return out;
+}
+
+}  // namespace v6::obs
+
+#else  // !V6CLASS_PROFILER_SUPPORTED
+
+namespace v6::obs {
+
+bool profiler::start(unsigned) { return false; }
+void profiler::stop() {}
+bool profiler::running() noexcept { return false; }
+void profiler::register_thread(const std::string&) {}
+std::uint64_t profiler::sample_count() noexcept { return 0; }
+std::uint64_t profiler::dropped() noexcept { return 0; }
+std::string profiler::folded_text() { return {}; }
+
+}  // namespace v6::obs
+
+#endif

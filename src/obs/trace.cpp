@@ -1,120 +1,390 @@
+// trace.cpp — the span tracer (per-thread seqlock rings) and the
+// trace_log file façade over it.
+//
+// Ring protocol: every slot field is an atomic written with relaxed
+// stores, bracketed by a sequence counter (odd while a write is in
+// flight, bumped to the next even value when it completes). The owning
+// thread is the only writer, so writes never contend; readers copy a
+// slot, fence, and re-check the sequence, discarding torn copies. This
+// keeps concurrent snapshot()/emit() exact under TSan without locks on
+// the emit path.
+//
+// Rings are registered in a process-lifetime registry (intentionally
+// leaked — pool workers emit during static destruction, after
+// function-local statics would have been torn down) and are held by
+// shared_ptr from both the registry and a thread_local, so a ring
+// outlives its thread and its spans stay exportable.
 #include "v6class/obs/timer.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <memory>
 #include <mutex>
-#include <thread>
+#include <new>
+#include <string>
 #include <vector>
 
 #include "v6class/obs/atomic_file.h"
+#include "v6class/obs/trace.h"
 
 namespace v6::obs {
 
+namespace detail {
+std::atomic<bool> trace_enabled{false};
+}  // namespace detail
+
 namespace {
 
-struct trace_event {
-    std::string name;
-    double ts_us = 0;
-    double dur_us = 0;
-    std::size_t tid = 0;
+struct slot {
+    std::atomic<std::uint64_t> seq{0};  // even = stable, odd = mid-write
+    std::atomic<const char*> name{nullptr};
+    std::atomic<std::uint64_t> trace_id{0};
+    std::atomic<std::uint64_t> span_id{0};
+    std::atomic<std::uint64_t> parent_id{0};
+    std::atomic<std::uint64_t> start_ns{0};
+    std::atomic<std::uint64_t> dur_ns{0};
+    std::atomic<std::uint8_t> kind{0};
 };
 
-struct trace_state {
+struct thread_ring {
+    explicit thread_ring(std::uint32_t id)
+        : tid(id), slots(tracer::ring_capacity) {}
+
+    const std::uint32_t tid;
+    std::atomic<std::uint64_t> head{0};  // total spans ever emitted here
+    std::atomic<std::uint64_t> dropped{0};
+    std::vector<slot> slots;
+    std::mutex name_mutex;  // guards name (set once, read by exporters)
+    std::string name;
+};
+
+struct trace_registry {
+    std::mutex mutex;
+    std::vector<std::shared_ptr<thread_ring>> rings;
+    std::atomic<std::uint32_t> next_tid{1};
+    std::atomic<std::uint64_t> next_span{1};
+    std::chrono::steady_clock::time_point origin =
+        std::chrono::steady_clock::now();
+};
+
+trace_registry& reg() {
+    // Leaked on purpose: never destroyed, so emit() stays valid from any
+    // thread at any point of process teardown.
+    static trace_registry* r = new trace_registry;
+    return *r;
+}
+
+thread_local span_context tl_current{};
+thread_local std::shared_ptr<thread_ring> tl_ring;
+// Thread name stashed before the ring exists: rings are only allocated
+// on a thread's first emit (so naming every worker costs nothing while
+// tracing is off), and pick the pending name up on creation.
+thread_local std::string tl_pending_name;
+
+thread_ring* local_ring() noexcept {
+    if (!tl_ring) {
+        try {
+            trace_registry& r = reg();
+            auto ring =
+                std::make_shared<thread_ring>(r.next_tid.fetch_add(1));
+            ring->name = tl_pending_name;  // pre-publish: no lock needed
+            std::lock_guard<std::mutex> lock(r.mutex);
+            r.rings.push_back(ring);
+            tl_ring = std::move(ring);
+        } catch (...) {
+            return nullptr;  // allocation failed: drop spans, don't throw
+        }
+    }
+    return tl_ring.get();
+}
+
+std::vector<std::shared_ptr<thread_ring>> all_rings() {
+    trace_registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    return r.rings;
+}
+
+/// Copies one slot; returns false on a torn read (writer mid-flight or
+/// the slot was overwritten while copying).
+bool read_slot(const slot& s, span_record& out) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        const std::uint64_t s1 = s.seq.load(std::memory_order_acquire);
+        if (s1 == 0 || (s1 & 1) != 0) continue;
+        out.name = s.name.load(std::memory_order_relaxed);
+        out.trace_id = s.trace_id.load(std::memory_order_relaxed);
+        out.span_id = s.span_id.load(std::memory_order_relaxed);
+        out.parent_id = s.parent_id.load(std::memory_order_relaxed);
+        out.start_ns = s.start_ns.load(std::memory_order_relaxed);
+        out.dur_ns = s.dur_ns.load(std::memory_order_relaxed);
+        out.kind = static_cast<span_kind>(s.kind.load(std::memory_order_relaxed));
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (s.seq.load(std::memory_order_relaxed) == s1) {
+            if (out.name == nullptr) out.name = "";
+            return true;
+        }
+    }
+    return false;
+}
+
+void append_json_escaped(std::string& out, const char* s) {
+    for (; *s; ++s) {
+        const char c = *s;
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+}
+
+/// File sink for trace_log: remembers the --trace-out path and flushes
+/// the tracer's Chrome JSON there at process exit, matching the PR 2
+/// behaviour (tools need no explicit teardown on any return path).
+struct file_sink {
     std::mutex mutex;
     std::string path;
-    std::vector<trace_event> events;
-    std::chrono::steady_clock::time_point origin;
 
-    /// Flushes on exit so `--trace-out` needs no explicit teardown in
-    /// every return path of every tool.
-    ~trace_state() { write_locked(); }
+    ~file_sink() { write_locked(); }
 
     bool write_locked() {
         if (path.empty()) return false;
-        std::string out = "[";
-        for (std::size_t i = 0; i < events.size(); ++i) {
-            const trace_event& e = events[i];
-            if (i) out += ",\n ";
-            char buf[160];
-            std::snprintf(buf, sizeof buf,
-                          "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,"
-                          "\"tid\":%zu,\"ts\":%.3f,\"dur\":%.3f}",
-                          e.name.c_str(), e.tid, e.ts_us, e.dur_us);
-            out += buf;
-        }
-        out += "]\n";
         // Atomic replace: a periodic flush can race a reader loading the
-        // trace into a viewer; it must always see a complete JSON array.
-        return atomic_write_file(path, out);
+        // trace into a viewer; it must always see complete JSON.
+        return atomic_write_file(path, tracer::chrome_json());
     }
 };
 
-trace_state& state() {
-    static trace_state s;
+file_sink& sink() {
+    static file_sink s;
     return s;
-}
-
-// enabled() is the hot-path gate: checked per trace_scope without the
-// mutex.
-std::atomic<bool> g_enabled{false};
-
-std::size_t thread_number() {
-    static std::atomic<std::size_t> next{1};
-    thread_local std::size_t mine = next.fetch_add(1);
-    return mine;
-}
-
-double now_us() {
-    return std::chrono::duration<double, std::micro>(
-               std::chrono::steady_clock::now() - state().origin)
-        .count();
 }
 
 }  // namespace
 
-void trace_log::enable(std::string path) {
-    trace_state& s = state();
-    std::lock_guard lock(s.mutex);
-    if (s.path.empty()) s.origin = std::chrono::steady_clock::now();
-    s.path = std::move(path);
-    g_enabled.store(true, std::memory_order_release);
+const char* span_kind_name(span_kind k) noexcept {
+    switch (k) {
+        case span_kind::queue_wait: return "queue_wait";
+        case span_kind::merge: return "merge";
+        case span_kind::run: break;
+    }
+    return "run";
 }
 
-bool trace_log::enabled() noexcept {
-    return g_enabled.load(std::memory_order_acquire);
+void tracer::enable() noexcept {
+    reg();  // construct the registry (and its time origin) before spans
+    detail::trace_enabled.store(true, std::memory_order_relaxed);
 }
+
+void tracer::disable() noexcept {
+    detail::trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void tracer::reset() noexcept {
+    disable();
+    for (const auto& ring : all_rings()) {
+        // Emptying head is enough: snapshot() only reads below head, and
+        // the owning thread (if mid-emit) re-publishes its slot after.
+        ring->head.store(0, std::memory_order_release);
+        ring->dropped.store(0, std::memory_order_relaxed);
+    }
+    trace_registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.origin = std::chrono::steady_clock::now();
+}
+
+span_context tracer::current() noexcept { return tl_current; }
+
+std::uint64_t tracer::now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - reg().origin)
+            .count());
+}
+
+std::uint64_t tracer::next_id() noexcept {
+    return reg().next_span.fetch_add(1, std::memory_order_relaxed);
+}
+
+void tracer::emit(const char* name, span_kind kind, span_context ctx,
+                  std::uint64_t parent_id, std::uint64_t start_ns,
+                  std::uint64_t dur_ns) noexcept {
+    if (!enabled()) return;
+    thread_ring* ring = local_ring();
+    if (!ring) return;
+    if (ctx.trace_id == 0) ctx.trace_id = ctx.span_id;
+
+    const std::uint64_t h = ring->head.load(std::memory_order_relaxed);
+    slot& s = ring->slots[h % ring_capacity];
+    const std::uint64_t seq0 = s.seq.load(std::memory_order_relaxed);
+    s.seq.store(seq0 + 1, std::memory_order_release);  // odd: write begins
+    std::atomic_thread_fence(std::memory_order_release);
+    s.name.store(name, std::memory_order_relaxed);
+    s.trace_id.store(ctx.trace_id, std::memory_order_relaxed);
+    s.span_id.store(ctx.span_id, std::memory_order_relaxed);
+    s.parent_id.store(parent_id, std::memory_order_relaxed);
+    s.start_ns.store(start_ns, std::memory_order_relaxed);
+    s.dur_ns.store(dur_ns, std::memory_order_relaxed);
+    s.kind.store(static_cast<std::uint8_t>(kind), std::memory_order_relaxed);
+    s.seq.store(seq0 + 2, std::memory_order_release);  // even: stable
+    ring->head.store(h + 1, std::memory_order_release);
+    if (h >= ring_capacity) ring->dropped.fetch_add(1, std::memory_order_relaxed);
+}
+
+void tracer::set_thread_name(const std::string& name) {
+    try {
+        tl_pending_name = name;
+    } catch (...) {
+        return;
+    }
+    if (tl_ring) {
+        std::lock_guard<std::mutex> lock(tl_ring->name_mutex);
+        tl_ring->name = name;
+    }
+}
+
+std::vector<span_record> tracer::snapshot() {
+    std::vector<span_record> out;
+    for (const auto& ring : all_rings()) {
+        const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+        const std::uint64_t n = std::min<std::uint64_t>(head, ring_capacity);
+        for (std::uint64_t k = head - n; k < head; ++k) {
+            span_record rec;
+            if (!read_slot(ring->slots[k % ring_capacity], rec)) continue;
+            rec.tid = ring->tid;
+            out.push_back(rec);
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const span_record& a, const span_record& b) {
+                  if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+                  return a.span_id < b.span_id;
+              });
+    return out;
+}
+
+std::string tracer::chrome_json() {
+    const std::vector<span_record> spans = snapshot();
+    std::string out = "{\"traceEvents\":[\n";
+    out +=
+        " {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+        "\"args\":{\"name\":\"v6class\"}}";
+    for (const auto& ring : all_rings()) {
+        std::string name;
+        {
+            std::lock_guard<std::mutex> lock(ring->name_mutex);
+            name = ring->name;
+        }
+        if (name.empty()) continue;
+        char buf[64];
+        std::snprintf(buf, sizeof buf,
+                      ",\n {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                      "\"tid\":%u,",
+                      ring->tid);
+        out += buf;
+        out += "\"args\":{\"name\":\"";
+        append_json_escaped(out, name.c_str());
+        out += "\"}}";
+    }
+    for (const span_record& s : spans) {
+        out += ",\n {\"name\":\"";
+        append_json_escaped(out, s.name);
+        out += "\",\"cat\":\"";
+        out += span_kind_name(s.kind);
+        char buf[224];
+        std::snprintf(
+            buf, sizeof buf,
+            "\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f,"
+            "\"args\":{\"trace\":\"%llx\",\"span\":\"%llx\","
+            "\"parent\":\"%llx\"}}",
+            s.tid, static_cast<double>(s.start_ns) / 1e3,
+            static_cast<double>(s.dur_ns) / 1e3,
+            static_cast<unsigned long long>(s.trace_id),
+            static_cast<unsigned long long>(s.span_id),
+            static_cast<unsigned long long>(s.parent_id));
+        out += buf;
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+std::uint64_t tracer::dropped() noexcept {
+    std::uint64_t total = 0;
+    for (const auto& ring : all_rings())
+        total += ring->dropped.load(std::memory_order_relaxed);
+    return total;
+}
+
+void span::begin(const char* name, span_kind kind) noexcept {
+    name_ = name;
+    kind_ = kind;
+    saved_ = tl_current;
+    parent_ = saved_.span_id;
+    ctx_.span_id = tracer::next_id();
+    ctx_.trace_id = saved_.trace_id != 0 ? saved_.trace_id : ctx_.span_id;
+    tl_current = ctx_;
+    start_ns_ = tracer::now_ns();
+    live_ = true;
+}
+
+void span::end() noexcept {
+    const std::uint64_t now = tracer::now_ns();
+    tracer::emit(name_, kind_, ctx_, parent_,
+                 start_ns_, now > start_ns_ ? now - start_ns_ : 0);
+    tl_current = saved_;
+    live_ = false;
+}
+
+void context_scope::adopt(span_context parent) noexcept {
+    saved_ = tl_current;
+    tl_current = parent;
+    live_ = true;
+}
+
+void context_scope::restore() noexcept {
+    tl_current = saved_;
+    live_ = false;
+}
+
+void trace_log::enable(std::string path) {
+    file_sink& s = sink();
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        s.path = std::move(path);
+    }
+    tracer::enable();
+}
+
+bool trace_log::enabled() noexcept { return tracer::enabled(); }
 
 void trace_log::record(const char* name, double ts_us, double dur_us) {
-    if (!enabled()) return;
-    trace_state& s = state();
-    std::lock_guard lock(s.mutex);
-    s.events.push_back({name, ts_us, dur_us, thread_number()});
+    if (!tracer::enabled()) return;
+    span_context ctx;
+    ctx.span_id = tracer::next_id();
+    tracer::emit(name, span_kind::run, ctx, 0,
+                 static_cast<std::uint64_t>(ts_us * 1e3),
+                 static_cast<std::uint64_t>(dur_us * 1e3));
 }
 
 bool trace_log::flush() {
-    trace_state& s = state();
-    std::lock_guard lock(s.mutex);
+    file_sink& s = sink();
+    std::lock_guard<std::mutex> lock(s.mutex);
     return s.write_locked();
 }
 
 void trace_log::reset() {
-    trace_state& s = state();
-    std::lock_guard lock(s.mutex);
-    s.path.clear();
-    s.events.clear();
-    g_enabled.store(false, std::memory_order_release);
-}
-
-trace_scope::trace_scope(const char* name, histogram h) noexcept
-    : name_(name), timer_(h), tracing_(trace_log::enabled()) {
-    if (tracing_) start_us_ = now_us();
-}
-
-trace_scope::~trace_scope() {
-    if (tracing_) {
-        const double end_us = now_us();
-        trace_log::record(name_, start_us_, end_us - start_us_);
+    file_sink& s = sink();
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        s.path.clear();
     }
+    tracer::reset();
 }
 
 }  // namespace v6::obs

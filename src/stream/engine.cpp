@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "v6class/obs/introspect.h"
+#include "v6class/obs/profile.h"
 #include "v6class/obs/timer.h"
 #include "v6class/par/pool.h"
 
@@ -66,6 +68,13 @@ void stream_engine::init_metrics() {
     m_.report_build = reg.get_histogram(
         "v6_stream_report_build_seconds", obs::latency_buckets(), {},
         "Time to recompute a day report (overlaps next-day ingest).");
+    m_.arena_live = reg.get_gauge(
+        "v6_trie_arena_live_nodes", {},
+        "Live node slots in the merged trie's arena at the last seal.");
+    m_.arena_free = reg.get_gauge(
+        "v6_trie_arena_free_slots", {},
+        "Free-listed node slots in the merged trie's arena at the last "
+        "seal.");
 }
 
 void stream_engine::init_live() {
@@ -119,6 +128,14 @@ void stream_engine::init_live() {
         add("day_64s_est", "v6class_day_distinct_64s_estimate",
             "HLL estimate of the sealed day's distinct /64 prefixes.");
     }
+    // Infrastructure introspection surfaced as sparklines: how busy the
+    // work pool's seats were between seals and how large the merged
+    // trie's arena has grown.
+    li_pool_util_ = add("pool util", "v6_par_pool_utilization",
+                        "v6::par pool seat utilization between this seal "
+                        "and the previous one (0..1).");
+    li_arena_nodes_ = add("arena nodes", "v6_trie_arena_nodes",
+                          "Live node slots in the merged trie's arena.");
 }
 
 stream_engine::stream_engine(stream_config cfg)
@@ -212,6 +229,12 @@ void stream_engine::flush_shard_locked(unsigned shard) {
     msg.k = shard_message::kind::batch;
     msg.batch = std::move(staging_[shard]);
     staging_[shard] = {};
+    if (obs::tracer::enabled()) {
+        // Span context rides the batch: the shard worker adopts it and
+        // accounts the queue dwell as a queue_wait span.
+        msg.ctx = obs::tracer::current();
+        msg.enqueue_ns = obs::tracer::now_ns();
+    }
     m_.batches.inc();
     // Per-shard counting happens here, not per push: one fetch_add per
     // batch keeps the counter exact at batch granularity while costing
@@ -276,11 +299,26 @@ void stream_engine::finish() {
 // -------------------------------------------------------------- workers
 
 void stream_engine::worker_loop(unsigned shard) {
+    const std::string tname = "stream-worker-" + std::to_string(shard);
+    obs::tracer::set_thread_name(tname);
+    obs::profiler::register_thread(tname);
     while (auto msg = queues_[shard]->pop()) {
         if (cfg_.metrics)
             m_.queue_depth[shard].set(
                 static_cast<std::int64_t>(queues_[shard]->size()));
         if (msg->k == shard_message::kind::batch) {
+            if (msg->enqueue_ns != 0) {
+                // The batch's dwell time in the shard queue, parented to
+                // the pusher's span that enqueued it.
+                const std::uint64_t now = obs::tracer::now_ns();
+                obs::tracer::emit(
+                    "shard.queue_wait", obs::span_kind::queue_wait,
+                    {msg->ctx.trace_id, obs::tracer::next_id()},
+                    msg->ctx.span_id, msg->enqueue_ns,
+                    now > msg->enqueue_ns ? now - msg->enqueue_ns : 0);
+            }
+            obs::context_scope adopt(msg->ctx);
+            obs::span batch_span("shard.ingest_batch");
             if (cfg_.sketches) {
                 // The day sketches ride the worker, not the pusher: the
                 // hashing parallelizes across shards and stays off the
@@ -319,6 +357,8 @@ void stream_engine::worker_loop(unsigned shard) {
 // ---------------------------------------------------------- roll thread
 
 void stream_engine::roll_loop() {
+    obs::tracer::set_thread_name("stream-roll");
+    obs::profiler::register_thread("stream-roll");
     for (;;) {
         int day = kNoDay;
         {
@@ -345,7 +385,10 @@ void stream_engine::roll_loop() {
             // already-drained shards can stall behind a seal.
             obs::trace_scope span("seal_day", m_.seal_latency);
             std::unique_lock state(state_mutex_);
-            for (auto& s : shards_) s->seal_day(day);
+            for (auto& s : shards_) {
+                obs::span shard_span("shard.seal");
+                s->seal_day(day);
+            }
             // The projected (/64) store is engine-level (see engine.h);
             // feed it the day's union of freshly sealed shard sets.
             std::vector<address> active;
@@ -377,6 +420,29 @@ void stream_engine::roll_loop() {
         {
             obs::trace_scope span("build_report", m_.report_build);
             report = build_report(day);
+        }
+        // Pool seat utilization over the inter-seal interval:
+        // delta(busy time) spread over delta(wall time) x seat count.
+        // Roll-thread-only state, so plain members suffice.
+        {
+            const par::pool_stats ps = par::stats();
+            const std::uint64_t wall = obs::tracer::now_ns();
+            const unsigned seats = ps.workers + 1;  // callers hold a seat
+            if (last_util_wall_ns_ != 0 && wall > last_util_wall_ns_) {
+                const double busy =
+                    static_cast<double>(ps.busy_ns - last_busy_ns_);
+                const double span_ns =
+                    static_cast<double>(wall - last_util_wall_ns_) * seats;
+                report.pool_utilization =
+                    std::min(1.0, span_ns > 0 ? busy / span_ns : 0.0);
+            }
+            last_busy_ns_ = ps.busy_ns;
+            last_util_wall_ns_ = wall;
+        }
+        if (cfg_.metrics) {
+            m_.arena_live.set(static_cast<std::int64_t>(report.arena_nodes));
+            m_.arena_free.set(static_cast<std::int64_t>(report.arena_free));
+            obs::update_process_gauges(*metrics_);
         }
         update_live(report);
         {
@@ -414,6 +480,9 @@ day_report stream_engine::build_report(int day) const {
     report.distinct_projected = projected_store_.distinct_count();
     report.active = report.stable + report.not_stable;
     const radix_tree merged = merged_tree_locked();
+    const radix_tree::arena_stats arena = merged.arena();
+    report.arena_nodes = arena.live;
+    report.arena_free = arena.free_list;
     report.density = compute_density_table(merged, cfg_.density_classes);
     // The live derived series: MRA ratios around the /64 boundary from
     // the same merged trie the density table used.
@@ -487,6 +556,8 @@ void stream_engine::update_live(const day_report& report) {
         feed(li_est_first_ + 1, report.est_day_48s);
         feed(li_est_first_ + 2, report.est_day_64s);
     }
+    feed(li_pool_util_, report.pool_utilization);
+    feed(li_arena_nodes_, static_cast<double>(report.arena_nodes));
 }
 
 live_view stream_engine::live(std::size_t events_n) const {
@@ -543,6 +614,7 @@ radix_tree stream_engine::merged_tree_locked() const {
     // distinct sets concatenate without overlap: collect, sort once, and
     // bulk-build the merged trie bottom-up instead of re-inserting node
     // by node.
+    obs::span span("merge_tree", obs::span_kind::merge);
     std::vector<address> addrs;
     std::size_t total = 0;
     for (const auto& s : shards_) total += s->distinct_addresses();
@@ -586,6 +658,7 @@ stability_split stream_engine::classify_day(int ref_day, unsigned n) const {
         par::map_indexed<stability_split>(shards_.size(), [&](std::size_t i) {
             return shards_[i]->classify_day(ref_day, n, cfg_.window);
         });
+    obs::span merge_span("merge_splits", obs::span_kind::merge);
     stability_split merged;
     for (const stability_split& split : splits) {
         merged.stable.insert(merged.stable.end(), split.stable.begin(),

@@ -64,6 +64,7 @@ stability_split stability_analyzer::classify_week(day_index first_day, unsigned 
         par::map_indexed<stability_split>(7, [&](std::size_t i) {
             return classify_day(first_day + static_cast<day_index>(i), n);
         });
+    const obs::span merge_span("merge_week", obs::span_kind::merge);
     std::vector<address> stable_union;
     std::vector<address> not_stable_union;
     for (const stability_split& s : splits) {

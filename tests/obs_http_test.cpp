@@ -13,6 +13,7 @@
 
 #include "v6class/obs/http.h"
 #include "v6class/obs/metrics.h"
+#include "v6class/obs/trace.h"
 
 namespace {
 
@@ -126,6 +127,28 @@ TEST_F(ObsHttpTest, DashboardServedWhenRendererInstalled) {
 TEST_F(ObsHttpTest, DashboardIs404WithoutRenderer) {
     const std::string response = http_get(server_.port(), "/dashboard");
     EXPECT_NE(response.find("404"), std::string::npos);
+}
+
+TEST_F(ObsHttpTest, TraceEndpointServesChromeTraceJson) {
+    obs::tracer::reset();
+    obs::tracer::enable();
+    {
+        const obs::span span("http_test_span");
+    }
+    const std::string response = http_get(server_.port(), "/trace");
+    obs::tracer::reset();
+    EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(response.find("application/json"), std::string::npos);
+    EXPECT_NE(response.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(response.find("http_test_span"), std::string::npos);
+}
+
+TEST_F(ObsHttpTest, ProfileEndpointServesFoldedText) {
+    const std::string response = http_get(server_.port(), "/profile");
+    EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(response.find("text/plain"), std::string::npos);
+    // No profile has run in this fixture, so the body is empty folded
+    // text — the route must still answer 200, not 404.
 }
 
 TEST_F(ObsHttpTest, UnknownPathIs404) {

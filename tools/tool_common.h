@@ -14,8 +14,11 @@
 #include <vector>
 
 #include "v6class/ip/io.h"
+#include "v6class/obs/atomic_file.h"
 #include "v6class/obs/event_log.h"
+#include "v6class/obs/introspect.h"
 #include "v6class/obs/metrics.h"
+#include "v6class/obs/profile.h"
 #include "v6class/obs/timer.h"
 
 namespace v6::tools {
@@ -85,8 +88,12 @@ private:
 ///                        (load in chrome://tracing / ui.perfetto.dev)
 ///   --events-out=FILE    JSON-lines dump of the process event log
 ///                        (drift alarms, lifecycle events)
+///   --profile-out=FILE   folded-stack text from the sampling profiler
+///                        (feed to flamegraph.pl / speedscope); sampling
+///                        runs for the whole tool lifetime at
+///                        --profile-hz=N (default 97)
 ///
-/// All three write atomically (tmp-file + rename), so a dump is never
+/// All writes are atomic (tmp-file + rename), so a dump is never
 /// observed half-written. Declare one after flag parsing; the
 /// destructor writes the dumps on every return path, after all other
 /// work of main() has finished.
@@ -94,9 +101,20 @@ class obs_exporter {
 public:
     explicit obs_exporter(const flag_set& flags)
         : metrics_out_(flags.get("metrics-out")),
-          events_out_(flags.get("events-out")) {
+          events_out_(flags.get("events-out")),
+          profile_out_(flags.get("profile-out")) {
         const std::string trace_out = flags.get("trace-out");
         if (!trace_out.empty()) obs::trace_log::enable(trace_out);
+        if (!profile_out_.empty()) {
+            const auto hz =
+                static_cast<unsigned>(flags.get_int("profile-hz", 97));
+            if (!obs::profiler::start(hz)) {
+                std::fprintf(stderr,
+                             "warning: profiler unavailable; ignoring "
+                             "--profile-out\n");
+                profile_out_.clear();
+            }
+        }
     }
 
     ~obs_exporter() { write(); }
@@ -111,14 +129,23 @@ public:
     void write() {
         if (written_) return;
         written_ = true;
-        if (!metrics_out_.empty() &&
-            !obs::registry::global().write_file(metrics_out_))
-            std::fprintf(stderr, "warning: cannot write %s\n",
-                         metrics_out_.c_str());
+        if (!metrics_out_.empty()) {
+            obs::update_process_gauges(obs::registry::global());
+            if (!obs::registry::global().write_file(metrics_out_))
+                std::fprintf(stderr, "warning: cannot write %s\n",
+                             metrics_out_.c_str());
+        }
         if (!events_out_.empty() &&
             !obs::event_log::global().dump(events_out_))
             std::fprintf(stderr, "warning: cannot write %s\n",
                          events_out_.c_str());
+        if (!profile_out_.empty()) {
+            obs::profiler::stop();
+            if (!obs::atomic_write_file(profile_out_,
+                                        obs::profiler::folded_text()))
+                std::fprintf(stderr, "warning: cannot write %s\n",
+                             profile_out_.c_str());
+        }
     }
 
     static const char* help_lines() {
@@ -126,12 +153,16 @@ public:
                "else JSON)\n"
                "  --trace-out=F    write a Chrome-trace JSON of the run\n"
                "  --events-out=F   write the event log (drift alarms) as "
-               "JSON lines";
+               "JSON lines\n"
+               "  --profile-out=F  sample the process (--profile-hz=N, "
+               "default 97) and\n"
+               "                   write folded stacks for flamegraph.pl";
     }
 
 private:
     std::string metrics_out_;
     std::string events_out_;
+    std::string profile_out_;
     bool written_ = false;
 };
 

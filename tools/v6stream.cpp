@@ -85,6 +85,10 @@ obs::dashboard_model build_dashboard(const stream_engine& engine,
     for (const live_series_view& v : lv.series)
         model.series.push_back({v.name, v.help, v.current, v.history, v.alarmed});
     model.events = lv.events;
+    model.links = {{"/metrics", "metrics"},
+                   {"/trace", "trace"},
+                   {"/profile", "profile"},
+                   {"/healthz", "healthz"}};
     return model;
 }
 
@@ -151,10 +155,13 @@ int main(int argc, char** argv) {
             "streaming classification of a \"day address [hits]\" feed;\n"
             "emits JSON lines (day roll-ups, status, final report)\n"
             "  --metrics-port=P   serve GET /metrics (Prometheus text),\n"
-            "                     GET /healthz (JSON liveness), and\n"
+            "                     GET /healthz (JSON liveness),\n"
             "                     GET /dashboard (live HTML sparklines of\n"
-            "                     the derived series + drift events) on\n"
-            "                     0.0.0.0:P while running");
+            "                     the derived series + drift events),\n"
+            "                     GET /trace (Chrome-trace JSON of the\n"
+            "                     pipeline spans), and GET /profile\n"
+            "                     (folded stacks from the sampling\n"
+            "                     profiler) on 0.0.0.0:P while running");
         std::puts(tools::obs_exporter::help_lines());
         return 0;
     }
@@ -221,9 +228,17 @@ int main(int argc, char** argv) {
             std::fprintf(stderr, "error: metrics server: %s\n", error.c_str());
             return 1;
         }
+        // A live observability port implies live tracing and profiling:
+        // /trace serves the span rings, /profile the sampled stacks.
+        // (--trace-out may have enabled the tracer already; enable() is
+        // idempotent, and the profiler start is skipped if --profile-out
+        // already started it.)
+        obs::tracer::enable();
+        if (!obs::profiler::running()) obs::profiler::start();
         std::fprintf(stderr,
                      "metrics on http://0.0.0.0:%u/metrics, dashboard on "
-                     "http://0.0.0.0:%u/dashboard\n",
+                     "http://0.0.0.0:%u/dashboard (links to /trace, "
+                     "/profile, /healthz)\n",
                      static_cast<unsigned>(server.port()),
                      static_cast<unsigned>(server.port()));
     }
