@@ -29,26 +29,75 @@ for preset in "${presets[@]}"; do
     ctest --preset "${preset}" -j "${jobs}" "${label_args[@]}"
 
     if [ "${preset}" = default ]; then
-        # Bench gate: every microbenchmark must still run, the registry
+        # Bench gates: every microbenchmark must still run, the registry
         # reporter must still emit the machine-readable dump, and no
-        # benchmark may run >25% slower than the committed
-        # BENCH_substrate.json baseline. Two fresh runs are taken and
-        # the gate compares the per-benchmark minimum (noise only adds
-        # time). On a pass the min-merged result replaces the baseline
-        # so drift shows up as a diff.
+        # benchmark may run >25% slower than the committed baseline.
+        # The gate compares the per-benchmark minimum across fresh runs
+        # (noise only adds time); starting from two runs, up to two more
+        # repetitions are folded in before the gate is allowed to fail,
+        # since the first runs land right after a parallel ctest and can
+        # be scheduler-noisy. On a pass the min-merged result replaces
+        # the baseline so drift shows up as a diff.
         # (This google-benchmark takes a plain double, not "0.01s".)
-        echo "=== bench gate: micro_substrate vs BENCH_substrate.json ==="
-        for run in 1 2; do
-            ./build/bench/micro_substrate \
-                --benchmark_min_time=0.01 \
-                --metrics-out="BENCH_substrate.fresh${run}.json"
-            test -s "BENCH_substrate.fresh${run}.json"
+        bench_gate() {
+            local name=$1 bin=$2 run runs=()
+            echo "=== bench gate: $(basename "${bin}") vs BENCH_${name}.json ==="
+            for run in 1 2 3 4; do
+                "${bin}" --benchmark_min_time=0.01 \
+                    --metrics-out="BENCH_${name}.fresh${run}.json"
+                test -s "BENCH_${name}.fresh${run}.json"
+                runs+=("BENCH_${name}.fresh${run}.json")
+                [ "${run}" -lt 2 ] && continue
+                if python3 scripts/bench_gate.py "BENCH_${name}.json" \
+                    "${runs[@]}" --threshold=1.25 \
+                    --merge-out="BENCH_${name}.merged.json"; then
+                    mv "BENCH_${name}.merged.json" "BENCH_${name}.json"
+                    rm -f "BENCH_${name}".fresh*.json
+                    return 0
+                fi
+                echo "bench gate: noisy run, folding in another repetition"
+            done
+            rm -f "BENCH_${name}".fresh*.json "BENCH_${name}.merged.json"
+            return 1
+        }
+        bench_gate substrate ./build/bench/micro_substrate
+        # The network ingest front end (wire codec, enrichment lookup,
+        # collector-equivalent ingest path).
+        bench_gate wire ./build/bench/micro_wire_ingest
+
+        # Collector smoke: the real binaries end to end over loopback
+        # UDP — v6synth records a wire capture, v6stream listens on an
+        # ephemeral port (parsed from its stderr), v6wire sends the
+        # capture, and a clean SIGTERM must still produce sealed day
+        # reports and the final summary on stdout.
+        echo "=== collector smoke: loopback UDP e2e ==="
+        smoke=$(mktemp -d)
+        ./build/tools/v6synth --wire="${smoke}/feed.v6w" \
+            --first=360 --last=362 --scale=0.02 --seed=7
+        ./build/tools/v6stream --listen --shards=2 \
+            >"${smoke}/out.json" 2>"${smoke}/err.txt" &
+        stream_pid=$!
+        port=""
+        for _ in $(seq 1 100); do
+            port=$(sed -n 's/^listening on udp port \([0-9]*\)$/\1/p' \
+                "${smoke}/err.txt")
+            [ -n "${port}" ] && break
+            sleep 0.1
         done
-        python3 scripts/bench_gate.py BENCH_substrate.json \
-            BENCH_substrate.fresh1.json BENCH_substrate.fresh2.json \
-            --threshold=1.25 --merge-out=BENCH_substrate.merged.json
-        mv BENCH_substrate.merged.json BENCH_substrate.json
-        rm -f BENCH_substrate.fresh1.json BENCH_substrate.fresh2.json
+        if [ -z "${port}" ]; then
+            kill "${stream_pid}" 2>/dev/null || true
+            echo "collector smoke: v6stream never reported its port" >&2
+            exit 1
+        fi
+        ./build/tools/v6wire send "${smoke}/feed.v6w" ::1 "${port}"
+        sleep 1
+        kill -TERM "${stream_pid}"
+        wait "${stream_pid}"
+        grep -q '"type":"day"' "${smoke}/out.json"
+        grep -q '"type":"final"' "${smoke}/out.json"
+        grep -q 'collector: .* 0 rejected' "${smoke}/err.txt"
+        rm -rf "${smoke}"
+        echo "collector smoke passed"
     fi
 done
 

@@ -1,0 +1,177 @@
+// replay.cpp — wire-file / pcap replay and the UDP send driver.
+#include "v6class/net/replay.h"
+
+#include <arpa/inet.h>
+#include <chrono>
+#include <cstring>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+#include "v6class/net/collector.h"
+
+namespace v6::net {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+bool should_stop(const replay_options& opt) noexcept {
+    return opt.stop != nullptr && *opt.stop != 0;
+}
+
+/// Sleeps until `done` records fit the rate schedule, in <=50 ms slices
+/// so the stop flag stays responsive. Returns false when stopped.
+bool pace(const replay_options& opt, const clock::time_point& start,
+          std::uint64_t done) {
+    if (opt.rate <= 0) return !should_stop(opt);
+    const auto target = start + std::chrono::duration_cast<clock::duration>(
+                                    std::chrono::duration<double>(
+                                        static_cast<double>(done) / opt.rate));
+    for (;;) {
+        if (should_stop(opt)) return false;
+        const auto now = clock::now();
+        if (now >= target) return true;
+        const auto remaining = target - now;
+        std::this_thread::sleep_for(
+            remaining < std::chrono::milliseconds(50)
+                ? remaining
+                : clock::duration(std::chrono::milliseconds(50)));
+    }
+}
+
+}  // namespace
+
+replay_result replay_wire_file(const std::string& path, stream_engine& engine,
+                               enrichment* enrich, asn_ledger* ledger,
+                               const replay_options& opt) {
+    replay_result result;
+    wire_file_reader reader(path);
+    if (!reader.valid()) {
+        result.error = reader.error();
+        return result;
+    }
+    const auto start = clock::now();
+    wire_decoder decoder;
+    lookup_cache cache;
+    std::vector<std::uint8_t> datagram;
+    std::vector<stream_record> batch;
+    while (reader.next(datagram)) {
+        ++result.datagrams;
+        result.bytes += datagram.size();
+        batch.clear();
+        decoder.decode(datagram.data(), datagram.size(), batch);
+        ingest_batch(engine, batch, enrich, ledger, &cache);
+        result.records += batch.size();
+        if (!pace(opt, start, result.records)) {
+            result.stopped = true;
+            break;
+        }
+    }
+    if (!reader.error().empty() && !result.stopped) result.error = reader.error();
+    result.decode = decoder.stats();
+    return result;
+}
+
+replay_result replay_pcap_file(const std::string& path, stream_engine& engine,
+                               enrichment* enrich, asn_ledger* ledger,
+                               const replay_options& opt) {
+    replay_result result;
+    const auto start = clock::now();
+    wire_decoder decoder;
+    lookup_cache cache;
+    std::vector<stream_record> batch;
+    std::string error;
+    const auto stats = pcap_extract_udp(
+        path, opt.pcap_port,
+        [&](const std::uint8_t* payload, std::size_t len) {
+            if (result.stopped) return;
+            ++result.datagrams;
+            result.bytes += len;
+            batch.clear();
+            decoder.decode(payload, len, batch);
+            ingest_batch(engine, batch, enrich, ledger, &cache);
+            result.records += batch.size();
+            if (!pace(opt, start, result.records)) result.stopped = true;
+        },
+        &error);
+    if (!stats) {
+        result.error = error;
+        return result;
+    }
+    result.pcap = *stats;
+    result.decode = decoder.stats();
+    return result;
+}
+
+replay_result send_wire_file(const std::string& path, const std::string& host,
+                             std::uint16_t port, const replay_options& opt) {
+    replay_result result;
+    wire_file_reader reader(path);
+    if (!reader.valid()) {
+        result.error = reader.error();
+        return result;
+    }
+
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_DGRAM;
+    addrinfo* res = nullptr;
+    const int gai = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(),
+                                  &hints, &res);
+    if (gai != 0) {
+        result.error = host + ": " + ::gai_strerror(gai);
+        return result;
+    }
+    const int fd = ::socket(res->ai_family, SOCK_DGRAM | SOCK_CLOEXEC,
+                            res->ai_protocol);
+    if (fd < 0) {
+        result.error = std::string("socket: ") + std::strerror(errno);
+        ::freeaddrinfo(res);
+        return result;
+    }
+    if (::connect(fd, res->ai_addr, res->ai_addrlen) != 0) {
+        result.error = "connect [" + host + "]:" + std::to_string(port) + ": " +
+                       std::strerror(errno);
+        ::freeaddrinfo(res);
+        ::close(fd);
+        return result;
+    }
+    ::freeaddrinfo(res);
+
+    const auto start = clock::now();
+    std::vector<std::uint8_t> datagram;
+    while (reader.next(datagram)) {
+        if (::send(fd, datagram.data(), datagram.size(), 0) < 0) {
+            // A full socket buffer on a blocking socket waits; any other
+            // send failure (e.g. ICMP port unreachable reflected back on
+            // a connected socket) is retried once, then reported.
+            if (errno == ECONNREFUSED &&
+                ::send(fd, datagram.data(), datagram.size(), 0) >= 0) {
+                // retry succeeded
+            } else {
+                result.error = std::string("send: ") + std::strerror(errno);
+                break;
+            }
+        }
+        ++result.datagrams;
+        result.bytes += datagram.size();
+        // Record count without decoding: trust the header's count field
+        // for pacing only (a corrupt file still sends byte-exact).
+        if (datagram.size() >= kWireHeaderSize)
+            result.records += static_cast<std::uint16_t>(datagram[6] |
+                                                         (datagram[7] << 8));
+        if (!pace(opt, start, result.records)) {
+            result.stopped = true;
+            break;
+        }
+    }
+    if (!reader.error().empty() && !result.stopped && result.error.empty())
+        result.error = reader.error();
+    ::close(fd);
+    return result;
+}
+
+}  // namespace v6::net

@@ -1,0 +1,222 @@
+// Enrichment: source parsing, the binary db format (round trip and
+// structural validation), longest-prefix lookups, the RCU-style hot
+// reload (old snapshot keeps serving through failures and swaps), the
+// zero-drop reload-under-load property (the TSan target), and the
+// per-ASN ledger.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <thread>
+
+#include "v6class/net/enrich.h"
+
+namespace v6 {
+namespace {
+
+net::enrich_entry entry(const std::string& pfx, std::uint32_t asn,
+                        const char* cc = "--") {
+    return {*prefix::parse(pfx), {asn, {cc[0], cc[1]}}};
+}
+
+TEST(EnrichParse, AcceptsRouteAndCsvShapes) {
+    const auto a = net::parse_enrich_line("2001:db8::/32 64500 de");
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(*a, entry("2001:db8::/32", 64500, "de"));
+
+    const auto b = net::parse_enrich_line("2001:db8:1::/48,AS64501,US");
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->info.asn, 64501u);
+    EXPECT_EQ(b->info.country, (std::array<char, 2>{'u', 's'}));
+
+    const auto c = net::parse_enrich_line("2001:db8::1 7018");
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(c->pfx.length(), 128u);
+    EXPECT_EQ(c->info.country, (std::array<char, 2>{'-', '-'}));
+}
+
+TEST(EnrichParse, RejectsMalformedLines) {
+    EXPECT_FALSE(net::parse_enrich_line(""));
+    EXPECT_FALSE(net::parse_enrich_line("2001:db8::/32"));        // no asn
+    EXPECT_FALSE(net::parse_enrich_line("notanaddr 64500"));
+    EXPECT_FALSE(net::parse_enrich_line("2001:db8::/32 ASx"));
+    EXPECT_FALSE(net::parse_enrich_line("2001:db8::/32 99999999999"));
+    EXPECT_FALSE(net::parse_enrich_line("2001:db8::/32 64500 deu"));
+}
+
+TEST(EnrichDb, EncodeDecodeRoundTripDedupsLastWins) {
+    std::vector<net::enrich_entry> entries = {
+        entry("2001:db8::/32", 1, "aa"),
+        entry("2001:db8:ffff::/48", 3, "cc"),
+        entry("2001:db8::/32", 2, "bb"),  // later duplicate wins
+    };
+    const auto image = net::encode_asn_db(entries);
+    EXPECT_EQ(image.size(), net::kAsnDbHeaderSize + 2 * net::kAsnDbEntrySize);
+    std::string error;
+    const auto decoded = net::decode_asn_db(image.data(), image.size(), &error);
+    ASSERT_TRUE(decoded.has_value()) << error;
+    ASSERT_EQ(decoded->size(), 2u);
+    EXPECT_EQ((*decoded)[0], entry("2001:db8::/32", 2, "bb"));
+    EXPECT_EQ((*decoded)[1], entry("2001:db8:ffff::/48", 3, "cc"));
+}
+
+TEST(EnrichDb, DecodeRejectsStructuralProblems) {
+    auto image = net::encode_asn_db({entry("2001:db8::/32", 1)});
+    std::string error;
+
+    auto bad = image;
+    bad[0] = 'X';
+    EXPECT_FALSE(net::decode_asn_db(bad.data(), bad.size(), &error));
+
+    bad = image;
+    bad[8] = 9;  // version
+    EXPECT_FALSE(net::decode_asn_db(bad.data(), bad.size(), &error));
+
+    bad = image;
+    bad.pop_back();  // size arithmetic
+    EXPECT_FALSE(net::decode_asn_db(bad.data(), bad.size(), &error));
+
+    bad = image;
+    bad[net::kAsnDbHeaderSize + 16] = 129;  // prefix length
+    EXPECT_FALSE(net::decode_asn_db(bad.data(), bad.size(), &error));
+
+    bad = image;
+    bad[net::kAsnDbHeaderSize + 17] = 1;  // reserved byte
+    EXPECT_FALSE(net::decode_asn_db(bad.data(), bad.size(), &error));
+
+    bad = image;
+    bad[net::kAsnDbHeaderSize + 15] = 0xff;  // host bits below /32 set
+    EXPECT_FALSE(net::decode_asn_db(bad.data(), bad.size(), &error));
+
+    EXPECT_FALSE(net::decode_asn_db(image.data(), 3, &error));  // short header
+}
+
+TEST(EnrichDb, LongestPrefixMatchWins) {
+    const net::asn_db db({entry("2001:db8::/32", 1, "aa"),
+                          entry("2001:db8:8::/48", 2, "bb"),
+                          entry("::/0", 9, "zz")});
+    const auto* wide = db.lookup(*address::parse("2001:db8:1::1"));
+    ASSERT_NE(wide, nullptr);
+    EXPECT_EQ(wide->asn, 1u);
+    const auto* deep = db.lookup(*address::parse("2001:db8:8::1"));
+    ASSERT_NE(deep, nullptr);
+    EXPECT_EQ(deep->asn, 2u);
+    const auto* fallback = db.lookup(*address::parse("2600::1"));
+    ASSERT_NE(fallback, nullptr);
+    EXPECT_EQ(fallback->asn, 9u);
+}
+
+TEST(Enrichment, ReloadSwapsAndFailureKeepsOldSnapshot) {
+    const std::string path = testing::TempDir() + "enrich_swap.db";
+    ASSERT_TRUE(net::write_asn_db(path, {entry("2001:db8::/32", 100)}));
+
+    net::enrichment enr(path);
+    EXPECT_EQ(enr.snapshot(), nullptr) << "not loaded until first reload";
+    std::string error;
+    ASSERT_TRUE(enr.reload(&error)) << error;
+    const address probe = *address::parse("2001:db8::1");
+    std::shared_ptr<const net::asn_db> snap;
+    ASSERT_NE(enr.lookup(probe, snap), nullptr);
+    EXPECT_EQ(enr.lookup(probe, snap)->asn, 100u);
+
+    ASSERT_TRUE(net::write_asn_db(path, {entry("2001:db8::/32", 200)}));
+    ASSERT_TRUE(enr.reload(&error));
+    EXPECT_EQ(enr.lookup(probe, snap)->asn, 200u);
+    EXPECT_EQ(snap->generation(), 2u);
+
+    // A corrupt push must not take the service down.
+    {
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        f << "garbage";
+    }
+    EXPECT_FALSE(enr.reload(&error));
+    EXPECT_FALSE(error.empty());
+    ASSERT_NE(enr.lookup(probe, snap), nullptr);
+    EXPECT_EQ(enr.lookup(probe, snap)->asn, 200u) << "old snapshot serves on";
+    EXPECT_EQ(enr.reloads(), 2u);
+    EXPECT_EQ(enr.failures(), 1u);
+}
+
+// The tentpole guarantee: readers hammering lookup() while the db file
+// is rewritten and reloaded many times always see a complete snapshot —
+// every single lookup resolves (zero "dropped" enrichments) and the
+// result is one of the two valid generations, never a torn value.
+// Run under TSan to prove the swap is race-free.
+TEST(Enrichment, HotReloadUnderLoadDropsNothing) {
+    const std::string path = testing::TempDir() + "enrich_load.db";
+    ASSERT_TRUE(net::write_asn_db(path, {entry("2001:db8::/32", 111, "aa")}));
+    net::enrichment enr(path);
+    ASSERT_TRUE(enr.reload());
+
+    const address probe = *address::parse("2001:db8::42");
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> lookups{0}, misses{0}, torn{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 4; ++t)
+        readers.emplace_back([&] {
+            std::shared_ptr<const net::asn_db> snap;
+            while (!stop.load(std::memory_order_relaxed)) {
+                const net::enrich_info* info = enr.lookup(probe, snap);
+                ++lookups;
+                if (!info) {
+                    ++misses;
+                } else if (!((info->asn == 111 &&
+                              info->country == std::array<char, 2>{'a', 'a'}) ||
+                             (info->asn == 222 &&
+                              info->country == std::array<char, 2>{'b', 'b'}))) {
+                    ++torn;
+                }
+            }
+        });
+
+    for (int i = 0; i < 50; ++i) {
+        const bool odd = i % 2;
+        ASSERT_TRUE(net::write_asn_db(
+            path, {entry("2001:db8::/32", odd ? 222 : 111, odd ? "bb" : "aa")}));
+        ASSERT_TRUE(enr.reload());
+    }
+    stop = true;
+    for (auto& t : readers) t.join();
+
+    EXPECT_GT(lookups.load(), 0u);
+    EXPECT_EQ(misses.load(), 0u) << "a reload made lookups fail";
+    EXPECT_EQ(torn.load(), 0u) << "a lookup saw a half-built snapshot";
+    EXPECT_EQ(enr.reloads(), 51u);
+    EXPECT_EQ(enr.failures(), 0u);
+}
+
+TEST(AsnLedger, TakeDaySortsAndForgets) {
+    net::asn_ledger ledger;
+    const net::enrich_info a{64500, {'d', 'e'}};
+    const net::enrich_info b{64501, {'u', 's'}};
+    ledger.note(360, &a, 10);
+    ledger.note(360, &b, 1);
+    ledger.note(360, &b, 2);
+    ledger.note(360, nullptr, 5);  // unrouted bucket
+    ledger.note(361, &a, 7);
+
+    const auto rows = ledger.take_day(360);
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].asn, 64501u);  // 2 records beat 1
+    EXPECT_EQ(rows[0].records, 2u);
+    EXPECT_EQ(rows[0].hits, 3u);
+    EXPECT_EQ(rows[1].records, 1u);
+    // Ties (the two 1-record rows) break by ascending ASN; 0 = unrouted.
+    EXPECT_EQ(rows[1].asn, 0u);
+    EXPECT_EQ(rows[2].asn, 64500u);
+    EXPECT_EQ(rows[2].country, (std::array<char, 2>{'d', 'e'}));
+
+    EXPECT_TRUE(ledger.take_day(360).empty()) << "a day reports once";
+    EXPECT_EQ(ledger.take_day(361).size(), 1u);
+
+    EXPECT_EQ(ledger.matched(), 4u);
+    EXPECT_EQ(ledger.unmatched(), 1u);
+
+    const auto top = ledger.top(2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0].asn, 64500u);  // lifetime: 2 records for a
+    EXPECT_EQ(top[0].records, 2u);
+}
+
+}  // namespace
+}  // namespace v6

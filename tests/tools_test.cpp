@@ -214,9 +214,117 @@ TEST_F(ToolsTest, StreamRejectsBadClass) {
     EXPECT_NE(r.exit_code, 0);
 }
 
+TEST_F(ToolsTest, StreamRejectsUnknownFlag) {
+    const run_result r =
+        run("true | " + tool("v6stream") + " --no-such-flag 2>/dev/null");
+    EXPECT_NE(r.exit_code, 0);
+}
+
+// ------------------------------------------------------------ wire
+
+TEST_F(ToolsTest, WireDumpRoundTripsTheStreamFeed) {
+    // The binary capture of a world must decode back to byte-for-byte
+    // the text feed v6synth --stream emits for the same world.
+    const fs::path capture = corpus_ / "feed.v6w";
+    const run_result synth = run(
+        tool("v6synth") + " --wire=" + capture.string() +
+        " --scale=0.02 --first=362 --last=364 2>/dev/null");
+    ASSERT_EQ(synth.exit_code, 0);
+
+    const run_result text = run(
+        tool("v6synth") + " --stream --scale=0.02 --first=362 --last=364"
+        " 2>/dev/null");
+    ASSERT_EQ(text.exit_code, 0);
+    const run_result dump =
+        run(tool("v6wire") + " dump " + capture.string() + " 2>/dev/null");
+    ASSERT_EQ(dump.exit_code, 0);
+    EXPECT_EQ(dump.output, text.output);
+
+    const run_result info = run(tool("v6wire") + " info " + capture.string());
+    EXPECT_EQ(info.exit_code, 0);
+    EXPECT_NE(info.output.find("rejected    0"), std::string::npos);
+}
+
+TEST_F(ToolsTest, StreamReplaysWireCaptureIdenticalToCorpusDir) {
+    const fs::path capture = corpus_ / "replay.v6w";
+    const run_result synth = run(
+        tool("v6synth") + " --wire=" + capture.string() +
+        " --scale=0.03 --first=362 --last=368 2>/dev/null");
+    ASSERT_EQ(synth.exit_code, 0);
+
+    // The same world synthesized into corpus_ by SetUpTestSuite: the two
+    // replay paths (text day logs vs binary wire capture) must produce
+    // identical sealed-day roll-ups.
+    const run_result from_dir =
+        run(tool("v6stream") + " --replay=" + corpus_.string() +
+            " --shards=2 2>/dev/null | grep '\"type\":\"day\"'");
+    const run_result from_wire =
+        run(tool("v6stream") + " --replay=" + capture.string() +
+            " --shards=2 2>/dev/null | grep '\"type\":\"day\"'");
+    ASSERT_EQ(from_dir.exit_code, 0);
+    ASSERT_EQ(from_wire.exit_code, 0);
+    ASSERT_FALSE(from_dir.output.empty());
+    EXPECT_EQ(from_wire.output, from_dir.output);
+}
+
+TEST_F(ToolsTest, MkdbBuildsDbAndStreamEmitsAsnBreakdowns) {
+    const fs::path db = corpus_ / "asn.db";
+    const run_result build = run(
+        tool("v6mkdb") + " --in=" + (corpus_ / "routes.txt").string() +
+        " --out=" + db.string() + " 2>/dev/null");
+    ASSERT_EQ(build.exit_code, 0);
+    ASSERT_TRUE(fs::exists(db));
+
+    // The db dumps back as "prefix asn country" source lines.
+    const run_result dump = run(tool("v6mkdb") + " --dump=" + db.string());
+    ASSERT_EQ(dump.exit_code, 0);
+    EXPECT_NE(dump.output.find("20001"), std::string::npos);
+
+    // Enriched replay: every sealed day gains a day_asn breakdown whose
+    // rows carry the synthetic world's ASNs.
+    const run_result r =
+        run(tool("v6stream") + " --replay=" + corpus_.string() +
+            " --asn-db=" + db.string() + " --shards=2 2>/dev/null");
+    ASSERT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.output.find("{\"type\":\"day_asn\",\"day\":362,"),
+              std::string::npos);
+    EXPECT_NE(r.output.find("\"asn\":20001"), std::string::npos);
+    EXPECT_NE(r.output.find("\"records\":"), std::string::npos);
+}
+
+TEST_F(ToolsTest, MkdbRejectsGarbageDb) {
+    const fs::path bad = corpus_ / "bad.db";
+    {
+        std::ofstream out(bad);
+        out << "not a database\n";
+    }
+    const run_result dump =
+        run(tool("v6mkdb") + " --dump=" + bad.string() + " 2>/dev/null");
+    EXPECT_NE(dump.exit_code, 0);
+    const run_result r =
+        run("true | " + tool("v6stream") + " --asn-db=" + bad.string() +
+            " 2>/dev/null");
+    EXPECT_NE(r.exit_code, 0) << "a corrupt db at startup is a hard error";
+}
+
+TEST_F(ToolsTest, StreamReplaySigintSealsAndReports) {
+    // SIGINT mid-replay must still produce the ordered shutdown: the
+    // open day seals, day reports drain, and the final object appears —
+    // with exit code 0. --rate keeps the replay running long enough for
+    // the signal to land mid-feed.
+    const run_result r = run(
+        "{ " + tool("v6stream") + " --replay=" + corpus_.string() +
+        " --rate=2000 --shards=2 2>/dev/null & pid=$!; sleep 1;"
+        " kill -INT $pid; wait $pid; }");
+    ASSERT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.output.find("\"type\":\"final\""), std::string::npos);
+    EXPECT_NE(r.output.find("\"spectrum\":["), std::string::npos);
+}
+
 TEST_F(ToolsTest, ToolsPrintUsageOnHelp) {
     for (const char* name : {"v6classify", "v6mra", "v6dense", "v6stable",
-                             "v6synth", "v6profile", "v6arpa", "v6stream"}) {
+                             "v6synth", "v6profile", "v6arpa", "v6stream",
+                             "v6wire", "v6mkdb"}) {
         const run_result r = run(tool(name) + " --help");
         EXPECT_EQ(r.exit_code, 0) << name;
         EXPECT_NE(r.output.find("usage:"), std::string::npos) << name;

@@ -4,6 +4,7 @@
 // --events-out).
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -74,9 +75,209 @@ public:
 
     const std::vector<std::string>& positional() const { return positional_; }
 
+    /// Every (name, value) pair in command-line order, for table-driven
+    /// parsing (flag_table below).
+    const std::vector<std::pair<std::string, std::string>>& entries() const {
+        return flags_;
+    }
+
 private:
     std::vector<std::pair<std::string, std::string>> flags_;
     std::vector<std::string> positional_;
+};
+
+/// Declarative flag table: a tool declares each flag once — name, bound
+/// target variable, help line — and gets type-checked parsing, unknown-
+/// flag rejection, and generated usage text from one place, instead of
+/// re-implementing `flags.get_int(...)` chains by hand.
+///
+///     double scale = 0.2;
+///     bool wire = false;
+///     tools::flag_table table("usage: v6synth --out=DIR [--scale=S]");
+///     table.add("scale", &scale, "world scale factor");
+///     table.add("wire", &wire, "emit the corpus as a v6wire file");
+///     if (const auto err = table.parse(flags)) { ... }
+///
+/// Targets keep their initialized value when the flag is absent, so the
+/// declaration *is* the default. parse() rejects flags not in the table
+/// (catching typos like --shard=4) and non-numeric values for numeric
+/// targets; the uniform observability flags (--metrics-out and friends,
+/// consumed by obs_exporter) and --help are always accepted.
+class flag_table {
+public:
+    explicit flag_table(std::string synopsis) : synopsis_(std::move(synopsis)) {}
+
+    flag_table& add(const char* name, bool* target, const char* help) {
+        defs_.push_back({name, kind::toggle, target, help});
+        return *this;
+    }
+    flag_table& add(const char* name, long* target, const char* help) {
+        defs_.push_back({name, kind::integer, target, help});
+        return *this;
+    }
+    flag_table& add(const char* name, int* target, const char* help) {
+        defs_.push_back({name, kind::int32, target, help});
+        return *this;
+    }
+    flag_table& add(const char* name, unsigned* target, const char* help) {
+        defs_.push_back({name, kind::uint32, target, help});
+        return *this;
+    }
+    flag_table& add(const char* name, std::uint16_t* target, const char* help) {
+        defs_.push_back({name, kind::uint16, target, help});
+        return *this;
+    }
+    flag_table& add(const char* name, std::size_t* target, const char* help) {
+        defs_.push_back({name, kind::size, target, help});
+        return *this;
+    }
+    flag_table& add(const char* name, double* target, const char* help) {
+        defs_.push_back({name, kind::real, target, help});
+        return *this;
+    }
+    flag_table& add(const char* name, std::string* target, const char* help) {
+        defs_.push_back({name, kind::text, target, help});
+        return *this;
+    }
+    /// Repeatable: every occurrence appends.
+    flag_table& add(const char* name, std::vector<std::string>* target,
+                    const char* help) {
+        defs_.push_back({name, kind::text_list, target, help});
+        return *this;
+    }
+    /// Optional-value flag (`--x` or `--x=V`): presence sets *given,
+    /// a non-empty value overwrites *value.
+    flag_table& add(const char* name, bool* given, std::string* value,
+                    const char* help) {
+        defs_.push_back({name, kind::opt_text, given, help, value});
+        return *this;
+    }
+
+    /// Applies every command-line flag to its target. Returns an error
+    /// message for an unknown flag or unparsable value, nullopt on
+    /// success.
+    std::optional<std::string> parse(const flag_set& flags) const {
+        for (const auto& [name, value] : flags.entries()) {
+            if (is_uniform(name)) continue;
+            const def* d = find(name);
+            if (!d)
+                return "unknown flag --" + name + " (see --help)";
+            if (const auto err = apply(*d, value))
+                return "--" + name + "=" + value + ": " + *err;
+        }
+        return std::nullopt;
+    }
+
+    /// The generated help text: synopsis, one line per declared flag,
+    /// then the uniform observability flags.
+    std::string usage() const {
+        std::string out = synopsis_;
+        if (!out.empty() && out.back() != '\n') out += '\n';
+        out += "options:\n";
+        for (const def& d : defs_) {
+            std::string line = "  --";
+            line += d.name;
+            switch (d.k) {
+                case kind::toggle: break;
+                case kind::opt_text: line += "[=V]"; break;
+                default: line += "=V"; break;
+            }
+            while (line.size() < 20) line += ' ';
+            line += ' ';
+            line += d.help;
+            out += line;
+            out += '\n';
+        }
+        out += obs_exporter_help();
+        return out;
+    }
+
+private:
+    enum class kind { toggle, integer, int32, uint32, uint16, size, real, text, text_list, opt_text };
+
+    struct def {
+        const char* name;
+        kind k;
+        void* target;
+        const char* help;
+        void* extra = nullptr;  // opt_text: the string target
+    };
+
+    static bool is_uniform(const std::string& name) {
+        return name == "help" || name == "metrics-out" || name == "trace-out" ||
+               name == "events-out" || name == "profile-out" ||
+               name == "profile-hz";
+    }
+
+    const def* find(const std::string& name) const {
+        for (const def& d : defs_)
+            if (name == d.name) return &d;
+        return nullptr;
+    }
+
+    static std::optional<std::string> apply(const def& d, const std::string& value) {
+        switch (d.k) {
+            case kind::toggle:
+                *static_cast<bool*>(d.target) = true;
+                return std::nullopt;
+            case kind::opt_text:
+                *static_cast<bool*>(d.target) = true;
+                if (!value.empty()) *static_cast<std::string*>(d.extra) = value;
+                return std::nullopt;
+            case kind::text:
+                *static_cast<std::string*>(d.target) = value;
+                return std::nullopt;
+            case kind::text_list:
+                static_cast<std::vector<std::string>*>(d.target)->push_back(value);
+                return std::nullopt;
+            case kind::real: {
+                char* end = nullptr;
+                const double v = std::strtod(value.c_str(), &end);
+                if (value.empty() || end != value.c_str() + value.size())
+                    return "expected a number";
+                *static_cast<double*>(d.target) = v;
+                return std::nullopt;
+            }
+            default: {
+                char* end = nullptr;
+                const long long v = std::strtoll(value.c_str(), &end, 10);
+                if (value.empty() || end != value.c_str() + value.size())
+                    return "expected an integer";
+                switch (d.k) {
+                    case kind::integer:
+                        *static_cast<long*>(d.target) = static_cast<long>(v);
+                        break;
+                    case kind::int32:
+                        *static_cast<int*>(d.target) = static_cast<int>(v);
+                        break;
+                    case kind::uint32:
+                        if (v < 0) return "expected a non-negative integer";
+                        *static_cast<unsigned*>(d.target) = static_cast<unsigned>(v);
+                        break;
+                    case kind::uint16:
+                        if (v < 0 || v > 65535) return "expected a port number (0..65535)";
+                        *static_cast<std::uint16_t*>(d.target) =
+                            static_cast<std::uint16_t>(v);
+                        break;
+                    case kind::size:
+                        if (v < 0) return "expected a non-negative integer";
+                        *static_cast<std::size_t*>(d.target) =
+                            static_cast<std::size_t>(v);
+                        break;
+                    default:
+                        break;
+                }
+                return std::nullopt;
+            }
+        }
+    }
+
+    /// Forwarded here (rather than calling obs_exporter::help_lines()
+    /// directly) so usage() stays definable before obs_exporter.
+    static std::string obs_exporter_help();
+
+    std::string synopsis_;
+    std::vector<def> defs_;
 };
 
 /// The uniform observability flags every tool accepts:
@@ -165,6 +366,10 @@ private:
     std::string profile_out_;
     bool written_ = false;
 };
+
+inline std::string flag_table::obs_exporter_help() {
+    return std::string(obs_exporter::help_lines()) + "\n";
+}
 
 /// Parses a density-class spec "N@P" or "N@/P" (e.g. "2@112", the
 /// paper's n@/p classes); shared by v6dense and v6stream.

@@ -17,18 +17,26 @@ using namespace v6;
 
 int main(int argc, char** argv) {
     const tools::flag_set flags(argc, argv);
+    std::string zone_file;
+    bool scan = false;
+    tools::flag_table table(
+        "usage: v6arpa [--zone=FILE [--scan]] [file]\n"
+        "ip6.arpa name generation and zone-file resolution");
+    table.add("zone", &zone_file, "resolve against this PTR zone file")
+        .add("scan", &scan, "bulk-scan mode: only resolving addresses");
     if (flags.has("help")) {
-        std::puts(
-            "usage: v6arpa [--zone=FILE [--scan]] [file]\n"
-            "ip6.arpa name generation and zone-file resolution");
-        std::puts(tools::obs_exporter::help_lines());
+        std::fputs(table.usage().c_str(), stdout);
         return 0;
+    }
+    if (const auto err = table.parse(flags)) {
+        std::fprintf(stderr, "error: %s\n", err->c_str());
+        return 1;
     }
     const tools::obs_exporter obs_dump(flags);
     const auto addrs = tools::read_input_addresses(flags);
     if (!addrs) return 1;
 
-    if (!flags.has("zone")) {
+    if (zone_file.empty()) {
         for (const address& a : *addrs)
             std::printf("%s\n", ip6_arpa_name(a).c_str());
         return 0;
@@ -36,17 +44,16 @@ int main(int argc, char** argv) {
 
     reverse_zone zone;
     {
-        std::ifstream in(flags.get("zone"));
+        std::ifstream in(zone_file);
         if (!in) {
-            std::fprintf(stderr, "error: cannot open %s\n",
-                         flags.get("zone").c_str());
+            std::fprintf(stderr, "error: cannot open %s\n", zone_file.c_str());
             return 1;
         }
         const std::size_t loaded = import_zone_file(in, zone);
         std::fprintf(stderr, "loaded %zu PTR records\n", loaded);
     }
 
-    if (flags.has("scan")) {
+    if (scan) {
         const auto result = zone.scan(*addrs);
         for (const address& a : result.named)
             std::printf("%s\t%s\n", a.to_string().c_str(),

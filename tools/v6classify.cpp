@@ -19,18 +19,25 @@ using namespace v6;
 
 int main(int argc, char** argv) {
     const tools::flag_set flags(argc, argv);
+    bool summary = false, spatial = false;
+    tools::flag_table table(
+        "usage: v6classify [--summary] [--spatial] [file]\n"
+        "classify IPv6 addresses (one per line; '-' or no file = stdin)");
+    table.add("summary", &summary, "print class counts only")
+        .add("spatial", &spatial, "add each address's spatial class");
     if (flags.has("help")) {
-        std::puts(
-            "usage: v6classify [--summary] [--spatial] [file]\n"
-            "classify IPv6 addresses (one per line; '-' or no file = stdin)");
-        std::puts(tools::obs_exporter::help_lines());
+        std::fputs(table.usage().c_str(), stdout);
         return 0;
+    }
+    if (const auto err = table.parse(flags)) {
+        std::fprintf(stderr, "error: %s\n", err->c_str());
+        return 1;
     }
     const tools::obs_exporter obs_dump(flags);
     const auto addrs = tools::read_input_addresses(flags);
     if (!addrs) return 1;
 
-    if (flags.has("summary")) {
+    if (summary) {
         std::map<std::string, std::uint64_t> transitions, iids, malones;
         for (const address& a : *addrs) {
             const classification c = classify(a);
@@ -53,7 +60,6 @@ int main(int argc, char** argv) {
         return 0;
     }
 
-    const bool spatial = flags.has("spatial");
     radix_tree population;
     std::optional<spatial_classifier> spatial_cls;
     if (spatial) {

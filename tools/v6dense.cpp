@@ -16,17 +16,30 @@ using namespace v6;
 
 int main(int argc, char** argv) {
     const tools::flag_set flags(argc, argv);
+    std::vector<std::string> class_texts;
+    bool list = false, least_specific = false, targets_given = false;
+    std::string targets_text = "65536";
+    tools::flag_table table(
+        "usage: v6dense --class=N@P [--class=...] [--list | --targets=N]\n"
+        "               [--least-specific] [file]\n"
+        "dense-prefix discovery over an address set");
+    table.add("class", &class_texts, "density class N@P (e.g. 2@112; repeatable)")
+        .add("list", &list, "list the dense prefixes of the first class")
+        .add("targets", &targets_given, &targets_text,
+             "expand the first class into up to N scan targets")
+        .add("least-specific", &least_specific,
+             "use the general densify (least-specific covering prefixes)");
     if (flags.has("help")) {
-        std::puts(
-            "usage: v6dense --class=N@P [--class=...] [--list | --targets=N]\n"
-            "               [--least-specific] [file]\n"
-            "dense-prefix discovery over an address set");
-        std::puts(tools::obs_exporter::help_lines());
+        std::fputs(table.usage().c_str(), stdout);
         return 0;
+    }
+    if (const auto err = table.parse(flags)) {
+        std::fprintf(stderr, "error: %s\n", err->c_str());
+        return 1;
     }
     const tools::obs_exporter obs_dump(flags);
     std::vector<std::pair<std::uint64_t, unsigned>> classes;
-    for (const std::string& text : flags.get_all("class")) {
+    for (const std::string& text : class_texts) {
         const auto parsed = tools::parse_density_class(text);
         if (!parsed) {
             std::fprintf(stderr, "error: bad --class=%s (want e.g. 2@112)\n",
@@ -44,13 +57,13 @@ int main(int argc, char** argv) {
     for (const address& a : *addrs) tree.add(a);
 
     const auto [n0, p0] = classes.front();
-    if (flags.has("list") || flags.has("targets")) {
+    if (list || targets_given) {
         const std::vector<dense_prefix> dense =
-            flags.has("least-specific") ? tree.densify(n0, p0)
-                                        : tree.dense_prefixes_at(n0, p0);
-        if (flags.has("targets")) {
+            least_specific ? tree.densify(n0, p0)
+                           : tree.dense_prefixes_at(n0, p0);
+        if (targets_given) {
             const auto limit =
-                static_cast<std::size_t>(flags.get_int("targets", 65536));
+                static_cast<std::size_t>(std::atol(targets_text.c_str()));
             for (const address& t : expand_scan_targets(dense, limit))
                 std::printf("%s\n", t.to_string().c_str());
         } else {

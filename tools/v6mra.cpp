@@ -16,13 +16,26 @@ using namespace v6;
 
 int main(int argc, char** argv) {
     const tools::flag_set flags(argc, argv);
+    bool csv = false, gnuplot = false;
+    std::string gnuplot_dir = ".", stem = "mra", title, compare;
+    tools::flag_table table(
+        "usage: v6mra [--csv] [--gnuplot=DIR [--stem=NAME]] [--title=T]\n"
+        "             [--compare=FILE2] [file]\n"
+        "MRA plot of an address set (one address per line)");
+    table.add("csv", &csv, "emit a \"p,k,ratio\" series instead of the plot")
+        .add("gnuplot", &gnuplot, &gnuplot_dir,
+             "also write NAME.dat/NAME.gp under DIR (default .)")
+        .add("stem", &stem, "gnuplot file stem (default mra)")
+        .add("title", &title, "plot title (default: file name)")
+        .add("compare", &compare,
+             "RMS log-ratio MRA distance to FILE2's population");
     if (flags.has("help")) {
-        std::puts(
-            "usage: v6mra [--csv] [--gnuplot=DIR [--stem=NAME]] [--title=T]\n"
-            "             [--compare=FILE2] [file]\n"
-            "MRA plot of an address set (one address per line)");
-        std::puts(tools::obs_exporter::help_lines());
+        std::fputs(table.usage().c_str(), stdout);
         return 0;
+    }
+    if (const auto err = table.parse(flags)) {
+        std::fprintf(stderr, "error: %s\n", err->c_str());
+        return 1;
     }
     const tools::obs_exporter obs_dump(flags);
     const auto addrs = tools::read_input_addresses(flags);
@@ -32,19 +45,16 @@ int main(int argc, char** argv) {
         return 1;
     }
 
-    if (flags.has("compare")) {
-        std::ifstream other(flags.get("compare"));
+    if (!compare.empty()) {
+        std::ifstream other(compare);
         if (!other) {
-            std::fprintf(stderr, "error: cannot open %s\n",
-                         flags.get("compare").c_str());
+            std::fprintf(stderr, "error: cannot open %s\n", compare.c_str());
             return 1;
         }
         std::vector<address> addrs2;
-        tools::report_malformed_lines(read_addresses(other, addrs2),
-                                      flags.get("compare"));
+        tools::report_malformed_lines(read_addresses(other, addrs2), compare);
         if (addrs2.empty()) {
-            std::fprintf(stderr, "error: no addresses in %s\n",
-                         flags.get("compare").c_str());
+            std::fprintf(stderr, "error: no addresses in %s\n", compare.c_str());
             return 1;
         }
         const double d =
@@ -53,18 +63,17 @@ int main(int argc, char** argv) {
         return 0;
     }
 
-    const std::string title = flags.get(
-        "title", flags.positional().empty() ? "stdin" : flags.positional()[0]);
+    if (title.empty())
+        title = flags.positional().empty() ? "stdin" : flags.positional()[0];
     const mra_plot_data plot = make_mra_plot(compute_mra(*addrs), title);
 
-    if (flags.has("csv"))
+    if (csv)
         std::fputs(to_csv(plot).c_str(), stdout);
     else
         std::fputs(render_ascii(plot).c_str(), stdout);
 
-    if (flags.has("gnuplot")) {
-        const std::string dir = flags.get("gnuplot", ".");
-        const std::string stem = flags.get("stem", "mra");
+    if (gnuplot) {
+        const std::string dir = gnuplot_dir;
         const auto script = write_mra_gnuplot(dir, stem, plot);
         std::fprintf(stderr, "wrote %s (render with: gnuplot -p %s)\n",
                      script.string().c_str(), script.string().c_str());

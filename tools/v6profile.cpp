@@ -33,25 +33,37 @@ bool load_routes(const std::string& file, rir_registry& registry) {
 
 int main(int argc, char** argv) {
     const tools::flag_set flags(argc, argv);
-    if (flags.has("help") || !flags.has("corpus") || !flags.has("routes") ||
-        !flags.has("ref")) {
-        std::puts(
-            "usage: v6profile --corpus=DIR --routes=FILE --ref=DAY\n"
-            "per-ASN addressing-practice inference and subscriber estimates");
-        std::puts(tools::obs_exporter::help_lines());
-        return flags.has("help") ? 0 : 1;
+    std::string corpus, routes;
+    int ref = 0;
+    tools::flag_table cli(
+        "usage: v6profile --corpus=DIR --routes=FILE --ref=DAY\n"
+        "per-ASN addressing-practice inference and subscriber estimates");
+    cli.add("corpus", &corpus, "directory of day_<n>.log files (required)")
+        .add("routes", &routes, "\"prefix asn\" route file (required)")
+        .add("ref", &ref, "reference day index (required)");
+    if (flags.has("help")) {
+        std::fputs(cli.usage().c_str(), stdout);
+        return 0;
+    }
+    if (const auto err = cli.parse(flags)) {
+        std::fprintf(stderr, "error: %s\n", err->c_str());
+        return 1;
+    }
+    if (corpus.empty() || routes.empty() || !flags.has("ref")) {
+        std::fputs(cli.usage().c_str(), stdout);
+        return 1;
     }
     const tools::obs_exporter obs_dump(flags);
 
     rir_registry registry;
-    if (!load_routes(flags.get("routes"), registry)) {
-        std::fprintf(stderr, "error: cannot read %s\n", flags.get("routes").c_str());
+    if (!load_routes(routes, registry)) {
+        std::fprintf(stderr, "error: cannot read %s\n", routes.c_str());
         return 1;
     }
 
     daily_series raw;
     try {
-        raw = read_corpus(flags.get("corpus"));
+        raw = read_corpus(corpus);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
@@ -60,7 +72,6 @@ int main(int argc, char** argv) {
     for (const int d : raw.days())
         native.set_day(d, cull_transition(raw.day(d)).other);
 
-    const int ref = static_cast<int>(flags.get_int("ref", 0));
     const auto profiles = profile_networks(registry, native, ref);
     if (profiles.empty()) {
         std::fprintf(stderr, "error: no routed activity on day %d\n", ref);

@@ -15,39 +15,55 @@ using namespace v6;
 
 int main(int argc, char** argv) {
     const tools::flag_set flags(argc, argv);
-    if (flags.has("help") || !flags.has("corpus") || !flags.has("ref")) {
-        std::puts(
-            "usage: v6stable --corpus=DIR --ref=DAY [--n=3] [--back=7] "
-            "[--fwd=7]\n"
-            "                [--prefix-length=L] [--print-stable] "
-            "[--spectrum=MAX]\n"
-            "stability classification over a corpus of day_<n>.log files");
-        std::puts(tools::obs_exporter::help_lines());
-        return flags.has("help") ? 0 : 1;
+    std::string corpus;
+    int ref = 0, back = 7, fwd = 7;
+    unsigned n = 3, plen = 128;
+    bool print_stable = false, spectrum_given = false;
+    std::string spectrum_text = "14";
+    tools::flag_table cli(
+        "usage: v6stable --corpus=DIR --ref=DAY [--n=3] [--back=7] [--fwd=7]\n"
+        "                [--prefix-length=L] [--print-stable] [--spectrum=MAX]\n"
+        "stability classification over a corpus of day_<n>.log files");
+    cli.add("corpus", &corpus, "directory of day_<n>.log files (required)")
+        .add("ref", &ref, "reference day index (required)")
+        .add("n", &n, "stability threshold in days (default 3)")
+        .add("back", &back, "window days before ref (default 7)")
+        .add("fwd", &fwd, "window days after ref (default 7)")
+        .add("prefix-length", &plen, "aggregate to /L before classifying")
+        .add("print-stable", &print_stable, "print the stable addresses")
+        .add("spectrum", &spectrum_given, &spectrum_text,
+             "also print the lifetime spectrum up to MAX days (default 14)");
+    if (flags.has("help")) {
+        std::fputs(cli.usage().c_str(), stdout);
+        return 0;
+    }
+    if (const auto err = cli.parse(flags)) {
+        std::fprintf(stderr, "error: %s\n", err->c_str());
+        return 1;
+    }
+    if (corpus.empty() || !flags.has("ref")) {
+        std::fputs(cli.usage().c_str(), stdout);
+        return 1;
     }
     const tools::obs_exporter obs_dump(flags);
-    const int ref = static_cast<int>(flags.get_int("ref", 0));
-    const auto n = static_cast<unsigned>(flags.get_int("n", 3));
-    const unsigned plen =
-        static_cast<unsigned>(flags.get_int("prefix-length", 128));
 
     daily_series series;
     try {
-        series = read_corpus(flags.get("corpus"));
+        series = read_corpus(corpus);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
     if (series.days().empty()) {
         std::fprintf(stderr, "error: no day_<n>.log files in %s\n",
-                     flags.get("corpus").c_str());
+                     corpus.c_str());
         return 1;
     }
     if (plen < 128) series = series.project(plen);
 
     stability_options opt;
-    opt.window_back = static_cast<int>(flags.get_int("back", 7));
-    opt.window_fwd = static_cast<int>(flags.get_int("fwd", 7));
+    opt.window_back = back;
+    opt.window_fwd = fwd;
     stability_analyzer an(series, opt);
     const stability_split split = an.classify_day(ref, n);
     const std::uint64_t total = split.stable.size() + split.not_stable.size();
@@ -71,8 +87,9 @@ int main(int argc, char** argv) {
                            static_cast<double>(total))
                     .c_str());
 
-    if (flags.has("spectrum")) {
-        const auto max_n = static_cast<unsigned>(flags.get_int("spectrum", 14));
+    if (spectrum_given) {
+        const auto max_n =
+            static_cast<unsigned>(std::atol(spectrum_text.c_str()));
         observation_store store(plen);
         for (const int d : series.days()) store.record_day(d, series.day(d));
         const auto spectrum = store.stability_spectrum(max_n);
@@ -82,7 +99,7 @@ int main(int argc, char** argv) {
                         format_count(static_cast<double>(spectrum[i])).c_str());
     }
 
-    if (flags.has("print-stable"))
+    if (print_stable)
         for (const address& a : split.stable)
             std::printf("%s\n", a.to_string().c_str());
     return 0;

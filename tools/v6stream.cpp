@@ -6,20 +6,31 @@
 //   v6stream [--shards=N] [--batch=N] [--queue=N] [--n=3] [--back=7]
 //            [--fwd=7] [--class=N@P ...] [--status-every=RECORDS]
 //            [--spectrum=MAX] [feed-file|-]
-//   v6stream --replay=DIR ...            replay a day_<n>.log corpus
+//   v6stream --listen[=PORT]            ingest v6wire UDP datagrams
+//   v6stream --replay=PATH [--rate=R]   replay a day_<n>.log corpus
+//                                       directory, a .v6w wire capture,
+//                                       or a .pcap file
 //
-// The feed is "day address [hits]" lines (blank lines and '#' comments
-// tolerated) from a file, a FIFO, or stdin. Emits JSON lines on stdout:
-// a "day" object per sealed day (the asynchronous roll-up: windowed
-// nd-stable split and n@/p density classes), a periodic "status" object,
-// and a "final" object with the lifetime spectrum on EOF or SIGINT /
-// SIGTERM (graceful shutdown: the open day is sealed and reported).
+// The text feed is "day address [hits]" lines (blank lines and '#'
+// comments tolerated) from a file, a FIFO, or stdin; --listen and
+// --replay push the binary wire format through the identical engine
+// path. Emits JSON lines on stdout: a "day" object per sealed day (the
+// asynchronous roll-up: windowed nd-stable split and n@/p density
+// classes), a "day_asn" object per sealed day when --asn-db is active,
+// a periodic "status" object, and a "final" object with the lifetime
+// spectrum on EOF or SIGINT / SIGTERM (graceful shutdown: the open day
+// is sealed and reported). With --asn-db, SIGHUP hot-reloads the
+// enrichment database without dropping a record.
 #include <chrono>
 #include <csignal>
 #include <filesystem>
+#include <thread>
 
 #include "tool_common.h"
 #include "v6class/cdnsim/corpus.h"
+#include "v6class/net/collector.h"
+#include "v6class/net/enrich.h"
+#include "v6class/net/replay.h"
 #include "v6class/obs/dashboard.h"
 #include "v6class/obs/http.h"
 #include "v6class/stream/engine.h"
@@ -29,8 +40,10 @@ using namespace v6;
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_reload = 0;
 
 void handle_stop(int) { g_stop = 1; }
+void handle_reload(int) { g_reload = 1; }
 
 void print_density(const std::vector<density_row>& rows) {
     std::printf("\"dense\":[");
@@ -62,10 +75,27 @@ void print_day_report(const day_report& r) {
     std::printf("}\n");
 }
 
+/// One "day_asn" JSON line: the sealed day's per-origin-ASN breakdown,
+/// emitted right after the day's roll-up so downstream consumers can
+/// join them on "day". ASN 0 is the no-covering-prefix bucket.
+void print_day_asn(int day, const std::vector<net::asn_row>& rows) {
+    std::printf("{\"type\":\"day_asn\",\"day\":%d,\"rows\":[", day);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        std::printf("%s{\"asn\":%u,\"country\":\"%c%c\",\"records\":%llu,"
+                    "\"hits\":%llu}",
+                    i ? "," : "", rows[i].asn, rows[i].country[0],
+                    rows[i].country[1],
+                    static_cast<unsigned long long>(rows[i].records),
+                    static_cast<unsigned long long>(rows[i].hits));
+    std::printf("]}\n");
+}
+
 /// Builds the /dashboard model from a consistent engine view plus the
 /// server's own lifecycle state.
 obs::dashboard_model build_dashboard(const stream_engine& engine,
-                                     const obs::metrics_server& server) {
+                                     const obs::metrics_server& server,
+                                     const net::enrichment* enrich,
+                                     const net::asn_ledger* ledger) {
     const stream_stats s = engine.stats();
     const live_view lv = engine.live();
     obs::dashboard_model model;
@@ -81,6 +111,22 @@ obs::dashboard_model build_dashboard(const stream_engine& engine,
         {"late dropped", std::to_string(s.late_dropped)},
         {"drift events", std::to_string(engine.events().total())},
     };
+    if (enrich) {
+        const auto snap = enrich->snapshot();
+        model.stats.push_back(
+            {"asn db", snap ? "gen " + std::to_string(snap->generation()) +
+                                  ", " + std::to_string(snap->size()) +
+                                  " prefixes"
+                            : "not loaded"});
+    }
+    if (ledger) {
+        for (const net::asn_row& row : ledger->top(3)) {
+            const std::string name =
+                row.asn ? "AS" + std::to_string(row.asn) : "unrouted";
+            model.stats.push_back(
+                {"top asn " + name, std::to_string(row.records) + " records"});
+        }
+    }
     model.series.reserve(lv.series.size());
     for (const live_series_view& v : lv.series)
         model.series.push_back({v.name, v.help, v.current, v.history, v.alarmed});
@@ -125,13 +171,41 @@ void print_final(const stream_snapshot& s, std::uint64_t malformed) {
     std::printf("}\n");
 }
 
-/// Drains and prints day reports not yet printed; returns the new count.
-std::size_t drain_reports(const stream_engine& engine, std::size_t printed) {
+/// Drains and prints day reports not yet printed (each followed by its
+/// per-ASN breakdown when a ledger is active); returns the new count.
+std::size_t drain_reports(const stream_engine& engine, std::size_t printed,
+                          net::asn_ledger* ledger) {
     const std::vector<day_report> reports = engine.reports();
-    for (std::size_t i = printed; i < reports.size(); ++i)
+    for (std::size_t i = printed; i < reports.size(); ++i) {
         print_day_report(reports[i]);
+        if (ledger) {
+            const auto rows = ledger->take_day(reports[i].day);
+            if (!rows.empty()) print_day_asn(reports[i].day, rows);
+        }
+    }
     if (reports.size() > printed) std::fflush(stdout);
     return reports.size();
+}
+
+/// Applies a pending SIGHUP: hot-reloads the enrichment db. The swap is
+/// RCU-style, so ingest threads keep serving the old snapshot until the
+/// new one is fully built — a failed reload logs and keeps the old db.
+void maybe_reload(net::enrichment* enrich) {
+    if (!g_reload) return;
+    g_reload = 0;
+    if (!enrich) return;
+    std::string error;
+    if (enrich->reload(&error)) {
+        const auto snap = enrich->snapshot();
+        std::fprintf(stderr, "reloaded %s: %zu prefixes (generation %llu)\n",
+                     enrich->path().c_str(), snap ? snap->size() : 0,
+                     static_cast<unsigned long long>(
+                         snap ? snap->generation() : 0));
+    } else {
+        std::fprintf(stderr, "warning: reload of %s failed (%s); keeping "
+                             "previous database\n",
+                     enrich->path().c_str(), error.c_str());
+    }
 }
 
 std::string_view trim(std::string_view s) noexcept {
@@ -142,41 +216,82 @@ std::string_view trim(std::string_view s) noexcept {
     return s;
 }
 
+bool ends_with(std::string_view s, std::string_view suffix) noexcept {
+    return s.size() >= suffix.size() &&
+           s.substr(s.size() - suffix.size()) == suffix;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     const tools::flag_set flags(argc, argv);
+    unsigned shards = 4, n = 3, spectrum_max = 14;
+    int back = 7, fwd = 7;
+    std::size_t batch = 1024, queue = 64;
+    long status_every = 100000;
+    std::vector<std::string> class_texts;
+    bool listen_given = false, metrics_given = false;
+    std::string listen_text = "0", metrics_text = "9100";
+    std::string replay_path, asn_db_path;
+    double rate = 0;
+    long pcap_port = 0;
+    tools::flag_table cli(
+        "usage: v6stream [--shards=N] [--batch=N] [--queue=N] [--n=3]\n"
+        "                [--back=7] [--fwd=7] [--class=N@P ...]\n"
+        "                [--status-every=RECORDS] [--spectrum=MAX]\n"
+        "                [--metrics-port=P] [--asn-db=FILE]\n"
+        "                [--listen[=PORT] | --replay=PATH [--rate=R]]\n"
+        "                [feed-file|-]\n"
+        "streaming classification of a \"day address [hits]\" feed;\n"
+        "emits JSON lines (day roll-ups, per-ASN day breakdowns, status,\n"
+        "final report)");
+    cli.add("shards", &shards, "engine worker shards (default 4)")
+        .add("batch", &batch, "records per shard batch (default 1024)")
+        .add("queue", &queue, "shard queue capacity in batches (default 64)")
+        .add("n", &n, "stability threshold in days (default 3)")
+        .add("back", &back, "stability window days back (default 7)")
+        .add("fwd", &fwd, "stability window days forward (default 7)")
+        .add("class", &class_texts, "density class N@P (repeatable)")
+        .add("status-every", &status_every,
+             "status JSON every N feed records (default 100000; 0 = off)")
+        .add("spectrum", &spectrum_max, "lifetime spectrum max n (default 14)")
+        .add("metrics-port", &metrics_given, &metrics_text,
+             "serve /metrics /healthz /dashboard /trace /profile on 0.0.0.0:P")
+        .add("asn-db", &asn_db_path,
+             "v6mkdb binary ASN/geo db; tags records at ingest and emits\n"
+             "per-ASN day breakdowns; SIGHUP hot-reloads it")
+        .add("listen", &listen_given, &listen_text,
+             "ingest v6wire UDP datagrams on PORT (default: ephemeral,\n"
+             "printed to stderr) instead of a text feed")
+        .add("replay", &replay_path,
+             "replay a day_<n>.log corpus dir, .v6w wire capture, or .pcap")
+        .add("rate", &rate, "replay pacing in records/second (0 = line rate)")
+        .add("pcap-port", &pcap_port,
+             "UDP dst-port filter for --replay of a .pcap (0 = any)");
     if (flags.has("help")) {
-        std::puts(
-            "usage: v6stream [--shards=N] [--batch=N] [--queue=N] [--n=3]\n"
-            "                [--back=7] [--fwd=7] [--class=N@P ...]\n"
-            "                [--status-every=RECORDS] [--spectrum=MAX]\n"
-            "                [--metrics-port=P] [--replay=DIR] [feed-file|-]\n"
-            "streaming classification of a \"day address [hits]\" feed;\n"
-            "emits JSON lines (day roll-ups, status, final report)\n"
-            "  --metrics-port=P   serve GET /metrics (Prometheus text),\n"
-            "                     GET /healthz (JSON liveness),\n"
-            "                     GET /dashboard (live HTML sparklines of\n"
-            "                     the derived series + drift events),\n"
-            "                     GET /trace (Chrome-trace JSON of the\n"
-            "                     pipeline spans), and GET /profile\n"
-            "                     (folded stacks from the sampling\n"
-            "                     profiler) on 0.0.0.0:P while running");
-        std::puts(tools::obs_exporter::help_lines());
+        std::fputs(cli.usage().c_str(), stdout);
         return 0;
+    }
+    if (const auto err = cli.parse(flags)) {
+        std::fprintf(stderr, "error: %s\n", err->c_str());
+        return 1;
+    }
+    if (listen_given && !replay_path.empty()) {
+        std::fprintf(stderr, "error: --listen and --replay are exclusive\n");
+        return 1;
     }
     tools::obs_exporter obs_dump(flags);
 
     stream_config cfg;
-    cfg.shards = static_cast<unsigned>(flags.get_int("shards", 4));
-    cfg.batch_size = static_cast<std::size_t>(flags.get_int("batch", 1024));
-    cfg.queue_capacity = static_cast<std::size_t>(flags.get_int("queue", 64));
-    cfg.stability_n = static_cast<unsigned>(flags.get_int("n", 3));
-    cfg.window.window_back = static_cast<int>(flags.get_int("back", 7));
-    cfg.window.window_fwd = static_cast<int>(flags.get_int("fwd", 7));
-    cfg.spectrum_max = static_cast<unsigned>(flags.get_int("spectrum", 14));
+    cfg.shards = shards;
+    cfg.batch_size = batch;
+    cfg.queue_capacity = queue;
+    cfg.stability_n = n;
+    cfg.window.window_back = back;
+    cfg.window.window_fwd = fwd;
+    cfg.spectrum_max = spectrum_max;
     std::vector<std::pair<std::uint64_t, unsigned>> classes;
-    for (const std::string& text : flags.get_all("class")) {
+    for (const std::string& text : class_texts) {
         const auto parsed = tools::parse_density_class(text);
         if (!parsed) {
             std::fprintf(stderr, "error: bad --class=%s (want e.g. 2@112)\n",
@@ -186,11 +301,10 @@ int main(int argc, char** argv) {
         classes.push_back(*parsed);
     }
     if (!classes.empty()) cfg.density_classes = std::move(classes);
-    const auto status_every =
-        static_cast<std::uint64_t>(flags.get_int("status-every", 100000));
 
     std::signal(SIGINT, handle_stop);
     std::signal(SIGTERM, handle_stop);
+    std::signal(SIGHUP, handle_reload);
 
     // The daemon shares the process-wide registry so one /metrics endpoint
     // covers the engine, the library phase timers, and the tool itself —
@@ -208,8 +322,29 @@ int main(int argc, char** argv) {
 
     stream_engine engine(cfg);
 
+    // Enrichment (optional): load the db up front — a missing db at
+    // startup is an operator error, unlike a failed *re*load, which
+    // keeps the previous snapshot serving.
+    std::optional<net::enrichment> enrich;
+    std::optional<net::asn_ledger> ledger;
+    if (!asn_db_path.empty()) {
+        enrich.emplace(asn_db_path, &reg);
+        std::string error;
+        if (!enrich->reload(&error)) {
+            std::fprintf(stderr, "error: cannot load %s: %s\n",
+                         asn_db_path.c_str(), error.c_str());
+            return 1;
+        }
+        ledger.emplace(&reg);
+        const auto snap = enrich->snapshot();
+        std::fprintf(stderr, "loaded %s: %zu prefixes (SIGHUP reloads)\n",
+                     asn_db_path.c_str(), snap ? snap->size() : 0);
+    }
+    net::enrichment* enrich_ptr = enrich ? &*enrich : nullptr;
+    net::asn_ledger* ledger_ptr = ledger ? &*ledger : nullptr;
+
     obs::metrics_server server;
-    if (flags.has("metrics-port")) {
+    if (metrics_given) {
         server.set_health_payload([&engine] {
             const stream_stats s = engine.stats();
             return "\"last_seal_day\":" +
@@ -218,12 +353,13 @@ int main(int argc, char** argv) {
                    std::to_string(s.open_day == kNoDay ? -1 : s.open_day) +
                    ",\"records\":" + std::to_string(s.records);
         });
-        server.set_dashboard([&engine, &server] {
-            return obs::render_dashboard(build_dashboard(engine, server));
+        server.set_dashboard([&engine, &server, enrich_ptr, ledger_ptr] {
+            return obs::render_dashboard(
+                build_dashboard(engine, server, enrich_ptr, ledger_ptr));
         });
         std::string error;
-        const auto port = static_cast<std::uint16_t>(
-            flags.get_int("metrics-port", 9100));
+        const auto port =
+            static_cast<std::uint16_t>(std::atol(metrics_text.c_str()));
         if (!server.start(port, &reg, &error)) {
             std::fprintf(stderr, "error: metrics server: %s\n", error.c_str());
             return 1;
@@ -248,12 +384,86 @@ int main(int argc, char** argv) {
     auto rate_mark = std::chrono::steady_clock::now();
     std::uint64_t rate_records = 0;
 
-    if (flags.has("replay")) {
-        // Replay a day_<n>.log corpus directory in day order.
+    if (listen_given) {
+        // Live collector mode: the rx thread owns the socket; this loop
+        // only drains reports, emits periodic status, and services
+        // SIGHUP reloads until SIGINT/SIGTERM.
+        net::collector_config ccfg;
+        ccfg.port = static_cast<std::uint16_t>(std::atol(listen_text.c_str()));
+        ccfg.registry = &reg;
+        net::udp_collector collector(engine, ccfg, enrich_ptr, ledger_ptr);
+        std::string error;
+        if (!collector.start(&error)) {
+            std::fprintf(stderr, "error: collector: %s\n", error.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "listening on udp port %u\n",
+                     static_cast<unsigned>(collector.port()));
+        std::fflush(stderr);
+        auto last_status = std::chrono::steady_clock::now();
+        while (!g_stop) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            maybe_reload(enrich_ptr);
+            printed_reports = drain_reports(engine, printed_reports, ledger_ptr);
+            const auto now = std::chrono::steady_clock::now();
+            if (status_every > 0 &&
+                now - last_status >= std::chrono::seconds(2)) {
+                const stream_stats s = engine.stats();
+                const double dt =
+                    std::chrono::duration<double>(now - rate_mark).count();
+                const double r =
+                    dt > 0.0
+                        ? static_cast<double>(s.records - rate_records) / dt
+                        : 0.0;
+                rate_mark = now;
+                rate_records = s.records;
+                ingest_rate.set(static_cast<std::int64_t>(r));
+                print_status(s, r);
+                last_status = now;
+            }
+        }
+        // Stop receiving BEFORE sealing: everything the socket accepted
+        // is in the engine when finish() runs below.
+        collector.stop();
+        const net::collector_stats cs = collector.stats();
+        std::fprintf(stderr,
+                     "collector: %llu datagrams, %llu records, %llu rejected\n",
+                     static_cast<unsigned long long>(cs.datagrams),
+                     static_cast<unsigned long long>(cs.records),
+                     static_cast<unsigned long long>(cs.decode.rejected()));
+    } else if (!replay_path.empty() &&
+               !std::filesystem::is_directory(replay_path)) {
+        // Wire-capture / pcap replay through the shared ingest path.
+        net::replay_options opt;
+        opt.rate = rate;
+        opt.pcap_port = static_cast<std::uint16_t>(pcap_port);
+        opt.stop = &g_stop;
+        const net::replay_result result =
+            ends_with(replay_path, ".pcap")
+                ? net::replay_pcap_file(replay_path, engine, enrich_ptr,
+                                        ledger_ptr, opt)
+                : net::replay_wire_file(replay_path, engine, enrich_ptr,
+                                        ledger_ptr, opt);
+        if (!result.ok()) {
+            std::fprintf(stderr, "error: %s\n", result.error.c_str());
+            return 1;
+        }
+        std::fprintf(stderr,
+                     "replayed %llu datagrams, %llu records%s (%llu rejected)\n",
+                     static_cast<unsigned long long>(result.datagrams),
+                     static_cast<unsigned long long>(result.records),
+                     result.stopped ? " [interrupted]" : "",
+                     static_cast<unsigned long long>(result.decode.rejected()));
+        printed_reports = drain_reports(engine, printed_reports, ledger_ptr);
+    } else if (!replay_path.empty()) {
+        // Replay a day_<n>.log corpus directory in day order. The stop
+        // flag is honoured between *records*, not just between days, so
+        // SIGINT interrupts a multi-million-record day promptly and
+        // still flows into the ordered seal-then-report shutdown below.
         namespace fs = std::filesystem;
         std::vector<int> days;
         try {
-            for (const auto& entry : fs::directory_iterator(flags.get("replay"))) {
+            for (const auto& entry : fs::directory_iterator(replay_path)) {
                 int day = 0;
                 if (entry.is_regular_file() &&
                     std::sscanf(entry.path().filename().string().c_str(),
@@ -265,12 +475,41 @@ int main(int argc, char** argv) {
             return 1;
         }
         std::sort(days.begin(), days.end());
+        const auto replay_start = std::chrono::steady_clock::now();
+        std::uint64_t pushed = 0;
+        std::shared_ptr<const net::asn_db> snap;
         for (const int day : days) {
             if (g_stop) break;
+            maybe_reload(enrich_ptr);
             const daily_log log = read_log_file(
-                fs::path(flags.get("replay")) / corpus_file_name(day), day);
-            for (const observation& o : log.records) engine.push(day, o.addr, o.hits);
-            printed_reports = drain_reports(engine, printed_reports);
+                fs::path(replay_path) / corpus_file_name(day), day);
+            for (const observation& o : log.records) {
+                if (g_stop) break;
+                if (rate > 0) {
+                    // Same pacing contract as the wire replay driver:
+                    // target time from records pushed, short sleeps so
+                    // SIGINT lands within ~50 ms.
+                    for (;;) {
+                        const double target = static_cast<double>(pushed) / rate;
+                        const double elapsed =
+                            std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - replay_start)
+                                .count();
+                        if (elapsed >= target || g_stop) break;
+                        std::this_thread::sleep_for(std::chrono::duration<double>(
+                            std::min(target - elapsed, 0.05)));
+                    }
+                    if (g_stop) break;
+                }
+                if (ledger_ptr)
+                    ledger_ptr->note(
+                        day,
+                        enrich_ptr ? enrich_ptr->lookup(o.addr, snap) : nullptr,
+                        o.hits);
+                engine.push(day, o.addr, o.hits);
+                ++pushed;
+            }
+            printed_reports = drain_reports(engine, printed_reports, ledger_ptr);
         }
     } else {
         std::ifstream file;
@@ -289,6 +528,7 @@ int main(int argc, char** argv) {
         std::string line;
         std::uint64_t line_number = 0;
         stream_record record;
+        std::shared_ptr<const net::asn_db> snap;
         while (!g_stop && std::getline(in, line)) {
             ++line_number;
             const std::string_view text = trim(line);
@@ -301,21 +541,28 @@ int main(int argc, char** argv) {
                                  line.c_str());
                 continue;
             }
+            maybe_reload(enrich_ptr);
+            if (ledger_ptr)
+                ledger_ptr->note(
+                    record.day,
+                    enrich_ptr ? enrich_ptr->lookup(record.addr, snap) : nullptr,
+                    record.hits);
             engine.push(record);
-            if (status_every > 0 && line_number % status_every == 0) {
+            if (status_every > 0 &&
+                line_number % static_cast<std::uint64_t>(status_every) == 0) {
                 const stream_stats s = engine.stats();
                 const auto now = std::chrono::steady_clock::now();
                 const double dt =
                     std::chrono::duration<double>(now - rate_mark).count();
-                const double rate =
+                const double r =
                     dt > 0.0
                         ? static_cast<double>(s.records - rate_records) / dt
                         : 0.0;
                 rate_mark = now;
                 rate_records = s.records;
-                ingest_rate.set(static_cast<std::int64_t>(rate));
-                print_status(s, rate);
-                printed_reports = drain_reports(engine, printed_reports);
+                ingest_rate.set(static_cast<std::int64_t>(r));
+                print_status(s, r);
+                printed_reports = drain_reports(engine, printed_reports, ledger_ptr);
             }
         }
     }
@@ -328,7 +575,7 @@ int main(int argc, char** argv) {
     // files reflect the fully-settled registry, including the last seal.
     server.set_state("draining");
     engine.finish();
-    printed_reports = drain_reports(engine, printed_reports);
+    printed_reports = drain_reports(engine, printed_reports, ledger_ptr);
     print_final(engine.snapshot(), malformed);
     server.stop();
     obs_dump.write();

@@ -4,13 +4,16 @@
 //   v6synth --out=DIR [--first=358] [--last=372] [--scale=0.2] [--seed=42]
 //           [--routes] [--routers] [--zone]
 //   v6synth --stream [--first=D] [--last=D] [--scale=S] [--seed=N]
+//   v6synth --wire=FILE [--wire-batch=N] [--first=D] ...
 //
 // Writes day_<n>.log files; with --routes also writes routes.txt
-// ("prefix asn" lines, for v6profile); with --routers a routers.txt of
-// simulated router interface addresses (for v6dense); with --zone a
-// zone.ptr reverse-DNS file (for v6arpa). With --stream, emits the
-// corpus to stdout as "day address hits" feed lines instead — the live
-// observation-feed format v6stream ingests.
+// ("prefix asn" lines, for v6profile / v6mkdb); with --routers a
+// routers.txt of simulated router interface addresses (for v6dense);
+// with --zone a zone.ptr reverse-DNS file (for v6arpa). With --stream,
+// emits the corpus to stdout as "day address hits" feed lines instead —
+// the live observation-feed format v6stream ingests. With --wire, the
+// same feed is written to FILE in the v6wire binary container (replay
+// with `v6stream --replay=FILE` or `v6wire send`).
 #include <fstream>
 #include <iostream>
 
@@ -18,6 +21,7 @@
 #include "v6class/cdnsim/corpus.h"
 #include "v6class/cdnsim/world.h"
 #include "v6class/dnssim/reverse_zone.h"
+#include "v6class/net/wire.h"
 #include "v6class/routersim/topology.h"
 #include "v6class/stream/record.h"
 
@@ -25,29 +29,59 @@ using namespace v6;
 
 int main(int argc, char** argv) {
     const tools::flag_set flags(argc, argv);
-    if (flags.has("help") || (!flags.has("out") && !flags.has("stream"))) {
-        std::puts(
-            "usage: v6synth --out=DIR [--first=D] [--last=D] [--scale=S]\n"
-            "               [--seed=N] [--routes] [--routers] [--zone]\n"
-            "       v6synth --stream [--first=D] [--last=D] [--scale=S] [--seed=N]\n"
-            "generate a synthetic aggregated-log corpus (--stream: emit it as\n"
-            "\"day address hits\" feed lines on stdout, for v6stream)");
-        std::puts(tools::obs_exporter::help_lines());
-        return flags.has("help") ? 0 : 1;
+    std::string out, wire_file;
+    bool stream = false, routes = false, routers = false, zone = false;
+    double scale = 0.2;
+    long seed = 42;
+    int first = kMar2015 - 7, last = kMar2015 + 7;
+    std::size_t wire_batch = net::kWireDefaultBatch;
+    tools::flag_table cli(
+        "usage: v6synth --out=DIR [--first=D] [--last=D] [--scale=S]\n"
+        "               [--seed=N] [--routes] [--routers] [--zone]\n"
+        "       v6synth --stream [--first=D] [--last=D] [--scale=S] [--seed=N]\n"
+        "       v6synth --wire=FILE [--wire-batch=N] [--first=D] ...\n"
+        "generate a synthetic aggregated-log corpus (--stream: emit it as\n"
+        "\"day address hits\" feed lines on stdout; --wire: write it to FILE\n"
+        "in the v6wire binary container, for v6stream --replay / v6wire send)");
+    cli.add("out", &out, "write day_<n>.log corpus under DIR")
+        .add("stream", &stream, "emit the corpus as feed lines on stdout")
+        .add("wire", &wire_file, "write the corpus as a v6wire capture file")
+        .add("wire-batch", &wire_batch, "records per wire datagram (default 43)")
+        .add("first", &first, "first day index (default 358)")
+        .add("last", &last, "last day index (default 372)")
+        .add("scale", &scale, "world scale factor (default 0.2)")
+        .add("seed", &seed, "world RNG seed (default 42)")
+        .add("routes", &routes, "also write routes.txt (\"prefix asn\" lines)")
+        .add("routers", &routers, "also write routers.txt interface addresses")
+        .add("zone", &zone, "also write zone.ptr reverse-DNS records");
+    if (flags.has("help")) {
+        std::fputs(cli.usage().c_str(), stdout);
+        return 0;
+    }
+    if (const auto err = cli.parse(flags)) {
+        std::fprintf(stderr, "error: %s\n", err->c_str());
+        return 1;
+    }
+    if (out.empty() && !stream && wire_file.empty()) {
+        std::fputs(cli.usage().c_str(), stdout);
+        return 1;
     }
     const tools::obs_exporter obs_dump(flags);
     world_config cfg;
-    cfg.scale = flags.get_double("scale", 0.2);
-    cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+    cfg.scale = scale;
+    cfg.seed = static_cast<std::uint64_t>(seed);
     const world w(cfg);
-    const int first = static_cast<int>(flags.get_int("first", kMar2015 - 7));
-    const int last = static_cast<int>(flags.get_int("last", kMar2015 + 7));
     if (last < first) {
         std::fprintf(stderr, "error: --last before --first\n");
         return 1;
     }
+    if (wire_batch == 0 || wire_batch > net::kWireMaxBatch) {
+        std::fprintf(stderr, "error: --wire-batch out of range (1..%zu)\n",
+                     net::kWireMaxBatch);
+        return 1;
+    }
 
-    if (flags.has("stream")) {
+    if (stream) {
         std::uint64_t emitted = 0;
         for (int d = first; d <= last; ++d) {
             const daily_log log = w.day_log(d);
@@ -59,36 +93,56 @@ int main(int argc, char** argv) {
         std::cout.flush();
         std::fprintf(stderr, "emitted %llu feed records for days %d..%d\n",
                      static_cast<unsigned long long>(emitted), first, last);
-        if (!flags.has("out")) return 0;
     }
 
-    const std::filesystem::path dir = flags.get("out");
+    if (!wire_file.empty()) {
+        std::vector<stream_record> records;
+        for (int d = first; d <= last; ++d) {
+            const daily_log log = w.day_log(d);
+            for (const observation& o : log.records)
+                records.push_back(stream_record{d, o.addr, o.hits});
+        }
+        const auto written = net::write_wire_file(wire_file, records, wire_batch);
+        if (!written) {
+            std::fprintf(stderr, "error: cannot write %s\n", wire_file.c_str());
+            return 1;
+        }
+        std::fprintf(stderr,
+                     "wrote %zu wire records (%llu datagrams) to %s\n",
+                     records.size(), static_cast<unsigned long long>(*written),
+                     wire_file.c_str());
+    }
+
+    if (out.empty()) return 0;
+
+    const std::filesystem::path dir = out;
     try {
         const int written = write_corpus(w, first, last, dir);
         std::fprintf(stderr, "wrote %d day logs to %s\n", written,
                      dir.string().c_str());
-        if (flags.has("routes")) {
-            std::ofstream out(dir / "routes.txt");
+        if (routes) {
+            std::ofstream route_out(dir / "routes.txt");
             for (const bgp_route& r : w.registry().routes())
-                out << r.pfx.to_string() << ' ' << r.asn << '\n';
+                route_out << r.pfx.to_string() << ' ' << r.asn << '\n';
             std::fprintf(stderr, "wrote %zu routes to %s\n",
                          w.registry().routes().size(),
                          (dir / "routes.txt").string().c_str());
         }
-        if (flags.has("routers")) {
+        if (routers) {
             const router_topology topo(w);
-            std::ofstream out(dir / "routers.txt");
-            for (const address& a : topo.interfaces()) out << a.to_string() << '\n';
+            std::ofstream router_out(dir / "routers.txt");
+            for (const address& a : topo.interfaces())
+                router_out << a.to_string() << '\n';
             std::fprintf(stderr, "wrote %zu router addresses to %s\n",
                          topo.interfaces().size(),
                          (dir / "routers.txt").string().c_str());
         }
-        if (flags.has("zone")) {
+        if (zone) {
             const router_topology topo(w);
-            const reverse_zone zone = build_world_zone(w, &topo);
-            std::ofstream out(dir / "zone.ptr");
-            export_zone_file(zone, out);
-            std::fprintf(stderr, "wrote %zu PTR records to %s\n", zone.size(),
+            const reverse_zone rzone = build_world_zone(w, &topo);
+            std::ofstream zone_out(dir / "zone.ptr");
+            export_zone_file(rzone, zone_out);
+            std::fprintf(stderr, "wrote %zu PTR records to %s\n", rzone.size(),
                          (dir / "zone.ptr").string().c_str());
         }
     } catch (const std::exception& e) {
