@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "v6class/obs/metrics.h"
+#include "v6class/obs/tsdb.h"
 #include "v6class/trie/prefix_map.h"
 
 namespace v6::net {
@@ -301,5 +302,16 @@ private:
     std::map<std::uint32_t, obs::counter> series_;
     obs::counter other_series_;
 };
+
+/// Flushes one sealed day's per-ASN breakdown into the flight recorder:
+/// the top `max_rows` rows (records desc — take_day()'s order) become
+/// points on "v6class_asn_records" and "v6class_asn_hits", labeled
+/// "AS<asn>" ("unrouted" for asn 0), at ts = `day`. Rows beyond
+/// max_rows are rolled into an "other" label so the store's series
+/// cardinality stays bounded no matter what the routing table does.
+/// The caller commits (v6stream batches this with the seal flush).
+void flush_day_asn(obs::tsdb::database& db, int day,
+                   const std::vector<asn_row>& rows,
+                   std::size_t max_rows = 16);
 
 }  // namespace v6::net

@@ -4,14 +4,19 @@
 // destination, so a concurrent reader — or a reader after a crash —
 // sees either the old complete file or the new complete file, never a
 // truncated one.
+//
+// Also durable (POSIX builds): the temp file is fsync'd before the
+// rename and the containing directory after it, so the dump survives
+// power loss, not just a process crash.
 #pragma once
 
 #include <string>
 
 namespace v6::obs {
 
-/// Writes `content` to `path` via tmp-file + rename. Returns false (and
-/// leaves no temp file behind) when any step fails.
+/// Writes `content` to `path` via tmp-file + fsync + rename + directory
+/// fsync. Returns false (and leaves no temp file behind) when any step
+/// fails.
 bool atomic_write_file(const std::string& path, const std::string& content);
 
 }  // namespace v6::obs

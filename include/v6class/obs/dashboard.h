@@ -25,6 +25,31 @@ struct dashboard_series {
     bool alarmed = false;         ///< a drift alarm fired on the last sample
 };
 
+/// One timestamped point of a history chart.
+struct chart_point {
+    std::int64_t ts = 0;
+    double value = 0;
+};
+
+/// One time-range chart tile (flight-recorder history: survives
+/// restarts, spans arbitrary windows — unlike the in-memory
+/// sparklines). The x axis is the actual timestamp, so gaps show as
+/// gaps rather than being squeezed out.
+struct dashboard_chart {
+    std::string name;
+    std::string help;
+    std::vector<chart_point> points;  ///< ts-ascending
+};
+
+/// One alert row of the alerts panel.
+struct dashboard_alert {
+    std::string name;
+    std::string state;   ///< inactive | pending | firing | resolved
+    std::string detail;  ///< rule summary, e.g. "v6class_gamma16_48 above 40"
+    double value = 0;    ///< newest sampled value
+    bool has_value = false;
+};
+
 /// One headline stat (records, epoch, distinct counts, ...).
 struct dashboard_stat {
     std::string name;
@@ -44,6 +69,10 @@ struct dashboard_model {
     std::vector<dashboard_stat> stats;     ///< headline row
     std::vector<dashboard_link> links;     ///< header nav (/metrics, /trace, ...)
     std::vector<dashboard_series> series;  ///< sparkline grid
+    std::vector<dashboard_chart> charts;   ///< tsdb history charts
+    std::vector<dashboard_alert> alerts;   ///< alert panel (omitted if empty
+                                           ///< and !show_alerts)
+    bool show_alerts = false;  ///< render the (empty) panel anyway
     std::vector<event> events;             ///< recent, oldest first
     unsigned refresh_seconds = 2;          ///< meta-refresh cadence (0 = off)
 };
@@ -52,6 +81,11 @@ struct dashboard_model {
 /// single-valued input renders a flat placeholder line.
 std::string svg_sparkline(const std::vector<double>& values, unsigned width,
                           unsigned height);
+
+/// An inline-SVG time-range chart: x positioned by timestamp (gaps stay
+/// visible), y by value, with min/max value and first/last ts labels.
+std::string svg_timechart(const std::vector<chart_point>& points,
+                          unsigned width, unsigned height);
 
 /// The whole page.
 std::string render_dashboard(const dashboard_model& model);

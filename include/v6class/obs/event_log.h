@@ -13,14 +13,23 @@
 //
 // Field values are pre-rendered JSON tokens (see event_field); the
 // writer does not guess types.
+//
+// For long daemon runs, enable_file() turns --events-out into a
+// streaming sink instead of an exit dump: every event is appended to
+// the file as it is logged, and once the file exceeds its size cap it
+// is rotated to "<path>.1" (one generation kept, the common logrotate
+// shape) so an unattended run cannot grow it unboundedly.
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <deque>
 #include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "v6class/obs/metrics.h"
 
 namespace v6::obs {
 
@@ -56,6 +65,8 @@ public:
     event_log(const event_log&) = delete;
     event_log& operator=(const event_log&) = delete;
 
+    ~event_log();
+
     /// Appends one event; seq and unix_time are stamped here.
     void log(event_level level, std::string kind, std::string message,
              event_fields fields = {});
@@ -65,6 +76,25 @@ public:
 
     /// The newest `n` retained events, oldest first.
     std::vector<event> recent(std::size_t n) const;
+
+    /// Retained events with seq > `after_seq`, oldest first — the
+    /// forwarding cursor: tsdb/alert consumers remember the last seq
+    /// they saw and drain only what is new.
+    std::vector<event> since(std::uint64_t after_seq) const;
+
+    /// Switches to streaming mode: every subsequent event is appended
+    /// to `path` as a JSON line; already-retained events are written
+    /// first so the file starts complete. When the file would exceed
+    /// `max_bytes` it is renamed to "<path>.1" (replacing any previous
+    /// rotation) and a fresh file is started; each rotation bumps
+    /// v6class_event_log_rotations_total in `reg` when non-null.
+    /// Returns false (mode unchanged) when the file cannot be opened.
+    bool enable_file(const std::string& path, std::uint64_t max_bytes,
+                     registry* reg = nullptr);
+
+    /// True once enable_file() succeeded — the exit dump is redundant
+    /// then (obs_exporter checks this).
+    bool file_enabled() const;
 
     /// Every retained event as JSON lines (one object per line).
     std::string json_lines() const;
@@ -79,10 +109,18 @@ public:
     static event_log& global();
 
 private:
+    void rotate_file_locked();
+
     mutable std::mutex mutex_;
     std::size_t keep_;
     std::uint64_t total_ = 0;
     std::deque<event> events_;
+
+    std::FILE* file_ = nullptr;  ///< null until enable_file()
+    std::string file_path_;
+    std::uint64_t file_max_bytes_ = 0;
+    std::uint64_t file_bytes_ = 0;
+    counter rotations_;
 };
 
 }  // namespace v6::obs

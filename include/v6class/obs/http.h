@@ -14,6 +14,11 @@
 //   GET /profile    folded-stack text from the sampling self-profiler
 //                   (v6::obs::profiler) — pipe to flamegraph.pl
 //
+// Callers can mount further GET endpoints with add_handler() — the
+// history API (/api/series, /api/events) and /alerts are registered
+// this way by v6stream, keeping this layer ignorant of tsdb and the
+// alert engine.
+//
 // One acceptor thread, one connection at a time, no keep-alive — the
 // xenoeye-style collector discipline: the scrape path must never
 // compete with ingest for more than a registry walk. Prometheus
@@ -24,13 +29,28 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "v6class/obs/metrics.h"
 
 namespace v6::obs {
+
+/// One parsed "?key=value&key=value" query string (duplicate keys: last
+/// wins; %XX and '+' decoded).
+using query_params = std::map<std::string, std::string>;
+
+query_params parse_query_string(const std::string& query);
+
+/// What a custom handler returns.
+struct http_reply {
+    int status = 200;  ///< 200, 400, 404, ... (reason phrase derived)
+    std::string content_type = "application/json";
+    std::string body;
+};
 
 class metrics_server {
 public:
@@ -60,6 +80,14 @@ public:
         dashboard_ = std::move(fn);
     }
 
+    /// Mounts a custom GET endpoint at exactly `path` (no prefix match;
+    /// the query string is parsed off and passed in). Set before
+    /// start(); built-in paths win on collision.
+    void add_handler(const std::string& path,
+                     std::function<http_reply(const query_params&)> fn) {
+        handlers_[path] = std::move(fn);
+    }
+
     /// The /healthz "status" value. start() sets "serving"; a daemon
     /// sets "draining" when it begins an ordered shutdown so probes
     /// stop routing to it while the open day seals.
@@ -87,6 +115,8 @@ private:
     const registry* reg_ = nullptr;
     std::function<std::string()> health_;
     std::function<std::string()> dashboard_;
+    std::map<std::string, std::function<http_reply(const query_params&)>>
+        handlers_;
     mutable std::mutex state_mutex_;
     std::string state_ = "starting";
     std::chrono::steady_clock::time_point started_{};

@@ -31,9 +31,11 @@
 #include <thread>
 #include <vector>
 
+#include "v6class/obs/alert.h"
 #include "v6class/obs/drift.h"
 #include "v6class/obs/event_log.h"
 #include "v6class/obs/metrics.h"
+#include "v6class/obs/tsdb.h"
 #include "v6class/obs/sketch.h"
 #include "v6class/obs/trace.h"
 #include "v6class/spatial/density.h"
@@ -91,6 +93,20 @@ struct stream_config {
     /// &obs::event_log::global() so --events-out sees them).
     obs::drift_options drift{};
     obs::event_log* events = nullptr;
+
+    /// Flight recorder (v6stream --state-dir). When non-null, every day
+    /// seal appends each live derived series' value (ts = the sealed
+    /// day number) plus any new log events, then commits. At
+    /// construction the engine re-anchors: each series' newest stored
+    /// day is read back and seals at or before it are not re-appended,
+    /// so replaying a corpus over an existing store is idempotent (the
+    /// restart-resume contract the check.sh smoke verifies).
+    obs::tsdb::database* tsdb = nullptr;
+
+    /// Alert engine (v6stream --alerts). When non-null, evaluated once
+    /// per day seal, sampling the live derived series by metric name
+    /// and label.
+    obs::alert_engine* alerts = nullptr;
 };
 
 /// Feed-side and sealed-side counters: a thin view over the engine's
@@ -143,8 +159,10 @@ struct day_report {
 
 /// Snapshot of one live derived series (dashboard / queries).
 struct live_series_view {
-    std::string name;             ///< registry series name (v6class_*)
+    std::string name;             ///< display name, e.g. "gamma16@48"
     std::string help;
+    std::string metric;           ///< registry metric name (v6class_*)
+    std::string label;            ///< tsdb label ("" or the class label)
     double current = 0;
     bool alarmed = false;         ///< drift alarm fired on the last sample
     std::vector<double> history;  ///< ring-buffer contents, oldest first
@@ -338,10 +356,16 @@ private:
     struct live_series {
         std::string name;
         std::string help;
+        std::string metric;  ///< registry metric name (tsdb series name)
+        std::string label;   ///< tsdb label ("" or the class label value)
         obs::dgauge gauge;
         obs::ring_history history;
         obs::ewma_detector detector;
         bool alarmed = false;
+        std::uint32_t tsdb_id = 0;
+        /// Newest day already in the store at construction; seals at or
+        /// before it are not re-appended (restart re-anchor).
+        std::int64_t anchor = std::numeric_limits<std::int64_t>::min();
         live_series(std::string n, std::string h, obs::dgauge g,
                     std::size_t capacity, const obs::drift_options& opt)
             : name(std::move(n)), help(std::move(h)), gauge(g),
@@ -357,6 +381,7 @@ private:
     std::size_t li_est_first_ = 0;     // addrs, /48s, /64s (sketches on)
     std::size_t li_pool_util_ = 0, li_arena_nodes_ = 0;
     obs::counter drift_events_;
+    std::uint64_t tsdb_event_cursor_ = 0;  // roll thread only
     day_estimates last_estimates_;     // roll thread only
     // Pool-utilization baseline from the previous seal (roll thread).
     std::uint64_t last_busy_ns_ = 0;

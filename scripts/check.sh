@@ -64,6 +64,9 @@ for preset in "${presets[@]}"; do
         # The network ingest front end (wire codec, enrichment lookup,
         # collector-equivalent ingest path).
         bench_gate wire ./build/bench/micro_wire_ingest
+        # The durable flight recorder (append/commit, recovery, range
+        # reads, and the seal-flush overhead on full stream ingest).
+        bench_gate tsdb ./build/bench/micro_tsdb
 
         # Collector smoke: the real binaries end to end over loopback
         # UDP — v6synth records a wire capture, v6stream listens on an
@@ -98,6 +101,90 @@ for preset in "${presets[@]}"; do
         grep -q 'collector: .* 0 rejected' "${smoke}/err.txt"
         rm -rf "${smoke}"
         echo "collector smoke passed"
+
+        # Restart-resume smoke: the durable flight recorder end to end.
+        # Run 1 ingests days 360-362 with --state-dir and an alert rule
+        # set, then is SIGTERMed mid-run; run 2 reopens the same state
+        # dir, ingests days 363-365, and must serve one continuous
+        # /api/series range spanning both runs plus the run-1 alert
+        # firing->resolved transitions from the durable event log.
+        echo "=== restart-resume smoke: flight recorder + alerts e2e ==="
+        smoke=$(mktemp -d)
+        ./build/tools/v6synth --wire="${smoke}/feed1.v6w" \
+            --first=360 --last=362 --scale=0.02 --seed=7
+        ./build/tools/v6synth --wire="${smoke}/feed2.v6w" \
+            --first=363 --last=365 --scale=0.02 --seed=8
+        cat >"${smoke}/alerts.txt" <<'EOF'
+lifecycle_watch event=lifecycle level=info
+sane_active series=v6class_active_addresses below=1000000000
+EOF
+        run_daemon() {  # $1=err-file  $2=out-file  extra args...
+            local err=$1 out=$2
+            shift 2
+            ./build/tools/v6stream --listen --shards=2 --tick=1 \
+                --state-dir="${smoke}/state" --alerts="${smoke}/alerts.txt" \
+                --metrics-port=0 "$@" >"${out}" 2>"${err}" &
+            stream_pid=$!
+            udp_port=""
+            http_port=""
+            for _ in $(seq 1 100); do
+                udp_port=$(sed -n 's/^listening on udp port \([0-9]*\)$/\1/p' \
+                    "${err}")
+                http_port=$(sed -n \
+                    's|^metrics on http://0\.0\.0\.0:\([0-9]*\)/metrics.*|\1|p' \
+                    "${err}")
+                [ -n "${udp_port}" ] && [ -n "${http_port}" ] && return 0
+                sleep 0.1
+            done
+            kill "${stream_pid}" 2>/dev/null || true
+            echo "restart smoke: v6stream never reported its ports" >&2
+            exit 1
+        }
+        run_daemon "${smoke}/err1.txt" "${smoke}/out1.json"
+        ./build/tools/v6wire send "${smoke}/feed1.v6w" ::1 "${udp_port}"
+        sleep 2.5  # two --tick=1 rounds: the lifecycle alert fires, then resolves
+        kill -TERM "${stream_pid}"
+        wait "${stream_pid}"
+        grep -q '"type":"day"' "${smoke}/out1.json"
+
+        run_daemon "${smoke}/err2.txt" "${smoke}/out2.json"
+        grep -q 'points recovered' "${smoke}/err2.txt"
+        ./build/tools/v6wire send "${smoke}/feed2.v6w" ::1 "${udp_port}"
+        sleep 1
+        # SIGHUP hot-reloads the alert rules alongside the ASN db.
+        kill -HUP "${stream_pid}"
+        sleep 0.5
+        curl -fsS "http://127.0.0.1:${http_port}/api/series?name=v6class_active_addresses" \
+            >"${smoke}/series.json"
+        curl -fsS "http://127.0.0.1:${http_port}/api/events?level=info" \
+            >"${smoke}/events.json"
+        curl -fsS "http://127.0.0.1:${http_port}/alerts" >"${smoke}/alerts.json"
+        curl -fsS "http://127.0.0.1:${http_port}/healthz" >"${smoke}/healthz.json"
+        kill -TERM "${stream_pid}"
+        wait "${stream_pid}"
+        grep -q 'reloaded .* alert rules' "${smoke}/err2.txt"
+        # One continuous, duplicate-free range spanning both runs. The
+        # open day (365) seals only at shutdown, so the live query must
+        # cover at least 360..364.
+        python3 - "${smoke}/series.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+ts = [p[0] for p in doc["points"]]
+assert ts, "no points stored"
+assert ts == sorted(set(ts)), f"duplicates or disorder: {ts}"
+assert ts == list(range(ts[0], ts[-1] + 1)), f"gap in days: {ts}"
+assert ts[0] <= 362 and ts[-1] >= 363, f"range does not span both runs: {ts}"
+print(f"series continuity ok: days {ts[0]}..{ts[-1]}")
+EOF
+        # The run-1 alert transitions survived the restart in the
+        # durable event log.
+        grep -q '"message":"alert lifecycle_watch firing"' "${smoke}/events.json"
+        grep -q '"message":"alert lifecycle_watch resolved"' "${smoke}/events.json"
+        grep -q '"name":"lifecycle_watch"' "${smoke}/alerts.json"
+        grep -q '"state_dir":' "${smoke}/healthz.json"
+        grep -q '"alerts":{"firing":' "${smoke}/healthz.json"
+        rm -rf "${smoke}"
+        echo "restart-resume smoke passed"
     fi
 done
 

@@ -329,6 +329,31 @@ std::vector<asn_row> asn_ledger::take_day(int day) {
     return out;
 }
 
+void flush_day_asn(obs::tsdb::database& db, int day,
+                   const std::vector<asn_row>& rows, std::size_t max_rows) {
+    std::uint64_t other_records = 0, other_hits = 0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (i >= max_rows) {
+            other_records += rows[i].records;
+            other_hits += rows[i].hits;
+            continue;
+        }
+        const std::string label =
+            rows[i].asn ? "AS" + std::to_string(rows[i].asn)
+                        : std::string("unrouted");
+        db.append("v6class_asn_records", label, day,
+                  static_cast<double>(rows[i].records));
+        db.append("v6class_asn_hits", label, day,
+                  static_cast<double>(rows[i].hits));
+    }
+    if (other_records || other_hits) {
+        db.append("v6class_asn_records", "other", day,
+                  static_cast<double>(other_records));
+        db.append("v6class_asn_hits", "other", day,
+                  static_cast<double>(other_hits));
+    }
+}
+
 std::vector<asn_row> asn_ledger::top(std::size_t n) const {
     std::vector<asn_row> out;
     {

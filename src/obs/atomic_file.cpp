@@ -1,6 +1,6 @@
 #include "v6class/obs/atomic_file.h"
 
-#include <unistd.h>
+#if defined(_WIN32)
 
 #include <cstdio>
 #include <fstream>
@@ -8,12 +8,8 @@
 namespace v6::obs {
 
 bool atomic_write_file(const std::string& path, const std::string& content) {
-    // The temp file must live on the same filesystem as `path` for
-    // rename() to be atomic, so it is a sibling, uniquified by pid (two
-    // processes dumping to the same path race to a rename, which is
-    // still last-writer-wins per whole file — the property we want).
-    const std::string tmp =
-        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    // Atomic, not durable: no fsync equivalent on this fallback path.
+    const std::string tmp = path + ".tmp";
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out) return false;
@@ -32,3 +28,67 @@ bool atomic_write_file(const std::string& path, const std::string& content) {
 }
 
 }  // namespace v6::obs
+
+#else
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <string>
+
+namespace v6::obs {
+
+bool atomic_write_file(const std::string& path, const std::string& content) {
+    // The temp file must live on the same filesystem as `path` for
+    // rename() to be atomic, so it is a sibling, uniquified by pid (two
+    // processes dumping to the same path race to a rename, which is
+    // still last-writer-wins per whole file — the property we want).
+    //
+    // Durability order matters: fsync the temp file *before* the
+    // rename (so the rename can never expose an empty/partial file
+    // after power loss), then fsync the directory *after* (so the
+    // rename itself — a directory mutation — is on stable storage).
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return false;
+    const char* p = content.data();
+    std::size_t left = content.size();
+    while (left > 0) {
+        const ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            ::close(fd);
+            std::remove(tmp.c_str());
+            return false;
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        std::remove(tmp.c_str());
+        return false;
+    }
+    ::close(fd);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos
+                                ? std::string(".")
+                                : path.substr(0, slash ? slash : 1);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd);  // best-effort: some filesystems reject dir fsync
+        ::close(dfd);
+    }
+    return true;
+}
+
+}  // namespace v6::obs
+
+#endif

@@ -68,6 +68,12 @@ const char* kStyle = R"(
  .lvl-warn{color:#f0cf8a}.lvl-error{color:#f09a8a}.lvl-info{color:#9cc6f0}
  .fields{color:#6d7884;font-family:ui-monospace,monospace;font-size:12px}
  .empty{color:#6d7884;margin:0 20px 24px}
+ .charts{display:grid;grid-template-columns:repeat(auto-fill,minmax(460px,1fr));gap:12px;padding:8px 20px 20px}
+ .chartlabel{fill:#6d7884;font:10px ui-monospace,monospace}
+ .alert-firing{color:#f09a8a;font-weight:bold}
+ .alert-pending{color:#f0cf8a}
+ .alert-resolved{color:#9fe0b2}
+ .alert-inactive{color:#6d7884}
 )";
 
 }  // namespace
@@ -136,6 +142,81 @@ std::string svg_sparkline(const std::vector<double>& values, unsigned width,
     return out;
 }
 
+std::string svg_timechart(const std::vector<chart_point>& points,
+                          unsigned width, unsigned height) {
+    char head[160];
+    std::snprintf(head, sizeof head,
+                  "<svg width=\"%u\" height=\"%u\" viewBox=\"0 0 %u %u\" "
+                  "preserveAspectRatio=\"none\">",
+                  width, height, width, height);
+    std::string out = head;
+    const double pad = 3.0, label_h = 12.0;
+    double lo = 0.0, hi = 1.0;
+    std::int64_t t0 = 0, t1 = 1;
+    if (!points.empty()) {
+        lo = hi = points.front().value;
+        t0 = points.front().ts;
+        t1 = points.back().ts;
+        for (const chart_point& p : points) {
+            lo = std::min(lo, p.value);
+            hi = std::max(hi, p.value);
+        }
+    }
+    if (hi - lo < 1e-12) {
+        lo -= 1.0;
+        hi += 1.0;
+    }
+    if (t1 <= t0) t1 = t0 + 1;
+    const double span = static_cast<double>(t1 - t0);
+    auto x_of = [&](std::int64_t ts) {
+        return pad + (width - 2 * pad) * static_cast<double>(ts - t0) / span;
+    };
+    auto y_of = [&](double v) {
+        return pad +
+               (height - 2 * pad - label_h) * (1.0 - (v - lo) / (hi - lo));
+    };
+    std::string poly;
+    char pt[48];
+    if (points.size() == 1) {
+        std::snprintf(pt, sizeof pt, "%.1f,%.1f %.1f,%.1f", x_of(t0),
+                      y_of(points[0].value), x_of(t1), y_of(points[0].value));
+        poly = pt;
+    } else if (!points.empty()) {
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            std::snprintf(pt, sizeof pt, "%s%.1f,%.1f", i ? " " : "",
+                          x_of(points[i].ts), y_of(points[i].value));
+            poly += pt;
+        }
+    } else {
+        std::snprintf(pt, sizeof pt, "%.1f,%.1f %.1f,%.1f", x_of(t0), y_of(0.0),
+                      x_of(t1), y_of(0.0));
+        poly = pt;
+    }
+    char base[48];
+    const double floor_y = height - label_h;
+    std::snprintf(base, sizeof base, " %.1f,%.1f %.1f,%.1f", x_of(t1), floor_y,
+                  x_of(t0), floor_y);
+    out += "<polygon class=\"sparkfill\" points=\"" + poly + base + "\"/>";
+    out += "<polyline class=\"spark\" points=\"" + poly + "\"/>";
+    // Corner labels: value range on the left edge, ts range along the
+    // bottom. (No preserveAspectRatio distortion worry at this size.)
+    char label[160];
+    std::snprintf(label, sizeof label,
+                  "<text class=\"chartlabel\" x=\"%.0f\" y=\"%.0f\">%s .. %s"
+                  "</text>",
+                  pad, static_cast<double>(height) - 2,
+                  std::to_string(t0).c_str(), std::to_string(t1).c_str());
+    out += label;
+    std::snprintf(label, sizeof label,
+                  "<text class=\"chartlabel\" x=\"%u\" y=\"%.0f\" "
+                  "text-anchor=\"end\">%s .. %s</text>",
+                  width - 4, static_cast<double>(height) - 2,
+                  dashboard_value(lo).c_str(), dashboard_value(hi).c_str());
+    out += label;
+    out += "</svg>";
+    return out;
+}
+
 std::string render_dashboard(const dashboard_model& model) {
     std::string out = "<!doctype html><html><head><meta charset=\"utf-8\">";
     if (model.refresh_seconds)
@@ -175,6 +256,45 @@ std::string render_dashboard(const dashboard_model& model) {
         out += "</div>";
     }
     out += "</div>";
+
+    if (!model.charts.empty()) {
+        out += "<h2>history (flight recorder)</h2><div class=\"charts\">";
+        for (const dashboard_chart& c : model.charts) {
+            out += "<div class=\"tile\">";
+            out += "<div class=\"name\">" + html_escape(c.name) + "</div>";
+            out += "<div class=\"val\">" +
+                   (c.points.empty()
+                        ? std::string("&ndash;")
+                        : dashboard_value(c.points.back().value)) +
+                   "</div>";
+            out += svg_timechart(c.points, 452, 64);
+            out += "<div class=\"help\">" + html_escape(c.help) + "</div>";
+            out += "</div>";
+        }
+        out += "</div>";
+    }
+
+    if (model.show_alerts || !model.alerts.empty()) {
+        out += "<h2>alerts</h2>";
+        if (model.alerts.empty()) {
+            out += "<p class=\"empty\">no rules loaded</p>";
+        } else {
+            out += "<table><tr><th>rule</th><th>state</th><th>value</th>"
+                   "<th>definition</th></tr>";
+            for (const dashboard_alert& a : model.alerts) {
+                out += "<tr><td>" + html_escape(a.name) + "</td>";
+                out += "<td class=\"alert-" + html_escape(a.state) + "\">" +
+                       html_escape(a.state) + "</td>";
+                out += "<td>" +
+                       (a.has_value ? dashboard_value(a.value)
+                                    : std::string("&ndash;")) +
+                       "</td>";
+                out += "<td class=\"fields\">" + html_escape(a.detail) +
+                       "</td></tr>";
+            }
+            out += "</table>";
+        }
+    }
 
     out += "<h2>recent events</h2>";
     if (model.events.empty()) {

@@ -65,6 +65,11 @@ std::string event_json(const event& e) {
     return out;
 }
 
+event_log::~event_log() {
+    std::lock_guard lock(mutex_);
+    if (file_) std::fclose(file_);
+}
+
 void event_log::log(event_level level, std::string kind, std::string message,
                     event_fields fields) {
     event e;
@@ -77,8 +82,68 @@ void event_log::log(event_level level, std::string kind, std::string message,
     e.fields = std::move(fields);
     std::lock_guard lock(mutex_);
     e.seq = ++total_;
+    if (file_) {
+        const std::string line = event_json(e) + "\n";
+        if (file_max_bytes_ > 0 && file_bytes_ + line.size() > file_max_bytes_ &&
+            file_bytes_ > 0)
+            rotate_file_locked();
+        if (file_) {
+            if (std::fwrite(line.data(), 1, line.size(), file_) == line.size())
+                file_bytes_ += line.size();
+            std::fflush(file_);
+        }
+    }
     events_.push_back(std::move(e));
     if (events_.size() > keep_) events_.pop_front();
+}
+
+void event_log::rotate_file_locked() {
+    std::fclose(file_);
+    file_ = nullptr;
+    const std::string old = file_path_ + ".1";
+    std::remove(old.c_str());
+    std::rename(file_path_.c_str(), old.c_str());
+    file_ = std::fopen(file_path_.c_str(), "w");
+    file_bytes_ = 0;
+    rotations_.inc();
+    // When the reopen fails (directory vanished) streaming stops; the
+    // in-memory log is unaffected.
+}
+
+bool event_log::enable_file(const std::string& path, std::uint64_t max_bytes,
+                            registry* reg) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    std::lock_guard lock(mutex_);
+    if (file_) std::fclose(file_);
+    file_ = f;
+    file_path_ = path;
+    file_max_bytes_ = max_bytes;
+    file_bytes_ = 0;
+    if (reg)
+        rotations_ = reg->get_counter(
+            "v6class_event_log_rotations_total", {},
+            "Size-capped rotations of the streaming --events-out file.");
+    for (const event& e : events_) {
+        const std::string line = event_json(e) + "\n";
+        if (std::fwrite(line.data(), 1, line.size(), file_) == line.size())
+            file_bytes_ += line.size();
+    }
+    std::fflush(file_);
+    return true;
+}
+
+bool event_log::file_enabled() const {
+    std::lock_guard lock(mutex_);
+    return file_ != nullptr;
+}
+
+std::vector<event> event_log::since(std::uint64_t after_seq) const {
+    std::lock_guard lock(mutex_);
+    std::vector<event> out;
+    for (const event& e : events_)
+        if (e.seq > after_seq) out.push_back(e);
+    return out;
 }
 
 std::uint64_t event_log::total() const {

@@ -1,5 +1,52 @@
 #include "v6class/obs/http.h"
 
+namespace v6::obs {
+
+query_params parse_query_string(const std::string& query) {
+    query_params out;
+    std::size_t pos = 0;
+    const auto decode = [](const std::string& s) {
+        std::string d;
+        d.reserve(s.size());
+        for (std::size_t i = 0; i < s.size(); ++i) {
+            if (s[i] == '+') {
+                d += ' ';
+            } else if (s[i] == '%' && i + 2 < s.size()) {
+                const auto hex = [](char c) -> int {
+                    if (c >= '0' && c <= '9') return c - '0';
+                    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+                    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+                    return -1;
+                };
+                const int hi = hex(s[i + 1]), lo = hex(s[i + 2]);
+                if (hi >= 0 && lo >= 0) {
+                    d += static_cast<char>(hi * 16 + lo);
+                    i += 2;
+                } else {
+                    d += s[i];
+                }
+            } else {
+                d += s[i];
+            }
+        }
+        return d;
+    };
+    while (pos < query.size()) {
+        std::size_t amp = query.find('&', pos);
+        if (amp == std::string::npos) amp = query.size();
+        const std::string pair = query.substr(pos, amp - pos);
+        const std::size_t eq = pair.find('=');
+        if (eq != std::string::npos)
+            out[decode(pair.substr(0, eq))] = decode(pair.substr(eq + 1));
+        else if (!pair.empty())
+            out[decode(pair)] = "";
+        pos = amp + 1;
+    }
+    return out;
+}
+
+}  // namespace v6::obs
+
 #if defined(_WIN32)
 
 namespace v6::obs {
@@ -57,6 +104,16 @@ std::string http_response(const char* status, const char* content_type,
     out += "\r\nConnection: close\r\n\r\n";
     out += body;
     return out;
+}
+
+const char* status_line(int status) {
+    switch (status) {
+        case 200: return "200 OK";
+        case 400: return "400 Bad Request";
+        case 404: return "404 Not Found";
+        case 500: return "500 Internal Server Error";
+        default: return "200 OK";
+    }
 }
 
 }  // namespace
@@ -147,6 +204,13 @@ void metrics_server::serve_loop() {
                 while (*end && *end != ' ' && *end != '\r' && *end != '\n') ++end;
                 path.assign(start, end);
             }
+            // Split "?query" off before routing; only custom handlers
+            // consume it.
+            std::string query;
+            if (const std::size_t q = path.find('?'); q != std::string::npos) {
+                query = path.substr(q + 1);
+                path.erase(q);
+            }
             if (path == "/metrics") {
                 send_all(client,
                          http_response(
@@ -172,6 +236,12 @@ void metrics_server::serve_loop() {
                 send_all(client,
                          http_response("200 OK", "text/plain; charset=utf-8",
                                        profiler::folded_text()));
+            } else if (const auto it = handlers_.find(path);
+                       it != handlers_.end()) {
+                const http_reply reply = it->second(parse_query_string(query));
+                send_all(client,
+                         http_response(status_line(reply.status),
+                                       reply.content_type.c_str(), reply.body));
             } else {
                 send_all(client, http_response("404 Not Found", "text/plain",
                                                "not found\n"));

@@ -87,9 +87,14 @@ void stream_engine::init_live() {
         "Drift alarms raised over the live derived series.");
     const auto add = [&](std::string name, const std::string& metric,
                          std::string help, obs::label_list labels = {}) {
+        // The tsdb label is the first label's value ("" when unlabeled)
+        // — enough to tell the dense-class series apart.
+        std::string label = labels.empty() ? std::string{} : labels[0].second;
         live_.emplace_back(std::move(name), help,
                            reg.get_dgauge(metric, std::move(labels), help),
                            cfg_.history, cfg_.drift);
+        live_.back().metric = metric;
+        live_.back().label = std::move(label);
         return live_.size() - 1;
     };
     li_gamma1_ = add("gamma1@64", "v6class_gamma1_64",
@@ -136,6 +141,31 @@ void stream_engine::init_live() {
                         "and the previous one (0..1).");
     li_arena_nodes_ = add("arena nodes", "v6_trie_arena_nodes",
                           "Live node slots in the merged trie's arena.");
+
+    // Flight-recorder re-anchor: intern every live series in the store
+    // and read back its newest stored day, so re-sealing already-stored
+    // days (a replay over an existing --state-dir) appends nothing.
+    if (cfg_.tsdb) {
+        tsdb_event_cursor_ = events_->total();  // only future events persist
+        std::int64_t resume_day = std::numeric_limits<std::int64_t>::min();
+        for (live_series& s : live_) {
+            s.tsdb_id = cfg_.tsdb->series_id(s.metric, s.label);
+            if (const auto last = cfg_.tsdb->last_ts(s.metric, s.label)) {
+                s.anchor = *last;
+                resume_day = std::max(resume_day, *last);
+            }
+        }
+        if (resume_day != std::numeric_limits<std::int64_t>::min())
+            events_->log(
+                obs::event_level::info, "tsdb",
+                "tsdb resume: series history through day " +
+                    std::to_string(resume_day),
+                {{"last_day",
+                  obs::event_field_number(static_cast<double>(resume_day))},
+                 {"recovered_points",
+                  obs::event_field_number(static_cast<double>(
+                      cfg_.tsdb->recovered_points()))}});
+    }
 }
 
 stream_engine::stream_engine(stream_config cfg)
@@ -558,6 +588,38 @@ void stream_engine::update_live(const day_report& report) {
     }
     feed(li_pool_util_, report.pool_utilization);
     feed(li_arena_nodes_, static_cast<double>(report.arena_nodes));
+
+    // Alert rules see this seal's values (live_mutex_ is held, so the
+    // sampler reads live_ directly — evaluate() has its own lock).
+    if (cfg_.alerts) {
+        const auto sample = [&](const std::string& series,
+                                const std::string& label)
+            -> std::optional<double> {
+            for (const live_series& s : live_)
+                if (s.metric == series && s.label == label &&
+                    s.history.size() > 0)
+                    return s.history.back();
+            return std::nullopt;
+        };
+        cfg_.alerts->evaluate(sample, report.day);
+    }
+
+    // Flight-recorder flush: one point per live series at ts =
+    // report.day (skipped below each series' restart anchor), every
+    // event logged since the last seal (drift alarms and alert
+    // transitions included — both were raised above), one commit.
+    if (cfg_.tsdb) {
+        for (const live_series& s : live_) {
+            if (report.day <= s.anchor) continue;
+            if (s.history.size() > 0)
+                cfg_.tsdb->append(s.tsdb_id, report.day, s.history.back());
+        }
+        for (const obs::event& e : events_->since(tsdb_event_cursor_)) {
+            cfg_.tsdb->append_event(e);
+            tsdb_event_cursor_ = e.seq;
+        }
+        cfg_.tsdb->commit();
+    }
 }
 
 live_view stream_engine::live(std::size_t events_n) const {
@@ -570,6 +632,8 @@ live_view stream_engine::live(std::size_t events_n) const {
             live_series_view v;
             v.name = s.name;
             v.help = s.help;
+            v.metric = s.metric;
+            v.label = s.label;
             v.current = s.history.size() ? s.history.back() : 0.0;
             v.alarmed = s.alarmed;
             v.history = s.history.values();

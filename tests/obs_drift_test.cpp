@@ -168,6 +168,71 @@ TEST(EventLogTest, GlobalIsASingleton) {
     EXPECT_EQ(&obs::event_log::global(), &obs::event_log::global());
 }
 
+TEST(EventLogTest, SinceReturnsOnlyNewerEventsOldestFirst) {
+    obs::event_log log;
+    for (int i = 0; i < 5; ++i)
+        log.log(obs::event_level::info, "tick", std::to_string(i));
+    const auto tail = log.since(3);
+    ASSERT_EQ(tail.size(), 2u);
+    EXPECT_EQ(tail[0].seq, 4u);
+    EXPECT_EQ(tail[1].seq, 5u);
+    EXPECT_TRUE(log.since(5).empty());
+    EXPECT_EQ(log.since(0).size(), 5u);
+}
+
+TEST(EventLogTest, StreamingFileGetsRetainedBacklogThenAppends) {
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "v6_events_stream.jsonl")
+            .string();
+    std::remove(path.c_str());
+    obs::event_log log;
+    log.log(obs::event_level::info, "early", "before streaming");
+    ASSERT_TRUE(log.enable_file(path, 1u << 20));
+    EXPECT_TRUE(log.file_enabled());
+    log.log(obs::event_level::warn, "late", "after streaming");
+
+    std::istringstream in(read_file(path));
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(in, line)) lines.push_back(line);
+    ASSERT_EQ(lines.size(), 2u);  // backlog replayed, then live append
+    EXPECT_NE(lines[0].find("\"kind\":\"early\""), std::string::npos);
+    EXPECT_NE(lines[1].find("\"kind\":\"late\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(EventLogTest, StreamingFileRotatesAtTheCapAndCountsIt) {
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "v6_events_rot.jsonl")
+            .string();
+    std::remove(path.c_str());
+    std::remove((path + ".1").c_str());
+    obs::registry reg;
+    obs::event_log log;
+    ASSERT_TRUE(log.enable_file(path, 256, &reg));  // tiny cap
+    for (int i = 0; i < 40; ++i)
+        log.log(obs::event_level::info, "tick",
+                "event number " + std::to_string(i));
+
+    EXPECT_TRUE(std::filesystem::exists(path + ".1"));  // one generation kept
+    EXPECT_LE(std::filesystem::file_size(path + ".1"), 512u);
+    const std::string text = reg.prometheus_text();
+    EXPECT_NE(text.find("v6class_event_log_rotations_total"),
+              std::string::npos)
+        << text;
+    // Every line in both generations is still whole JSON.
+    for (const std::string& p : {path, path + ".1"}) {
+        std::istringstream in(read_file(p));
+        std::string line;
+        while (std::getline(in, line))
+            EXPECT_TRUE(v6::testing::json_checker::valid(line)) << line;
+    }
+    // The in-memory view is unaffected by rotation.
+    EXPECT_EQ(log.total(), 40u);
+    std::remove(path.c_str());
+    std::remove((path + ".1").c_str());
+}
+
 // ------------------------------------------------------------ atomic_file
 
 TEST(AtomicFileTest, WritesAndReplacesWholeFiles) {

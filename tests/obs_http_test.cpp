@@ -179,6 +179,87 @@ TEST_F(ObsHttpTest, StopIsIdempotentAndUnbindsThePort) {
     reuse.stop();
 }
 
+// ------------------------------------------------------ custom handlers
+
+TEST(ObsQueryStringTest, DecodesKeysValuesAndPluses) {
+    const obs::query_params q =
+        obs::parse_query_string("name=v6class_gamma16_48&from=0&to=9");
+    ASSERT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.at("name"), "v6class_gamma16_48");
+    EXPECT_EQ(q.at("from"), "0");
+    EXPECT_EQ(q.at("to"), "9");
+
+    const obs::query_params enc =
+        obs::parse_query_string("label=a%20b+c&pct=%2541&bare&empty=");
+    EXPECT_EQ(enc.at("label"), "a b c");
+    EXPECT_EQ(enc.at("pct"), "%41");  // one decode pass only
+    EXPECT_EQ(enc.at("bare"), "");
+    EXPECT_EQ(enc.at("empty"), "");
+
+    // Duplicate keys: last wins.
+    EXPECT_EQ(obs::parse_query_string("k=1&k=2").at("k"), "2");
+    EXPECT_TRUE(obs::parse_query_string("").empty());
+}
+
+TEST_F(ObsHttpTest, CustomHandlerReceivesParsedQuery) {
+    obs::metrics_server with_api;
+    with_api.add_handler("/api/echo", [](const obs::query_params& q) {
+        obs::http_reply reply;
+        const auto it = q.find("name");
+        reply.body = "{\"got\":\"" +
+                     (it == q.end() ? std::string("none") : it->second) + "\"}";
+        return reply;
+    });
+    std::string error;
+    ASSERT_TRUE(with_api.start(0, &reg_, &error)) << error;
+
+    std::string response =
+        http_get(with_api.port(), "/api/echo?name=g16&step=4");
+    EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(response.find("application/json"), std::string::npos);
+    EXPECT_NE(response.find("{\"got\":\"g16\"}"), std::string::npos);
+
+    // Without a query string the handler still runs.
+    response = http_get(with_api.port(), "/api/echo");
+    EXPECT_NE(response.find("{\"got\":\"none\"}"), std::string::npos);
+
+    // Exact-path match only: a suffix is not routed.
+    response = http_get(with_api.port(), "/api/echo/sub");
+    EXPECT_NE(response.find("404"), std::string::npos);
+    with_api.stop();
+}
+
+TEST_F(ObsHttpTest, CustomHandlerControlsStatusAndContentType) {
+    obs::metrics_server with_api;
+    with_api.add_handler("/api/bad", [](const obs::query_params&) {
+        obs::http_reply reply;
+        reply.status = 400;
+        reply.content_type = "text/plain";
+        reply.body = "no such series";
+        return reply;
+    });
+    std::string error;
+    ASSERT_TRUE(with_api.start(0, &reg_, &error)) << error;
+    const std::string response = http_get(with_api.port(), "/api/bad");
+    EXPECT_NE(response.find("HTTP/1.0 400"), std::string::npos);
+    EXPECT_NE(response.find("text/plain"), std::string::npos);
+    EXPECT_NE(response.find("no such series"), std::string::npos);
+    with_api.stop();
+}
+
+TEST_F(ObsHttpTest, BuiltInPathsWinOverHandlers) {
+    obs::metrics_server with_api;
+    with_api.add_handler("/metrics", [](const obs::query_params&) {
+        return obs::http_reply{200, "text/plain", "shadowed"};
+    });
+    std::string error;
+    ASSERT_TRUE(with_api.start(0, &reg_, &error)) << error;
+    const std::string response = http_get(with_api.port(), "/metrics");
+    EXPECT_EQ(response.find("shadowed"), std::string::npos);
+    EXPECT_NE(response.find("t_requests_total"), std::string::npos);
+    with_api.stop();
+}
+
 TEST(ObsHttpStartTest, ReportsBindFailure) {
     obs::registry reg;
     obs::metrics_server a;

@@ -336,7 +336,10 @@ public:
                 std::fprintf(stderr, "warning: cannot write %s\n",
                              metrics_out_.c_str());
         }
-        if (!events_out_.empty() &&
+        // When the log streams to the file already (v6stream's daemon
+        // mode enables size-capped rotation), the exit dump would
+        // clobber the rotated file with just the retained window.
+        if (!events_out_.empty() && !obs::event_log::global().file_enabled() &&
             !obs::event_log::global().dump(events_out_))
             std::fprintf(stderr, "warning: cannot write %s\n",
                          events_out_.c_str());

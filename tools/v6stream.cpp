@@ -21,8 +21,24 @@
 // spectrum on EOF or SIGINT / SIGTERM (graceful shutdown: the open day
 // is sealed and reported). With --asn-db, SIGHUP hot-reloads the
 // enrichment database without dropping a record.
+//
+// With --state-dir=DIR the daemon keeps a durable flight recorder
+// (v6::obs::tsdb) under DIR/tsdb: every day seal appends the live
+// derived series, the per-ASN ledger rows, and new log events; a
+// restart re-anchors on the stored history, so /api/series spans runs
+// with no gap or duplicate. The history API rides the metrics server:
+//
+//   GET /api/series?name=...&label=...&from=...&to=...&step=...
+//   GET /api/events?level=...&from=...&to=...&limit=...
+//   GET /alerts
+//
+// With --alerts=FILE an alert rules engine (v6::obs::alert) evaluates
+// threshold / rate-of-change / absence / event-sourced rules at every
+// seal and wall-clock tick; SIGHUP reloads the rules file alongside the
+// ASN db, preserving state for unchanged rules.
 #include <chrono>
 #include <csignal>
+#include <ctime>
 #include <filesystem>
 #include <thread>
 
@@ -31,8 +47,10 @@
 #include "v6class/net/collector.h"
 #include "v6class/net/enrich.h"
 #include "v6class/net/replay.h"
+#include "v6class/obs/alert.h"
 #include "v6class/obs/dashboard.h"
 #include "v6class/obs/http.h"
+#include "v6class/obs/tsdb.h"
 #include "v6class/stream/engine.h"
 
 using namespace v6;
@@ -90,12 +108,52 @@ void print_day_asn(int day, const std::vector<net::asn_row>& rows) {
     std::printf("]}\n");
 }
 
+/// One-line rule summary for the dashboard alert panel.
+std::string alert_detail(const obs::alert_rule& r) {
+    std::string out;
+    switch (r.cond) {
+        case obs::alert_cond::above:
+            out = r.series + " above " + obs::event_field_number(r.threshold);
+            break;
+        case obs::alert_cond::below:
+            out = r.series + " below " + obs::event_field_number(r.threshold);
+            break;
+        case obs::alert_cond::delta:
+            out = r.series + " delta " + obs::event_field_number(r.threshold);
+            break;
+        case obs::alert_cond::absent:
+            out = r.series + " absent " + obs::event_field_number(r.threshold);
+            break;
+        case obs::alert_cond::event:
+            out = "event " + r.event_kind;
+            break;
+    }
+    if (!r.label.empty()) out += " {" + r.label + "}";
+    if (r.hold) out += " for " + std::to_string(r.hold);
+    return out;
+}
+
+/// The alert sampler both evaluation sites share: live derived series
+/// by registry metric name + label.
+obs::alert_engine::sampler live_sampler(const stream_engine& engine) {
+    return [&engine](const std::string& series,
+                     const std::string& label) -> std::optional<double> {
+        const live_view lv = engine.live(0);
+        for (const live_series_view& v : lv.series)
+            if (v.metric == series && v.label == label && !v.history.empty())
+                return v.current;
+        return std::nullopt;
+    };
+}
+
 /// Builds the /dashboard model from a consistent engine view plus the
 /// server's own lifecycle state.
 obs::dashboard_model build_dashboard(const stream_engine& engine,
                                      const obs::metrics_server& server,
                                      const net::enrichment* enrich,
-                                     const net::asn_ledger* ledger) {
+                                     const net::asn_ledger* ledger,
+                                     const obs::tsdb::database* tsdb,
+                                     const obs::alert_engine* alerts) {
     const stream_stats s = engine.stats();
     const live_view lv = engine.live();
     obs::dashboard_model model;
@@ -135,6 +193,56 @@ obs::dashboard_model build_dashboard(const stream_engine& engine,
                    {"/trace", "trace"},
                    {"/profile", "profile"},
                    {"/healthz", "healthz"}};
+    if (tsdb) model.links.push_back({"/api/series", "series"});
+    if (alerts) model.links.push_back({"/alerts", "alerts"});
+
+    // Flight-recorder charts: the headline derived series over their
+    // whole stored range (they survive restarts, unlike the in-memory
+    // sparklines above), downsampled to chart resolution.
+    if (tsdb) {
+        static constexpr std::pair<const char*, const char*> kCharts[] = {
+            {"v6class_gamma16_48", "gamma^16 at p=48 over all stored days"},
+            {"v6class_gamma4_60", "gamma^4 at p=60 over all stored days"},
+            {"v6class_stable_fraction",
+             "nd-stable fraction over all stored days"},
+            {"v6class_active_addresses",
+             "active addresses per classified day"},
+            {"v6class_day_distinct_addresses_estimate",
+             "HLL distinct-address estimate per sealed day"},
+        };
+        constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+        constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+        for (const auto& [name, help] : kCharts) {
+            const std::vector<obs::tsdb::point> pts =
+                tsdb->query(name, "", kMin, kMax);
+            if (pts.empty()) continue;
+            const std::int64_t span = pts.back().ts - pts.front().ts;
+            const std::vector<obs::tsdb::point> ds =
+                obs::tsdb::downsample(pts, span > 200 ? span / 200 : 1);
+            obs::dashboard_chart chart;
+            chart.name = name;
+            chart.help = help;
+            chart.points.reserve(ds.size());
+            for (const obs::tsdb::point& p : ds)
+                chart.points.push_back({p.ts, p.value});
+            model.charts.push_back(std::move(chart));
+        }
+    }
+
+    if (alerts) {
+        model.show_alerts = true;
+        for (const obs::alert_engine::status& s : alerts->snapshot()) {
+            obs::dashboard_alert row;
+            row.name = s.rule.name;
+            row.state = obs::alert_state_name(s.state);
+            row.detail = alert_detail(s.rule);
+            if (s.value) {
+                row.value = *s.value;
+                row.has_value = true;
+            }
+            model.alerts.push_back(std::move(row));
+        }
+    }
     return model;
 }
 
@@ -173,38 +281,70 @@ void print_final(const stream_snapshot& s, std::uint64_t malformed) {
 
 /// Drains and prints day reports not yet printed (each followed by its
 /// per-ASN breakdown when a ledger is active); returns the new count.
+/// With a flight recorder, the sealed day's top-ASN rows become durable
+/// series here too (the live derived series are flushed by the engine's
+/// own seal path).
 std::size_t drain_reports(const stream_engine& engine, std::size_t printed,
-                          net::asn_ledger* ledger) {
+                          net::asn_ledger* ledger,
+                          obs::tsdb::database* tsdb = nullptr) {
     const std::vector<day_report> reports = engine.reports();
+    bool flushed = false;
     for (std::size_t i = printed; i < reports.size(); ++i) {
         print_day_report(reports[i]);
         if (ledger) {
             const auto rows = ledger->take_day(reports[i].day);
-            if (!rows.empty()) print_day_asn(reports[i].day, rows);
+            if (!rows.empty()) {
+                print_day_asn(reports[i].day, rows);
+                if (tsdb) {
+                    net::flush_day_asn(*tsdb, reports[i].day, rows);
+                    flushed = true;
+                }
+            }
         }
     }
+    if (flushed) tsdb->commit();
     if (reports.size() > printed) std::fflush(stdout);
     return reports.size();
 }
 
-/// Applies a pending SIGHUP: hot-reloads the enrichment db. The swap is
-/// RCU-style, so ingest threads keep serving the old snapshot until the
-/// new one is fully built — a failed reload logs and keeps the old db.
-void maybe_reload(net::enrichment* enrich) {
+/// Applies a pending SIGHUP: hot-reloads the enrichment db and the
+/// alert rules file. Both follow the same contract — the swap happens
+/// only after the replacement loaded cleanly, so a failed reload logs
+/// and keeps the previous state serving. Unchanged alert rules keep
+/// their firing/pending state across the reload.
+void maybe_reload(net::enrichment* enrich, obs::alert_engine* alerts,
+                  const std::string& alerts_path) {
     if (!g_reload) return;
     g_reload = 0;
-    if (!enrich) return;
-    std::string error;
-    if (enrich->reload(&error)) {
-        const auto snap = enrich->snapshot();
-        std::fprintf(stderr, "reloaded %s: %zu prefixes (generation %llu)\n",
-                     enrich->path().c_str(), snap ? snap->size() : 0,
-                     static_cast<unsigned long long>(
-                         snap ? snap->generation() : 0));
-    } else {
-        std::fprintf(stderr, "warning: reload of %s failed (%s); keeping "
-                             "previous database\n",
-                     enrich->path().c_str(), error.c_str());
+    if (enrich) {
+        std::string error;
+        if (enrich->reload(&error)) {
+            const auto snap = enrich->snapshot();
+            std::fprintf(stderr,
+                         "reloaded %s: %zu prefixes (generation %llu)\n",
+                         enrich->path().c_str(), snap ? snap->size() : 0,
+                         static_cast<unsigned long long>(
+                             snap ? snap->generation() : 0));
+        } else {
+            std::fprintf(stderr, "warning: reload of %s failed (%s); keeping "
+                                 "previous database\n",
+                         enrich->path().c_str(), error.c_str());
+        }
+    }
+    if (alerts && !alerts_path.empty()) {
+        std::string error;
+        if (alerts->load_file(alerts_path, &error)) {
+            std::fprintf(stderr, "reloaded %s: %zu alert rules\n",
+                         alerts_path.c_str(), alerts->rule_count());
+            obs::event_log::global().log(
+                obs::event_level::info, "lifecycle", "alert rules reloaded",
+                {{"rules", obs::event_field_number(
+                               static_cast<double>(alerts->rule_count()))}});
+        } else {
+            std::fprintf(stderr, "warning: reload of alert rules failed (%s); "
+                                 "keeping previous rules\n",
+                         error.c_str());
+        }
     }
 }
 
@@ -233,6 +373,10 @@ int main(int argc, char** argv) {
     bool listen_given = false, metrics_given = false;
     std::string listen_text = "0", metrics_text = "9100";
     std::string replay_path, asn_db_path;
+    std::string state_dir, alerts_path, alerts_notify;
+    double tick_seconds = 60;
+    std::size_t retain_bytes = 0, events_cap = 8u << 20;
+    long retain_days = 0;
     double rate = 0;
     long pcap_port = 0;
     tools::flag_table cli(
@@ -240,6 +384,7 @@ int main(int argc, char** argv) {
         "                [--back=7] [--fwd=7] [--class=N@P ...]\n"
         "                [--status-every=RECORDS] [--spectrum=MAX]\n"
         "                [--metrics-port=P] [--asn-db=FILE]\n"
+        "                [--state-dir=DIR] [--alerts=FILE]\n"
         "                [--listen[=PORT] | --replay=PATH [--rate=R]]\n"
         "                [feed-file|-]\n"
         "streaming classification of a \"day address [hits]\" feed;\n"
@@ -260,6 +405,25 @@ int main(int argc, char** argv) {
         .add("asn-db", &asn_db_path,
              "v6mkdb binary ASN/geo db; tags records at ingest and emits\n"
              "per-ASN day breakdowns; SIGHUP hot-reloads it")
+        .add("state-dir", &state_dir,
+             "durable flight recorder under DIR/tsdb; day seals append the\n"
+             "live series + events, restarts resume the stored history")
+        .add("alerts", &alerts_path,
+             "alert rules file (one \"name key=value ...\" rule per line);\n"
+             "SIGHUP hot-reloads it, preserving state for unchanged rules")
+        .add("alerts-notify", &alerts_notify,
+             "shell command run on alert firing/resolved transitions\n"
+             "(invoked with the transition JSON as its argument)")
+        .add("events-cap", &events_cap,
+             "--events-out file size cap in bytes before rotation to .1\n"
+             "(default 8 MiB)")
+        .add("tick", &tick_seconds,
+             "wall-clock gauge/alert evaluation period in --listen mode,\n"
+             "seconds (default 60; 0 = off)")
+        .add("retain-bytes", &retain_bytes,
+             "tsdb retention cap in bytes across sealed segments (0 = keep)")
+        .add("retain-days", &retain_days,
+             "tsdb retention horizon in day-timestamp units (0 = keep)")
         .add("listen", &listen_given, &listen_text,
              "ingest v6wire UDP datagrams on PORT (default: ephemeral,\n"
              "printed to stderr) instead of a text feed")
@@ -320,7 +484,66 @@ int main(int argc, char** argv) {
         "v6_stream_ingest_rate", {},
         "Accepted records per second, averaged over the last status interval.");
 
+    // --events-out switches the event log to streaming mode up front, so
+    // every event from here on (lifecycle, drift alarms, alert
+    // transitions) lands in the file as it happens instead of as an
+    // exit-time dump, with size-capped rotation to FILE.1.
+    if (flags.has("events-out"))
+        obs::event_log::global().enable_file(flags.get("events-out"),
+                                             events_cap, &reg);
+
+    // Durable flight recorder (optional): open/recover BEFORE the engine
+    // so init_live() can re-anchor the live series on the stored history.
+    std::unique_ptr<obs::tsdb::database> tsdb;
+    if (!state_dir.empty()) {
+        obs::tsdb::options topt;
+        topt.metrics = &reg;
+        topt.retain_bytes = retain_bytes;
+        topt.retain_age = retain_days;
+        std::string error;
+        tsdb = obs::tsdb::database::open(
+            (std::filesystem::path(state_dir) / "tsdb").string(), topt, &error);
+        if (!tsdb) {
+            std::fprintf(stderr, "error: cannot open state dir %s: %s\n",
+                         state_dir.c_str(), error.c_str());
+            return 1;
+        }
+        std::fprintf(stderr,
+                     "flight recorder %s: %llu points recovered, %zu series, "
+                     "%zu segments%s\n",
+                     tsdb->dir().c_str(),
+                     static_cast<unsigned long long>(tsdb->recovered_points()),
+                     tsdb->list_series().size(), tsdb->segment_count(),
+                     tsdb->truncated_bytes() ? " [torn tail truncated]" : "");
+        cfg.tsdb = tsdb.get();
+    }
+
+    // Alert rules engine (optional): a startup parse error is an
+    // operator error and fatal, unlike a failed SIGHUP *re*load, which
+    // keeps the previous rules running. Constructed before the engine so
+    // stream_config::alerts is evaluated at every seal.
+    std::optional<obs::alert_engine> alerts;
+    if (!alerts_path.empty()) {
+        alerts.emplace(&reg, &obs::event_log::global());
+        std::string error;
+        if (!alerts->load_file(alerts_path, &error)) {
+            std::fprintf(stderr, "error: cannot load %s: %s\n",
+                         alerts_path.c_str(), error.c_str());
+            return 1;
+        }
+        if (!alerts_notify.empty()) alerts->set_notify_command(alerts_notify);
+        std::fprintf(stderr, "loaded %s: %zu alert rules (SIGHUP reloads)\n",
+                     alerts_path.c_str(), alerts->rule_count());
+        cfg.alerts = &*alerts;
+    }
+    obs::alert_engine* alert_ptr = alerts ? &*alerts : nullptr;
+
     stream_engine engine(cfg);
+
+    // Logged after the alert engine exists (its event cursor starts at
+    // construction time), so an event=lifecycle rule sees the start.
+    obs::event_log::global().log(obs::event_level::info, "lifecycle",
+                                 "v6stream started", {});
 
     // Enrichment (optional): load the db up front — a missing db at
     // startup is an operator error, unlike a failed *re*load, which
@@ -345,18 +568,147 @@ int main(int argc, char** argv) {
 
     obs::metrics_server server;
     if (metrics_given) {
-        server.set_health_payload([&engine] {
+        server.set_health_payload([&engine, &state_dir, alert_ptr] {
             const stream_stats s = engine.stats();
-            return "\"last_seal_day\":" +
-                   std::to_string(s.sealed_day == kNoDay ? -1 : s.sealed_day) +
-                   ",\"open_day\":" +
-                   std::to_string(s.open_day == kNoDay ? -1 : s.open_day) +
-                   ",\"records\":" + std::to_string(s.records);
+            std::string out =
+                "\"last_seal_day\":" +
+                std::to_string(s.sealed_day == kNoDay ? -1 : s.sealed_day) +
+                ",\"open_day\":" +
+                std::to_string(s.open_day == kNoDay ? -1 : s.open_day) +
+                ",\"records\":" + std::to_string(s.records);
+            if (!state_dir.empty())
+                out += ",\"state_dir\":" + obs::event_field_string(state_dir);
+            if (alert_ptr)
+                out += ",\"alerts\":{\"firing\":" +
+                       std::to_string(alert_ptr->firing_count()) +
+                       ",\"pending\":" +
+                       std::to_string(alert_ptr->pending_count()) + "}";
+            return out;
         });
-        server.set_dashboard([&engine, &server, enrich_ptr, ledger_ptr] {
-            return obs::render_dashboard(
-                build_dashboard(engine, server, enrich_ptr, ledger_ptr));
-        });
+        server.set_dashboard(
+            [&engine, &server, enrich_ptr, ledger_ptr, &tsdb, alert_ptr] {
+                return obs::render_dashboard(build_dashboard(
+                    engine, server, enrich_ptr, ledger_ptr, tsdb.get(),
+                    alert_ptr));
+            });
+
+        // The history API (tsdb-backed) and the alert status endpoint
+        // ride the same server via the generic handler table.
+        if (tsdb) {
+            const obs::tsdb::database* db = tsdb.get();
+            server.add_handler("/api/series", [db](const obs::query_params& q) {
+                obs::http_reply reply;
+                const auto get = [&q](const char* k) {
+                    const auto it = q.find(k);
+                    return it == q.end() ? std::string() : it->second;
+                };
+                const std::string name = get("name");
+                if (name.empty()) {
+                    // No name: the series directory, so a client can
+                    // discover what to chart.
+                    reply.body = "[";
+                    bool first = true;
+                    for (const obs::tsdb::series_info& s : db->list_series()) {
+                        reply.body +=
+                            std::string(first ? "" : ",") + "{\"name\":" +
+                            obs::event_field_string(s.name) + ",\"label\":" +
+                            obs::event_field_string(s.label) + ",\"from\":" +
+                            std::to_string(s.first_ts) + ",\"to\":" +
+                            std::to_string(s.last_ts) + ",\"points\":" +
+                            std::to_string(s.points) + "}";
+                        first = false;
+                    }
+                    reply.body += "]";
+                    return reply;
+                }
+                constexpr std::int64_t kMin =
+                    std::numeric_limits<std::int64_t>::min();
+                constexpr std::int64_t kMax =
+                    std::numeric_limits<std::int64_t>::max();
+                const std::string from_s = get("from"), to_s = get("to"),
+                                  step_s = get("step");
+                const std::int64_t from =
+                    from_s.empty() ? kMin : std::atoll(from_s.c_str());
+                const std::int64_t to =
+                    to_s.empty() ? kMax : std::atoll(to_s.c_str());
+                const std::int64_t step =
+                    step_s.empty() ? 0 : std::atoll(step_s.c_str());
+                if (step < 0) {
+                    reply.status = 400;
+                    reply.body = "{\"error\":\"step must be >= 0\"}";
+                    return reply;
+                }
+                std::vector<obs::tsdb::point> pts =
+                    db->query(name, get("label"), from, to);
+                if (step > 1) pts = obs::tsdb::downsample(pts, step);
+                reply.body = "{\"name\":" + obs::event_field_string(name) +
+                             ",\"label\":" +
+                             obs::event_field_string(get("label")) +
+                             ",\"points\":[";
+                for (std::size_t i = 0; i < pts.size(); ++i)
+                    reply.body += std::string(i ? "," : "") + "[" +
+                                  std::to_string(pts[i].ts) + "," +
+                                  obs::event_field_number(pts[i].value) + "]";
+                reply.body += "]}";
+                return reply;
+            });
+            server.add_handler("/api/events", [db](const obs::query_params& q) {
+                obs::http_reply reply;
+                const auto get = [&q](const char* k) {
+                    const auto it = q.find(k);
+                    return it == q.end() ? std::string() : it->second;
+                };
+                const std::string level_s = get("level");
+                obs::event_level min_level = obs::event_level::info;
+                if (level_s == "warn")
+                    min_level = obs::event_level::warn;
+                else if (level_s == "error")
+                    min_level = obs::event_level::error;
+                else if (!level_s.empty() && level_s != "info") {
+                    reply.status = 400;
+                    reply.body =
+                        "{\"error\":\"level must be info|warn|error\"}";
+                    return reply;
+                }
+                const std::string from_s = get("from"), to_s = get("to"),
+                                  limit_s = get("limit");
+                const double from =
+                    from_s.empty() ? -1e300 : std::atof(from_s.c_str());
+                const double to = to_s.empty() ? 1e300 : std::atof(to_s.c_str());
+                const std::size_t limit =
+                    limit_s.empty()
+                        ? 1024
+                        : static_cast<std::size_t>(std::atoll(limit_s.c_str()));
+                reply.body = "[";
+                bool first = true;
+                for (const obs::tsdb::stored_event& e :
+                     db->query_events(min_level, from, to, limit)) {
+                    reply.body +=
+                        std::string(first ? "" : ",") + "{\"time\":" +
+                        obs::event_field_number(e.unix_time) + ",\"level\":\"" +
+                        obs::event_level_name(e.level) + "\",\"kind\":" +
+                        obs::event_field_string(e.kind) + ",\"message\":" +
+                        obs::event_field_string(e.message) + ",\"fields\":" +
+                        (e.fields_json.empty() ? "{}" : e.fields_json) + "}";
+                    first = false;
+                }
+                reply.body += "]";
+                return reply;
+            });
+        }
+        if (alert_ptr)
+            server.add_handler("/alerts", [alert_ptr](const obs::query_params&) {
+                obs::http_reply reply;
+                reply.body = "{\"firing\":" +
+                             std::to_string(alert_ptr->firing_count()) +
+                             ",\"pending\":" +
+                             std::to_string(alert_ptr->pending_count()) +
+                             ",\"evaluations\":" +
+                             std::to_string(alert_ptr->evaluations()) +
+                             ",\"rules\":" + alert_ptr->status_json() + "}";
+                return reply;
+            });
+
         std::string error;
         const auto port =
             static_cast<std::uint16_t>(std::atol(metrics_text.c_str()));
@@ -401,11 +753,35 @@ int main(int argc, char** argv) {
                      static_cast<unsigned>(collector.port()));
         std::fflush(stderr);
         auto last_status = std::chrono::steady_clock::now();
+        auto last_tick = last_status;
         while (!g_stop) {
             std::this_thread::sleep_for(std::chrono::milliseconds(50));
-            maybe_reload(enrich_ptr);
-            printed_reports = drain_reports(engine, printed_reports, ledger_ptr);
+            maybe_reload(enrich_ptr, alert_ptr, alerts_path);
+            printed_reports =
+                drain_reports(engine, printed_reports, ledger_ptr, tsdb.get());
             const auto now = std::chrono::steady_clock::now();
+            // Wall-clock tick: a listening daemon may go days between
+            // seals, so the throughput gauges are recorded (and the
+            // alert rules evaluated) on unix-seconds cadence too.
+            if (tick_seconds > 0 && (tsdb || alert_ptr) &&
+                now - last_tick >=
+                    std::chrono::duration<double>(tick_seconds)) {
+                last_tick = now;
+                const auto now_unix =
+                    static_cast<std::int64_t>(std::time(nullptr));
+                if (tsdb) {
+                    const stream_stats s = engine.stats();
+                    tsdb->append("v6_stream_records_total", "", now_unix,
+                                 static_cast<double>(s.records));
+                    tsdb->append("v6_stream_ingest_rate", "", now_unix,
+                                 static_cast<double>(ingest_rate.value()));
+                    tsdb->append("v6_stream_distinct_addresses", "", now_unix,
+                                 static_cast<double>(s.distinct_addresses));
+                    tsdb->commit();
+                }
+                if (alert_ptr)
+                    alert_ptr->evaluate(live_sampler(engine), now_unix);
+            }
             if (status_every > 0 &&
                 now - last_status >= std::chrono::seconds(2)) {
                 const stream_stats s = engine.stats();
@@ -454,7 +830,7 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(result.records),
                      result.stopped ? " [interrupted]" : "",
                      static_cast<unsigned long long>(result.decode.rejected()));
-        printed_reports = drain_reports(engine, printed_reports, ledger_ptr);
+        printed_reports = drain_reports(engine, printed_reports, ledger_ptr, tsdb.get());
     } else if (!replay_path.empty()) {
         // Replay a day_<n>.log corpus directory in day order. The stop
         // flag is honoured between *records*, not just between days, so
@@ -480,7 +856,7 @@ int main(int argc, char** argv) {
         std::shared_ptr<const net::asn_db> snap;
         for (const int day : days) {
             if (g_stop) break;
-            maybe_reload(enrich_ptr);
+            maybe_reload(enrich_ptr, alert_ptr, alerts_path);
             const daily_log log = read_log_file(
                 fs::path(replay_path) / corpus_file_name(day), day);
             for (const observation& o : log.records) {
@@ -509,7 +885,7 @@ int main(int argc, char** argv) {
                 engine.push(day, o.addr, o.hits);
                 ++pushed;
             }
-            printed_reports = drain_reports(engine, printed_reports, ledger_ptr);
+            printed_reports = drain_reports(engine, printed_reports, ledger_ptr, tsdb.get());
         }
     } else {
         std::ifstream file;
@@ -541,7 +917,7 @@ int main(int argc, char** argv) {
                                  line.c_str());
                 continue;
             }
-            maybe_reload(enrich_ptr);
+            maybe_reload(enrich_ptr, alert_ptr, alerts_path);
             if (ledger_ptr)
                 ledger_ptr->note(
                     record.day,
@@ -562,7 +938,7 @@ int main(int argc, char** argv) {
                 rate_records = s.records;
                 ingest_rate.set(static_cast<std::int64_t>(r));
                 print_status(s, r);
-                printed_reports = drain_reports(engine, printed_reports, ledger_ptr);
+                printed_reports = drain_reports(engine, printed_reports, ledger_ptr, tsdb.get());
             }
         }
     }
@@ -575,7 +951,7 @@ int main(int argc, char** argv) {
     // files reflect the fully-settled registry, including the last seal.
     server.set_state("draining");
     engine.finish();
-    printed_reports = drain_reports(engine, printed_reports, ledger_ptr);
+    printed_reports = drain_reports(engine, printed_reports, ledger_ptr, tsdb.get());
     print_final(engine.snapshot(), malformed);
     server.stop();
     obs_dump.write();
