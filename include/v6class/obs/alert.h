@@ -48,11 +48,14 @@
 // keeps its state, streak, and last-sample — a SIGHUP must not resolve
 // a firing alert the operator didn't touch.
 //
-// Thread contract: construction and load/evaluate from one thread at a
-// time (v6stream: the roll thread via stream_config::alerts, plus the
-// main thread only inside maybe_reload(), which the engine's own mutex
-// makes safe); status_json()/firing_count()/pending_count() are safe
-// from any thread (the HTTP server calls them).
+// Thread contract: every public method is safe from any thread — one
+// internal mutex serializes them (v6stream calls evaluate() from both
+// the roll thread's seal path and the main thread's wall-clock tick).
+// Two corollaries: the sampler runs with that mutex held, so it must
+// read from a snapshot captured *before* evaluate() and never take a
+// lock that another evaluate() caller holds while sampling (lock-order
+// inversion); and the notify command runs after the mutex is released,
+// so a slow notifier can delay only its own evaluate() call.
 #pragma once
 
 #include <cstdint>
@@ -162,6 +165,9 @@ private:
     mutable std::mutex mutex_;
     std::vector<rule_state> rules_;
     std::string notify_command_;
+    /// Rendered notify commands queued by transition_locked(), run by
+    /// evaluate() after the mutex is released.
+    std::vector<std::string> notify_queue_;
     std::uint64_t event_cursor_ = 0;  ///< last event seq consumed
     std::uint64_t evaluations_ = 0;
 

@@ -242,6 +242,10 @@ private:
     std::vector<event_ref> events_;       // committed, time order
     std::vector<event> pending_events_;   // buffered
     std::vector<std::uint64_t> segments_;  // on disk, ascending seq
+    /// Series ids whose definition open() recovered from the newest
+    /// segment — the only ones already persisted in the resumed active
+    /// segment (see open_active_locked).
+    std::vector<std::uint32_t> active_seg_defs_;
     std::map<std::uint64_t, std::uint64_t> segment_bytes_;
     std::map<std::uint64_t, std::int64_t> segment_max_ts_;
     int active_fd_ = -1;

@@ -105,7 +105,9 @@ struct stream_config {
 
     /// Alert engine (v6stream --alerts). When non-null, evaluated once
     /// per day seal, sampling the live derived series by metric name
-    /// and label.
+    /// and label. The engine calls evaluate() on a snapshot of the live
+    /// values with no engine lock held, so other evaluate() callers
+    /// (the wall-clock tick) may sample the engine without deadlock.
     obs::alert_engine* alerts = nullptr;
 };
 

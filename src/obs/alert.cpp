@@ -234,13 +234,16 @@ void alert_engine::transition_locked(rule_state& rs, alert_state next,
             else
                 arg += c;
         arg += "'";
-        const int rc = std::system((notify_command_ + " " + arg).c_str());
-        (void)rc;  // notification is best-effort by design
+        // Queued, not run: the command executes after evaluate()
+        // releases the mutex, so a slow or hung notifier can never
+        // block status_json()/firing_count() or a seal in flight.
+        notify_queue_.push_back(notify_command_ + " " + arg);
     }
 }
 
 void alert_engine::evaluate(const sampler& sample, std::int64_t ts) {
-    std::lock_guard lock(mutex_);
+    std::vector<std::string> notifications;
+    std::unique_lock lock(mutex_);
     ++evaluations_;
     // Drain events that arrived since the previous evaluation once,
     // shared by every event rule.
@@ -336,6 +339,12 @@ void alert_engine::evaluate(const sampler& sample, std::int64_t ts) {
     }
     pending_gauge_.set(pending);
     firing_gauge_.set(firing);
+    notifications.swap(notify_queue_);
+    lock.unlock();
+    for (const std::string& cmd : notifications) {
+        const int rc = std::system(cmd.c_str());
+        (void)rc;  // notification is best-effort by design
+    }
 }
 
 std::string alert_engine::status_json() const {

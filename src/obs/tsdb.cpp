@@ -319,6 +319,7 @@ bool database::scan_segment(std::uint64_t seq, bool newest, std::string* error) 
                             ok = it->second == id;  // re-definition must agree
                         }
                     }
+                    if (ok && newest) active_seg_defs_.push_back(id);
                     break;
                 }
                 case kKindPoints: {
@@ -391,7 +392,6 @@ bool database::scan_segment(std::uint64_t seq, bool newest, std::string* error) 
                 if (error) *error = path + ": truncate: " + std::strerror(errno);
                 return false;
             }
-            (void)newest;
             break;
         }
         offset += 8 + len;
@@ -430,12 +430,16 @@ bool database::open_active_locked(std::string* error) {
             *error = segment_path(active_seq_) + ": " + std::strerror(errno);
         return false;
     }
-    // Recovery replayed this segment's definitions, so everything known
-    // is already persisted *somewhere*; only series defined in older,
-    // possibly-retired segments need re-persisting. Conservatively mark
-    // everything persisted — each segment rewrote all defs at open, so
-    // the active segment already has every definition known to it.
-    for (series_state& s : series_) s.persisted = true;
+    // Only the definitions recovery actually saw in this (the resumed
+    // active) segment are persisted here. Everything else — typically
+    // after a crash right between rotate_locked() creating the fresh
+    // segment and the next commit() rewriting the definitions — must be
+    // written again by the next commit, or retention could unlink the
+    // older segments holding the only copy of those defs and a later
+    // open() would truncate this segment at its first unknown series id.
+    for (series_state& s : series_) s.persisted = false;
+    for (const std::uint32_t id : active_seg_defs_)
+        if (id < series_.size()) series_[id].persisted = true;
     return true;
 }
 
@@ -498,6 +502,17 @@ bool database::write_frame_locked(std::uint8_t kind, const std::string& body,
     if (offset) *offset = active_size_;
     if (!write_all(active_fd_, frame.data(), frame.size())) {
         write_errors_.inc();
+        // A partial write (e.g. ENOSPC mid-frame) leaves garbage past
+        // the last whole frame; with O_APPEND the retried frame would
+        // land after it, desyncing every indexed offset and poisoning
+        // restart recovery. Cut the file back to the committed tail
+        // before any further write; if even that fails the tail is
+        // unknowable, so fail the handle rather than corrupt (commit()
+        // refuses a closed handle).
+        if (::ftruncate(active_fd_, static_cast<off_t>(active_size_)) != 0) {
+            ::close(active_fd_);
+            active_fd_ = -1;
+        }
         return false;
     }
     active_size_ += frame.size();
@@ -614,6 +629,7 @@ bool database::commit() {
         s.pending.clear();
         wrote = true;
     }
+    std::size_t events_written = 0;
     for (std::size_t i = 0; ok && i < pending_events_.size(); ++i) {
         const event& e = pending_events_[i];
         const std::string fields = fields_json_of(e.fields);
@@ -636,24 +652,22 @@ bool database::commit() {
         ref.offset = offset;
         ref.len = static_cast<std::uint32_t>(1 + body.size());
         events_.push_back(ref);
+        ++events_written;
         wrote = true;
     }
+    // Written events are durably indexed in events_; drop exactly that
+    // prefix. On a failed write the loop stops early and the unwritten
+    // tail stays buffered for the next commit — the same retry contract
+    // the point buffers follow.
+    if (events_written > 0)
+        pending_events_.erase(
+            pending_events_.begin(),
+            pending_events_.begin() +
+                static_cast<std::ptrdiff_t>(events_written));
     if (ok && wrote) {
-        // Committed events are durably indexed; drop the buffer. (On a
-        // failed write the loop above stops early and the tail of
-        // pending_events_ is retried next commit — the successfully
-        // written prefix was already moved to events_.)
-        pending_events_.clear();
         commits_.inc();
         if (opt_.fsync_commit) ::fsync(active_fd_);
         if (active_size_ >= opt_.segment_bytes) ok = rotate_locked();
-    } else if (!ok) {
-        // Drop the events that did make it out of the buffer.
-        std::size_t written = 0;
-        for (const event_ref& ref : events_)
-            if (ref.segment == active_seq_) ++written;
-        (void)written;
-        pending_events_.clear();  // avoid re-writing half; conservative
     }
     return ok;
 }

@@ -550,6 +550,21 @@ stream_engine::day_estimates stream_engine::merge_day_sketches() {
 }
 
 void stream_engine::update_live(const day_report& report) {
+    // Snapshot of the live series taken under live_mutex_, consumed by
+    // the alert evaluation and the tsdb flush below *after* the lock is
+    // released: evaluate() takes the alert engine's mutex, and the
+    // wall-clock tick path (tools/v6stream) takes that mutex before
+    // sampling the engine — holding live_mutex_ across evaluate() would
+    // invert the order and deadlock a concurrent seal and tick.
+    struct sample_row {
+        std::string metric;
+        std::string label;
+        double value;
+        std::uint32_t tsdb_id;
+        std::int64_t anchor;
+    };
+    std::vector<sample_row> sampled;
+    {
     std::lock_guard lock(live_mutex_);
     const auto feed = [&](std::size_t idx, double v) {
         live_series& s = live_[idx];
@@ -589,16 +604,23 @@ void stream_engine::update_live(const day_report& report) {
     feed(li_pool_util_, report.pool_utilization);
     feed(li_arena_nodes_, static_cast<double>(report.arena_nodes));
 
-    // Alert rules see this seal's values (live_mutex_ is held, so the
-    // sampler reads live_ directly — evaluate() has its own lock).
+    if (cfg_.alerts || cfg_.tsdb) {
+        sampled.reserve(live_.size());
+        for (const live_series& s : live_)
+            if (s.history.size() > 0)
+                sampled.push_back({s.metric, s.label, s.history.back(),
+                                   s.tsdb_id, s.anchor});
+    }
+    }  // live_mutex_ released: alert + tsdb work runs on the snapshot
+
+    // Alert rules see this seal's values via the snapshot — evaluate()
+    // has its own lock, acquired here without live_mutex_ held.
     if (cfg_.alerts) {
-        const auto sample = [&](const std::string& series,
-                                const std::string& label)
+        const auto sample = [&sampled](const std::string& series,
+                                       const std::string& label)
             -> std::optional<double> {
-            for (const live_series& s : live_)
-                if (s.metric == series && s.label == label &&
-                    s.history.size() > 0)
-                    return s.history.back();
+            for (const sample_row& s : sampled)
+                if (s.metric == series && s.label == label) return s.value;
             return std::nullopt;
         };
         cfg_.alerts->evaluate(sample, report.day);
@@ -608,11 +630,12 @@ void stream_engine::update_live(const day_report& report) {
     // report.day (skipped below each series' restart anchor), every
     // event logged since the last seal (drift alarms and alert
     // transitions included — both were raised above), one commit.
+    // tsdb_event_cursor_ is roll-thread-only state; the store has its
+    // own mutex.
     if (cfg_.tsdb) {
-        for (const live_series& s : live_) {
+        for (const sample_row& s : sampled) {
             if (report.day <= s.anchor) continue;
-            if (s.history.size() > 0)
-                cfg_.tsdb->append(s.tsdb_id, report.day, s.history.back());
+            cfg_.tsdb->append(s.tsdb_id, report.day, s.value);
         }
         for (const obs::event& e : events_->since(tsdb_event_cursor_)) {
             cfg_.tsdb->append_event(e);

@@ -168,6 +168,39 @@ TEST_F(TsdbTest, SeriesIdsAreStableAcrossReopen) {
     EXPECT_EQ(db->series_id("a", "x"), id);
 }
 
+TEST_F(TsdbTest, CrashAfterRotateRewritesDefinitionsIntoResumedSegment) {
+    {
+        auto db = open();
+        db->append("gamma", "", 1, 0.5);
+        db->append("active", "a", 1, 10.0);
+        ASSERT_TRUE(db->commit());
+    }
+    // The crash shape right after rotate_locked(): a fresh active
+    // segment exists but its definition records were never written.
+    std::ofstream(dir_ + "/seg-000002.v6t", std::ios::binary).close();
+    {
+        auto db = open();
+        db->append("gamma", "", 2, 0.6);
+        db->append("active", "a", 2, 11.0);
+        ASSERT_TRUE(db->commit());
+    }
+    // Retention's effect, by hand: the older segment holding the
+    // original definitions disappears. The resumed segment must be
+    // self-contained — its commit above had to rewrite the defs, not
+    // assume segment 1 still carried them.
+    ASSERT_EQ(::unlink((dir_ + "/seg-000001.v6t").c_str()), 0);
+    auto db = open();
+    EXPECT_EQ(db->truncated_bytes(), 0u);
+    EXPECT_EQ(db->recovered_points(), 2u);
+    const auto gamma = db->query("gamma", "", INT64_MIN, INT64_MAX);
+    ASSERT_EQ(gamma.size(), 1u);
+    EXPECT_EQ(gamma[0].ts, 2);
+    EXPECT_DOUBLE_EQ(gamma[0].value, 0.6);
+    const auto active = db->query("active", "a", INT64_MIN, INT64_MAX);
+    ASSERT_EQ(active.size(), 1u);
+    EXPECT_EQ(active[0].ts, 2);
+}
+
 // ------------------------------------------------- rotation + retention
 
 TEST_F(TsdbTest, RotationSealsSegmentsAndRetentionDropsOldest) {

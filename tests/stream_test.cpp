@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "v6class/netgen/rng.h"
+#include "v6class/obs/alert.h"
 #include "v6class/obs/metrics.h"
 #include "v6class/stream/bounded_queue.h"
 #include "v6class/stream/engine.h"
@@ -608,6 +609,59 @@ TEST(StreamLiveTest, DayReportCarriesDerivedSeries) {
     EXPECT_GE(report->stable_fraction, 0.0);
     EXPECT_LE(report->stable_fraction, 1.0);
     EXPECT_NEAR(report->est_day_addresses, 100.0, 5.0);
+}
+
+// ------------------------------------------------ seal/tick lock order
+
+// The daemon shape from tools/v6stream: the roll thread evaluates the
+// alert rules at every seal, while a wall-clock tick thread evaluates
+// them too, sampling from a live_view snapshot captured *before*
+// evaluate(). Under TSan this pins the required lock order — a sampler
+// that called engine.live() from inside evaluate() (under the alert
+// mutex) would invert against the seal path and deadlock a concurrent
+// seal and tick.
+TEST(StreamAlertTest, ConcurrentSealAndTickEvaluationsDoNotDeadlock) {
+    obs::registry reg;
+    obs::event_log log;
+    obs::alert_engine alerts(&reg, &log);
+    auto rules = obs::parse_alert_rules(
+        "low_active series=v6class_active_addresses below=1000000\n");
+    ASSERT_TRUE(rules.has_value());
+    alerts.load_rules(std::move(*rules));
+
+    stream_config cfg = live_config(2);
+    cfg.metrics_registry = &reg;
+    cfg.events = &log;
+    cfg.alerts = &alerts;
+    stream_engine engine(cfg);
+
+    std::atomic<bool> stop{false};
+    std::thread ticker([&] {
+        std::int64_t ts = 1'000'000;
+        while (!stop.load(std::memory_order_relaxed)) {
+            const live_view lv = engine.live(0);  // snapshot first...
+            alerts.evaluate(                      // ...alert mutex second
+                [&lv](const std::string& series, const std::string& label)
+                    -> std::optional<double> {
+                    for (const live_series_view& v : lv.series)
+                        if (v.metric == series && v.label == label &&
+                            !v.history.empty())
+                            return v.current;
+                    return std::nullopt;
+                },
+                ts++);
+        }
+    });
+    constexpr int kDays = 20;
+    for (int day = 0; day < kDays; ++day)
+        for (unsigned i = 0; i < 200; ++i) engine.push(day, nth(i));
+    engine.finish();  // seals every day: kDays seal-path evaluations
+    stop.store(true);
+    ticker.join();
+    EXPECT_GE(alerts.evaluations(), static_cast<std::uint64_t>(kDays));
+    // 200 active addresses < 1e6: firing since the first seal, and no
+    // tick evaluation may have flapped it (a missing sample freezes).
+    EXPECT_EQ(alerts.firing_count(), 1u);
 }
 
 }  // namespace

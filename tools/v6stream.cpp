@@ -40,6 +40,7 @@
 #include <csignal>
 #include <ctime>
 #include <filesystem>
+#include <memory>
 #include <thread>
 
 #include "tool_common.h"
@@ -133,13 +134,17 @@ std::string alert_detail(const obs::alert_rule& r) {
     return out;
 }
 
-/// The alert sampler both evaluation sites share: live derived series
-/// by registry metric name + label.
+/// The wall-clock tick's alert sampler: live derived series by registry
+/// metric name + label. The engine view is snapshotted *once, here* —
+/// never from inside evaluate(), which holds the alert mutex: the roll
+/// thread's seal path also calls evaluate(), so a sampler that locked
+/// the engine under the alert mutex would invert the lock order against
+/// a concurrent seal and deadlock the daemon.
 obs::alert_engine::sampler live_sampler(const stream_engine& engine) {
-    return [&engine](const std::string& series,
-                     const std::string& label) -> std::optional<double> {
-        const live_view lv = engine.live(0);
-        for (const live_series_view& v : lv.series)
+    auto lv = std::make_shared<const live_view>(engine.live(0));
+    return [lv](const std::string& series,
+                const std::string& label) -> std::optional<double> {
+        for (const live_series_view& v : lv->series)
             if (v.metric == series && v.label == label && !v.history.empty())
                 return v.current;
         return std::nullopt;
