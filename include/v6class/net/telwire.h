@@ -1,0 +1,499 @@
+// telwire.h — the V6TEL1 telemetry remote-write format: the unit of
+// exchange between a v6stream collector and a fleet aggregator
+// (v6::obs::federate). Where v6wire (wire.h) carries *observations*
+// toward a classifier, V6TEL1 carries *telemetry about a classifier* —
+// metric snapshots, seal-derived series, serialized HLL/P² sketches,
+// and leveled events — toward an aggregator that merges N nodes into
+// one fleet view.
+//
+// Telemetry rides TCP, not UDP: a sketch frame is ~48 KiB (three
+// precision-14 HLL register arrays) and the fleet union is only exact
+// if every register array arrives intact, so the transport must not
+// silently drop or truncate. Frames are length-prefixed on the stream:
+//
+//     u32 len (LE)  |  payload (len bytes)
+//
+// Payload layout (all multi-byte integers little-endian):
+//
+//     offset  size  field
+//     ------  ----  --------------------------------------------
+//          0     6  magic      "V6TEL1"
+//          6     1  version    kTelVersion (1)
+//          7     1  kind       1 status, 2 series, 3 sketches, 4 events
+//          8     8  seq        per-node monotone frame sequence (u64)
+//         16     2  node_len   sender identity length (u16, 1..256)
+//         18     N  node       sender identity bytes
+//        18+N        body      kind-specific (below)
+//
+// Every frame is self-contained — it carries the node identity — so the
+// decoder is stateless across frames and an aggregator can attribute a
+// frame without per-connection handshakes. Bodies:
+//
+//     status   u64 records | i64 open_day | i64 sealed_day | f64 unix_time
+//     series   u32 count, then count × { u16 name_len, name,
+//              u16 label_len, label, i64 ts, f64 value }
+//     sketches i64 day | u8 count, then count × { u8 id, u8 stype,
+//              u32 payload_len, payload }   (payload: sketch.h wire form)
+//     events   u32 count, then count × { f64 unix_time, u8 level_len,
+//              level, u16 kind_len, kind, u16 msg_len, msg, u16 nfields,
+//              then nfields × { u16 key_len, key, u16 val_len, val } }
+//
+// Like wire.h, decode never throws and never reads out of bounds; every
+// rejection increments exactly one per-reason counter. The length
+// prefix is trusted only after a bounds check (kTelMaxFrame), and a bad
+// prefix is fatal for the connection — a byte stream cannot be resynced
+// once framing is lost — while a well-framed-but-malformed payload is
+// counted and skipped with the stream still aligned.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace v6::net {
+
+inline constexpr std::uint8_t kTelMagic[6] = {'V', '6', 'T', 'E', 'L', '1'};
+inline constexpr std::uint8_t kTelVersion = 1;
+inline constexpr std::size_t kTelHeaderSize = 18;
+/// Hard ceiling on one frame's payload: generous for a sketch frame
+/// (~48 KiB at precision 14) yet small enough that a garbage length
+/// prefix cannot make the aggregator buffer unbounded input.
+inline constexpr std::size_t kTelMaxFrame = 4u << 20;
+/// Node identities are operator-chosen short names, not documents.
+inline constexpr std::size_t kTelMaxNode = 256;
+
+enum : std::uint8_t {
+    kTelKindStatus = 1,
+    kTelKindSeries = 2,
+    kTelKindSketches = 3,
+    kTelKindEvents = 4,
+};
+
+/// Which engine sketch a tel_sketch entry carries.
+enum : std::uint8_t {
+    kTelSketchDayAddresses = 1,
+    kTelSketchDay48s = 2,
+    kTelSketchDay64s = 3,
+    kTelSketchHitsP50 = 4,
+    kTelSketchHitsP99 = 5,
+};
+
+/// Serialization family of a tel_sketch payload (see obs/sketch.h).
+enum : std::uint8_t {
+    kTelSketchTypeHll = 1,
+    kTelSketchTypeP2 = 2,
+};
+
+/// kind 1: a node heartbeat — enough for last-seen/lag tracking.
+struct tel_status {
+    std::uint64_t records = 0;  ///< records ingested since node start
+    std::int64_t open_day = 0;  ///< day currently being ingested (-1 none)
+    std::int64_t sealed_day = 0;  ///< newest sealed day (-1 none)
+    double unix_time = 0.0;       ///< sender wall clock at send
+};
+
+/// kind 2 element: one point of one named series.
+struct tel_sample {
+    std::string name;
+    std::string label;  ///< "" or "key=value" as the tsdb stores it
+    std::int64_t ts = 0;
+    double value = 0.0;
+};
+
+/// kind 3 element: one serialized sketch (obs/sketch.h wire form).
+struct tel_sketch {
+    std::uint8_t id = 0;     ///< kTelSketch* identity
+    std::uint8_t stype = 0;  ///< kTelSketchType*
+    std::vector<std::uint8_t> payload;
+};
+
+/// kind 4 element: one leveled event, pre-rendered strings.
+struct tel_event {
+    double unix_time = 0.0;
+    std::string level;
+    std::string kind;
+    std::string message;
+    std::vector<std::pair<std::string, std::string>> fields;
+};
+
+/// One decoded frame. `kind` selects which body member is meaningful.
+struct tel_frame {
+    std::uint8_t kind = 0;
+    std::uint64_t seq = 0;
+    std::string node;
+    tel_status status{};               ///< kind == kTelKindStatus
+    std::vector<tel_sample> samples;   ///< kind == kTelKindSeries
+    std::int64_t sketch_day = 0;       ///< kind == kTelKindSketches
+    std::vector<tel_sketch> sketches;  ///< kind == kTelKindSketches
+    std::vector<tel_event> events;     ///< kind == kTelKindEvents
+};
+
+/// Why a frame was rejected. Mirrors wire_decode_stats: decode
+/// increments exactly one reject counter per rejection.
+struct tel_decode_stats {
+    std::uint64_t frames = 0;        ///< well-formed frames accepted
+    std::uint64_t short_frame = 0;   ///< payload shorter than the header
+    std::uint64_t bad_magic = 0;     ///< magic mismatch
+    std::uint64_t bad_version = 0;   ///< version != kTelVersion
+    std::uint64_t bad_kind = 0;      ///< kind outside [1, 4]
+    std::uint64_t bad_node = 0;      ///< node_len 0, > kTelMaxNode, or past end
+    std::uint64_t truncated = 0;     ///< body promises more bytes than present
+    std::uint64_t trailing = 0;      ///< payload longer than its body
+    std::uint64_t oversized = 0;     ///< stream length prefix > kTelMaxFrame
+    std::uint64_t seq_gaps = 0;      ///< frames presumed lost (gap sum)
+    std::uint64_t seq_reorder = 0;   ///< frames behind the high-water seq
+
+    std::uint64_t rejected() const noexcept {
+        return short_frame + bad_magic + bad_version + bad_kind + bad_node +
+               truncated + trailing + oversized;
+    }
+};
+
+namespace teldetail {
+
+inline void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline void put_f64(std::vector<std::uint8_t>& out, double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    put_u64(out, bits);
+}
+
+inline std::uint16_t get_u16(const std::uint8_t* p) noexcept {
+    return static_cast<std::uint16_t>(p[0] | (std::uint16_t{p[1]} << 8));
+}
+
+inline std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+    return v;
+}
+
+inline std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+    return v;
+}
+
+inline double get_f64(const std::uint8_t* p) noexcept {
+    const std::uint64_t bits = get_u64(p);
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+}
+
+/// Bounds-checked sequential reader over one frame payload. Every get_*
+/// checks remaining bytes first and latches `ok` false on underrun, so
+/// a parse can run to completion branch-free and be validated once.
+struct cursor {
+    const std::uint8_t* p;
+    std::size_t left;
+    bool ok = true;
+
+    bool take(std::size_t n) noexcept {
+        if (!ok || left < n) return ok = false;
+        return true;
+    }
+    std::uint8_t get_u8() noexcept {
+        if (!take(1)) return 0;
+        const std::uint8_t v = *p;
+        p += 1, left -= 1;
+        return v;
+    }
+    std::uint16_t get16() noexcept {
+        if (!take(2)) return 0;
+        const std::uint16_t v = get_u16(p);
+        p += 2, left -= 2;
+        return v;
+    }
+    std::uint32_t get32() noexcept {
+        if (!take(4)) return 0;
+        const std::uint32_t v = get_u32(p);
+        p += 4, left -= 4;
+        return v;
+    }
+    std::uint64_t get64() noexcept {
+        if (!take(8)) return 0;
+        const std::uint64_t v = get_u64(p);
+        p += 8, left -= 8;
+        return v;
+    }
+    double getf() noexcept {
+        if (!take(8)) return 0.0;
+        const double v = get_f64(p);
+        p += 8, left -= 8;
+        return v;
+    }
+    std::string get_string(std::size_t n) noexcept {
+        if (!take(n)) return {};
+        std::string s(reinterpret_cast<const char*>(p), n);
+        p += n, left -= n;
+        return s;
+    }
+    std::vector<std::uint8_t> get_bytes(std::size_t n) noexcept {
+        if (!take(n)) return {};
+        std::vector<std::uint8_t> b(p, p + n);
+        p += n, left -= n;
+        return b;
+    }
+};
+
+}  // namespace teldetail
+
+/// Encodes telemetry frames for one node, stamping a monotone sequence
+/// number. Each encode_* appends `u32 len | payload` — the exact bytes
+/// to write to the TCP stream — to `out` (cleared first). One encoder
+/// per sender connection.
+class tel_encoder {
+public:
+    explicit tel_encoder(std::string node) : node_(std::move(node)) {
+        if (node_.empty()) node_ = "node";
+        if (node_.size() > kTelMaxNode) node_.resize(kTelMaxNode);
+    }
+
+    const std::string& node() const noexcept { return node_; }
+    std::uint64_t next_seq() const noexcept { return seq_; }
+
+    void encode_status(const tel_status& s, std::vector<std::uint8_t>& out) {
+        begin(kTelKindStatus, out);
+        teldetail::put_u64(out, s.records);
+        teldetail::put_u64(out, static_cast<std::uint64_t>(s.open_day));
+        teldetail::put_u64(out, static_cast<std::uint64_t>(s.sealed_day));
+        teldetail::put_f64(out, s.unix_time);
+        finish(out);
+    }
+
+    void encode_series(const std::vector<tel_sample>& samples,
+                       std::vector<std::uint8_t>& out) {
+        begin(kTelKindSeries, out);
+        teldetail::put_u32(out, static_cast<std::uint32_t>(samples.size()));
+        for (const tel_sample& s : samples) {
+            put_str16(out, s.name);
+            put_str16(out, s.label);
+            teldetail::put_u64(out, static_cast<std::uint64_t>(s.ts));
+            teldetail::put_f64(out, s.value);
+        }
+        finish(out);
+    }
+
+    void encode_sketches(std::int64_t day,
+                         const std::vector<tel_sketch>& sketches,
+                         std::vector<std::uint8_t>& out) {
+        begin(kTelKindSketches, out);
+        teldetail::put_u64(out, static_cast<std::uint64_t>(day));
+        out.push_back(static_cast<std::uint8_t>(sketches.size()));
+        for (const tel_sketch& s : sketches) {
+            out.push_back(s.id);
+            out.push_back(s.stype);
+            teldetail::put_u32(out,
+                               static_cast<std::uint32_t>(s.payload.size()));
+            out.insert(out.end(), s.payload.begin(), s.payload.end());
+        }
+        finish(out);
+    }
+
+    void encode_events(const std::vector<tel_event>& events,
+                       std::vector<std::uint8_t>& out) {
+        begin(kTelKindEvents, out);
+        teldetail::put_u32(out, static_cast<std::uint32_t>(events.size()));
+        for (const tel_event& e : events) {
+            teldetail::put_f64(out, e.unix_time);
+            put_str8(out, e.level);
+            put_str16(out, e.kind);
+            put_str16(out, e.message);
+            teldetail::put_u16(out,
+                               static_cast<std::uint16_t>(e.fields.size()));
+            for (const auto& [k, v] : e.fields) {
+                put_str16(out, k);
+                put_str16(out, v);
+            }
+        }
+        finish(out);
+    }
+
+private:
+    void begin(std::uint8_t kind, std::vector<std::uint8_t>& out) {
+        out.clear();
+        teldetail::put_u32(out, 0);  // length prefix, patched by finish()
+        out.insert(out.end(), kTelMagic, kTelMagic + sizeof kTelMagic);
+        out.push_back(kTelVersion);
+        out.push_back(kind);
+        teldetail::put_u64(out, seq_++);
+        put_str16(out, node_);
+    }
+
+    void finish(std::vector<std::uint8_t>& out) {
+        const auto len = static_cast<std::uint32_t>(out.size() - 4);
+        for (int i = 0; i < 4; ++i)
+            out[static_cast<std::size_t>(i)] =
+                static_cast<std::uint8_t>(len >> (8 * i));
+    }
+
+    static void put_str8(std::vector<std::uint8_t>& out,
+                         const std::string& s) {
+        const std::size_t n = std::min<std::size_t>(s.size(), 255);
+        out.push_back(static_cast<std::uint8_t>(n));
+        out.insert(out.end(), s.data(), s.data() + n);
+    }
+
+    static void put_str16(std::vector<std::uint8_t>& out,
+                          const std::string& s) {
+        const std::size_t n = std::min<std::size_t>(s.size(), 65535);
+        teldetail::put_u16(out, static_cast<std::uint16_t>(n));
+        out.insert(out.end(), s.data(), s.data() + n);
+    }
+
+    std::string node_;
+    std::uint64_t seq_ = 0;
+};
+
+/// Outcome of tel_decoder::pull on a stream reassembly buffer.
+enum class tel_pull {
+    frame,      ///< one frame decoded into `out`; call again
+    need_more,  ///< buffer holds no complete frame yet; read more bytes
+    reject,     ///< a complete frame was malformed (counted); stream OK
+    fatal,      ///< framing itself is broken; drop the connection
+};
+
+/// Decodes V6TEL1 frames. decode() handles one already-extracted
+/// payload; pull() additionally handles TCP stream reassembly against a
+/// caller-owned buffer. Sequence-gap accounting uses the decoder's
+/// high-water mark across calls, so use one decoder per connection.
+class tel_decoder {
+public:
+    /// Decodes one frame payload (no length prefix). True: `out` is
+    /// filled and stats.frames incremented. False: exactly one reject
+    /// counter incremented, `out` unspecified.
+    bool decode(const std::uint8_t* data, std::size_t len, tel_frame& out) {
+        if (len < kTelHeaderSize) return ++stats_.short_frame, false;
+        if (std::memcmp(data, kTelMagic, sizeof kTelMagic) != 0)
+            return ++stats_.bad_magic, false;
+        if (data[6] != kTelVersion) return ++stats_.bad_version, false;
+        const std::uint8_t kind = data[7];
+        if (kind < kTelKindStatus || kind > kTelKindEvents)
+            return ++stats_.bad_kind, false;
+        const std::uint64_t seq = teldetail::get_u64(data + 8);
+        const std::uint16_t node_len = teldetail::get_u16(data + 16);
+        if (node_len == 0 || node_len > kTelMaxNode ||
+            kTelHeaderSize + node_len > len)
+            return ++stats_.bad_node, false;
+
+        teldetail::cursor c{data + kTelHeaderSize, len - kTelHeaderSize};
+        out = tel_frame{};
+        out.kind = kind;
+        out.seq = seq;
+        out.node = c.get_string(node_len);
+        switch (kind) {
+            case kTelKindStatus:
+                out.status.records = c.get64();
+                out.status.open_day = static_cast<std::int64_t>(c.get64());
+                out.status.sealed_day = static_cast<std::int64_t>(c.get64());
+                out.status.unix_time = c.getf();
+                break;
+            case kTelKindSeries: {
+                const std::uint32_t count = c.get32();
+                // An honest count never promises more entries than the
+                // remaining bytes could hold (>= 20 B each) — reject
+                // before reserving memory for a lying header.
+                if (count > c.left / 20) { c.ok = false; break; }
+                out.samples.reserve(count);
+                for (std::uint32_t i = 0; c.ok && i < count; ++i) {
+                    tel_sample s;
+                    s.name = c.get_string(c.get16());
+                    s.label = c.get_string(c.get16());
+                    s.ts = static_cast<std::int64_t>(c.get64());
+                    s.value = c.getf();
+                    out.samples.push_back(std::move(s));
+                }
+                break;
+            }
+            case kTelKindSketches: {
+                out.sketch_day = static_cast<std::int64_t>(c.get64());
+                const std::uint8_t count = c.get_u8();
+                out.sketches.reserve(count);
+                for (std::uint8_t i = 0; c.ok && i < count; ++i) {
+                    tel_sketch s;
+                    s.id = c.get_u8();
+                    s.stype = c.get_u8();
+                    s.payload = c.get_bytes(c.get32());
+                    out.sketches.push_back(std::move(s));
+                }
+                break;
+            }
+            case kTelKindEvents: {
+                const std::uint32_t count = c.get32();
+                if (count > c.left / 15) { c.ok = false; break; }
+                out.events.reserve(count);
+                for (std::uint32_t i = 0; c.ok && i < count; ++i) {
+                    tel_event e;
+                    e.unix_time = c.getf();
+                    e.level = c.get_string(c.get_u8());
+                    e.kind = c.get_string(c.get16());
+                    e.message = c.get_string(c.get16());
+                    const std::uint16_t nfields = c.get16();
+                    for (std::uint16_t f = 0; c.ok && f < nfields; ++f) {
+                        std::string k = c.get_string(c.get16());
+                        std::string v = c.get_string(c.get16());
+                        e.fields.emplace_back(std::move(k), std::move(v));
+                    }
+                    out.events.push_back(std::move(e));
+                }
+                break;
+            }
+        }
+        if (!c.ok) return ++stats_.truncated, false;
+        if (c.left != 0) return ++stats_.trailing, false;
+
+        ++stats_.frames;
+        if (seen_any_) {
+            if (seq > high_seq_ + 1) stats_.seq_gaps += seq - high_seq_ - 1;
+            else if (seq <= high_seq_) ++stats_.seq_reorder;
+        }
+        if (!seen_any_ || seq > high_seq_) high_seq_ = seq;
+        seen_any_ = true;
+        return true;
+    }
+
+    /// Extracts the next length-prefixed frame from `buffer` (a TCP
+    /// reassembly buffer; consumed bytes are erased). Call in a loop
+    /// until need_more. fatal means the length prefix itself is
+    /// untrustworthy — close the connection; there is no resync.
+    tel_pull pull(std::vector<std::uint8_t>& buffer, tel_frame& out) {
+        if (buffer.size() < 4) return tel_pull::need_more;
+        const std::uint32_t len = teldetail::get_u32(buffer.data());
+        if (len > kTelMaxFrame || len < kTelHeaderSize) {
+            ++stats_.oversized;
+            return tel_pull::fatal;
+        }
+        if (buffer.size() < 4 + std::size_t{len}) return tel_pull::need_more;
+        const bool good = decode(buffer.data() + 4, len, out);
+        buffer.erase(buffer.begin(),
+                     buffer.begin() + 4 + static_cast<std::ptrdiff_t>(len));
+        return good ? tel_pull::frame : tel_pull::reject;
+    }
+
+    const tel_decode_stats& stats() const noexcept { return stats_; }
+
+private:
+    tel_decode_stats stats_;
+    std::uint64_t high_seq_ = 0;
+    bool seen_any_ = false;
+};
+
+}  // namespace v6::net

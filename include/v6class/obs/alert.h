@@ -19,13 +19,18 @@
 //   below=<x>         condition: sample < x
 //   delta=<f>         condition: |v - prev| / max(|prev|, 1e-9) > f
 //   absent=<n>        condition: no sample for n consecutive evaluations
+//   node=<id>         fleet sugar: collector-absence rule. Expands to
+//                     series=v6fleet_node_up label=node=<id> absent=1,
+//                     sampled by the federation aggregator (which
+//                     returns "no sample" for a stale or unknown node),
+//                     so a silent collector fires within one hold-down
 //   for=<n>           hold-down: condition must hold for n further
 //                     evaluations after entering pending (default 0 —
 //                     pending and firing on the same evaluation)
 //   level=<l>         severity of raised events: info|warn|error
 //                     (default warn)
 //
-// Exactly one of above/below/delta/absent/event per rule.
+// Exactly one of above/below/delta/absent/event/node per rule.
 //
 // State machine (per rule):
 //

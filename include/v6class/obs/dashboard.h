@@ -50,6 +50,17 @@ struct dashboard_alert {
     bool has_value = false;
 };
 
+/// One row of the fleet panel (v6agg: one federated collector).
+struct dashboard_node {
+    std::string name;
+    bool fresh = false;           ///< pushed within the staleness window
+    double age_seconds = 0;       ///< since the last frame
+    std::int64_t sealed_day = -1;  ///< node's newest sealed day (-1 none)
+    std::uint64_t records = 0;    ///< node-reported ingest count
+    std::uint64_t frames = 0;     ///< frames accepted from the node
+    std::string detail;           ///< free-form, e.g. "3 seq gaps"
+};
+
 /// One headline stat (records, epoch, distinct counts, ...).
 struct dashboard_stat {
     std::string name;
@@ -73,6 +84,9 @@ struct dashboard_model {
     std::vector<dashboard_alert> alerts;   ///< alert panel (omitted if empty
                                            ///< and !show_alerts)
     bool show_alerts = false;  ///< render the (empty) panel anyway
+    std::vector<dashboard_node> nodes;     ///< fleet panel (omitted if empty
+                                           ///< and !show_nodes)
+    bool show_nodes = false;   ///< render the (empty) fleet panel anyway
     std::vector<event> events;             ///< recent, oldest first
     unsigned refresh_seconds = 2;          ///< meta-refresh cadence (0 = off)
 };

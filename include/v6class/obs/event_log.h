@@ -96,6 +96,14 @@ public:
     /// then (obs_exporter checks this).
     bool file_enabled() const;
 
+    /// Rotations performed so far (also the _rotations_total counter
+    /// when a registry was bound).
+    std::uint64_t rotations() const;
+
+    /// Bytes in the current streaming file (0 without streaming mode;
+    /// also the v6class_event_log_file_bytes gauge when bound).
+    std::uint64_t file_bytes() const;
+
     /// Every retained event as JSON lines (one object per line).
     std::string json_lines() const;
 
@@ -120,7 +128,9 @@ private:
     std::string file_path_;
     std::uint64_t file_max_bytes_ = 0;
     std::uint64_t file_bytes_ = 0;
+    std::uint64_t rotation_count_ = 0;
     counter rotations_;
+    gauge file_bytes_gauge_;
 };
 
 }  // namespace v6::obs

@@ -88,6 +88,20 @@ public:
         handlers_[path] = std::move(fn);
     }
 
+    /// Bound on how long the acceptor thread waits for a client's
+    /// request head before giving up on the connection. The server is
+    /// one thread handling one connection at a time, so without this a
+    /// client that connects and sends nothing wedges every subsequent
+    /// scrape. Set before start(); tests shrink it.
+    void set_read_timeout(std::chrono::milliseconds timeout) {
+        read_timeout_ = timeout;
+    }
+
+    /// Hard cap on the request head (kMaxRequestBytes): a client
+    /// streaming an endless header line gets a 400, not unbounded
+    /// buffering.
+    static constexpr std::size_t kMaxRequestBytes = 8192;
+
     /// The /healthz "status" value. start() sets "serving"; a daemon
     /// sets "draining" when it begins an ordered shutdown so probes
     /// stop routing to it while the open day seals.
@@ -117,6 +131,7 @@ private:
     std::function<std::string()> dashboard_;
     std::map<std::string, std::function<http_reply(const query_params&)>>
         handlers_;
+    std::chrono::milliseconds read_timeout_{5000};
     mutable std::mutex state_mutex_;
     std::string state_ = "starting";
     std::chrono::steady_clock::time_point started_{};

@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 namespace v6::obs {
@@ -48,6 +49,23 @@ public:
 
     unsigned precision() const noexcept { return precision_; }
     std::size_t register_count() const noexcept { return registers_.size(); }
+    const std::vector<std::uint8_t>& registers() const noexcept {
+        return registers_;
+    }
+
+    /// Appends the wire form — `u8 precision | 2^precision register
+    /// bytes` — to `out`. Deserializing the result reproduces this
+    /// sketch bit-for-bit, so serialized sketches can cross process
+    /// boundaries and still union exactly (see v6::obs::federate).
+    void serialize(std::vector<std::uint8_t>& out) const;
+
+    /// Parses exactly one serialized sketch occupying the whole buffer.
+    /// Rejects (nullopt) an out-of-range precision, a short or oversized
+    /// buffer, or a register value that add() could never produce.
+    static std::optional<hyperloglog> deserialize(const std::uint8_t* data,
+                                                  std::size_t size);
+
+    bool operator==(const hyperloglog&) const = default;
 
 private:
     unsigned precision_;
@@ -71,6 +89,19 @@ public:
     double quantile() const noexcept { return q_; }
     std::uint64_t count() const noexcept { return count_; }
     void reset() noexcept;
+
+    /// Appends the complete marker state (q, count, then the four
+    /// five-element marker arrays as LE doubles) to `out`. Unlike HLL
+    /// there is no exact union for P² state, so the wire form's job is
+    /// a faithful round-trip: deserialize(serialize(x)) == x.
+    void serialize(std::vector<std::uint8_t>& out) const;
+
+    /// Parses exactly one serialized estimator occupying the whole
+    /// buffer; rejects a wrong-sized buffer or a q outside (0, 1).
+    static std::optional<p2_quantile> deserialize(const std::uint8_t* data,
+                                                  std::size_t size);
+
+    bool operator==(const p2_quantile&) const = default;
 
 private:
     double q_;

@@ -59,6 +59,10 @@
 #include "v6class/obs/event_log.h"
 #include "v6class/obs/metrics.h"
 
+namespace v6::obs {
+class metrics_server;  // http.h; the history API mounts onto it
+}  // namespace v6::obs
+
 namespace v6::obs::tsdb {
 
 /// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over a byte range —
@@ -114,6 +118,19 @@ struct stored_event {
 /// value = mean of the bucket, one output point per non-empty bucket
 /// (oldest first). step <= 1 returns the input unchanged.
 std::vector<point> downsample(const std::vector<point>& pts, std::int64_t step);
+
+class database;
+
+/// Mounts the read-only history API onto an HTTP server (call before
+/// server.start(); `db` must outlive it):
+///
+///   GET /api/series                              the series directory
+///   GET /api/series?name=...&label=...&from=...&to=...&step=...
+///   GET /api/events?level=...&from=...&to=...&limit=...
+///
+/// Shared by v6stream (its own flight recorder) and v6agg (the fleet
+/// store, where per-node series carry node=<id> labels).
+void register_history_api(metrics_server& server, const database* db);
 
 class database {
 public:

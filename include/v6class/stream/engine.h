@@ -34,6 +34,7 @@
 #include "v6class/obs/alert.h"
 #include "v6class/obs/drift.h"
 #include "v6class/obs/event_log.h"
+#include "v6class/obs/federate.h"
 #include "v6class/obs/metrics.h"
 #include "v6class/obs/tsdb.h"
 #include "v6class/obs/sketch.h"
@@ -109,6 +110,14 @@ struct stream_config {
     /// values with no engine lock held, so other evaluate() callers
     /// (the wall-clock tick) may sample the engine without deadlock.
     obs::alert_engine* alerts = nullptr;
+
+    /// Telemetry push hook (v6stream --push). When set, the roll thread
+    /// invokes it after each seal's live update with a seal_snapshot —
+    /// the seal-derived series points plus copies of the merged day
+    /// sketches — holding no engine lock, so the hook may serialize and
+    /// send over the network freely. A slow hook delays the next
+    /// report, never ingest.
+    obs::federate::seal_fn federate{};
 };
 
 /// Feed-side and sealed-side counters: a thin view over the engine's
@@ -351,6 +360,18 @@ private:
     obs::p2_quantile hits_p50_{0.5}, hits_p99_{0.99};
     std::atomic<double> hits_p50_pub_{0.0}, hits_p99_pub_{0.0};
     std::uint64_t quantile_tick_ = 0;  // push_mutex_; 1-in-N sampler
+
+    /// Federation state (meaningful only when cfg_.federate is set).
+    /// The merged day sketches are retained here by merge_day_sketches
+    /// instead of being discarded after estimate() — roll thread only.
+    /// The P² estimator snapshots cross a thread boundary (pusher →
+    /// roll), so they travel through their own small mutex, copied at
+    /// each day boundary in broadcast_seal_locked; the atomics above
+    /// only publish the scalar values, not the marker state a federated
+    /// aggregator receives.
+    obs::hyperloglog fed_day_addresses_{4}, fed_day_48s_{4}, fed_day_64s_{4};
+    mutable std::mutex p2_snap_mutex_;
+    obs::p2_quantile p2_snap_p50_{0.5}, p2_snap_p99_{0.99};
 
     /// One live derived series: the registry gauge, the dashboard's
     /// ring history, and its drift detector. All guarded by live_mutex_

@@ -60,13 +60,35 @@ for preset in "${presets[@]}"; do
             rm -f "BENCH_${name}".fresh*.json "BENCH_${name}.merged.json"
             return 1
         }
-        bench_gate substrate ./build/bench/micro_substrate
-        # The network ingest front end (wire codec, enrichment lookup,
-        # collector-equivalent ingest path).
-        bench_gate wire ./build/bench/micro_wire_ingest
-        # The durable flight recorder (append/commit, recovery, range
-        # reads, and the seal-flush overhead on full stream ingest).
-        bench_gate tsdb ./build/bench/micro_tsdb
+        # Every committed BENCH_*.json baseline gates its benchmark; the
+        # binary is resolved by which bench source names that baseline
+        # dump, so adding a gated benchmark is: write bench/micro_X.cpp
+        # mentioning BENCH_X.json, run it once, commit the baseline.
+        for baseline in BENCH_*.json; do
+            name=${baseline#BENCH_}
+            name=${name%.json}
+            src=$(grep -l "BENCH_${name}\\.json" bench/*.cpp)
+            if [ "$(printf '%s\n' "${src}" | wc -l)" -ne 1 ]; then
+                echo "bench gate: ${baseline} maps to [${src}]," \
+                     "want exactly one bench source" >&2
+                exit 1
+            fi
+            bench_gate "${name}" "./build/bench/$(basename "${src}" .cpp)"
+        done
+        # The federation overhead claim, gated on the min-merged numbers
+        # the gate just wrote back: pushing every seal to a loopback
+        # aggregator must cost <5% of bare full-stream ingest.
+        python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_federate.json"))
+t = {m["labels"]["benchmark"]: m["value"]
+     for m in doc["metrics"] if m["name"] == "v6_bench_benchmark_seconds"}
+bare = t["BM_stream_with_push/0/real_time"]
+push = t["BM_stream_with_push/1/real_time"]
+assert push <= bare * 1.05, \
+    f"federate push overhead {push / bare - 1:+.1%} exceeds the 5% budget"
+print(f"federate push overhead ok: {push / bare - 1:+.1%} vs bare ingest")
+EOF
 
         # Collector smoke: the real binaries end to end over loopback
         # UDP — v6synth records a wire capture, v6stream listens on an
@@ -185,6 +207,125 @@ EOF
         grep -q '"alerts":{"firing":' "${smoke}/healthz.json"
         rm -rf "${smoke}"
         echo "restart-resume smoke passed"
+
+        # Federation smoke: v6agg + two v6stream pushers end to end on
+        # loopback. Both collectors replay the SAME capture, so each
+        # node's day sketch equals the other's and the fleet union must
+        # equal either one exactly — the global estimate matching a
+        # per-node estimate IS the exact-union check, to the last digit.
+        # Killing one pusher must then drive its node-absence alert to
+        # firing within one staleness window + hold-down.
+        echo "=== federation smoke: v6agg + two pushers e2e ==="
+        smoke=$(mktemp -d)
+        ./build/tools/v6synth --wire="${smoke}/feed.v6w" \
+            --first=360 --last=362 --scale=0.02 --seed=7
+        cat >"${smoke}/fleet-alerts.txt" <<'EOF'
+east-gone node=east level=error
+west-gone node=west level=error
+EOF
+        ./build/tools/v6agg --port=0 --metrics-port=0 \
+            --state-dir="${smoke}/fleet" --alerts="${smoke}/fleet-alerts.txt" \
+            --staleness=2 --tick=1 2>"${smoke}/agg.err" &
+        agg_pid=$!
+        agg_port=""
+        agg_http=""
+        for _ in $(seq 1 100); do
+            agg_port=$(sed -n 's/^aggregating on tcp port \([0-9]*\)$/\1/p' \
+                "${smoke}/agg.err")
+            agg_http=$(sed -n \
+                's|^metrics on http://0\.0\.0\.0:\([0-9]*\)/metrics.*|\1|p' \
+                "${smoke}/agg.err")
+            [ -n "${agg_port}" ] && [ -n "${agg_http}" ] && break
+            sleep 0.1
+        done
+        if [ -z "${agg_port}" ] || [ -z "${agg_http}" ]; then
+            kill "${agg_pid}" 2>/dev/null || true
+            echo "federation smoke: v6agg never reported its ports" >&2
+            exit 1
+        fi
+        run_pusher() {  # $1=node-name  $2=err-file
+            ./build/tools/v6stream --listen --shards=2 --tick=1 \
+                --push="127.0.0.1:${agg_port}" --node="$1" \
+                >/dev/null 2>"$2" &
+            pusher_pid=$!
+            pusher_udp=""
+            for _ in $(seq 1 100); do
+                pusher_udp=$(sed -n \
+                    's/^listening on udp port \([0-9]*\)$/\1/p' "$2")
+                [ -n "${pusher_udp}" ] && return 0
+                sleep 0.1
+            done
+            kill "${pusher_pid}" 2>/dev/null || true
+            echo "federation smoke: pusher $1 never reported its port" >&2
+            exit 1
+        }
+        run_pusher east "${smoke}/east.err"
+        east_pid=${pusher_pid}
+        east_udp=${pusher_udp}
+        run_pusher west "${smoke}/west.err"
+        west_pid=${pusher_pid}
+        west_udp=${pusher_udp}
+        ./build/tools/v6wire send "${smoke}/feed.v6w" ::1 "${east_udp}"
+        ./build/tools/v6wire send "${smoke}/feed.v6w" ::1 "${west_udp}"
+        sleep 1.5  # drain + a tick: both nodes push status and sealed days
+        # Kill east: its shutdown seals (and pushes) the open day 362,
+        # which settles the fleet's day-361 union into the tsdb; then
+        # the staleness window runs out and east-gone must fire.
+        kill -TERM "${east_pid}"
+        wait "${east_pid}"
+        firing=""
+        for _ in $(seq 1 60); do
+            if curl -fsS "http://127.0.0.1:${agg_http}/alerts" \
+                | grep -q '"name":"east-gone","state":"firing"'; then
+                firing=yes
+                break
+            fi
+            sleep 0.25
+        done
+        if [ -z "${firing}" ]; then
+            echo "federation smoke: east-gone never reached firing" >&2
+            curl -fsS "http://127.0.0.1:${agg_http}/alerts" >&2 || true
+            kill "${west_pid}" "${agg_pid}" 2>/dev/null || true
+            exit 1
+        fi
+        curl -fsS "http://127.0.0.1:${agg_http}/api/nodes" \
+            >"${smoke}/nodes.json"
+        fetch_series() {  # $1=name  $2=label  $3=out
+            curl -fsS "http://127.0.0.1:${agg_http}/api/series?name=$1&label=$2" \
+                >"$3"
+        }
+        fetch_series v6fleet_day_distinct_addresses_estimate "" \
+            "${smoke}/global.json"
+        fetch_series v6class_day_distinct_addresses_estimate node%3Deast \
+            "${smoke}/east.json"
+        fetch_series v6class_day_distinct_addresses_estimate node%3Dwest \
+            "${smoke}/west.json"
+        python3 - "${smoke}" <<'EOF'
+import json, sys
+d = sys.argv[1]
+nodes = json.load(open(f"{d}/nodes.json"))
+by = {n["node"]: n for n in nodes["nodes"]}
+assert set(by) == {"east", "west"}, f"registry: {sorted(by)}"
+assert not by["east"]["fresh"], "east should be stale after SIGTERM"
+assert by["west"]["fresh"], "west should still be fresh"
+glob = {p[0]: p[1] for p in json.load(open(f"{d}/global.json"))["points"]}
+east = {p[0]: p[1] for p in json.load(open(f"{d}/east.json"))["points"]}
+west = {p[0]: p[1] for p in json.load(open(f"{d}/west.json"))["points"]}
+assert 361 in glob, f"global day series missing 361: {sorted(glob)}"
+assert east[361] == west[361], "identical feeds must give identical sketches"
+# Identical feeds: union(east, west) == east == west, so the fleet
+# estimate must equal the per-node one EXACTLY — register-level union,
+# not approximate agreement.
+assert glob[361] == east[361], f"union not exact: {glob[361]} vs {east[361]}"
+print(f"federation union exact: day 361 distinct ~= {glob[361]}")
+EOF
+        kill -TERM "${west_pid}"
+        wait "${west_pid}"
+        kill -TERM "${agg_pid}"
+        wait "${agg_pid}"
+        grep -q 'aggregated .* frames (0 rejected)' "${smoke}/agg.err"
+        rm -rf "${smoke}"
+        echo "federation smoke passed"
     fi
 done
 

@@ -96,6 +96,18 @@ std::optional<std::vector<alert_rule>> parse_alert_rules(
                             : key == "delta" ? alert_cond::delta
                                              : alert_cond::absent;
                 ++conditions;
+            } else if (key == "node") {
+                // Fleet sugar: node=<id> expands to an absent-rule over
+                // the aggregator's per-node liveness series, so a rules
+                // file can say "collector-gone node=edge1 for=2" without
+                // spelling the synthetic series name.
+                if (value.empty())
+                    return fail("node= needs a collector id");
+                rule.series = "v6fleet_node_up";
+                rule.label = "node=" + value;
+                rule.cond = alert_cond::absent;
+                rule.threshold = 1;
+                ++conditions;
             } else if (key == "for") {
                 if (!parse_number(value, num) || num < 0)
                     return fail("bad number '" + value + "' for for");
@@ -115,8 +127,9 @@ std::optional<std::vector<alert_rule>> parse_alert_rules(
         }
         if (!named) continue;  // blank / comment-only line
         if (conditions != 1)
-            return fail("rule '" + rule.name +
-                        "' needs exactly one of above/below/delta/absent/event");
+            return fail(
+                "rule '" + rule.name +
+                "' needs exactly one of above/below/delta/absent/event/node");
         if (rule.cond != alert_cond::event && rule.series.empty())
             return fail("rule '" + rule.name + "' needs series=");
         if (rule.cond == alert_cond::absent && rule.threshold < 1)

@@ -70,6 +70,7 @@ const char* kStyle = R"(
  .empty{color:#6d7884;margin:0 20px 24px}
  .charts{display:grid;grid-template-columns:repeat(auto-fill,minmax(460px,1fr));gap:12px;padding:8px 20px 20px}
  .chartlabel{fill:#6d7884;font:10px ui-monospace,monospace}
+ .node-fresh{color:#9fe0b2}.node-stale{color:#f09a8a;font-weight:bold}
  .alert-firing{color:#f09a8a;font-weight:bold}
  .alert-pending{color:#f0cf8a}
  .alert-resolved{color:#9fe0b2}
@@ -272,6 +273,32 @@ std::string render_dashboard(const dashboard_model& model) {
             out += "</div>";
         }
         out += "</div>";
+    }
+
+    if (model.show_nodes || !model.nodes.empty()) {
+        out += "<h2>fleet</h2>";
+        if (model.nodes.empty()) {
+            out += "<p class=\"empty\">no collectors have pushed yet</p>";
+        } else {
+            out += "<table><tr><th>node</th><th>state</th><th>lag</th>"
+                   "<th>sealed day</th><th>records</th><th>frames</th>"
+                   "<th>detail</th></tr>";
+            for (const dashboard_node& n : model.nodes) {
+                out += "<tr><td>" + html_escape(n.name) + "</td>";
+                out += n.fresh ? "<td class=\"node-fresh\">up</td>"
+                               : "<td class=\"node-stale\">stale</td>";
+                out += "<td>" + format_uptime(n.age_seconds) + "</td>";
+                out += "<td>" +
+                       (n.sealed_day < 0 ? std::string("&ndash;")
+                                         : std::to_string(n.sealed_day)) +
+                       "</td>";
+                out += "<td>" + std::to_string(n.records) + "</td>";
+                out += "<td>" + std::to_string(n.frames) + "</td>";
+                out += "<td class=\"fields\">" + html_escape(n.detail) +
+                       "</td></tr>";
+            }
+            out += "</table>";
+        }
     }
 
     if (model.show_alerts || !model.alerts.empty()) {

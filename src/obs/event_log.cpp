@@ -91,6 +91,7 @@ void event_log::log(event_level level, std::string kind, std::string message,
             if (std::fwrite(line.data(), 1, line.size(), file_) == line.size())
                 file_bytes_ += line.size();
             std::fflush(file_);
+            file_bytes_gauge_.set(static_cast<std::int64_t>(file_bytes_));
         }
     }
     events_.push_back(std::move(e));
@@ -105,7 +106,9 @@ void event_log::rotate_file_locked() {
     std::rename(file_path_.c_str(), old.c_str());
     file_ = std::fopen(file_path_.c_str(), "w");
     file_bytes_ = 0;
+    ++rotation_count_;
     rotations_.inc();
+    file_bytes_gauge_.set(0);
     // When the reopen fails (directory vanished) streaming stops; the
     // in-memory log is unaffected.
 }
@@ -120,22 +123,37 @@ bool event_log::enable_file(const std::string& path, std::uint64_t max_bytes,
     file_path_ = path;
     file_max_bytes_ = max_bytes;
     file_bytes_ = 0;
-    if (reg)
+    if (reg) {
         rotations_ = reg->get_counter(
             "v6class_event_log_rotations_total", {},
             "Size-capped rotations of the streaming --events-out file.");
+        file_bytes_gauge_ = reg->get_gauge(
+            "v6class_event_log_file_bytes", {},
+            "Current size of the streaming --events-out file.");
+    }
     for (const event& e : events_) {
         const std::string line = event_json(e) + "\n";
         if (std::fwrite(line.data(), 1, line.size(), file_) == line.size())
             file_bytes_ += line.size();
     }
     std::fflush(file_);
+    file_bytes_gauge_.set(static_cast<std::int64_t>(file_bytes_));
     return true;
 }
 
 bool event_log::file_enabled() const {
     std::lock_guard lock(mutex_);
     return file_ != nullptr;
+}
+
+std::uint64_t event_log::rotations() const {
+    std::lock_guard lock(mutex_);
+    return rotation_count_;
+}
+
+std::uint64_t event_log::file_bytes() const {
+    std::lock_guard lock(mutex_);
+    return file_bytes_;
 }
 
 std::vector<event> event_log::since(std::uint64_t after_seq) const {

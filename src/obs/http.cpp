@@ -191,18 +191,49 @@ void metrics_server::serve_loop() {
             if (errno == EINTR) continue;
             return;
         }
-        // Read the request head: enough to see "GET <path> ...". The
-        // scraper protocol needs nothing past the first line.
+        // One serial acceptor thread means a stalled client would wedge
+        // every later scrape: bound both directions of the socket.
+        timeval tv{};
+        tv.tv_sec = static_cast<time_t>(read_timeout_.count() / 1000);
+        tv.tv_usec =
+            static_cast<suseconds_t>((read_timeout_.count() % 1000) * 1000);
+        ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+        // Read the request head until the first line is complete: enough
+        // to see "GET <path> ...". The scraper protocol needs nothing
+        // past the first line. A head that exceeds kMaxRequestBytes
+        // without one is answered 400; a timeout just drops the
+        // connection.
+        std::string head;
+        bool have_line = false, oversized = false;
         char buf[2048];
-        const ssize_t n = ::recv(client, buf, sizeof buf - 1, 0);
-        if (n > 0) {
-            buf[n] = '\0';
+        for (;;) {
+            const ssize_t n = ::recv(client, buf, sizeof buf, 0);
+            if (n <= 0) break;  // peer closed, error, or SO_RCVTIMEO
+            head.append(buf, static_cast<std::size_t>(n));
+            if (head.find('\n') != std::string::npos) {
+                have_line = true;
+                break;
+            }
+            if (head.size() >= kMaxRequestBytes) {
+                oversized = true;
+                break;
+            }
+        }
+        if (oversized) {
+            send_all(client, http_response("400 Bad Request", "text/plain",
+                                           "request too large\n"));
+            ::close(client);
+            continue;
+        }
+        if (have_line) {
             std::string path;
-            if (std::strncmp(buf, "GET ", 4) == 0) {
-                const char* start = buf + 4;
-                const char* end = start;
-                while (*end && *end != ' ' && *end != '\r' && *end != '\n') ++end;
-                path.assign(start, end);
+            if (head.rfind("GET ", 0) == 0) {
+                std::size_t end = 4;
+                while (end < head.size() && head[end] != ' ' &&
+                       head[end] != '\r' && head[end] != '\n')
+                    ++end;
+                path.assign(head, 4, end - 4);
             }
             // Split "?query" off before routing; only custom handlers
             // consume it.

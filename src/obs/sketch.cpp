@@ -3,10 +3,38 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstring>
 
 namespace v6::obs {
 
 namespace {
+
+/// LE scalar append/read for the sketch wire forms. Doubles travel as
+/// their IEEE-754 bit pattern, so round-trips are bit-exact (including
+/// the sub-five-sample heights P² stores verbatim).
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    put_u64(out, bits);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+    return v;
+}
+
+double get_f64(const std::uint8_t* p) noexcept {
+    const std::uint64_t bits = get_u64(p);
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+}
 
 /// MurmurHash3 fmix64: full-avalanche finalizer so the register index
 /// and the leading-zero rank are independent even when the caller's
@@ -70,6 +98,28 @@ void hyperloglog::merge(const hyperloglog& other) noexcept {
 
 void hyperloglog::reset() noexcept {
     std::fill(registers_.begin(), registers_.end(), std::uint8_t{0});
+}
+
+void hyperloglog::serialize(std::vector<std::uint8_t>& out) const {
+    out.push_back(static_cast<std::uint8_t>(precision_));
+    out.insert(out.end(), registers_.begin(), registers_.end());
+}
+
+std::optional<hyperloglog> hyperloglog::deserialize(const std::uint8_t* data,
+                                                    std::size_t size) {
+    if (size < 1) return std::nullopt;
+    const unsigned precision = data[0];
+    if (precision < 4 || precision > 18) return std::nullopt;
+    const std::size_t m = std::size_t{1} << precision;
+    if (size != 1 + m) return std::nullopt;
+    // add() never writes a rank above 65 - p; anything larger marks a
+    // corrupt or foreign payload, not a sketch we can union with.
+    const auto max_rank = static_cast<std::uint8_t>(65 - precision);
+    for (std::size_t i = 0; i < m; ++i)
+        if (data[1 + i] > max_rank) return std::nullopt;
+    hyperloglog hll(precision);
+    std::copy(data + 1, data + 1 + m, hll.registers_.begin());
+    return hll;
 }
 
 // ---------------------------------------------------------- p2_quantile
@@ -144,6 +194,31 @@ void p2_quantile::observe(double x) noexcept {
             position_[i] += sign;
         }
     }
+}
+
+void p2_quantile::serialize(std::vector<std::uint8_t>& out) const {
+    put_f64(out, q_);
+    put_u64(out, count_);
+    for (const double h : height_) put_f64(out, h);
+    for (const double p : position_) put_f64(out, p);
+    for (const double d : desired_) put_f64(out, d);
+    for (const double i : increment_) put_f64(out, i);
+}
+
+std::optional<p2_quantile> p2_quantile::deserialize(const std::uint8_t* data,
+                                                    std::size_t size) {
+    constexpr std::size_t kWireBytes = 8 * (2 + 4 * 5);
+    if (size != kWireBytes) return std::nullopt;
+    const double q = get_f64(data);
+    if (!(q > 0.0 && q < 1.0)) return std::nullopt;
+    p2_quantile p2(q);
+    p2.count_ = get_u64(data + 8);
+    const std::uint8_t* cursor = data + 16;
+    for (double& h : p2.height_) h = get_f64(cursor), cursor += 8;
+    for (double& p : p2.position_) p = get_f64(cursor), cursor += 8;
+    for (double& d : p2.desired_) d = get_f64(cursor), cursor += 8;
+    for (double& i : p2.increment_) i = get_f64(cursor), cursor += 8;
+    return p2;
 }
 
 double p2_quantile::value() const noexcept {

@@ -8,8 +8,12 @@
 #include <array>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <limits>
+
+#include "v6class/obs/http.h"
 
 namespace v6::obs::tsdb {
 
@@ -823,6 +827,98 @@ database::~database() {
         ::close(active_fd_);
         active_fd_ = -1;
     }
+}
+
+void register_history_api(metrics_server& server, const database* db) {
+    server.add_handler("/api/series", [db](const query_params& q) {
+        http_reply reply;
+        const auto get = [&q](const char* k) {
+            const auto it = q.find(k);
+            return it == q.end() ? std::string() : it->second;
+        };
+        const std::string name = get("name");
+        if (name.empty()) {
+            // No name: the series directory, so a client can discover
+            // what to chart.
+            reply.body = "[";
+            bool first = true;
+            for (const series_info& s : db->list_series()) {
+                reply.body += std::string(first ? "" : ",") + "{\"name\":" +
+                              event_field_string(s.name) + ",\"label\":" +
+                              event_field_string(s.label) + ",\"from\":" +
+                              std::to_string(s.first_ts) + ",\"to\":" +
+                              std::to_string(s.last_ts) + ",\"points\":" +
+                              std::to_string(s.points) + "}";
+                first = false;
+            }
+            reply.body += "]";
+            return reply;
+        }
+        constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+        constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+        const std::string from_s = get("from"), to_s = get("to"),
+                          step_s = get("step");
+        const std::int64_t from =
+            from_s.empty() ? kMin : std::atoll(from_s.c_str());
+        const std::int64_t to = to_s.empty() ? kMax : std::atoll(to_s.c_str());
+        const std::int64_t step =
+            step_s.empty() ? 0 : std::atoll(step_s.c_str());
+        if (step < 0) {
+            reply.status = 400;
+            reply.body = "{\"error\":\"step must be >= 0\"}";
+            return reply;
+        }
+        std::vector<point> pts = db->query(name, get("label"), from, to);
+        if (step > 1) pts = downsample(pts, step);
+        reply.body = "{\"name\":" + event_field_string(name) + ",\"label\":" +
+                     event_field_string(get("label")) + ",\"points\":[";
+        for (std::size_t i = 0; i < pts.size(); ++i)
+            reply.body += std::string(i ? "," : "") + "[" +
+                          std::to_string(pts[i].ts) + "," +
+                          event_field_number(pts[i].value) + "]";
+        reply.body += "]}";
+        return reply;
+    });
+    server.add_handler("/api/events", [db](const query_params& q) {
+        http_reply reply;
+        const auto get = [&q](const char* k) {
+            const auto it = q.find(k);
+            return it == q.end() ? std::string() : it->second;
+        };
+        const std::string level_s = get("level");
+        event_level min_level = event_level::info;
+        if (level_s == "warn")
+            min_level = event_level::warn;
+        else if (level_s == "error")
+            min_level = event_level::error;
+        else if (!level_s.empty() && level_s != "info") {
+            reply.status = 400;
+            reply.body = "{\"error\":\"level must be info|warn|error\"}";
+            return reply;
+        }
+        const std::string from_s = get("from"), to_s = get("to"),
+                          limit_s = get("limit");
+        const double from = from_s.empty() ? -1e300 : std::atof(from_s.c_str());
+        const double to = to_s.empty() ? 1e300 : std::atof(to_s.c_str());
+        const std::size_t limit =
+            limit_s.empty()
+                ? 1024
+                : static_cast<std::size_t>(std::atoll(limit_s.c_str()));
+        reply.body = "[";
+        bool first = true;
+        for (const stored_event& e :
+             db->query_events(min_level, from, to, limit)) {
+            reply.body += std::string(first ? "" : ",") + "{\"time\":" +
+                          event_field_number(e.unix_time) + ",\"level\":\"" +
+                          event_level_name(e.level) + "\",\"kind\":" +
+                          event_field_string(e.kind) + ",\"message\":" +
+                          event_field_string(e.message) + ",\"fields\":" +
+                          (e.fields_json.empty() ? "{}" : e.fields_json) + "}";
+            first = false;
+        }
+        reply.body += "]";
+        return reply;
+    });
 }
 
 }  // namespace v6::obs::tsdb

@@ -288,6 +288,14 @@ void stream_engine::broadcast_seal_locked(int day) {
         // directly; see the member comment).
         hits_p50_pub_.store(hits_p50_.value(), std::memory_order_release);
         hits_p99_pub_.store(hits_p99_.value(), std::memory_order_release);
+        if (cfg_.federate) {
+            // The aggregator receives full marker state, not just the
+            // scalar value; copy the estimators at the day boundary so
+            // the roll thread can snapshot them without push_mutex_.
+            std::lock_guard snap(p2_snap_mutex_);
+            p2_snap_p50_ = hits_p50_;
+            p2_snap_p99_ = hits_p99_;
+        }
     }
     for (unsigned i = 0; i < cfg_.shards; ++i) {
         shard_message msg;
@@ -546,7 +554,16 @@ stream_engine::day_estimates stream_engine::merge_day_sketches() {
         sk.p48s.reset();
         sk.p64s.reset();
     }
-    return {addresses.estimate(), p48s.estimate(), p64s.estimate()};
+    const day_estimates est{addresses.estimate(), p48s.estimate(),
+                            p64s.estimate()};
+    if (cfg_.federate) {
+        // Keep the merged registers: the push hook ships them so the
+        // aggregator's cross-node union is exact, not re-estimated.
+        fed_day_addresses_ = std::move(addresses);
+        fed_day_48s_ = std::move(p48s);
+        fed_day_64s_ = std::move(p64s);
+    }
+    return est;
 }
 
 void stream_engine::update_live(const day_report& report) {
@@ -604,7 +621,7 @@ void stream_engine::update_live(const day_report& report) {
     feed(li_pool_util_, report.pool_utilization);
     feed(li_arena_nodes_, static_cast<double>(report.arena_nodes));
 
-    if (cfg_.alerts || cfg_.tsdb) {
+    if (cfg_.alerts || cfg_.tsdb || cfg_.federate) {
         sampled.reserve(live_.size());
         for (const live_series& s : live_)
             if (s.history.size() > 0)
@@ -642,6 +659,27 @@ void stream_engine::update_live(const day_report& report) {
             tsdb_event_cursor_ = e.seq;
         }
         cfg_.tsdb->commit();
+    }
+
+    // Federation push: the same sampled rows the tsdb records (ts = the
+    // sealed day), plus copies of the merged day sketches, handed to
+    // the hook with no engine lock held.
+    if (cfg_.federate) {
+        obs::federate::seal_snapshot snap;
+        snap.day = report.day;
+        snap.series.reserve(sampled.size());
+        for (const sample_row& s : sampled)
+            snap.series.push_back({s.metric, s.label, report.day, s.value});
+        if (cfg_.sketches) {
+            snap.has_sketches = true;
+            snap.addresses = fed_day_addresses_;
+            snap.p48s = fed_day_48s_;
+            snap.p64s = fed_day_64s_;
+            std::lock_guard p2(p2_snap_mutex_);
+            snap.hits_p50 = p2_snap_p50_;
+            snap.hits_p99 = p2_snap_p99_;
+        }
+        cfg_.federate(snap);
     }
 }
 

@@ -102,6 +102,26 @@ TEST(AlertParseTest, RejectionsNameTheOffendingLine) {
 
 // ---------------------------------------------------------- state machine
 
+TEST(AlertParseTest, NodeSugarExpandsToFleetLivenessAbsence) {
+    const obs::alert_rule r = parse_one("collector-gone node=edge1 for=2");
+    EXPECT_EQ(r.name, "collector-gone");
+    EXPECT_EQ(r.series, "v6fleet_node_up");
+    EXPECT_EQ(r.label, "node=edge1");
+    EXPECT_EQ(r.cond, obs::alert_cond::absent);
+    EXPECT_DOUBLE_EQ(r.threshold, 1);  // one missing eval trips it
+    EXPECT_EQ(r.hold, 2u);
+}
+
+TEST(AlertParseTest, NodeSugarIsACondLikeAnyOther) {
+    std::string error;
+    // node= counts as the rule's one condition...
+    EXPECT_FALSE(obs::parse_alert_rules("a node=x above=1", &error));
+    EXPECT_NE(error.find("exactly one"), std::string::npos) << error;
+    // ...and needs an id.
+    EXPECT_FALSE(obs::parse_alert_rules("a node=", &error));
+    EXPECT_NE(error.find("collector id"), std::string::npos) << error;
+}
+
 TEST(AlertEngineTest, ThresholdFiresImmediatelyWithoutHold) {
     obs::alert_engine eng;
     eng.load_rules({parse_one("hot series=s above=10")});

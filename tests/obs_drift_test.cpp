@@ -233,6 +233,46 @@ TEST(EventLogTest, StreamingFileRotatesAtTheCapAndCountsIt) {
     std::remove((path + ".1").c_str());
 }
 
+TEST(EventLogTest, StreamingHealthIsExportedAsMetrics) {
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "v6_events_gauge.jsonl")
+            .string();
+    std::remove(path.c_str());
+    std::remove((path + ".1").c_str());
+    obs::registry reg;
+    obs::event_log log;
+    EXPECT_EQ(log.rotations(), 0u);
+    EXPECT_EQ(log.file_bytes(), 0u);  // no streaming file yet
+
+    ASSERT_TRUE(log.enable_file(path, 256, &reg));
+    log.log(obs::event_level::info, "tick", "one event");
+    EXPECT_GT(log.file_bytes(), 0u);
+    EXPECT_EQ(log.file_bytes(), std::filesystem::file_size(path));
+
+    // The accessors are mirrored into the registry, so a /metrics
+    // scrape can watch the sink without filesystem access: the current
+    // file size as a gauge, rotations as a counter.
+    std::string text = reg.prometheus_text();
+    const std::string want_gauge =
+        "v6class_event_log_file_bytes " + std::to_string(log.file_bytes());
+    EXPECT_NE(text.find(want_gauge), std::string::npos) << text;
+
+    for (int i = 0; i < 40; ++i)
+        log.log(obs::event_level::info, "tick",
+                "event number " + std::to_string(i));
+    ASSERT_GT(log.rotations(), 0u);
+    text = reg.prometheus_text();
+    EXPECT_NE(text.find("v6class_event_log_rotations_total " +
+                        std::to_string(log.rotations())),
+              std::string::npos)
+        << text;
+    // After a rotation the gauge tracks the fresh file, not the total
+    // ever written.
+    EXPECT_EQ(log.file_bytes(), std::filesystem::file_size(path));
+    std::remove(path.c_str());
+    std::remove((path + ".1").c_str());
+}
+
 // ------------------------------------------------------------ atomic_file
 
 TEST(AtomicFileTest, WritesAndReplacesWholeFiles) {

@@ -260,6 +260,78 @@ TEST_F(ObsHttpTest, BuiltInPathsWinOverHandlers) {
     with_api.stop();
 }
 
+// -------------------------------------------------- request hardening
+
+TEST(ObsHttpHardeningTest, StalledClientCannotWedgeLaterScrapes) {
+    obs::registry reg;
+    reg.get_counter("h_requests_total", {}, "Requests.").inc(1);
+    obs::metrics_server server;
+    server.set_read_timeout(std::chrono::milliseconds(100));
+    std::string error;
+    ASSERT_TRUE(server.start(0, &reg, &error)) << error;
+
+    // Connect and send nothing: the single-threaded acceptor must give
+    // up on us after the read timeout instead of blocking forever.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              0);
+
+    // A well-behaved scrape right behind the stalled one still answers.
+    const std::string response = http_get(server.port(), "/metrics");
+    EXPECT_NE(response.find("200 OK"), std::string::npos);
+    EXPECT_NE(response.find("h_requests_total 1"), std::string::npos);
+    ::close(fd);
+    server.stop();
+}
+
+TEST(ObsHttpHardeningTest, OversizedRequestHeadIsRejectedWith400) {
+    obs::registry reg;
+    obs::metrics_server server;
+    std::string error;
+    ASSERT_TRUE(server.start(0, &reg, &error)) << error;
+
+    // Stream more than kMaxRequestBytes without ever finishing the
+    // request line: the server must answer 400, not buffer forever.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              0);
+    // Exactly the cap, with no '\n' anywhere: the server reads it all
+    // (so its receive queue drains — a clean close, no RST race) and
+    // must then refuse rather than wait for more header bytes.
+    const std::string head(obs::metrics_server::kMaxRequestBytes, 'x');
+    std::size_t sent = 0;
+    while (sent < head.size()) {
+        const ssize_t n = ::send(fd, head.data() + sent, head.size() - sent,
+                                 MSG_NOSIGNAL);
+        if (n <= 0) break;  // server already cut us off — also fine
+        sent += static_cast<std::size_t>(n);
+    }
+    ::shutdown(fd, SHUT_WR);
+    std::string response;
+    char buf[512];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0)
+        response.append(buf, static_cast<std::size_t>(n));
+    ::close(fd);
+    EXPECT_NE(response.find("400"), std::string::npos) << response;
+    EXPECT_NE(response.find("request too large"), std::string::npos);
+
+    // And the server is still healthy afterwards.
+    EXPECT_NE(http_get(server.port(), "/healthz").find("200 OK"),
+              std::string::npos);
+    server.stop();
+}
+
 TEST(ObsHttpStartTest, ReportsBindFailure) {
     obs::registry reg;
     obs::metrics_server a;

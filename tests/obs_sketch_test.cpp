@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "v6class/obs/sketch.h"
@@ -118,6 +119,158 @@ TEST(P2QuantileTest, ConstantStreamIsExact) {
     obs::p2_quantile p90(0.9);
     for (int i = 0; i < 1000; ++i) p90.observe(3.5);
     EXPECT_DOUBLE_EQ(p90.value(), 3.5);
+}
+
+// ------------------------------------------------- wire round-trips
+// The federation contract: a sketch that crosses a process boundary
+// must union exactly as if it had never been serialized.
+
+TEST(HyperLogLogWireTest, RoundTripIsBitForBit) {
+    obs::hyperloglog hll(12);
+    for (std::uint64_t i = 0; i < 5000; ++i) hll.add(i * 2654435761u);
+    std::vector<std::uint8_t> wire;
+    hll.serialize(wire);
+    ASSERT_EQ(wire.size(), 1u + hll.register_count());
+    EXPECT_EQ(wire[0], hll.precision());
+    const auto back = obs::hyperloglog::deserialize(wire.data(), wire.size());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(*back == hll);  // registers, not just estimates
+    EXPECT_EQ(back->estimate(), hll.estimate());
+}
+
+TEST(HyperLogLogWireTest, UnionOfDeserializedEqualsUnionOfOriginals) {
+    obs::hyperloglog a(12), b(12);
+    for (std::uint64_t i = 0; i < 4000; ++i) a.add(i);
+    for (std::uint64_t i = 2000; i < 6000; ++i) b.add(i);
+
+    std::vector<std::uint8_t> wa, wb;
+    a.serialize(wa);
+    b.serialize(wb);
+    auto da = obs::hyperloglog::deserialize(wa.data(), wa.size());
+    const auto db = obs::hyperloglog::deserialize(wb.data(), wb.size());
+    ASSERT_TRUE(da.has_value() && db.has_value());
+
+    obs::hyperloglog direct = a;
+    direct.merge(b);
+    da->merge(*db);
+    // Bit-for-bit: the union commutes with serialization.
+    EXPECT_TRUE(*da == direct);
+    EXPECT_EQ(da->estimate(), direct.estimate());
+}
+
+TEST(HyperLogLogWireTest, EmptySketchRoundTripsAndUnionsAsIdentity) {
+    const obs::hyperloglog empty(10);
+    std::vector<std::uint8_t> wire;
+    empty.serialize(wire);
+    auto back = obs::hyperloglog::deserialize(wire.data(), wire.size());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(*back == empty);
+    EXPECT_EQ(back->estimate(), 0.0);
+
+    // Merging a deserialized empty sketch must not perturb anything.
+    obs::hyperloglog full(10), want(10);
+    for (std::uint64_t i = 0; i < 500; ++i) {
+        full.add(i);
+        want.add(i);
+    }
+    full.merge(*back);
+    EXPECT_TRUE(full == want);
+}
+
+TEST(HyperLogLogWireTest, SingleRegisterSketchRoundTrips) {
+    // One add() populates exactly one register — the smallest non-empty
+    // state, and the one where an off-by-one in the register loop shows.
+    obs::hyperloglog one(4);
+    one.add(0xdeadbeefcafef00dull);
+    std::size_t populated = 0;
+    for (const std::uint8_t r : one.registers()) populated += r != 0;
+    ASSERT_EQ(populated, 1u);
+
+    std::vector<std::uint8_t> wire;
+    one.serialize(wire);
+    auto back = obs::hyperloglog::deserialize(wire.data(), wire.size());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(*back == one);
+
+    obs::hyperloglog merged(4);
+    merged.merge(*back);
+    EXPECT_TRUE(merged == one);
+}
+
+TEST(HyperLogLogWireTest, DeserializeRejectsMalformedBuffers) {
+    obs::hyperloglog hll(6);
+    hll.add(7);
+    std::vector<std::uint8_t> wire;
+    hll.serialize(wire);
+
+    // Precision outside [4, 18].
+    auto bad = wire;
+    bad[0] = 3;
+    EXPECT_FALSE(obs::hyperloglog::deserialize(bad.data(), bad.size()));
+    bad[0] = 19;
+    EXPECT_FALSE(obs::hyperloglog::deserialize(bad.data(), bad.size()));
+    // Buffer shorter / longer than 1 + 2^precision.
+    EXPECT_FALSE(obs::hyperloglog::deserialize(wire.data(), wire.size() - 1));
+    bad = wire;
+    bad.push_back(0);
+    EXPECT_FALSE(obs::hyperloglog::deserialize(bad.data(), bad.size()));
+    EXPECT_FALSE(obs::hyperloglog::deserialize(wire.data(), 0));
+    // A register value add() could never produce (> 65 - precision).
+    bad = wire;
+    bad[1] = 61;  // 65 - 6 = 59 is the ceiling at precision 6
+    EXPECT_FALSE(obs::hyperloglog::deserialize(bad.data(), bad.size()));
+}
+
+TEST(P2QuantileWireTest, ExactPhaseRoundTripsAndKeepsObserving) {
+    obs::p2_quantile median(0.5);
+    median.observe(3.0);
+    median.observe(1.0);  // two samples: still in the exact phase
+    std::vector<std::uint8_t> wire;
+    median.serialize(wire);
+    auto back = obs::p2_quantile::deserialize(wire.data(), wire.size());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(*back == median);
+
+    // The restored estimator continues as the original would.
+    back->observe(9.0);
+    median.observe(9.0);
+    EXPECT_TRUE(*back == median);
+    EXPECT_EQ(back->value(), 3.0);  // median of {1, 3, 9}
+}
+
+TEST(P2QuantileWireTest, MarkerPhaseRoundTripsBitForBit) {
+    obs::p2_quantile p99(0.99);
+    for (int i = 1; i <= 500; ++i) p99.observe(static_cast<double>(i % 97));
+    std::vector<std::uint8_t> wire;
+    p99.serialize(wire);
+    const auto back = obs::p2_quantile::deserialize(wire.data(), wire.size());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(*back == p99);
+    EXPECT_EQ(back->count(), 500u);
+    EXPECT_EQ(back->value(), p99.value());
+}
+
+TEST(P2QuantileWireTest, DeserializeRejectsMalformedBuffers) {
+    obs::p2_quantile p2(0.5);
+    for (int i = 0; i < 20; ++i) p2.observe(i);
+    std::vector<std::uint8_t> wire;
+    p2.serialize(wire);
+
+    EXPECT_FALSE(obs::p2_quantile::deserialize(wire.data(), wire.size() - 1));
+    auto bad = wire;
+    bad.push_back(0);
+    EXPECT_FALSE(obs::p2_quantile::deserialize(bad.data(), bad.size()));
+    EXPECT_FALSE(obs::p2_quantile::deserialize(wire.data(), 0));
+    // q outside (0, 1): patch the leading LE double to 1.5.
+    bad = wire;
+    const double bad_q = 1.5;
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof bad_q);
+    std::memcpy(&bits, &bad_q, sizeof bits);
+    for (int i = 0; i < 8; ++i)
+        bad[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(bits >> (8 * i));
+    EXPECT_FALSE(obs::p2_quantile::deserialize(bad.data(), bad.size()));
 }
 
 }  // namespace

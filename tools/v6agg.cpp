@@ -1,0 +1,435 @@
+// v6agg — the fleet telemetry aggregator: one process that N federated
+// v6stream collectors push V6TEL1 frames to (--push=HOST:PORT on the
+// collector side), turning isolated per-vantage-point telemetry into a
+// fleet view.
+//
+//   v6agg [--port=P] [--metrics-port=P] [--state-dir=DIR]
+//         [--alerts=FILE] [--alerts-notify=CMD] [--staleness=SECONDS]
+//         [--tick=SECONDS] [--keep-days=N]
+//
+// What it maintains:
+//
+//   * a per-node registry (last-seen, staleness, frame/record counts,
+//     sealed day, sequence gaps), served at GET /api/nodes and as the
+//     fleet panel of GET /dashboard;
+//   * per-node series: every pushed seal series lands in the tsdb
+//     under a `node=<id>` label, queryable via GET /api/series;
+//   * global distinct-address estimates: pushed day HLL sketches are
+//     union-merged register-wise across nodes — exactly the merge the
+//     paper performs across vantage points — and the per-day global
+//     estimates are exported as gauges, flushed to the tsdb, and shown
+//     on the dashboard next to the per-node values;
+//   * alerting: --alerts rules evaluate against the fleet sampler, so
+//     `node=<id>` absence rules fire within one hold-down of a
+//     collector going silent. SIGHUP hot-reloads the rules file.
+//
+// Like v6stream, SIGINT/SIGTERM runs an ordered shutdown: the server
+// drains, the newest day's global estimates flush, the tsdb commits.
+#include <chrono>
+#include <csignal>
+#include <ctime>
+#include <filesystem>
+#include <memory>
+#include <thread>
+
+#include "tool_common.h"
+#include "v6class/obs/alert.h"
+#include "v6class/obs/dashboard.h"
+#include "v6class/obs/federate.h"
+#include "v6class/obs/http.h"
+#include "v6class/obs/tsdb.h"
+
+using namespace v6;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_reload = 0;
+
+void handle_stop(int) { g_stop = 1; }
+void handle_reload(int) { g_reload = 1; }
+
+/// One-line rule summary for the dashboard alert panel (mirrors
+/// v6stream's).
+std::string alert_detail(const obs::alert_rule& r) {
+    std::string out;
+    switch (r.cond) {
+        case obs::alert_cond::above:
+            out = r.series + " above " + obs::event_field_number(r.threshold);
+            break;
+        case obs::alert_cond::below:
+            out = r.series + " below " + obs::event_field_number(r.threshold);
+            break;
+        case obs::alert_cond::delta:
+            out = r.series + " delta " + obs::event_field_number(r.threshold);
+            break;
+        case obs::alert_cond::absent:
+            out = r.series + " absent " + obs::event_field_number(r.threshold);
+            break;
+        case obs::alert_cond::event:
+            out = "event " + r.event_kind;
+            break;
+    }
+    if (!r.label.empty()) out += " {" + r.label + "}";
+    if (r.hold) out += " for " + std::to_string(r.hold);
+    return out;
+}
+
+/// The alert sampler over the aggregator: one snapshot of the node
+/// registry per evaluation (captured here, never under the alert
+/// mutex against a lock the aggregator's rx thread could hold while
+/// calling out — the aggregator mutex is a leaf, but the snapshot
+/// keeps the evaluation consistent too).
+obs::alert_engine::sampler
+fleet_sampler(const obs::federate::telemetry_aggregator& agg) {
+    struct snap_t {
+        std::vector<obs::federate::node_status> nodes;
+        std::int64_t day;
+        std::optional<double> addrs, p48s, p64s;
+    };
+    auto snap = std::make_shared<const snap_t>(snap_t{
+        agg.nodes(), agg.newest_day(),
+        agg.global_estimate(agg.newest_day(), net::kTelSketchDayAddresses),
+        agg.global_estimate(agg.newest_day(), net::kTelSketchDay48s),
+        agg.global_estimate(agg.newest_day(), net::kTelSketchDay64s)});
+    return [snap](const std::string& series,
+                  const std::string& label) -> std::optional<double> {
+        if (series == "v6fleet_node_up") {
+            for (const obs::federate::node_status& n : snap->nodes)
+                if ("node=" + n.name == label)
+                    return n.fresh ? std::optional<double>(1.0) : std::nullopt;
+            return std::nullopt;  // unknown node == absent
+        }
+        if (series == "v6fleet_nodes") {
+            double fresh = 0;
+            for (const obs::federate::node_status& n : snap->nodes)
+                if (n.fresh) ++fresh;
+            return fresh;
+        }
+        if (series == "v6fleet_day_distinct_addresses_estimate")
+            return snap->addrs;
+        if (series == "v6fleet_day_distinct_48s_estimate") return snap->p48s;
+        if (series == "v6fleet_day_distinct_64s_estimate") return snap->p64s;
+        return std::nullopt;
+    };
+}
+
+/// The /dashboard model: fleet panel + global-estimate history charts.
+obs::dashboard_model build_dashboard(
+    const obs::federate::telemetry_aggregator& agg,
+    const obs::metrics_server& server, const obs::tsdb::database* tsdb,
+    const obs::alert_engine* alerts) {
+    obs::dashboard_model model;
+    model.title = "v6agg fleet telemetry";
+    model.status = server.state();
+    model.uptime_seconds = server.uptime_seconds();
+    model.show_nodes = true;
+
+    const std::vector<obs::federate::node_status> nodes = agg.nodes();
+    std::size_t fresh = 0;
+    std::uint64_t records = 0;
+    for (const obs::federate::node_status& n : nodes) {
+        if (n.fresh) ++fresh;
+        records += n.records;
+        obs::dashboard_node row;
+        row.name = n.name;
+        row.fresh = n.fresh;
+        row.age_seconds = n.age_seconds;
+        row.sealed_day = n.sealed_day;
+        row.records = n.records;
+        row.frames = n.frames;
+        if (n.seq_gaps)
+            row.detail = std::to_string(n.seq_gaps) + " seq gaps";
+        if (n.open_day >= 0)
+            row.detail += (row.detail.empty() ? "" : ", ") + std::string("open day ") +
+                          std::to_string(n.open_day);
+        model.nodes.push_back(std::move(row));
+    }
+
+    const net::tel_decode_stats codec = agg.decode_stats();
+    const std::int64_t day = agg.newest_day();
+    model.stats = {
+        {"nodes", std::to_string(nodes.size())},
+        {"fresh", std::to_string(fresh)},
+        {"fleet records", std::to_string(records)},
+        {"frames", std::to_string(codec.frames)},
+        {"rejected", std::to_string(codec.rejected())},
+        {"newest day", day < 0 ? "-" : std::to_string(day)},
+    };
+    if (const auto est = agg.global_estimate(day, net::kTelSketchDayAddresses))
+        model.stats.push_back(
+            {"global distinct /128s", obs::dashboard_value(*est)});
+    if (const auto est = agg.global_estimate(day, net::kTelSketchDay64s))
+        model.stats.push_back(
+            {"global distinct /64s", obs::dashboard_value(*est)});
+
+    model.links = {{"/metrics", "metrics"},
+                   {"/api/nodes", "nodes"},
+                   {"/healthz", "healthz"}};
+    if (tsdb) model.links.push_back({"/api/series", "series"});
+    if (alerts) model.links.push_back({"/alerts", "alerts"});
+
+    // Global vs per-node history: the flushed fleet estimate series
+    // plus each node's own pushed estimate, so divergence (a vantage
+    // point seeing addresses no one else does) is visible at a glance.
+    if (tsdb) {
+        constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+        constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+        const auto add_chart = [&](const std::string& name,
+                                   const std::string& label,
+                                   const std::string& help) {
+            const std::vector<obs::tsdb::point> pts =
+                tsdb->query(name, label, kMin, kMax);
+            if (pts.empty()) return;
+            obs::dashboard_chart chart;
+            chart.name = label.empty() ? name : name + "{" + label + "}";
+            chart.help = help;
+            chart.points.reserve(pts.size());
+            for (const obs::tsdb::point& p : pts)
+                chart.points.push_back({p.ts, p.value});
+            model.charts.push_back(std::move(chart));
+        };
+        add_chart("v6fleet_day_distinct_addresses_estimate", "",
+                  "global distinct /128s per day (exact cross-node union)");
+        add_chart("v6fleet_day_distinct_64s_estimate", "",
+                  "global distinct /64s per day (exact cross-node union)");
+        for (const obs::federate::node_status& n : nodes)
+            add_chart("v6class_day_distinct_addresses_estimate",
+                      "node=" + n.name,
+                      "node " + n.name + " distinct /128s per day");
+    }
+
+    if (alerts) {
+        model.show_alerts = true;
+        for (const obs::alert_engine::status& s : alerts->snapshot()) {
+            obs::dashboard_alert row;
+            row.name = s.rule.name;
+            row.state = obs::alert_state_name(s.state);
+            row.detail = alert_detail(s.rule);
+            if (s.value) {
+                row.value = *s.value;
+                row.has_value = true;
+            }
+            model.alerts.push_back(std::move(row));
+        }
+    }
+    return model;
+}
+
+/// Applies a pending SIGHUP: hot-reloads the alert rules file,
+/// preserving state for definition-identical rules (v6stream's
+/// contract).
+void maybe_reload(obs::alert_engine* alerts, const std::string& alerts_path) {
+    if (!g_reload) return;
+    g_reload = 0;
+    if (!alerts || alerts_path.empty()) return;
+    std::string error;
+    if (alerts->load_file(alerts_path, &error)) {
+        std::fprintf(stderr, "reloaded %s: %zu alert rules\n",
+                     alerts_path.c_str(), alerts->rule_count());
+        obs::event_log::global().log(
+            obs::event_level::info, "lifecycle", "alert rules reloaded",
+            {{"rules", obs::event_field_number(
+                           static_cast<double>(alerts->rule_count()))}});
+    } else {
+        std::fprintf(stderr,
+                     "warning: reload of alert rules failed (%s); keeping "
+                     "previous rules\n",
+                     error.c_str());
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const tools::flag_set flags(argc, argv);
+    bool port_given = false, metrics_given = false;
+    std::string port_text = "0", metrics_text = "9200";
+    std::string state_dir, alerts_path, alerts_notify;
+    double staleness_seconds = 10, tick_seconds = 2;
+    long keep_days = 4;
+    std::size_t retain_bytes = 0;
+    tools::flag_table cli(
+        "usage: v6agg [--port=P] [--metrics-port=P] [--state-dir=DIR]\n"
+        "             [--alerts=FILE] [--alerts-notify=CMD]\n"
+        "             [--staleness=SECONDS] [--tick=SECONDS]\n"
+        "             [--keep-days=N]\n"
+        "fleet telemetry aggregator: ingests V6TEL1 pushes from\n"
+        "`v6stream --push`, tracks per-node health, merges series into a\n"
+        "flight recorder under node= labels, and maintains global\n"
+        "distinct-address estimates by exact cross-node HLL union");
+    cli.add("port", &port_given, &port_text,
+            "TCP port collectors push to (default: ephemeral, printed to\n"
+            "stderr)")
+        .add("metrics-port", &metrics_given, &metrics_text,
+             "serve /metrics /healthz /dashboard /api/nodes /api/series on\n"
+             "0.0.0.0:P")
+        .add("state-dir", &state_dir,
+             "durable fleet flight recorder under DIR/tsdb (per-node\n"
+             "series + flushed global estimates)")
+        .add("alerts", &alerts_path,
+             "alert rules file; node=<id> rules fire when a collector\n"
+             "goes silent; SIGHUP hot-reloads it")
+        .add("alerts-notify", &alerts_notify,
+             "shell command run on alert firing/resolved transitions")
+        .add("staleness", &staleness_seconds,
+             "seconds without a frame before a node counts stale\n"
+             "(default 10)")
+        .add("tick", &tick_seconds,
+             "alert evaluation / tsdb commit period in seconds (default 2)")
+        .add("keep-days", &keep_days,
+             "newest day-sketch windows kept for the global union\n"
+             "(default 4)")
+        .add("retain-bytes", &retain_bytes,
+             "tsdb retention cap in bytes across sealed segments (0 = keep)");
+    if (flags.has("help")) {
+        std::fputs(cli.usage().c_str(), stdout);
+        return 0;
+    }
+    if (const auto err = cli.parse(flags)) {
+        std::fprintf(stderr, "error: %s\n", err->c_str());
+        return 1;
+    }
+    tools::obs_exporter obs_dump(flags);
+
+    std::signal(SIGINT, handle_stop);
+    std::signal(SIGTERM, handle_stop);
+    std::signal(SIGHUP, handle_reload);
+
+    obs::registry& reg = obs::registry::global();
+
+    // Flight recorder first (the aggregator writes into it).
+    std::unique_ptr<obs::tsdb::database> tsdb;
+    if (!state_dir.empty()) {
+        obs::tsdb::options topt;
+        topt.metrics = &reg;
+        topt.retain_bytes = retain_bytes;
+        std::string error;
+        tsdb = obs::tsdb::database::open(
+            (std::filesystem::path(state_dir) / "tsdb").string(), topt, &error);
+        if (!tsdb) {
+            std::fprintf(stderr, "error: cannot open state dir %s: %s\n",
+                         state_dir.c_str(), error.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "flight recorder %s: %llu points recovered\n",
+                     tsdb->dir().c_str(),
+                     static_cast<unsigned long long>(tsdb->recovered_points()));
+    }
+
+    obs::federate::telemetry_aggregator::config acfg;
+    acfg.port = static_cast<std::uint16_t>(std::atol(port_text.c_str()));
+    acfg.staleness = std::chrono::milliseconds(
+        static_cast<long>(staleness_seconds * 1000));
+    acfg.metrics = &reg;
+    acfg.events = &obs::event_log::global();
+    acfg.tsdb = tsdb.get();
+    acfg.keep_days = static_cast<int>(keep_days);
+    obs::federate::telemetry_aggregator agg(acfg);
+    std::string error;
+    if (!agg.start(&error)) {
+        std::fprintf(stderr, "error: aggregator: %s\n", error.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "aggregating on tcp port %u\n",
+                 static_cast<unsigned>(agg.port()));
+    std::fflush(stderr);
+
+    // Alert rules (optional): startup parse errors are fatal, failed
+    // SIGHUP reloads keep the previous rules (v6stream's contract).
+    std::optional<obs::alert_engine> alerts;
+    if (!alerts_path.empty()) {
+        alerts.emplace(&reg, &obs::event_log::global());
+        if (!alerts->load_file(alerts_path, &error)) {
+            std::fprintf(stderr, "error: cannot load %s: %s\n",
+                         alerts_path.c_str(), error.c_str());
+            return 1;
+        }
+        if (!alerts_notify.empty()) alerts->set_notify_command(alerts_notify);
+        std::fprintf(stderr, "loaded %s: %zu alert rules (SIGHUP reloads)\n",
+                     alerts_path.c_str(), alerts->rule_count());
+    }
+    obs::alert_engine* alert_ptr = alerts ? &*alerts : nullptr;
+
+    obs::metrics_server server;
+    if (metrics_given) {
+        server.set_health_payload([&agg, alert_ptr] {
+            const std::vector<obs::federate::node_status> nodes = agg.nodes();
+            std::size_t fresh = 0;
+            for (const obs::federate::node_status& n : nodes)
+                if (n.fresh) ++fresh;
+            std::string out = "\"nodes\":" + std::to_string(nodes.size()) +
+                              ",\"fresh\":" + std::to_string(fresh) +
+                              ",\"newest_day\":" +
+                              std::to_string(agg.newest_day());
+            if (alert_ptr)
+                out += ",\"alerts\":{\"firing\":" +
+                       std::to_string(alert_ptr->firing_count()) +
+                       ",\"pending\":" +
+                       std::to_string(alert_ptr->pending_count()) + "}";
+            return out;
+        });
+        server.set_dashboard([&agg, &server, &tsdb, alert_ptr] {
+            return obs::render_dashboard(
+                build_dashboard(agg, server, tsdb.get(), alert_ptr));
+        });
+        agg.register_http(server);
+        if (tsdb) obs::tsdb::register_history_api(server, tsdb.get());
+        if (alert_ptr)
+            server.add_handler("/alerts", [alert_ptr](const obs::query_params&) {
+                obs::http_reply reply;
+                reply.body = "{\"firing\":" +
+                             std::to_string(alert_ptr->firing_count()) +
+                             ",\"pending\":" +
+                             std::to_string(alert_ptr->pending_count()) +
+                             ",\"evaluations\":" +
+                             std::to_string(alert_ptr->evaluations()) +
+                             ",\"rules\":" + alert_ptr->status_json() + "}";
+                return reply;
+            });
+        const auto port =
+            static_cast<std::uint16_t>(std::atol(metrics_text.c_str()));
+        if (!server.start(port, &reg, &error)) {
+            std::fprintf(stderr, "error: metrics server: %s\n", error.c_str());
+            return 1;
+        }
+        std::fprintf(stderr,
+                     "metrics on http://0.0.0.0:%u/metrics, fleet dashboard "
+                     "on http://0.0.0.0:%u/dashboard\n",
+                     static_cast<unsigned>(server.port()),
+                     static_cast<unsigned>(server.port()));
+        std::fflush(stderr);
+    }
+
+    obs::event_log::global().log(obs::event_level::info, "lifecycle",
+                                 "v6agg started", {});
+
+    // Main loop: service reloads, evaluate alerts, commit the recorder.
+    auto last_tick = std::chrono::steady_clock::now();
+    while (!g_stop) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        maybe_reload(alert_ptr, alerts_path);
+        const auto now = std::chrono::steady_clock::now();
+        if (tick_seconds > 0 &&
+            now - last_tick >= std::chrono::duration<double>(tick_seconds)) {
+            last_tick = now;
+            if (alert_ptr)
+                alert_ptr->evaluate(fleet_sampler(agg),
+                                    static_cast<std::int64_t>(
+                                        std::time(nullptr)));
+            if (tsdb) tsdb->commit();
+        }
+    }
+
+    // Ordered shutdown: drain, stop ingest (flushes the newest day's
+    // global estimates and commits), then stop serving and dump.
+    server.set_state("draining");
+    agg.stop();
+    const net::tel_decode_stats codec = agg.decode_stats();
+    std::fprintf(stderr, "aggregated %llu frames (%llu rejected)\n",
+                 static_cast<unsigned long long>(codec.frames),
+                 static_cast<unsigned long long>(codec.rejected()));
+    server.stop();
+    obs_dump.write();
+    return 0;
+}

@@ -36,6 +36,12 @@
 // threshold / rate-of-change / absence / event-sourced rules at every
 // seal and wall-clock tick; SIGHUP reloads the rules file alongside the
 // ASN db, preserving state for unchanged rules.
+//
+// With --push=HOST:PORT the daemon federates: every day seal pushes the
+// seal-derived series and the day's HLL/P² sketches to a v6agg
+// aggregator as V6TEL1 frames, and periodic status/event frames ride
+// the same connection, all labeled --node=NAME. Pushes are best-effort
+// (a down aggregator costs a counted failure, never ingest).
 #include <chrono>
 #include <csignal>
 #include <ctime>
@@ -50,6 +56,7 @@
 #include "v6class/net/replay.h"
 #include "v6class/obs/alert.h"
 #include "v6class/obs/dashboard.h"
+#include "v6class/obs/federate.h"
 #include "v6class/obs/http.h"
 #include "v6class/obs/tsdb.h"
 #include "v6class/stream/engine.h"
@@ -353,6 +360,30 @@ void maybe_reload(net::enrichment* enrich, obs::alert_engine* alerts,
     }
 }
 
+/// One periodic federation push: the node's status frame plus any
+/// events logged since the last push (the cursor makes event frames
+/// incremental — a reconnecting pusher re-sends nothing already sent).
+void push_telemetry(obs::federate::telemetry_pusher* pusher,
+                    const stream_engine& engine,
+                    std::uint64_t& event_cursor) {
+    if (!pusher) return;
+    const stream_stats s = engine.stats();
+    net::tel_status st;
+    st.records = s.records;
+    st.open_day = s.open_day == kNoDay ? -1 : s.open_day;
+    st.sealed_day = s.sealed_day == kNoDay ? -1 : s.sealed_day;
+    st.unix_time = std::chrono::duration<double>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count();
+    pusher->push_status(st);
+    const std::vector<obs::event> events =
+        obs::event_log::global().since(event_cursor);
+    if (!events.empty()) {
+        event_cursor = events.back().seq;
+        pusher->push_events(events);
+    }
+}
+
 std::string_view trim(std::string_view s) noexcept {
     while (!s.empty() && (s.front() == ' ' || s.front() == '\t' || s.front() == '\r'))
         s.remove_prefix(1);
@@ -379,6 +410,7 @@ int main(int argc, char** argv) {
     std::string listen_text = "0", metrics_text = "9100";
     std::string replay_path, asn_db_path;
     std::string state_dir, alerts_path, alerts_notify;
+    std::string push_text, node_name = "node";
     double tick_seconds = 60;
     std::size_t retain_bytes = 0, events_cap = 8u << 20;
     long retain_days = 0;
@@ -390,6 +422,7 @@ int main(int argc, char** argv) {
         "                [--status-every=RECORDS] [--spectrum=MAX]\n"
         "                [--metrics-port=P] [--asn-db=FILE]\n"
         "                [--state-dir=DIR] [--alerts=FILE]\n"
+        "                [--push=HOST:PORT --node=NAME]\n"
         "                [--listen[=PORT] | --replay=PATH [--rate=R]]\n"
         "                [feed-file|-]\n"
         "streaming classification of a \"day address [hits]\" feed;\n"
@@ -419,6 +452,12 @@ int main(int argc, char** argv) {
         .add("alerts-notify", &alerts_notify,
              "shell command run on alert firing/resolved transitions\n"
              "(invoked with the transition JSON as its argument)")
+        .add("push", &push_text,
+             "federate to a v6agg aggregator at HOST:PORT: day seals push\n"
+             "series + sketches, status/events ride along periodically")
+        .add("node", &node_name,
+             "node identity carried in every pushed frame and as the\n"
+             "aggregator-side node= series label (default \"node\")")
         .add("events-cap", &events_cap,
              "--events-out file size cap in bytes before rotation to .1\n"
              "(default 8 MiB)")
@@ -543,6 +582,37 @@ int main(int argc, char** argv) {
     }
     obs::alert_engine* alert_ptr = alerts ? &*alerts : nullptr;
 
+    // Federation pusher (optional): constructed before the engine so
+    // stream_config::federate is armed for the very first seal. The
+    // connection itself is lazy — a not-yet-started aggregator costs
+    // counted failures, not a startup error.
+    std::unique_ptr<obs::federate::telemetry_pusher> pusher;
+    std::uint64_t push_event_cursor = 0;
+    if (!push_text.empty()) {
+        const std::size_t colon = push_text.rfind(':');
+        const long push_port =
+            colon == std::string::npos
+                ? 0
+                : std::atol(push_text.c_str() + colon + 1);
+        if (colon == std::string::npos || push_port <= 0 ||
+            push_port > 65535) {
+            std::fprintf(stderr, "error: bad --push=%s (want HOST:PORT)\n",
+                         push_text.c_str());
+            return 1;
+        }
+        obs::federate::telemetry_pusher::config pcfg;
+        pcfg.host = push_text.substr(0, colon);
+        pcfg.port = static_cast<std::uint16_t>(push_port);
+        pcfg.node = node_name;
+        pusher = std::make_unique<obs::federate::telemetry_pusher>(pcfg);
+        cfg.federate = [p = pusher.get()](
+                           const obs::federate::seal_snapshot& snap) {
+            p->push_seal(snap);
+        };
+        std::fprintf(stderr, "pushing telemetry to %s as node %s\n",
+                     push_text.c_str(), node_name.c_str());
+    }
+
     stream_engine engine(cfg);
 
     // Logged after the alert engine exists (its event cursor starts at
@@ -598,109 +668,10 @@ int main(int argc, char** argv) {
             });
 
         // The history API (tsdb-backed) and the alert status endpoint
-        // ride the same server via the generic handler table.
-        if (tsdb) {
-            const obs::tsdb::database* db = tsdb.get();
-            server.add_handler("/api/series", [db](const obs::query_params& q) {
-                obs::http_reply reply;
-                const auto get = [&q](const char* k) {
-                    const auto it = q.find(k);
-                    return it == q.end() ? std::string() : it->second;
-                };
-                const std::string name = get("name");
-                if (name.empty()) {
-                    // No name: the series directory, so a client can
-                    // discover what to chart.
-                    reply.body = "[";
-                    bool first = true;
-                    for (const obs::tsdb::series_info& s : db->list_series()) {
-                        reply.body +=
-                            std::string(first ? "" : ",") + "{\"name\":" +
-                            obs::event_field_string(s.name) + ",\"label\":" +
-                            obs::event_field_string(s.label) + ",\"from\":" +
-                            std::to_string(s.first_ts) + ",\"to\":" +
-                            std::to_string(s.last_ts) + ",\"points\":" +
-                            std::to_string(s.points) + "}";
-                        first = false;
-                    }
-                    reply.body += "]";
-                    return reply;
-                }
-                constexpr std::int64_t kMin =
-                    std::numeric_limits<std::int64_t>::min();
-                constexpr std::int64_t kMax =
-                    std::numeric_limits<std::int64_t>::max();
-                const std::string from_s = get("from"), to_s = get("to"),
-                                  step_s = get("step");
-                const std::int64_t from =
-                    from_s.empty() ? kMin : std::atoll(from_s.c_str());
-                const std::int64_t to =
-                    to_s.empty() ? kMax : std::atoll(to_s.c_str());
-                const std::int64_t step =
-                    step_s.empty() ? 0 : std::atoll(step_s.c_str());
-                if (step < 0) {
-                    reply.status = 400;
-                    reply.body = "{\"error\":\"step must be >= 0\"}";
-                    return reply;
-                }
-                std::vector<obs::tsdb::point> pts =
-                    db->query(name, get("label"), from, to);
-                if (step > 1) pts = obs::tsdb::downsample(pts, step);
-                reply.body = "{\"name\":" + obs::event_field_string(name) +
-                             ",\"label\":" +
-                             obs::event_field_string(get("label")) +
-                             ",\"points\":[";
-                for (std::size_t i = 0; i < pts.size(); ++i)
-                    reply.body += std::string(i ? "," : "") + "[" +
-                                  std::to_string(pts[i].ts) + "," +
-                                  obs::event_field_number(pts[i].value) + "]";
-                reply.body += "]}";
-                return reply;
-            });
-            server.add_handler("/api/events", [db](const obs::query_params& q) {
-                obs::http_reply reply;
-                const auto get = [&q](const char* k) {
-                    const auto it = q.find(k);
-                    return it == q.end() ? std::string() : it->second;
-                };
-                const std::string level_s = get("level");
-                obs::event_level min_level = obs::event_level::info;
-                if (level_s == "warn")
-                    min_level = obs::event_level::warn;
-                else if (level_s == "error")
-                    min_level = obs::event_level::error;
-                else if (!level_s.empty() && level_s != "info") {
-                    reply.status = 400;
-                    reply.body =
-                        "{\"error\":\"level must be info|warn|error\"}";
-                    return reply;
-                }
-                const std::string from_s = get("from"), to_s = get("to"),
-                                  limit_s = get("limit");
-                const double from =
-                    from_s.empty() ? -1e300 : std::atof(from_s.c_str());
-                const double to = to_s.empty() ? 1e300 : std::atof(to_s.c_str());
-                const std::size_t limit =
-                    limit_s.empty()
-                        ? 1024
-                        : static_cast<std::size_t>(std::atoll(limit_s.c_str()));
-                reply.body = "[";
-                bool first = true;
-                for (const obs::tsdb::stored_event& e :
-                     db->query_events(min_level, from, to, limit)) {
-                    reply.body +=
-                        std::string(first ? "" : ",") + "{\"time\":" +
-                        obs::event_field_number(e.unix_time) + ",\"level\":\"" +
-                        obs::event_level_name(e.level) + "\",\"kind\":" +
-                        obs::event_field_string(e.kind) + ",\"message\":" +
-                        obs::event_field_string(e.message) + ",\"fields\":" +
-                        (e.fields_json.empty() ? "{}" : e.fields_json) + "}";
-                    first = false;
-                }
-                reply.body += "]";
-                return reply;
-            });
-        }
+        // ride the same server via the generic handler table. The
+        // history handlers are the shared tsdb ones — v6agg mounts the
+        // identical pair over the fleet store.
+        if (tsdb) obs::tsdb::register_history_api(server, tsdb.get());
         if (alert_ptr)
             server.add_handler("/alerts", [alert_ptr](const obs::query_params&) {
                 obs::http_reply reply;
@@ -768,10 +739,11 @@ int main(int argc, char** argv) {
             // Wall-clock tick: a listening daemon may go days between
             // seals, so the throughput gauges are recorded (and the
             // alert rules evaluated) on unix-seconds cadence too.
-            if (tick_seconds > 0 && (tsdb || alert_ptr) &&
+            if (tick_seconds > 0 && (tsdb || alert_ptr || pusher) &&
                 now - last_tick >=
                     std::chrono::duration<double>(tick_seconds)) {
                 last_tick = now;
+                push_telemetry(pusher.get(), engine, push_event_cursor);
                 const auto now_unix =
                     static_cast<std::int64_t>(std::time(nullptr));
                 if (tsdb) {
@@ -957,6 +929,9 @@ int main(int argc, char** argv) {
     server.set_state("draining");
     engine.finish();
     printed_reports = drain_reports(engine, printed_reports, ledger_ptr, tsdb.get());
+    // Final federation push: the aggregator sees the last seal's status
+    // (and any shutdown events) before the connection drops.
+    push_telemetry(pusher.get(), engine, push_event_cursor);
     print_final(engine.snapshot(), malformed);
     server.stop();
     obs_dump.write();
