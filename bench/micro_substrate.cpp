@@ -9,6 +9,10 @@
 // the tracked perf baseline.
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <cstdio>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench_gbench.h"
@@ -16,6 +20,7 @@
 #include "v6class/addrtype/malone.h"
 #include "v6class/netgen/iid.h"
 #include "v6class/netgen/rng.h"
+#include "v6class/simd/kernels.h"
 #include "v6class/spatial/mra.h"
 #include "v6class/temporal/observation_store.h"
 #include "v6class/temporal/stability.h"
@@ -223,6 +228,173 @@ void BM_observation_store_ingest(benchmark::State& state) {
 }
 BENCHMARK(BM_observation_store_ingest)->Arg(10000)->Arg(50000);
 
+// ---- batch (SIMD substrate) kernels: dispatched-vs-scalar pairs ------
+//
+// Each pair runs the same kernel through table_for(detected level) and
+// table_for(scalar); on an AVX2 machine the first is the vector path.
+// Per-item throughput divides by the 1024-lane block; check.sh compares
+// the batch per-item times against the one-at-a-time baselines above
+// (BM_parse / BM_format / BM_classify) for the >=4x substrate claim.
+
+constexpr std::size_t kBlock = 1024;
+
+const simd::kernel_table& bench_table(bool scalar) {
+    return simd::table_for(scalar ? simd::level::scalar
+                                  : simd::detect_level());
+}
+
+simd::address_block make_block(std::uint64_t seed) {
+    simd::address_block block(kBlock);
+    block.assign(make_addresses(kBlock, seed));
+    return block;
+}
+
+// Full 8-group spellings (the BM_parse shape, no `::` path).
+std::vector<std::string> make_full_texts(std::uint64_t seed) {
+    const auto addrs = make_addresses(kBlock, seed);
+    std::vector<std::string> texts;
+    texts.reserve(kBlock);
+    char buf[64];
+    for (const address& a : addrs) {
+        const std::uint64_t hi = a.hi(), lo = a.lo();
+        std::snprintf(buf, sizeof buf, "%llx:%llx:%llx:%llx:%llx:%llx:%llx:%llx",
+                      static_cast<unsigned long long>(hi >> 48),
+                      static_cast<unsigned long long>((hi >> 32) & 0xffff),
+                      static_cast<unsigned long long>((hi >> 16) & 0xffff),
+                      static_cast<unsigned long long>(hi & 0xffff),
+                      static_cast<unsigned long long>(lo >> 48),
+                      static_cast<unsigned long long>((lo >> 32) & 0xffff),
+                      static_cast<unsigned long long>((lo >> 16) & 0xffff),
+                      static_cast<unsigned long long>(lo & 0xffff));
+        texts.emplace_back(buf);
+    }
+    return texts;
+}
+
+void bench_parse_batch(benchmark::State& state, bool scalar, bool compressed) {
+    const simd::kernel_table& t = bench_table(scalar);
+    std::vector<std::string> texts;
+    if (compressed) {
+        for (const address& a : make_addresses(kBlock, 21))
+            texts.push_back(a.to_string());
+    } else {
+        texts = make_full_texts(21);
+    }
+    const std::vector<std::string_view> views(texts.begin(), texts.end());
+    simd::address_block block(kBlock);
+    std::array<std::uint8_t, kBlock> ok;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(t.parse(views.data(), views.size(), block,
+                                         ok.data()));
+    state.SetItemsProcessed(state.iterations() * kBlock);
+}
+void BM_parse_batch(benchmark::State& s) { bench_parse_batch(s, false, false); }
+void BM_parse_batch_scalar(benchmark::State& s) { bench_parse_batch(s, true, false); }
+void BM_parse_batch_compressed(benchmark::State& s) { bench_parse_batch(s, false, true); }
+BENCHMARK(BM_parse_batch);
+BENCHMARK(BM_parse_batch_scalar);
+BENCHMARK(BM_parse_batch_compressed);
+
+void bench_format_batch(benchmark::State& state, bool scalar) {
+    const simd::kernel_table& t = bench_table(scalar);
+    const auto block = make_block(22);
+    std::vector<char> buf(kBlock * simd::kFormatStride);
+    std::array<std::uint8_t, kBlock> lens;
+    for (auto _ : state) {
+        t.format(block, buf.data(), lens.data());
+        benchmark::DoNotOptimize(buf.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kBlock);
+}
+void BM_format_batch(benchmark::State& s) { bench_format_batch(s, false); }
+void BM_format_batch_scalar(benchmark::State& s) { bench_format_batch(s, true); }
+BENCHMARK(BM_format_batch);
+BENCHMARK(BM_format_batch_scalar);
+
+void bench_classify_batch(benchmark::State& state, bool scalar) {
+    const simd::kernel_table& t = bench_table(scalar);
+    const auto block = make_block(23);
+    std::array<std::uint8_t, kBlock> transition, scope, iid;
+    for (auto _ : state) {
+        t.classify(block, transition.data(), scope.data(), iid.data());
+        benchmark::DoNotOptimize(iid.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kBlock);
+}
+void BM_classify_batch(benchmark::State& s) { bench_classify_batch(s, false); }
+void BM_classify_batch_scalar(benchmark::State& s) { bench_classify_batch(s, true); }
+BENCHMARK(BM_classify_batch);
+BENCHMARK(BM_classify_batch_scalar);
+
+void BM_malone_batch(benchmark::State& state) {
+    const auto block = make_block(24);
+    std::array<std::uint8_t, kBlock> labels;
+    for (auto _ : state) {
+        simd::malone_batch(block, labels.data());
+        benchmark::DoNotOptimize(labels.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kBlock);
+}
+BENCHMARK(BM_malone_batch);
+
+void BM_cpl_batch(benchmark::State& state) {
+    const auto a = make_block(25);
+    const auto b = make_block(26);
+    std::array<std::uint8_t, kBlock> out;
+    for (auto _ : state) {
+        simd::common_prefix_len_batch(a, b, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kBlock);
+}
+BENCHMARK(BM_cpl_batch);
+
+void BM_block_sort_unique(benchmark::State& state) {
+    // Same input as BM_address_sort_unique: the radix-partitioned lane
+    // sort vs std::sort + std::unique over address values.
+    simd::address_block block(static_cast<std::size_t>(state.range(0)));
+    const auto addrs =
+        make_addresses(static_cast<std::size_t>(state.range(0)), 12);
+    for (auto _ : state) {
+        block.assign(addrs);
+        simd::sort_unique_block(block);
+        benchmark::DoNotOptimize(block.size());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_block_sort_unique)->Arg(100000);
+
+void BM_observation_store_ingest_block(benchmark::State& state) {
+    // The block twin of BM_observation_store_ingest: same 15-day churn,
+    // folded in through the SoA record_day overload.
+    const std::size_t per_day = static_cast<std::size_t>(state.range(0));
+    std::vector<simd::address_block> days;
+    rng r{11};
+    for (int d = 0; d < 15; ++d) {
+        std::vector<address> active;
+        active.reserve(per_day);
+        for (std::size_t i = 0; i < per_day; ++i) {
+            if (r.chance(0.2))
+                active.push_back(
+                    address::from_pair(0x20010db800000000ull, r.uniform(per_day)));
+            else
+                active.push_back(address::from_pair(
+                    0x20010db800000000ull | r.uniform(1024), privacy_iid(r())));
+        }
+        simd::address_block block(per_day);
+        block.assign(active);
+        days.push_back(std::move(block));
+    }
+    for (auto _ : state) {
+        observation_store store;
+        for (int d = 0; d < 15; ++d)
+            store.record_day(d, days[static_cast<std::size_t>(d)]);
+        benchmark::DoNotOptimize(store.stability_spectrum(14));
+    }
+    state.SetItemsProcessed(state.iterations() * 15 * per_day);
+}
+BENCHMARK(BM_observation_store_ingest_block)->Arg(10000)->Arg(50000);
+
 void BM_address_sort_unique(benchmark::State& state) {
     const auto addrs = make_addresses(static_cast<std::size_t>(state.range(0)), 12);
     for (auto _ : state) {
@@ -238,5 +410,5 @@ BENCHMARK(BM_address_sort_unique)->Arg(100000);
 }  // namespace
 
 int main(int argc, char** argv) {
-    return v6::bench::run_gbench_main(argc, argv);
+    return v6::bench::run_gbench_main(argc, argv, "BENCH_substrate.json");
 }

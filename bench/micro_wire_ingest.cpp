@@ -157,6 +157,61 @@ BENCHMARK(BM_wire_ingest)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// The block twin: decode each datagram straight into SoA lanes and feed
+// the engine one push_block per datagram (a single push-lock
+// acquisition), the path the collector rx loop and replay drivers run.
+void BM_wire_ingest_block(benchmark::State& state) {
+    const auto feed = make_feed(50000, 4, 7);
+    const auto datagrams = make_datagrams(feed);
+    net::enrichment enrich(make_db_file());
+    if (!enrich.reload()) state.SkipWithError("db reload failed");
+    const bool enriched = state.range(0) != 0;
+    for (auto _ : state) {
+        stream_config cfg;
+        cfg.shards = 4;
+        stream_engine engine(cfg);
+        net::asn_ledger ledger;
+        net::wire_decoder dec;
+        net::lookup_cache cache;
+        simd::record_block block;
+        for (const auto& d : datagrams) {
+            block.clear();
+            dec.decode(d.data(), d.size(), block);
+            net::ingest_block(engine, block, enriched ? &enrich : nullptr,
+                              enriched ? &ledger : nullptr, &cache);
+        }
+        engine.finish();
+        benchmark::DoNotOptimize(engine.stats().records);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(feed.size()) *
+                            state.iterations());
+    state.SetLabel(enriched ? "enriched" : "raw");
+}
+BENCHMARK(BM_wire_ingest_block)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_wire_decode_block(benchmark::State& state) {
+    // Raw decode into lanes, no engine: pairs with BM_wire_decode.
+    const auto datagrams = make_datagrams(make_feed(50000, 4, 7));
+    std::size_t total = 0;
+    for (auto _ : state) {
+        net::wire_decoder dec;
+        simd::record_block block;
+        for (const auto& d : datagrams) {
+            block.clear();
+            dec.decode(d.data(), d.size(), block);
+            benchmark::DoNotOptimize(block.addrs.hi());
+        }
+        total = dec.stats().records;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(total) *
+                            state.iterations());
+}
+BENCHMARK(BM_wire_decode_block);
+
 }  // namespace
 
 int main(int argc, char** argv) {

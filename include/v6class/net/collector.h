@@ -120,4 +120,13 @@ void ingest_batch(stream_engine& engine, const std::vector<stream_record>& recor
                   enrichment* enrich, asn_ledger* ledger,
                   lookup_cache* cache = nullptr);
 
+/// Block-path twin of ingest_batch: enrichment memo probes read the hi
+/// lane directly and the engine is fed one push_block (a single
+/// push-lock acquisition per datagram). End state — engine contents,
+/// ledger rows, memo — is identical to ingest_batch over the same
+/// records.
+void ingest_block(stream_engine& engine, const simd::record_block& block,
+                  enrichment* enrich, asn_ledger* ledger,
+                  lookup_cache* cache = nullptr);
+
 }  // namespace v6::net

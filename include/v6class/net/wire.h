@@ -45,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "v6class/simd/address_block.h"
 #include "v6class/stream/record.h"
 
 namespace v6::net {
@@ -120,9 +121,21 @@ public:
     bool decode(const std::uint8_t* data, std::size_t len,
                 std::vector<stream_record>& out);
 
+    /// Block-path overload: appends straight into SoA lanes (hi/lo u64
+    /// pairs plus day/hits columns), skipping the per-record address
+    /// materialisation. Validation, stats, and sequence accounting are
+    /// byte-identical to the vector overload.
+    bool decode(const std::uint8_t* data, std::size_t len,
+                simd::record_block& out);
+
     const wire_decode_stats& stats() const noexcept { return stats_; }
 
 private:
+    /// Shared header/bounds/sequence validation. On acceptance sets
+    /// `count` and bumps the datagram/record tallies; on rejection bumps
+    /// exactly one reject counter and returns false.
+    bool accept(const std::uint8_t* data, std::size_t len, std::size_t& count);
+
     wire_decode_stats stats_;
     std::uint64_t high_seq_ = 0;
     bool seen_any_ = false;

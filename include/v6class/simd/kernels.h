@@ -1,0 +1,139 @@
+#pragma once
+
+// Batch kernels over address_block lanes, with runtime dispatch.
+//
+// Every kernel has (at least) two implementations: a portable SWAR/scalar
+// one and an AVX2 one compiled into its own translation unit with -mavx2.
+// The two are required to be BIT-IDENTICAL for every input — the scalar
+// path is not an approximation, it is the reference.  This is what makes
+// the dispatch decision invisible to the rest of the system: a day report
+// produced on a machine without AVX2 (or with V6CLASS_FORCE_SCALAR=1) is
+// byte-for-byte the report produced on one with it.
+//
+// Dispatch protocol:
+//   1. detect_level()  — CPUID probe, no environment consulted.
+//   2. resolve_level() — pure function of (env override, detected level);
+//                        unit-testable without touching the process env.
+//   3. active_level()  — resolve_level(getenv("V6CLASS_FORCE_SCALAR"),
+//                        detect_level()), computed once and cached.
+//
+// Callers normally use the convenience wrappers (parse_batch & friends)
+// which go through active_table().  Tests compare table_for(level::scalar)
+// against table_for(level::avx2) directly in one process.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "v6class/simd/address_block.h"
+
+namespace v6::simd {
+
+enum class level : std::uint8_t {
+    scalar = 0,  ///< portable SWAR/scalar fallback (always available)
+    avx2 = 2,    ///< AVX2 lanes, 4 addresses per vector
+};
+
+/// CPUID-only probe of the best level this CPU supports.
+level detect_level() noexcept;
+
+/// Pure dispatch decision: `force_scalar_env` is the value of the
+/// V6CLASS_FORCE_SCALAR environment variable (nullptr when unset; any
+/// non-empty value other than "0" forces the scalar table).
+level resolve_level(const char* force_scalar_env, level detected) noexcept;
+
+/// The level chosen for this process (cached after the first call).
+level active_level() noexcept;
+
+std::string_view level_name(level l) noexcept;
+
+/// Function-pointer table for one dispatch level.
+struct kernel_table {
+    // Parse n texts into out (out ends with size n; failed lanes are
+    // zeroed).  ok[i] is 1 on success, 0 on failure.  Returns the number
+    // of successful parses.  Accepts everything address::parse accepts —
+    // compressed `::`, embedded dotted-quads — and nothing more.
+    std::size_t (*parse)(const std::string_view* texts, std::size_t n,
+                         address_block& out, std::uint8_t* ok);
+
+    // RFC 5952 text for every lane, written into one flat buffer.  The
+    // caller provides at least 46 bytes per lane; offsets[i]/len via
+    // offsets[i+1] style is not used — instead lane i occupies
+    // buf + 46*i and lens[i] holds its length.  Output is byte-identical
+    // to address::to_string().
+    void (*format)(const address_block& in, char* buf, std::uint8_t* lens);
+
+    // classification per lane, encoded as the underlying enum values of
+    // transition_kind / address_scope / iid_kind (see addrtype/classify.h).
+    void (*classify)(const address_block& in, std::uint8_t* transition,
+                     std::uint8_t* scope, std::uint8_t* iid);
+
+    // malone_label enum value per lane (see addrtype/malone.h).
+    void (*malone)(const address_block& in, std::uint8_t* labels);
+
+    // Common prefix length of a[i], b[i] per lane (0..128), identical to
+    // common_prefix_length().
+    void (*common_prefix_len)(const address_block& a, const address_block& b,
+                              std::uint8_t* out);
+
+    // In-place a[i] = a[i] masked to its leading `len` bits, identical to
+    // address::masked(len).
+    void (*mask)(address_block& block, unsigned len);
+
+    // In-place ascending sort of the block (duplicates kept), radix-
+    // partitioned on the top hi-word byte.  Order matches std::sort on
+    // ip addresses (byte-lexicographic == (hi, lo) numeric).
+    void (*sort)(address_block& block);
+
+    // sort + duplicate removal in place.
+    void (*sort_unique)(address_block& block);
+};
+
+/// Table for an explicit level.  Requesting a level the CPU cannot run
+/// returns the scalar table.
+const kernel_table& table_for(level l) noexcept;
+
+/// Table for active_level().
+const kernel_table& active_table() noexcept;
+
+// ---- convenience wrappers over active_table() ----
+
+inline std::size_t parse_batch(const std::string_view* texts, std::size_t n,
+                               address_block& out, std::uint8_t* ok) {
+    return active_table().parse(texts, n, out, ok);
+}
+
+/// Bytes per lane the format_batch caller must provide.
+inline constexpr std::size_t kFormatStride = 46;
+
+inline void format_batch(const address_block& in, char* buf,
+                         std::uint8_t* lens) {
+    active_table().format(in, buf, lens);
+}
+
+inline void classify_batch(const address_block& in, std::uint8_t* transition,
+                           std::uint8_t* scope, std::uint8_t* iid) {
+    active_table().classify(in, transition, scope, iid);
+}
+
+inline void malone_batch(const address_block& in, std::uint8_t* labels) {
+    active_table().malone(in, labels);
+}
+
+inline void common_prefix_len_batch(const address_block& a,
+                                    const address_block& b,
+                                    std::uint8_t* out) {
+    active_table().common_prefix_len(a, b, out);
+}
+
+inline void mask_batch(address_block& block, unsigned len) {
+    active_table().mask(block, len);
+}
+
+inline void sort_block(address_block& block) { active_table().sort(block); }
+
+inline void sort_unique_block(address_block& block) {
+    active_table().sort_unique(block);
+}
+
+}  // namespace v6::simd

@@ -39,6 +39,7 @@
 #include "v6class/obs/tsdb.h"
 #include "v6class/obs/sketch.h"
 #include "v6class/obs/trace.h"
+#include "v6class/simd/address_block.h"
 #include "v6class/spatial/density.h"
 #include "v6class/spatial/mra.h"
 #include "v6class/stream/bounded_queue.h"
@@ -219,6 +220,11 @@ public:
         push(stream_record{day, a, hits});
     }
 
+    /// Accepts one decoded block (SoA lanes + day/hits columns) under a
+    /// single push-lock acquisition — the batch ingest path the wire
+    /// decoder feeds. Semantically identical to push() per record.
+    void push_block(const simd::record_block& block);
+
     /// Pushes staged partial batches to the shard queues (records stage
     /// until batch_size accumulates; call before waiting on a report
     /// mid-day, not needed otherwise).
@@ -300,6 +306,7 @@ private:
         return static_cast<unsigned>(address_hash{}(a) % cfg_.shards);
     }
 
+    void push_locked(const stream_record& r);  // push_mutex_ held
     void worker_loop(unsigned shard);
     void roll_loop();
     void flush_shard_locked(unsigned shard);   // push_mutex_ held

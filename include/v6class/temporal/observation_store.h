@@ -10,15 +10,22 @@
 // design DESIGN.md's ablation #3 compares against merge-based analysis —
 // and derives lifetime spectra, return gaps, and stability classes from
 // it.
+//
+// Storage is flat: keys live in two SoA u64 lane arrays (matching the
+// v6::simd block layout), records in a parallel vector, and membership is
+// an open-addressed power-of-two index of u32 slots.  Compared to the
+// former unordered_map<address, record> this removes the per-node heap
+// allocation and pointer chase that made ingest degrade superlinearly
+// once the distinct population outgrew the cache.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "v6class/ip/address.h"
+#include "v6class/simd/address_block.h"
 
 namespace v6 {
 
@@ -34,8 +41,11 @@ public:
     /// re-recording the same (day, address) is idempotent.
     void record_day(int day, const std::vector<address>& active);
 
+    /// Block-path overload: same semantics, no address materialisation.
+    void record_day(int day, const simd::address_block& active);
+
     /// Number of distinct addresses (or prefixes) ever seen.
-    std::size_t distinct_count() const noexcept { return records_.size(); }
+    std::size_t distinct_count() const noexcept { return recs_.size(); }
 
     /// Days on which `a` was active (0 when never seen).
     unsigned days_seen(const address& a) const noexcept;
@@ -80,10 +90,19 @@ private:
         unsigned popcount() const noexcept;
     };
 
-    void record_one(int day, const address& a);
+    static constexpr std::uint32_t kEmptySlot = 0xffffffffu;
+
+    void record_one(int day, std::uint64_t hi, std::uint64_t lo);
+    std::uint32_t lookup(std::uint64_t hi, std::uint64_t lo) const noexcept;
+    /// Batch-reserve: guarantees room for `additional` new records
+    /// without further rehashing (one rehash at most, up front).
+    void reserve_for(std::size_t additional);
 
     unsigned prefix_length_;
-    std::unordered_map<address, record, address_hash> records_;
+    std::vector<std::uint64_t> key_hi_;
+    std::vector<std::uint64_t> key_lo_;
+    std::vector<record> recs_;
+    std::vector<std::uint32_t> index_;  // open-addressed, power-of-two
 };
 
 }  // namespace v6

@@ -84,8 +84,14 @@ def main(argv):
 
     regressions = []
     for bench in sorted(base.keys() & fresh.keys()):
+        # Wall-clock benchmarks (.../real_time) time thread scheduling,
+        # not just the code under test: on a loaded single-vCPU box the
+        # same binary swings far past 25% run to run while its CPU time
+        # barely moves.  Give them extra headroom — the regressions
+        # these gates exist to catch (DESIGN.md ablations) are 2-10x.
+        limit = threshold * (1.6 if "/real_time" in bench else 1.0)
         ratio = fresh[bench] / base[bench]
-        if ratio > threshold:
+        if ratio > limit:
             regressions.append((bench, base[bench], fresh[bench], ratio))
     for bench in sorted(fresh.keys() - base.keys()):
         print(f"bench gate: new benchmark (not gated): {bench}")

@@ -61,6 +61,50 @@ void ingest_batch(stream_engine& engine, const std::vector<stream_record>& recor
     if (!agg.empty()) ledger->note_many(agg.data(), agg.size());
 }
 
+void ingest_block(stream_engine& engine, const simd::record_block& block,
+                  enrichment* enrich, asn_ledger* ledger, lookup_cache* cache) {
+    std::shared_ptr<const asn_db> snap;
+    if (enrich) snap = enrich->snapshot();
+    const asn_db* db = snap.get();
+    const bool memo = cache && db && db->max_length() <= 64;
+    if (memo && !cache->matches(db)) cache->reset(db);
+
+    std::vector<asn_ledger::note_row> agg;
+    if (ledger) {
+        const std::uint64_t* his = block.addrs.hi();
+        for (std::size_t i = 0; i < block.size(); ++i) {
+            const enrich_info* info = nullptr;
+            if (db) {
+                if (memo) {
+                    const std::uint64_t hi = his[i];
+                    lookup_cache::slot& s =
+                        cache->slots[(hi * 0x9e3779b97f4a7c15ull) >>
+                                     (64 - 8)];  // kSlots == 256
+                    if (s.valid && s.hi == hi) {
+                        info = s.info;
+                    } else {
+                        info = db->lookup(block.addrs.at(i));
+                        s = {hi, info, true};
+                    }
+                } else {
+                    info = db->lookup(block.addrs.at(i));
+                }
+            }
+            bool merged = false;
+            for (asn_ledger::note_row& a : agg)
+                if (a.day == block.day[i] && a.info == info) {
+                    ++a.records;
+                    a.hits += block.hits[i];
+                    merged = true;
+                    break;
+                }
+            if (!merged) agg.push_back({block.day[i], info, 1, block.hits[i]});
+        }
+    }
+    engine.push_block(block);
+    if (!agg.empty()) ledger->note_many(agg.data(), agg.size());
+}
+
 udp_collector::udp_collector(stream_engine& engine, collector_config cfg,
                              enrichment* enrich, asn_ledger* ledger)
     : engine_(engine), cfg_(std::move(cfg)), enrich_(enrich), ledger_(ledger) {
@@ -172,7 +216,7 @@ void udp_collector::rx_loop() {
     }
 
     wire_decoder decoder;
-    std::vector<stream_record> batch;
+    simd::record_block batch;
     wire_decode_stats last{};  // previous mirror, for per-burst counter deltas
 
     while (!stop_.load(std::memory_order_acquire)) {
@@ -193,7 +237,7 @@ void udp_collector::rx_loop() {
             burst_bytes += len;
             decoder.decode(buffers[static_cast<std::size_t>(i)].data(), len, batch);
         }
-        ingest_batch(engine_, batch, enrich_, ledger_, &cache_);
+        ingest_block(engine_, batch, enrich_, ledger_, &cache_);
 
         // Mirror the decoder tallies (rx thread owns the decoder; the
         // atomics and obs counters are the cross-thread view).

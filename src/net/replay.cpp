@@ -57,13 +57,13 @@ replay_result replay_wire_file(const std::string& path, stream_engine& engine,
     wire_decoder decoder;
     lookup_cache cache;
     std::vector<std::uint8_t> datagram;
-    std::vector<stream_record> batch;
+    simd::record_block batch;
     while (reader.next(datagram)) {
         ++result.datagrams;
         result.bytes += datagram.size();
         batch.clear();
         decoder.decode(datagram.data(), datagram.size(), batch);
-        ingest_batch(engine, batch, enrich, ledger, &cache);
+        ingest_block(engine, batch, enrich, ledger, &cache);
         result.records += batch.size();
         if (!pace(opt, start, result.records)) {
             result.stopped = true;
@@ -82,7 +82,7 @@ replay_result replay_pcap_file(const std::string& path, stream_engine& engine,
     const auto start = clock::now();
     wire_decoder decoder;
     lookup_cache cache;
-    std::vector<stream_record> batch;
+    simd::record_block batch;
     std::string error;
     const auto stats = pcap_extract_udp(
         path, opt.pcap_port,
@@ -92,7 +92,7 @@ replay_result replay_pcap_file(const std::string& path, stream_engine& engine,
             result.bytes += len;
             batch.clear();
             decoder.decode(payload, len, batch);
-            ingest_batch(engine, batch, enrich, ledger, &cache);
+            ingest_block(engine, batch, enrich, ledger, &cache);
             result.records += batch.size();
             if (!pace(opt, start, result.records)) result.stopped = true;
         },

@@ -79,8 +79,8 @@ std::size_t wire_encoder::encode_all(
     return produced;
 }
 
-bool wire_decoder::decode(const std::uint8_t* data, std::size_t len,
-                          std::vector<stream_record>& out) {
+bool wire_decoder::accept(const std::uint8_t* data, std::size_t len,
+                          std::size_t& count) {
     if (len < kWireHeaderSize) {
         ++stats_.short_header;
         return false;
@@ -97,7 +97,7 @@ bool wire_decoder::decode(const std::uint8_t* data, std::size_t len,
         ++stats_.bad_flags;
         return false;
     }
-    const std::size_t count = get_u16(data + 6);
+    count = get_u16(data + 6);
     const std::size_t need = kWireHeaderSize + count * kWireRecordSize;
     if (len < need) {
         ++stats_.truncated;
@@ -119,6 +119,15 @@ bool wire_decoder::decode(const std::uint8_t* data, std::size_t len,
         ++stats_.seq_reorder;
         if (stats_.seq_gaps > 0) --stats_.seq_gaps;  // it was counted lost
     }
+    ++stats_.datagrams;
+    stats_.records += count;
+    return true;
+}
+
+bool wire_decoder::decode(const std::uint8_t* data, std::size_t len,
+                          std::vector<stream_record>& out) {
+    std::size_t count = 0;
+    if (!accept(data, len, count)) return false;
     const std::uint8_t* p = data + kWireHeaderSize;
     out.reserve(out.size() + count);
     for (std::size_t i = 0; i < count; ++i, p += kWireRecordSize) {
@@ -130,8 +139,22 @@ bool wire_decoder::decode(const std::uint8_t* data, std::size_t len,
         r.hits = get_u64(p + 20);
         out.push_back(r);
     }
-    ++stats_.datagrams;
-    stats_.records += count;
+    return true;
+}
+
+bool wire_decoder::decode(const std::uint8_t* data, std::size_t len,
+                          simd::record_block& out) {
+    std::size_t count = 0;
+    if (!accept(data, len, count)) return false;
+    const std::uint8_t* p = data + kWireHeaderSize;
+    out.reserve(out.size() + count);
+    for (std::size_t i = 0; i < count; ++i, p += kWireRecordSize) {
+        // The 16 address bytes are network order; the lanes hold the
+        // big-endian halves as host u64 values, exactly address::hi()/lo().
+        out.push_back(simd::load_be64(p), simd::load_be64(p + 8),
+                      static_cast<std::int32_t>(get_u32(p + 16)),
+                      get_u64(p + 20));
+    }
     return true;
 }
 

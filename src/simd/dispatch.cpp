@@ -1,0 +1,54 @@
+// One-time runtime dispatch between kernel levels.
+//
+// The decision is split so it can be tested without poking the process
+// environment or depending on the build machine's CPU:
+//   detect_level()   CPUID probe only
+//   resolve_level()  pure (env value, detected) -> level
+//   active_level()   cached resolve(getenv(...), detect())
+
+#include <cstdlib>
+
+#include "kernels_internal.h"
+
+namespace v6::simd {
+
+level detect_level() noexcept {
+#if defined(V6CLASS_HAVE_AVX2)
+    if (__builtin_cpu_supports("avx2")) return level::avx2;
+#endif
+    return level::scalar;
+}
+
+level resolve_level(const char* force_scalar_env, level detected) noexcept {
+    if (force_scalar_env != nullptr && force_scalar_env[0] != '\0' &&
+        !(force_scalar_env[0] == '0' && force_scalar_env[1] == '\0'))
+        return level::scalar;
+    return detected;
+}
+
+level active_level() noexcept {
+    static const level chosen =
+        resolve_level(std::getenv("V6CLASS_FORCE_SCALAR"), detect_level());
+    return chosen;
+}
+
+std::string_view level_name(level l) noexcept {
+    switch (l) {
+        case level::scalar: return "scalar";
+        case level::avx2: return "avx2";
+    }
+    return "?";
+}
+
+const kernel_table& table_for(level l) noexcept {
+#if defined(V6CLASS_HAVE_AVX2)
+    if (l == level::avx2 && detect_level() == level::avx2)
+        return detail::avx2_table();
+#endif
+    (void)l;
+    return detail::scalar_table();
+}
+
+const kernel_table& active_table() noexcept { return table_for(active_level()); }
+
+}  // namespace v6::simd

@@ -1,0 +1,305 @@
+// AVX2 kernel implementations.
+//
+// This translation unit is compiled with -mavx2 (see CMakeLists.txt in
+// this directory) and is only referenced through the dispatch table, so
+// the binary stays runnable on non-AVX2 machines.  The vector code here
+// only accelerates *character classification* (parse) and *bit
+// classification* (classify/mask); all semantic assembly goes through the
+// shared cores in kernels_internal.h, which is how the bit-identical
+// contract with the scalar level is kept.
+
+#if defined(V6CLASS_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "kernels_internal.h"
+
+namespace v6::simd::detail {
+
+namespace {
+
+// ---------------------------------------------------------------- parse --
+
+inline void scan_avx2(const char* s, std::size_t n, scan_result& sc) noexcept {
+    // The scratch carries stale bytes from the previous lane past `n`;
+    // assemble() masks every mask/byte it reads by the string length.
+    char* buf = sc.text;
+    copy_text(buf, s, n);
+
+    const __m256i set0 = _mm256_set1_epi8('0');
+    const __m256i ten = _mm256_set1_epi8(10);
+    const __m256i six = _mm256_set1_epi8(6);
+    const __m256i minus1 = _mm256_set1_epi8(-1);
+    const __m256i lcase = _mm256_set1_epi8(0x20);
+    const __m256i seta = _mm256_set1_epi8('a');
+    const __m256i colon_c = _mm256_set1_epi8(':');
+    const __m256i dot_c = _mm256_set1_epi8('.');
+    const __m256i bad = _mm256_set1_epi8(static_cast<char>(0xff));
+
+    std::uint32_t colon_m[2], dot_m[2];
+    for (int half = 0; half < 2; ++half) {
+        const __m256i c = _mm256_load_si256(
+            reinterpret_cast<const __m256i*>(buf + 32 * half));
+        const __m256i d = _mm256_sub_epi8(c, set0);
+        const __m256i is_digit = _mm256_and_si256(_mm256_cmpgt_epi8(d, minus1),
+                                                  _mm256_cmpgt_epi8(ten, d));
+        const __m256i l = _mm256_sub_epi8(_mm256_or_si256(c, lcase), seta);
+        const __m256i is_af = _mm256_and_si256(_mm256_cmpgt_epi8(l, minus1),
+                                               _mm256_cmpgt_epi8(six, l));
+        __m256i hex = bad;
+        hex = _mm256_blendv_epi8(hex, d, is_digit);
+        hex = _mm256_blendv_epi8(hex, _mm256_add_epi8(l, ten), is_af);
+        _mm256_store_si256(reinterpret_cast<__m256i*>(sc.hexval + 32 * half),
+                           hex);
+        colon_m[half] = static_cast<std::uint32_t>(
+            _mm256_movemask_epi8(_mm256_cmpeq_epi8(c, colon_c)));
+        dot_m[half] = static_cast<std::uint32_t>(
+            _mm256_movemask_epi8(_mm256_cmpeq_epi8(c, dot_c)));
+    }
+    sc.colon = colon_m[0] | (static_cast<std::uint64_t>(colon_m[1]) << 32);
+    sc.dot = dot_m[0] | (static_cast<std::uint64_t>(dot_m[1]) << 32);
+}
+
+std::size_t parse_batch_avx2(const std::string_view* texts, std::size_t n,
+                             address_block& out, std::uint8_t* ok) {
+    out.resize(n);
+    std::uint64_t* hi = out.hi();
+    std::uint64_t* lo = out.lo();
+    std::size_t good = 0;
+    scan_result sc;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::string_view t = texts[i];
+        hi[i] = 0;
+        lo[i] = 0;
+        if (t.empty() || t.size() > 45) {
+            ok[i] = 0;
+            continue;
+        }
+        scan_avx2(t.data(), t.size(), sc);
+        const bool v = assemble(t.data(), t.size(), sc, hi[i], lo[i]);
+        if (!v) {
+            hi[i] = 0;
+            lo[i] = 0;
+        }
+        ok[i] = v ? 1 : 0;
+        good += v ? 1 : 0;
+    }
+    return good;
+}
+
+// --------------------------------------------------------------- format --
+
+void format_batch_avx2(const address_block& in, char* buf,
+                       std::uint8_t* lens) {
+    const __m128i lut =
+        _mm_setr_epi8('0', '1', '2', '3', '4', '5', '6', '7', '8', '9', 'a',
+                      'b', 'c', 'd', 'e', 'f');
+    const __m128i nyb = _mm_set1_epi8(0x0f);
+    const std::size_t n = in.size();
+    const std::uint64_t* hi = in.hi();
+    const std::uint64_t* lo = in.lo();
+    alignas(16) char hex32[32];
+    for (std::size_t i = 0; i < n; ++i) {
+        // Memory byte order must be the address's network byte order.
+        const __m128i bytes = _mm_set_epi64x(
+            static_cast<long long>(__builtin_bswap64(lo[i])),
+            static_cast<long long>(__builtin_bswap64(hi[i])));
+        const __m128i hiN = _mm_and_si128(_mm_srli_epi16(bytes, 4), nyb);
+        const __m128i loN = _mm_and_si128(bytes, nyb);
+        const __m128i hc = _mm_shuffle_epi8(lut, hiN);
+        const __m128i lc = _mm_shuffle_epi8(lut, loN);
+        _mm_store_si128(reinterpret_cast<__m128i*>(hex32),
+                        _mm_unpacklo_epi8(hc, lc));
+        _mm_store_si128(reinterpret_cast<__m128i*>(hex32 + 16),
+                        _mm_unpackhi_epi8(hc, lc));
+        lens[i] = static_cast<std::uint8_t>(
+            format_one(hi[i], lo[i], hex32, buf + kFormatStride * i));
+    }
+}
+
+// ------------------------------------------------------------- classify --
+
+inline __m256i c64(std::uint64_t v) noexcept {
+    return _mm256_set1_epi64x(static_cast<long long>(v));
+}
+
+inline __m256i eq64(__m256i a, __m256i b) noexcept {
+    return _mm256_cmpeq_epi64(a, b);
+}
+
+inline __m256i blend_code(__m256i cur, std::uint64_t code,
+                          __m256i mask) noexcept {
+    return _mm256_blendv_epi8(cur, c64(code), mask);
+}
+
+void classify_batch_avx2(const address_block& in, std::uint8_t* transition,
+                         std::uint8_t* scope, std::uint8_t* iid) {
+    using tk = v6::transition_kind;
+    using sk = v6::address_scope;
+    using ik = v6::iid_kind;
+
+    const std::size_t n = in.size();
+    const std::uint64_t* hi = in.hi();
+    const std::uint64_t* lo = in.lo();
+    const __m256i zero = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i H =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hi + i));
+        const __m256i L =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lo + i));
+
+        const __m256i b0 = _mm256_srli_epi64(H, 56);
+        const __m256i top16 = _mm256_srli_epi64(H, 48);
+        const __m256i top32 = _mm256_srli_epi64(H, 32);
+
+        // ---- scope_of, applied lowest priority first ----
+        const __m256i mc = eq64(b0, c64(0xff));
+        const __m256i ll = _mm256_and_si256(
+            eq64(b0, c64(0xfe)),
+            eq64(_mm256_and_si256(top16, c64(0xc0)), c64(0x80)));
+        const __m256i ul = eq64(_mm256_and_si256(b0, c64(0xfe)), c64(0xfc));
+        const __m256i hi0 = eq64(H, zero);
+        const __m256i unspec = _mm256_and_si256(hi0, eq64(L, zero));
+        const __m256i loopb = _mm256_and_si256(hi0, eq64(L, c64(1)));
+        const __m256i doc = eq64(top32, c64(0x20010db8));
+        const __m256i gu = eq64(_mm256_and_si256(b0, c64(0xe0)), c64(0x20));
+
+        __m256i scode = c64(static_cast<std::uint64_t>(sk::reserved));
+        scode = blend_code(scode, static_cast<std::uint64_t>(sk::global_unicast), gu);
+        scode = blend_code(scode, static_cast<std::uint64_t>(sk::documentation), doc);
+        scode = blend_code(scode, static_cast<std::uint64_t>(sk::loopback), loopb);
+        scode = blend_code(scode, static_cast<std::uint64_t>(sk::unspecified), unspec);
+        scode = blend_code(scode, static_cast<std::uint64_t>(sk::unique_local), ul);
+        scode = blend_code(scode, static_cast<std::uint64_t>(sk::link_local), ll);
+        scode = blend_code(scode, static_cast<std::uint64_t>(sk::multicast), mc);
+
+        // ---- iid_shape ----
+        const __m256i ltop32 = _mm256_srli_epi64(L, 32);
+        const __m256i isat = _mm256_or_si256(eq64(ltop32, c64(0x00005efe)),
+                                             eq64(ltop32, c64(0x02005efe)));
+        const __m256i eui = eq64(
+            _mm256_and_si256(_mm256_srli_epi64(L, 24), c64(0xffff)), c64(0xfffe));
+        const __m256i lowv = eq64(_mm256_srli_epi64(L, 16), zero);
+
+        // populated-nybble count per lane (flag bit per nybble, then SAD).
+        __m256i pn = _mm256_or_si256(L, _mm256_srli_epi64(L, 1));
+        pn = _mm256_or_si256(pn, _mm256_srli_epi64(pn, 2));
+        pn = _mm256_and_si256(pn, c64(0x1111111111111111ull));
+        const __m256i ones8 = c64(0x0101010101010101ull);
+        const __m256i perbyte = _mm256_add_epi8(
+            _mm256_and_si256(pn, ones8),
+            _mm256_and_si256(_mm256_srli_epi64(pn, 4), ones8));
+        const __m256i popn = _mm256_sad_epu8(perbyte, zero);
+        const __m256i structured = _mm256_cmpgt_epi64(c64(7), popn);
+        const __m256i ge3 = _mm256_cmpgt_epi64(popn, c64(2));
+
+        // octet_like per 16-bit group (A: hex-coded <= 0xff; B: decimal-
+        // coded digits whose decimal reading is <= 255).
+        const __m256i ten16 = _mm256_set1_epi16(10);
+        const __m256i nyb16 = _mm256_set1_epi16(0xf);
+        const __m256i A = _mm256_cmpeq_epi16(
+            _mm256_min_epu16(L, _mm256_set1_epi16(0xff)), L);
+        const __m256i le999 = _mm256_cmpeq_epi16(
+            _mm256_min_epu16(L, _mm256_set1_epi16(0x999)), L);
+        const __m256i mid = _mm256_and_si256(_mm256_srli_epi16(L, 4), nyb16);
+        const __m256i lon = _mm256_and_si256(L, nyb16);
+        const __m256i hin = _mm256_srli_epi16(L, 8);
+        const __m256i midle = _mm256_cmpgt_epi16(ten16, mid);
+        const __m256i lole = _mm256_cmpgt_epi16(ten16, lon);
+        const __m256i dec = _mm256_add_epi16(
+            _mm256_add_epi16(_mm256_mullo_epi16(hin, _mm256_set1_epi16(100)),
+                             _mm256_mullo_epi16(mid, ten16)),
+            lon);
+        const __m256i decle = _mm256_cmpgt_epi16(_mm256_set1_epi16(256), dec);
+        const __m256i B = _mm256_and_si256(
+            _mm256_and_si256(le999, midle), _mm256_and_si256(lole, decle));
+        const __m256i oct16 = _mm256_or_si256(A, B);
+        const __m256i all4 = eq64(oct16, _mm256_set1_epi64x(-1));
+
+        const __m256i low32 = _mm256_and_si256(L, c64(0xffffffffull));
+        const __m256i midv4 = _mm256_and_si256(_mm256_srli_epi64(H, 16),
+                                               c64(0xffffffffull));
+        const __m256i rep =
+            _mm256_andnot_si256(eq64(low32, zero), eq64(low32, midv4));
+        const __m256i ltop16nz =
+            _mm256_xor_si256(eq64(_mm256_srli_epi64(L, 48), zero),
+                             _mm256_set1_epi64x(-1));
+        const __m256i v4emb = _mm256_or_si256(
+            rep,
+            _mm256_and_si256(_mm256_and_si256(all4, ge3), ltop16nz));
+
+        __m256i icode = c64(static_cast<std::uint64_t>(ik::pseudorandom));
+        icode = blend_code(icode, static_cast<std::uint64_t>(ik::structured), structured);
+        icode = blend_code(icode, static_cast<std::uint64_t>(ik::embedded_ipv4), v4emb);
+        icode = blend_code(icode, static_cast<std::uint64_t>(ik::low_value), lowv);
+        icode = blend_code(icode, static_cast<std::uint64_t>(ik::eui64), eui);
+        icode = blend_code(icode, static_cast<std::uint64_t>(ik::isatap), isat);
+
+        // ---- transition ----
+        const __m256i teredo = eq64(top32, c64(0x20010000));
+        const __m256i sixfour = eq64(top16, c64(0x2002));
+        __m256i tcode = zero;  // transition_kind::none
+        tcode = blend_code(tcode, static_cast<std::uint64_t>(tk::isatap), isat);
+        tcode = blend_code(tcode, static_cast<std::uint64_t>(tk::six_to_four), sixfour);
+        tcode = blend_code(tcode, static_cast<std::uint64_t>(tk::teredo), teredo);
+
+        alignas(32) std::uint64_t sv[4], iv[4], tv[4];
+        _mm256_store_si256(reinterpret_cast<__m256i*>(sv), scode);
+        _mm256_store_si256(reinterpret_cast<__m256i*>(iv), icode);
+        _mm256_store_si256(reinterpret_cast<__m256i*>(tv), tcode);
+        for (int k = 0; k < 4; ++k) {
+            scope[i + k] = static_cast<std::uint8_t>(sv[k]);
+            iid[i + k] = static_cast<std::uint8_t>(iv[k]);
+            transition[i + k] = static_cast<std::uint8_t>(tv[k]);
+        }
+    }
+    for (; i < n; ++i)
+        classify_lane(hi[i], lo[i], transition[i], scope[i], iid[i]);
+}
+
+// ----------------------------------------------------------------- mask --
+
+void mask_batch_avx2(address_block& block, unsigned len) {
+    std::uint64_t hm = ~0ull, lm = ~0ull;
+    mask_lane(hm, lm, len);
+    const __m256i hmv = c64(hm);
+    const __m256i lmv = c64(lm);
+    const std::size_t n = block.size();
+    std::uint64_t* hi = block.hi();
+    std::uint64_t* lo = block.lo();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(hi + i),
+            _mm256_and_si256(
+                _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hi + i)),
+                hmv));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(lo + i),
+            _mm256_and_si256(
+                _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lo + i)),
+                lmv));
+    }
+    for (; i < n; ++i) {
+        hi[i] &= hm;
+        lo[i] &= lm;
+    }
+}
+
+}  // namespace
+
+const kernel_table& avx2_table() noexcept {
+    static const kernel_table t = {
+        &parse_batch_avx2,    &format_batch_avx2,  &classify_batch_avx2,
+        &malone_batch_scalar, &cpl_batch_scalar,   &mask_batch_avx2,
+        &block_sort,          &block_sort_unique,
+    };
+    return t;
+}
+
+}  // namespace v6::simd::detail
+
+#endif  // V6CLASS_HAVE_AVX2

@@ -1,0 +1,478 @@
+#pragma once
+
+// Shared scalar cores for the v6::simd kernels.
+//
+// Both dispatch levels are built from the same "scan -> assemble" split:
+// the level-specific code only classifies characters (parse) or expands
+// nybbles to hex digits (format); everything with semantic content — group
+// walking, `::` handling, embedded dotted-quads, RFC 5952 run compression,
+// classification predicates — lives here and is executed identically on
+// every level.  That is what makes the bit-identical contract cheap to
+// keep: a divergence would have to be introduced in the few dozen lines of
+// character-classification code, which the differential test hammers.
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "v6class/addrtype/classify.h"
+#include "v6class/addrtype/malone.h"
+#include "v6class/simd/kernels.h"
+
+namespace v6::simd::detail {
+
+// Loads 4 bytes most-significant-first as one u32.  GCC does not fold
+// the shift/or idiom over a variable index into a single load, so spell
+// out the load + byte swap on little-endian targets.
+inline std::uint32_t load_be32(const std::uint8_t* p) noexcept {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    std::uint32_t w;
+    std::memcpy(&w, p, 4);
+    return __builtin_bswap32(w);
+#else
+    return (static_cast<std::uint32_t>(p[0]) << 24) |
+           (static_cast<std::uint32_t>(p[1]) << 16) |
+           (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+#endif
+}
+
+inline void store_be32(std::uint8_t* p, std::uint32_t w) noexcept {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    w = __builtin_bswap32(w);
+    std::memcpy(p, &w, 4);
+#else
+    p[0] = static_cast<std::uint8_t>(w >> 24);
+    p[1] = static_cast<std::uint8_t>(w >> 16);
+    p[2] = static_cast<std::uint8_t>(w >> 8);
+    p[3] = static_cast<std::uint8_t>(w);
+#endif
+}
+
+// ---------------------------------------------------------------- parse --
+
+// Character-classification output for one input string (<= 45 chars,
+// padded to 64 so vector stores never spill).  colon/dot are position
+// bitmasks; hexval[i] is the hex digit value of character i, or 0xff when
+// it is not a hex digit.
+struct scan_result {
+    std::uint64_t colon = 0;
+    std::uint64_t dot = 0;
+    // Copy destination for vector scans.  Zero-initialised once per batch
+    // (scan_result lives across lanes); bytes past the current string are
+    // stale but every consumer masks by the string length, so they never
+    // influence a result.
+    alignas(32) char text[64] = {};
+    alignas(32) std::uint8_t hexval[64] = {};
+};
+
+inline std::uint64_t low_mask(std::size_t k) noexcept {
+    return k >= 64 ? ~0ull : ((1ull << k) - 1);
+}
+
+// Copies a 1..45 byte string with overlapping fixed-size chunks: no
+// libc call, no tail zeroing.  `dst` must have 64 bytes of room.
+inline void copy_text(char* dst, const char* s, std::size_t n) noexcept {
+    if (n >= 32) {
+        std::memcpy(dst, s, 32);
+        std::memcpy(dst + n - 32, s + n - 32, 32);
+    } else if (n >= 16) {
+        std::memcpy(dst, s, 16);
+        std::memcpy(dst + n - 16, s + n - 16, 16);
+    } else if (n >= 8) {
+        std::memcpy(dst, s, 8);
+        std::memcpy(dst + n - 8, s + n - 8, 8);
+    } else if (n >= 4) {
+        std::memcpy(dst, s, 4);
+        std::memcpy(dst + n - 4, s + n - 4, 4);
+    } else {
+        for (std::size_t i = 0; i < n; ++i) dst[i] = s[i];
+    }
+}
+
+// Mirrors parse_embedded_ipv4 in src/ip/address.cpp (inet_pton rules:
+// 1-3 decimal digits, no leading zeroes, <= 255, exactly four octets
+// consuming the whole group).
+inline bool parse_quad(const char* s, const std::uint8_t* hexval,
+                       std::size_t pos, std::size_t end, std::uint16_t& h0,
+                       std::uint16_t& h1) noexcept {
+    unsigned octet[4] = {0, 0, 0, 0};
+    for (int i = 0; i < 4; ++i) {
+        if (i > 0) {
+            if (pos >= end || s[pos] != '.') return false;
+            ++pos;
+        }
+        if (pos >= end || hexval[pos] > 9) return false;
+        unsigned v = 0;
+        std::size_t digits = 0;
+        while (pos < end && hexval[pos] <= 9) {
+            v = v * 10 + hexval[pos];
+            ++pos;
+            if (++digits > 3) return false;
+        }
+        if (v > 255) return false;
+        if (digits > 1 && s[pos - digits] == '0') return false;
+        octet[i] = v;
+    }
+    if (pos != end) return false;
+    h0 = static_cast<std::uint16_t>((octet[0] << 8) | octet[1]);
+    h1 = static_cast<std::uint16_t>((octet[2] << 8) | octet[3]);
+    return true;
+}
+
+// Mirrors the `tokenize` lambda in address::parse: walks the colon-
+// separated groups of [p0, p1); a dotted quad may close the part.
+inline bool tokenize_part(const char* s, const scan_result& sc,
+                          std::size_t p0, std::size_t p1, std::uint16_t* out,
+                          std::size_t& count) noexcept {
+    if (p0 == p1) return true;
+    const std::uint64_t span = low_mask(p1) & ~low_mask(p0);
+    std::uint64_t colons = sc.colon & span;
+    const std::uint64_t dots = sc.dot & span;
+    std::size_t pos = p0;
+    if (dots == 0) {
+        // Fast loop for the overwhelmingly common dot-free part: group
+        // boundaries from the colon mask, branchless digit extraction.
+        for (;;) {
+            const std::size_t ge =
+                colons ? static_cast<std::size_t>(std::countr_zero(colons)) : p1;
+            const std::size_t len = ge - pos;
+            if (len - 1 > 3) return false;  // empty group or > 4 digits
+            std::uint32_t t = load_be32(sc.hexval + pos) >> (8 * (4 - len));
+            if (t & 0xf0f0f0f0u) return false;
+            t = (t | (t >> 4)) & 0x00ff00ffu;
+            if (count >= 8) return false;
+            out[count++] = static_cast<std::uint16_t>((t | (t >> 8)) & 0xffffu);
+            if (!colons) return true;
+            colons &= colons - 1;
+            pos = ge + 1;
+        }
+    }
+    for (;;) {
+        const std::size_t ge =
+            colons ? static_cast<std::size_t>(std::countr_zero(colons)) : p1;
+        if (ge == pos) return false;  // empty group: "1::2:" or ":1:2"
+        if (dots & (low_mask(ge) & ~low_mask(pos))) {
+            if (colons) return false;  // dotted quad must close the part
+            if (count + 2 > 8) return false;
+            std::uint16_t h0 = 0, h1 = 0;
+            if (!parse_quad(s, sc.hexval, pos, ge, h0, h1)) return false;
+            out[count++] = h0;
+            out[count++] = h1;
+            return true;
+        }
+        const std::size_t len = ge - pos;
+        if (len > 4) return false;
+        // Branchless group extraction: the scan buffer is 64 bytes and
+        // pos <= 45, so reading 4 bytes never spills; the trailing
+        // garbage bytes are shifted out before the validity test.
+        // Invalid characters scan as 0xff, which the high-nybble test
+        // rejects.
+        std::uint32_t t = load_be32(sc.hexval + pos) >> (8 * (4 - len));
+        if (t & 0xf0f0f0f0u) return false;
+        // Fold digit bytes (most significant first) into nybbles.
+        t = (t | (t >> 4)) & 0x00ff00ffu;
+        const unsigned v = (t | (t >> 8)) & 0xffffu;
+        if (count >= 8) return false;
+        out[count++] = static_cast<std::uint16_t>(v);
+        if (!colons) return true;
+        colons &= colons - 1;
+        pos = ge + 1;
+    }
+}
+
+// Assembles a scanned string into (hi, lo).  Semantics must track
+// address::parse exactly — including the quirks: a dotted quad may close
+// the part *before* the gap ("1.2.3.4::1" parses), and "::" must stand
+// for at least one zero group.
+inline bool assemble(const char* s, std::size_t n, const scan_result& sc,
+                     std::uint64_t& hi, std::uint64_t& lo) noexcept {
+    const std::uint64_t colon = sc.colon & low_mask(n);
+    const std::uint64_t pairs = colon & (colon >> 1);
+    constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    std::size_t gap = npos;
+    if (pairs) {
+        if (pairs & (pairs - 1)) return false;  // more than one "::"
+        gap = static_cast<std::size_t>(std::countr_zero(pairs));
+    }
+    std::uint16_t tail_g[8];
+    std::size_t head_n = 0, tail_n = 0;
+    std::uint16_t g[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    if (gap == npos) {
+        if (!tokenize_part(s, sc, 0, n, g, head_n)) return false;
+        if (head_n != 8) return false;
+    } else {
+        if (!tokenize_part(s, sc, 0, gap, g, head_n)) return false;
+        if (!tokenize_part(s, sc, gap + 2, n, tail_g, tail_n)) return false;
+        if (head_n + tail_n > 7) return false;
+        for (std::size_t i = 0; i < tail_n; ++i) g[8 - tail_n + i] = tail_g[i];
+    }
+    hi = (static_cast<std::uint64_t>(g[0]) << 48) |
+         (static_cast<std::uint64_t>(g[1]) << 32) |
+         (static_cast<std::uint64_t>(g[2]) << 16) | g[3];
+    lo = (static_cast<std::uint64_t>(g[4]) << 48) |
+         (static_cast<std::uint64_t>(g[5]) << 32) |
+         (static_cast<std::uint64_t>(g[6]) << 16) | g[7];
+    return true;
+}
+
+// --------------------------------------------------------------- format --
+
+// Emits the RFC 5952 text of (hi, lo) given its 32-char full-hex
+// expansion (level-specific).  Returns the length.  Matches
+// address::to_string byte for byte: longest zero run >= 2 compressed,
+// leftmost on tie, lowercase, no leading zeroes.  `out` must have
+// kFormatStride bytes (the digit copy below over-writes up to 3 bytes
+// past the emitted text).
+inline std::size_t format_one(std::uint64_t hi, std::uint64_t lo,
+                              const char* hex32, char* out) noexcept {
+    const std::uint16_t h[8] = {
+        static_cast<std::uint16_t>(hi >> 48), static_cast<std::uint16_t>(hi >> 32),
+        static_cast<std::uint16_t>(hi >> 16), static_cast<std::uint16_t>(hi),
+        static_cast<std::uint16_t>(lo >> 48), static_cast<std::uint16_t>(lo >> 32),
+        static_cast<std::uint16_t>(lo >> 16), static_cast<std::uint16_t>(lo)};
+
+    // Longest zero run via mask folding: bit i of `r` after k folds means
+    // groups i..i+k are all zero, so the last non-empty fold holds the
+    // starts of every maximal run and countr_zero picks the leftmost.
+    unsigned zmask = 0;
+    for (int i = 0; i < 8; ++i) zmask |= static_cast<unsigned>(h[i] == 0) << i;
+    int best_start = -1, best_len = 0;
+    if (zmask) {
+        unsigned r = zmask, starts = zmask;
+        int len = 0;
+        while (r) {
+            starts = r;
+            r &= r >> 1;
+            ++len;
+        }
+        if (len >= 2) {
+            best_len = len;
+            best_start = std::countr_zero(starts);
+        }
+    }
+
+    char* p = out;
+    const auto emit = [&](int i, bool lead_colon) noexcept {
+        if (lead_colon) *p++ = ':';
+        const unsigned nd =
+            (35u - static_cast<unsigned>(std::countl_zero(
+                       static_cast<std::uint32_t>(h[i]) | 1u))) >>
+            2;
+        // Group-aligned 4-byte load stays inside hex32; shifting drops
+        // the 4-nd leading-zero digits. The trailing zero bytes written
+        // past p+nd are overwritten by the next group or left in the
+        // out slot's slack.
+        std::uint32_t w = load_be32(
+            reinterpret_cast<const std::uint8_t*>(hex32) + 4 * i);
+        store_be32(reinterpret_cast<std::uint8_t*>(p), w << (8 * (4 - nd)));
+        p += nd;
+    };
+    if (best_start < 0) {
+        for (int i = 0; i < 8; ++i) emit(i, i > 0);
+    } else {
+        for (int i = 0; i < best_start; ++i) emit(i, i > 0);
+        *p++ = ':';
+        *p++ = ':';
+        const int tail0 = best_start + best_len;
+        for (int i = tail0; i < 8; ++i) emit(i, i > tail0);
+    }
+    return static_cast<std::size_t>(p - out);
+}
+
+// Portable 16-nybble -> 16-char lowercase hex expansion of one u64
+// (big-endian digit order), SWAR ascii adjustment.
+inline void hex_expand_u64(std::uint64_t x, char* out16) noexcept {
+    const std::uint64_t kNyb = 0x0f0f0f0f0f0f0f0full;
+    const std::uint64_t hiN = (x >> 4) & kNyb;
+    const std::uint64_t loN = x & kNyb;
+    const auto ascii = [](std::uint64_t n) noexcept {
+        const std::uint64_t gt9 =
+            ((n + 0x0606060606060606ull) & 0x1010101010101010ull) >> 4;
+        return n + 0x3030303030303030ull + gt9 * 0x27ull;
+    };
+    const std::uint64_t hc = ascii(hiN);
+    const std::uint64_t lc = ascii(loN);
+    for (int i = 0; i < 8; ++i) {
+        out16[2 * i] = static_cast<char>(hc >> (56 - 8 * i));
+        out16[2 * i + 1] = static_cast<char>(lc >> (56 - 8 * i));
+    }
+}
+
+// ------------------------------------------------------------- classify --
+
+inline unsigned populated_nybbles_u64(std::uint64_t x) noexcept {
+    std::uint64_t n = x | (x >> 1);
+    n |= n >> 2;
+    n &= 0x1111111111111111ull;
+    return static_cast<unsigned>(std::popcount(n));
+}
+
+inline bool octet_like_u16(std::uint16_t group) noexcept {
+    if (group <= 0xff) return true;
+    if (group > 0x999) return false;
+    unsigned dec = 0;
+    for (int shift = 8; shift >= 0; shift -= 4) {
+        const unsigned nybble = (group >> shift) & 0xf;
+        if (nybble > 9) return false;
+        dec = dec * 10 + nybble;
+    }
+    return dec <= 255;
+}
+
+// scope_of / iid_shape / transition over lanes; value-identical to
+// classify() in src/addrtype/classify.cpp.
+inline void classify_lane(std::uint64_t hi, std::uint64_t lo,
+                          std::uint8_t& transition, std::uint8_t& scope,
+                          std::uint8_t& iid_out) noexcept {
+    using tk = v6::transition_kind;
+    using sc = v6::address_scope;
+    using ik = v6::iid_kind;
+
+    // scope_of
+    const unsigned b0 = static_cast<unsigned>(hi >> 56);
+    sc s = sc::reserved;
+    if (b0 == 0xff) {
+        s = sc::multicast;
+    } else if (b0 == 0xfe && ((static_cast<unsigned>(hi >> 48) & 0xc0u) == 0x80u)) {
+        s = sc::link_local;
+    } else if ((b0 & 0xfe) == 0xfc) {
+        s = sc::unique_local;
+    } else if (hi == 0 && lo == 0) {
+        s = sc::unspecified;
+    } else if (hi == 0 && lo == 1) {
+        s = sc::loopback;
+    } else if ((hi >> 32) == 0x20010db8ull) {
+        s = sc::documentation;
+    } else if ((b0 & 0xe0) == 0x20) {
+        s = sc::global_unicast;
+    }
+
+    // iid_shape
+    const std::uint64_t top32 = lo >> 32;
+    const bool isatap_iid = top32 == 0x00005efeull || top32 == 0x02005efeull;
+    const bool eui64_iid = ((lo >> 24) & 0xffffull) == 0xfffeull;
+    ik k;
+    if (isatap_iid) {
+        k = ik::isatap;
+    } else if (eui64_iid) {
+        k = ik::eui64;
+    } else if ((lo >> 16) == 0) {
+        k = ik::low_value;
+    } else {
+        const std::uint32_t low32 = static_cast<std::uint32_t>(lo);
+        const std::uint32_t mid_v4 =
+            static_cast<std::uint32_t>((hi >> 16) & 0xffffffffull);
+        bool v4emb = low32 != 0 && low32 == mid_v4;
+        if (!v4emb) {
+            bool all4 = true;
+            for (unsigned g = 0; g < 4 && all4; ++g)
+                all4 = octet_like_u16(static_cast<std::uint16_t>(lo >> (48 - 16 * g)));
+            v4emb = all4 && populated_nybbles_u64(lo) >= 3 && (lo >> 48) != 0;
+        }
+        if (v4emb) {
+            k = ik::embedded_ipv4;
+        } else if (populated_nybbles_u64(lo) <= 6) {
+            k = ik::structured;
+        } else {
+            k = ik::pseudorandom;
+        }
+    }
+
+    // transition
+    tk t = tk::none;
+    if ((hi >> 32) == 0x20010000ull) {
+        t = tk::teredo;
+    } else if ((hi >> 48) == 0x2002ull) {
+        t = tk::six_to_four;
+    } else if (k == ik::isatap) {
+        t = tk::isatap;
+    }
+
+    transition = static_cast<std::uint8_t>(t);
+    scope = static_cast<std::uint8_t>(s);
+    iid_out = static_cast<std::uint8_t>(k);
+}
+
+// malone_classify over lanes; value-identical to src/addrtype/malone.cpp.
+inline std::uint8_t malone_lane(std::uint64_t hi, std::uint64_t lo) noexcept {
+    using ml = v6::malone_label;
+    if ((hi >> 32) == 0x20010000ull) return static_cast<std::uint8_t>(ml::teredo);
+    if ((hi >> 48) == 0x2002ull) return static_cast<std::uint8_t>(ml::six_to_four);
+
+    const std::uint64_t top32 = lo >> 32;
+    if (top32 == 0x00005efeull || top32 == 0x02005efeull)
+        return static_cast<std::uint8_t>(ml::isatap);
+    if (((lo >> 24) & 0xffffull) == 0xfffeull)
+        return static_cast<std::uint8_t>(ml::eui64);
+    if ((lo >> 16) == 0) return static_cast<std::uint8_t>(ml::low);
+
+    static constexpr std::uint16_t kWords[] = {
+        0xdead, 0xbeef, 0xcafe, 0xbabe, 0xf00d, 0xfeed,
+        0xface, 0xc0de, 0xd00d, 0xb00b, 0x1337,
+    };
+    unsigned wordish = 0;
+    for (unsigned g = 0; g < 4; ++g) {
+        const std::uint16_t group = static_cast<std::uint16_t>(lo >> (48 - 16 * g));
+        for (std::uint16_t w : kWords)
+            if (group == w) ++wordish;
+        const unsigned n0 = group >> 12, n1 = (group >> 8) & 0xf,
+                       n2 = (group >> 4) & 0xf, n3 = group & 0xf;
+        if (group != 0 && n0 == n1 && n1 == n2 && n2 == n3) ++wordish;
+    }
+    if (wordish >= 2) return static_cast<std::uint8_t>(ml::word);
+
+    bool all_octet_sized = true;
+    for (unsigned g = 0; g < 4 && all_octet_sized; ++g)
+        all_octet_sized =
+            octet_like_u16(static_cast<std::uint16_t>(lo >> (48 - 16 * g)));
+    if (all_octet_sized && (lo >> 48) != 0)
+        return static_cast<std::uint8_t>(ml::v4_based);
+
+    bool leading_populated = true;
+    for (unsigned g = 0; g < 4 && leading_populated; ++g)
+        leading_populated = ((lo >> (60 - 16 * g)) & 0xf) != 0;
+    // u bit == address bit 70 == bit 57 of lo.
+    if (leading_populated && ((lo >> 57) & 1) == 0)
+        return static_cast<std::uint8_t>(ml::randomised);
+    return static_cast<std::uint8_t>(ml::unclassified);
+}
+
+// ---------------------------------------------------------- cpl / mask --
+
+inline unsigned cpl_lane(std::uint64_t ah, std::uint64_t al, std::uint64_t bh,
+                         std::uint64_t bl) noexcept {
+    const std::uint64_t xh = ah ^ bh;
+    if (xh != 0) return static_cast<unsigned>(std::countl_zero(xh));
+    const std::uint64_t xl = al ^ bl;
+    if (xl != 0) return 64 + static_cast<unsigned>(std::countl_zero(xl));
+    return 128;
+}
+
+inline void mask_lane(std::uint64_t& hi, std::uint64_t& lo,
+                      unsigned len) noexcept {
+    if (len >= 128) return;
+    if (len >= 64) {
+        lo = (len == 64) ? 0 : (lo & (~0ull << (128 - len)));
+    } else {
+        hi = (len == 0) ? 0 : (hi & (~0ull << (64 - len)));
+        lo = 0;
+    }
+}
+
+// --------------------------------------------------- table definitions --
+
+const kernel_table& scalar_table() noexcept;
+#if defined(V6CLASS_HAVE_AVX2)
+const kernel_table& avx2_table() noexcept;
+#endif
+
+// Shared (level-independent) kernels defined in kernels_scalar.cpp and
+// reused by the AVX2 table.
+void malone_batch_scalar(const address_block& in, std::uint8_t* labels);
+void cpl_batch_scalar(const address_block& a, const address_block& b,
+                      std::uint8_t* out);
+void block_sort(address_block& block);
+void block_sort_unique(address_block& block);
+
+}  // namespace v6::simd::detail

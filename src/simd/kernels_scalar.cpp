@@ -1,0 +1,184 @@
+// Portable SWAR/scalar kernel implementations — the reference level.
+//
+// Every other dispatch level must reproduce these outputs bit for bit
+// (tests/simd_differential_test.cpp enforces it against 100k+ inputs).
+
+#include <algorithm>
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "kernels_internal.h"
+
+namespace v6::simd::detail {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 256> make_hex_lut() {
+    std::array<std::uint8_t, 256> lut{};
+    for (int i = 0; i < 256; ++i) lut[i] = 0xff;
+    for (int c = '0'; c <= '9'; ++c) lut[c] = static_cast<std::uint8_t>(c - '0');
+    for (int c = 'a'; c <= 'f'; ++c)
+        lut[c] = static_cast<std::uint8_t>(c - 'a' + 10);
+    for (int c = 'A'; c <= 'F'; ++c)
+        lut[c] = static_cast<std::uint8_t>(c - 'A' + 10);
+    return lut;
+}
+
+constexpr std::array<std::uint8_t, 256> kHexLut = make_hex_lut();
+
+void scan_scalar(const char* s, std::size_t n, scan_result& sc) noexcept {
+    sc.colon = 0;
+    sc.dot = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const unsigned char c = static_cast<unsigned char>(s[i]);
+        sc.colon |= static_cast<std::uint64_t>(c == ':') << i;
+        sc.dot |= static_cast<std::uint64_t>(c == '.') << i;
+        sc.hexval[i] = kHexLut[c];
+    }
+}
+
+std::size_t parse_batch_scalar(const std::string_view* texts, std::size_t n,
+                               address_block& out, std::uint8_t* ok) {
+    out.resize(n);
+    std::uint64_t* hi = out.hi();
+    std::uint64_t* lo = out.lo();
+    std::size_t good = 0;
+    scan_result sc;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::string_view t = texts[i];
+        hi[i] = 0;
+        lo[i] = 0;
+        if (t.empty() || t.size() > 45) {
+            ok[i] = 0;
+            continue;
+        }
+        scan_scalar(t.data(), t.size(), sc);
+        const bool v = assemble(t.data(), t.size(), sc, hi[i], lo[i]);
+        if (!v) {
+            hi[i] = 0;
+            lo[i] = 0;
+        }
+        ok[i] = v ? 1 : 0;
+        good += v ? 1 : 0;
+    }
+    return good;
+}
+
+void format_batch_scalar(const address_block& in, char* buf,
+                         std::uint8_t* lens) {
+    const std::size_t n = in.size();
+    const std::uint64_t* hi = in.hi();
+    const std::uint64_t* lo = in.lo();
+    char hex32[32];
+    for (std::size_t i = 0; i < n; ++i) {
+        hex_expand_u64(hi[i], hex32);
+        hex_expand_u64(lo[i], hex32 + 16);
+        lens[i] = static_cast<std::uint8_t>(
+            format_one(hi[i], lo[i], hex32, buf + kFormatStride * i));
+    }
+}
+
+void classify_batch_scalar(const address_block& in, std::uint8_t* transition,
+                           std::uint8_t* scope, std::uint8_t* iid) {
+    const std::size_t n = in.size();
+    const std::uint64_t* hi = in.hi();
+    const std::uint64_t* lo = in.lo();
+    for (std::size_t i = 0; i < n; ++i)
+        classify_lane(hi[i], lo[i], transition[i], scope[i], iid[i]);
+}
+
+void mask_batch_scalar(address_block& block, unsigned len) {
+    const std::size_t n = block.size();
+    std::uint64_t* hi = block.hi();
+    std::uint64_t* lo = block.lo();
+    for (std::size_t i = 0; i < n; ++i) mask_lane(hi[i], lo[i], len);
+}
+
+}  // namespace
+
+void malone_batch_scalar(const address_block& in, std::uint8_t* labels) {
+    const std::size_t n = in.size();
+    const std::uint64_t* hi = in.hi();
+    const std::uint64_t* lo = in.lo();
+    for (std::size_t i = 0; i < n; ++i) labels[i] = malone_lane(hi[i], lo[i]);
+}
+
+void cpl_batch_scalar(const address_block& a, const address_block& b,
+                      std::uint8_t* out) {
+    const std::size_t n = a.size();
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = static_cast<std::uint8_t>(
+            cpl_lane(a.hi()[i], a.lo()[i], b.hi()[i], b.lo()[i]));
+}
+
+namespace {
+
+// MSD radix partition on the top hi byte, then std::sort of (hi, lo)
+// pairs per bucket.  (hi, lo) numeric order equals the byte-lexicographic
+// ip address order, so this matches std::sort over ip addresses.
+void sort_pairs(address_block& block,
+                std::vector<std::pair<std::uint64_t, std::uint64_t>>& v) {
+    const std::size_t n = block.size();
+    v.resize(n);
+    const std::uint64_t* hi = block.hi();
+    const std::uint64_t* lo = block.lo();
+
+    std::size_t bucket_count[256] = {};
+    for (std::size_t i = 0; i < n; ++i) ++bucket_count[hi[i] >> 56];
+
+    std::size_t start[257];
+    start[0] = 0;
+    for (int b = 0; b < 256; ++b) start[b + 1] = start[b] + bucket_count[b];
+
+    std::size_t cursor[256];
+    for (int b = 0; b < 256; ++b) cursor[b] = start[b];
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t b = hi[i] >> 56;
+        v[cursor[b]++] = {hi[i], lo[i]};
+    }
+    for (int b = 0; b < 256; ++b) {
+        if (bucket_count[b] > 1)
+            std::sort(v.begin() + static_cast<std::ptrdiff_t>(start[b]),
+                      v.begin() + static_cast<std::ptrdiff_t>(start[b + 1]));
+    }
+}
+
+}  // namespace
+
+void block_sort(address_block& block) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> v;
+    sort_pairs(block, v);
+    std::uint64_t* hi = block.hi();
+    std::uint64_t* lo = block.lo();
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        hi[i] = v[i].first;
+        lo[i] = v[i].second;
+    }
+}
+
+void block_sort_unique(address_block& block) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> v;
+    sort_pairs(block, v);
+    std::uint64_t* hi = block.hi();
+    std::uint64_t* lo = block.lo();
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i > 0 && v[i] == v[i - 1]) continue;
+        hi[out] = v[i].first;
+        lo[out] = v[i].second;
+        ++out;
+    }
+    block.resize(out);
+}
+
+const kernel_table& scalar_table() noexcept {
+    static const kernel_table t = {
+        &parse_batch_scalar,    &format_batch_scalar, &classify_batch_scalar,
+        &malone_batch_scalar,   &cpl_batch_scalar,    &mask_batch_scalar,
+        &block_sort,            &block_sort_unique,
+    };
+    return t;
+}
+
+}  // namespace v6::simd::detail

@@ -1,8 +1,10 @@
 #include "v6class/spatial/mra.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "v6class/obs/timer.h"
+#include "v6class/simd/kernels.h"
 
 namespace v6 {
 
@@ -65,9 +67,34 @@ mra_series compute_mra_sorted(const std::vector<address>& sorted_unique) {
 
 mra_series compute_mra(std::vector<address> addrs) {
     const obs::trace_scope span("mra", mra_phase_histogram());
-    std::sort(addrs.begin(), addrs.end());
-    addrs.erase(std::unique(addrs.begin(), addrs.end()), addrs.end());
-    return compute_mra_sorted(addrs);
+    // Sort + dedupe on SoA lanes, then adjacent common-prefix lengths via
+    // the batch kernel; identical to sort/unique/compute_mra_sorted.
+    simd::address_block block(addrs.size());
+    block.assign(addrs);
+    simd::sort_unique_block(block);
+    const std::size_t n = block.size();
+
+    std::array<std::uint64_t, 129> hist{};  // hist[c] = pairs with cpl == c
+    if (n >= 2) {
+        simd::address_block a(n - 1), b(n - 1);
+        a.resize(n - 1);
+        b.resize(n - 1);
+        std::memcpy(a.hi(), block.hi(), (n - 1) * sizeof(std::uint64_t));
+        std::memcpy(a.lo(), block.lo(), (n - 1) * sizeof(std::uint64_t));
+        std::memcpy(b.hi(), block.hi() + 1, (n - 1) * sizeof(std::uint64_t));
+        std::memcpy(b.lo(), block.lo() + 1, (n - 1) * sizeof(std::uint64_t));
+        std::vector<std::uint8_t> cpl(n - 1);
+        simd::common_prefix_len_batch(a, b, cpl.data());
+        for (const std::uint8_t c : cpl) ++hist[c];
+    }
+
+    std::array<std::uint64_t, 129> below{};
+    std::uint64_t running = 0;
+    for (unsigned p = 0; p <= 128; ++p) {
+        below[p] = running;
+        if (p < 128) running += hist[p];
+    }
+    return from_split_histogram(below, n == 0);
 }
 
 mra_series compute_mra_from_trie(const radix_tree& tree) {

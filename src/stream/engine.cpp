@@ -6,6 +6,7 @@
 #include "v6class/obs/profile.h"
 #include "v6class/obs/timer.h"
 #include "v6class/par/pool.h"
+#include "v6class/simd/kernels.h"
 
 namespace v6 {
 
@@ -47,6 +48,13 @@ void stream_engine::init_metrics() {
     m_.distinct_projected =
         reg.get_gauge("v6_stream_distinct_projected", {},
                       "Distinct projected prefixes across all sealed days.");
+    // Which batch-kernel dispatch level this process runs (the numeric
+    // v6::simd::level value), labeled with its name; 0 = scalar (forced
+    // via V6CLASS_FORCE_SCALAR or no AVX2), 2 = avx2.
+    reg.get_gauge("v6class_simd_level",
+                  {{"level", std::string(simd::level_name(simd::active_level()))}},
+                  "Active SIMD dispatch level of the batch kernels.")
+        .set(static_cast<std::int64_t>(simd::active_level()));
     if (!cfg_.metrics) return;
     // Sampled instrumentation: per-shard series and latency histograms.
     for (unsigned i = 0; i < cfg_.shards; ++i) {
@@ -206,6 +214,22 @@ stream_engine::~stream_engine() { finish(); }
 
 void stream_engine::push(const stream_record& r) {
     std::unique_lock lock(push_mutex_);
+    push_locked(r);
+}
+
+void stream_engine::push_block(const simd::record_block& block) {
+    // One lock acquisition per block (up to kWireMaxBatch records), not
+    // per record — the contention the vector path pays per datagram.
+    std::unique_lock lock(push_mutex_);
+    const std::uint64_t* his = block.addrs.hi();
+    const std::uint64_t* los = block.addrs.lo();
+    for (std::size_t i = 0; i < block.size(); ++i)
+        push_locked(stream_record{block.day[i],
+                                  address::from_pair(his[i], los[i]),
+                                  block.hits[i]});
+}
+
+void stream_engine::push_locked(const stream_record& r) {
     m_.fed.inc();
     if (finished_) {
         m_.dropped.inc();

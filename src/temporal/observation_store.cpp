@@ -7,6 +7,32 @@
 
 namespace v6 {
 
+namespace {
+
+// Same bit semantics as address::masked(len), on the lane representation.
+inline void mask_pair(std::uint64_t& hi, std::uint64_t& lo,
+                      unsigned len) noexcept {
+    if (len >= 128) return;
+    if (len >= 64) {
+        lo = (len == 64) ? 0 : (lo & (~0ull << (128 - len)));
+    } else {
+        hi = (len == 0) ? 0 : (hi & (~0ull << (64 - len)));
+        lo = 0;
+    }
+}
+
+inline std::uint64_t hash_pair(std::uint64_t hi, std::uint64_t lo) noexcept {
+    std::uint64_t h = hi ^ (lo + 0x9e3779b97f4a7c15ull + (hi << 6) + (hi >> 2));
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ull;
+    h ^= h >> 33;
+    return h;
+}
+
+}  // namespace
+
 void observation_store::record::set_bit(unsigned offset) {
     if (offset < 64) {
         inline_bits |= std::uint64_t{1} << offset;
@@ -62,15 +88,61 @@ unsigned observation_store::record::popcount() const noexcept {
     return n;
 }
 
-void observation_store::record_one(int day, const address& a) {
-    auto [it, fresh] = records_.try_emplace(a);
-    record& r = it->second;
-    if (fresh) {
-        r.first_day = day;
-        r.last_day = day;
-        r.set_bit(0);
-        return;
+std::uint32_t observation_store::lookup(std::uint64_t hi,
+                                        std::uint64_t lo) const noexcept {
+    if (index_.empty()) return kEmptySlot;
+    const std::size_t mask = index_.size() - 1;
+    std::size_t slot = hash_pair(hi, lo) & mask;
+    for (;;) {
+        const std::uint32_t idx = index_[slot];
+        if (idx == kEmptySlot) return kEmptySlot;
+        if (key_hi_[idx] == hi && key_lo_[idx] == lo) return idx;
+        slot = (slot + 1) & mask;
     }
+}
+
+void observation_store::reserve_for(std::size_t additional) {
+    const std::size_t need = recs_.size() + additional;
+    key_hi_.reserve(need);
+    key_lo_.reserve(need);
+    recs_.reserve(need);
+    // Keep the probe table under 7/8 load; one rehash up front covers the
+    // whole batch.
+    if (index_.empty() || need * 8 >= index_.size() * 7) {
+        std::size_t cap = std::bit_ceil(std::max<std::size_t>(1024, need * 2));
+        std::vector<std::uint32_t> fresh(cap, kEmptySlot);
+        const std::size_t mask = cap - 1;
+        for (std::uint32_t idx = 0; idx < recs_.size(); ++idx) {
+            std::size_t slot = hash_pair(key_hi_[idx], key_lo_[idx]) & mask;
+            while (fresh[slot] != kEmptySlot) slot = (slot + 1) & mask;
+            fresh[slot] = idx;
+        }
+        index_ = std::move(fresh);
+    }
+}
+
+void observation_store::record_one(int day, std::uint64_t hi,
+                                   std::uint64_t lo) {
+    const std::size_t mask = index_.size() - 1;
+    std::size_t slot = hash_pair(hi, lo) & mask;
+    std::uint32_t idx;
+    for (;;) {
+        idx = index_[slot];
+        if (idx == kEmptySlot) {
+            idx = static_cast<std::uint32_t>(recs_.size());
+            index_[slot] = idx;
+            key_hi_.push_back(hi);
+            key_lo_.push_back(lo);
+            record& fresh = recs_.emplace_back();
+            fresh.first_day = day;
+            fresh.last_day = day;
+            fresh.set_bit(0);
+            return;
+        }
+        if (key_hi_[idx] == hi && key_lo_[idx] == lo) break;
+        slot = (slot + 1) & mask;
+    }
+    record& r = recs_[idx];
     if (day < r.first_day) {
         r.shift_right(static_cast<unsigned>(r.first_day - day));
         r.first_day = day;
@@ -86,21 +158,43 @@ void observation_store::record_day(int day, const std::vector<address>& active) 
         "v6_temporal_record_day_seconds", obs::latency_buckets(), {},
         "Time to fold one day of active addresses into the lifetime store.");
     const obs::trace_scope span("record_day", phase);
-    records_.reserve(records_.size() + active.size());
-    for (const address& a : active)
-        record_one(day, prefix_length_ == 128 ? a : a.masked(prefix_length_));
+    reserve_for(active.size());
+    for (const address& a : active) {
+        std::uint64_t hi = a.hi(), lo = a.lo();
+        mask_pair(hi, lo, prefix_length_);
+        record_one(day, hi, lo);
+    }
+}
+
+void observation_store::record_day(int day, const simd::address_block& active) {
+    static const obs::histogram phase = obs::registry::global().get_histogram(
+        "v6_temporal_record_day_seconds", obs::latency_buckets(), {},
+        "Time to fold one day of active addresses into the lifetime store.");
+    const obs::trace_scope span("record_day", phase);
+    reserve_for(active.size());
+    const std::uint64_t* his = active.hi();
+    const std::uint64_t* los = active.lo();
+    for (std::size_t i = 0; i < active.size(); ++i) {
+        std::uint64_t hi = his[i], lo = los[i];
+        mask_pair(hi, lo, prefix_length_);
+        record_one(day, hi, lo);
+    }
 }
 
 unsigned observation_store::days_seen(const address& a) const noexcept {
-    const auto it = records_.find(prefix_length_ == 128 ? a : a.masked(prefix_length_));
-    return it == records_.end() ? 0 : it->second.popcount();
+    std::uint64_t hi = a.hi(), lo = a.lo();
+    mask_pair(hi, lo, prefix_length_);
+    const std::uint32_t idx = lookup(hi, lo);
+    return idx == kEmptySlot ? 0 : recs_[idx].popcount();
 }
 
 std::optional<std::pair<int, int>> observation_store::first_last(
     const address& a) const noexcept {
-    const auto it = records_.find(prefix_length_ == 128 ? a : a.masked(prefix_length_));
-    if (it == records_.end()) return std::nullopt;
-    return std::make_pair(it->second.first_day, it->second.last_day);
+    std::uint64_t hi = a.hi(), lo = a.lo();
+    mask_pair(hi, lo, prefix_length_);
+    const std::uint32_t idx = lookup(hi, lo);
+    if (idx == kEmptySlot) return std::nullopt;
+    return std::make_pair(recs_[idx].first_day, recs_[idx].last_day);
 }
 
 bool observation_store::is_stable(const address& a, unsigned n) const noexcept {
@@ -110,8 +204,9 @@ bool observation_store::is_stable(const address& a, unsigned n) const noexcept {
 
 std::vector<address> observation_store::stable_addresses(unsigned n) const {
     std::vector<address> out;
-    for (const auto& [addr, rec] : records_)
-        if (rec.last_day - rec.first_day >= static_cast<int>(n)) out.push_back(addr);
+    for (std::size_t i = 0; i < recs_.size(); ++i)
+        if (recs_[i].last_day - recs_[i].first_day >= static_cast<int>(n))
+            out.push_back(address::from_pair(key_hi_[i], key_lo_[i]));
     std::sort(out.begin(), out.end());
     return out;
 }
@@ -119,7 +214,7 @@ std::vector<address> observation_store::stable_addresses(unsigned n) const {
 std::vector<std::uint64_t> observation_store::stability_spectrum(
     unsigned max_n) const {
     std::vector<std::uint64_t> span_hist(max_n + 1, 0);
-    for (const auto& [addr, rec] : records_) {
+    for (const record& rec : recs_) {
         const unsigned span = static_cast<unsigned>(rec.last_day - rec.first_day);
         ++span_hist[std::min(span, max_n)];
     }
@@ -135,7 +230,7 @@ std::vector<std::uint64_t> observation_store::stability_spectrum(
 
 std::vector<std::uint64_t> observation_store::gap_histogram(unsigned max_gap) const {
     std::vector<std::uint64_t> hist(max_gap + 1, 0);
-    for (const auto& [addr, rec] : records_) {
+    for (const record& rec : recs_) {
         const unsigned top =
             64 + (rec.overflow ? static_cast<unsigned>(rec.overflow->size()) * 64 : 0);
         int prev = -1;

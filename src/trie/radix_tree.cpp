@@ -1,5 +1,7 @@
 #include "v6class/trie/radix_tree.h"
 
+#include "v6class/simd/kernels.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -400,14 +402,19 @@ std::vector<dense_prefix> dense_prefixes_by_sort(const std::vector<address>& add
                                                  std::uint64_t min_count, unsigned p) {
     std::vector<dense_prefix> out;
     if (addrs.empty() || min_count == 0) return out;
-    std::vector<address> cut;
-    cut.reserve(addrs.size());
-    for (const auto& a : addrs) cut.push_back(a.masked(p));
-    std::sort(cut.begin(), cut.end());
+    // Mask + sort on the SoA lanes (batch kernels; radix-partitioned
+    // sort). (hi, lo) pair order equals address order, so the group scan
+    // sees the same runs std::sort over masked addresses would produce.
+    simd::address_block cut(addrs.size());
+    cut.assign(addrs);
+    simd::mask_batch(cut, p);
+    simd::sort_block(cut);
+    const std::uint64_t* his = cut.hi();
+    const std::uint64_t* los = cut.lo();
     for (std::size_t i = 0; i < cut.size();) {
         std::size_t j = i;
-        while (j < cut.size() && cut[j] == cut[i]) ++j;
-        if (j - i >= min_count) out.push_back({prefix{cut[i], p}, j - i});
+        while (j < cut.size() && his[j] == his[i] && los[j] == los[i]) ++j;
+        if (j - i >= min_count) out.push_back({prefix{cut.at(i), p}, j - i});
         i = j;
     }
     return out;

@@ -1,0 +1,318 @@
+// Differential property test: every batch kernel, at every available
+// dispatch level, must be bit-identical to the scalar ip::address /
+// addrtype routines.  This is the contract that makes runtime dispatch
+// invisible (same day reports with and without AVX2), so the corpus leans
+// adversarial: compressed forms, embedded IPv4, inet_pton edge cases,
+// malformed mutations, and 100k+ random addresses.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "v6class/addrtype/classify.h"
+#include "v6class/addrtype/malone.h"
+#include "v6class/ip/address.h"
+#include "v6class/simd/kernels.h"
+
+namespace {
+
+using v6::address;
+using v6::simd::address_block;
+using v6::simd::kernel_table;
+using v6::simd::level;
+
+std::vector<level> levels_under_test() {
+    std::vector<level> out{level::scalar};
+    if (v6::simd::detect_level() == level::avx2) out.push_back(level::avx2);
+    return out;
+}
+
+std::vector<address> make_address_corpus() {
+    std::vector<address> out;
+    std::mt19937_64 rng(0x5eedu);
+
+    // Hand-picked shapes covering every classifier branch.
+    const char* fixed[] = {
+        "::", "::1", "ff02::1", "fe80::1", "fc00::1", "fd12:3456::1",
+        "2001:db8::1", "2001:db8:167:1109::10:901", "2001::5ef5:79fb:1",
+        "2002:c000:204::1", "2001:db8::200:5efe:c000:204",
+        "2001:db8::5efe:c000:204", "2001:db8::021b:21ff:fe3a:5678",
+        "2001:db8::dead:beef:cafe:babe", "2001:db8::192:0:2:33",
+        "2001:db8:a:b:c000:204:c000:204", "2001:db8::1:2:3:4",
+        "::ffff:192.0.2.1", "64:ff9b::192.0.2.33", "100::1",
+        "2001:db8:ffff:ffff:ffff:ffff:ffff:ffff", "1:2:3:4:5:6:7:8",
+    };
+    for (const char* s : fixed) out.push_back(address::must_parse(s));
+
+    const auto push = [&](std::uint64_t hi, std::uint64_t lo) {
+        out.push_back(address::from_pair(hi, lo));
+    };
+    for (int i = 0; i < 40000; ++i) push(rng(), rng());  // dense random
+    for (int i = 0; i < 20000; ++i) {
+        // Sparse nybbles on both halves: structured / low-value shapes.
+        push(rng() & rng() & rng(), rng() & rng() & rng());
+    }
+    for (int i = 0; i < 20000; ++i) {
+        // Realistic: 2001:db8 prefix, privacy or small IIDs.
+        const std::uint64_t hi =
+            0x20010db800000000ull | (rng() & 0x3fffull) << 16 | (rng() & 0xff);
+        const std::uint64_t lo = (i % 2) ? rng() : (rng() & 0xffff);
+        push(hi, lo);
+    }
+    for (int i = 0; i < 10000; ++i) {
+        // Transition-ish: teredo / 6to4 / isatap / eui64 markers.
+        switch (i % 4) {
+            case 0: push(0x2001000000000000ull | (rng() & 0xffffffffull), rng()); break;
+            case 1: push(0x2002000000000000ull | (rng() & 0xffffffffffffull), rng()); break;
+            case 2:
+                push(rng(), ((i % 8 < 4) ? 0x00005efe00000000ull
+                                         : 0x02005efe00000000ull) |
+                                (rng() & 0xffffffffull));
+                break;
+            default:
+                push(rng(), (rng() & 0xffffff000000ffffull) | 0x000000fffe000000ull);
+                break;
+        }
+    }
+    for (int i = 0; i < 10000; ++i) {
+        // Octet-like groups in the IID (hex- and decimal-coded quads).
+        const auto oct = [&]() -> std::uint64_t {
+            return (i % 2) ? rng() % 256 : (rng() % 10) * 16 + rng() % 10;
+        };
+        push(rng(), oct() << 48 | oct() << 32 | oct() << 16 | oct());
+    }
+    return out;
+}
+
+std::vector<std::string> make_text_corpus(const std::vector<address>& addrs) {
+    std::vector<std::string> out;
+    const char* fixed[] = {
+        // valid
+        "::", "::1", "1::", "1::2", "0:0:0:0:0:0:0:0", "1:2:3:4:5:6:7:8",
+        "2001:db8::192.0.2.33", "::ffff:192.0.2.1", "::192.0.2.33",
+        "1.2.3.4::1",  // quirk: dotted quad closes the part BEFORE the gap
+        "A:B:C:D:E:F:a:b", "0001:0002:0003:0004:0005:0006:0007:0008",
+        "2001:DB8::DEAD:BEEF", "fe80::0204:61ff:fe9d:f156",
+        // malformed
+        "", ":", ":::", "::::", "1:::2", "1::2::3", "1::2:", ":1:2",
+        "12345::", "1:2:3:4:5:6:7:8:9", "1:2:3:4:5:6:7", "1:2:3:4:5:6:7::8",
+        "g::1", "1::g", "::1 ", " ::1", "2001:db8::1.2.3", "1.2.3.4.5::",
+        "::1.2.3.04", "::1.2.3.256", "::1.2.3.+4", "::01.2.3.4",
+        "::1.2.3.4:5", "1.2.3.4", "1.2.3.4::5.6.7.8", "f:f:f:f:f:f:f:f:",
+        "0000000000000000000000000000000000000000000000000",  // > 45 chars
+        "1:2:3:4:5:6:1.2.3.4", "1:2:3:4:5:6:7:1.2.3.4", "::ffff:1.2.3.4.",
+        "\x80::1", "1::\xff",
+    };
+    for (const char* s : fixed) out.emplace_back(s);
+
+    std::mt19937_64 rng(0xc0ffeeu);
+    const std::size_t n_addr = addrs.size();
+    for (std::size_t i = 0; i < 30000; ++i) {
+        // Round-trip spellings: compressed and full forms.
+        const address& a = addrs[i % n_addr];
+        if (i % 3 == 0) {
+            out.push_back(a.to_string());
+        } else if (i % 3 == 1) {
+            // Full-hex grouped spelling, sometimes uppercased.
+            const std::string hex = a.to_full_hex();
+            std::string s;
+            for (int g = 0; g < 8; ++g) {
+                if (g) s += ':';
+                s += hex.substr(4 * static_cast<std::size_t>(g), 4);
+            }
+            if (i % 6 == 1)
+                for (char& c : s) c = static_cast<char>(std::toupper(c));
+            out.push_back(s);
+        } else {
+            // Mutate a valid spelling: insert/delete/replace a char.
+            std::string s = a.to_string();
+            const char alphabet[] = ":.0123456789abcdefgx";
+            const std::size_t pos = rng() % (s.size() + 1);
+            switch (rng() % 3) {
+                case 0:
+                    s.insert(s.begin() + static_cast<std::ptrdiff_t>(pos),
+                             alphabet[rng() % (sizeof alphabet - 1)]);
+                    break;
+                case 1:
+                    if (!s.empty()) s.erase(s.begin() + static_cast<std::ptrdiff_t>(pos % s.size()));
+                    break;
+                default:
+                    if (!s.empty())
+                        s[pos % s.size()] = alphabet[rng() % (sizeof alphabet - 1)];
+                    break;
+            }
+            out.push_back(s);
+        }
+    }
+    for (int i = 0; i < 5000; ++i) {
+        // Pure garbage of plausible lengths.
+        std::string s;
+        const std::size_t len = rng() % 48;
+        for (std::size_t k = 0; k < len; ++k)
+            s += static_cast<char>(rng() % 96 + 32);
+        out.push_back(s);
+    }
+    return out;
+}
+
+TEST(SimdDifferential, ParseMatchesScalarReference) {
+    const auto addrs = make_address_corpus();
+    const auto texts = make_text_corpus(addrs);
+    std::vector<std::string_view> views(texts.begin(), texts.end());
+
+    for (level lv : levels_under_test()) {
+        const kernel_table& t = v6::simd::table_for(lv);
+        address_block block(views.size());
+        std::vector<std::uint8_t> ok(views.size());
+        const std::size_t good =
+            t.parse(views.data(), views.size(), block, ok.data());
+        std::size_t expected_good = 0;
+        for (std::size_t i = 0; i < views.size(); ++i) {
+            const auto ref = v6::address::parse(views[i]);
+            ASSERT_EQ(ok[i] != 0, ref.has_value())
+                << "level=" << v6::simd::level_name(lv) << " text=\""
+                << texts[i] << '"';
+            if (ref) {
+                ++expected_good;
+                ASSERT_EQ(block.at(i), *ref)
+                    << "level=" << v6::simd::level_name(lv) << " text=\""
+                    << texts[i] << '"';
+            } else {
+                ASSERT_EQ(block.hi_at(i), 0u);
+                ASSERT_EQ(block.lo_at(i), 0u);
+            }
+        }
+        EXPECT_EQ(good, expected_good);
+    }
+}
+
+TEST(SimdDifferential, FormatMatchesToString) {
+    const auto addrs = make_address_corpus();
+    for (level lv : levels_under_test()) {
+        const kernel_table& t = v6::simd::table_for(lv);
+        address_block block(addrs.size());
+        block.assign(addrs);
+        std::vector<char> buf(v6::simd::kFormatStride * addrs.size());
+        std::vector<std::uint8_t> lens(addrs.size());
+        t.format(block, buf.data(), lens.data());
+        for (std::size_t i = 0; i < addrs.size(); ++i) {
+            const std::string got(buf.data() + v6::simd::kFormatStride * i,
+                                  lens[i]);
+            ASSERT_EQ(got, addrs[i].to_string())
+                << "level=" << v6::simd::level_name(lv);
+        }
+    }
+}
+
+TEST(SimdDifferential, ClassifyMatchesAddrtype) {
+    const auto addrs = make_address_corpus();
+    for (level lv : levels_under_test()) {
+        const kernel_table& t = v6::simd::table_for(lv);
+        address_block block(addrs.size());
+        block.assign(addrs);
+        std::vector<std::uint8_t> tr(addrs.size()), sc(addrs.size()),
+            iid(addrs.size()), ml(addrs.size());
+        t.classify(block, tr.data(), sc.data(), iid.data());
+        t.malone(block, ml.data());
+        for (std::size_t i = 0; i < addrs.size(); ++i) {
+            const auto c = v6::classify(addrs[i]);
+            ASSERT_EQ(tr[i], static_cast<std::uint8_t>(c.transition))
+                << "level=" << v6::simd::level_name(lv) << " "
+                << addrs[i].to_string();
+            ASSERT_EQ(sc[i], static_cast<std::uint8_t>(c.scope))
+                << "level=" << v6::simd::level_name(lv) << " "
+                << addrs[i].to_string();
+            ASSERT_EQ(iid[i], static_cast<std::uint8_t>(c.iid))
+                << "level=" << v6::simd::level_name(lv) << " "
+                << addrs[i].to_string();
+            ASSERT_EQ(ml[i],
+                      static_cast<std::uint8_t>(v6::malone_classify(addrs[i])))
+                << "level=" << v6::simd::level_name(lv) << " "
+                << addrs[i].to_string();
+        }
+    }
+}
+
+TEST(SimdDifferential, CommonPrefixLenMatches) {
+    const auto addrs = make_address_corpus();
+    std::mt19937_64 rng(7);
+    for (level lv : levels_under_test()) {
+        const kernel_table& t = v6::simd::table_for(lv);
+        address_block a(4096), b(4096);
+        for (int i = 0; i < 4096; ++i) {
+            const address& x = addrs[rng() % addrs.size()];
+            a.push_back(x);
+            if (i % 3 == 0) {
+                b.push_back(addrs[rng() % addrs.size()]);
+            } else {
+                // Force interesting shared prefixes by flipping one bit.
+                const unsigned bit = rng() % 128;
+                std::uint64_t hi = x.hi(), lo = x.lo();
+                if (bit < 64)
+                    hi ^= 1ull << (63 - bit);
+                else
+                    lo ^= 1ull << (127 - bit);
+                b.push_back(address::from_pair(hi, lo));
+            }
+        }
+        std::vector<std::uint8_t> out(4096);
+        t.common_prefix_len(a, b, out.data());
+        for (std::size_t i = 0; i < 4096; ++i)
+            ASSERT_EQ(out[i], a.at(i).common_prefix_length(b.at(i)))
+                << "level=" << v6::simd::level_name(lv);
+    }
+}
+
+TEST(SimdDifferential, MaskMatchesMasked) {
+    const auto addrs = make_address_corpus();
+    for (level lv : levels_under_test()) {
+        const kernel_table& t = v6::simd::table_for(lv);
+        for (unsigned len = 0; len <= 128; len += (len < 72 ? 1 : 7)) {
+            address_block block(512);
+            for (int i = 0; i < 512; ++i)
+                block.push_back(addrs[static_cast<std::size_t>(i) * 131 %
+                                      addrs.size()]);
+            const auto before = block.to_vector();
+            t.mask(block, len);
+            for (std::size_t i = 0; i < before.size(); ++i)
+                ASSERT_EQ(block.at(i), before[i].masked(len))
+                    << "level=" << v6::simd::level_name(lv) << " len=" << len;
+        }
+    }
+}
+
+TEST(SimdDifferential, SortUniqueMatchesStdSort) {
+    const auto addrs = make_address_corpus();
+    std::mt19937_64 rng(99);
+    for (level lv : levels_under_test()) {
+        const kernel_table& t = v6::simd::table_for(lv);
+        std::vector<address> ref;
+        address_block block(60000);
+        for (int i = 0; i < 60000; ++i) {
+            // Plenty of duplicates.
+            const address& a = addrs[rng() % 20000];
+            ref.push_back(a);
+            block.push_back(a);
+        }
+        // sort (duplicates kept)
+        address_block sorted_only(60000);
+        for (const address& a : ref) sorted_only.push_back(a);
+        t.sort(sorted_only);
+        std::vector<address> ref_sorted = ref;
+        std::sort(ref_sorted.begin(), ref_sorted.end());
+        ASSERT_EQ(sorted_only.to_vector(), ref_sorted)
+            << "level=" << v6::simd::level_name(lv);
+        // sort + unique
+        t.sort_unique(block);
+        ref_sorted.erase(std::unique(ref_sorted.begin(), ref_sorted.end()),
+                         ref_sorted.end());
+        ASSERT_EQ(block.to_vector(), ref_sorted)
+            << "level=" << v6::simd::level_name(lv);
+    }
+}
+
+}  // namespace

@@ -1,0 +1,65 @@
+// Runtime-dispatch coverage: the pure resolve function, the CPUID probe,
+// and the table fallback contract.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "v6class/simd/kernels.h"
+
+namespace {
+
+using v6::simd::level;
+
+TEST(SimdDispatch, ResolveIsPure) {
+    // Unset / empty / "0" keep the detected level.
+    EXPECT_EQ(v6::simd::resolve_level(nullptr, level::avx2), level::avx2);
+    EXPECT_EQ(v6::simd::resolve_level("", level::avx2), level::avx2);
+    EXPECT_EQ(v6::simd::resolve_level("0", level::avx2), level::avx2);
+    EXPECT_EQ(v6::simd::resolve_level(nullptr, level::scalar), level::scalar);
+    // Any other value forces scalar.
+    EXPECT_EQ(v6::simd::resolve_level("1", level::avx2), level::scalar);
+    EXPECT_EQ(v6::simd::resolve_level("yes", level::avx2), level::scalar);
+    EXPECT_EQ(v6::simd::resolve_level("00", level::avx2), level::scalar);
+    EXPECT_EQ(v6::simd::resolve_level("1", level::scalar), level::scalar);
+}
+
+TEST(SimdDispatch, DetectIsStableAndHonest) {
+    const level a = v6::simd::detect_level();
+    const level b = v6::simd::detect_level();
+    EXPECT_EQ(a, b);
+#if defined(__AVX2__)
+    // A binary compiled *for* AVX2 can only be running on an AVX2 CPU.
+    EXPECT_EQ(a, level::avx2);
+#endif
+}
+
+TEST(SimdDispatch, ActiveLevelHonoursEnvironment) {
+    const char* env = std::getenv("V6CLASS_FORCE_SCALAR");
+    const level expected =
+        v6::simd::resolve_level(env, v6::simd::detect_level());
+    EXPECT_EQ(v6::simd::active_level(), expected);
+    EXPECT_EQ(&v6::simd::active_table(),
+              &v6::simd::table_for(v6::simd::active_level()));
+}
+
+TEST(SimdDispatch, TableForFallsBackToScalar) {
+    // Requesting a level is always safe: an unavailable level resolves to
+    // the scalar table rather than crashing on unsupported instructions.
+    const auto& scalar = v6::simd::table_for(level::scalar);
+    const auto& maybe_avx2 = v6::simd::table_for(level::avx2);
+    if (v6::simd::detect_level() == level::scalar) {
+        EXPECT_EQ(&maybe_avx2, &scalar);
+    } else {
+        EXPECT_NE(&maybe_avx2, &scalar);
+    }
+    EXPECT_NE(scalar.parse, nullptr);
+    EXPECT_NE(scalar.sort_unique, nullptr);
+}
+
+TEST(SimdDispatch, LevelNames) {
+    EXPECT_EQ(v6::simd::level_name(level::scalar), "scalar");
+    EXPECT_EQ(v6::simd::level_name(level::avx2), "avx2");
+}
+
+}  // namespace

@@ -267,6 +267,29 @@ TEST_F(ToolsTest, StreamReplaysWireCaptureIdenticalToCorpusDir) {
     EXPECT_EQ(from_wire.output, from_dir.output);
 }
 
+TEST_F(ToolsTest, StreamForcedScalarReplayIsByteIdentical) {
+    // The SIMD dispatch contract end to end: V6CLASS_FORCE_SCALAR=1 swaps
+    // every batch kernel for its scalar reference, and the sealed-day
+    // reports over the same wire capture must stay byte-for-byte
+    // identical — the dispatch decision is invisible to every consumer.
+    const fs::path capture = corpus_ / "scalar.v6w";
+    const run_result synth = run(
+        tool("v6synth") + " --wire=" + capture.string() +
+        " --scale=0.03 --first=362 --last=368 2>/dev/null");
+    ASSERT_EQ(synth.exit_code, 0);
+
+    const std::string replay = tool("v6stream") + " --replay=" +
+                               capture.string() + " --shards=2 2>/dev/null";
+    const run_result dispatched = run(replay);
+    const run_result scalar = run("V6CLASS_FORCE_SCALAR=1 " + replay);
+    ASSERT_EQ(dispatched.exit_code, 0);
+    ASSERT_EQ(scalar.exit_code, 0);
+    ASSERT_NE(dispatched.output.find("{\"type\":\"day\",\"day\":362,"),
+              std::string::npos);
+    ASSERT_NE(dispatched.output.find("\"type\":\"final\""), std::string::npos);
+    EXPECT_EQ(scalar.output, dispatched.output);
+}
+
 TEST_F(ToolsTest, MkdbBuildsDbAndStreamEmitsAsnBreakdowns) {
     const fs::path db = corpus_ / "asn.db";
     const run_result build = run(
