@@ -12,6 +12,7 @@
 #include "v6class/cdnsim/world.h"
 #include "v6class/obs/atomic_file.h"
 #include "v6class/obs/metrics.h"
+#include "v6class/obs/pmu.h"
 #include "v6class/obs/profile.h"
 #include "v6class/obs/timer.h"
 #include "v6class/par/pool.h"
@@ -28,6 +29,17 @@ inline void dump_metrics_at_exit() {
     if (!obs::registry::global().write_file(detail::metrics_path()))
         std::fprintf(stderr, "warning: cannot write %s\n",
                      detail::metrics_path().c_str());
+}
+inline std::string& pmu_path() {
+    static std::string path;
+    return path;
+}
+inline void dump_pmu_at_exit() {
+    if (detail::pmu_path().empty()) return;
+    if (!obs::atomic_write_file(detail::pmu_path(),
+                                obs::pmu::snapshot_json()))
+        std::fprintf(stderr, "warning: cannot write %s\n",
+                     detail::pmu_path().c_str());
 }
 inline std::string& profile_path() {
     static std::string path;
@@ -56,6 +68,7 @@ struct options {
     std::string trace_out;          // --trace-out=F: span trace Chrome JSON
     std::string profile_out;        // --profile-out=F: folded stacks
     unsigned profile_hz = 97;       // --profile-hz=N sampling rate
+    std::string pmu_out;            // --pmu-out=F: final PMU snapshot JSON
 };
 
 inline options parse_options(int argc, char** argv, double default_scale = 0.5) {
@@ -85,6 +98,8 @@ inline options parse_options(int argc, char** argv, double default_scale = 0.5) 
             opt.profile_out = arg + 14;
         else if (std::strncmp(arg, "--profile-hz=", 13) == 0)
             opt.profile_hz = static_cast<unsigned>(std::atoi(arg + 13));
+        else if (std::strncmp(arg, "--pmu-out=", 10) == 0)
+            opt.pmu_out = arg + 10;
     }
     // Results are deterministic at any width (index-keyed slots; see
     // DESIGN.md), so the flag only trades wall time.
@@ -94,6 +109,11 @@ inline options parse_options(int argc, char** argv, double default_scale = 0.5) 
         detail::profile_path() = opt.profile_out;
         if (obs::profiler::start(opt.profile_hz))
             std::atexit(detail::dump_profile_at_exit);
+    }
+    if (!opt.pmu_out.empty()) {
+        obs::pmu::enable();  // no-op where perf_event_open is denied
+        detail::pmu_path() = opt.pmu_out;
+        std::atexit(detail::dump_pmu_at_exit);
     }
     return opt;
 }

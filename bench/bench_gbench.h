@@ -10,8 +10,57 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "v6class/obs/pmu.h"
 
 namespace v6::bench {
+
+/// Meters one benchmark's whole timing loop with the thread's PMU
+/// group: construct before `for (auto _ : state)`, and the destructor
+/// attaches `pmu_ipc` and `pmu_cache_misses_per_item` counters to the
+/// run (which registry_reporter exports as v6_bench_ipc /
+/// v6_bench_cache_misses_per_item). Counters only appear where the
+/// hardware tier probed successfully, so baselines from PMU-less boxes
+/// simply lack them and the IPC gate skips.
+class pmu_meter {
+public:
+    pmu_meter(benchmark::State& state, std::size_t items_per_iteration)
+        : state_(state),
+          items_per_iteration_(items_per_iteration),
+          begin_(obs::pmu::read_current()) {}
+
+    ~pmu_meter() {
+        using obs::pmu::counter;
+        const obs::pmu::sample end = obs::pmu::read_current();
+        if (!begin_.ok || !end.ok) return;
+        if (!begin_.has(counter::cycles) || !begin_.has(counter::instructions))
+            return;
+        const std::uint64_t d_en = end.time_enabled - begin_.time_enabled;
+        const std::uint64_t d_run = end.time_running - begin_.time_running;
+        const auto delta = [&](counter c) {
+            const std::uint64_t d =
+                end[c] >= begin_[c] ? end[c] - begin_[c] : 0;
+            return obs::pmu::scale_value(d, d_en, d_run);
+        };
+        const std::uint64_t cycles = delta(counter::cycles);
+        if (cycles > 0)
+            state_.counters["pmu_ipc"] = benchmark::Counter(
+                static_cast<double>(delta(counter::instructions)) /
+                static_cast<double>(cycles));
+        const double items = static_cast<double>(state_.iterations()) *
+                             static_cast<double>(items_per_iteration_);
+        if (begin_.has(counter::cache_misses) && items > 0)
+            state_.counters["pmu_cache_misses_per_item"] = benchmark::Counter(
+                static_cast<double>(delta(counter::cache_misses)) / items);
+    }
+
+    pmu_meter(const pmu_meter&) = delete;
+    pmu_meter& operator=(const pmu_meter&) = delete;
+
+private:
+    benchmark::State& state_;
+    std::size_t items_per_iteration_;
+    obs::pmu::sample begin_;
+};
 
 /// Mirrors every finished run into the process-wide registry so the
 /// bench_common exit dump writes a machine-readable baseline alongside
@@ -36,6 +85,21 @@ public:
                                 {{"benchmark", name}},
                                 "Throughput reported by one microbenchmark.")
                     .set(items->second.value);
+            const auto ipc = run.counters.find("pmu_ipc");
+            if (ipc != run.counters.end())
+                obs::registry::global()
+                    .get_dgauge("v6_bench_ipc", {{"benchmark", name}},
+                                "Instructions per cycle over the benchmark's "
+                                "timing loop (hardware PMU only).")
+                    .set(ipc->second.value);
+            const auto misses = run.counters.find("pmu_cache_misses_per_item");
+            if (misses != run.counters.end())
+                obs::registry::global()
+                    .get_dgauge("v6_bench_cache_misses_per_item",
+                                {{"benchmark", name}},
+                                "Last-level cache misses per processed item "
+                                "(hardware PMU only).")
+                    .set(misses->second.value);
         }
         ConsoleReporter::ReportRuns(reports);
     }
@@ -49,6 +113,9 @@ inline int run_gbench_main(int argc, char** argv,
                            const char* default_out = nullptr) {
     benchmark::Initialize(&argc, argv);
     const options opt = parse_options(argc, argv);
+    // Counting costs two read(2)s per metered benchmark run — nothing
+    // inside the timing loop — so arm it whenever the probe succeeds.
+    obs::pmu::enable();
     if (opt.metrics && detail::metrics_path().empty()) {
         detail::metrics_path() =
             !opt.metrics_out.empty() ? opt.metrics_out

@@ -283,6 +283,7 @@ void bench_parse_batch(benchmark::State& state, bool scalar, bool compressed) {
     const std::vector<std::string_view> views(texts.begin(), texts.end());
     simd::address_block block(kBlock);
     std::array<std::uint8_t, kBlock> ok;
+    v6::bench::pmu_meter pmu(state, kBlock);
     for (auto _ : state)
         benchmark::DoNotOptimize(t.parse(views.data(), views.size(), block,
                                          ok.data()));
@@ -300,6 +301,7 @@ void bench_format_batch(benchmark::State& state, bool scalar) {
     const auto block = make_block(22);
     std::vector<char> buf(kBlock * simd::kFormatStride);
     std::array<std::uint8_t, kBlock> lens;
+    v6::bench::pmu_meter pmu(state, kBlock);
     for (auto _ : state) {
         t.format(block, buf.data(), lens.data());
         benchmark::DoNotOptimize(buf.data());
@@ -315,6 +317,7 @@ void bench_classify_batch(benchmark::State& state, bool scalar) {
     const simd::kernel_table& t = bench_table(scalar);
     const auto block = make_block(23);
     std::array<std::uint8_t, kBlock> transition, scope, iid;
+    v6::bench::pmu_meter pmu(state, kBlock);
     for (auto _ : state) {
         t.classify(block, transition.data(), scope.data(), iid.data());
         benchmark::DoNotOptimize(iid.data());
@@ -329,6 +332,7 @@ BENCHMARK(BM_classify_batch_scalar);
 void BM_malone_batch(benchmark::State& state) {
     const auto block = make_block(24);
     std::array<std::uint8_t, kBlock> labels;
+    v6::bench::pmu_meter pmu(state, kBlock);
     for (auto _ : state) {
         simd::malone_batch(block, labels.data());
         benchmark::DoNotOptimize(labels.data());
@@ -341,6 +345,7 @@ void BM_cpl_batch(benchmark::State& state) {
     const auto a = make_block(25);
     const auto b = make_block(26);
     std::array<std::uint8_t, kBlock> out;
+    v6::bench::pmu_meter pmu(state, kBlock);
     for (auto _ : state) {
         simd::common_prefix_len_batch(a, b, out.data());
         benchmark::DoNotOptimize(out.data());
@@ -355,6 +360,8 @@ void BM_block_sort_unique(benchmark::State& state) {
     simd::address_block block(static_cast<std::size_t>(state.range(0)));
     const auto addrs =
         make_addresses(static_cast<std::size_t>(state.range(0)), 12);
+    v6::bench::pmu_meter pmu(state,
+                             static_cast<std::size_t>(state.range(0)));
     for (auto _ : state) {
         block.assign(addrs);
         simd::sort_unique_block(block);
@@ -385,6 +392,7 @@ void BM_observation_store_ingest_block(benchmark::State& state) {
         block.assign(active);
         days.push_back(std::move(block));
     }
+    v6::bench::pmu_meter pmu(state, 15 * per_day);
     for (auto _ : state) {
         observation_store store;
         for (int d = 0; d < 15; ++d)

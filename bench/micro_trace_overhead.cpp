@@ -4,7 +4,9 @@
 // pair runs the identical pipeline with the tracer disabled (/0) and
 // enabled (/1); the /1 rate must stay within 3% of /0, and the
 // disabled-span primitives at the bottom price the /0 residue (a
-// relaxed load + branch, sub-nanosecond). Dumps BENCH_trace.json via
+// relaxed load + branch, sub-nanosecond). The pmu pair prices
+// obs::pmu_scope the same way (two perf read(2)s per batch when armed;
+// the same relaxed load + branch when not). Dumps BENCH_trace.json via
 // the shared registry reporter.
 #include <benchmark/benchmark.h>
 
@@ -13,6 +15,7 @@
 #include "bench_gbench.h"
 #include "v6class/netgen/iid.h"
 #include "v6class/netgen/rng.h"
+#include "v6class/obs/pmu.h"
 #include "v6class/obs/trace.h"
 #include "v6class/stream/engine.h"
 #include "v6class/trie/radix_tree.h"
@@ -30,6 +33,27 @@ public:
         if (enabled) obs::tracer::enable();
     }
     ~tracer_toggle() { obs::tracer::reset(); }
+};
+
+/// Same idea for pmu_scope collection; restores the prior state so the
+/// other benchmarks keep whatever run_gbench_main armed.
+class pmu_toggle {
+public:
+    explicit pmu_toggle(bool on) : was_(obs::pmu::enabled()) {
+        if (on)
+            obs::pmu::enable();
+        else
+            obs::pmu::disable();
+    }
+    ~pmu_toggle() {
+        if (was_)
+            obs::pmu::enable();
+        else
+            obs::pmu::disable();
+    }
+
+private:
+    bool was_;
 };
 
 std::vector<stream_record> make_feed(std::size_t per_day, int days,
@@ -83,6 +107,30 @@ void BM_stream_ingest_trace(benchmark::State& state) {
 }
 BENCHMARK(BM_stream_ingest_trace)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+// Arg(0): 1 = pmu_scope deltas collected, 0 = off. The identical
+// 1M-record ingest with the tracer quiet, so the pair isolates the
+// counter-scope cost on shard.ingest_batch/shard.seal/par.task. The
+// acceptance bar (scripts/check.sh): /1 within 5% of /0. Where no PMU
+// is exposed the scopes no-op and the pair measures the same code.
+void BM_stream_ingest_pmu(benchmark::State& state) {
+    const auto feed = make_feed(250000, 4, 99);
+    const tracer_toggle quiet(false);
+    const pmu_toggle toggle(state.range(0) != 0);
+    for (auto _ : state) {
+        stream_config cfg;
+        cfg.shards = 4;
+        cfg.metrics = false;
+        stream_engine engine(cfg);
+        for (const stream_record& rec : feed) engine.push(rec);
+        engine.finish();
+        benchmark::DoNotOptimize(engine.stats().distinct_addresses);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(feed.size()) *
+                            state.iterations());
+    state.SetLabel(state.range(0) ? "pmu" : "no-pmu");
+}
+BENCHMARK(BM_stream_ingest_pmu)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 // Arg(0) as above. Densify over a 1M-address trie wrapped in one span —
 // a long span over a hot kernel, the worst case for per-span cost
 // amortisation being irrelevant and the best case for the disabled
@@ -124,6 +172,28 @@ void BM_span_enabled(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_span_enabled);
+
+void BM_pmu_scope_disabled(benchmark::State& state) {
+    const pmu_toggle toggle(false);
+    for (auto _ : state) {
+        const obs::pmu_scope scope("bench.pmu_noop");
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_pmu_scope_disabled);
+
+void BM_pmu_scope_enabled(benchmark::State& state) {
+    // Two group read(2)s per scope where the probe succeeded; identical
+    // to the disabled case where it did not.
+    const pmu_toggle toggle(true);
+    for (auto _ : state) {
+        const obs::pmu_scope scope("bench.pmu_hot");
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_pmu_scope_enabled);
 
 void BM_context_scope_enabled(benchmark::State& state) {
     const tracer_toggle toggle(true);

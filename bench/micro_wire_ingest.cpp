@@ -70,6 +70,7 @@ const char* make_db_file() {
 
 void BM_wire_encode(benchmark::State& state) {
     const auto feed = make_feed(50000, 4, 7);
+    v6::bench::pmu_meter pmu(state, feed.size());
     for (auto _ : state) {
         net::wire_encoder enc;
         std::uint64_t bytes = 0;
@@ -86,6 +87,7 @@ BENCHMARK(BM_wire_encode);
 void BM_wire_decode(benchmark::State& state) {
     const auto datagrams = make_datagrams(make_feed(50000, 4, 7));
     std::size_t total = 0;
+    v6::bench::pmu_meter pmu(state, 50000 * 4);
     for (auto _ : state) {
         net::wire_decoder dec;
         std::vector<stream_record> records;
@@ -107,6 +109,7 @@ void BM_enrich_lookup(benchmark::State& state) {
     const auto feed = make_feed(50000, 1, 7);
     std::shared_ptr<const net::asn_db> snap;
     std::uint64_t hits = 0;
+    v6::bench::pmu_meter pmu(state, feed.size());
     for (auto _ : state)
         for (const stream_record& r : feed)
             if (enrich.lookup(r.addr, snap)) ++hits;
@@ -197,6 +200,7 @@ void BM_wire_decode_block(benchmark::State& state) {
     // Raw decode into lanes, no engine: pairs with BM_wire_decode.
     const auto datagrams = make_datagrams(make_feed(50000, 4, 7));
     std::size_t total = 0;
+    v6::bench::pmu_meter pmu(state, 50000 * 4);
     for (auto _ : state) {
         net::wire_decoder dec;
         simd::record_block block;

@@ -78,6 +78,9 @@ struct dashboard_model {
     std::string status = "serving";        ///< mirrors /healthz status
     double uptime_seconds = 0;
     std::vector<dashboard_stat> stats;     ///< headline row
+    std::vector<dashboard_stat> runtime;   ///< compact runtime panel (SIMD
+                                           ///< level, RSS, arena, PMU);
+                                           ///< omitted when empty
     std::vector<dashboard_link> links;     ///< header nav (/metrics, /trace, ...)
     std::vector<dashboard_series> series;  ///< sparkline grid
     std::vector<dashboard_chart> charts;   ///< tsdb history charts

@@ -11,6 +11,11 @@
 //   GET /trace      Chrome-trace JSON of the process span tracer
 //                   (v6::obs::tracer) — load in chrome://tracing or
 //                   Perfetto; empty traceEvents until tracing is on
+//   GET /pmu        hardware counter snapshot from v6::obs::pmu: JSON
+//                   per-thread/per-site counters, or a topdown-style
+//                   HTML table with ?format=html; reports the
+//                   unavailability reason where perf_event_open is
+//                   restricted
 //   GET /profile    folded-stack text from the sampling self-profiler
 //                   (v6::obs::profiler) — pipe to flamegraph.pl
 //

@@ -167,6 +167,10 @@ struct day_report {
     std::uint64_t arena_nodes = 0;
     std::uint64_t arena_free = 0;
     double pool_utilization = 0;
+    /// Instructions per cycle inside shard.ingest_batch scopes over the
+    /// same inter-seal interval (0 without a hardware PMU or while
+    /// pmu_scope collection is disabled).
+    double ingest_ipc = 0;
 };
 
 /// Snapshot of one live derived series (dashboard / queries).
@@ -410,12 +414,18 @@ private:
     std::size_t li_dense_first_ = 0;   // one per cfg_.density_classes entry
     std::size_t li_est_first_ = 0;     // addrs, /48s, /64s (sketches on)
     std::size_t li_pool_util_ = 0, li_arena_nodes_ = 0;
+    // SIZE_MAX = not registered (no hardware PMU on this machine).
+    std::size_t li_pmu_ipc_ = SIZE_MAX;
     obs::counter drift_events_;
     std::uint64_t tsdb_event_cursor_ = 0;  // roll thread only
     day_estimates last_estimates_;     // roll thread only
     // Pool-utilization baseline from the previous seal (roll thread).
     std::uint64_t last_busy_ns_ = 0;
     std::uint64_t last_util_wall_ns_ = 0;
+    // shard.ingest_batch counter baselines from the previous seal
+    // (roll thread only), for the per-interval IPC series.
+    std::uint64_t pmu_last_cycles_ = 0;
+    std::uint64_t pmu_last_instr_ = 0;
     std::vector<std::unique_ptr<stream_shard>> shards_;
     std::vector<std::unique_ptr<bounded_queue<shard_message>>> queues_;
     std::vector<std::thread> workers_;

@@ -2,22 +2,40 @@
 """Bench regression gate: compare v6::obs registry JSON dumps.
 
 Usage: bench_gate.py BASELINE.json FRESH.json... [--threshold=1.25]
-                     [--merge-out=FILE]
+                     [--ipc-threshold=0.75] [--merge-out=FILE]
 
 The files are the BENCH_<name>.json dumps the micro benches write at
 exit. Benchmarks are matched by the `benchmark` label of the
-v6_bench_benchmark_seconds gauges. When several FRESH files are given
-(repeated runs), the per-benchmark minimum is used — the minimum over
-repetitions estimates the noise-free cost, since scheduler and cache
-interference only ever add time. The gate fails (exit 1) when any
-benchmark present on both sides runs slower than baseline * threshold;
-benchmarks only present on one side are reported but never fail the
+v6_bench_benchmark_seconds gauges; where the run had hardware perf
+counters, the same label also carries v6_bench_ipc and
+v6_bench_cache_misses_per_item. When several FRESH files are given
+(repeated runs), the per-benchmark minimum of seconds (and
+cache-misses-per-item) and maximum of IPC are used — the extreme over
+repetitions estimates the noise-free figure, since scheduler and cache
+interference only ever add time, add misses, and depress IPC.
+
+Two gates run over benchmarks present on both sides:
+
+  time — fresh seconds > baseline * --threshold fails (x1.6 extra
+         headroom for /real_time wall-clock benchmarks);
+  ipc  — fresh IPC < baseline IPC * --ipc-threshold fails. IPC is far
+         steadier than wall time on a shared box (it divides out
+         frequency scaling and steal time), so a 25% drop is a real
+         code-quality regression — a kernel falling off its vector
+         path, a new dependent chain — even when the time gate's
+         generous headroom still passes. Benchmarks missing IPC on
+         either side (no hardware PMU there) are simply not IPC-gated.
+
+Benchmarks only present on one side are reported but never fail the
 gate (they are new, removed, or renamed — the refreshed baseline picks
-them up).
+them up). A per-benchmark delta table (baseline vs fresh vs ratio,
+worst ratio first) prints on success as well as failure, so a bench run
+that passes still documents where the time went.
 
 --merge-out=FILE writes the first FRESH dump with every
-v6_bench_benchmark_seconds value replaced by the cross-run minimum —
-the file check.sh commits back as the refreshed baseline.
+v6_bench_benchmark_seconds value replaced by the cross-run minimum (and
+IPC by the maximum, cache-misses-per-item by the minimum) — the file
+check.sh commits back as the refreshed baseline.
 
 Microbenchmark timings on a shared box are noisy; best-of-N plus 25%
 headroom passes turbo/cache jitter and still catches a real
@@ -26,28 +44,67 @@ algorithmic regression (the ablations in DESIGN.md differ by 2-10x).
 import json
 import sys
 
+# metric name -> how repeated fresh runs fold (min = noise only adds,
+# max = noise only subtracts).
+METRICS = {
+    "v6_bench_benchmark_seconds": min,
+    "v6_bench_ipc": max,
+    "v6_bench_cache_misses_per_item": min,
+}
 
-def load_seconds(path):
+
+def load_metrics(path):
+    """{metric_name: {benchmark: value}} for the metrics we gate on."""
     with open(path) as f:
         doc = json.load(f)
-    out = {}
+    out = {name: {} for name in METRICS}
     for metric in doc.get("metrics", []):
-        if metric.get("name") != "v6_bench_benchmark_seconds":
+        name = metric.get("name")
+        if name not in METRICS:
             continue
         bench = metric.get("labels", {}).get("benchmark")
         value = metric.get("value")
         if bench and isinstance(value, (int, float)) and value > 0:
-            out[bench] = float(value)
+            out[name][bench] = float(value)
     return out
+
+
+def fold_fresh(paths):
+    fresh = {name: {} for name in METRICS}
+    for path in paths:
+        loaded = load_metrics(path)
+        for name, fold in METRICS.items():
+            for bench, value in loaded[name].items():
+                table = fresh[name]
+                table[bench] = (fold(value, table[bench])
+                                if bench in table else value)
+    return fresh
+
+
+def print_table(rows, ipc_rows):
+    """The delta table: worst time ratio first, IPC column when known."""
+    if not rows:
+        return
+    width = max(len(r[0]) for r in rows)
+    print(f"bench gate: {'benchmark':<{width}}  {'baseline':>10}  "
+          f"{'fresh':>10}  {'ratio':>6}  {'ipc b->f':>14}")
+    for bench, base_s, fresh_s, ratio in rows:
+        ipc = ipc_rows.get(bench)
+        ipc_text = f"{ipc[0]:5.2f} -> {ipc[1]:5.2f}" if ipc else "-"
+        print(f"bench gate: {bench:<{width}}  {base_s:>10.3e}  "
+              f"{fresh_s:>10.3e}  {ratio:>5.2f}x  {ipc_text:>14}")
 
 
 def main(argv):
     threshold = 1.25
+    ipc_threshold = 0.75
     merge_out = None
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--threshold="):
             threshold = float(arg.split("=", 1)[1])
+        elif arg.startswith("--ipc-threshold="):
+            ipc_threshold = float(arg.split("=", 1)[1])
         elif arg.startswith("--merge-out="):
             merge_out = arg.split("=", 1)[1]
         else:
@@ -56,58 +113,78 @@ def main(argv):
         print(__doc__.strip(), file=sys.stderr)
         return 2
     base_path, fresh_paths = paths[0], paths[1:]
-    base = load_seconds(base_path)
-    fresh = {}
-    for path in fresh_paths:
-        for bench, value in load_seconds(path).items():
-            fresh[bench] = min(value, fresh.get(bench, value))
+    base = load_metrics(base_path)
+    fresh = fold_fresh(fresh_paths)
+    base_s = base["v6_bench_benchmark_seconds"]
+    fresh_s = fresh["v6_bench_benchmark_seconds"]
+    base_ipc = base["v6_bench_ipc"]
+    fresh_ipc = fresh["v6_bench_ipc"]
 
     if merge_out:
         with open(fresh_paths[0]) as f:
             doc = json.load(f)
         for metric in doc.get("metrics", []):
-            if metric.get("name") != "v6_bench_benchmark_seconds":
+            name = metric.get("name")
+            if name not in METRICS:
                 continue
             bench = metric.get("labels", {}).get("benchmark")
-            if bench in fresh:
-                metric["value"] = fresh[bench]
+            if bench in fresh[name]:
+                metric["value"] = fresh[name][bench]
         with open(merge_out, "w") as f:
             json.dump(doc, f, separators=(",", ":"))
 
-    if not base:
+    if not base_s:
         print(f"bench gate: no benchmarks in baseline {base_path}; "
               "skipping comparison")
         return 0
-    if not fresh:
+    if not fresh_s:
         print("bench gate: no benchmarks in fresh run(s)", file=sys.stderr)
         return 1
 
-    regressions = []
-    for bench in sorted(base.keys() & fresh.keys()):
+    shared = base_s.keys() & fresh_s.keys()
+    rows = sorted(((b, base_s[b], fresh_s[b], fresh_s[b] / base_s[b])
+                   for b in shared),
+                  key=lambda r: -r[3])
+    ipc_rows = {b: (base_ipc[b], fresh_ipc[b])
+                for b in shared if b in base_ipc and b in fresh_ipc}
+    print_table(rows, ipc_rows)
+
+    slow = []
+    for bench, b, f, ratio in rows:
         # Wall-clock benchmarks (.../real_time) time thread scheduling,
         # not just the code under test: on a loaded single-vCPU box the
         # same binary swings far past 25% run to run while its CPU time
         # barely moves.  Give them extra headroom — the regressions
         # these gates exist to catch (DESIGN.md ablations) are 2-10x.
         limit = threshold * (1.6 if "/real_time" in bench else 1.0)
-        ratio = fresh[bench] / base[bench]
         if ratio > limit:
-            regressions.append((bench, base[bench], fresh[bench], ratio))
-    for bench in sorted(fresh.keys() - base.keys()):
+            slow.append((bench, b, f, ratio))
+    starved = [(b, *ipc_rows[b]) for b in sorted(ipc_rows)
+               if ipc_rows[b][1] < ipc_rows[b][0] * ipc_threshold]
+    for bench in sorted(fresh_s.keys() - base_s.keys()):
         print(f"bench gate: new benchmark (not gated): {bench}")
-    for bench in sorted(base.keys() - fresh.keys()):
+    for bench in sorted(base_s.keys() - fresh_s.keys()):
         print(f"bench gate: benchmark vanished (not gated): {bench}")
 
-    if regressions:
-        print(f"bench gate: FAIL — {len(regressions)} benchmark(s) slower "
-              f"than {threshold:.2f}x baseline:", file=sys.stderr)
-        for bench, b, f, ratio in regressions:
-            print(f"  {bench}: {b:.3e}s -> {f:.3e}s ({ratio:.2f}x)",
-                  file=sys.stderr)
+    if slow or starved:
+        if slow:
+            print(f"bench gate: FAIL — {len(slow)} benchmark(s) slower "
+                  f"than {threshold:.2f}x baseline:", file=sys.stderr)
+            for bench, b, f, ratio in slow:
+                print(f"  {bench}: {b:.3e}s -> {f:.3e}s ({ratio:.2f}x)",
+                      file=sys.stderr)
+        if starved:
+            print(f"bench gate: FAIL — {len(starved)} benchmark(s) below "
+                  f"{ipc_threshold:.2f}x baseline IPC:", file=sys.stderr)
+            for bench, b, f in starved:
+                print(f"  {bench}: ipc {b:.2f} -> {f:.2f} "
+                      f"({f / b:.2f}x)", file=sys.stderr)
         return 1
-    compared = len(base.keys() & fresh.keys())
-    print(f"bench gate: OK — {compared} benchmark(s) within "
-          f"{threshold:.2f}x of baseline")
+    gated = f"{len(shared)} benchmark(s) within {threshold:.2f}x of baseline"
+    if ipc_rows:
+        gated += (f", {len(ipc_rows)} ipc-gated at "
+                  f">= {ipc_threshold:.2f}x")
+    print(f"bench gate: OK — {gated}")
     return 0
 
 

@@ -37,6 +37,13 @@ for preset in "${presets[@]}"; do
         V6CLASS_FORCE_SCALAR=1 ctest --preset default -j "${jobs}" \
             -R "Simd|Stream|Wire|Collector|ObservationStore|Trie|Mra"
 
+        # Kill-switch sweep: the whole suite (minus the slow statistical
+        # tests, which never touch counters) must behave identically
+        # with the PMU probe forced off — pmu_scope no-ops, /pmu and the
+        # export degrade to mode+reason, nothing else notices.
+        echo "=== pmu kill switch: ctest under V6CLASS_DISABLE_PMU=1 ==="
+        V6CLASS_DISABLE_PMU=1 ctest --preset default -j "${jobs}" -LE slow
+
         # Bench gates: every microbenchmark must still run, the registry
         # reporter must still emit the machine-readable dump, and no
         # benchmark may run >25% slower than the committed baseline.
@@ -89,6 +96,68 @@ for preset in "${presets[@]}"; do
             fi
             bench_gate "${name}" "./build/bench/$(basename "${src}" .cpp)"
         done
+        # bench_gate self-test: the IPC gate must actually fail on a
+        # synthetic >25% IPC drop (fresh time unchanged), and must pass
+        # the same dump against itself. Runs everywhere — it needs no
+        # PMU, only the script's own arithmetic.
+        echo "=== bench gate self-test: synthetic IPC regression ==="
+        python3 - <<'EOF'
+import json, subprocess, sys, tempfile, os
+def dump(path, ipc):
+    rows = [{"name": "v6_bench_benchmark_seconds",
+             "labels": {"benchmark": "BM_selftest"}, "value": 1.0},
+            {"name": "v6_bench_ipc",
+             "labels": {"benchmark": "BM_selftest"}, "value": ipc}]
+    json.dump({"metrics": rows}, open(path, "w"))
+d = tempfile.mkdtemp()
+base, drop = f"{d}/base.json", f"{d}/drop.json"
+dump(base, 2.0)
+dump(drop, 1.4)  # 0.70x: past the 0.75x floor
+gate = ["python3", "scripts/bench_gate.py"]
+ok = subprocess.run(gate + [base, base], capture_output=True)
+bad = subprocess.run(gate + [base, drop], capture_output=True)
+assert ok.returncode == 0, ok.stdout + ok.stderr
+assert bad.returncode == 1, "ipc drop not caught"
+assert b"baseline IPC" in bad.stderr, bad.stderr
+print("bench gate self-test ok: synthetic 0.70x IPC drop fails the gate")
+EOF
+
+        # PMU scope overhead: the counter scopes on the ingest path
+        # (shard.ingest_batch / shard.seal / par.task — two group
+        # read(2)s each when armed) must stay within 5% of the same
+        # 1M-record ingest with collection off. Same-run ratio, best of
+        # a few attempts, like the federate gate below: single pairs on
+        # a shared 1-vCPU box jitter more than the budget.
+        echo "=== pmu overhead: scopes armed vs off (same-run ratio) ==="
+        pmu_ratio_ok=""
+        for attempt in 1 2 3 4 5 6; do
+            ./build/bench/micro_trace_overhead \
+                --benchmark_filter='BM_stream_ingest_pmu' \
+                --benchmark_min_time=2x \
+                --metrics-out=/tmp/pmu_ratio.json >/dev/null
+            if python3 - <<'EOF'
+import json
+doc = json.load(open("/tmp/pmu_ratio.json"))
+t = {m["labels"]["benchmark"]: m["value"]
+     for m in doc["metrics"] if m["name"] == "v6_bench_benchmark_seconds"}
+off = t["BM_stream_ingest_pmu/0"]
+on = t["BM_stream_ingest_pmu/1"]
+ok = on <= off * 1.05
+print(f"pmu scope overhead {on / off - 1:+.1%} vs scopes-off ingest"
+      f" ({'ok' if ok else 'retry'})")
+raise SystemExit(0 if ok else 1)
+EOF
+            then
+                pmu_ratio_ok=1
+                break
+            fi
+        done
+        rm -f /tmp/pmu_ratio.json
+        if [ -z "${pmu_ratio_ok}" ]; then
+            echo "pmu scope overhead exceeded 5% in every attempt" >&2
+            exit 1
+        fi
+
         # The federation overhead claim: pushing every seal to a loopback
         # aggregator must not meaningfully slow bare full-stream ingest.
         # The ratio is taken within a single run (both variants share one
@@ -215,6 +284,37 @@ EOF
         grep -q 'collector: .* 0 rejected' "${smoke}/err.txt"
         rm -rf "${smoke}"
         echo "collector smoke passed"
+
+        # PMU smoke: replay a wire capture with --pmu-out and check the
+        # exit snapshot end to end. On a box with hardware counters the
+        # ingest sites must show a positive IPC; anywhere else the
+        # snapshot (and the one-line startup log) must say which tier
+        # the probe landed on and why — silent absence is the one
+        # failure mode this stage exists to catch.
+        echo "=== pmu smoke: v6stream --replay --pmu-out e2e ==="
+        smoke=$(mktemp -d)
+        ./build/tools/v6synth --wire="${smoke}/feed.v6w" \
+            --first=360 --last=362 --scale=0.02 --seed=7
+        ./build/tools/v6stream --replay="${smoke}/feed.v6w" --shards=2 \
+            --pmu-out="${smoke}/pmu.json" \
+            >"${smoke}/out.json" 2>"${smoke}/err.txt"
+        grep -q '^pmu: ' "${smoke}/err.txt"
+        python3 - "${smoke}/pmu.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+mode, reason = doc["mode"], doc["reason"]
+assert mode in ("hardware", "software", "unavailable"), mode
+if mode == "hardware":
+    ipcs = [s["ipc"] for s in doc["sites"]
+            if s["site"] == "shard.ingest_batch" and "ipc" in s]
+    assert ipcs and ipcs[0] > 0, f"hardware tier but no ingest ipc: {doc}"
+    print(f"pmu smoke ok: hardware counters, ingest ipc {ipcs[0]:.2f}")
+else:
+    assert reason, f"degraded tier must explain itself: {doc}"
+    print(f"pmu smoke ok: {mode} tier ({reason})")
+EOF
+        rm -rf "${smoke}"
+        echo "pmu smoke passed"
 
         # Restart-resume smoke: the durable flight recorder end to end.
         # Run 1 ingests days 360-362 with --state-dir and an alert rule

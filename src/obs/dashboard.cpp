@@ -50,6 +50,8 @@ const char* kStyle = R"(
  header nav a:hover{text-decoration:underline}
  .stats{display:flex;flex-wrap:wrap;gap:20px;padding:10px 20px;color:#9aa7b4}
  .stats b{color:#d7dde4;font-variant-numeric:tabular-nums}
+ .stats.runtime{padding-top:0;font-size:12px}
+ .stats.runtime>span:first-child{color:#64748b;text-transform:uppercase;letter-spacing:.08em}
  .grid{display:grid;grid-template-columns:repeat(auto-fill,minmax(240px,1fr));gap:12px;padding:8px 20px 20px}
  .tile{background:#171c23;border:1px solid #2a313a;border-radius:8px;padding:10px 12px}
  .tile.alarmed{border-color:#a4502e}
@@ -246,6 +248,18 @@ std::string render_dashboard(const dashboard_model& model) {
         out += "<span>" + html_escape(s.name) + " <b>" +
                html_escape(s.value) + "</b></span>";
     out += "</div>";
+
+    if (!model.runtime.empty()) {
+        // Process-level runtime facts (SIMD dispatch level, RSS, arena
+        // occupancy, PMU availability) — one compact row, same style as
+        // the headline stats but visually separated from the domain
+        // counters above.
+        out += "<div class=\"stats runtime\"><span>runtime</span>";
+        for (const dashboard_stat& s : model.runtime)
+            out += "<span>" + html_escape(s.name) + " <b>" +
+                   html_escape(s.value) + "</b></span>";
+        out += "</div>";
+    }
 
     out += "<div class=\"grid\">";
     for (const dashboard_series& s : model.series) {

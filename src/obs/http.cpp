@@ -75,6 +75,7 @@ std::string metrics_server::health_json() const { return "{}"; }
 #include <cstdio>
 #include <cstring>
 
+#include "v6class/obs/pmu.h"
 #include "v6class/obs/profile.h"
 #include "v6class/obs/trace.h"
 
@@ -261,6 +262,23 @@ void metrics_server::serve_loop() {
                 // enabled (v6stream enables it with --metrics-port).
                 send_all(client, http_response("200 OK", "application/json",
                                                tracer::chrome_json()));
+            } else if (path == "/pmu") {
+                // Hardware counter snapshot: JSON by default, a
+                // topdown-style per-thread table with ?format=html.
+                // Always answers — an unavailable PMU reports its
+                // reason instead of counters.
+                const auto params = parse_query_string(query);
+                const auto fmt = params.find("format");
+                if (fmt != params.end() && fmt->second == "html") {
+                    send_all(client,
+                             http_response("200 OK",
+                                           "text/html; charset=utf-8",
+                                           pmu::topdown_html()));
+                } else {
+                    send_all(client,
+                             http_response("200 OK", "application/json",
+                                           pmu::snapshot_json()));
+                }
             } else if (path == "/profile") {
                 // Folded stacks for flamegraph.pl; empty until the
                 // sampling profiler has run.

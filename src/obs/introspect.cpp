@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "v6class/obs/metrics.h"
+#include "v6class/obs/pmu.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -32,6 +33,9 @@ void update_process_gauges(registry& reg) {
     reg.get_gauge("v6_process_rss_bytes", {},
                   "Resident set size of this process in bytes")
         .set(static_cast<std::int64_t>(process_rss_bytes()));
+    // Hardware-counter availability and per-site derived rates ride
+    // the same cadence so /metrics and dumps always carry them.
+    pmu::export_gauges(reg);
 }
 
 }  // namespace v6::obs

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "v6class/obs/atomic_file.h"
+#include "v6class/obs/pmu.h"
 #include "v6class/obs/trace.h"
 
 namespace v6::obs {
@@ -238,6 +239,7 @@ void tracer::emit(const char* name, span_kind kind, span_context ctx,
 }
 
 void tracer::set_thread_name(const std::string& name) {
+    pmu::note_thread_name(name);  // one call names both subsystems
     try {
         tl_pending_name = name;
     } catch (...) {

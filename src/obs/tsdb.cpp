@@ -14,6 +14,7 @@
 #include <limits>
 
 #include "v6class/obs/http.h"
+#include "v6class/obs/pmu.h"
 
 namespace v6::obs::tsdb {
 
@@ -587,6 +588,7 @@ void database::apply_retention_locked() {
 }
 
 bool database::commit() {
+    obs::pmu_scope commit_pmu("tsdb.commit");
     std::lock_guard lock(mutex_);
     if (active_fd_ < 0) return false;
     bool wrote = false;

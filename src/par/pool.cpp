@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "v6class/obs/metrics.h"
+#include "v6class/obs/pmu.h"
 #include "v6class/obs/profile.h"
 #include "v6class/obs/trace.h"
 
@@ -104,6 +105,7 @@ struct job {
             {
                 obs::context_scope adopt(submit_ctx);
                 obs::span task_span("par.task");
+                obs::pmu_scope task_pmu("par.task");
                 try {
                     fn(i);
                 } catch (...) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "v6class/obs/introspect.h"
+#include "v6class/obs/pmu.h"
 #include "v6class/obs/profile.h"
 #include "v6class/obs/timer.h"
 #include "v6class/par/pool.h"
@@ -149,6 +150,13 @@ void stream_engine::init_live() {
                         "and the previous one (0..1).");
     li_arena_nodes_ = add("arena nodes", "v6_trie_arena_nodes",
                           "Live node slots in the merged trie's arena.");
+    // Per-interval ingest IPC rides the same machinery, but only where
+    // a hardware PMU exists — a permanently-zero series would just
+    // waste a dashboard tile and tsdb space on software-only boxes.
+    if (obs::pmu::available().hardware())
+        li_pmu_ipc_ = add("ingest ipc", "v6class_pmu_ingest_ipc",
+                          "Instructions per cycle inside shard.ingest_batch "
+                          "scopes between this seal and the previous one.");
 
     // Flight-recorder re-anchor: intern every live series in the store
     // and read back its newest stored day, so re-sealing already-stored
@@ -381,6 +389,7 @@ void stream_engine::worker_loop(unsigned shard) {
             }
             obs::context_scope adopt(msg->ctx);
             obs::span batch_span("shard.ingest_batch");
+            obs::pmu_scope batch_pmu("shard.ingest_batch");
             if (cfg_.sketches) {
                 // The day sketches ride the worker, not the pusher: the
                 // hashing parallelizes across shards and stays off the
@@ -449,6 +458,7 @@ void stream_engine::roll_loop() {
             std::unique_lock state(state_mutex_);
             for (auto& s : shards_) {
                 obs::span shard_span("shard.seal");
+                obs::pmu_scope shard_pmu("shard.seal");
                 s->seal_day(day);
             }
             // The projected (/64) store is engine-level (see engine.h);
@@ -500,6 +510,25 @@ void stream_engine::roll_loop() {
             }
             last_busy_ns_ = ps.busy_ns;
             last_util_wall_ns_ = wall;
+        }
+        // Ingest IPC over the same interval: delta(instructions) /
+        // delta(cycles) of the shard.ingest_batch site. Roll-thread-only
+        // baselines, like the pool-utilization ones above.
+        {
+            const obs::pmu::site_stats ingest =
+                obs::pmu::site_totals("shard.ingest_batch");
+            if (ingest.has(obs::pmu::counter::cycles) &&
+                ingest.has(obs::pmu::counter::instructions)) {
+                const std::uint64_t cyc = ingest[obs::pmu::counter::cycles];
+                const std::uint64_t ins =
+                    ingest[obs::pmu::counter::instructions];
+                if (cyc > pmu_last_cycles_)
+                    report.ingest_ipc =
+                        static_cast<double>(ins - pmu_last_instr_) /
+                        static_cast<double>(cyc - pmu_last_cycles_);
+                pmu_last_cycles_ = cyc;
+                pmu_last_instr_ = ins;
+            }
         }
         if (cfg_.metrics) {
             m_.arena_live.set(static_cast<std::int64_t>(report.arena_nodes));
@@ -644,6 +673,7 @@ void stream_engine::update_live(const day_report& report) {
     }
     feed(li_pool_util_, report.pool_utilization);
     feed(li_arena_nodes_, static_cast<double>(report.arena_nodes));
+    if (li_pmu_ipc_ != SIZE_MAX) feed(li_pmu_ipc_, report.ingest_ipc);
 
     if (cfg_.alerts || cfg_.tsdb || cfg_.federate) {
         sampled.reserve(live_.size());

@@ -19,6 +19,7 @@
 #include "v6class/obs/event_log.h"
 #include "v6class/obs/introspect.h"
 #include "v6class/obs/metrics.h"
+#include "v6class/obs/pmu.h"
 #include "v6class/obs/profile.h"
 #include "v6class/obs/timer.h"
 
@@ -206,7 +207,7 @@ private:
     static bool is_uniform(const std::string& name) {
         return name == "help" || name == "metrics-out" || name == "trace-out" ||
                name == "events-out" || name == "profile-out" ||
-               name == "profile-hz";
+               name == "profile-hz" || name == "pmu-out";
     }
 
     const def* find(const std::string& name) const {
@@ -293,6 +294,11 @@ private:
 ///                        (feed to flamegraph.pl / speedscope); sampling
 ///                        runs for the whole tool lifetime at
 ///                        --profile-hz=N (default 97)
+///   --pmu-out=FILE       arm hardware-counter scopes (v6::obs::pmu)
+///                        and write the final per-thread/per-site
+///                        snapshot as JSON; where perf_event_open is
+///                        restricted the snapshot carries the reason
+///                        instead of counters
 ///
 /// All writes are atomic (tmp-file + rename), so a dump is never
 /// observed half-written. Declare one after flag parsing; the
@@ -303,9 +309,11 @@ public:
     explicit obs_exporter(const flag_set& flags)
         : metrics_out_(flags.get("metrics-out")),
           events_out_(flags.get("events-out")),
-          profile_out_(flags.get("profile-out")) {
+          profile_out_(flags.get("profile-out")),
+          pmu_out_(flags.get("pmu-out")) {
         const std::string trace_out = flags.get("trace-out");
         if (!trace_out.empty()) obs::trace_log::enable(trace_out);
+        if (!pmu_out_.empty()) obs::pmu::enable();  // no-op when denied
         if (!profile_out_.empty()) {
             const auto hz =
                 static_cast<unsigned>(flags.get_int("profile-hz", 97));
@@ -350,6 +358,10 @@ public:
                 std::fprintf(stderr, "warning: cannot write %s\n",
                              profile_out_.c_str());
         }
+        if (!pmu_out_.empty() &&
+            !obs::atomic_write_file(pmu_out_, obs::pmu::snapshot_json()))
+            std::fprintf(stderr, "warning: cannot write %s\n",
+                         pmu_out_.c_str());
     }
 
     static const char* help_lines() {
@@ -360,13 +372,17 @@ public:
                "JSON lines\n"
                "  --profile-out=F  sample the process (--profile-hz=N, "
                "default 97) and\n"
-               "                   write folded stacks for flamegraph.pl";
+               "                   write folded stacks for flamegraph.pl\n"
+               "  --pmu-out=F      count hardware events (cycles, cache "
+               "misses, ...) and\n"
+               "                   write the final PMU snapshot as JSON";
     }
 
 private:
     std::string metrics_out_;
     std::string events_out_;
     std::string profile_out_;
+    std::string pmu_out_;
     bool written_ = false;
 };
 

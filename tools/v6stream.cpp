@@ -58,7 +58,9 @@
 #include "v6class/obs/dashboard.h"
 #include "v6class/obs/federate.h"
 #include "v6class/obs/http.h"
+#include "v6class/obs/introspect.h"
 #include "v6class/obs/tsdb.h"
+#include "v6class/simd/kernels.h"
 #include "v6class/stream/engine.h"
 
 using namespace v6;
@@ -204,9 +206,42 @@ obs::dashboard_model build_dashboard(const stream_engine& engine,
     model.links = {{"/metrics", "metrics"},
                    {"/trace", "trace"},
                    {"/profile", "profile"},
+                   {"/pmu", "pmu"},
                    {"/healthz", "healthz"}};
     if (tsdb) model.links.push_back({"/api/series", "series"});
     if (alerts) model.links.push_back({"/alerts", "alerts"});
+
+    // Runtime panel: the process-level gauges that /metrics exports but
+    // the dashboard never surfaced — which kernel tier is live, how big
+    // the process is, how full the trie arena runs, and whether hardware
+    // counters back the IPC series. Arena numbers come back through the
+    // interning registry (the engine registered them unlabeled).
+    obs::registry& greg = obs::registry::global();
+    model.runtime.push_back(
+        {"simd", std::string(simd::level_name(simd::active_level()))});
+    model.runtime.push_back(
+        {"rss", obs::dashboard_value(
+                    static_cast<double>(obs::process_rss_bytes()) / (1 << 20)) +
+                    " MiB"});
+    model.runtime.push_back(
+        {"arena live",
+         std::to_string(greg.get_gauge("v6_trie_arena_live_nodes").value())});
+    model.runtime.push_back(
+        {"arena free",
+         std::to_string(greg.get_gauge("v6_trie_arena_free_slots").value())});
+    const obs::pmu::availability& pa = obs::pmu::available();
+    model.runtime.push_back(
+        {"pmu", pa.hardware()
+                    ? std::string(obs::pmu::mode_name(pa.tier))
+                    : std::string(obs::pmu::mode_name(pa.tier)) + " (" +
+                          pa.reason + ")"});
+    if (pa.hardware()) {
+        const obs::pmu::site_stats ingest =
+            obs::pmu::site_totals("shard.ingest_batch");
+        if (ingest.spans > 0)
+            model.runtime.push_back(
+                {"ingest ipc", obs::dashboard_value(ingest.ipc())});
+    }
 
     // Flight-recorder charts: the headline derived series over their
     // whole stored range (they survive restarts, unlike the in-memory
@@ -490,6 +525,15 @@ int main(int argc, char** argv) {
     }
     tools::obs_exporter obs_dump(flags);
 
+    // One startup line stating where hardware counters stand, so a
+    // daemon log always explains a missing IPC panel (paranoid sysctl,
+    // VM without a PMU, or an explicit V6CLASS_DISABLE_PMU).
+    {
+        const obs::pmu::availability& pa = obs::pmu::available();
+        std::fprintf(stderr, "pmu: %s (%s)\n", obs::pmu::mode_name(pa.tier),
+                     pa.reason.c_str());
+    }
+
     stream_config cfg;
     cfg.shards = shards;
     cfg.batch_size = batch;
@@ -698,6 +742,7 @@ int main(int argc, char** argv) {
         // idempotent, and the profiler start is skipped if --profile-out
         // already started it.)
         obs::tracer::enable();
+        obs::pmu::enable();  // /pmu serves live deltas; no-op when denied
         if (!obs::profiler::running()) obs::profiler::start();
         std::fprintf(stderr,
                      "metrics on http://0.0.0.0:%u/metrics, dashboard on "
